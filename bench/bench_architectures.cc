@@ -1,0 +1,126 @@
+// Experiment E1 (DESIGN.md): the Figure 3 architecture comparison the
+// paper calls for in Challenge #4 — "The following three approaches to
+// address the cache coherence challenge need to be systematically
+// evaluated": (3a) no cache / no sharding, (3b) cache + software
+// coherence, (3c) cache + logical sharding (2PC for cross-shard).
+//
+// Sweeps write fraction and zipfian skew; reports committed throughput in
+// simulated time, abort rate, RDMA round trips per committed transaction,
+// and cache hit rate.
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace dsmdb;          // NOLINT
+using namespace dsmdb::bench;   // NOLINT
+
+struct Config {
+  core::Architecture arch;
+  double write_fraction;
+  double zipf_theta;
+};
+
+void RunOne(Table* table, const Config& cfg) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 4;
+  copts.memory_node.capacity_bytes = 64 << 20;
+
+  core::DbOptions dopts;
+  dopts.architecture = cfg.arch;
+  dopts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  dopts.buffer.capacity_bytes = 1024 * 4096;
+  dopts.buffer.charge_policy_overhead = false;
+
+  core::DsmDb db(copts, dopts);
+  std::vector<core::ComputeNode*> nodes;
+  for (int i = 0; i < 4; i++) nodes.push_back(db.AddComputeNode());
+  const core::Table* t = *db.CreateTable("ycsb", {64, 20'000});
+  (void)db.FinishSetup();
+
+  workload::YcsbOptions yopts;
+  yopts.num_keys = 20'000;
+  yopts.write_fraction = cfg.write_fraction;
+  yopts.zipf_theta = cfg.zipf_theta;
+  yopts.ops_per_txn = 4;
+
+  workload::DriverOptions dropts;
+  dropts.threads_per_node = 2;
+  dropts.txns_per_thread = 250;
+
+  db.cluster().fabric().ResetStats();
+  workload::DriverResult result = workload::RunDriver(
+      nodes, dropts,
+      [&](core::ComputeNode* node, uint32_t tid, Random64&) {
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        thread_local uint32_t wl_tid = UINT32_MAX;
+        if (wl_tid != tid) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, tid + 1);
+          wl_tid = tid;
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+
+  const auto verbs = db.cluster().fabric().TotalStats();
+  double hit_rate = 0;
+  int pools = 0;
+  for (const auto& cn : db.compute_nodes()) {
+    if (cn->pool() != nullptr) {
+      hit_rate += cn->pool()->Snapshot().HitRate();
+      pools++;
+    }
+  }
+  if (pools > 0) hit_rate /= pools;
+  uint64_t two_pc = 0;
+  for (const auto& cn : db.compute_nodes()) {
+    two_pc += cn->node_stats().two_pc_txns.load();
+  }
+
+  table->AddRow({
+      std::string(core::ArchitectureName(cfg.arch)),
+      Fmt("%.2f", cfg.write_fraction),
+      Fmt("%.2f", cfg.zipf_theta),
+      Fmt("%.0f", result.throughput_tps),
+      Fmt("%.1f%%", result.AbortRate() * 100),
+      Fmt("%.1f", static_cast<double>(verbs.RoundTrips()) /
+                      static_cast<double>(result.committed)),
+      pools > 0 ? Fmt("%.1f%%", hit_rate * 100) : "-",
+      Fmt("%llu", static_cast<unsigned long long>(two_pc)),
+      Fmt("%llu", static_cast<unsigned long long>(
+                      result.latency_ns.Percentile(50))),
+  });
+}
+
+}  // namespace
+
+int main() {
+  Section(
+      "E1: Figure-3 architectures (4 compute nodes x 2 threads, YCSB "
+      "4 ops/txn, 20k keys, 2PL NO_WAIT; simulated time)");
+  Table table({"architecture", "write_frac", "zipf", "tput(txn/s)",
+               "aborts", "rtts/txn", "hit_rate", "2pc_txns", "p50(ns)"});
+  for (double wf : {0.05, 0.50}) {
+    for (double theta : {0.50, 0.99}) {
+      for (core::Architecture arch :
+           {core::Architecture::kNoCacheNoSharding,
+            core::Architecture::kCacheNoSharding,
+            core::Architecture::kCacheSharding}) {
+        RunOne(&table, Config{arch, wf, theta});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "Claim check (paper Sec. 4): 3a pays a round trip per access; 3b "
+      "recovers locality for read-heavy mixes but pays coherence on "
+      "writes; 3c has the fewest remote ops for single-shard work but "
+      "pays 2PC on cross-shard transactions.\n");
+  return 0;
+}

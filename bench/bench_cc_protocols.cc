@@ -1,0 +1,129 @@
+// Experiment E4 (DESIGN.md): "A systematic evaluation of different
+// concurrency control protocols over RDMA is necessary" (Challenge #6).
+//
+// Compares 2PL NO_WAIT (1-RTT exclusive spinlock), 2PL NO_WAIT with the
+// 2-RTT shared-exclusive lock, 2PL WAIT_DIE, OCC, TSO, and MVCC-SI under
+// YCSB at low/high contention and read-heavy/write-heavy mixes. Reports
+// simulated throughput, abort rate, and RDMA round trips per committed
+// transaction — the currency of RDMA CC design.
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace dsmdb;         // NOLINT
+using namespace dsmdb::bench;  // NOLINT
+
+struct ProtocolCfg {
+  std::string name;
+  txn::CcOptions cc;
+};
+
+std::vector<ProtocolCfg> Protocols() {
+  std::vector<ProtocolCfg> out;
+  txn::CcOptions cc;
+  cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  out.push_back({"2pl-nowait (1-RTT excl lock)", cc});
+  cc.lock_mode = txn::TwoPlLockMode::kSharedExclusive;
+  out.push_back({"2pl-nowait (2-RTT SE lock)", cc});
+  cc = txn::CcOptions{};
+  cc.protocol = txn::CcProtocolKind::kTwoPlWaitDie;
+  out.push_back({"2pl-waitdie", cc});
+  cc = txn::CcOptions{};
+  cc.protocol = txn::CcProtocolKind::kOcc;
+  out.push_back({"occ (batched validation)", cc});
+  cc = txn::CcOptions{};
+  cc.protocol = txn::CcProtocolKind::kTso;
+  out.push_back({"tso (FAA timestamps)", cc});
+  cc = txn::CcOptions{};
+  cc.protocol = txn::CcProtocolKind::kMvcc;
+  out.push_back({"mvcc-si", cc});
+  return out;
+}
+
+void RunOne(Table* out, const ProtocolCfg& proto, double write_fraction,
+            double zipf) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 128 << 20;
+
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kNoCacheNoSharding;
+  dopts.cc = proto.cc;
+
+  core::DsmDb db(copts, dopts);
+  std::vector<core::ComputeNode*> nodes = {db.AddComputeNode(),
+                                           db.AddComputeNode()};
+  const core::Table* t = *db.CreateTable("ycsb", {64, 8'192});
+  (void)db.FinishSetup();
+
+  workload::YcsbOptions yopts;
+  yopts.num_keys = 8'192;
+  yopts.write_fraction = write_fraction;
+  yopts.zipf_theta = zipf;
+  yopts.ops_per_txn = 4;
+
+  workload::DriverOptions dropts;
+  dropts.threads_per_node = 4;
+  dropts.txns_per_thread = 150;
+
+  db.cluster().fabric().ResetStats();
+  workload::DriverResult result = workload::RunDriver(
+      nodes, dropts,
+      [&](core::ComputeNode* node, uint32_t tid, Random64&) {
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        thread_local uint32_t wl_tid = UINT32_MAX;
+        if (wl_tid != tid) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, tid + 1);
+          wl_tid = tid;
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+
+  const auto verbs = db.cluster().fabric().TotalStats();
+  out->AddRow({
+      proto.name,
+      Fmt("%.2f", write_fraction),
+      Fmt("%.2f", zipf),
+      Fmt("%.0f", result.throughput_tps),
+      Fmt("%.1f%%", result.AbortRate() * 100),
+      Fmt("%.1f", static_cast<double>(verbs.RoundTrips()) /
+                      static_cast<double>(std::max<uint64_t>(
+                          1, result.committed))),
+      Fmt("%llu", static_cast<unsigned long long>(
+                      result.latency_ns.Percentile(50))),
+  });
+}
+
+}  // namespace
+
+int main() {
+  Section(
+      "E4: CC protocols over RDMA (2 nodes x 4 threads, YCSB 4 ops/txn, "
+      "8k keys; simulated time)");
+  Table table({"protocol", "write_frac", "zipf", "tput(txn/s)", "aborts",
+               "rtts/txn", "p50(ns)"});
+  for (double zipf : {0.0, 0.9}) {
+    for (double wf : {0.05, 0.5}) {
+      for (const ProtocolCfg& proto : Protocols()) {
+        RunOne(&table, proto, wf, zipf);
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "Claim check (paper Challenge #6): the SE lock's extra round trips "
+      "only pay off for read-heavy, high-contention mixes (reader "
+      "sharing); under low contention the 1-RTT spinlock wins. OCC's "
+      "batched validation keeps rtts/txn low; TSO pays one FAA per txn "
+      "for timestamps; MVCC reads never abort but writes cost version-"
+      "chain installs.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Experiment E10 (DESIGN.md): DSN-DB vs DSM-DB under skew shift.
+//
+// Paper, Sec. 7/8: DSM-DB "is more resilient to skew due to fast
+// resharding", because sharding is *logical* — resharding copies only
+// metadata, while a shared-nothing DSN-DB must physically move the data
+// between compute nodes.
+//
+// Scenario: 4 compute nodes; the workload hammers a hot 10% key range
+// that initially belongs to one owner. We reshard to spread the hot
+// range. For DSM-DB the reshard is a map swap; for the DSN baseline we
+// additionally perform (and time) the physical data movement of the
+// moved range between node-local memories over the same fabric.
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/sim_clock.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace dsmdb;         // NOLINT
+using namespace dsmdb::bench;  // NOLINT
+
+constexpr uint64_t kNumKeys = 20'000;
+constexpr uint64_t kHotKeys = kNumKeys / 10;
+
+workload::DriverResult RunPhase(core::DsmDb& db,
+                                std::vector<core::ComputeNode*>& nodes,
+                                const core::Table* t, bool hot_phase) {
+  workload::YcsbOptions yopts;
+  yopts.num_keys = kNumKeys;
+  yopts.write_fraction = 0.3;
+  yopts.zipf_theta = 0.2;
+  if (hot_phase) {
+    yopts.range_begin = 0;
+    yopts.range_end = kHotKeys;  // all traffic on the hot tenth
+  }
+  yopts.ops_per_txn = 2;
+
+  workload::DriverOptions dropts;
+  dropts.threads_per_node = 2;
+  dropts.txns_per_thread = 150;
+
+  return workload::RunDriver(
+      nodes, dropts,
+      [&, hot_phase](core::ComputeNode* node, uint32_t tid, Random64&) {
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        thread_local uint32_t wl_tid = UINT32_MAX;
+        thread_local bool wl_hot = false;
+        if (wl_tid != tid || wl_hot != hot_phase) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, tid + 1);
+          wl_tid = tid;
+          wl_hot = hot_phase;
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+}
+
+/// Resharding map: split the hot range evenly across all owners; the cold
+/// remainder stays with owner 3.
+std::vector<core::ShardManager::Range> HotSplitRanges(uint32_t owners) {
+  std::vector<core::ShardManager::Range> ranges;
+  const uint64_t per = kHotKeys / owners;
+  for (uint32_t o = 0; o < owners; o++) {
+    ranges.push_back({o * per,
+                      o + 1 == owners ? kHotKeys : (o + 1) * per, o});
+  }
+  ranges.push_back({kHotKeys, kNumKeys, owners - 1});
+  return ranges;
+}
+
+/// Physically copies `bytes` between two node-local memories over the
+/// fabric (the DSN-DB reshard path); returns simulated ns.
+uint64_t PhysicalMoveNs(core::DsmDb& db, uint64_t bytes) {
+  rdma::Fabric& fabric = db.cluster().fabric();
+  const rdma::NodeId src = fabric.AddNode("dsn-src", 8, 1.0);
+  const rdma::NodeId dst = fabric.AddNode("dsn-dst", 8, 1.0);
+  static std::vector<char> src_mem, dst_mem;
+  src_mem.assign(bytes, 1);
+  dst_mem.assign(bytes, 0);
+  const uint32_t src_key = *fabric.RegisterMemory(src, src_mem.data(), bytes);
+  const uint32_t dst_key = *fabric.RegisterMemory(dst, dst_mem.data(), bytes);
+
+  SimClock::Reset();
+  std::vector<char> chunk(64 * 1024);
+  for (uint64_t off = 0; off < bytes; off += chunk.size()) {
+    const size_t n = std::min<uint64_t>(chunk.size(), bytes - off);
+    (void)fabric.Read(dst, rdma::RemotePtr{src, src_key, off}, chunk.data(),
+                      n);
+    (void)fabric.Write(dst, rdma::RemotePtr{dst, dst_key, off},
+                       chunk.data(), n);
+  }
+  return SimClock::Now();
+}
+
+}  // namespace
+
+int main() {
+  Section(
+      "E10: skew shift and resharding — DSM-DB (logical) vs DSN-DB "
+      "(physical) [4 compute nodes]");
+
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 4;
+  copts.memory_node.capacity_bytes = 64 << 20;
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kCacheSharding;
+  dopts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  dopts.buffer.capacity_bytes = 512 * 4096;
+  dopts.buffer.charge_policy_overhead = false;
+
+  core::DsmDb db(copts, dopts);
+  std::vector<core::ComputeNode*> nodes;
+  for (int i = 0; i < 4; i++) nodes.push_back(db.AddComputeNode());
+  const core::Table* t = *db.CreateTable("kv", {64, kNumKeys});
+  (void)db.FinishSetup();
+
+  Table table({"phase", "tput(txn/s)", "aborts", "notes"});
+
+  // Phase 0: uniform load, even shards.
+  workload::DriverResult ph0 = RunPhase(db, nodes, t, /*hot_phase=*/false);
+  table.AddRow({"uniform, even shards", Fmt("%.0f", ph0.throughput_tps),
+                Fmt("%.1f%%", ph0.AbortRate() * 100), ""});
+
+  // Phase 1: hotspot lands on owner 0's range.
+  workload::DriverResult ph1 = RunPhase(db, nodes, t, /*hot_phase=*/true);
+  table.AddRow({"hotspot on one shard", Fmt("%.0f", ph1.throughput_tps),
+                Fmt("%.1f%%", ph1.AbortRate() * 100),
+                "owner 0 is the bottleneck"});
+
+  // Reshard: DSM-DB pays only a metadata swap.
+  SimClock::Reset();
+  const uint64_t moved_keys =
+      db.shards("kv")->UpdateRanges(HotSplitRanges(4));
+  const uint64_t dsm_reshard_ns = SimClock::Now() + 2 * 1'600 * 4;
+  // (+ one RTT per compute node to broadcast the new map)
+  const uint64_t moved_bytes = moved_keys * txn::RecordStride(64);
+  const uint64_t dsn_reshard_ns = PhysicalMoveNs(db, moved_bytes);
+  table.AddRow({"reshard cost: DSM-DB (logical)", "-", "-",
+                Fmt("%.3f ms for %llu keys", dsm_reshard_ns / 1e6,
+                    static_cast<unsigned long long>(moved_keys))});
+  table.AddRow({"reshard cost: DSN-DB (physical)", "-", "-",
+                Fmt("%.3f ms to move %.1f MB", dsn_reshard_ns / 1e6,
+                    moved_bytes / 1e6)});
+
+  // Phase 2: hot range now spread over all owners.
+  workload::DriverResult ph2 = RunPhase(db, nodes, t, /*hot_phase=*/true);
+  table.AddRow({"hotspot after reshard", Fmt("%.0f", ph2.throughput_tps),
+                Fmt("%.1f%%", ph2.AbortRate() * 100),
+                "hot range split across 4 owners"});
+  table.Print();
+
+  std::printf(
+      "Claim check (paper Sec. 7/8): resharding in DSM-DB is %.0fx "
+      "cheaper than the DSN-DB physical move, because 'only the metadata "
+      "is copied ... without physically moving data'; post-reshard "
+      "throughput recovers toward the uniform baseline.\n",
+      static_cast<double>(dsn_reshard_ns) /
+          static_cast<double>(std::max<uint64_t>(1, dsm_reshard_ns)));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E2 (DESIGN.md): durability designs, Challenge #2.
+//
+// Approach #1: WAL on cloud storage — with and without group commit, and
+// with command logging (smaller records).
+// Approach #2: RAMCloud-style k-way memory-replicated log.
+//
+// Reports simulated commit latency and throughput under an update-heavy
+// workload, plus storage flushes per commit (group-commit batching).
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace dsmdb;          // NOLINT
+using namespace dsmdb::bench;   // NOLINT
+
+struct Config {
+  std::string name;
+  core::DurabilityMode durability;
+  bool group_commit = true;
+  uint32_t replication_factor = 3;
+};
+
+void RunOne(Table* out, const Config& cfg, uint32_t threads) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 4;
+  copts.memory_node.capacity_bytes = 64 << 20;
+
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kNoCacheNoSharding;
+  dopts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  dopts.durability = cfg.durability;
+  dopts.wal.group_commit = cfg.group_commit;
+  dopts.replicated_log.replication_factor = cfg.replication_factor;
+  if (cfg.durability == core::DurabilityMode::kCloudWal) {
+    // Group-commit batching depends on committers overlapping in time;
+    // the simulated flush completes instantly in real time, so give the
+    // storage device a small real latency to recreate the overlap a real
+    // 0.5 ms log device produces (see CloudStorageOptions).
+    dopts.cloud.real_append_delay_us = 150;
+  }
+
+  core::DsmDb db(copts, dopts);
+  core::ComputeNode* cn = db.AddComputeNode("cn0");
+  const core::Table* t = *db.CreateTable("kv", {64, 10'000});
+  (void)db.FinishSetup();
+
+  workload::YcsbOptions yopts;
+  yopts.num_keys = 10'000;
+  yopts.write_fraction = 1.0;  // update-only: every commit must be durable
+  yopts.zipf_theta = 0.5;
+  yopts.ops_per_txn = 2;
+
+  workload::DriverOptions dropts;
+  dropts.threads_per_node = threads;
+  dropts.txns_per_thread = 200;
+
+  workload::DriverResult result = workload::RunDriver(
+      {cn}, dropts,
+      [&](core::ComputeNode* node, uint32_t tid, Random64&) {
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        thread_local uint32_t wl_tid = UINT32_MAX;
+        if (wl_tid != tid) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, tid + 1);
+          wl_tid = tid;
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+
+  std::string flushes = "-";
+  if (cn->wal() != nullptr) {
+    flushes = Fmt("%.2f", static_cast<double>(result.committed) /
+                              static_cast<double>(cn->wal()->FlushCount()));
+  }
+  out->AddRow({
+      cfg.name,
+      Fmt("%u", threads),
+      Fmt("%.0f", result.throughput_tps),
+      Fmt("%llu", static_cast<unsigned long long>(
+                      result.latency_ns.Percentile(50))),
+      Fmt("%llu", static_cast<unsigned long long>(
+                      result.latency_ns.Percentile(99))),
+      flushes,
+  });
+}
+
+}  // namespace
+
+int main() {
+  Section(
+      "E2: durability designs (update-only YCSB, 2 writes/txn, one "
+      "compute node; simulated time)");
+  Table table({"design", "threads", "tput(txn/s)", "p50(ns)", "p99(ns)",
+               "commits/flush"});
+  for (uint32_t threads : {1u, 8u}) {
+    RunOne(&table,
+           {"none (no durability)", core::DurabilityMode::kNone},
+           threads);
+    RunOne(&table,
+           {"cloud-wal (per-commit flush)", core::DurabilityMode::kCloudWal,
+            /*group_commit=*/false},
+           threads);
+    RunOne(&table,
+           {"cloud-wal + group commit", core::DurabilityMode::kCloudWal,
+            /*group_commit=*/true},
+           threads);
+    RunOne(&table,
+           {"mem-replication k=2", core::DurabilityMode::kMemReplication,
+            true, 2},
+           threads);
+    RunOne(&table,
+           {"mem-replication k=3", core::DurabilityMode::kMemReplication,
+            true, 3},
+           threads);
+  }
+  table.Print();
+  std::printf(
+      "Claim check (paper Sec. 3, Challenge #2): memory replication "
+      "commits in a few RDMA RTTs (microseconds) while cloud-storage "
+      "logging pays ~0.5 ms on the critical path; group commit recovers "
+      "throughput (many commits per flush) but not latency. k=3 costs "
+      "little more than k=2 because replica appends are parallel.\n");
+  return 0;
+}

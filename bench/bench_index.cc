@@ -1,0 +1,289 @@
+// Experiment E8 (DESIGN.md): RDMA-conscious index design, Challenges
+// #10–#11.
+//
+// Compares:
+//  * Sherman-style B+tree with internal-node caching (the paper's cited
+//    state of the art [62]),
+//  * the same tree with the cache disabled (naive remote B+tree),
+//  * RACE-style one-sided hash index [76],
+//  * a two-sided RPC index (ops executed by the memory node's wimpy CPU).
+//
+// Reports simulated ns/op and RDMA round trips per op for lookups and
+// inserts, plus local memory consumed by caching, and concurrent
+// throughput.
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "index/lsm_index.h"
+#include "index/race_hash.h"
+#include "index/sherman_btree.h"
+
+namespace {
+
+using namespace dsmdb;         // NOLINT
+using namespace dsmdb::bench;  // NOLINT
+
+constexpr uint64_t kKeys = 40'000;
+constexpr uint32_t kRpcGetFn = 5;
+constexpr uint32_t kRpcPutFn = 6;
+
+struct Env {
+  Env() {
+    dsm::ClusterOptions opts;
+    opts.num_memory_nodes = 2;
+    opts.memory_node.capacity_bytes = 256 << 20;
+    cluster = std::make_unique<dsm::Cluster>(opts);
+    client = std::make_unique<dsm::DsmClient>(
+        cluster.get(), cluster->AddComputeNode("bench"));
+  }
+  std::unique_ptr<dsm::Cluster> cluster;
+  std::unique_ptr<dsm::DsmClient> client;
+};
+
+struct OpCosts {
+  double lookup_ns;
+  double lookup_rtts;
+  double insert_ns;
+  double insert_rtts;
+};
+
+template <typename LookupFn, typename InsertFn>
+OpCosts Measure(Env& env, const LookupFn& lookup, const InsertFn& insert,
+                uint64_t insert_base) {
+  Random64 rng(4242);
+  OpCosts costs{};
+  const int kOps = 3'000;
+
+  env.cluster->fabric().ResetStats();
+  SimClock::Reset();
+  for (int i = 0; i < kOps; i++) {
+    lookup(rng.Uniform(kKeys) + 1);
+  }
+  costs.lookup_ns = static_cast<double>(SimClock::Now()) / kOps;
+  costs.lookup_rtts =
+      static_cast<double>(env.cluster->fabric().TotalStats().RoundTrips()) /
+      kOps;
+
+  env.cluster->fabric().ResetStats();
+  SimClock::Reset();
+  for (int i = 0; i < kOps; i++) {
+    insert(insert_base + i + 1);
+  }
+  costs.insert_ns = static_cast<double>(SimClock::Now()) / kOps;
+  costs.insert_rtts =
+      static_cast<double>(env.cluster->fabric().TotalStats().RoundTrips()) /
+      kOps;
+  return costs;
+}
+
+void AddRow(Table* t, const std::string& name, const OpCosts& c,
+            const std::string& local_mem) {
+  t->AddRow({name, Fmt("%.0f", c.lookup_ns), Fmt("%.1f", c.lookup_rtts),
+             Fmt("%.0f", c.insert_ns), Fmt("%.1f", c.insert_rtts),
+             local_mem});
+}
+
+}  // namespace
+
+int main() {
+  Section("E8a: index designs, 40k keys preloaded (simulated time)");
+  Table a({"index", "lookup ns", "lookup rtts", "insert ns",
+           "insert rtts", "local mem"});
+
+  {  // Sherman-style B+tree, internal nodes cached.
+    Env env;
+    index::BTreeOptions opts;
+    opts.cache_internal_nodes = true;
+    dsm::GlobalAddress meta = *index::ShermanBTree::Create(env.client.get());
+    index::ShermanBTree tree(env.client.get(), meta, opts);
+    for (uint64_t k = 1; k <= kKeys; k++) (void)tree.Insert(k, k);
+    // Warm the cache.
+    Random64 warm(7);
+    for (int i = 0; i < 2'000; i++) {
+      (void)tree.Search(warm.Uniform(kKeys) + 1);
+    }
+    const OpCosts c = Measure(
+        env, [&](uint64_t k) { (void)tree.Search(k); },
+        [&](uint64_t k) { (void)tree.Insert(k, k); }, kKeys);
+    AddRow(&a, "sherman b+tree (cached internals)", c,
+           Fmt("%zu nodes (%.1f MB)", tree.CachedNodes(),
+               tree.CachedNodes() * sizeof(index::BTreeNode) / 1e6));
+  }
+  {  // Naive remote B+tree: no cache, one RTT per level.
+    Env env;
+    index::BTreeOptions opts;
+    opts.cache_internal_nodes = false;
+    dsm::GlobalAddress meta = *index::ShermanBTree::Create(env.client.get());
+    index::ShermanBTree tree(env.client.get(), meta, opts);
+    for (uint64_t k = 1; k <= kKeys; k++) (void)tree.Insert(k, k);
+    const OpCosts c = Measure(
+        env, [&](uint64_t k) { (void)tree.Search(k); },
+        [&](uint64_t k) { (void)tree.Insert(k, k); }, kKeys);
+    AddRow(&a, "naive remote b+tree (no cache)", c, "0");
+  }
+  {  // RACE-style hash.
+    Env env;
+    dsm::GlobalAddress base = *index::RaceHash::Create(env.client.get(),
+                                                       2 * kKeys);
+    index::RaceHash hash(env.client.get(), base, 2 * kKeys);
+    for (uint64_t k = 1; k <= kKeys; k++) (void)hash.Insert(k, k);
+    const OpCosts c = Measure(
+        env, [&](uint64_t k) { (void)hash.Get(k); },
+        [&](uint64_t k) { (void)hash.Insert(k, k); }, kKeys);
+    AddRow(&a, "race hash (one-sided, 2-choice)", c, "0");
+  }
+  {  // Two-sided RPC index: memory node executes a local hash op.
+    Env env;
+    auto* table = new std::unordered_map<uint64_t, uint64_t>();
+    for (uint64_t k = 1; k <= kKeys; k++) (*table)[k] = k;
+    env.cluster->memory_node(0)->RegisterOffload(
+        kRpcGetFn,
+        [table](dsm::MemoryNode&, std::string_view arg,
+                std::string* out) -> uint64_t {
+          auto it = table->find(DecodeFixed64(arg.data()));
+          PutFixed64(out, it == table->end() ? 0 : it->second);
+          return 400;  // hash probe on the wimpy core
+        });
+    env.cluster->memory_node(0)->RegisterOffload(
+        kRpcPutFn,
+        [table](dsm::MemoryNode&, std::string_view arg,
+                std::string* out) -> uint64_t {
+          (void)out;
+          (*table)[DecodeFixed64(arg.data())] =
+              DecodeFixed64(arg.data() + 8);
+          return 500;
+        });
+    const OpCosts c = Measure(
+        env,
+        [&](uint64_t k) {
+          std::string arg, out;
+          PutFixed64(&arg, k);
+          (void)env.client->Offload(0, kRpcGetFn, arg, &out);
+        },
+        [&](uint64_t k) {
+          std::string arg, out;
+          PutFixed64(&arg, k);
+          PutFixed64(&arg, k);
+          (void)env.client->Offload(0, kRpcPutFn, arg, &out);
+        },
+        kKeys);
+    AddRow(&a, "two-sided rpc index", c, "0");
+  }
+  a.Print();
+
+  Section("E8b: concurrent index ops (4 threads, 50% lookup / 50% insert)");
+  Table b({"index", "ops/s (simulated)"});
+  for (bool cached : {true, false}) {
+    Env env;
+    index::BTreeOptions opts;
+    opts.cache_internal_nodes = cached;
+    dsm::GlobalAddress meta = *index::ShermanBTree::Create(env.client.get());
+    index::ShermanBTree tree(env.client.get(), meta, opts);
+    for (uint64_t k = 1; k <= kKeys / 4; k++) (void)tree.Insert(k, k);
+    std::vector<uint64_t> ns(4);
+    ParallelFor(4, [&](size_t t) {
+      SimClock::Reset();
+      Random64 rng(t + 1);
+      for (int i = 0; i < 1'500; i++) {
+        if (rng.Bernoulli(0.5)) {
+          (void)tree.Search(rng.Uniform(kKeys / 4) + 1);
+        } else {
+          (void)tree.Insert(kKeys + t * 1'000'000 + i, 1);
+        }
+      }
+      ns[t] = SimClock::Now();
+    });
+    uint64_t max_ns = 0;
+    for (uint64_t v : ns) max_ns = std::max(max_ns, v);
+    b.AddRow({cached ? "sherman b+tree (cached)" : "naive remote b+tree",
+              Fmt("%.0f", 4 * 1'500 / (static_cast<double>(max_ns) / 1e9))});
+  }
+  {
+    Env env;
+    dsm::GlobalAddress base =
+        *index::RaceHash::Create(env.client.get(), 2 * kKeys);
+    index::RaceHash hash(env.client.get(), base, 2 * kKeys);
+    for (uint64_t k = 1; k <= kKeys / 4; k++) (void)hash.Insert(k, k);
+    std::vector<uint64_t> ns(4);
+    ParallelFor(4, [&](size_t t) {
+      SimClock::Reset();
+      Random64 rng(t + 1);
+      for (int i = 0; i < 1'500; i++) {
+        if (rng.Bernoulli(0.5)) {
+          (void)hash.Get(rng.Uniform(kKeys / 4) + 1);
+        } else {
+          (void)hash.Insert(kKeys + t * 1'000'000 + i, 1);
+        }
+      }
+      ns[t] = SimClock::Now();
+    });
+    uint64_t max_ns = 0;
+    for (uint64_t v : ns) max_ns = std::max(max_ns, v);
+    b.AddRow({"race hash",
+              Fmt("%.0f", 4 * 1'500 / (static_cast<double>(max_ns) / 1e9))});
+  }
+  b.Print();
+
+  Section(
+      "E8c: LSM index — local filters/fences + compaction offload "
+      "(Challenge #11)");
+  Table c({"variant", "get ns (hot)", "absent-get rtts", "compaction "
+           "bytes moved"});
+  for (bool offload : {false, true}) {
+    Env env;
+    index::LsmOptions lopts;
+    lopts.memtable_entries = 2'048;
+    lopts.max_runs = 100;  // compact only when we say so
+    lopts.offload_compaction = offload;
+    index::LsmIndex lsm(env.client.get(), 0, lopts);
+    Random64 rng(3);
+    for (uint64_t i = 0; i < 20'000; i++) {
+      (void)lsm.Put(rng.Next() | 1, i + 1);
+    }
+    (void)lsm.Flush();
+
+    env.cluster->fabric().ResetStats();
+    SimClock::Reset();
+    Random64 probe(3);
+    for (int i = 0; i < 2'000; i++) {
+      (void)lsm.Get(probe.Next() | 1);  // present keys
+    }
+    const double get_ns = static_cast<double>(SimClock::Now()) / 2'000;
+
+    env.cluster->fabric().ResetStats();
+    for (int i = 0; i < 2'000; i++) {
+      (void)lsm.Get(Hash64(i) | (1ULL << 62));  // almost surely absent
+    }
+    const double absent_rtts =
+        static_cast<double>(
+            env.cluster->fabric().TotalStats().RoundTrips()) /
+        2'000;
+
+    env.cluster->fabric().ResetStats();
+    (void)lsm.Compact();
+    const auto cs = env.cluster->fabric().TotalStats();
+    c.AddRow({offload ? "offloaded compaction" : "local compaction",
+              Fmt("%.0f", get_ns), Fmt("%.2f", absent_rtts),
+              Fmt("%.2f MB", (cs.bytes_read + cs.bytes_written) / 1e6)});
+  }
+  c.Print();
+
+  std::printf(
+      "Claim check (paper Challenges #10-#11): caching internal nodes "
+      "(Sherman) collapses lookups to ~1 RTT at the price of local "
+      "memory; the hash index reaches ~1 RTT with zero local state but "
+      "no range scans; the two-sided index pays the memory node's wimpy "
+      "CPU and its dispatch on every op. For the LSM, local bloom "
+      "filters answer absent-key probes with ~0 round trips and "
+      "near-data compaction moves orders of magnitude fewer bytes than "
+      "pulling runs to the compute node.\n");
+  return 0;
+}

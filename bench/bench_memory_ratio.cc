@@ -1,0 +1,106 @@
+// Experiment E9 (DESIGN.md): the local-memory ratio sweep.
+//
+// Paper, Sec. 7: "As demonstrated in [73], caching 50% data in local
+// memory achieves almost no performance drop. Obviously, there is a
+// tradeoff between more local memory capacity and memory utilization."
+//
+// We sweep the compute node's cache budget from 1% to 100% of the data
+// and measure YCSB throughput relative to the all-local ceiling.
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace dsmdb;         // NOLINT
+using namespace dsmdb::bench;  // NOLINT
+
+double RunOne(Table* out, double cache_fraction, double zipf) {
+  const uint64_t num_keys = 16'384;
+  const uint64_t data_bytes = num_keys * txn::RecordStride(64);
+
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 256 << 20;
+
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kCacheNoSharding;
+  dopts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  dopts.buffer.capacity_bytes = std::max<uint64_t>(
+      4096, static_cast<uint64_t>(cache_fraction * data_bytes));
+  dopts.buffer.charge_policy_overhead = false;
+
+  core::DsmDb db(copts, dopts);
+  core::ComputeNode* cn = db.AddComputeNode();
+  const core::Table* t = *db.CreateTable("ycsb", {64, num_keys});
+  (void)db.FinishSetup();
+
+  workload::YcsbOptions yopts;
+  yopts.num_keys = num_keys;
+  yopts.write_fraction = 0.1;
+  yopts.zipf_theta = zipf;
+  yopts.ops_per_txn = 4;
+
+  workload::DriverOptions dropts;
+  dropts.threads_per_node = 2;
+  dropts.txns_per_thread = 400;
+
+  workload::DriverResult result = workload::RunDriver(
+      {cn}, dropts,
+      [&](core::ComputeNode* node, uint32_t tid, Random64&) {
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        thread_local uint32_t wl_tid = UINT32_MAX;
+        if (wl_tid != tid) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, tid + 1);
+          wl_tid = tid;
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+
+  out->AddRow({
+      Fmt("%.0f%%", cache_fraction * 100),
+      Fmt("%.2f", zipf),
+      Fmt("%.0f", result.throughput_tps),
+      Fmt("%.1f%%", cn->pool()->Snapshot().HitRate() * 100),
+  });
+  return result.throughput_tps;
+}
+
+}  // namespace
+
+int main() {
+  Section(
+      "E9: throughput vs local-memory ratio (YCSB 10% writes, 1 compute "
+      "node x 2 threads; simulated time)");
+  Table table({"cache size / data", "zipf", "tput(txn/s)", "hit_rate"});
+  std::vector<double> fractions = {0.01, 0.05, 0.10, 0.25, 0.50, 0.75,
+                                   1.00};
+  std::vector<std::vector<double>> tputs;
+  for (double zipf : {0.5, 0.99}) {
+    std::vector<double> row;
+    for (double f : fractions) {
+      row.push_back(RunOne(&table, f, zipf));
+    }
+    tputs.push_back(row);
+  }
+  table.Print();
+  for (size_t z = 0; z < tputs.size(); z++) {
+    const double at50 = tputs[z][4];
+    const double at100 = tputs[z].back();
+    std::printf(
+        "zipf=%s: 50%% cache reaches %.0f%% of the all-cached throughput.\n",
+        z == 0 ? "0.5" : "0.99", 100.0 * at50 / at100);
+  }
+  std::printf(
+      "Claim check (paper Sec. 7 / PolarDB Serverless [73]): caching "
+      "about half the data should already get close to all-local "
+      "performance, and far less suffices under skew — MD's flexibility "
+      "in sizing local memory is what makes this tradeoff tunable.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Experiment E13 (DESIGN.md): RDMA verb microbenchmarks.
+//
+// Validates the simulated network model against the paper's reference
+// numbers (Sec. 1: ConnectX-6, ~0.8 usec latency, 200 Gb/s) and quantifies
+// the primitives the paper's design arguments lean on: one- vs two-sided
+// verbs, atomics, doorbell batching, and the local:remote gap (~10x).
+//
+// Uses google-benchmark for the harness; the *reported* metric is
+// simulated nanoseconds per op (counter "sim_ns_per_op"), which is
+// deterministic and host-independent. Wall time measures simulator
+// overhead only.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+
+namespace {
+
+using dsmdb::SimClock;
+using dsmdb::dsm::Cluster;
+using dsmdb::dsm::ClusterOptions;
+using dsmdb::dsm::DsmBatchOp;
+using dsmdb::dsm::DsmClient;
+using dsmdb::dsm::GlobalAddress;
+
+struct Env {
+  Env() {
+    ClusterOptions opts;
+    opts.num_memory_nodes = 2;
+    opts.memory_node.capacity_bytes = 64 << 20;
+    cluster = std::make_unique<Cluster>(opts);
+    client = std::make_unique<DsmClient>(cluster.get(),
+                                         cluster->AddComputeNode("bench"));
+    region = *client->Alloc(8 << 20, 0);
+  }
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<DsmClient> client;
+  GlobalAddress region;
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+void BM_OneSidedRead(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<char> buf(size);
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.client->Read(env.region, buf.data(), size));
+    ops++;
+  }
+  state.counters["sim_ns_per_op"] = static_cast<double>(
+      (SimClock::Now() - t0) / (ops == 0 ? 1 : ops));
+  state.SetBytesProcessed(static_cast<int64_t>(ops * size));
+}
+BENCHMARK(BM_OneSidedRead)->Arg(8)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_OneSidedWrite(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::vector<char> buf(size, 7);
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.client->Write(env.region, buf.data(), size));
+    ops++;
+  }
+  state.counters["sim_ns_per_op"] = static_cast<double>(
+      (SimClock::Now() - t0) / (ops == 0 ? 1 : ops));
+}
+BENCHMARK(BM_OneSidedWrite)->Arg(8)->Arg(4096);
+
+void BM_RdmaCas(benchmark::State& state) {
+  Env& env = GetEnv();
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.client->CompareAndSwap(env.region, 0, 0));
+    ops++;
+  }
+  state.counters["sim_ns_per_op"] = static_cast<double>(
+      (SimClock::Now() - t0) / (ops == 0 ? 1 : ops));
+}
+BENCHMARK(BM_RdmaCas);
+
+void BM_RdmaFaa(benchmark::State& state) {
+  Env& env = GetEnv();
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.client->FetchAndAdd(env.region, 1));
+    ops++;
+  }
+  state.counters["sim_ns_per_op"] = static_cast<double>(
+      (SimClock::Now() - t0) / (ops == 0 ? 1 : ops));
+}
+BENCHMARK(BM_RdmaFaa);
+
+/// Doorbell batching: n 8-byte reads in one RTT vs n RTTs.
+void BM_DoorbellBatchRead(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> out(n);
+  std::vector<DsmBatchOp> ops;
+  for (size_t i = 0; i < n; i++) {
+    ops.push_back(DsmBatchOp{env.region.Plus(i * 4096), &out[i], 8});
+  }
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.client->ReadBatch(ops));
+    iters++;
+  }
+  state.counters["sim_ns_per_batch"] = static_cast<double>(
+      (SimClock::Now() - t0) / (iters == 0 ? 1 : iters));
+  state.counters["sim_ns_per_op"] =
+      state.counters["sim_ns_per_batch"] / static_cast<double>(n);
+}
+BENCHMARK(BM_DoorbellBatchRead)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Two-sided RPC (echo) vs one-sided read of the same payload.
+void BM_TwoSidedRpc(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t size = static_cast<size_t>(state.range(0));
+  env.cluster->fabric().RegisterRpcHandler(
+      env.cluster->MemFabricId(0), 63,
+      [size](std::string_view, std::string* resp) -> uint64_t {
+        resp->assign(size, 'x');
+        return 500;  // handler CPU
+      });
+  std::string resp;
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.client->nic().Call(
+        env.cluster->MemFabricId(0), 63, "", &resp));
+    ops++;
+  }
+  state.counters["sim_ns_per_op"] = static_cast<double>(
+      (SimClock::Now() - t0) / (ops == 0 ? 1 : ops));
+}
+BENCHMARK(BM_TwoSidedRpc)->Arg(8)->Arg(4096);
+
+/// The local-vs-remote gap the buffer-management argument rests on.
+void BM_LocalCopyBaseline(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t size = static_cast<size_t>(state.range(0));
+  const dsmdb::rdma::CpuModel& cpu = env.cluster->compute_cpu();
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    SimClock::Advance(cpu.LocalCopyNs(size));
+    ops++;
+  }
+  state.counters["sim_ns_per_op"] = static_cast<double>(
+      (SimClock::Now() - t0) / (ops == 0 ? 1 : ops));
+}
+BENCHMARK(BM_LocalCopyBaseline)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Experiment E5 (DESIGN.md): massive concurrency, Challenge #7.
+//
+// Throughput vs. number of compute nodes for a multi-master DSM-DB,
+// at low and high contention, and the effect of the timestamp-oracle
+// choice (centralized FAA vs. local clocks) — the paper's "distinguish
+// local CC (within a compute node) and global CC (across nodes)".
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace dsmdb;         // NOLINT
+using namespace dsmdb::bench;  // NOLINT
+
+void RunOne(Table* out, uint32_t num_nodes, double zipf,
+            txn::CcProtocolKind protocol, txn::OracleMode oracle,
+            const std::string& label) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 4;
+  copts.memory_node.capacity_bytes = 64 << 20;
+
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kNoCacheNoSharding;
+  dopts.cc.protocol = protocol;
+  dopts.oracle = oracle;
+
+  core::DsmDb db(copts, dopts);
+  std::vector<core::ComputeNode*> nodes;
+  for (uint32_t i = 0; i < num_nodes; i++) {
+    nodes.push_back(db.AddComputeNode());
+  }
+  const core::Table* t = *db.CreateTable("ycsb", {64, 32'768});
+  (void)db.FinishSetup();
+
+  workload::YcsbOptions yopts;
+  yopts.num_keys = 32'768;
+  yopts.write_fraction = 0.3;
+  yopts.zipf_theta = zipf;
+  yopts.ops_per_txn = 4;
+
+  workload::DriverOptions dropts;
+  dropts.threads_per_node = 2;
+  dropts.txns_per_thread = 120;
+
+  workload::DriverResult result = workload::RunDriver(
+      nodes, dropts,
+      [&](core::ComputeNode* node, uint32_t tid, Random64&) {
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        thread_local uint32_t wl_tid = UINT32_MAX;
+        if (wl_tid != tid) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, tid + 1);
+          wl_tid = tid;
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+
+  out->AddRow({
+      label,
+      Fmt("%u", num_nodes),
+      Fmt("%.2f", zipf),
+      Fmt("%.0f", result.throughput_tps),
+      Fmt("%.1f%%", result.AbortRate() * 100),
+      Fmt("%llu", static_cast<unsigned long long>(
+                      result.latency_ns.Percentile(50))),
+  });
+}
+
+}  // namespace
+
+int main() {
+  Section(
+      "E5: multi-master scalability (2 worker threads per compute node, "
+      "YCSB 30% writes; simulated time)");
+  Table table({"config", "compute nodes", "zipf", "tput(txn/s)", "aborts",
+               "p50(ns)"});
+  for (double zipf : {0.0, 0.99}) {
+    for (uint32_t n : {1u, 2u, 4u, 8u}) {
+      RunOne(&table, n, zipf, txn::CcProtocolKind::kTwoPlNoWait,
+             txn::OracleMode::kRdmaFaa, "2pl-nowait");
+    }
+  }
+  // Oracle bottleneck study: TSO needs a timestamp per txn.
+  for (uint32_t n : {1u, 4u, 8u}) {
+    RunOne(&table, n, 0.0, txn::CcProtocolKind::kTso,
+           txn::OracleMode::kRdmaFaa, "tso + central FAA oracle");
+    RunOne(&table, n, 0.0, txn::CcProtocolKind::kTso,
+           txn::OracleMode::kLocalClock, "tso + local clocks");
+  }
+  table.Print();
+  std::printf(
+      "Claim check (paper Challenge #7 + Sec. 2): multi-master DSM-DB "
+      "scales with compute nodes under low contention (every node "
+      "writes); high skew caps scaling via aborts. The centralized FAA "
+      "timestamp generator adds a round trip per transaction and becomes "
+      "a shared hot word as nodes grow — the paper's motivation for "
+      "vector timestamps / clock sync.\n");
+  return 0;
+}

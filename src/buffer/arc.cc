@@ -1,0 +1,117 @@
+#include "buffer/arc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsmdb::buffer {
+
+std::list<uint64_t>& ArcPolicy::ListOf(Where w) {
+  switch (w) {
+    case Where::kT1:
+      return t1_;
+    case Where::kT2:
+      return t2_;
+    case Where::kB1:
+      return b1_;
+    case Where::kB2:
+      return b2_;
+  }
+  return t1_;  // unreachable
+}
+
+void ArcPolicy::OnHit(uint64_t key) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  // Case I: move to MRU of T2.
+  ListOf(it->second.where).erase(it->second.it);
+  t2_.push_front(key);
+  it->second = Entry{Where::kT2, t2_.begin()};
+}
+
+uint64_t ArcPolicy::Replace(bool hit_in_b2) {
+  const bool take_t1 =
+      !t1_.empty() && (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_));
+  if (take_t1 || t2_.empty()) {
+    assert(!t1_.empty());
+    const uint64_t victim = t1_.back();
+    t1_.pop_back();
+    resident_.erase(victim);
+    b1_.push_front(victim);
+    ghost_[victim] = Entry{Where::kB1, b1_.begin()};
+    return victim;
+  }
+  const uint64_t victim = t2_.back();
+  t2_.pop_back();
+  resident_.erase(victim);
+  b2_.push_front(victim);
+  ghost_[victim] = Entry{Where::kB2, b2_.begin()};
+  return victim;
+}
+
+std::optional<uint64_t> ArcPolicy::OnInsert(uint64_t key) {
+  std::optional<uint64_t> victim;
+  auto git = ghost_.find(key);
+  if (git != ghost_.end()) {
+    // Cases II / III: ghost hit steers the adaptation target.
+    const bool in_b2 = git->second.where == Where::kB2;
+    if (!in_b2) {
+      const size_t delta = std::max<size_t>(1, b2_.size() / std::max<size_t>(1, b1_.size()));
+      p_ = std::min(capacity_, p_ + delta);
+    } else {
+      const size_t delta = std::max<size_t>(1, b1_.size() / std::max<size_t>(1, b2_.size()));
+      p_ = p_ > delta ? p_ - delta : 0;
+    }
+    ListOf(git->second.where).erase(git->second.it);
+    ghost_.erase(git);
+    if (resident_.size() >= capacity_) victim = Replace(in_b2);
+    t2_.push_front(key);
+    resident_[key] = Entry{Where::kT2, t2_.begin()};
+    return victim;
+  }
+
+  // Case IV: brand-new key.
+  if (t1_.size() + b1_.size() == capacity_) {
+    if (t1_.size() < capacity_) {
+      const uint64_t dropped = b1_.back();
+      b1_.pop_back();
+      ghost_.erase(dropped);
+      if (resident_.size() >= capacity_) victim = Replace(false);
+    } else {
+      // |T1| == c: evict LRU of T1 without ghosting it.
+      const uint64_t v = t1_.back();
+      t1_.pop_back();
+      resident_.erase(v);
+      victim = v;
+    }
+  } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+             capacity_) {
+    if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >=
+        2 * capacity_) {
+      if (!b2_.empty()) {
+        const uint64_t dropped = b2_.back();
+        b2_.pop_back();
+        ghost_.erase(dropped);
+      }
+    }
+    if (resident_.size() >= capacity_) victim = Replace(false);
+  }
+  t1_.push_front(key);
+  resident_[key] = Entry{Where::kT1, t1_.begin()};
+  return victim;
+}
+
+void ArcPolicy::OnErase(uint64_t key) {
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ListOf(it->second.where).erase(it->second.it);
+    resident_.erase(it);
+    return;
+  }
+  auto git = ghost_.find(key);
+  if (git != ghost_.end()) {
+    ListOf(git->second.where).erase(git->second.it);
+    ghost_.erase(git);
+  }
+}
+
+}  // namespace dsmdb::buffer

@@ -1,0 +1,53 @@
+#ifndef DSMDB_BUFFER_ARC_H_
+#define DSMDB_BUFFER_ARC_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "buffer/policy.h"
+
+namespace dsmdb::buffer {
+
+/// ARC [43]: self-tuning between recency (T1) and frequency (T2) lists
+/// with ghost lists B1/B2 steering the adaptation target `p`. The highest
+/// hit rates of the classical policies on mixed workloads, but also the
+/// most per-access bookkeeping — the tension bench E6 measures.
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  explicit ArcPolicy(size_t capacity) : capacity_(capacity) {}
+
+  std::string_view name() const override { return "arc"; }
+
+  void OnHit(uint64_t key) override;
+  std::optional<uint64_t> OnInsert(uint64_t key) override;
+  void OnErase(uint64_t key) override;
+  size_t Size() const override { return resident_.size(); }
+
+  /// Adaptation target (diagnostics).
+  size_t p() const { return p_; }
+
+ private:
+  enum class Where { kT1, kT2, kB1, kB2 };
+
+  struct Entry {
+    Where where;
+    std::list<uint64_t>::iterator it;
+  };
+
+  std::list<uint64_t>& ListOf(Where w);
+  /// REPLACE(p) from the ARC paper: evicts from T1 or T2 into the ghost
+  /// lists; returns the evicted resident key.
+  uint64_t Replace(bool hit_in_b2);
+  void TrimGhosts();
+
+  size_t capacity_;
+  size_t p_ = 0;  // target size of T1
+
+  std::list<uint64_t> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<uint64_t, Entry> resident_;  // keys in T1 or T2
+  std::unordered_map<uint64_t, Entry> ghost_;     // keys in B1 or B2
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_ARC_H_

@@ -1,0 +1,287 @@
+#include "buffer/buffer_pool.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/sim_clock.h"
+
+namespace dsmdb::buffer {
+
+namespace {
+
+/// Real-time measurement of metadata/maintenance sections; charged to the
+/// simulated clock so "software overhead" competes with network time.
+class OverheadTimer {
+ public:
+  explicit OverheadTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  uint64_t StopNs() {
+    if (!enabled_) return 0;
+    const auto end = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count());
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+BufferPool::BufferPool(dsm::DsmClient* dsm, const BufferPoolOptions& options,
+                       CoherenceController* coherence)
+    : dsm_(dsm),
+      options_(options),
+      coherence_(coherence != nullptr ? coherence : &no_coherence_),
+      capacity_pages_(
+          std::max<size_t>(1, options.capacity_bytes / options.page_size)),
+      shards_(options.shards == 0 ? 1 : options.shards) {
+  const size_t per_shard =
+      std::max<size_t>(1, capacity_pages_ / shards_.size());
+  for (Shard& s : shards_) {
+    s.policy = MakePolicy(options_.policy, per_shard);
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+Status BufferPool::Read(dsm::GlobalAddress addr, void* out, size_t len) {
+  auto* dst = static_cast<char*>(out);
+  while (len > 0) {
+    const uint64_t in_page = addr.offset % options_.page_size;
+    const size_t chunk =
+        std::min<size_t>(len, options_.page_size - in_page);
+    DSMDB_RETURN_NOT_OK(ReadChunk(addr, dst, chunk));
+    addr.offset += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Write(dsm::GlobalAddress addr, const void* src,
+                         size_t len) {
+  const auto* p = static_cast<const char*>(src);
+  while (len > 0) {
+    const uint64_t in_page = addr.offset % options_.page_size;
+    const size_t chunk =
+        std::min<size_t>(len, options_.page_size - in_page);
+    DSMDB_RETURN_NOT_OK(WriteChunk(addr, p, chunk));
+    addr.offset += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
+                             size_t len) {
+  const dsm::GlobalAddress page = PageBase(addr);
+  const uint64_t key = page.Pack();
+  const size_t off = addr.offset - page.offset;
+  const rdma::CpuModel& cpu = dsm_->cluster()->compute_cpu();
+  Shard& shard = ShardFor(key);
+
+  {
+    OverheadTimer timer(options_.charge_policy_overhead);
+    shard.latch.Lock();
+    auto it = shard.pages.find(key);
+    if (it != shard.pages.end()) {
+      shard.policy->OnHit(key);
+      std::memcpy(out, it->second.data.data() + off, len);
+      shard.latch.Unlock();
+      const uint64_t meta_ns = timer.StopNs();
+      policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
+      SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    shard.latch.Unlock();
+    const uint64_t meta_ns = timer.StopNs();
+    policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
+    SimClock::Advance(meta_ns);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fetch the whole page without holding the latch.
+  Frame frame;
+  frame.data.resize(options_.page_size);
+  DSMDB_RETURN_NOT_OK(dsm_->Read(page, frame.data.data(),
+                                 options_.page_size));
+  coherence_->OnCacheInsert(page);
+
+  OverheadTimer timer(options_.charge_policy_overhead);
+  shard.latch.Lock();
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) {
+    auto victim = shard.policy->OnInsert(key);
+    it = shard.pages.emplace(key, std::move(frame)).first;
+    if (victim.has_value() && *victim != key) {
+      EvictLocked(shard, *victim);
+      it = shard.pages.find(key);  // rehash may have moved it
+    }
+  }
+  std::memcpy(out, it->second.data.data() + off, len);
+  shard.latch.Unlock();
+  const uint64_t meta_ns = timer.StopNs();
+  policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
+  SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
+  return Status::OK();
+}
+
+Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
+                              size_t len) {
+  const dsm::GlobalAddress page = PageBase(addr);
+  const uint64_t key = page.Pack();
+  const size_t off = addr.offset - page.offset;
+  const rdma::CpuModel& cpu = dsm_->cluster()->compute_cpu();
+
+  // 1. Coherence first, with no latch held: exclusivity + peer
+  //    notification may re-enter peer pools.
+  DSMDB_RETURN_NOT_OK(coherence_->OnLocalWrite(page, addr, src, len));
+
+  // 2. Write through to the DSM so one-sided readers and later cache
+  //    misses observe the new value.
+  if (options_.write_through) {
+    DSMDB_RETURN_NOT_OK(dsm_->Write(addr, src, len));
+  }
+
+  // 3. Update the local copy if the page is cached (no write-allocate).
+  OverheadTimer timer(options_.charge_policy_overhead);
+  Shard& shard = ShardFor(key);
+  shard.latch.Lock();
+  auto it = shard.pages.find(key);
+  if (it != shard.pages.end()) {
+    shard.policy->OnHit(key);
+    std::memcpy(it->second.data.data() + off, src, len);
+    if (!options_.write_through) it->second.dirty = true;
+  } else if (!options_.write_through) {
+    // Write-back mode must cache the write; fetch-free allocate requires a
+    // full-page write, otherwise fall back to write-through for this chunk.
+    shard.latch.Unlock();
+    const uint64_t ns = timer.StopNs();
+    policy_ns_.fetch_add(ns, std::memory_order_relaxed);
+    SimClock::Advance(ns);
+    return dsm_->Write(addr, src, len);
+  }
+  shard.latch.Unlock();
+  const uint64_t meta_ns = timer.StopNs();
+  policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
+  SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
+  return Status::OK();
+}
+
+void BufferPool::EvictLocked(Shard& shard, uint64_t victim_key) {
+  auto it = shard.pages.find(victim_key);
+  if (it == shard.pages.end()) return;
+  const dsm::GlobalAddress page = dsm::GlobalAddress::Unpack(victim_key);
+  if (it->second.dirty) {
+    (void)dsm_->Write(page, it->second.data.data(), it->second.data.size());
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.pages.erase(it);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  coherence_->OnCacheEvict(page);
+}
+
+Status BufferPool::FlushAll() {
+  for (Shard& shard : shards_) {
+    SpinLatchGuard g(shard.latch);
+    for (auto& [key, frame] : shard.pages) {
+      if (!frame.dirty) continue;
+      DSMDB_RETURN_NOT_OK(dsm_->Write(dsm::GlobalAddress::Unpack(key),
+                                      frame.data.data(),
+                                      frame.data.size()));
+      frame.dirty = false;
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::DropAll() {
+  const size_t per_shard =
+      std::max<size_t>(1, capacity_pages_ / shards_.size());
+  for (Shard& shard : shards_) {
+    SpinLatchGuard g(shard.latch);
+    shard.pages.clear();
+    shard.policy = MakePolicy(options_.policy, per_shard);
+  }
+}
+
+void BufferPool::Invalidate(dsm::GlobalAddress page) {
+  const uint64_t key = page.Pack();
+  Shard& shard = ShardFor(key);
+  SpinLatchGuard g(shard.latch);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) return;
+  shard.policy->OnErase(key);
+  shard.pages.erase(it);
+  invalidations_received_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BufferPool::ApplyUpdate(dsm::GlobalAddress page, std::string_view data) {
+  // `page` here is the chunk address; data replaces bytes at that address.
+  const dsm::GlobalAddress base = PageBase(page);
+  const uint64_t key = base.Pack();
+  const size_t off = page.offset - base.offset;
+  Shard& shard = ShardFor(key);
+  SpinLatchGuard g(shard.latch);
+  auto it = shard.pages.find(key);
+  if (it == shard.pages.end()) return;
+  if (off + data.size() > it->second.data.size()) return;
+  std::memcpy(it->second.data.data() + off, data.data(), data.size());
+  updates_received_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t BufferPool::HandleCoherenceRpc(std::string_view request) {
+  if (request.size() < 9) return 100;
+  const uint8_t mode = static_cast<uint8_t>(request[0]);
+  const dsm::GlobalAddress addr =
+      dsm::GlobalAddress::Unpack(DecodeFixed64(request.data() + 1));
+  if (mode == 0) {
+    Invalidate(PageBase(addr));
+    return 300;
+  }
+  const std::string_view payload = request.substr(9);
+  ApplyUpdate(addr, payload);
+  return 300 + payload.size() / 32;
+}
+
+BufferPoolStats BufferPool::Snapshot() const {
+  BufferPoolStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  s.invalidations_received =
+      invalidations_received_.load(std::memory_order_relaxed);
+  s.updates_received = updates_received_.load(std::memory_order_relaxed);
+  s.policy_ns = policy_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  writebacks_.store(0, std::memory_order_relaxed);
+  invalidations_received_.store(0, std::memory_order_relaxed);
+  updates_received_.store(0, std::memory_order_relaxed);
+  policy_ns_.store(0, std::memory_order_relaxed);
+}
+
+size_t BufferPool::ResidentPages() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    SpinLatchGuard g(const_cast<Shard&>(shard).latch);
+    total += shard.pages.size();
+  }
+  return total;
+}
+
+}  // namespace dsmdb::buffer

@@ -1,0 +1,144 @@
+#ifndef DSMDB_BUFFER_BUFFER_POOL_H_
+#define DSMDB_BUFFER_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/coherence.h"
+#include "buffer/policy.h"
+#include "common/result.h"
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::buffer {
+
+struct BufferPoolOptions {
+  /// Local cache budget; the paper's compute nodes have "a few GBs".
+  uint64_t capacity_bytes = 8ULL << 20;
+  size_t page_size = 4096;
+  size_t shards = 16;
+  PolicyKind policy = PolicyKind::kLru;
+  /// Write-through (default) pushes every write to DSM immediately —
+  /// required for coherence and for one-sided readers to see fresh data.
+  /// Write-back defers to eviction/flush (usable only single-node).
+  bool write_through = true;
+  /// Charge the measured real CPU time of page-table + policy maintenance
+  /// to simulated time (the "software overhead" of Challenge #8).
+  bool charge_policy_overhead = true;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t invalidations_received = 0;
+  uint64_t updates_received = 0;
+  uint64_t policy_ns = 0;  ///< Real metadata/maintenance time charged.
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// The compute node's local page cache over the DSM layer (Sec. 5).
+///
+/// The hierarchy is two-level: *all* data lives in remote memory; hot
+/// pages are cached locally. Pages are fixed-size aligned blocks of a
+/// memory node's region, so arbitrary byte ranges (records, index nodes)
+/// are cacheable regardless of allocation boundaries.
+///
+/// Thread-safe via sharded page tables. Coherence hooks are invoked
+/// without shard latches held (see CoherenceController).
+class BufferPool {
+ public:
+  BufferPool(dsm::DsmClient* dsm, const BufferPoolOptions& options,
+             CoherenceController* coherence = nullptr);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Reads `len` bytes at `addr` through the cache. May span pages.
+  Status Read(dsm::GlobalAddress addr, void* out, size_t len);
+
+  /// Writes `len` bytes at `addr` through the cache (and through to DSM if
+  /// write_through). Runs the coherence protocol for each touched page.
+  Status Write(dsm::GlobalAddress addr, const void* src, size_t len);
+
+  /// Writes back all dirty pages (write-back mode).
+  Status FlushAll();
+
+  /// Drops every cached page (e.g. after losing shard ownership).
+  void DropAll();
+
+  /// Coherence entry points (called from the compute node's kSvcInvalidate
+  /// handler — i.e. from a *peer's* thread).
+  void Invalidate(dsm::GlobalAddress page);
+  void ApplyUpdate(dsm::GlobalAddress page, std::string_view data);
+  /// Decodes a kSvcInvalidate request and applies it. Returns the
+  /// simulated handler cost.
+  uint64_t HandleCoherenceRpc(std::string_view request);
+
+  BufferPoolStats Snapshot() const;
+  void ResetStats();
+
+  size_t page_size() const { return options_.page_size; }
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t ResidentPages() const;
+
+  dsm::GlobalAddress PageBase(dsm::GlobalAddress addr) const {
+    return dsm::GlobalAddress{
+        addr.node, addr.offset - (addr.offset % options_.page_size)};
+  }
+
+ private:
+  struct Frame {
+    std::vector<char> data;
+    bool dirty = false;
+  };
+
+  struct Shard {
+    SpinLatch latch;
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::unordered_map<uint64_t, Frame> pages;  // key = page base Pack()
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    return shards_[(key * 0x9E3779B97F4A7C15ULL >> 32) % shards_.size()];
+  }
+
+  /// Reads one within-page chunk.
+  Status ReadChunk(dsm::GlobalAddress addr, void* out, size_t len);
+  Status WriteChunk(dsm::GlobalAddress addr, const void* src, size_t len);
+
+  /// Evicts `victim_key` from `shard` (latch held): writeback if dirty.
+  void EvictLocked(Shard& shard, uint64_t victim_key);
+
+  dsm::DsmClient* dsm_;
+  BufferPoolOptions options_;
+  CoherenceController* coherence_;
+  NoCoherence no_coherence_;
+  size_t capacity_pages_;
+  std::vector<Shard> shards_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> writebacks_{0};
+  mutable std::atomic<uint64_t> invalidations_received_{0};
+  mutable std::atomic<uint64_t> updates_received_{0};
+  mutable std::atomic<uint64_t> policy_ns_{0};
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_BUFFER_POOL_H_

@@ -1,0 +1,56 @@
+#include "buffer/clock.h"
+
+namespace dsmdb::buffer {
+
+ClockPolicy::ClockPolicy(size_t capacity)
+    : capacity_(capacity), slots_(capacity) {}
+
+void ClockPolicy::OnHit(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  slots_[it->second].referenced = true;
+}
+
+std::optional<uint64_t> ClockPolicy::OnInsert(uint64_t key) {
+  // Fast path: free slot available.
+  if (index_.size() < capacity_) {
+    for (size_t scanned = 0; scanned < capacity_; scanned++) {
+      Slot& s = slots_[hand_];
+      hand_ = (hand_ + 1) % capacity_;
+      if (!s.occupied) {
+        s = Slot{key, true, true};
+        index_[key] = (hand_ + capacity_ - 1) % capacity_;
+        return std::nullopt;
+      }
+    }
+  }
+  // Sweep: clear reference bits until an unreferenced victim is found.
+  while (true) {
+    Slot& s = slots_[hand_];
+    const size_t pos = hand_;
+    hand_ = (hand_ + 1) % capacity_;
+    if (!s.occupied) {
+      s = Slot{key, true, true};
+      index_[key] = pos;
+      return std::nullopt;
+    }
+    if (s.referenced) {
+      s.referenced = false;
+      continue;
+    }
+    const uint64_t victim = s.key;
+    index_.erase(victim);
+    s = Slot{key, true, true};
+    index_[key] = pos;
+    return victim;
+  }
+}
+
+void ClockPolicy::OnErase(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  slots_[it->second] = Slot{};
+  index_.erase(it);
+}
+
+}  // namespace dsmdb::buffer

@@ -1,0 +1,41 @@
+#ifndef DSMDB_BUFFER_CLOCK_H_
+#define DSMDB_BUFFER_CLOCK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/policy.h"
+
+namespace dsmdb::buffer {
+
+/// CLOCK (second chance): reference bits swept by a hand. Hit cost is a
+/// single bit set — the classic low-overhead approximation of LRU, which
+/// the paper's thesis predicts should shine once the hit/miss latency gap
+/// narrows to RDMA's ~10x.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(size_t capacity);
+
+  std::string_view name() const override { return "clock"; }
+
+  void OnHit(uint64_t key) override;
+  std::optional<uint64_t> OnInsert(uint64_t key) override;
+  void OnErase(uint64_t key) override;
+  size_t Size() const override { return index_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    bool occupied = false;
+    bool referenced = false;
+  };
+
+  size_t capacity_;
+  std::vector<Slot> slots_;
+  std::unordered_map<uint64_t, size_t> index_;  // key -> slot
+  size_t hand_ = 0;
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_CLOCK_H_

@@ -1,0 +1,68 @@
+#include "buffer/coherence.h"
+
+#include "common/coding.h"
+#include "common/sim_clock.h"
+#include "dsm/rpc_ids.h"
+
+namespace dsmdb::buffer {
+
+void DirectoryCoherence::OnCacheInsert(dsm::GlobalAddress page) {
+  (void)dsm_->DirRegisterSharer(page, dsm_->self());
+}
+
+void DirectoryCoherence::OnCacheEvict(dsm::GlobalAddress page) {
+  (void)dsm_->DirUnregisterSharer(page, dsm_->self());
+}
+
+std::string DirectoryCoherence::EncodeInvalidate(dsm::GlobalAddress page) {
+  std::string msg;
+  msg.push_back(0);
+  PutFixed64(&msg, page.Pack());
+  return msg;
+}
+
+std::string DirectoryCoherence::EncodeUpdate(dsm::GlobalAddress chunk,
+                                             const void* data, size_t len) {
+  std::string msg;
+  msg.push_back(1);
+  PutFixed64(&msg, chunk.Pack());
+  msg.append(static_cast<const char*>(data), len);
+  return msg;
+}
+
+Status DirectoryCoherence::OnLocalWrite(dsm::GlobalAddress page,
+                                        dsm::GlobalAddress chunk,
+                                        const void* data, size_t len) {
+  // Invalidation mode transfers exclusivity (peers drop their copies and
+  // leave the sharer set); update mode refreshes peers in place, so they
+  // stay registered for future writes.
+  Result<std::vector<uint32_t>> sharers =
+      update_based_ ? dsm_->DirPeersForUpdate(page, dsm_->self())
+                    : dsm_->DirAcquireExclusive(page, dsm_->self());
+  if (!sharers.ok()) return sharers.status();
+  if (sharers->empty()) return Status::OK();
+
+  const std::string msg = update_based_
+                              ? EncodeUpdate(chunk, data, len)
+                              : EncodeInvalidate(page);
+  // Notify all peer sharers in parallel (simulated fan-out).
+  const uint64_t t0 = SimClock::Now();
+  uint64_t max_end = t0;
+  for (uint32_t peer : *sharers) {
+    SimClock::Set(t0);
+    std::string resp;
+    // A dead peer cannot hold a stale cache, so Unavailable is fine.
+    (void)dsm_->nic().Call(peer, dsm::kSvcInvalidate, msg, &resp);
+    max_end = std::max(max_end, SimClock::Now());
+  }
+  SimClock::AdvanceTo(max_end);
+  if (update_based_) {
+    updates_sent_.fetch_add(sharers->size(), std::memory_order_relaxed);
+  } else {
+    invalidations_sent_.fetch_add(sharers->size(),
+                                  std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+}  // namespace dsmdb::buffer

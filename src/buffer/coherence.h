@@ -1,0 +1,98 @@
+#ifndef DSMDB_BUFFER_COHERENCE_H_
+#define DSMDB_BUFFER_COHERENCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::buffer {
+
+/// Software cache coherence for Figure 3b ("Cache, No Sharding"): there is
+/// no hardware coherence across compute nodes, so the buffer manager must
+/// keep caches consistent itself (Challenge #4, Approach #2).
+///
+/// The pool calls these hooks; implementations talk to the per-page
+/// directory on the owning memory node and notify peer compute nodes.
+/// IMPORTANT: hooks are invoked *without* any pool latch held, because
+/// peer notification re-enters the peer's pool.
+class CoherenceController {
+ public:
+  virtual ~CoherenceController() = default;
+  virtual std::string_view name() const = 0;
+
+  /// This node cached `page` (read miss completed).
+  virtual void OnCacheInsert(dsm::GlobalAddress page) = 0;
+
+  /// This node dropped `page` from its cache.
+  virtual void OnCacheEvict(dsm::GlobalAddress page) = 0;
+
+  /// This node is writing the bytes [chunk, chunk+len) inside `page`
+  /// (the page-aligned base). `data` is the new content of that range
+  /// (used by update-based propagation; invalidation-based ignores it).
+  virtual Status OnLocalWrite(dsm::GlobalAddress page,
+                              dsm::GlobalAddress chunk, const void* data,
+                              size_t len) = 0;
+};
+
+/// For Figure 3a/3c, where coherence is unnecessary by construction.
+class NoCoherence final : public CoherenceController {
+ public:
+  std::string_view name() const override { return "none"; }
+  void OnCacheInsert(dsm::GlobalAddress) override {}
+  void OnCacheEvict(dsm::GlobalAddress) override {}
+  Status OnLocalWrite(dsm::GlobalAddress, dsm::GlobalAddress, const void*,
+                      size_t) override {
+    return Status::OK();
+  }
+};
+
+/// Directory-based coherence. Two propagation modes (the paper's
+/// "invalidation- vs update-based" design axis):
+///  * invalidation: peers drop their stale copy (cheap message, next read
+///    re-fetches);
+///  * update: peers receive the new page image (bigger message, no
+///    subsequent miss).
+class DirectoryCoherence final : public CoherenceController {
+ public:
+  /// `cache_id` is this compute node's fabric id; peers are addressed by
+  /// the ids recorded in the directory.
+  DirectoryCoherence(dsm::DsmClient* dsm, bool update_based)
+      : dsm_(dsm), update_based_(update_based) {}
+
+  std::string_view name() const override {
+    return update_based_ ? "dir-update" : "dir-invalidate";
+  }
+
+  void OnCacheInsert(dsm::GlobalAddress page) override;
+  void OnCacheEvict(dsm::GlobalAddress page) override;
+  Status OnLocalWrite(dsm::GlobalAddress page, dsm::GlobalAddress chunk,
+                      const void* data, size_t len) override;
+
+  uint64_t InvalidationsSent() const {
+    return invalidations_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t UpdatesSent() const {
+    return updates_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Wire helpers for the compute-node side (kSvcInvalidate handler).
+  /// Request layout: byte mode (0=invalidate, 1=update) | fixed64
+  /// page.Pack() | page image (update only).
+  static std::string EncodeInvalidate(dsm::GlobalAddress page);
+  static std::string EncodeUpdate(dsm::GlobalAddress chunk,
+                                  const void* data, size_t len);
+
+ private:
+  dsm::DsmClient* dsm_;
+  bool update_based_;
+  std::atomic<uint64_t> invalidations_sent_{0};
+  std::atomic<uint64_t> updates_sent_{0};
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_COHERENCE_H_

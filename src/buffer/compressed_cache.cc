@@ -1,0 +1,178 @@
+#include "buffer/compressed_cache.h"
+
+#include <cstring>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::buffer {
+
+std::string PageCodec::Compress(const char* data, size_t len) {
+  std::string out;
+  out.reserve(len / 4);
+  size_t i = 0;
+  while (i < len) {
+    // Measure the run starting at i.
+    size_t run = 1;
+    while (i + run < len && data[i + run] == data[i] && run < 255) run++;
+    if (run >= 4) {
+      out.push_back(static_cast<char>(run));
+      out.push_back(data[i]);
+      i += run;
+      continue;
+    }
+    // Literal stretch: up to 255 bytes with no run >= 4 inside.
+    size_t lit_end = i;
+    size_t probe = i;
+    while (probe < len && probe - i < 255) {
+      size_t r = 1;
+      while (probe + r < len && data[probe + r] == data[probe] && r < 4) r++;
+      if (r >= 4) break;
+      probe += r;
+      lit_end = probe;
+    }
+    if (lit_end == i) lit_end = i + 1;
+    if (lit_end - i > 255) lit_end = i + 255;
+    out.push_back('\0');
+    out.push_back(static_cast<char>(lit_end - i));
+    out.append(data + i, lit_end - i);
+    i = lit_end;
+  }
+  return out;
+}
+
+bool PageCodec::Decompress(std::string_view compressed, char* out,
+                           size_t expected) {
+  size_t pos = 0;
+  size_t produced = 0;
+  while (pos < compressed.size()) {
+    const auto tag = static_cast<unsigned char>(compressed[pos]);
+    if (tag == 0) {
+      if (pos + 2 > compressed.size()) return false;
+      const auto lit = static_cast<unsigned char>(compressed[pos + 1]);
+      if (pos + 2 + lit > compressed.size() || produced + lit > expected) {
+        return false;
+      }
+      std::memcpy(out + produced, compressed.data() + pos + 2, lit);
+      produced += lit;
+      pos += 2 + lit;
+    } else {
+      if (pos + 2 > compressed.size() || produced + tag > expected) {
+        return false;
+      }
+      std::memset(out + produced, compressed[pos + 1], tag);
+      produced += tag;
+      pos += 2;
+    }
+  }
+  return produced == expected;
+}
+
+CompressedPageCache::CompressedPageCache(dsm::DsmClient* dsm,
+                                         const Options& options)
+    : dsm_(dsm), options_(options) {}
+
+Status CompressedPageCache::Read(dsm::GlobalAddress addr, void* out,
+                                 size_t len) {
+  auto* dst = static_cast<char*>(out);
+  while (len > 0) {
+    const uint64_t in_page = addr.offset % options_.page_size;
+    const size_t chunk = std::min<size_t>(len, options_.page_size - in_page);
+    DSMDB_RETURN_NOT_OK(ReadChunk(addr, dst, chunk));
+    addr.offset += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+  return Status::OK();
+}
+
+Status CompressedPageCache::ReadChunk(dsm::GlobalAddress addr, void* out,
+                                      size_t len) {
+  const dsm::GlobalAddress page{
+      addr.node, addr.offset - addr.offset % options_.page_size};
+  const uint64_t key = page.Pack();
+  const size_t off = addr.offset - page.offset;
+
+  {
+    SpinLatchGuard g(latch_);
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      // Hit: decompress the page, charge the decompression cost.
+      std::vector<char> image(options_.page_size);
+      if (!PageCodec::Decompress(it->second.compressed, image.data(),
+                                 image.size())) {
+        return Status::Corruption("compressed page failed to decode");
+      }
+      std::memcpy(out, image.data() + off, len);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      SimClock::Advance(static_cast<uint64_t>(
+          static_cast<double>(options_.page_size) /
+          options_.decompress_bytes_per_ns));
+      return Status::OK();
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  // Miss: fetch, compress, insert.
+  std::vector<char> image(options_.page_size);
+  DSMDB_RETURN_NOT_OK(dsm_->Read(page, image.data(), image.size()));
+  std::string compressed = PageCodec::Compress(image.data(), image.size());
+  SimClock::Advance(static_cast<uint64_t>(
+      static_cast<double>(options_.page_size) /
+      options_.compress_bytes_per_ns));
+  std::memcpy(out, image.data() + off, len);
+
+  SpinLatchGuard g(latch_);
+  if (!pages_.contains(key)) {
+    lru_.push_front(key);
+    compressed_bytes_ += compressed.size();
+    uncompressed_bytes_ += options_.page_size;
+    pages_[key] = Frame{std::move(compressed), lru_.begin()};
+    EvictToFitLocked();
+  }
+  return Status::OK();
+}
+
+void CompressedPageCache::EvictToFitLocked() {
+  while (compressed_bytes_ > options_.capacity_bytes && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = pages_.find(victim);
+    if (it != pages_.end()) {
+      compressed_bytes_ -= it->second.compressed.size();
+      uncompressed_bytes_ -= options_.page_size;
+      pages_.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void CompressedPageCache::Invalidate(dsm::GlobalAddress addr) {
+  const dsm::GlobalAddress page{
+      addr.node, addr.offset - addr.offset % options_.page_size};
+  SpinLatchGuard g(latch_);
+  auto it = pages_.find(page.Pack());
+  if (it == pages_.end()) return;
+  compressed_bytes_ -= it->second.compressed.size();
+  uncompressed_bytes_ -= options_.page_size;
+  lru_.erase(it->second.lru_it);
+  pages_.erase(it);
+}
+
+CompressedCacheStats CompressedPageCache::Snapshot() const {
+  CompressedCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  SpinLatchGuard g(latch_);
+  s.compressed_bytes = compressed_bytes_;
+  s.uncompressed_bytes = uncompressed_bytes_;
+  return s;
+}
+
+size_t CompressedPageCache::ResidentPages() const {
+  SpinLatchGuard g(latch_);
+  return pages_.size();
+}
+
+}  // namespace dsmdb::buffer

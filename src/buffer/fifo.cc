@@ -1,0 +1,27 @@
+#include "buffer/fifo.h"
+
+namespace dsmdb::buffer {
+
+std::optional<uint64_t> FifoPolicy::OnInsert(uint64_t key) {
+  resident_.insert(key);
+  queue_.push_back(key);
+  if (resident_.size() <= capacity_) return std::nullopt;
+  // Pop the oldest key that has not been lazily erased.
+  while (!queue_.empty()) {
+    const uint64_t victim = queue_.front();
+    queue_.pop_front();
+    auto it = erased_.find(victim);
+    if (it != erased_.end()) {
+      erased_.erase(it);
+      continue;
+    }
+    if (resident_.erase(victim) > 0) return victim;
+  }
+  return std::nullopt;
+}
+
+void FifoPolicy::OnErase(uint64_t key) {
+  if (resident_.erase(key) > 0) erased_.insert(key);
+}
+
+}  // namespace dsmdb::buffer

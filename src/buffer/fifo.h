@@ -1,0 +1,37 @@
+#ifndef DSMDB_BUFFER_FIFO_H_
+#define DSMDB_BUFFER_FIFO_H_
+
+#include <deque>
+#include <unordered_set>
+
+#include "buffer/policy.h"
+
+namespace dsmdb::buffer {
+
+/// First-in-first-out: the cheapest possible policy (no per-hit work at
+/// all). Baseline for the software-overhead study: it has the worst hit
+/// rate on skewed traces but zero hit-path maintenance cost.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  explicit FifoPolicy(size_t capacity) : capacity_(capacity) {}
+
+  std::string_view name() const override { return "fifo"; }
+
+  void OnHit(uint64_t key) override { (void)key; }
+
+  std::optional<uint64_t> OnInsert(uint64_t key) override;
+
+  void OnErase(uint64_t key) override;
+
+  size_t Size() const override { return resident_.size(); }
+
+ private:
+  size_t capacity_;
+  std::deque<uint64_t> queue_;
+  std::unordered_set<uint64_t> resident_;
+  std::unordered_set<uint64_t> erased_;  // lazily dropped from queue_
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_FIFO_H_

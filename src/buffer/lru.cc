@@ -1,0 +1,28 @@
+#include "buffer/lru.h"
+
+namespace dsmdb::buffer {
+
+void LruPolicy::OnHit(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  list_.splice(list_.begin(), list_, it->second);
+}
+
+std::optional<uint64_t> LruPolicy::OnInsert(uint64_t key) {
+  list_.push_front(key);
+  map_[key] = list_.begin();
+  if (map_.size() <= capacity_) return std::nullopt;
+  const uint64_t victim = list_.back();
+  list_.pop_back();
+  map_.erase(victim);
+  return victim;
+}
+
+void LruPolicy::OnErase(uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  list_.erase(it->second);
+  map_.erase(it);
+}
+
+}  // namespace dsmdb::buffer

@@ -1,0 +1,33 @@
+#ifndef DSMDB_BUFFER_LRU_H_
+#define DSMDB_BUFFER_LRU_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "buffer/policy.h"
+
+namespace dsmdb::buffer {
+
+/// Classic LRU: doubly-linked recency list plus a hash map of list
+/// iterators. Every hit splices the entry to the front — the maintenance
+/// cost the paper flags as potentially dominating with fast RDMA.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruPolicy(size_t capacity) : capacity_(capacity) {}
+
+  std::string_view name() const override { return "lru"; }
+
+  void OnHit(uint64_t key) override;
+  std::optional<uint64_t> OnInsert(uint64_t key) override;
+  void OnErase(uint64_t key) override;
+  size_t Size() const override { return map_.size(); }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> list_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_LRU_H_

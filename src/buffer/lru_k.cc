@@ -1,0 +1,44 @@
+#include "buffer/lru_k.h"
+
+namespace dsmdb::buffer {
+
+void LruKPolicy::Touch(Entry& e, uint64_t key) {
+  for (int i = kK - 1; i > 0; i--) e.history[i] = e.history[i - 1];
+  e.history[0] = ++tick_;
+  order_.erase(e.order_it);
+  e.order_it = order_.emplace(KthTime(e), key);
+}
+
+void LruKPolicy::OnHit(uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  Touch(it->second, key);
+}
+
+std::optional<uint64_t> LruKPolicy::OnInsert(uint64_t key) {
+  Entry e;
+  e.history.fill(0);  // unknown history => infinite K-distance
+  e.history[0] = ++tick_;
+  e.order_it = order_.emplace(KthTime(e), key);
+  entries_.emplace(key, e);
+
+  if (entries_.size() <= capacity_) return std::nullopt;
+  // Victim: smallest K-th access time (entries with < K references evict
+  // first, per the LRU-K paper's fallback) — but never the key we just
+  // admitted.
+  auto vit = order_.begin();
+  if (vit->second == key) ++vit;
+  const uint64_t victim = vit->second;
+  entries_.erase(victim);
+  order_.erase(vit);
+  return victim;
+}
+
+void LruKPolicy::OnErase(uint64_t key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  order_.erase(it->second.order_it);
+  entries_.erase(it);
+}
+
+}  // namespace dsmdb::buffer

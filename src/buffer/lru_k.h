@@ -1,0 +1,50 @@
+#ifndef DSMDB_BUFFER_LRU_K_H_
+#define DSMDB_BUFFER_LRU_K_H_
+
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "buffer/policy.h"
+
+namespace dsmdb::buffer {
+
+/// LRU-K [46] with K = 2: evicts the page whose K-th most recent reference
+/// is oldest, which filters out one-shot scans. Heavier bookkeeping than
+/// LRU (an ordered index keyed by the K-distance, updated on every hit) —
+/// exactly the trade bench E6 quantifies.
+class LruKPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr int kK = 2;
+
+  explicit LruKPolicy(size_t capacity) : capacity_(capacity) {}
+
+  std::string_view name() const override { return "lru-2"; }
+
+  void OnHit(uint64_t key) override;
+  std::optional<uint64_t> OnInsert(uint64_t key) override;
+  void OnErase(uint64_t key) override;
+  size_t Size() const override { return entries_.size(); }
+
+ private:
+  struct Entry {
+    /// history[0] = most recent access tick, history[K-1] = K-th.
+    std::array<uint64_t, kK> history;
+    std::multimap<uint64_t, uint64_t>::iterator order_it;
+  };
+
+  /// Key in the order index: the K-th most recent access (0 = "infinite
+  /// K-distance", evicted first).
+  uint64_t KthTime(const Entry& e) const { return e.history[kK - 1]; }
+
+  void Touch(Entry& e, uint64_t key);
+
+  size_t capacity_;
+  uint64_t tick_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::multimap<uint64_t, uint64_t> order_;  // kth-time -> key
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_LRU_K_H_

@@ -1,0 +1,50 @@
+#include "buffer/policy.h"
+
+#include "buffer/arc.h"
+#include "buffer/clock.h"
+#include "buffer/fifo.h"
+#include "buffer/lru.h"
+#include "buffer/lru_k.h"
+#include "buffer/two_q.h"
+
+namespace dsmdb::buffer {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kLru:
+      return "lru";
+    case PolicyKind::kLruK:
+      return "lru-2";
+    case PolicyKind::kTwoQ:
+      return "2q";
+    case PolicyKind::kClock:
+      return "clock";
+    case PolicyKind::kArc:
+      return "arc";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind,
+                                              size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>(capacity);
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(capacity);
+    case PolicyKind::kLruK:
+      return std::make_unique<LruKPolicy>(capacity);
+    case PolicyKind::kTwoQ:
+      return std::make_unique<TwoQPolicy>(capacity);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(capacity);
+    case PolicyKind::kArc:
+      return std::make_unique<ArcPolicy>(capacity);
+  }
+  return nullptr;
+}
+
+}  // namespace dsmdb::buffer

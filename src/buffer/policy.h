@@ -1,0 +1,59 @@
+#ifndef DSMDB_BUFFER_POLICY_H_
+#define DSMDB_BUFFER_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace dsmdb::buffer {
+
+/// Replacement policies under evaluation (Challenge #8: "research is
+/// needed to evaluate the overhead of popular buffer management policies,
+/// e.g., LRU, LRU-K, 2Q, CLOCK, and ARC").
+enum class PolicyKind {
+  kFifo,
+  kLru,
+  kLruK,   // K = 2
+  kTwoQ,
+  kClock,
+  kArc,
+};
+
+std::string_view PolicyKindName(PolicyKind kind);
+
+/// Replacement policy for one buffer-pool shard.
+///
+/// The pool owns the page table and frames; the policy mirrors the set of
+/// resident keys and decides victims. Calls are externally synchronized by
+/// the shard latch. The pool measures the *real* CPU time spent inside
+/// these calls and charges it to simulated time — that is the "software
+/// overhead" the paper says starts to matter when the hit/miss gap shrinks
+/// to RDMA's ~10x.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// A resident key was accessed.
+  virtual void OnHit(uint64_t key) = 0;
+
+  /// `key` becomes resident. If the policy is at capacity, returns the key
+  /// to evict to make room (the pool erases it); otherwise nullopt.
+  virtual std::optional<uint64_t> OnInsert(uint64_t key) = 0;
+
+  /// `key` was removed by the pool (invalidation/explicit drop).
+  virtual void OnErase(uint64_t key) = 0;
+
+  /// Number of resident keys tracked.
+  virtual size_t Size() const = 0;
+};
+
+/// Creates a policy instance with room for `capacity` resident pages.
+std::unique_ptr<ReplacementPolicy> MakePolicy(PolicyKind kind,
+                                              size_t capacity);
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_POLICY_H_

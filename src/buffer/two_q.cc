@@ -1,0 +1,74 @@
+#include "buffer/two_q.h"
+
+#include <algorithm>
+
+namespace dsmdb::buffer {
+
+TwoQPolicy::TwoQPolicy(size_t capacity)
+    : capacity_(capacity),
+      kin_(std::max<size_t>(1, capacity / 4)),
+      kout_(std::max<size_t>(1, capacity / 2)) {}
+
+void TwoQPolicy::OnHit(uint64_t key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  if (it->second.where == Where::kAm) {
+    am_.splice(am_.begin(), am_, it->second.it);
+  }
+  // Hits in A1in are deliberately ignored (2Q's cheap-hit property).
+}
+
+void TwoQPolicy::GhostInsert(uint64_t key) {
+  a1out_.push_front(key);
+  ghosts_[key] = a1out_.begin();
+  if (ghosts_.size() > kout_) {
+    const uint64_t dropped = a1out_.back();
+    a1out_.pop_back();
+    ghosts_.erase(dropped);
+  }
+}
+
+uint64_t TwoQPolicy::EvictOne() {
+  // Per 2Q: if A1in is over its share, evict its tail to ghost; otherwise
+  // evict the LRU tail of Am.
+  if (a1in_.size() > kin_ || am_.empty()) {
+    const uint64_t victim = a1in_.back();
+    a1in_.pop_back();
+    where_.erase(victim);
+    GhostInsert(victim);
+    return victim;
+  }
+  const uint64_t victim = am_.back();
+  am_.pop_back();
+  where_.erase(victim);
+  return victim;
+}
+
+std::optional<uint64_t> TwoQPolicy::OnInsert(uint64_t key) {
+  auto git = ghosts_.find(key);
+  if (git != ghosts_.end()) {
+    // Second reference within the ghost window: promote to Am.
+    a1out_.erase(git->second);
+    ghosts_.erase(git);
+    am_.push_front(key);
+    where_[key] = Entry{Where::kAm, am_.begin()};
+  } else {
+    a1in_.push_front(key);
+    where_[key] = Entry{Where::kA1in, a1in_.begin()};
+  }
+  if (where_.size() <= capacity_) return std::nullopt;
+  return EvictOne();
+}
+
+void TwoQPolicy::OnErase(uint64_t key) {
+  auto it = where_.find(key);
+  if (it == where_.end()) return;
+  if (it->second.where == Where::kA1in) {
+    a1in_.erase(it->second.it);
+  } else {
+    am_.erase(it->second.it);
+  }
+  where_.erase(it);
+}
+
+}  // namespace dsmdb::buffer

@@ -1,0 +1,54 @@
+#ifndef DSMDB_BUFFER_TWO_Q_H_
+#define DSMDB_BUFFER_TWO_Q_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "buffer/policy.h"
+
+namespace dsmdb::buffer {
+
+/// 2Q [31] (full version): new pages enter a FIFO probation queue A1in;
+/// on eviction from A1in their identity moves to ghost queue A1out; a
+/// reference while in A1out promotes the page to the main LRU queue Am.
+/// Cheap on hits in A1in (no-op, like FIFO) and resistant to scans.
+///
+/// Sizing follows the paper's recommendation: Kin = 25% of capacity,
+/// Kout = 50% of capacity (ghost entries are identity-only).
+class TwoQPolicy final : public ReplacementPolicy {
+ public:
+  explicit TwoQPolicy(size_t capacity);
+
+  std::string_view name() const override { return "2q"; }
+
+  void OnHit(uint64_t key) override;
+  std::optional<uint64_t> OnInsert(uint64_t key) override;
+  void OnErase(uint64_t key) override;
+  size_t Size() const override { return where_.size(); }
+
+ private:
+  enum class Where { kA1in, kAm };
+
+  struct Entry {
+    Where where;
+    std::list<uint64_t>::iterator it;
+  };
+
+  /// Evicts one resident page to make room; returns its key.
+  uint64_t EvictOne();
+  void GhostInsert(uint64_t key);
+
+  size_t capacity_;
+  size_t kin_;   // max A1in size
+  size_t kout_;  // max A1out size
+
+  std::list<uint64_t> a1in_;   // front = newest
+  std::list<uint64_t> am_;     // front = most recent
+  std::list<uint64_t> a1out_;  // ghost, front = newest
+  std::unordered_map<uint64_t, Entry> where_;  // resident pages
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> ghosts_;
+};
+
+}  // namespace dsmdb::buffer
+
+#endif  // DSMDB_BUFFER_TWO_Q_H_

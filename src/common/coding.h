@@ -1,0 +1,70 @@
+#ifndef DSMDB_COMMON_CODING_H_
+#define DSMDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace dsmdb {
+
+/// Little-endian fixed-width encoding helpers (RocksDB style). All buffers
+/// must have sufficient space; callers own bounds checking.
+
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+/// Reads a length-prefixed slice starting at `*pos` in `src`; advances
+/// `*pos`. Returns false on truncation.
+inline bool GetLengthPrefixed(std::string_view src, size_t* pos,
+                              std::string_view* out) {
+  if (*pos + 4 > src.size()) return false;
+  const uint32_t len = DecodeFixed32(src.data() + *pos);
+  *pos += 4;
+  if (*pos + len > src.size()) return false;
+  *out = src.substr(*pos, len);
+  *pos += len;
+  return true;
+}
+
+/// CRC-free 64-bit checksum (FNV-1a); adequate for simulated storage
+/// integrity checks.
+inline uint64_t Checksum64(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < n; i++) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_CODING_H_

@@ -1,0 +1,86 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace dsmdb {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  // Sub-bucket index: next 4 bits below the MSB.
+  const int shift = msb - 4;
+  const int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  // First kSubBuckets buckets are the linear region [0, 16).
+  const int bucket = (msb - 3) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const int msb = bucket / kSubBuckets + 3;
+  const int sub = bucket % kSubBuckets;
+  const int shift = msb - 4;
+  return ((1ULL << msb) | (static_cast<uint64_t>(sub) << shift)) +
+         ((1ULL << shift) - 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const auto target = static_cast<uint64_t>(
+      p / 100.0 * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[i];
+    if (seen > target || (seen == target && seen == count_)) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(95)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace dsmdb

@@ -1,0 +1,52 @@
+#ifndef DSMDB_COMMON_HISTOGRAM_H_
+#define DSMDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsmdb {
+
+/// Log-bucketed histogram for latency-style measurements (nanoseconds).
+///
+/// Buckets are powers-of-two sub-divided 16 ways, giving <= ~6% relative
+/// error on percentile queries while staying allocation-free after
+/// construction. Not thread-safe; use one per thread and `Merge`.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+  uint64_t Median() const { return Percentile(50.0); }
+  uint64_t P99() const { return Percentile(99.0); }
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_HISTOGRAM_H_

@@ -1,0 +1,49 @@
+#ifndef DSMDB_COMMON_LOGGING_H_
+#define DSMDB_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace dsmdb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level; messages below it are dropped.
+/// Default is kWarn so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DSMDB_LOG(level)                                              \
+  if (::dsmdb::LogLevel::k##level < ::dsmdb::GetLogLevel()) {         \
+  } else                                                              \
+    ::dsmdb::internal::LogMessage(::dsmdb::LogLevel::k##level,        \
+                                  __FILE__, __LINE__)                 \
+        .stream()
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_LOGGING_H_

@@ -1,0 +1,26 @@
+#include "common/metrics.h"
+
+namespace dsmdb {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return &counters_[name];
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter.Get();
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+}
+
+}  // namespace dsmdb

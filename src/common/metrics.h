@@ -1,0 +1,47 @@
+#ifndef DSMDB_COMMON_METRICS_H_
+#define DSMDB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dsmdb {
+
+/// A relaxed atomic counter. Copyable snapshot semantics are provided by
+/// MetricsRegistry::Snapshot().
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Named counter registry. Counters are created on first access and live
+/// for the registry's lifetime; pointer stability is guaranteed (std::map).
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it if absent.
+  /// The returned pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+
+  /// Point-in-time copy of all counter values.
+  std::map<std::string, uint64_t> Snapshot() const;
+
+  /// Resets every counter to zero.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_METRICS_H_

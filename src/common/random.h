@@ -1,0 +1,127 @@
+#ifndef DSMDB_COMMON_RANDOM_H_
+#define DSMDB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace dsmdb {
+
+/// Fast, seedable PRNG (xorshift64*). Not cryptographic; used for workload
+/// generation and randomized tests where reproducibility matters.
+class Random64 {
+ public:
+  explicit Random64(uint64_t seed = 0x2545F4914F6CDD1DULL) : state_(seed) {
+    if (state_ == 0) state_ = 0x9E3779B97F4A7C15ULL;
+  }
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipfian-distributed generator over [0, n), YCSB-style.
+///
+/// Uses the Gray et al. rejection-free inversion method with precomputed
+/// zeta values. theta=0 degenerates to uniform; theta -> 1 is maximally
+/// skewed (YCSB default is 0.99).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 7)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    assert(theta >= 0.0 && theta < 1.0);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Next zipfian sample in [0, n). Rank 0 is the hottest item; callers
+  /// typically scramble with a hash to spread hot keys over the keyspace.
+  uint64_t Next() {
+    if (theta_ == 0.0) return rng_.Uniform(n_);
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  /// Next sample scrambled with a 64-bit mix so that hot ranks are spread
+  /// uniformly across the keyspace (YCSB "scrambled zipfian").
+  uint64_t NextScrambled() {
+    uint64_t v = Next();
+    v = FnvMix(v);
+    return v % n_;
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  static uint64_t FnvMix(uint64_t v) {
+    uint64_t h = 14695981039346656037ULL;
+    for (int i = 0; i < 8; i++) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random64 rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// 64-bit finalizer (SplitMix64); good cheap hash for keys.
+inline uint64_t Hash64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_RANDOM_H_

@@ -1,0 +1,79 @@
+#ifndef DSMDB_COMMON_RESULT_H_
+#define DSMDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dsmdb {
+
+/// A value-or-status type (Arrow's `Result`, absl's `StatusOr`).
+///
+/// Usage:
+///   Result<Page> r = pool.Fetch(pid);
+///   if (!r.ok()) return r.status();
+///   Page page = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a Status (error), so
+  /// `return value;` and `return Status::NotFound();` both work.
+  Result(T value) : value_(std::move(value)) {}       // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define DSMDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define DSMDB_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  DSMDB_ASSIGN_OR_RETURN_IMPL(DSMDB_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define DSMDB_CONCAT_INNER_(a, b) a##b
+#define DSMDB_CONCAT_(a, b) DSMDB_CONCAT_INNER_(a, b)
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_RESULT_H_

@@ -1,0 +1,21 @@
+#include "common/sim_clock.h"
+
+namespace dsmdb {
+
+namespace {
+thread_local uint64_t tls_sim_now_ns = 0;
+}  // namespace
+
+uint64_t SimClock::Now() { return tls_sim_now_ns; }
+
+void SimClock::Advance(uint64_t ns) { tls_sim_now_ns += ns; }
+
+void SimClock::AdvanceTo(uint64_t t) {
+  if (t > tls_sim_now_ns) tls_sim_now_ns = t;
+}
+
+void SimClock::Reset() { tls_sim_now_ns = 0; }
+
+void SimClock::Set(uint64_t t) { tls_sim_now_ns = t; }
+
+}  // namespace dsmdb

@@ -1,0 +1,57 @@
+#ifndef DSMDB_COMMON_SIM_CLOCK_H_
+#define DSMDB_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace dsmdb {
+
+/// Per-thread simulated clock.
+///
+/// DSM-DB runs on an in-process simulated fabric: data operations execute
+/// for real on shared memory, but *time* is modeled. Every simulated device
+/// (RDMA NIC, memory-node CPU, cloud storage) charges its cost by advancing
+/// the calling thread's `SimClock`. Benchmarks report simulated time, which
+/// makes the relative shapes (who wins, crossover points) deterministic and
+/// independent of host hardware.
+///
+/// Each worker thread models one execution stream (e.g. one core of a
+/// compute node). Aggregation across threads (e.g. throughput =
+/// total_ops / max_i(sim_time_i)) is done by the benchmark driver.
+class SimClock {
+ public:
+  /// Current simulated time of the calling thread, in nanoseconds.
+  static uint64_t Now();
+
+  /// Advances the calling thread's clock by `ns`.
+  static void Advance(uint64_t ns);
+
+  /// Advances the calling thread's clock to at least `t` (no-op if already
+  /// past). Used when synchronizing with a virtual-time server.
+  static void AdvanceTo(uint64_t t);
+
+  /// Resets the calling thread's clock to zero.
+  static void Reset();
+
+  /// Sets the clock to an absolute value. Needed when modeling *parallel*
+  /// fan-out on one thread: snapshot Now(), issue each branch after
+  /// Set(snapshot), and AdvanceTo(max of branch completion times).
+  static void Set(uint64_t t);
+
+ private:
+  SimClock() = delete;
+};
+
+/// RAII scope that measures elapsed simulated time on the calling thread.
+class SimTimer {
+ public:
+  SimTimer() : start_(SimClock::Now()) {}
+  /// Simulated nanoseconds elapsed since construction.
+  uint64_t ElapsedNs() const { return SimClock::Now() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_SIM_CLOCK_H_

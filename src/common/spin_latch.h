@@ -1,0 +1,120 @@
+#ifndef DSMDB_COMMON_SPIN_LATCH_H_
+#define DSMDB_COMMON_SPIN_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace dsmdb {
+
+inline void CpuRelax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Test-and-test-and-set spin latch for very short critical sections
+/// (buffer-pool metadata, policy state). Not reentrant.
+class SpinLatch {
+ public:
+  SpinLatch() = default;
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      int spins = 0;
+      while (flag_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+        // On few-core hosts the holder may be descheduled; yield instead
+        // of burning the whole quantum.
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinLatchGuard() { latch_.Unlock(); }
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+/// Reader-writer spin latch (writer-preferring is not needed at our scale;
+/// this is a simple fair-enough design for mostly-read metadata).
+class SharedSpinLatch {
+ public:
+  SharedSpinLatch() = default;
+  SharedSpinLatch(const SharedSpinLatch&) = delete;
+  SharedSpinLatch& operator=(const SharedSpinLatch&) = delete;
+
+  void LockShared() {
+    int spins = 0;
+    while (true) {
+      int32_t v = state_.load(std::memory_order_relaxed);
+      if (v >= 0 &&
+          state_.compare_exchange_weak(v, v + 1, std::memory_order_acquire)) {
+        return;
+      }
+      CpuRelax();
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void UnlockShared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void LockExclusive() {
+    int spins = 0;
+    while (true) {
+      int32_t expected = 0;
+      if (state_.compare_exchange_weak(expected, -1,
+                                       std::memory_order_acquire)) {
+        return;
+      }
+      CpuRelax();
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void UnlockExclusive() { state_.store(0, std::memory_order_release); }
+
+ private:
+  /// -1 = writer, 0 = free, >0 = reader count.
+  std::atomic<int32_t> state_{0};
+};
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_SPIN_LATCH_H_

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace dsmdb {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfMemory:
+      return "OutOfMemory";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (msg_ != nullptr && !msg_->empty()) {
+    out += ": ";
+    out += *msg_;
+  }
+  return out;
+}
+
+}  // namespace dsmdb

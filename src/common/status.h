@@ -1,0 +1,157 @@
+#ifndef DSMDB_COMMON_STATUS_H_
+#define DSMDB_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dsmdb {
+
+/// Error codes used across DSM-DB. Kept deliberately small; subsystems
+/// attach context via the message string.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfMemory,
+  kIOError,
+  kCorruption,
+  kAborted,         ///< Transaction aborted (conflict, deadlock avoidance).
+  kBusy,            ///< Lock or resource busy; caller may retry.
+  kTimedOut,
+  kUnavailable,     ///< Node crashed / not reachable.
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a static human-readable name for `code` (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight status object, following the RocksDB/Arrow convention:
+/// functions that can fail return `Status` (or `Result<T>`), never throw.
+///
+/// `Status` is cheap to copy in the OK case (no allocation); error statuses
+/// carry a heap-allocated message.
+class Status {
+ public:
+  Status() = default;
+
+  Status(const Status& other)
+      : code_(other.code_),
+        msg_(other.msg_ == nullptr ? nullptr : new std::string(*other.msg_)) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      code_ = other.code_;
+      delete msg_;
+      msg_ = other.msg_ == nullptr ? nullptr : new std::string(*other.msg_);
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : code_(other.code_), msg_(other.msg_) {
+    other.code_ = StatusCode::kOk;
+    other.msg_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      code_ = other.code_;
+      delete msg_;
+      msg_ = other.msg_;
+      other.code_ = StatusCode::kOk;
+      other.msg_ = nullptr;
+    }
+    return *this;
+  }
+  ~Status() { delete msg_; }
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status OutOfMemory(std::string_view msg = "") {
+    return Status(StatusCode::kOutOfMemory, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(StatusCode::kBusy, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg = "") {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+
+  /// Message attached at construction; empty for OK.
+  std::string_view message() const {
+    return msg_ == nullptr ? std::string_view() : std::string_view(*msg_);
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code) {
+    if (!msg.empty()) msg_ = new std::string(msg);
+  }
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string* msg_ = nullptr;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define DSMDB_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::dsmdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef DSMDB_COMMON_THREAD_POOL_H_
+#define DSMDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsmdb {
+
+/// Fixed-size thread pool. Used for parallel data loading and for running
+/// per-compute-node worker loops in tests/benchmarks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks run FIFO across workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) on `n` dedicated threads and joins them.
+/// Simpler than ThreadPool when each worker has a distinct identity
+/// (e.g. one thread per simulated compute-node core).
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace dsmdb
+
+#endif  // DSMDB_COMMON_THREAD_POOL_H_

@@ -1,0 +1,438 @@
+#include "core/compute_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/sim_clock.h"
+#include "dsm/rpc_ids.h"
+
+namespace dsmdb::core {
+
+namespace {
+
+// One-shot op wire helpers.
+void EncodeOps(const std::vector<TxnOp>& ops,
+               const std::vector<size_t>& indices, std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(indices.size()));
+  for (size_t idx : indices) {
+    const TxnOp& op = ops[idx];
+    out->push_back(static_cast<char>(op.type));
+    PutFixed64(out, op.key);
+    if (op.type == TxnOpType::kWrite) {
+      out->append(op.value);
+    } else if (op.type == TxnOpType::kAdd) {
+      PutFixed64(out, static_cast<uint64_t>(op.delta));
+    }
+  }
+}
+
+bool DecodeOps(std::string_view req, size_t* pos, uint32_t value_size,
+               std::vector<TxnOp>* ops) {
+  if (*pos + 4 > req.size()) return false;
+  const uint32_t n = DecodeFixed32(req.data() + *pos);
+  *pos += 4;
+  ops->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    if (*pos + 9 > req.size()) return false;
+    TxnOp op;
+    op.type = static_cast<TxnOpType>(req[*pos]);
+    op.key = DecodeFixed64(req.data() + *pos + 1);
+    *pos += 9;
+    if (op.type == TxnOpType::kWrite) {
+      if (*pos + value_size > req.size()) return false;
+      op.value.assign(req.data() + *pos, value_size);
+      *pos += value_size;
+    } else if (op.type == TxnOpType::kAdd) {
+      if (*pos + 8 > req.size()) return false;
+      op.delta = static_cast<int64_t>(DecodeFixed64(req.data() + *pos));
+      *pos += 8;
+    }
+    ops->push_back(std::move(op));
+  }
+  return true;
+}
+
+/// Applies one op inside an open transaction; fills `read_out` for kRead.
+Status ApplyOp(txn::Transaction* txn, const Table& table, const TxnOp& op,
+               std::string* read_out) {
+  const txn::RecordRef ref = table.RefFor(op.key);
+  switch (op.type) {
+    case TxnOpType::kRead:
+      return txn->Read(ref, read_out);
+    case TxnOpType::kWrite:
+      return txn->Write(ref, op.value);
+    case TxnOpType::kAdd: {
+      std::string cur;
+      DSMDB_RETURN_NOT_OK(txn->Read(ref, &cur));
+      if (cur.size() < 8) return Status::Internal("record too small");
+      const int64_t balance =
+          static_cast<int64_t>(DecodeFixed64(cur.data())) + op.delta;
+      EncodeFixed64(cur.data(), static_cast<uint64_t>(balance));
+      return txn->Write(ref, cur);
+    }
+  }
+  return Status::InvalidArgument("bad op type");
+}
+
+}  // namespace
+
+ComputeNode::ComputeNode(dsm::Cluster* cluster, storage::CloudStorage* cloud,
+                         const DbOptions& options, const std::string& name,
+                         uint32_t slot)
+    : cluster_(cluster), options_(options), slot_(slot) {
+  const rdma::NodeId fid = cluster->AddComputeNode(name);
+  dsm_ = std::make_unique<dsm::DsmClient>(cluster, fid);
+
+  if (options_.architecture != Architecture::kNoCacheNoSharding) {
+    if (options_.architecture == Architecture::kCacheNoSharding) {
+      coherence_ = std::make_unique<buffer::DirectoryCoherence>(
+          dsm_.get(),
+          options_.coherence == CoherencePropagation::kUpdate);
+    }
+    pool_ = std::make_unique<buffer::BufferPool>(
+        dsm_.get(), options_.buffer, coherence_.get());
+    accessor_ = std::make_unique<txn::CachedAccessor>(pool_.get());
+  } else {
+    accessor_ = std::make_unique<txn::DirectAccessor>(dsm_.get());
+  }
+
+  oracle_ = std::make_unique<txn::TimestampOracle>(
+      dsm_.get(), options_.oracle, txn::TimestampOracle::DefaultCounter());
+
+  switch (options_.durability) {
+    case DurabilityMode::kCloudWal: {
+      log::WalOptions wopts = options_.wal;
+      wopts.stream_name = "wal/" + name;
+      wal_ = std::make_unique<log::Wal>(cloud, wopts);
+      sink_ = std::make_unique<txn::WalLogSink>(wal_.get());
+      break;
+    }
+    case DurabilityMode::kMemReplication: {
+      log::ReplicatedLogOptions ropts = options_.replicated_log;
+      ropts.name = "rlog/" + name;
+      rlog_ = std::make_unique<log::ReplicatedLog>(dsm_.get(), ropts);
+      sink_ = std::make_unique<txn::ReplicatedLogSink>(rlog_.get());
+      break;
+    }
+    case DurabilityMode::kNone:
+      sink_ = std::make_unique<txn::NoopLogSink>();
+      break;
+  }
+
+  cc_ = txn::MakeCcManager(options_.cc, dsm_.get(), accessor_.get(),
+                           oracle_.get(), sink_.get());
+
+  rdma::Fabric& fabric = cluster_->fabric();
+  fabric.RegisterRpcHandler(
+      fid, dsm::kSvcInvalidate,
+      [this](std::string_view req, std::string* resp) {
+        return HandleCoherence(req, resp);
+      });
+  fabric.RegisterRpcHandler(
+      fid, kSvcTxnExec, [this](std::string_view req, std::string* resp) {
+        return HandleExec(req, resp);
+      });
+  fabric.RegisterRpcHandler(
+      fid, kSvcTxnPrepare,
+      [this](std::string_view req, std::string* resp) {
+        return HandlePrepare(req, resp);
+      });
+  fabric.RegisterRpcHandler(
+      fid, kSvcTxnDecide, [this](std::string_view req, std::string* resp) {
+        return HandleDecide(req, resp);
+      });
+}
+
+ComputeNode::~ComputeNode() = default;
+
+void ComputeNode::EnableSharding(ShardManager* shards, const Table* table,
+                                 std::vector<rdma::NodeId> owner_fabric_ids) {
+  shards_ = shards;
+  sharded_table_ = table;
+  owner_fabric_ids_ = std::move(owner_fabric_ids);
+  seen_shard_version_.store(shards->Version(), std::memory_order_release);
+}
+
+void ComputeNode::MaybeDropCacheOnReshard() {
+  if (shards_ == nullptr || pool_ == nullptr) return;
+  const uint64_t v = shards_->Version();
+  uint64_t seen = seen_shard_version_.load(std::memory_order_acquire);
+  if (seen == v) return;
+  if (seen_shard_version_.compare_exchange_strong(seen, v)) {
+    pool_->DropAll();  // another owner may have written our old range
+    stats_.reshard_cache_drops.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<TxnResult> ComputeNode::ExecuteLocal(const Table& table,
+                                            const std::vector<TxnOp>& ops) {
+  // Shard boundaries are key-granular but caching is page-granular, so a
+  // page can hold records of several owners (false sharing). Within an
+  // ownership epoch only the owner writes its keys, so this is safe; at a
+  // reshard every execution path (local, delegated, 2PC participant) must
+  // drop the stale cache before serving newly-acquired keys.
+  MaybeDropCacheOnReshard();
+  Result<std::unique_ptr<txn::Transaction>> txn = cc_->Begin();
+  if (!txn.ok()) return txn.status();
+  TxnResult result;
+  result.reads.resize(ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    Status s = ApplyOp(txn->get(), table, ops[i], &result.reads[i]);
+    if (s.IsAborted()) return result;  // committed = false
+    if (!s.ok()) return s;
+  }
+  Status s = (*txn)->Commit();
+  if (s.IsAborted()) return result;
+  if (!s.ok()) return s;
+  result.committed = true;
+  stats_.local_txns.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<TxnResult> ComputeNode::ExecuteOneShot(const Table& table,
+                                              const std::vector<TxnOp>& ops) {
+  if (shards_ == nullptr ||
+      options_.architecture != Architecture::kCacheSharding) {
+    return ExecuteLocal(table, ops);
+  }
+  MaybeDropCacheOnReshard();
+
+  // Partition by owner.
+  std::vector<std::vector<size_t>> by_owner(owner_fabric_ids_.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    by_owner[shards_->OwnerOf(ops[i].key)].push_back(i);
+  }
+  uint32_t owners = 0;
+  uint32_t only_owner = 0;
+  for (uint32_t o = 0; o < by_owner.size(); o++) {
+    if (!by_owner[o].empty()) {
+      owners++;
+      only_owner = o;
+    }
+  }
+
+  if (owners <= 1 && (owners == 0 || only_owner == slot_)) {
+    return ExecuteLocal(table, ops);  // single shard, ours
+  }
+  if (owners == 1) {
+    // Whole-transaction delegation to the owning compute node.
+    std::string req;
+    std::vector<size_t> all(ops.size());
+    for (size_t i = 0; i < all.size(); i++) all[i] = i;
+    EncodeOps(ops, all, &req);
+    std::string resp;
+    DSMDB_RETURN_NOT_OK(dsm_->nic().Call(owner_fabric_ids_[only_owner],
+                                         kSvcTxnExec, req, &resp));
+    if (resp.empty()) return Status::Internal("bad exec response");
+    TxnResult result;
+    result.reads.resize(ops.size());
+    result.committed = resp[0] == 1;
+    if (result.committed) {
+      size_t pos = 1;
+      for (size_t i = 0; i < ops.size(); i++) {
+        if (ops[i].type != TxnOpType::kRead) continue;
+        if (pos + table.value_size() > resp.size()) {
+          return Status::Internal("short exec response");
+        }
+        result.reads[i].assign(resp.data() + pos, table.value_size());
+        pos += table.value_size();
+      }
+      stats_.delegated_txns.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+  return ExecuteTwoPc(table, ops, by_owner);
+}
+
+Result<TxnResult> ComputeNode::ExecuteTwoPc(
+    const Table& table, const std::vector<TxnOp>& ops,
+    const std::vector<std::vector<size_t>>& by_owner) {
+  stats_.two_pc_txns.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t txn_id =
+      (txn_seq_.fetch_add(1, std::memory_order_relaxed) << 10) |
+      (slot_ & 0x3FF);
+
+  TxnResult result;
+  result.reads.resize(ops.size());
+  bool all_yes = true;
+  std::unique_ptr<txn::Transaction> local_txn;
+
+  // Phase 1: PREPARE, fanned out in parallel (simulated time).
+  const uint64_t t0 = SimClock::Now();
+  uint64_t max_end = t0;
+  std::vector<uint32_t> participants;
+  for (uint32_t o = 0; o < by_owner.size(); o++) {
+    if (by_owner[o].empty()) continue;
+    participants.push_back(o);
+    SimClock::Set(t0);
+    if (o == slot_) {
+      // Local participant: run the sub-transaction in-process.
+      Result<std::unique_ptr<txn::Transaction>> txn = cc_->Begin();
+      if (!txn.ok()) return txn.status();
+      bool ok = true;
+      for (size_t idx : by_owner[o]) {
+        Status s =
+            ApplyOp(txn->get(), table, ops[idx], &result.reads[idx]);
+        if (s.IsAborted()) {
+          ok = false;
+          break;
+        }
+        if (!s.ok()) return s;
+      }
+      if (ok) {
+        local_txn = std::move(*txn);
+      } else {
+        all_yes = false;
+      }
+    } else {
+      std::string req;
+      PutFixed64(&req, txn_id);
+      EncodeOps(ops, by_owner[o], &req);
+      std::string resp;
+      Status s = dsm_->nic().Call(owner_fabric_ids_[o], kSvcTxnPrepare, req,
+                                  &resp);
+      if (!s.ok() || resp.empty() || resp[0] != 1) {
+        all_yes = false;
+      } else {
+        size_t pos = 1;
+        for (size_t idx : by_owner[o]) {
+          if (ops[idx].type != TxnOpType::kRead) continue;
+          if (pos + table.value_size() > resp.size()) {
+            return Status::Internal("short prepare response");
+          }
+          result.reads[idx].assign(resp.data() + pos, table.value_size());
+          pos += table.value_size();
+        }
+      }
+    }
+    max_end = std::max(max_end, SimClock::Now());
+  }
+  SimClock::AdvanceTo(max_end);
+
+  // Phase 2: COMMIT / ABORT decision, also fanned out.
+  const uint64_t t1 = SimClock::Now();
+  uint64_t max_end2 = t1;
+  bool commit_ok = all_yes;
+  for (uint32_t o : participants) {
+    SimClock::Set(t1);
+    if (o == slot_) {
+      if (local_txn != nullptr) {
+        Status s = all_yes ? local_txn->Commit() : local_txn->Abort();
+        if (all_yes && !s.ok()) commit_ok = false;
+      }
+    } else {
+      std::string req;
+      PutFixed64(&req, txn_id);
+      req.push_back(all_yes ? 1 : 0);
+      std::string resp;
+      Status s = dsm_->nic().Call(owner_fabric_ids_[o], kSvcTxnDecide, req,
+                                  &resp);
+      if (all_yes && (!s.ok() || resp.empty() || resp[0] != 1)) {
+        commit_ok = false;
+      }
+    }
+    max_end2 = std::max(max_end2, SimClock::Now());
+  }
+  SimClock::AdvanceTo(max_end2);
+
+  result.committed = commit_ok;
+  if (!commit_ok) {
+    stats_.two_pc_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+uint64_t ComputeNode::HandleExec(std::string_view req, std::string* resp) {
+  std::vector<TxnOp> ops;
+  size_t pos = 0;
+  if (sharded_table_ == nullptr ||
+      !DecodeOps(req, &pos, sharded_table_->value_size(), &ops)) {
+    resp->push_back(2);
+    return 500;
+  }
+  Result<TxnResult> r = ExecuteLocal(*sharded_table_, ops);
+  if (!r.ok()) {
+    resp->push_back(2);
+  } else if (!r->committed) {
+    resp->push_back(0);
+  } else {
+    resp->push_back(1);
+    for (size_t i = 0; i < ops.size(); i++) {
+      if (ops[i].type == TxnOpType::kRead) resp->append(r->reads[i]);
+    }
+  }
+  return 600 + 200 * ops.size();
+}
+
+uint64_t ComputeNode::HandlePrepare(std::string_view req,
+                                    std::string* resp) {
+  if (req.size() < 8 || sharded_table_ == nullptr) {
+    resp->push_back(0);
+    return 500;
+  }
+  const uint64_t txn_id = DecodeFixed64(req.data());
+  std::vector<TxnOp> ops;
+  size_t pos = 8;
+  if (!DecodeOps(req, &pos, sharded_table_->value_size(), &ops)) {
+    resp->push_back(0);
+    return 500;
+  }
+  MaybeDropCacheOnReshard();
+  Result<std::unique_ptr<txn::Transaction>> txn = cc_->Begin();
+  if (!txn.ok()) {
+    resp->push_back(0);
+    return 500;
+  }
+  std::vector<std::string> reads(ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    Status s = ApplyOp(txn->get(), *sharded_table_, ops[i], &reads[i]);
+    if (!s.ok()) {  // aborted or failed: vote no
+      resp->push_back(0);
+      return 600 + 200 * ops.size();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_[txn_id] = std::move(*txn);
+  }
+  resp->push_back(1);
+  for (size_t i = 0; i < ops.size(); i++) {
+    if (ops[i].type == TxnOpType::kRead) resp->append(reads[i]);
+  }
+  return 600 + 200 * ops.size();
+}
+
+uint64_t ComputeNode::HandleDecide(std::string_view req, std::string* resp) {
+  if (req.size() != 9) {
+    resp->push_back(0);
+    return 400;
+  }
+  const uint64_t txn_id = DecodeFixed64(req.data());
+  const bool commit = req[8] != 0;
+  std::unique_ptr<txn::Transaction> txn;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    auto it = pending_.find(txn_id);
+    if (it != pending_.end()) {
+      txn = std::move(it->second);
+      pending_.erase(it);
+    }
+  }
+  if (txn == nullptr) {
+    resp->push_back(0);
+    return 400;
+  }
+  const Status s = commit ? txn->Commit() : txn->Abort();
+  resp->push_back(s.ok() ? 1 : 0);
+  return 400;
+}
+
+uint64_t ComputeNode::HandleCoherence(std::string_view req,
+                                      std::string* resp) {
+  (void)resp;
+  if (pool_ == nullptr) return 100;
+  return pool_->HandleCoherenceRpc(req);
+}
+
+}  // namespace dsmdb::core

@@ -1,0 +1,165 @@
+#ifndef DSMDB_CORE_COMPUTE_NODE_H_
+#define DSMDB_CORE_COMPUTE_NODE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/coherence.h"
+#include "core/options.h"
+#include "core/sharding.h"
+#include "core/table.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "txn/cc_protocol.h"
+#include "txn/data_accessor.h"
+#include "txn/log_sink.h"
+#include "txn/timestamp_oracle.h"
+
+namespace dsmdb::core {
+
+/// Compute-node-side RPC services (2PC participant + delegation).
+inline constexpr uint32_t kSvcTxnExec = 18;
+inline constexpr uint32_t kSvcTxnPrepare = 19;
+inline constexpr uint32_t kSvcTxnDecide = 20;
+
+/// One operation of a one-shot transaction.
+enum class TxnOpType : uint8_t {
+  kRead = 0,
+  kWrite = 1,  ///< Blind full-value write.
+  kAdd = 2,    ///< Read-modify-write: adds a signed 64-bit delta to the
+               ///< first 8 bytes of the value (e.g. a balance transfer leg).
+};
+
+struct TxnOp {
+  TxnOpType type = TxnOpType::kRead;
+  uint64_t key = 0;
+  std::string value;  ///< kWrite: full payload (= table value_size).
+  int64_t delta = 0;  ///< kAdd: the increment.
+
+  static TxnOp Read(uint64_t key) { return TxnOp{TxnOpType::kRead, key, {}, 0}; }
+  static TxnOp Write(uint64_t key, std::string value) {
+    return TxnOp{TxnOpType::kWrite, key, std::move(value), 0};
+  }
+  static TxnOp Add(uint64_t key, int64_t delta) {
+    return TxnOp{TxnOpType::kAdd, key, {}, delta};
+  }
+};
+
+struct TxnResult {
+  bool committed = false;
+  /// Values of the read ops, in op order.
+  std::vector<std::string> reads;
+};
+
+struct ComputeNodeStats {
+  std::atomic<uint64_t> local_txns{0};
+  std::atomic<uint64_t> delegated_txns{0};
+  std::atomic<uint64_t> two_pc_txns{0};
+  std::atomic<uint64_t> two_pc_aborts{0};
+  std::atomic<uint64_t> reshard_cache_drops{0};
+};
+
+/// One DSM-DB compute node (Figure 2): strong CPU, small local memory.
+///
+/// Wires together, per DbOptions: a DsmClient, an optional local buffer
+/// pool with the configured coherence controller, the CC protocol, the
+/// timestamp oracle, and the durability sink. In the sharded architecture
+/// it also acts as a 2PC participant/coordinator for one-shot
+/// transactions.
+///
+/// Thread-safe: many worker threads may Begin()/ExecuteOneShot()
+/// concurrently on the same node (the paper's "local concurrency" within a
+/// compute node).
+class ComputeNode {
+ public:
+  ComputeNode(dsm::Cluster* cluster, storage::CloudStorage* cloud,
+              const DbOptions& options, const std::string& name,
+              uint32_t slot);
+  ~ComputeNode();
+
+  ComputeNode(const ComputeNode&) = delete;
+  ComputeNode& operator=(const ComputeNode&) = delete;
+
+  dsm::DsmClient& dsm() { return *dsm_; }
+  txn::CcManager& cc() { return *cc_; }
+  buffer::BufferPool* pool() { return pool_.get(); }
+  txn::TimestampOracle& oracle() { return *oracle_; }
+  txn::LogSink& log_sink() { return *sink_; }
+  log::Wal* wal() { return wal_.get(); }
+  log::ReplicatedLog* replicated_log() { return rlog_.get(); }
+  uint32_t slot() const { return slot_; }
+  rdma::NodeId fabric_id() const { return dsm_->self(); }
+  const DbOptions& options() const { return options_; }
+  ComputeNodeStats& node_stats() { return stats_; }
+
+  /// Interactive transaction (single compute node; all architectures).
+  Result<std::unique_ptr<txn::Transaction>> Begin() { return cc_->Begin(); }
+
+  /// Executes a one-shot transaction against `table`. In the sharded
+  /// architecture this routes by ownership: local execution, whole-txn
+  /// delegation to the owning node, or 2PC across owners. Returns
+  /// committed=false (not an error status) on a CC abort, so callers can
+  /// count and retry.
+  Result<TxnResult> ExecuteOneShot(const Table& table,
+                                   const std::vector<TxnOp>& ops);
+
+  /// Enables Figure 3c routing. `owner_fabric_ids[slot]` addresses each
+  /// owner. All compute nodes must be wired with the same objects.
+  void EnableSharding(ShardManager* shards, const Table* table,
+                      std::vector<rdma::NodeId> owner_fabric_ids);
+
+ private:
+  /// Runs `ops` through a local transaction; fills `out`.
+  /// Distinguishes protocol aborts (committed=false) from hard errors.
+  Result<TxnResult> ExecuteLocal(const Table& table,
+                                 const std::vector<TxnOp>& ops);
+
+  /// 2PC coordinator path for `by_owner`-partitioned ops.
+  Result<TxnResult> ExecuteTwoPc(
+      const Table& table, const std::vector<TxnOp>& ops,
+      const std::vector<std::vector<size_t>>& by_owner);
+
+  // RPC handlers (run on the calling thread, operate on this node's CC).
+  uint64_t HandleExec(std::string_view req, std::string* resp);
+  uint64_t HandlePrepare(std::string_view req, std::string* resp);
+  uint64_t HandleDecide(std::string_view req, std::string* resp);
+  uint64_t HandleCoherence(std::string_view req, std::string* resp);
+
+  void MaybeDropCacheOnReshard();
+
+  dsm::Cluster* cluster_;
+  DbOptions options_;
+  uint32_t slot_;
+
+  std::unique_ptr<dsm::DsmClient> dsm_;
+  std::unique_ptr<buffer::CoherenceController> coherence_;
+  std::unique_ptr<buffer::BufferPool> pool_;
+  std::unique_ptr<txn::DataAccessor> accessor_;
+  std::unique_ptr<txn::TimestampOracle> oracle_;
+  std::unique_ptr<log::Wal> wal_;
+  std::unique_ptr<log::ReplicatedLog> rlog_;
+  std::unique_ptr<txn::LogSink> sink_;
+  std::unique_ptr<txn::CcManager> cc_;
+
+  // Sharding state (Figure 3c).
+  ShardManager* shards_ = nullptr;
+  const Table* sharded_table_ = nullptr;
+  std::vector<rdma::NodeId> owner_fabric_ids_;
+  std::atomic<uint64_t> seen_shard_version_{0};
+
+  // 2PC participant state.
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<txn::Transaction>> pending_;
+  std::atomic<uint64_t> txn_seq_{1};
+
+  ComputeNodeStats stats_;
+};
+
+}  // namespace dsmdb::core
+
+#endif  // DSMDB_CORE_COMPUTE_NODE_H_

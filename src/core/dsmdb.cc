@@ -1,0 +1,93 @@
+#include "core/dsmdb.h"
+
+namespace dsmdb::core {
+
+std::string_view ArchitectureName(Architecture a) {
+  switch (a) {
+    case Architecture::kNoCacheNoSharding:
+      return "3a-nocache-noshard";
+    case Architecture::kCacheNoSharding:
+      return "3b-cache-noshard";
+    case Architecture::kCacheSharding:
+      return "3c-cache-shard";
+  }
+  return "?";
+}
+
+DsmDb::DsmDb(const dsm::ClusterOptions& cluster_options,
+             const DbOptions& db_options)
+    : db_options_(db_options),
+      cluster_(cluster_options),
+      cloud_(db_options.cloud) {
+  const rdma::NodeId fid = cluster_.AddComputeNode("admin");
+  admin_ = std::make_unique<dsm::DsmClient>(&cluster_, fid);
+}
+
+DsmDb::~DsmDb() = default;
+
+ComputeNode* DsmDb::AddComputeNode(const std::string& name) {
+  const uint32_t slot = static_cast<uint32_t>(compute_nodes_.size());
+  const std::string node_name =
+      name.empty() ? "cn" + std::to_string(slot) : name;
+  compute_nodes_.push_back(std::make_unique<ComputeNode>(
+      &cluster_, &cloud_, db_options_, node_name, slot));
+  return compute_nodes_.back().get();
+}
+
+Result<const Table*> DsmDb::CreateTable(const std::string& name,
+                                        const Table::Options& options) {
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table " + name);
+  }
+  const uint32_t table_id = static_cast<uint32_t>(tables_.size());
+  Result<Table> t = Table::Create(admin_.get(), table_id, options);
+  if (!t.ok()) return t.status();
+  auto owned = std::make_unique<Table>(std::move(*t));
+  const Table* ptr = owned.get();
+  tables_[name] = std::move(owned);
+  return ptr;
+}
+
+const Table* DsmDb::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Table*> DsmDb::Tables() const {
+  std::vector<const Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(table.get());
+  return out;
+}
+
+Status DsmDb::FinishSetup() {
+  if (setup_done_) return Status::OK();
+  setup_done_ = true;
+  if (db_options_.architecture != Architecture::kCacheSharding) {
+    return Status::OK();
+  }
+  if (compute_nodes_.empty()) {
+    return Status::InvalidArgument("sharding needs compute nodes");
+  }
+  std::vector<rdma::NodeId> owner_ids;
+  owner_ids.reserve(compute_nodes_.size());
+  for (const auto& cn : compute_nodes_) {
+    owner_ids.push_back(cn->fabric_id());
+  }
+  for (const auto& [name, table] : tables_) {
+    auto mgr = std::make_unique<ShardManager>(
+        table->num_keys(), static_cast<uint32_t>(compute_nodes_.size()));
+    for (const auto& cn : compute_nodes_) {
+      cn->EnableSharding(mgr.get(), table.get(), owner_ids);
+    }
+    shard_managers_[name] = std::move(mgr);
+  }
+  return Status::OK();
+}
+
+ShardManager* DsmDb::shards(const std::string& table_name) {
+  auto it = shard_managers_.find(table_name);
+  return it == shard_managers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dsmdb::core

@@ -1,0 +1,78 @@
+#ifndef DSMDB_CORE_DSMDB_H_
+#define DSMDB_CORE_DSMDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compute_node.h"
+#include "core/options.h"
+#include "core/sharding.h"
+#include "core/table.h"
+#include "dsm/cluster.h"
+#include "storage/cloud_storage.h"
+
+namespace dsmdb::core {
+
+/// The DSM-DB database façade (Figure 2): owns the simulated cluster
+/// (fabric + memory nodes), the cloud storage service, the catalog of
+/// tables, and the compute nodes.
+///
+/// Typical use:
+///
+///   core::DsmDb db(cluster_options, db_options);
+///   core::ComputeNode* cn = db.AddComputeNode();
+///   const core::Table* t = db.CreateTable("accounts", {.value_size = 64,
+///                                                      .num_keys = 1'000'000});
+///   db.FinishSetup();  // wires sharding if Figure 3c is configured
+///   auto result = cn->ExecuteOneShot(*t, ops);
+class DsmDb {
+ public:
+  DsmDb(const dsm::ClusterOptions& cluster_options,
+        const DbOptions& db_options);
+  ~DsmDb();
+
+  DsmDb(const DsmDb&) = delete;
+  DsmDb& operator=(const DsmDb&) = delete;
+
+  dsm::Cluster& cluster() { return cluster_; }
+  storage::CloudStorage& cloud() { return cloud_; }
+  const DbOptions& options() const { return db_options_; }
+  /// The DDL/admin DSM client (also usable for loading data directly).
+  dsm::DsmClient& admin() { return *admin_; }
+
+  /// Adds a compute node. Call before FinishSetup().
+  ComputeNode* AddComputeNode(const std::string& name = "");
+
+  /// Creates a table (DDL). The returned pointer is owned by the db.
+  Result<const Table*> CreateTable(const std::string& name,
+                                   const Table::Options& options);
+  const Table* GetTable(const std::string& name) const;
+  /// All tables (unordered; sort by id() for creation order).
+  std::vector<const Table*> Tables() const;
+
+  /// After all compute nodes and tables exist: wires Figure 3c sharding
+  /// (one ShardManager per table, even ranges across compute nodes).
+  /// No-op for the other architectures.
+  Status FinishSetup();
+
+  ShardManager* shards(const std::string& table_name);
+  const std::vector<std::unique_ptr<ComputeNode>>& compute_nodes() const {
+    return compute_nodes_;
+  }
+
+ private:
+  DbOptions db_options_;
+  dsm::Cluster cluster_;
+  storage::CloudStorage cloud_;
+  std::unique_ptr<dsm::DsmClient> admin_;
+  std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<ShardManager>> shard_managers_;
+  bool setup_done_ = false;
+};
+
+}  // namespace dsmdb::core
+
+#endif  // DSMDB_CORE_DSMDB_H_

@@ -1,0 +1,58 @@
+#ifndef DSMDB_CORE_OPTIONS_H_
+#define DSMDB_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "buffer/buffer_pool.h"
+#include "log/replicated_log.h"
+#include "log/wal.h"
+#include "storage/cloud_storage.h"
+#include "txn/cc_protocol.h"
+#include "txn/timestamp_oracle.h"
+
+namespace dsmdb::core {
+
+/// The three concurrency-control architectures of Figure 3.
+enum class Architecture {
+  /// (a) No cache, no sharding: every access is a one-sided verb; locks in
+  /// data; no coherence problem, maximal network traffic.
+  kNoCacheNoSharding,
+  /// (b) Cache, no sharding: local buffer pools + software cache
+  /// coherence (directory + invalidation/update).
+  kCacheNoSharding,
+  /// (c) Cache, logical sharding: each compute node owns a key range;
+  /// caches need no coherence; cross-shard transactions use 2PC.
+  kCacheSharding,
+};
+
+std::string_view ArchitectureName(Architecture a);
+
+/// Coherence propagation for Figure 3b.
+enum class CoherencePropagation { kInvalidation, kUpdate };
+
+/// Commit-log placement (Challenge #2).
+enum class DurabilityMode {
+  kNone,            ///< No logging (CC microbenchmarks).
+  kCloudWal,        ///< Approach #1: WAL on cloud storage.
+  kMemReplication,  ///< Approach #2: k-way memory-replicated log.
+};
+
+struct DbOptions {
+  Architecture architecture = Architecture::kNoCacheNoSharding;
+  txn::CcOptions cc;
+  txn::OracleMode oracle = txn::OracleMode::kRdmaFaa;
+
+  /// Local cache settings (architectures b and c).
+  buffer::BufferPoolOptions buffer;
+  CoherencePropagation coherence = CoherencePropagation::kInvalidation;
+
+  DurabilityMode durability = DurabilityMode::kNone;
+  log::WalOptions wal;
+  log::ReplicatedLogOptions replicated_log;
+  /// Simulated cloud-storage service parameters (WAL, checkpoints).
+  storage::CloudStorageOptions cloud;
+};
+
+}  // namespace dsmdb::core
+
+#endif  // DSMDB_CORE_OPTIONS_H_

@@ -1,0 +1,106 @@
+#include "core/recovery_manager.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/coding.h"
+#include "log/recovery.h"
+#include "txn/log_sink.h"
+
+namespace dsmdb::core {
+
+namespace {
+
+/// Applies one committed record-write to the rebuilt node.
+Status ApplyWrite(DsmDb* db, dsm::MemNodeId node,
+                  const txn::CommitWrite& w, uint64_t* applied) {
+  if (w.addr.node != node) return Status::OK();
+  // w.addr is the record base; the payload is the value (header follows
+  // zeroed, which is correct for freshly recovered records: locks free,
+  // versions reset).
+  DSMDB_RETURN_NOT_OK(db->admin().Write(
+      dsm::GlobalAddress{w.addr.node, w.addr.offset + 16}, w.value.data(),
+      w.value.size()));
+  (*applied)++;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<uint64_t> RecoveryManager::RecoverMemoryNode(DsmDb* db,
+                                                    dsm::MemNodeId node) {
+  if (db->options().durability == DurabilityMode::kNone) {
+    return Status::NotSupported(
+        "no durability configured: a crashed memory node's data is lost");
+  }
+
+  // 1. Restart the node if it is still down.
+  if (!db->cluster().IsMemoryNodeAlive(node)) {
+    db->cluster().RecoverMemoryNode(node);
+  }
+
+  // 2. Re-establish the table stripes at their original logical offsets.
+  std::vector<const Table*> tables = db->Tables();
+  std::sort(tables.begin(), tables.end(),
+            [](const Table* a, const Table* b) { return a->id() < b->id(); });
+  for (const Table* table : tables) {
+    const uint64_t keys_here = table->KeysPerStripe(node);
+    const uint64_t bytes =
+        keys_here == 0 ? table->record_stride()
+                       : keys_here * table->record_stride();
+    Result<dsm::GlobalAddress> stripe = db->admin().Alloc(bytes, node);
+    if (!stripe.ok()) return stripe.status();
+    if (stripe->offset != table->stripes()[node].offset) {
+      return Status::Internal(
+          "recovered stripe landed at a different offset; table stripes "
+          "were not this node's first allocations");
+    }
+  }
+
+  // 3. Replay committed writes from every compute node's log.
+  uint64_t applied = 0;
+  for (const auto& cn : db->compute_nodes()) {
+    if (cn->wal() != nullptr) {
+      Result<std::string> image =
+          db->cloud().ReadStream(cn->wal()->options().stream_name);
+      if (!image.ok()) {
+        if (image.status().IsNotFound()) continue;  // never flushed
+        return image.status();
+      }
+      Status apply_status = Status::OK();
+      Result<uint64_t> n = log::RedoRecovery::ReplayFromImage(
+          *image, [&](const log::LogRecord& rec) {
+            txn::CommitWrite w;
+            if (!txn::DecodeCommitWrite(rec.payload, &w)) {
+              apply_status = Status::Corruption("bad redo payload");
+              return;
+            }
+            Status s = ApplyWrite(db, node, w, &applied);
+            if (!s.ok()) apply_status = s;
+          });
+      if (!n.ok()) return n.status();
+      if (!apply_status.ok()) return apply_status;
+    }
+    if (cn->replicated_log() != nullptr) {
+      Result<std::vector<log::LogRecord>> records =
+          cn->replicated_log()->GatherLog();
+      if (!records.ok()) return records.status();
+      for (const log::LogRecord& rec : *records) {
+        if (rec.type != log::LogRecordType::kCommit) continue;
+        size_t pos = 0;
+        std::string_view payload(rec.payload);
+        std::string_view entry;
+        while (GetLengthPrefixed(payload, &pos, &entry)) {
+          txn::CommitWrite w;
+          if (!txn::DecodeCommitWrite(entry, &w)) {
+            return Status::Corruption("bad replicated-log payload");
+          }
+          DSMDB_RETURN_NOT_OK(ApplyWrite(db, node, w, &applied));
+        }
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace dsmdb::core

@@ -1,0 +1,64 @@
+#include "core/sharding.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dsmdb::core {
+
+ShardManager::ShardManager(uint64_t num_keys, uint32_t num_owners)
+    : num_keys_(num_keys), num_owners_(num_owners == 0 ? 1 : num_owners) {
+  RangeMap map;
+  const uint64_t per = (num_keys_ + num_owners_ - 1) / num_owners_;
+  for (uint32_t i = 0; i < num_owners_; i++) {
+    const uint64_t begin = std::min<uint64_t>(i * per, num_keys_);
+    const uint64_t end = std::min<uint64_t>(begin + per, num_keys_);
+    map.push_back(Range{begin, end, i});
+  }
+  map_ = std::make_shared<const RangeMap>(std::move(map));
+}
+
+uint32_t ShardManager::OwnerOf(uint64_t key) const {
+  std::shared_ptr<const RangeMap> map;
+  {
+    SpinLatchGuard g(latch_);
+    map = map_;
+  }
+  // Ranges are sorted by begin; binary search the covering range.
+  auto it = std::upper_bound(
+      map->begin(), map->end(), key,
+      [](uint64_t k, const Range& r) { return k < r.begin; });
+  assert(it != map->begin());
+  --it;
+  assert(key >= it->begin && key < it->end);
+  return it->owner;
+}
+
+uint64_t ShardManager::UpdateRanges(std::vector<Range> ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  auto next = std::make_shared<const RangeMap>(std::move(ranges));
+  std::shared_ptr<const RangeMap> old;
+  {
+    SpinLatchGuard g(latch_);
+    old = map_;
+    map_ = next;
+  }
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  // Count keys whose ownership changed (metadata-only churn).
+  uint64_t moved = 0;
+  for (const Range& r : *next) {
+    for (const Range& o : *old) {
+      const uint64_t lo = std::max(r.begin, o.begin);
+      const uint64_t hi = std::min(r.end, o.end);
+      if (lo < hi && r.owner != o.owner) moved += hi - lo;
+    }
+  }
+  return moved;
+}
+
+std::vector<ShardManager::Range> ShardManager::CurrentRanges() const {
+  SpinLatchGuard g(latch_);
+  return *map_;
+}
+
+}  // namespace dsmdb::core

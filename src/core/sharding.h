@@ -1,0 +1,63 @@
+#ifndef DSMDB_CORE_SHARDING_H_
+#define DSMDB_CORE_SHARDING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spin_latch.h"
+
+namespace dsmdb::core {
+
+/// Logical sharding for Figure 3c: each compute node is *responsible* for
+/// a key range, but the data itself stays in the DSM layer. Because
+/// sharding is metadata-only, resharding means swapping this map — no data
+/// movement — which is the paper's argument for DSM-DB's skew resilience
+/// ("only the metadata is copied ... the obsolete data from the old
+/// compute nodes can be recycled asynchronously").
+///
+/// The map is an ordered list of range boundaries over the dense key
+/// space. Thread-safe snapshot semantics: readers grab an immutable
+/// shared_ptr; UpdateRanges swaps it atomically.
+class ShardManager {
+ public:
+  struct Range {
+    uint64_t begin;  ///< inclusive
+    uint64_t end;    ///< exclusive
+    uint32_t owner;  ///< compute-node slot (0..num_owners-1)
+  };
+
+  /// Even partition of [0, num_keys) across `num_owners`.
+  ShardManager(uint64_t num_keys, uint32_t num_owners);
+
+  /// Owner of `key` under the current map.
+  uint32_t OwnerOf(uint64_t key) const;
+
+  /// Installs a new range map (logical resharding). Returns the number of
+  /// keys whose owner changed (the amount of *metadata* movement).
+  uint64_t UpdateRanges(std::vector<Range> ranges);
+
+  /// Rebuilds an even partition, rotated so that `hot_start`'s range is
+  /// split more finely — helper for skew-shift experiments.
+  std::vector<Range> CurrentRanges() const;
+
+  uint64_t num_keys() const { return num_keys_; }
+  uint32_t num_owners() const { return num_owners_; }
+  uint64_t Version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  using RangeMap = std::vector<Range>;
+
+  uint64_t num_keys_;
+  uint32_t num_owners_;
+  mutable SpinLatch latch_;
+  std::shared_ptr<const RangeMap> map_;
+  std::atomic<uint64_t> version_{1};
+};
+
+}  // namespace dsmdb::core
+
+#endif  // DSMDB_CORE_SHARDING_H_

@@ -1,0 +1,46 @@
+#include "core/table.h"
+
+#include <string>
+
+namespace dsmdb::core {
+
+Result<Table> Table::Create(dsm::DsmClient* dsm, uint32_t table_id,
+                            const Options& options) {
+  if (options.num_keys == 0) {
+    return Status::InvalidArgument("table needs at least one key");
+  }
+  Table t;
+  t.id_ = table_id;
+  t.value_size_ = options.value_size;
+  t.num_keys_ = options.num_keys;
+  t.stride_ = txn::RecordStride(options.value_size);
+
+  const uint32_t m = dsm->cluster()->num_memory_nodes();
+  t.stripes_.resize(m);
+  // Zero an entire stripe in bounded chunks so record headers (lock,
+  // version) start clean even on recycled slab memory.
+  std::string zeros(64 * 1024, '\0');
+  for (uint32_t node = 0; node < m; node++) {
+    const uint64_t keys_here = (options.num_keys + m - 1 - node) / m;
+    if (keys_here == 0) {
+      // Still allocate a minimal stripe so RefFor stays uniform.
+      Result<dsm::GlobalAddress> base =
+          dsm->Alloc(t.stride_, static_cast<dsm::MemNodeId>(node));
+      if (!base.ok()) return base.status();
+      t.stripes_[node] = *base;
+      continue;
+    }
+    const uint64_t bytes = keys_here * t.stride_;
+    Result<dsm::GlobalAddress> base =
+        dsm->Alloc(bytes, static_cast<dsm::MemNodeId>(node));
+    if (!base.ok()) return base.status();
+    t.stripes_[node] = *base;
+    for (uint64_t off = 0; off < bytes; off += zeros.size()) {
+      const uint64_t n = std::min<uint64_t>(zeros.size(), bytes - off);
+      DSMDB_RETURN_NOT_OK(dsm->Write(base->Plus(off), zeros.data(), n));
+    }
+  }
+  return t;
+}
+
+}  // namespace dsmdb::core

@@ -1,0 +1,76 @@
+#ifndef DSMDB_CORE_TABLE_H_
+#define DSMDB_CORE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+#include "txn/record_format.h"
+
+namespace dsmdb::core {
+
+/// A fixed-schema OLTP table stored in the DSM layer.
+///
+/// Records are fixed-size (lock + version header, then `value_size` bytes
+/// of payload — see txn/record_format.h) with a dense uint64 primary key
+/// in [0, num_keys). Storage is striped round-robin across all memory
+/// nodes at record granularity, so load spreads evenly and no single
+/// memory node is the table's hot spot.
+///
+/// Non-dense keys are served by the index module (ShermanBTree / RaceHash)
+/// mapping arbitrary keys to record slots.
+///
+/// Table is a value type: create once, then hand copies to every compute
+/// node (the metadata is immutable after creation).
+class Table {
+ public:
+  struct Options {
+    uint32_t value_size = 64;
+    uint64_t num_keys = 0;
+  };
+
+  /// Allocates the table's stripes on every memory node and zeroes the
+  /// record headers.
+  static Result<Table> Create(dsm::DsmClient* dsm, uint32_t table_id,
+                              const Options& options);
+
+  Table() = default;
+
+  uint32_t id() const { return id_; }
+  uint32_t value_size() const { return value_size_; }
+  uint64_t num_keys() const { return num_keys_; }
+  uint64_t record_stride() const { return stride_; }
+
+  /// The record slot for `key`. Precondition: key < num_keys().
+  txn::RecordRef RefFor(uint64_t key) const {
+    const uint32_t node = static_cast<uint32_t>(key % stripes_.size());
+    const uint64_t slot = key / stripes_.size();
+    return txn::RecordRef{stripes_[node].Plus(slot * stride_), value_size_};
+  }
+
+  /// The memory node storing `key` (for offload targeting).
+  dsm::MemNodeId HomeNode(uint64_t key) const {
+    return static_cast<dsm::MemNodeId>(key % stripes_.size());
+  }
+
+  /// Per-memory-node stripe base addresses (index = memory node id).
+  const std::vector<dsm::GlobalAddress>& stripes() const { return stripes_; }
+  /// Records stored on one memory node's stripe.
+  uint64_t KeysPerStripe(uint32_t node) const {
+    return (num_keys_ + stripes_.size() - 1 - node) / stripes_.size();
+  }
+
+ private:
+  uint32_t id_ = 0;
+  uint32_t value_size_ = 0;
+  uint64_t num_keys_ = 0;
+  uint64_t stride_ = 0;
+  std::vector<dsm::GlobalAddress> stripes_;
+};
+
+}  // namespace dsmdb::core
+
+#endif  // DSMDB_CORE_TABLE_H_

@@ -1,0 +1,137 @@
+#include "dsm/allocator.h"
+
+#include <algorithm>
+
+namespace dsmdb::dsm {
+
+ExtentAllocator::ExtentAllocator(uint64_t capacity, uint64_t reserve_prefix)
+    : capacity_(capacity) {
+  if (reserve_prefix < 8) reserve_prefix = 8;
+  reserve_prefix = AlignUp(reserve_prefix);
+  if (reserve_prefix < capacity) {
+    free_by_offset_[reserve_prefix] = capacity - reserve_prefix;
+  }
+  stats_.capacity_bytes = capacity;
+  stats_.reserved_bytes = reserve_prefix;
+}
+
+Result<uint64_t> ExtentAllocator::Alloc(uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("zero-size alloc");
+  size = AlignUp(size);
+  std::lock_guard<std::mutex> lk(mu_);
+  // First fit in offset order keeps low addresses dense.
+  for (auto it = free_by_offset_.begin(); it != free_by_offset_.end(); ++it) {
+    if (it->second >= size) {
+      const uint64_t offset = it->first;
+      const uint64_t remaining = it->second - size;
+      free_by_offset_.erase(it);
+      if (remaining > 0) free_by_offset_[offset + size] = remaining;
+      live_[offset] = size;
+      stats_.allocated_bytes += size;
+      stats_.alloc_calls++;
+      return offset;
+    }
+  }
+  stats_.failed_allocs++;
+  return Status::OutOfMemory("extent allocator exhausted");
+}
+
+Status ExtentAllocator::Free(uint64_t offset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    return Status::InvalidArgument("free of unallocated offset");
+  }
+  uint64_t size = it->second;
+  live_.erase(it);
+  stats_.allocated_bytes -= size;
+  stats_.free_calls++;
+
+  // Insert and coalesce with neighbors.
+  auto next = free_by_offset_.lower_bound(offset);
+  if (next != free_by_offset_.end() && offset + size == next->first) {
+    size += next->second;
+    next = free_by_offset_.erase(next);
+  }
+  if (next != free_by_offset_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      prev->second += size;
+      return Status::OK();
+    }
+  }
+  free_by_offset_[offset] = size;
+  return Status::OK();
+}
+
+AllocatorStats ExtentAllocator::GetStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  AllocatorStats s = stats_;
+  uint64_t total_free = 0;
+  uint64_t largest = 0;
+  for (const auto& [off, sz] : free_by_offset_) {
+    total_free += sz;
+    largest = std::max(largest, sz);
+  }
+  s.external_fragmentation =
+      total_free == 0 ? 0.0
+                      : 1.0 - static_cast<double>(largest) /
+                                  static_cast<double>(total_free);
+  return s;
+}
+
+SlabAllocator::SlabAllocator(ExtentAllocator* extents) : extents_(extents) {}
+
+int SlabAllocator::ClassIndex(uint64_t size) {
+  if (size > kMaxClass) return -1;
+  uint64_t cls = kMinClass;
+  int idx = 0;
+  while (cls < size) {
+    cls <<= 1;
+    idx++;
+  }
+  return idx;
+}
+
+Result<uint64_t> SlabAllocator::Alloc(uint64_t size) {
+  if (size == 0) return Status::InvalidArgument("zero-size alloc");
+  const int idx = ClassIndex(size);
+  if (idx < 0) return extents_->Alloc(size);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  SizeClass& sc = classes_[idx];
+  if (sc.free_slots.empty()) {
+    // Carve a new chunk into slots of this class.
+    Result<uint64_t> chunk = extents_->Alloc(kChunkBytes);
+    if (!chunk.ok()) return chunk.status();
+    const uint64_t slot_size = ClassSize(idx);
+    for (uint64_t off = 0; off + slot_size <= kChunkBytes; off += slot_size) {
+      sc.free_slots.push_back(*chunk + off);
+    }
+  }
+  const uint64_t slot = sc.free_slots.back();
+  sc.free_slots.pop_back();
+  slab_allocated_ += ClassSize(idx);
+  slab_alloc_calls_++;
+  return slot;
+}
+
+Status SlabAllocator::Free(uint64_t offset, uint64_t size) {
+  const int idx = ClassIndex(size);
+  if (idx < 0) return extents_->Free(offset);
+  std::lock_guard<std::mutex> lk(mu_);
+  classes_[idx].free_slots.push_back(offset);
+  slab_allocated_ -= ClassSize(idx);
+  slab_free_calls_++;
+  return Status::OK();
+}
+
+AllocatorStats SlabAllocator::GetStats() const {
+  AllocatorStats s = extents_->GetStats();
+  std::lock_guard<std::mutex> lk(mu_);
+  s.alloc_calls += slab_alloc_calls_;
+  s.free_calls += slab_free_calls_;
+  return s;
+}
+
+}  // namespace dsmdb::dsm

@@ -1,0 +1,103 @@
+#ifndef DSMDB_DSM_ALLOCATOR_H_
+#define DSMDB_DSM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dsmdb::dsm {
+
+/// Statistics shared by the DSM allocators (Challenge #1 / bench E12).
+struct AllocatorStats {
+  uint64_t allocated_bytes = 0;   ///< Bytes handed out and not yet freed.
+  uint64_t reserved_bytes = 0;    ///< Bytes carved out of the region.
+  uint64_t capacity_bytes = 0;
+  uint64_t alloc_calls = 0;
+  uint64_t free_calls = 0;
+  uint64_t failed_allocs = 0;
+  /// External fragmentation: 1 - largest_free_extent / total_free.
+  double external_fragmentation = 0.0;
+};
+
+/// First-fit extent allocator over one giant contiguous region, managed
+/// entirely in user space as the paper suggests (citing CoRM [57]):
+/// "DSM-DB can allocate a giant continuous memory space and keep track of
+/// memory usage in user space."
+///
+/// Free extents are kept in an offset-ordered map and coalesced on free.
+/// Thread-safe. Offset 0 is reserved (never handed out) so that a zero
+/// offset can serve as a null address.
+class ExtentAllocator {
+ public:
+  /// Manages offsets [reserve_prefix, capacity). `reserve_prefix` must be
+  /// at least 8 so offset 0 stays invalid.
+  explicit ExtentAllocator(uint64_t capacity, uint64_t reserve_prefix = 64);
+
+  ExtentAllocator(const ExtentAllocator&) = delete;
+  ExtentAllocator& operator=(const ExtentAllocator&) = delete;
+
+  /// Allocates `size` bytes, 8-byte aligned. Returns the offset.
+  Result<uint64_t> Alloc(uint64_t size);
+
+  /// Frees a previously allocated extent. The size must match the
+  /// allocation (sizes are also tracked internally and validated).
+  Status Free(uint64_t offset);
+
+  AllocatorStats GetStats() const;
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  static uint64_t AlignUp(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
+
+  mutable std::mutex mu_;
+  uint64_t capacity_;
+  std::map<uint64_t, uint64_t> free_by_offset_;  // offset -> size
+  std::map<uint64_t, uint64_t> live_;            // offset -> size
+  AllocatorStats stats_;
+};
+
+/// Slab allocator layered on ExtentAllocator for small objects: size
+/// classes carve 64 KiB chunks into fixed slots, eliminating external
+/// fragmentation for the record-sized allocations an OLTP database makes.
+/// Falls through to the extent allocator for large sizes. Thread-safe.
+class SlabAllocator {
+ public:
+  explicit SlabAllocator(ExtentAllocator* extents);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  Result<uint64_t> Alloc(uint64_t size);
+  Status Free(uint64_t offset, uint64_t size);
+
+  AllocatorStats GetStats() const;
+
+  /// Size classes: 64, 128, 256, ..., 4096 bytes.
+  static constexpr uint64_t kMinClass = 64;
+  static constexpr uint64_t kMaxClass = 4096;
+  static constexpr uint64_t kChunkBytes = 64 * 1024;
+
+ private:
+  static int ClassIndex(uint64_t size);
+  static uint64_t ClassSize(int idx) { return kMinClass << idx; }
+  static constexpr int kNumClasses = 7;  // 64 << 6 == 4096
+
+  struct SizeClass {
+    std::vector<uint64_t> free_slots;
+  };
+
+  ExtentAllocator* extents_;
+  mutable std::mutex mu_;
+  SizeClass classes_[kNumClasses];
+  uint64_t slab_allocated_ = 0;
+  uint64_t slab_alloc_calls_ = 0;
+  uint64_t slab_free_calls_ = 0;
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_ALLOCATOR_H_

@@ -1,0 +1,69 @@
+#include "dsm/cluster.h"
+
+#include <cassert>
+
+namespace dsmdb::dsm {
+
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options), fabric_(options.network) {
+  memory_nodes_.resize(options_.num_memory_nodes);
+  mem_fabric_ids_.resize(options_.num_memory_nodes);
+  for (uint32_t i = 0; i < options_.num_memory_nodes; i++) {
+    const rdma::NodeId fid =
+        fabric_.AddNode("mem" + std::to_string(i),
+                        options_.memory_node.cpu_cores,
+                        options_.memory_node.cpu_speed_factor);
+    mem_fabric_ids_[i] = fid;
+    memory_nodes_[i] = std::make_unique<MemoryNode>(
+        &fabric_, fid, static_cast<MemNodeId>(i), options_.memory_node);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+MemoryNode* Cluster::memory_node(MemNodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(id < memory_nodes_.size());
+  return memory_nodes_[id].get();
+}
+
+rdma::NodeId Cluster::MemFabricId(MemNodeId id) const {
+  assert(id < mem_fabric_ids_.size());
+  return mem_fabric_ids_[id];
+}
+
+uint32_t Cluster::MemRkey(MemNodeId id) const {
+  (void)id;
+  return 0;  // The giant region is always the node's first registration.
+}
+
+rdma::NodeId Cluster::AddComputeNode(const std::string& name,
+                                     uint32_t cores) {
+  return fabric_.AddNode(name, cores, /*cpu_speed_factor=*/1.0);
+}
+
+void Cluster::CrashMemoryNode(MemNodeId id) {
+  std::unique_ptr<MemoryNode> dead;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(id < memory_nodes_.size());
+    fabric_.CrashNode(mem_fabric_ids_[id]);
+    dead = std::move(memory_nodes_[id]);
+  }
+  // MemoryNode destruction outside the lock: its DRAM contents are gone.
+}
+
+void Cluster::RecoverMemoryNode(MemNodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(id < memory_nodes_.size());
+  assert(memory_nodes_[id] == nullptr && "recovering a live node");
+  fabric_.RecoverNode(mem_fabric_ids_[id]);
+  memory_nodes_[id] = std::make_unique<MemoryNode>(
+      &fabric_, mem_fabric_ids_[id], id, options_.memory_node);
+}
+
+bool Cluster::IsMemoryNodeAlive(MemNodeId id) const {
+  return fabric_.IsAlive(mem_fabric_ids_[id]);
+}
+
+}  // namespace dsmdb::dsm

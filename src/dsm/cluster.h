@@ -1,0 +1,76 @@
+#ifndef DSMDB_DSM_CLUSTER_H_
+#define DSMDB_DSM_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dsm/gaddr.h"
+#include "dsm/memory_node.h"
+#include "rdma/fabric.h"
+#include "rdma/network_model.h"
+
+namespace dsmdb::dsm {
+
+/// Cluster construction parameters (Figure 2's deployment knobs).
+struct ClusterOptions {
+  uint32_t num_memory_nodes = 2;
+  MemoryNode::Options memory_node;
+  rdma::NetworkModel network;
+  /// Cost model for compute-node-local work (buffer copies, tuple
+  /// processing); memory-node CPU speed lives in memory_node.
+  rdma::CpuModel compute_cpu;
+};
+
+/// Owns the simulated fabric and the DSM layer's memory nodes, and binds
+/// logical memory-node ids to fabric nodes. Compute nodes attach via
+/// `AddComputeNode` and talk to the DSM through `DsmClient`.
+///
+/// Failure injection: `CrashMemoryNode` drops a node (its DRAM contents and
+/// registered regions are lost); `RecoverMemoryNode` brings up a fresh,
+/// empty replacement bound to the same logical id — the paper's motivation
+/// for logical addressing (Challenge #1).
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  rdma::Fabric& fabric() { return fabric_; }
+  const ClusterOptions& options() const { return options_; }
+  const rdma::CpuModel& compute_cpu() const { return options_.compute_cpu; }
+
+  uint32_t num_memory_nodes() const { return options_.num_memory_nodes; }
+
+  /// The memory node currently serving logical id `id`; nullptr while
+  /// crashed.
+  MemoryNode* memory_node(MemNodeId id);
+
+  /// Fabric id bound to logical memory node `id` (stable across recovery).
+  rdma::NodeId MemFabricId(MemNodeId id) const;
+
+  /// rkey of the node's giant region (0 by construction, but exposed so
+  /// callers never hard-code it).
+  uint32_t MemRkey(MemNodeId id) const;
+
+  /// Registers a compute node on the fabric; returns its fabric id.
+  rdma::NodeId AddComputeNode(const std::string& name, uint32_t cores = 32);
+
+  void CrashMemoryNode(MemNodeId id);
+  void RecoverMemoryNode(MemNodeId id);
+  bool IsMemoryNodeAlive(MemNodeId id) const;
+
+ private:
+  ClusterOptions options_;
+  rdma::Fabric fabric_;
+  mutable std::mutex mu_;
+  std::vector<rdma::NodeId> mem_fabric_ids_;
+  std::vector<std::unique_ptr<MemoryNode>> memory_nodes_;
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_CLUSTER_H_

@@ -1,0 +1,64 @@
+#include "dsm/directory.h"
+
+#include <cassert>
+
+namespace dsmdb::dsm {
+
+namespace {
+std::vector<uint32_t> BitmapToIds(uint64_t bitmap) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < 64; i++) {
+    if ((bitmap >> i) & 1) out.push_back(i);
+  }
+  return out;
+}
+}  // namespace
+
+void Directory::RegisterSharer(uint64_t page_id, uint32_t sharer) {
+  assert(sharer < 64);
+  std::lock_guard<std::mutex> lk(mu_);
+  sharers_[page_id] |= (1ULL << sharer);
+}
+
+void Directory::UnregisterSharer(uint64_t page_id, uint32_t sharer) {
+  assert(sharer < 64);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sharers_.find(page_id);
+  if (it == sharers_.end()) return;
+  it->second &= ~(1ULL << sharer);
+  if (it->second == 0) sharers_.erase(it);
+}
+
+std::vector<uint32_t> Directory::AcquireExclusive(uint64_t page_id,
+                                                  uint32_t writer) {
+  assert(writer < 64);
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t& bitmap = sharers_[page_id];
+  const uint64_t others = bitmap & ~(1ULL << writer);
+  bitmap = 1ULL << writer;
+  return BitmapToIds(others);
+}
+
+std::vector<uint32_t> Directory::PeersForUpdate(uint64_t page_id,
+                                                uint32_t requester) {
+  assert(requester < 64);
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t& bitmap = sharers_[page_id];
+  const uint64_t others = bitmap & ~(1ULL << requester);
+  bitmap |= 1ULL << requester;
+  return BitmapToIds(others);
+}
+
+std::vector<uint32_t> Directory::Sharers(uint64_t page_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sharers_.find(page_id);
+  return it == sharers_.end() ? std::vector<uint32_t>{}
+                              : BitmapToIds(it->second);
+}
+
+size_t Directory::NumTrackedPages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sharers_.size();
+}
+
+}  // namespace dsmdb::dsm

@@ -1,0 +1,49 @@
+#ifndef DSMDB_DSM_DIRECTORY_H_
+#define DSMDB_DSM_DIRECTORY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dsmdb::dsm {
+
+/// Cache-coherence directory hosted on each memory node (Challenge #4,
+/// Approach #2: "a software-level cache coherence protocol is needed").
+///
+/// Tracks, per page, the set of compute nodes caching it (bitmap, up to 64
+/// compute nodes). A writer acquires exclusive ownership and learns which
+/// sharers must be invalidated/updated; the writer performs those
+/// notifications itself over the fabric.
+class Directory {
+ public:
+  /// Adds `sharer` to the page's sharer set.
+  void RegisterSharer(uint64_t page_id, uint32_t sharer);
+
+  /// Removes `sharer` (e.g. on cache eviction).
+  void UnregisterSharer(uint64_t page_id, uint32_t sharer);
+
+  /// Transfers the page to exclusive ownership of `writer`: returns the ids
+  /// of all *other* current sharers (to be invalidated or updated by the
+  /// caller) and resets the sharer set to {writer}.
+  std::vector<uint32_t> AcquireExclusive(uint64_t page_id, uint32_t writer);
+
+  /// Sharers of the page other than `requester`, leaving the sharer set
+  /// untouched (update-based coherence: peers keep their copies, so they
+  /// stay registered). Also registers `requester`.
+  std::vector<uint32_t> PeersForUpdate(uint64_t page_id,
+                                       uint32_t requester);
+
+  /// Current sharers of a page (diagnostics / tests).
+  std::vector<uint32_t> Sharers(uint64_t page_id) const;
+
+  size_t NumTrackedPages() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, uint64_t> sharers_;  // page -> bitmap
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_DIRECTORY_H_

@@ -1,0 +1,185 @@
+#include "dsm/dsm_client.h"
+
+#include "common/coding.h"
+#include "dsm/rpc_ids.h"
+
+namespace dsmdb::dsm {
+
+DsmClient::DsmClient(Cluster* cluster, rdma::NodeId self)
+    : cluster_(cluster), nic_(&cluster->fabric(), self) {}
+
+rdma::RemotePtr DsmClient::ToRemote(GlobalAddress addr) const {
+  return rdma::RemotePtr{cluster_->MemFabricId(addr.node),
+                         cluster_->MemRkey(addr.node), addr.offset};
+}
+
+Result<GlobalAddress> DsmClient::Alloc(uint64_t size, MemNodeId node) {
+  if (node == kAnyNode) {
+    node = static_cast<MemNodeId>(
+        alloc_rr_.fetch_add(1, std::memory_order_relaxed) %
+        cluster_->num_memory_nodes());
+  }
+  if (node >= cluster_->num_memory_nodes()) {
+    return Status::InvalidArgument("bad memory node id");
+  }
+  std::string req;
+  PutFixed64(&req, size);
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(
+      nic_.Call(cluster_->MemFabricId(node), kSvcAlloc, req, &resp));
+  if (resp.size() != 9 || resp[0] != 1) {
+    return Status::OutOfMemory("DSM alloc failed on node " +
+                               std::to_string(node));
+  }
+  return GlobalAddress{node, DecodeFixed64(resp.data() + 1)};
+}
+
+Status DsmClient::Free(GlobalAddress addr, uint64_t size) {
+  std::string req;
+  PutFixed64(&req, addr.offset);
+  PutFixed64(&req, size);
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(
+      nic_.Call(cluster_->MemFabricId(addr.node), kSvcFree, req, &resp));
+  if (resp.size() != 1 || resp[0] != 1) {
+    return Status::InvalidArgument("DSM free rejected");
+  }
+  return Status::OK();
+}
+
+Status DsmClient::Read(GlobalAddress src, void* dst, size_t length) {
+  return nic_.Read(ToRemote(src), dst, length);
+}
+
+Status DsmClient::Write(GlobalAddress dst, const void* src, size_t length) {
+  return nic_.Write(ToRemote(dst), src, length);
+}
+
+Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
+  std::vector<rdma::BatchOp> raw;
+  raw.reserve(ops.size());
+  for (const DsmBatchOp& op : ops) {
+    raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
+  }
+  return nic_.ReadBatch(raw);
+}
+
+Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
+  std::vector<rdma::BatchOp> raw;
+  raw.reserve(ops.size());
+  for (const DsmBatchOp& op : ops) {
+    raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
+  }
+  return nic_.WriteBatch(raw);
+}
+
+Result<uint64_t> DsmClient::CompareAndSwap(GlobalAddress addr,
+                                           uint64_t expected,
+                                           uint64_t desired) {
+  return nic_.CompareAndSwap(ToRemote(addr), expected, desired);
+}
+
+Result<uint64_t> DsmClient::FetchAndAdd(GlobalAddress addr, uint64_t delta) {
+  return nic_.FetchAndAdd(ToRemote(addr), delta);
+}
+
+Status DsmClient::WriteAll(const std::vector<GlobalAddress>& dsts,
+                           const void* src, size_t length) {
+  for (const GlobalAddress& dst : dsts) {
+    DSMDB_RETURN_NOT_OK(Write(dst, src, length));
+  }
+  return Status::OK();
+}
+
+Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
+                          std::string_view arg, std::string* out) {
+  std::string req;
+  PutFixed32(&req, fn_id);
+  req.append(arg.data(), arg.size());
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(
+      nic_.Call(cluster_->MemFabricId(node), kSvcOffload, req, &resp));
+  if (resp.empty() || resp[0] != 1) {
+    return Status::NotFound("offload function not registered");
+  }
+  out->assign(resp, 1, resp.size() - 1);
+  return Status::OK();
+}
+
+Status DsmClient::DirectoryCall(uint8_t op, GlobalAddress page,
+                                uint32_t cache_id, std::string* resp) {
+  std::string req;
+  req.push_back(static_cast<char>(op));
+  PutFixed64(&req, page.Pack());
+  PutFixed32(&req, cache_id);
+  return nic_.Call(cluster_->MemFabricId(page.node), kSvcDirectory, req,
+                   resp);
+}
+
+Status DsmClient::DirRegisterSharer(GlobalAddress page, uint32_t cache_id) {
+  std::string resp;
+  return DirectoryCall(1, page, cache_id, &resp);
+}
+
+Status DsmClient::DirUnregisterSharer(GlobalAddress page,
+                                      uint32_t cache_id) {
+  std::string resp;
+  return DirectoryCall(2, page, cache_id, &resp);
+}
+
+Result<std::vector<uint32_t>> DsmClient::ParseSharerList(
+    const std::string& resp) {
+  if (resp.size() < 4) return Status::Internal("bad directory response");
+  const uint32_t count = DecodeFixed32(resp.data());
+  if (resp.size() != 4 + 4ULL * count) {
+    return Status::Internal("bad directory response length");
+  }
+  std::vector<uint32_t> others;
+  others.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    others.push_back(DecodeFixed32(resp.data() + 4 + 4ULL * i));
+  }
+  return others;
+}
+
+Result<std::vector<uint32_t>> DsmClient::DirAcquireExclusive(
+    GlobalAddress page, uint32_t cache_id) {
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(DirectoryCall(3, page, cache_id, &resp));
+  return ParseSharerList(resp);
+}
+
+Result<std::vector<uint32_t>> DsmClient::DirPeersForUpdate(
+    GlobalAddress page, uint32_t cache_id) {
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(DirectoryCall(4, page, cache_id, &resp));
+  return ParseSharerList(resp);
+}
+
+Status DsmClient::LogAppend(MemNodeId node, uint64_t segment,
+                            std::string_view data) {
+  std::string req;
+  PutFixed64(&req, segment);
+  req.append(data.data(), data.size());
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(
+      nic_.Call(cluster_->MemFabricId(node), kSvcLogAppend, req, &resp));
+  if (resp.size() != 1 || resp[0] != 1) {
+    return Status::IOError("replica log append failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> DsmClient::LogRead(MemNodeId node, uint64_t segment) {
+  std::string req;
+  PutFixed64(&req, segment);
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(
+      nic_.Call(cluster_->MemFabricId(node), kSvcLogRead, req, &resp));
+  if (resp.empty() || resp[0] != 1) {
+    return Status::NotFound("replica log segment missing");
+  }
+  return resp.substr(1);
+}
+
+}  // namespace dsmdb::dsm

@@ -1,0 +1,105 @@
+#ifndef DSMDB_DSM_DSM_CLIENT_H_
+#define DSMDB_DSM_DSM_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dsm/cluster.h"
+#include "dsm/gaddr.h"
+#include "rdma/nic.h"
+
+namespace dsmdb::dsm {
+
+/// One op of a doorbell-batched DSM read/write.
+struct DsmBatchOp {
+  GlobalAddress addr;
+  void* local = nullptr;
+  size_t length = 0;
+};
+
+/// A compute node's handle onto the DSM layer (Challenge #1's "Abstract
+/// APIs"): memory allocation, one-sided data access, RDMA atomics, function
+/// offloading, and coherence-directory calls — all by logical
+/// GlobalAddress, with the cluster map resolving the current physical
+/// binding.
+///
+/// Thread-safe; typically one per compute node, shared by its worker
+/// threads.
+class DsmClient {
+ public:
+  DsmClient(Cluster* cluster, rdma::NodeId self);
+
+  rdma::Nic& nic() { return nic_; }
+  Cluster* cluster() { return cluster_; }
+  rdma::NodeId self() const { return nic_.self(); }
+
+  // --- Memory allocation APIs ---------------------------------------------
+
+  /// Allocates `size` bytes on `node` (or round-robin if kAnyNode).
+  static constexpr MemNodeId kAnyNode = UINT16_MAX;
+  Result<GlobalAddress> Alloc(uint64_t size, MemNodeId node = kAnyNode);
+  Status Free(GlobalAddress addr, uint64_t size);
+
+  // --- Data transmission APIs (one-sided) ----------------------------------
+
+  Status Read(GlobalAddress src, void* dst, size_t length);
+  Status Write(GlobalAddress dst, const void* src, size_t length);
+  Status ReadBatch(const std::vector<DsmBatchOp>& ops);
+  Status WriteBatch(const std::vector<DsmBatchOp>& ops);
+
+  /// 8-byte atomics (offset must be 8-byte aligned). Return previous value.
+  Result<uint64_t> CompareAndSwap(GlobalAddress addr, uint64_t expected,
+                                  uint64_t desired);
+  Result<uint64_t> FetchAndAdd(GlobalAddress addr, uint64_t delta);
+
+  /// Replicated write: writes the same buffer to each address (used by
+  /// memory-replication durability). All writes must succeed.
+  Status WriteAll(const std::vector<GlobalAddress>& dsts, const void* src,
+                  size_t length);
+
+  // --- Function offloading APIs --------------------------------------------
+
+  Status Offload(MemNodeId node, uint32_t fn_id, std::string_view arg,
+                 std::string* out);
+
+  // --- Coherence directory (Challenge #4, Approach #2) ----------------------
+
+  Status DirRegisterSharer(GlobalAddress page, uint32_t cache_id);
+  Status DirUnregisterSharer(GlobalAddress page, uint32_t cache_id);
+  /// Returns the other sharers to invalidate (resets the set to
+  /// {cache_id}; invalidation-based coherence).
+  Result<std::vector<uint32_t>> DirAcquireExclusive(GlobalAddress page,
+                                                    uint32_t cache_id);
+
+  /// Returns the other sharers to refresh, keeping them registered
+  /// (update-based coherence).
+  Result<std::vector<uint32_t>> DirPeersForUpdate(GlobalAddress page,
+                                                  uint32_t cache_id);
+
+  // --- Replica log (RAMCloud-style durability) -------------------------------
+
+  Status LogAppend(MemNodeId node, uint64_t segment, std::string_view data);
+  Result<std::string> LogRead(MemNodeId node, uint64_t segment);
+
+  /// Translates a logical address to the fabric-level pointer.
+  rdma::RemotePtr ToRemote(GlobalAddress addr) const;
+
+ private:
+  Status DirectoryCall(uint8_t op, GlobalAddress page, uint32_t cache_id,
+                       std::string* resp);
+  static Result<std::vector<uint32_t>> ParseSharerList(
+      const std::string& resp);
+
+  Cluster* cluster_;
+  rdma::Nic nic_;
+  std::atomic<uint32_t> alloc_rr_{0};
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_DSM_CLIENT_H_

@@ -1,0 +1,56 @@
+#ifndef DSMDB_DSM_GADDR_H_
+#define DSMDB_DSM_GADDR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dsmdb::dsm {
+
+/// Logical memory-node id within the DSM layer. Distinct from the fabric's
+/// NodeId: the cluster map binds a logical id to whatever fabric node (and
+/// incarnation) currently serves it, so addresses survive node replacement
+/// (Challenge #1: "the memory address must be a logical address, e.g.,
+/// virtual node ID and offset").
+using MemNodeId = uint16_t;
+
+/// A logical DSM address: (virtual memory-node id, offset within that
+/// node's giant registered region). 8-byte POD so it can itself be stored
+/// in DSM and CAS'd.
+struct GlobalAddress {
+  MemNodeId node = 0;
+  uint64_t offset = 0;
+
+  constexpr bool IsNull() const { return node == 0 && offset == 0; }
+
+  GlobalAddress Plus(uint64_t delta) const {
+    return GlobalAddress{node, offset + delta};
+  }
+
+  bool operator==(const GlobalAddress&) const = default;
+
+  std::string ToString() const {
+    return "g[" + std::to_string(node) + ":" + std::to_string(offset) + "]";
+  }
+
+  /// Packs into one uint64 (node in top 16 bits). Offsets are < 2^48.
+  uint64_t Pack() const { return (static_cast<uint64_t>(node) << 48) | offset; }
+  static GlobalAddress Unpack(uint64_t v) {
+    return GlobalAddress{static_cast<MemNodeId>(v >> 48),
+                         v & ((1ULL << 48) - 1)};
+  }
+};
+
+/// Null address. Offset 0 of node 0 is reserved by every allocator so that
+/// kNullGlobalAddress is never a valid allocation.
+inline constexpr GlobalAddress kNullGlobalAddress{};
+
+struct GlobalAddressHash {
+  size_t operator()(const GlobalAddress& a) const {
+    return std::hash<uint64_t>()(a.Pack());
+  }
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_GADDR_H_

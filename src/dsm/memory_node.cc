@@ -1,0 +1,204 @@
+#include "dsm/memory_node.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "dsm/rpc_ids.h"
+
+namespace dsmdb::dsm {
+
+MemoryNode::MemoryNode(rdma::Fabric* fabric, rdma::NodeId fabric_id,
+                       MemNodeId logical_id, const Options& options)
+    : fabric_(fabric),
+      fabric_id_(fabric_id),
+      logical_id_(logical_id),
+      options_(options),
+      region_(options.capacity_bytes, 0) {
+  extents_ = std::make_unique<ExtentAllocator>(options.capacity_bytes);
+  slab_ = std::make_unique<SlabAllocator>(extents_.get());
+  Result<uint32_t> rkey =
+      fabric_->RegisterMemory(fabric_id_, region_.data(), region_.size());
+  assert(rkey.ok());
+  rkey_ = *rkey;
+  InstallHandlers();
+}
+
+MemoryNode::~MemoryNode() = default;
+
+void MemoryNode::InstallHandlers() {
+  fabric_->RegisterRpcHandler(
+      fabric_id_, kSvcAlloc,
+      [this](std::string_view req, std::string* resp) {
+        return HandleAlloc(req, resp);
+      });
+  fabric_->RegisterRpcHandler(
+      fabric_id_, kSvcFree,
+      [this](std::string_view req, std::string* resp) {
+        return HandleFree(req, resp);
+      });
+  fabric_->RegisterRpcHandler(
+      fabric_id_, kSvcOffload,
+      [this](std::string_view req, std::string* resp) {
+        return HandleOffload(req, resp);
+      });
+  fabric_->RegisterRpcHandler(
+      fabric_id_, kSvcDirectory,
+      [this](std::string_view req, std::string* resp) {
+        return HandleDirectory(req, resp);
+      });
+  fabric_->RegisterRpcHandler(
+      fabric_id_, kSvcLogAppend,
+      [this](std::string_view req, std::string* resp) {
+        return HandleLogAppend(req, resp);
+      });
+  fabric_->RegisterRpcHandler(
+      fabric_id_, kSvcLogRead,
+      [this](std::string_view req, std::string* resp) {
+        return HandleLogRead(req, resp);
+      });
+}
+
+void MemoryNode::RegisterOffload(uint32_t fn_id, OffloadFn fn) {
+  SpinLatchGuard g(offload_latch_);
+  if (offload_fns_.size() <= fn_id) offload_fns_.resize(fn_id + 1);
+  offload_fns_[fn_id] = std::move(fn);
+}
+
+// Wire format: req = fixed64 size; resp = byte ok + fixed64 offset.
+uint64_t MemoryNode::HandleAlloc(std::string_view req, std::string* resp) {
+  if (req.size() != 8) {
+    resp->push_back(0);
+    return kAllocHandlerCostNs;
+  }
+  const uint64_t size = DecodeFixed64(req.data());
+  Result<uint64_t> offset = slab_->Alloc(size);
+  if (!offset.ok()) {
+    resp->push_back(0);
+  } else {
+    resp->push_back(1);
+    PutFixed64(resp, *offset);
+  }
+  return kAllocHandlerCostNs;
+}
+
+// Wire format: req = fixed64 offset + fixed64 size; resp = byte ok.
+uint64_t MemoryNode::HandleFree(std::string_view req, std::string* resp) {
+  if (req.size() != 16) {
+    resp->push_back(0);
+    return kFreeHandlerCostNs;
+  }
+  const uint64_t offset = DecodeFixed64(req.data());
+  const uint64_t size = DecodeFixed64(req.data() + 8);
+  const Status s = slab_->Free(offset, size);
+  resp->push_back(s.ok() ? 1 : 0);
+  return kFreeHandlerCostNs;
+}
+
+// Wire format: req = fixed32 fn_id + arg; resp = byte ok + fn output.
+uint64_t MemoryNode::HandleOffload(std::string_view req, std::string* resp) {
+  if (req.size() < 4) {
+    resp->push_back(0);
+    return kDirectoryHandlerCostNs;
+  }
+  const uint32_t fn_id = DecodeFixed32(req.data());
+  OffloadFn fn;
+  {
+    SpinLatchGuard g(offload_latch_);
+    if (fn_id < offload_fns_.size()) fn = offload_fns_[fn_id];
+  }
+  if (!fn) {
+    resp->push_back(0);
+    return kDirectoryHandlerCostNs;
+  }
+  resp->push_back(1);
+  std::string out;
+  const uint64_t cost = fn(*this, req.substr(4), &out);
+  resp->append(out);
+  return cost;
+}
+
+// Wire format: req = byte op + fixed64 page + fixed32 node.
+// Ops: 1 RegisterSharer, 2 UnregisterSharer, 3 AcquireExclusive,
+// 4 PeersForUpdate. resp for ops 3/4: fixed32 count + count * fixed32
+// sharer ids; else empty.
+uint64_t MemoryNode::HandleDirectory(std::string_view req,
+                                     std::string* resp) {
+  if (req.size() != 13) return kDirectoryHandlerCostNs;
+  const uint8_t op = static_cast<uint8_t>(req[0]);
+  const uint64_t page = DecodeFixed64(req.data() + 1);
+  const uint32_t node = DecodeFixed32(req.data() + 9);
+  switch (op) {
+    case 1:
+      directory_.RegisterSharer(page, node);
+      break;
+    case 2:
+      directory_.UnregisterSharer(page, node);
+      break;
+    case 3: {
+      const std::vector<uint32_t> others =
+          directory_.AcquireExclusive(page, node);
+      PutFixed32(resp, static_cast<uint32_t>(others.size()));
+      for (uint32_t id : others) PutFixed32(resp, id);
+      break;
+    }
+    case 4: {
+      const std::vector<uint32_t> others =
+          directory_.PeersForUpdate(page, node);
+      PutFixed32(resp, static_cast<uint32_t>(others.size()));
+      for (uint32_t id : others) PutFixed32(resp, id);
+      break;
+    }
+    default:
+      break;
+  }
+  return kDirectoryHandlerCostNs;
+}
+
+// Wire format: req = fixed64 segment_id + payload (appended); resp = byte ok.
+uint64_t MemoryNode::HandleLogAppend(std::string_view req,
+                                     std::string* resp) {
+  if (req.size() < 8) {
+    resp->push_back(0);
+    return kLogAppendBaseCostNs;
+  }
+  const uint64_t segment = DecodeFixed64(req.data());
+  const std::string_view payload = req.substr(8);
+  {
+    std::lock_guard<std::mutex> lk(log_mu_);
+    log_segments_[segment].append(payload.data(), payload.size());
+    log_bytes_ += payload.size();
+  }
+  resp->push_back(1);
+  // Cost: base dispatch + a memcpy-rate copy of the payload.
+  return kLogAppendBaseCostNs + payload.size() / 32;
+}
+
+// Wire format: req = fixed64 segment_id; resp = byte ok + segment bytes.
+uint64_t MemoryNode::HandleLogRead(std::string_view req, std::string* resp) {
+  if (req.size() != 8) {
+    resp->push_back(0);
+    return kLogAppendBaseCostNs;
+  }
+  const uint64_t segment = DecodeFixed64(req.data());
+  std::lock_guard<std::mutex> lk(log_mu_);
+  auto it = log_segments_.find(segment);
+  if (it == log_segments_.end()) {
+    resp->push_back(0);
+    return kLogAppendBaseCostNs;
+  }
+  resp->push_back(1);
+  resp->append(it->second);
+  return kLogAppendBaseCostNs + it->second.size() / 32;
+}
+
+std::map<uint64_t, std::string> MemoryNode::CopyLogSegments() const {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  return log_segments_;
+}
+
+size_t MemoryNode::LogBytes() const {
+  std::lock_guard<std::mutex> lk(log_mu_);
+  return log_bytes_;
+}
+
+}  // namespace dsmdb::dsm

@@ -1,0 +1,113 @@
+#ifndef DSMDB_DSM_MEMORY_NODE_H_
+#define DSMDB_DSM_MEMORY_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "dsm/allocator.h"
+#include "dsm/directory.h"
+#include "dsm/gaddr.h"
+#include "rdma/fabric.h"
+
+namespace dsmdb::dsm {
+
+class MemoryNode;
+
+/// A near-data function executed on a memory node (Function Offloading
+/// APIs, Challenge #1). Performs its real work against the node's memory
+/// and returns the simulated CPU cost (ns, unscaled; the node's wimpy-core
+/// speed factor is applied by the VirtualCpu).
+using OffloadFn = std::function<uint64_t(MemoryNode& node,
+                                         std::string_view arg,
+                                         std::string* out)>;
+
+/// One memory node of the DSM layer: a giant registered memory region, a
+/// user-space allocator, a coherence directory, an offload function table,
+/// and a replica-log store (for RAMCloud-style durability).
+///
+/// Control-plane operations (alloc/free/offload/directory/log-append) are
+/// served over two-sided RPC; the data plane is one-sided RDMA directly
+/// against the registered region.
+class MemoryNode {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 64ULL << 20;
+    /// Abundant memory, weak compute (paper Sec. 1): few wimpy cores.
+    uint32_t cpu_cores = 2;
+    double cpu_speed_factor = 4.0;
+  };
+
+  /// Creates the node's state and installs its RPC handlers on an existing
+  /// fabric node (`fabric_id`). Called at cluster start and again after
+  /// recovery (fresh, empty state — DRAM contents do not survive a crash).
+  MemoryNode(rdma::Fabric* fabric, rdma::NodeId fabric_id,
+             MemNodeId logical_id, const Options& options);
+  ~MemoryNode();
+
+  MemoryNode(const MemoryNode&) = delete;
+  MemoryNode& operator=(const MemoryNode&) = delete;
+
+  rdma::NodeId fabric_id() const { return fabric_id_; }
+  MemNodeId logical_id() const { return logical_id_; }
+  uint32_t rkey() const { return rkey_; }
+  uint64_t capacity() const { return options_.capacity_bytes; }
+  const Options& options() const { return options_; }
+
+  /// Host pointer to the region base. Memory-node-local code (offload
+  /// functions, checkpointer) uses this; compute nodes must go through the
+  /// fabric.
+  char* base() { return region_.data(); }
+  const char* base() const { return region_.data(); }
+
+  SlabAllocator& allocator() { return *slab_; }
+  ExtentAllocator& extents() { return *extents_; }
+  Directory& directory() { return directory_; }
+
+  /// Registers `fn` under `fn_id` for kSvcOffload dispatch.
+  void RegisterOffload(uint32_t fn_id, OffloadFn fn);
+
+  /// Replica-log segments stored on this node (RAMCloud-style durability).
+  /// Exposed for recovery managers.
+  std::map<uint64_t, std::string> CopyLogSegments() const;
+  size_t LogBytes() const;
+
+ private:
+  void InstallHandlers();
+
+  uint64_t HandleAlloc(std::string_view req, std::string* resp);
+  uint64_t HandleFree(std::string_view req, std::string* resp);
+  uint64_t HandleOffload(std::string_view req, std::string* resp);
+  uint64_t HandleDirectory(std::string_view req, std::string* resp);
+  uint64_t HandleLogAppend(std::string_view req, std::string* resp);
+  uint64_t HandleLogRead(std::string_view req, std::string* resp);
+
+  rdma::Fabric* fabric_;
+  rdma::NodeId fabric_id_;
+  MemNodeId logical_id_;
+  Options options_;
+
+  std::vector<char> region_;
+  uint32_t rkey_ = 0;
+  std::unique_ptr<ExtentAllocator> extents_;
+  std::unique_ptr<SlabAllocator> slab_;
+  Directory directory_;
+
+  SpinLatch offload_latch_;
+  std::vector<OffloadFn> offload_fns_;
+
+  mutable std::mutex log_mu_;
+  std::map<uint64_t, std::string> log_segments_;
+  size_t log_bytes_ = 0;
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_MEMORY_NODE_H_

@@ -1,0 +1,32 @@
+#ifndef DSMDB_DSM_RPC_IDS_H_
+#define DSMDB_DSM_RPC_IDS_H_
+
+#include <cstdint>
+
+namespace dsmdb::dsm {
+
+/// Well-known two-sided RPC service ids on the simulated fabric.
+enum RpcService : uint32_t {
+  /// Memory-node services.
+  kSvcAlloc = 0,        ///< DSM memory allocation.
+  kSvcFree = 1,         ///< DSM memory deallocation.
+  kSvcOffload = 2,      ///< Near-data function invocation.
+  kSvcDirectory = 3,    ///< Cache-coherence directory ops.
+  kSvcLogAppend = 4,    ///< RAMCloud-style replicated log append.
+  kSvcLogRead = 5,      ///< Read back a replica log (recovery).
+
+  /// Compute-node services.
+  kSvcInvalidate = 16,  ///< Coherence: drop/refresh a cached page.
+  kSvcShardMap = 17,    ///< Sharding: ownership handoff notifications.
+};
+
+/// Simulated CPU costs (ns) of control-plane handlers on memory nodes.
+/// These model the "simple control software" the paper places there.
+inline constexpr uint64_t kAllocHandlerCostNs = 350;
+inline constexpr uint64_t kFreeHandlerCostNs = 250;
+inline constexpr uint64_t kDirectoryHandlerCostNs = 200;
+inline constexpr uint64_t kLogAppendBaseCostNs = 300;
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_RPC_IDS_H_

@@ -1,0 +1,120 @@
+#ifndef DSMDB_INDEX_BTREE_NODE_H_
+#define DSMDB_INDEX_BTREE_NODE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/coding.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::index {
+
+/// On-DSM B+tree node layout (Sherman-style [62]): the lock word and two
+/// version words bracket the body so a single one-sided READ can be
+/// validated like a seqlock.
+///
+///   0   lock word      (8)  RDMA CAS spinlock for writers
+///   8   header version (8)  writer bumps BEFORE mutating the body
+///   16  meta           (8)  is_leaf | level | count
+///   24  right sibling  (8)  packed GlobalAddress (B-link pointer)
+///   32  high key       (8)  fence: all keys in this node are < high_key
+///   40  entries        (16 * kNodeCap)  sorted (key, child/value) pairs
+///   ..  footer version (8)  writer bumps AFTER mutating the body
+///
+/// A read snapshot is consistent iff lock == 0 and header == footer.
+///
+/// Entry conventions: an internal node stores (separator key, child addr)
+/// pairs where the separator is the smallest key reachable via the child;
+/// entry 0 of a node spanning the low end uses key 0 as sentinel. A leaf
+/// stores (key, value) pairs.
+inline constexpr uint32_t kNodeCap = 32;
+
+inline constexpr uint64_t kOffLock = 0;
+inline constexpr uint64_t kOffHeaderVer = 8;
+inline constexpr uint64_t kOffMeta = 16;
+inline constexpr uint64_t kOffSibling = 24;
+inline constexpr uint64_t kOffHighKey = 32;
+inline constexpr uint64_t kOffEntries = 40;
+inline constexpr uint64_t kOffFooterVer = kOffEntries + 16ULL * kNodeCap;
+inline constexpr uint64_t kNodeBytes = kOffFooterVer + 8;
+
+/// Decoded node image (host-side copy of one DSM node).
+struct BTreeNode {
+  uint64_t lock = 0;
+  uint64_t version = 0;
+  bool is_leaf = true;
+  uint8_t level = 0;
+  uint32_t count = 0;
+  uint64_t sibling = 0;   // packed GlobalAddress, 0 = none
+  uint64_t high_key = UINT64_MAX;
+  uint64_t keys[kNodeCap] = {};
+  uint64_t vals[kNodeCap] = {};
+
+  /// Parses `buf` (kNodeBytes). Returns false if the snapshot is torn
+  /// (locked or header/footer mismatch). Pass `ignore_lock` when the
+  /// caller itself holds the node lock.
+  bool Decode(const char* buf, bool ignore_lock = false) {
+    lock = DecodeFixed64(buf + kOffLock);
+    version = DecodeFixed64(buf + kOffHeaderVer);
+    const uint64_t footer = DecodeFixed64(buf + kOffFooterVer);
+    if ((!ignore_lock && lock != 0) || version != footer) return false;
+    const uint64_t meta = DecodeFixed64(buf + kOffMeta);
+    is_leaf = (meta & 1) != 0;
+    level = static_cast<uint8_t>((meta >> 8) & 0xFF);
+    count = static_cast<uint32_t>(meta >> 32);
+    if (count > kNodeCap) return false;
+    sibling = DecodeFixed64(buf + kOffSibling);
+    high_key = DecodeFixed64(buf + kOffHighKey);
+    for (uint32_t i = 0; i < count; i++) {
+      keys[i] = DecodeFixed64(buf + kOffEntries + 16ULL * i);
+      vals[i] = DecodeFixed64(buf + kOffEntries + 16ULL * i + 8);
+    }
+    return true;
+  }
+
+  /// Serializes the *body* (meta..entries) into `buf` (kNodeBytes);
+  /// lock/version words are managed by the writer protocol.
+  void EncodeBody(char* buf) const {
+    const uint64_t meta = (is_leaf ? 1ULL : 0ULL) |
+                          (static_cast<uint64_t>(level) << 8) |
+                          (static_cast<uint64_t>(count) << 32);
+    EncodeFixed64(buf + kOffMeta, meta);
+    EncodeFixed64(buf + kOffSibling, sibling);
+    EncodeFixed64(buf + kOffHighKey, high_key);
+    for (uint32_t i = 0; i < count; i++) {
+      EncodeFixed64(buf + kOffEntries + 16ULL * i, keys[i]);
+      EncodeFixed64(buf + kOffEntries + 16ULL * i + 8, vals[i]);
+    }
+    // Zero the unused tail so snapshots are deterministic.
+    for (uint32_t i = count; i < kNodeCap; i++) {
+      EncodeFixed64(buf + kOffEntries + 16ULL * i, 0);
+      EncodeFixed64(buf + kOffEntries + 16ULL * i + 8, 0);
+    }
+  }
+
+  /// Index of the child to descend for `key` (internal nodes):
+  /// the last entry with keys[i] <= key.
+  uint32_t ChildIndex(uint64_t key) const {
+    uint32_t lo = 0;
+    for (uint32_t i = 1; i < count; i++) {
+      if (keys[i] <= key) {
+        lo = i;
+      } else {
+        break;
+      }
+    }
+    return lo;
+  }
+
+  /// Position of `key` in a leaf, or count if absent.
+  uint32_t Find(uint64_t key) const {
+    for (uint32_t i = 0; i < count; i++) {
+      if (keys[i] == key) return i;
+    }
+    return count;
+  }
+};
+
+}  // namespace dsmdb::index
+
+#endif  // DSMDB_INDEX_BTREE_NODE_H_

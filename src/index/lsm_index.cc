@@ -1,0 +1,374 @@
+#include "index/lsm_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace dsmdb::index {
+
+namespace {
+
+constexpr uint64_t kEntryBytes = 16;
+constexpr size_t kCopyChunk = 64 * 1024;
+
+uint64_t BloomWordCount(uint64_t entries, uint32_t bits_per_key) {
+  return std::max<uint64_t>(1, (entries * bits_per_key + 63) / 64);
+}
+
+void BloomSet(std::vector<uint64_t>* bloom, uint64_t h) {
+  const uint64_t bits = bloom->size() * 64;
+  (*bloom)[(h % bits) / 64] |= 1ULL << (h % 64);
+}
+
+bool BloomTest(const std::vector<uint64_t>& bloom, uint64_t h) {
+  const uint64_t bits = bloom.size() * 64;
+  return ((bloom[(h % bits) / 64] >> (h % 64)) & 1) != 0;
+}
+
+}  // namespace
+
+LsmIndex::LsmIndex(dsm::DsmClient* dsm, dsm::MemNodeId home,
+                   LsmOptions options)
+    : dsm_(dsm), home_(home), options_(options) {
+  if (options_.offload_compaction) InstallCompactionHandler();
+}
+
+LsmIndex::~LsmIndex() = default;
+
+void LsmIndex::BloomAdd(std::vector<uint64_t>* bloom, uint64_t key) {
+  BloomSet(bloom, Hash64(key));
+  BloomSet(bloom, Hash64(key ^ 0x9E3779B97F4A7C15ULL));
+}
+
+bool LsmIndex::BloomMayContain(const Run& run, uint64_t key) const {
+  return BloomTest(run.bloom, Hash64(key)) &&
+         BloomTest(run.bloom, Hash64(key ^ 0x9E3779B97F4A7C15ULL));
+}
+
+LsmIndex::Run LsmIndex::DescribeRun(
+    dsm::GlobalAddress base,
+    const std::vector<std::pair<uint64_t, uint64_t>>& entries) const {
+  Run run;
+  run.base = base;
+  run.entries = entries.size();
+  run.bloom.assign(
+      BloomWordCount(entries.size(), options_.bloom_bits_per_key), 0);
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (i % options_.block_entries == 0) {
+      run.fences.push_back(entries[i].first);
+    }
+    BloomAdd(&run.bloom, entries[i].first);
+  }
+  return run;
+}
+
+Status LsmIndex::Put(uint64_t key, uint64_t value) {
+  if (value == 0 || value == kTombstone) {
+    return Status::InvalidArgument("reserved value");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  memtable_[key] = value;
+  if (memtable_.size() >= options_.memtable_entries) {
+    DSMDB_RETURN_NOT_OK(FlushLocked());
+    if (runs_.size() > options_.max_runs) {
+      DSMDB_RETURN_NOT_OK(CompactLocked());
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmIndex::Delete(uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  memtable_[key] = kTombstone;
+  return Status::OK();
+}
+
+Result<uint64_t> LsmIndex::Get(uint64_t key) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    stats_.memtable_hits.fetch_add(1, std::memory_order_relaxed);
+    if (it->second == kTombstone) return Status::NotFound("deleted");
+    return it->second;
+  }
+  for (const Run& run : runs_) {  // newest first
+    if (!BloomMayContain(run, key)) {
+      stats_.bloom_skips.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    uint64_t value = 0;
+    Result<bool> found = SearchRun(run, key, &value);
+    if (!found.ok()) return found.status();
+    if (*found) {
+      if (value == kTombstone) return Status::NotFound("deleted");
+      return value;
+    }
+  }
+  return Status::NotFound("key not in lsm");
+}
+
+Result<bool> LsmIndex::SearchRun(const Run& run, uint64_t key,
+                                 uint64_t* value) {
+  if (run.fences.empty() || key < run.fences[0]) return false;
+  // Fence pointers are local: pick the one block that can hold the key.
+  auto fit = std::upper_bound(run.fences.begin(), run.fences.end(), key);
+  const uint64_t block = static_cast<uint64_t>(fit - run.fences.begin()) - 1;
+  const uint64_t first = block * options_.block_entries;
+  const uint64_t count =
+      std::min<uint64_t>(options_.block_entries, run.entries - first);
+
+  std::vector<char> buf(count * kEntryBytes);
+  DSMDB_RETURN_NOT_OK(dsm_->Read(run.base.Plus(first * kEntryBytes),
+                                 buf.data(), buf.size()));
+  stats_.block_reads.fetch_add(1, std::memory_order_relaxed);
+
+  // Binary search inside the block.
+  uint64_t lo = 0, hi = count;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    const uint64_t k = DecodeFixed64(buf.data() + mid * kEntryBytes);
+    if (k < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < count && DecodeFixed64(buf.data() + lo * kEntryBytes) == key) {
+    *value = DecodeFixed64(buf.data() + lo * kEntryBytes + 8);
+    return true;
+  }
+  return false;
+}
+
+Status LsmIndex::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return FlushLocked();
+}
+
+Status LsmIndex::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  std::vector<std::pair<uint64_t, uint64_t>> entries(memtable_.begin(),
+                                                     memtable_.end());
+  std::string image;
+  image.reserve(entries.size() * kEntryBytes);
+  for (const auto& [k, v] : entries) {
+    PutFixed64(&image, k);
+    PutFixed64(&image, v);
+  }
+  Result<dsm::GlobalAddress> base = dsm_->Alloc(image.size(), home_);
+  if (!base.ok()) return base.status();
+  for (size_t off = 0; off < image.size(); off += kCopyChunk) {
+    const size_t n = std::min(kCopyChunk, image.size() - off);
+    DSMDB_RETURN_NOT_OK(dsm_->Write(base->Plus(off), image.data() + off, n));
+  }
+  Run run = DescribeRun(*base, entries);
+  run.alloc_bytes = image.size();
+  runs_.insert(runs_.begin(), std::move(run));
+  memtable_.clear();
+  stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LsmIndex::Compact() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return CompactLocked();
+}
+
+Status LsmIndex::CompactLocked() {
+  if (runs_.size() < 2) return Status::OK();
+  std::vector<Run> old = std::move(runs_);
+  runs_.clear();
+  Status s = options_.offload_compaction ? CompactOffloaded(old)
+                                         : CompactLocal(old);
+  if (!s.ok()) {
+    runs_ = std::move(old);  // keep serving the old runs
+    return s;
+  }
+  for (const Run& run : old) {
+    (void)dsm_->Free(run.base, run.alloc_bytes);
+  }
+  stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LsmIndex::CompactLocal(const std::vector<Run>& old) {
+  // Pull every run to the compute node, merge newest-wins, drop
+  // tombstones (full compaction), push the merged run back.
+  std::vector<std::vector<char>> images;
+  for (const Run& run : old) {
+    std::vector<char> img(run.entries * kEntryBytes);
+    for (size_t off = 0; off < img.size(); off += kCopyChunk) {
+      const size_t n = std::min(kCopyChunk, img.size() - off);
+      DSMDB_RETURN_NOT_OK(dsm_->Read(run.base.Plus(off), img.data() + off,
+                                     n));
+    }
+    images.push_back(std::move(img));
+  }
+  // Merge: iterate runs oldest -> newest into a map so newer wins.
+  std::map<uint64_t, uint64_t> merged;
+  for (size_t r = images.size(); r-- > 0;) {
+    const std::vector<char>& img = images[r];
+    for (size_t off = 0; off + kEntryBytes <= img.size();
+         off += kEntryBytes) {
+      merged[DecodeFixed64(img.data() + off)] =
+          DecodeFixed64(img.data() + off + 8);
+    }
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(merged.size());
+  for (const auto& [k, v] : merged) {
+    if (v != kTombstone) entries.emplace_back(k, v);
+  }
+  if (entries.empty()) return Status::OK();
+
+  std::string image;
+  image.reserve(entries.size() * kEntryBytes);
+  for (const auto& [k, v] : entries) {
+    PutFixed64(&image, k);
+    PutFixed64(&image, v);
+  }
+  Result<dsm::GlobalAddress> base = dsm_->Alloc(image.size(), home_);
+  if (!base.ok()) return base.status();
+  for (size_t off = 0; off < image.size(); off += kCopyChunk) {
+    const size_t n = std::min(kCopyChunk, image.size() - off);
+    DSMDB_RETURN_NOT_OK(dsm_->Write(base->Plus(off), image.data() + off, n));
+  }
+  Run run = DescribeRun(*base, entries);
+  run.alloc_bytes = image.size();
+  runs_ = {std::move(run)};
+  return Status::OK();
+}
+
+void LsmIndex::InstallCompactionHandler() {
+  // Near-data merge (Challenge #11): runs never leave the memory node;
+  // the handler returns only the merged count + fences + bloom words.
+  // Request: fixed32 n_runs | n x (fixed64 off, fixed64 entries, newest
+  // first) | fixed64 out_off | fixed64 out_capacity_entries |
+  // fixed32 block_entries | fixed32 bloom_bits_per_key.
+  // Response: fixed64 merged_count | fixed32 n_fences | fences |
+  // fixed32 n_bloom_words | words.
+  dsm_->cluster()->memory_node(home_)->RegisterOffload(
+      kCompactFnId,
+      [](dsm::MemoryNode& node, std::string_view arg,
+         std::string* out) -> uint64_t {
+        size_t pos = 0;
+        const uint32_t n_runs = DecodeFixed32(arg.data() + pos);
+        pos += 4;
+        std::vector<std::pair<uint64_t, uint64_t>> descs(n_runs);
+        for (uint32_t i = 0; i < n_runs; i++) {
+          descs[i].first = DecodeFixed64(arg.data() + pos);
+          descs[i].second = DecodeFixed64(arg.data() + pos + 8);
+          pos += 16;
+        }
+        const uint64_t out_off = DecodeFixed64(arg.data() + pos);
+        const uint64_t out_cap = DecodeFixed64(arg.data() + pos + 8);
+        const uint32_t block_entries = DecodeFixed32(arg.data() + pos + 16);
+        const uint32_t bits_per_key = DecodeFixed32(arg.data() + pos + 20);
+
+        // Merge on the memory node (oldest first so newest wins).
+        std::map<uint64_t, uint64_t> merged;
+        uint64_t scanned = 0;
+        for (uint32_t r = n_runs; r-- > 0;) {
+          const char* base = node.base() + descs[r].first;
+          for (uint64_t i = 0; i < descs[r].second; i++) {
+            merged[DecodeFixed64(base + i * kEntryBytes)] =
+                DecodeFixed64(base + i * kEntryBytes + 8);
+            scanned++;
+          }
+        }
+        char* dst = node.base() + out_off;
+        uint64_t count = 0;
+        std::vector<uint64_t> fences;
+        std::vector<uint64_t> bloom(
+            BloomWordCount(std::max<size_t>(1, merged.size()),
+                           bits_per_key),
+            0);
+        for (const auto& [k, v] : merged) {
+          if (v == kTombstone) continue;
+          if (count >= out_cap) break;
+          EncodeFixed64(dst + count * kEntryBytes, k);
+          EncodeFixed64(dst + count * kEntryBytes + 8, v);
+          if (count % block_entries == 0) fences.push_back(k);
+          BloomAdd(&bloom, k);
+          count++;
+        }
+        PutFixed64(out, count);
+        PutFixed32(out, static_cast<uint32_t>(fences.size()));
+        for (uint64_t f : fences) PutFixed64(out, f);
+        PutFixed32(out, static_cast<uint32_t>(bloom.size()));
+        for (uint64_t w : bloom) PutFixed64(out, w);
+        // ~25 ns per scanned entry of wimpy-core merge work.
+        return 25 * scanned;
+      });
+}
+
+Status LsmIndex::CompactOffloaded(const std::vector<Run>& old) {
+  uint64_t total = 0;
+  for (const Run& run : old) total += run.entries;
+  Result<dsm::GlobalAddress> out_base =
+      dsm_->Alloc(std::max<uint64_t>(1, total) * kEntryBytes, home_);
+  if (!out_base.ok()) return out_base.status();
+
+  std::string arg;
+  PutFixed32(&arg, static_cast<uint32_t>(old.size()));
+  for (const Run& run : old) {
+    PutFixed64(&arg, run.base.offset);
+    PutFixed64(&arg, run.entries);
+  }
+  PutFixed64(&arg, out_base->offset);
+  PutFixed64(&arg, total);
+  PutFixed32(&arg, options_.block_entries);
+  PutFixed32(&arg, options_.bloom_bits_per_key);
+
+  std::string resp;
+  DSMDB_RETURN_NOT_OK(dsm_->Offload(home_, kCompactFnId, arg, &resp));
+  if (resp.size() < 12) return Status::Internal("bad compaction response");
+  size_t pos = 0;
+  Run merged;
+  merged.base = *out_base;
+  merged.entries = DecodeFixed64(resp.data() + pos);
+  pos += 8;
+  const uint32_t n_fences = DecodeFixed32(resp.data() + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < n_fences; i++) {
+    merged.fences.push_back(DecodeFixed64(resp.data() + pos));
+    pos += 8;
+  }
+  const uint32_t n_words = DecodeFixed32(resp.data() + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < n_words; i++) {
+    merged.bloom.push_back(DecodeFixed64(resp.data() + pos));
+    pos += 8;
+  }
+  if (merged.entries == 0) {
+    (void)dsm_->Free(*out_base, std::max<uint64_t>(1, total) * kEntryBytes);
+    return Status::OK();
+  }
+  merged.alloc_bytes = std::max<uint64_t>(1, total) * kEntryBytes;
+  runs_ = {std::move(merged)};
+  return Status::OK();
+}
+
+size_t LsmIndex::NumRuns() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return runs_.size();
+}
+
+size_t LsmIndex::MemtableSize() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return memtable_.size();
+}
+
+size_t LsmIndex::LocalMetadataBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t bytes = 0;
+  for (const Run& run : runs_) {
+    bytes += run.fences.size() * 8 + run.bloom.size() * 8;
+  }
+  return bytes;
+}
+
+}  // namespace dsmdb::index

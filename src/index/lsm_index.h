@@ -1,0 +1,131 @@
+#ifndef DSMDB_INDEX_LSM_INDEX_H_
+#define DSMDB_INDEX_LSM_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::index {
+
+/// LSM index options.
+struct LsmOptions {
+  /// Memtable flush threshold (entries).
+  size_t memtable_entries = 1'024;
+  /// Entries per read block; a point read fetches one block (1 RTT).
+  uint32_t block_entries = 256;
+  /// Bloom filter bits per key.
+  uint32_t bloom_bits_per_key = 10;
+  /// Compact once this many runs accumulate.
+  size_t max_runs = 4;
+  /// Challenge #11: "offloading LSM compaction to memory nodes". When
+  /// true, compaction merges runs *on the memory node* and ships back only
+  /// the (small) fences + bloom filter; when false, the compute node pulls
+  /// every run, merges locally, and writes the result back.
+  bool offload_compaction = false;
+};
+
+struct LsmStats {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> memtable_hits{0};
+  std::atomic<uint64_t> bloom_skips{0};   ///< run probes avoided by bloom
+  std::atomic<uint64_t> block_reads{0};   ///< remote block fetches
+  std::atomic<uint64_t> flushes{0};
+  std::atomic<uint64_t> compactions{0};
+};
+
+/// A log-structured merge index on disaggregated memory (Challenge #11:
+/// "LSM-based indexing can be worth investigating because it naturally
+/// fits the local memory and remote memory hierarchy. For example,
+/// LSM-trees can hold filters and fence pointers in compute nodes as they
+/// help protect from unnecessary round trips.")
+///
+/// Layout:
+///  * memtable: compute-node local sorted map (the hot write buffer);
+///  * runs: immutable sorted arrays of (key, value) 16-byte pairs in DSM
+///    on the index's home memory node, newest first;
+///  * per run, the compute node keeps ONLY fence pointers (first key of
+///    each block) and a bloom filter — tiny local state that converts a
+///    point lookup into at most one 1-RTT block read per probed run.
+///
+/// Values must be non-zero; deletes write a tombstone. Single-writer (one
+/// compute node owns the index); concurrent readers on the same handle
+/// are safe.
+class LsmIndex {
+ public:
+  LsmIndex(dsm::DsmClient* dsm, dsm::MemNodeId home, LsmOptions options);
+  ~LsmIndex();
+
+  LsmIndex(const LsmIndex&) = delete;
+  LsmIndex& operator=(const LsmIndex&) = delete;
+
+  /// Inserts or overwrites. May trigger a flush and a compaction.
+  Status Put(uint64_t key, uint64_t value);
+
+  /// Point lookup: memtable, then runs newest-to-oldest (bloom-guarded).
+  Result<uint64_t> Get(uint64_t key);
+
+  /// Tombstone delete.
+  Status Delete(uint64_t key);
+
+  /// Forces the memtable into a new run.
+  Status Flush();
+
+  /// Merges all runs into one (locally or offloaded per options).
+  Status Compact();
+
+  LsmStats& stats() { return stats_; }
+  size_t NumRuns() const;
+  size_t MemtableSize() const;
+  /// Compute-node-local metadata footprint in bytes (fences + blooms).
+  size_t LocalMetadataBytes() const;
+
+ private:
+  static constexpr uint64_t kTombstone = UINT64_MAX;
+  static constexpr uint32_t kCompactFnId = 0xC0;
+
+  struct Run {
+    dsm::GlobalAddress base;
+    uint64_t entries = 0;
+    uint64_t alloc_bytes = 0;          // DSM allocation size (for Free)
+    std::vector<uint64_t> fences;      // first key of each block
+    std::vector<uint64_t> bloom;       // bit words
+  };
+
+  bool BloomMayContain(const Run& run, uint64_t key) const;
+  static void BloomAdd(std::vector<uint64_t>* bloom, uint64_t key);
+
+  /// Builds fences+bloom from a sorted entry array.
+  Run DescribeRun(dsm::GlobalAddress base,
+                  const std::vector<std::pair<uint64_t, uint64_t>>& entries)
+      const;
+
+  /// Searches one run; fills `value` if present (tombstones included).
+  Result<bool> SearchRun(const Run& run, uint64_t key, uint64_t* value);
+
+  Status FlushLocked();
+  Status CompactLocked();
+  Status CompactLocal(const std::vector<Run>& runs);
+  Status CompactOffloaded(const std::vector<Run>& runs);
+  void InstallCompactionHandler();
+
+  dsm::DsmClient* dsm_;
+  dsm::MemNodeId home_;
+  LsmOptions options_;
+  LsmStats stats_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, uint64_t> memtable_;
+  std::vector<Run> runs_;  // newest first
+};
+
+}  // namespace dsmdb::index
+
+#endif  // DSMDB_INDEX_LSM_INDEX_H_

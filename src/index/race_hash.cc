@@ -1,0 +1,176 @@
+#include "index/race_hash.h"
+
+#include <bit>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+
+namespace dsmdb::index {
+
+Result<dsm::GlobalAddress> RaceHash::Create(dsm::DsmClient* dsm,
+                                            uint64_t num_buckets) {
+  num_buckets = std::bit_ceil(num_buckets == 0 ? 1 : num_buckets);
+  Result<dsm::GlobalAddress> base =
+      dsm->Alloc(num_buckets * kBucketBytes);
+  if (!base.ok()) return base.status();
+  // Freshly allocated DSM regions are zero on first allocation, but the
+  // slab may recycle memory: clear explicitly.
+  std::string zeros(kBucketBytes, '\0');
+  for (uint64_t b = 0; b < num_buckets; b++) {
+    DSMDB_RETURN_NOT_OK(
+        dsm->Write(base->Plus(b * kBucketBytes), zeros.data(),
+                   zeros.size()));
+  }
+  return *base;
+}
+
+RaceHash::RaceHash(dsm::DsmClient* dsm, dsm::GlobalAddress base,
+                   uint64_t num_buckets)
+    : dsm_(dsm),
+      base_(base),
+      num_buckets_(std::bit_ceil(num_buckets == 0 ? 1 : num_buckets)) {}
+
+uint64_t RaceHash::BucketIndex(uint64_t key, int choice) const {
+  const uint64_t h =
+      choice == 0 ? Hash64(key) : Hash64(key ^ 0xC3A5C85C97CB3127ULL);
+  return h & (num_buckets_ - 1);
+}
+
+Status RaceHash::ReadBothBuckets(uint64_t key, char* scratch, uint64_t* b0,
+                                 uint64_t* b1) {
+  *b0 = BucketIndex(key, 0);
+  *b1 = BucketIndex(key, 1);
+  std::vector<dsm::DsmBatchOp> batch;
+  batch.push_back({BucketAddr(*b0), scratch, kBucketBytes});
+  if (*b1 != *b0) {
+    batch.push_back({BucketAddr(*b1), scratch + kBucketBytes, kBucketBytes});
+  }
+  return dsm_->ReadBatch(batch);
+}
+
+Result<uint64_t> RaceHash::Get(uint64_t key) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  char scratch[2 * kBucketBytes];
+  uint64_t b0, b1;
+  for (uint32_t attempt = 0; attempt < 16; attempt++) {
+    DSMDB_RETURN_NOT_OK(ReadBothBuckets(key, scratch, &b0, &b1));
+    const int nbuckets = b0 == b1 ? 1 : 2;
+    bool in_flight = false;
+    for (int b = 0; b < nbuckets; b++) {
+      for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+        const char* slot = scratch + b * kBucketBytes + s * kSlotBytes;
+        if (DecodeFixed64(slot) == key) {
+          const uint64_t value = DecodeFixed64(slot + 8);
+          if (value == 0) {
+            in_flight = true;  // claimed, value not yet written
+            break;
+          }
+          return value;
+        }
+      }
+    }
+    if (!in_flight) return Status::NotFound("key not in hash table");
+    SimClock::Advance(200);
+  }
+  return Status::TimedOut("hash slot stayed in-flight");
+}
+
+Status RaceHash::Insert(uint64_t key, uint64_t value) {
+  if (key == 0 || value == 0) {
+    return Status::InvalidArgument("RaceHash keys/values must be non-zero");
+  }
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  char scratch[2 * kBucketBytes];
+  uint64_t bidx[2];
+  for (uint32_t attempt = 0; attempt < 16; attempt++) {
+    DSMDB_RETURN_NOT_OK(ReadBothBuckets(key, scratch, &bidx[0], &bidx[1]));
+    const int nbuckets = bidx[0] == bidx[1] ? 1 : 2;
+
+    // Duplicate check + free-slot census.
+    int free_bucket = -1;
+    uint32_t free_slot = 0;
+    uint32_t best_load = kSlotsPerBucket + 1;
+    for (int b = 0; b < nbuckets; b++) {
+      uint32_t load = 0;
+      int first_free = -1;
+      for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+        const char* slot = scratch + b * kBucketBytes + s * kSlotBytes;
+        const uint64_t k = DecodeFixed64(slot);
+        if (k == key) return Status::AlreadyExists("key already inserted");
+        if (k == 0 && first_free < 0) first_free = static_cast<int>(s);
+        if (k != 0) load++;
+      }
+      // d-choice: prefer the less-loaded candidate bucket.
+      if (first_free >= 0 && load < best_load) {
+        best_load = load;
+        free_bucket = b;
+        free_slot = static_cast<uint32_t>(first_free);
+      }
+    }
+    if (free_bucket < 0) {
+      stats_.full_buckets.fetch_add(1, std::memory_order_relaxed);
+      return Status::OutOfMemory("both candidate buckets full");
+    }
+
+    // Claim the slot's key word with one RDMA CAS, then fill the value.
+    const dsm::GlobalAddress slot_addr =
+        BucketAddr(bidx[free_bucket]).Plus(free_slot * kSlotBytes);
+    Result<uint64_t> prev = dsm_->CompareAndSwap(slot_addr, 0, key);
+    if (!prev.ok()) return prev.status();
+    if (*prev != 0) {
+      stats_.cas_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;  // lost the race for this slot; re-scan
+    }
+    DSMDB_RETURN_NOT_OK(dsm_->Write(slot_addr.Plus(8), &value, 8));
+    return Status::OK();
+  }
+  return Status::Busy("insert kept losing CAS races");
+}
+
+Status RaceHash::Update(uint64_t key, uint64_t value) {
+  if (value == 0) return Status::InvalidArgument("value must be non-zero");
+  char scratch[2 * kBucketBytes];
+  uint64_t b0, b1;
+  DSMDB_RETURN_NOT_OK(ReadBothBuckets(key, scratch, &b0, &b1));
+  const uint64_t buckets[2] = {b0, b1};
+  const int nbuckets = b0 == b1 ? 1 : 2;
+  for (int b = 0; b < nbuckets; b++) {
+    for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+      const char* slot = scratch + b * kBucketBytes + s * kSlotBytes;
+      if (DecodeFixed64(slot) == key) {
+        const dsm::GlobalAddress slot_addr =
+            BucketAddr(buckets[b]).Plus(s * kSlotBytes);
+        return dsm_->Write(slot_addr.Plus(8), &value, 8);
+      }
+    }
+  }
+  return Status::NotFound("key not in hash table");
+}
+
+Status RaceHash::Delete(uint64_t key) {
+  char scratch[2 * kBucketBytes];
+  uint64_t b0, b1;
+  DSMDB_RETURN_NOT_OK(ReadBothBuckets(key, scratch, &b0, &b1));
+  const uint64_t buckets[2] = {b0, b1};
+  const int nbuckets = b0 == b1 ? 1 : 2;
+  for (int b = 0; b < nbuckets; b++) {
+    for (uint32_t s = 0; s < kSlotsPerBucket; s++) {
+      const char* slot = scratch + b * kBucketBytes + s * kSlotBytes;
+      if (DecodeFixed64(slot) == key) {
+        const dsm::GlobalAddress slot_addr =
+            BucketAddr(buckets[b]).Plus(s * kSlotBytes);
+        // Clear value first so readers treat the slot as in-flight, then
+        // release the key word with CAS (tolerates concurrent deleters).
+        const uint64_t zero = 0;
+        DSMDB_RETURN_NOT_OK(dsm_->Write(slot_addr.Plus(8), &zero, 8));
+        Result<uint64_t> prev = dsm_->CompareAndSwap(slot_addr, key, 0);
+        if (!prev.ok()) return prev.status();
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("key not in hash table");
+}
+
+}  // namespace dsmdb::index

@@ -1,0 +1,81 @@
+#ifndef DSMDB_INDEX_RACE_HASH_H_
+#define DSMDB_INDEX_RACE_HASH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::index {
+
+struct RaceHashStats {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> cas_retries{0};
+  std::atomic<uint64_t> full_buckets{0};
+};
+
+/// One-sided RDMA hash index in the spirit of RACE [76]:
+///  * every key hashes to TWO candidate buckets (d-choice balancing);
+///  * a GET reads both buckets with ONE doorbell-batched read;
+///  * an INSERT claims an empty slot lock-free with a single RDMA CAS on
+///    the key word, then fills the value;
+///  * no compute-node locks, no memory-node CPU involvement.
+///
+/// Simplifications vs. the full RACE design, documented in DESIGN.md: the
+/// directory is fixed at creation (no lock-free extendible resizing), and
+/// slots store full 8-byte keys rather than fingerprint+pointer pairs.
+/// Keys and values must be non-zero (0 marks an empty/in-flight slot).
+///
+/// Slot layout: 16 bytes = key word (CAS target) | value word.
+class RaceHash {
+ public:
+  static constexpr uint32_t kSlotsPerBucket = 8;
+  static constexpr uint64_t kSlotBytes = 16;
+  static constexpr uint64_t kBucketBytes = kSlotsPerBucket * kSlotBytes;
+
+  /// Allocates a table with `num_buckets` buckets (rounded up to a power
+  /// of two) and returns its base address to share across compute nodes.
+  static Result<dsm::GlobalAddress> Create(dsm::DsmClient* dsm,
+                                           uint64_t num_buckets);
+
+  RaceHash(dsm::DsmClient* dsm, dsm::GlobalAddress base,
+           uint64_t num_buckets);
+
+  /// Inserts key -> value. kAlreadyExists if present; kOutOfMemory if both
+  /// candidate buckets are full (fixed-capacity table).
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Point lookup (both candidate buckets in one doorbell batch).
+  Result<uint64_t> Get(uint64_t key);
+
+  /// Updates an existing key's value (kNotFound if absent).
+  Status Update(uint64_t key, uint64_t value);
+
+  /// Removes the key (kNotFound if absent).
+  Status Delete(uint64_t key);
+
+  RaceHashStats& stats() { return stats_; }
+  uint64_t num_buckets() const { return num_buckets_; }
+
+ private:
+  uint64_t BucketIndex(uint64_t key, int choice) const;
+  dsm::GlobalAddress BucketAddr(uint64_t bucket) const {
+    return base_.Plus(bucket * kBucketBytes);
+  }
+  /// Reads both candidate buckets into `scratch` (2 * kBucketBytes).
+  Status ReadBothBuckets(uint64_t key, char* scratch, uint64_t* b0,
+                         uint64_t* b1);
+
+  dsm::DsmClient* dsm_;
+  dsm::GlobalAddress base_;
+  uint64_t num_buckets_;  // power of two
+  RaceHashStats stats_;
+};
+
+}  // namespace dsmdb::index
+
+#endif  // DSMDB_INDEX_RACE_HASH_H_

@@ -1,0 +1,519 @@
+#include "index/sherman_btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::index {
+
+namespace {
+
+constexpr uint64_t kMetaBytes = 24;  // lock | root | height
+constexpr uint32_t kMaxDescend = 128;
+
+void Backoff(uint32_t attempt) {
+  SimClock::Advance(std::min<uint64_t>(150ULL << std::min(attempt, 6u),
+                                       10'000));
+  if (attempt > 2) std::this_thread::yield();
+}
+
+}  // namespace
+
+Result<dsm::GlobalAddress> ShermanBTree::Create(dsm::DsmClient* dsm) {
+  Result<dsm::GlobalAddress> meta = dsm->Alloc(kMetaBytes);
+  if (!meta.ok()) return meta.status();
+  Result<dsm::GlobalAddress> root = dsm->Alloc(kNodeBytes);
+  if (!root.ok()) return root.status();
+
+  BTreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.level = 0;
+  leaf.count = 0;
+  leaf.sibling = 0;
+  leaf.high_key = UINT64_MAX;
+  char buf[kNodeBytes] = {};
+  leaf.EncodeBody(buf);
+  DSMDB_RETURN_NOT_OK(dsm->Write(*root, buf, kNodeBytes));
+
+  char mbuf[kMetaBytes] = {};
+  EncodeFixed64(mbuf + 8, root->Pack());
+  EncodeFixed64(mbuf + 16, 1);
+  DSMDB_RETURN_NOT_OK(dsm->Write(*meta, mbuf, kMetaBytes));
+  return *meta;
+}
+
+ShermanBTree::ShermanBTree(dsm::DsmClient* dsm, dsm::GlobalAddress meta,
+                           BTreeOptions options)
+    : dsm_(dsm), meta_addr_(meta), options_(options) {}
+
+Result<ShermanBTree::Meta> ShermanBTree::ReadMeta() {
+  {
+    SpinLatchGuard g(meta_latch_);
+    if (meta_cached_) return cached_meta_;
+  }
+  char buf[kMetaBytes];
+  DSMDB_RETURN_NOT_OK(dsm_->Read(meta_addr_, buf, kMetaBytes));
+  Meta m{DecodeFixed64(buf + 8), DecodeFixed64(buf + 16)};
+  SpinLatchGuard g(meta_latch_);
+  cached_meta_ = m;
+  meta_cached_ = true;
+  return m;
+}
+
+Status ShermanBTree::WriteMeta(const Meta& meta) {
+  char buf[16];
+  EncodeFixed64(buf, meta.root_packed);
+  EncodeFixed64(buf + 8, meta.height);
+  DSMDB_RETURN_NOT_OK(dsm_->Write(meta_addr_.Plus(8), buf, 16));
+  SpinLatchGuard g(meta_latch_);
+  cached_meta_ = meta;
+  meta_cached_ = true;
+  return Status::OK();
+}
+
+Status ShermanBTree::ReadNodeValidated(dsm::GlobalAddress addr,
+                                       BTreeNode* node) {
+  char buf[kNodeBytes];
+  for (uint32_t attempt = 0; attempt < options_.max_read_retries;
+       attempt++) {
+    DSMDB_RETURN_NOT_OK(dsm_->Read(addr, buf, kNodeBytes));
+    if (node->Decode(buf)) return Status::OK();
+    stats_.read_retries.fetch_add(1, std::memory_order_relaxed);
+    Backoff(attempt);
+  }
+  return Status::TimedOut("btree node read kept failing validation");
+}
+
+Status ShermanBTree::ReadNodeLocked(dsm::GlobalAddress addr,
+                                    BTreeNode* node) {
+  char buf[kNodeBytes];
+  DSMDB_RETURN_NOT_OK(dsm_->Read(addr, buf, kNodeBytes));
+  if (!node->Decode(buf, /*ignore_lock=*/true)) {
+    return Status::Corruption("locked node failed header/footer check");
+  }
+  return Status::OK();
+}
+
+Status ShermanBTree::WriteNodeLocked(dsm::GlobalAddress addr,
+                                     const BTreeNode& node,
+                                     uint64_t new_version) {
+  char body[kNodeBytes];
+  node.EncodeBody(body);
+  char ver[8];
+  EncodeFixed64(ver, new_version);
+  // Doorbell batch; in-order execution gives seqlock semantics in 1 RTT.
+  std::vector<dsm::DsmBatchOp> batch;
+  batch.push_back({addr.Plus(kOffHeaderVer), ver, 8});
+  batch.push_back({addr.Plus(kOffMeta), body + kOffMeta,
+                   kOffFooterVer - kOffMeta});
+  batch.push_back({addr.Plus(kOffFooterVer), ver, 8});
+  return dsm_->WriteBatch(batch);
+}
+
+Status ShermanBTree::WriteFreshNode(dsm::GlobalAddress addr,
+                                    const BTreeNode& node) {
+  char buf[kNodeBytes] = {};
+  node.EncodeBody(buf);
+  return dsm_->Write(addr, buf, kNodeBytes);
+}
+
+void ShermanBTree::CacheInsert(dsm::GlobalAddress addr,
+                               const BTreeNode& node) {
+  SpinLatchGuard g(cache_latch_);
+  cache_[addr.Pack()] = node;
+}
+
+void ShermanBTree::CacheErase(dsm::GlobalAddress addr) {
+  SpinLatchGuard g(cache_latch_);
+  cache_.erase(addr.Pack());
+}
+
+void ShermanBTree::DropCache() {
+  SpinLatchGuard g(cache_latch_);
+  cache_.clear();
+}
+
+size_t ShermanBTree::CachedNodes() const {
+  SpinLatchGuard g(cache_latch_);
+  return cache_.size();
+}
+
+Status ShermanBTree::ReadInternal(dsm::GlobalAddress addr,
+                                  BTreeNode* node) {
+  if (options_.cache_internal_nodes) {
+    {
+      SpinLatchGuard g(cache_latch_);
+      auto it = cache_.find(addr.Pack());
+      if (it != cache_.end()) {
+        *node = it->second;
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        SimClock::Advance(
+            dsm_->cluster()->compute_cpu().dram_access_ns);
+        return Status::OK();
+      }
+    }
+    stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  DSMDB_RETURN_NOT_OK(ReadNodeValidated(addr, node));
+  if (options_.cache_internal_nodes && !node->is_leaf) {
+    CacheInsert(addr, *node);
+  }
+  return Status::OK();
+}
+
+Status ShermanBTree::DescendToLeaf(uint64_t key,
+                                   std::vector<dsm::GlobalAddress>* path,
+                                   dsm::GlobalAddress* leaf) {
+  Result<Meta> meta = ReadMeta();
+  if (!meta.ok()) return meta.status();
+  dsm::GlobalAddress cur = dsm::GlobalAddress::Unpack(meta->root_packed);
+  path->clear();
+  for (uint32_t depth = 0; depth < kMaxDescend; depth++) {
+    BTreeNode node;
+    DSMDB_RETURN_NOT_OK(ReadInternal(cur, &node));
+    // B-link chase: a stale cache or in-flight split routes us right.
+    while (key >= node.high_key && node.sibling != 0) {
+      stats_.link_chases.fetch_add(1, std::memory_order_relaxed);
+      CacheErase(cur);
+      cur = dsm::GlobalAddress::Unpack(node.sibling);
+      DSMDB_RETURN_NOT_OK(ReadNodeValidated(cur, &node));
+      if (options_.cache_internal_nodes && !node.is_leaf) {
+        CacheInsert(cur, node);
+      }
+    }
+    if (node.is_leaf) {
+      *leaf = cur;
+      return Status::OK();
+    }
+    if (node.count == 0) return Status::Corruption("empty internal node");
+    path->push_back(cur);
+    cur = dsm::GlobalAddress::Unpack(node.vals[node.ChildIndex(key)]);
+  }
+  return Status::Corruption("btree descend did not terminate");
+}
+
+Status ShermanBTree::LockCovering(uint64_t key, dsm::GlobalAddress* addr,
+                                  BTreeNode* node) {
+  const uint64_t lock_id = NextLockId();
+  for (uint32_t attempt = 0;; attempt++) {
+    if (attempt >= options_.lock_max_attempts) {
+      return Status::TimedOut("btree node lock busy");
+    }
+    Result<uint64_t> prev =
+        dsm_->CompareAndSwap(addr->Plus(kOffLock), 0, lock_id);
+    if (!prev.ok()) return prev.status();
+    if (*prev != 0) {
+      Backoff(attempt);
+      continue;
+    }
+    DSMDB_RETURN_NOT_OK(ReadNodeLocked(*addr, node));
+    if (key >= node->high_key && node->sibling != 0) {
+      // Wrong node (split raced us): unlock and move right.
+      DSMDB_RETURN_NOT_OK(UnlockStatus(*addr, lock_id));
+      stats_.link_chases.fetch_add(1, std::memory_order_relaxed);
+      CacheErase(*addr);
+      *addr = dsm::GlobalAddress::Unpack(node->sibling);
+      continue;
+    }
+    node->lock = lock_id;
+    return Status::OK();
+  }
+}
+
+Result<uint64_t> ShermanBTree::Search(uint64_t key) {
+  stats_.searches.fetch_add(1, std::memory_order_relaxed);
+  std::vector<dsm::GlobalAddress> path;
+  dsm::GlobalAddress leaf_addr;
+  DSMDB_RETURN_NOT_OK(DescendToLeaf(key, &path, &leaf_addr));
+  BTreeNode leaf;
+  DSMDB_RETURN_NOT_OK(ReadNodeValidated(leaf_addr, &leaf));
+  while (key >= leaf.high_key && leaf.sibling != 0) {
+    stats_.link_chases.fetch_add(1, std::memory_order_relaxed);
+    leaf_addr = dsm::GlobalAddress::Unpack(leaf.sibling);
+    DSMDB_RETURN_NOT_OK(ReadNodeValidated(leaf_addr, &leaf));
+  }
+  const uint32_t pos = leaf.Find(key);
+  if (pos == leaf.count) return Status::NotFound("key not in btree");
+  return leaf.vals[pos];
+}
+
+Status ShermanBTree::Insert(uint64_t key, uint64_t value) {
+  stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  std::vector<dsm::GlobalAddress> path;
+  dsm::GlobalAddress leaf_addr;
+  DSMDB_RETURN_NOT_OK(DescendToLeaf(key, &path, &leaf_addr));
+
+  BTreeNode node;
+  DSMDB_RETURN_NOT_OK(LockCovering(key, &leaf_addr, &node));
+  const uint64_t lock_id = node.lock;
+
+  const uint32_t pos = node.Find(key);
+  if (pos < node.count) {  // update in place
+    node.vals[pos] = value;
+    DSMDB_RETURN_NOT_OK(WriteNodeLocked(leaf_addr, node, node.version + 1));
+    return UnlockStatus(leaf_addr, lock_id);
+  }
+
+  if (node.count < kNodeCap) {
+    uint32_t ins = 0;
+    while (ins < node.count && node.keys[ins] < key) ins++;
+    for (uint32_t i = node.count; i > ins; i--) {
+      node.keys[i] = node.keys[i - 1];
+      node.vals[i] = node.vals[i - 1];
+    }
+    node.keys[ins] = key;
+    node.vals[ins] = value;
+    node.count++;
+    DSMDB_RETURN_NOT_OK(WriteNodeLocked(leaf_addr, node, node.version + 1));
+    return UnlockStatus(leaf_addr, lock_id);
+  }
+
+  // Split.
+  stats_.splits.fetch_add(1, std::memory_order_relaxed);
+  Result<dsm::GlobalAddress> right_addr = dsm_->Alloc(kNodeBytes);
+  if (!right_addr.ok()) {
+    (void)UnlockStatus(leaf_addr, lock_id);
+    return right_addr.status();
+  }
+  const uint32_t mid = node.count / 2;
+  BTreeNode right;
+  right.is_leaf = node.is_leaf;
+  right.level = node.level;
+  right.count = node.count - mid;
+  right.sibling = node.sibling;
+  right.high_key = node.high_key;
+  for (uint32_t i = 0; i < right.count; i++) {
+    right.keys[i] = node.keys[mid + i];
+    right.vals[i] = node.vals[mid + i];
+  }
+  node.count = mid;
+  node.sibling = right_addr->Pack();
+  node.high_key = right.keys[0];
+  const uint64_t sep = right.keys[0];
+
+  // Insert the new key into the proper half (both have room now).
+  BTreeNode* target = key < sep ? &node : &right;
+  uint32_t ins = 0;
+  while (ins < target->count && target->keys[ins] < key) ins++;
+  for (uint32_t i = target->count; i > ins; i--) {
+    target->keys[i] = target->keys[i - 1];
+    target->vals[i] = target->vals[i - 1];
+  }
+  target->keys[ins] = key;
+  target->vals[ins] = value;
+  target->count++;
+
+  // Publish: right first (unreachable until left links to it).
+  DSMDB_RETURN_NOT_OK(WriteFreshNode(*right_addr, right));
+  DSMDB_RETURN_NOT_OK(WriteNodeLocked(leaf_addr, node, node.version + 1));
+  DSMDB_RETURN_NOT_OK(UnlockStatus(leaf_addr, lock_id));
+  CacheErase(leaf_addr);
+
+  return InsertIntoParent(std::move(path), sep, *right_addr, node.level);
+}
+
+Status ShermanBTree::InsertIntoParent(std::vector<dsm::GlobalAddress> path,
+                                      uint64_t sep,
+                                      dsm::GlobalAddress child,
+                                      uint8_t child_level) {
+  while (true) {
+    if (path.empty()) {
+      // We split a node with no known parent: either the root, or our
+      // path is stale. Take the meta lock to decide.
+      const uint64_t lock_id = NextLockId();
+      for (uint32_t attempt = 0;; attempt++) {
+        Result<uint64_t> prev =
+            dsm_->CompareAndSwap(meta_addr_, 0, lock_id);
+        if (!prev.ok()) return prev.status();
+        if (*prev == 0) break;
+        if (attempt >= options_.lock_max_attempts) {
+          return Status::TimedOut("btree meta lock busy");
+        }
+        Backoff(attempt);
+      }
+      char mbuf[kMetaBytes];
+      Status s = dsm_->Read(meta_addr_, mbuf, kMetaBytes);
+      if (!s.ok()) {
+        (void)UnlockStatus(meta_addr_, lock_id);
+        return s;
+      }
+      Meta m{DecodeFixed64(mbuf + 8), DecodeFixed64(mbuf + 16)};
+      if (m.height == static_cast<uint64_t>(child_level) + 1) {
+        // The split node really was the root: grow the tree.
+        Result<dsm::GlobalAddress> root_addr = dsm_->Alloc(kNodeBytes);
+        if (!root_addr.ok()) {
+          (void)UnlockStatus(meta_addr_, lock_id);
+          return root_addr.status();
+        }
+        BTreeNode root;
+        root.is_leaf = false;
+        root.level = child_level + 1;
+        root.count = 2;
+        root.sibling = 0;
+        root.high_key = UINT64_MAX;
+        root.keys[0] = 0;
+        root.vals[0] = m.root_packed;
+        root.keys[1] = sep;
+        root.vals[1] = child.Pack();
+        s = WriteFreshNode(*root_addr, root);
+        if (s.ok()) {
+          s = WriteMeta(Meta{root_addr->Pack(), m.height + 1});
+        }
+        Status us = UnlockStatus(meta_addr_, lock_id);
+        return s.ok() ? us : s;
+      }
+      // Tree already grew past us: find the parent level from the root.
+      DSMDB_RETURN_NOT_OK(UnlockStatus(meta_addr_, lock_id));
+      {
+        SpinLatchGuard g(meta_latch_);
+        meta_cached_ = false;  // force fresh root
+      }
+      Result<Meta> fresh = ReadMeta();
+      if (!fresh.ok()) return fresh.status();
+      dsm::GlobalAddress cur =
+          dsm::GlobalAddress::Unpack(fresh->root_packed);
+      // Collect the path down to level child_level + 1.
+      std::vector<dsm::GlobalAddress> new_path;
+      BTreeNode n;
+      for (uint32_t depth = 0; depth < kMaxDescend; depth++) {
+        DSMDB_RETURN_NOT_OK(ReadNodeValidated(cur, &n));
+        while (sep >= n.high_key && n.sibling != 0) {
+          cur = dsm::GlobalAddress::Unpack(n.sibling);
+          DSMDB_RETURN_NOT_OK(ReadNodeValidated(cur, &n));
+        }
+        if (n.level == child_level + 1) break;
+        if (n.is_leaf || n.count == 0) {
+          return Status::Corruption("lost parent during split");
+        }
+        new_path.push_back(cur);
+        cur = dsm::GlobalAddress::Unpack(n.vals[n.ChildIndex(sep)]);
+      }
+      new_path.push_back(cur);
+      path = std::move(new_path);
+    }
+
+    dsm::GlobalAddress parent_addr = path.back();
+    path.pop_back();
+    BTreeNode parent;
+    DSMDB_RETURN_NOT_OK(LockCovering(sep, &parent_addr, &parent));
+    const uint64_t lock_id = parent.lock;
+
+    if (parent.count < kNodeCap) {
+      uint32_t ins = 0;
+      while (ins < parent.count && parent.keys[ins] < sep) ins++;
+      for (uint32_t i = parent.count; i > ins; i--) {
+        parent.keys[i] = parent.keys[i - 1];
+        parent.vals[i] = parent.vals[i - 1];
+      }
+      parent.keys[ins] = sep;
+      parent.vals[ins] = child.Pack();
+      parent.count++;
+      DSMDB_RETURN_NOT_OK(
+          WriteNodeLocked(parent_addr, parent, parent.version + 1));
+      DSMDB_RETURN_NOT_OK(UnlockStatus(parent_addr, lock_id));
+      CacheErase(parent_addr);
+      return Status::OK();
+    }
+
+    // Parent is full: split it and continue one level up.
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    Result<dsm::GlobalAddress> right_addr = dsm_->Alloc(kNodeBytes);
+    if (!right_addr.ok()) {
+      (void)UnlockStatus(parent_addr, lock_id);
+      return right_addr.status();
+    }
+    const uint32_t mid = parent.count / 2;
+    BTreeNode right;
+    right.is_leaf = false;
+    right.level = parent.level;
+    right.count = parent.count - mid;
+    right.sibling = parent.sibling;
+    right.high_key = parent.high_key;
+    for (uint32_t i = 0; i < right.count; i++) {
+      right.keys[i] = parent.keys[mid + i];
+      right.vals[i] = parent.vals[mid + i];
+    }
+    parent.count = mid;
+    parent.sibling = right_addr->Pack();
+    parent.high_key = right.keys[0];
+    const uint64_t parent_sep = right.keys[0];
+
+    BTreeNode* target = sep < parent_sep ? &parent : &right;
+    uint32_t ins = 0;
+    while (ins < target->count && target->keys[ins] < sep) ins++;
+    for (uint32_t i = target->count; i > ins; i--) {
+      target->keys[i] = target->keys[i - 1];
+      target->vals[i] = target->vals[i - 1];
+    }
+    target->keys[ins] = sep;
+    target->vals[ins] = child.Pack();
+    target->count++;
+
+    DSMDB_RETURN_NOT_OK(WriteFreshNode(*right_addr, right));
+    DSMDB_RETURN_NOT_OK(
+        WriteNodeLocked(parent_addr, parent, parent.version + 1));
+    DSMDB_RETURN_NOT_OK(UnlockStatus(parent_addr, lock_id));
+    CacheErase(parent_addr);
+
+    sep = parent_sep;
+    child = *right_addr;
+    child_level = parent.level;
+  }
+}
+
+Status ShermanBTree::Delete(uint64_t key) {
+  std::vector<dsm::GlobalAddress> path;
+  dsm::GlobalAddress leaf_addr;
+  DSMDB_RETURN_NOT_OK(DescendToLeaf(key, &path, &leaf_addr));
+  BTreeNode node;
+  DSMDB_RETURN_NOT_OK(LockCovering(key, &leaf_addr, &node));
+  const uint64_t lock_id = node.lock;
+  const uint32_t pos = node.Find(key);
+  if (pos == node.count) {
+    DSMDB_RETURN_NOT_OK(UnlockStatus(leaf_addr, lock_id));
+    return Status::NotFound("key not in btree");
+  }
+  for (uint32_t i = pos; i + 1 < node.count; i++) {
+    node.keys[i] = node.keys[i + 1];
+    node.vals[i] = node.vals[i + 1];
+  }
+  node.count--;
+  DSMDB_RETURN_NOT_OK(WriteNodeLocked(leaf_addr, node, node.version + 1));
+  return UnlockStatus(leaf_addr, lock_id);
+}
+
+Result<std::vector<std::pair<uint64_t, uint64_t>>> ShermanBTree::Scan(
+    uint64_t start, size_t limit) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  std::vector<dsm::GlobalAddress> path;
+  dsm::GlobalAddress leaf_addr;
+  DSMDB_RETURN_NOT_OK(DescendToLeaf(start, &path, &leaf_addr));
+  BTreeNode node;
+  DSMDB_RETURN_NOT_OK(ReadNodeValidated(leaf_addr, &node));
+  while (out.size() < limit) {
+    for (uint32_t i = 0; i < node.count && out.size() < limit; i++) {
+      if (node.keys[i] >= start) {
+        out.emplace_back(node.keys[i], node.vals[i]);
+      }
+    }
+    if (node.sibling == 0) break;
+    leaf_addr = dsm::GlobalAddress::Unpack(node.sibling);
+    DSMDB_RETURN_NOT_OK(ReadNodeValidated(leaf_addr, &node));
+  }
+  return out;
+}
+
+Status ShermanBTree::UnlockStatus(dsm::GlobalAddress node_addr,
+                                  uint64_t lock_id) {
+  Result<uint64_t> prev =
+      dsm_->CompareAndSwap(node_addr.Plus(kOffLock), lock_id, 0);
+  if (!prev.ok()) return prev.status();
+  if (*prev != lock_id) {
+    return Status::Internal("btree unlock of a lock we do not hold");
+  }
+  return Status::OK();
+}
+
+}  // namespace dsmdb::index

@@ -1,0 +1,143 @@
+#ifndef DSMDB_INDEX_SHERMAN_BTREE_H_
+#define DSMDB_INDEX_SHERMAN_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "index/btree_node.h"
+
+namespace dsmdb::index {
+
+struct BTreeOptions {
+  /// Sherman's key trick (Challenge #10): cache internal nodes in compute-
+  /// node memory so a lookup costs ~1 round trip (the leaf read) instead of
+  /// one per level. Costs local memory; turning it off yields the naive
+  /// remote B+tree baseline.
+  bool cache_internal_nodes = true;
+  uint32_t max_read_retries = 64;
+  uint32_t lock_max_attempts = 256;
+};
+
+struct BTreeStats {
+  std::atomic<uint64_t> searches{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> read_retries{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> link_chases{0};
+};
+
+/// A write-optimized distributed B+tree on disaggregated memory, following
+/// Sherman [62]:
+///  * all data-plane accesses are one-sided RDMA;
+///  * readers validate lock-free snapshots via bracketed version words;
+///  * writers serialize per node with a 1-RTT RDMA CAS spinlock and
+///    publish with doorbell-batched (version, body, version) writes;
+///  * B-link sibling pointers + fence keys make concurrent splits safe for
+///    lock-free readers and stale caches;
+///  * optionally caches internal nodes locally (the Sherman design point).
+///
+/// Maps uint64 keys to uint64 values (e.g. packed record addresses).
+/// Deletes do not rebalance (research-prototype convention). One instance
+/// per compute node per tree; instances on different nodes share the tree
+/// through the meta block's address.
+class ShermanBTree {
+ public:
+  /// Allocates a fresh tree (meta block + empty root leaf) in DSM.
+  static Result<dsm::GlobalAddress> Create(dsm::DsmClient* dsm);
+
+  ShermanBTree(dsm::DsmClient* dsm, dsm::GlobalAddress meta,
+               BTreeOptions options = {});
+
+  /// Inserts or overwrites `key`.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Point lookup.
+  Result<uint64_t> Search(uint64_t key);
+
+  /// Removes `key` (kNotFound if absent).
+  Status Delete(uint64_t key);
+
+  /// Up to `limit` pairs with key >= `start`, in key order.
+  Result<std::vector<std::pair<uint64_t, uint64_t>>> Scan(uint64_t start,
+                                                          size_t limit);
+
+  BTreeStats& stats() { return stats_; }
+  const BTreeOptions& options() const { return options_; }
+  /// Drops this handle's internal-node cache (e.g. for ablations).
+  void DropCache();
+  size_t CachedNodes() const;
+
+ private:
+  struct Meta {
+    uint64_t root_packed;
+    uint64_t height;
+  };
+
+  Result<Meta> ReadMeta();
+  Status WriteMeta(const Meta& meta);
+
+  /// Validated lock-free snapshot read (retries torn reads).
+  Status ReadNodeValidated(dsm::GlobalAddress addr, BTreeNode* node);
+  /// Snapshot read while *we* hold the node's lock.
+  Status ReadNodeLocked(dsm::GlobalAddress addr, BTreeNode* node);
+  /// Publishes a locked node's new body: doorbell batch of
+  /// (header version, body, footer version) — one round trip.
+  Status WriteNodeLocked(dsm::GlobalAddress addr, const BTreeNode& node,
+                         uint64_t new_version);
+  /// Writes a fully-formed, not-yet-linked node (versions 0, unlocked).
+  Status WriteFreshNode(dsm::GlobalAddress addr, const BTreeNode& node);
+
+  /// Reads an internal node through the local cache.
+  Status ReadInternal(dsm::GlobalAddress addr, BTreeNode* node);
+  void CacheInsert(dsm::GlobalAddress addr, const BTreeNode& node);
+  void CacheErase(dsm::GlobalAddress addr);
+
+  /// Descends to the leaf that should hold `key`; records the internal
+  /// path (for splits).
+  Status DescendToLeaf(uint64_t key, std::vector<dsm::GlobalAddress>* path,
+                       dsm::GlobalAddress* leaf);
+
+  /// Locks `*addr` (chasing B-links so the locked node truly covers
+  /// `key`), leaving the fresh image in `node`.
+  Status LockCovering(uint64_t key, dsm::GlobalAddress* addr,
+                      BTreeNode* node);
+
+  /// Inserts (sep, child) into the parent level after a split.
+  Status InsertIntoParent(std::vector<dsm::GlobalAddress> path,
+                          uint64_t sep, dsm::GlobalAddress child,
+                          uint8_t child_level);
+
+  /// Releases the CAS spinlock at `node_addr`'s lock word.
+  Status UnlockStatus(dsm::GlobalAddress node_addr, uint64_t lock_id);
+
+  uint64_t NextLockId() {
+    return (lock_seq_.fetch_add(1, std::memory_order_relaxed) << 10) |
+           (dsm_->self() & 0x3FF);
+  }
+
+  dsm::DsmClient* dsm_;
+  dsm::GlobalAddress meta_addr_;
+  BTreeOptions options_;
+  BTreeStats stats_;
+  std::atomic<uint64_t> lock_seq_{1};
+
+  mutable SpinLatch cache_latch_;
+  std::unordered_map<uint64_t, BTreeNode> cache_;  // packed addr -> node
+  /// Locally cached meta (root/height); refreshed on mismatch.
+  mutable SpinLatch meta_latch_;
+  bool meta_cached_ = false;
+  Meta cached_meta_{0, 0};
+};
+
+}  // namespace dsmdb::index
+
+#endif  // DSMDB_INDEX_SHERMAN_BTREE_H_

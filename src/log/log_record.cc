@@ -1,0 +1,54 @@
+#include "log/log_record.h"
+
+#include "common/coding.h"
+
+namespace dsmdb::log {
+
+void EncodeLogRecord(const LogRecord& rec, std::string* out) {
+  const size_t body_len = 8 + 8 + 1 + rec.payload.size();
+  PutFixed32(out, static_cast<uint32_t>(body_len));
+  const size_t body_start = out->size();
+  PutFixed64(out, rec.lsn);
+  PutFixed64(out, rec.txn_id);
+  out->push_back(static_cast<char>(rec.type));
+  out->append(rec.payload);
+  const uint64_t csum = Checksum64(out->data() + body_start, body_len);
+  PutFixed64(out, csum);
+}
+
+Status DecodeLogRecord(std::string_view buf, size_t* pos, LogRecord* rec) {
+  if (*pos >= buf.size()) return Status::NotFound("end of log");
+  if (*pos + 4 > buf.size()) return Status::Corruption("torn length");
+  const uint32_t body_len = DecodeFixed32(buf.data() + *pos);
+  const size_t body_start = *pos + 4;
+  if (body_len < 17) return Status::Corruption("record too short");
+  if (body_start + body_len + 8 > buf.size()) {
+    return Status::Corruption("torn record");
+  }
+  const uint64_t stored_csum =
+      DecodeFixed64(buf.data() + body_start + body_len);
+  const uint64_t csum = Checksum64(buf.data() + body_start, body_len);
+  if (stored_csum != csum) return Status::Corruption("checksum mismatch");
+
+  rec->lsn = DecodeFixed64(buf.data() + body_start);
+  rec->txn_id = DecodeFixed64(buf.data() + body_start + 8);
+  rec->type = static_cast<LogRecordType>(buf[body_start + 16]);
+  rec->payload.assign(buf.data() + body_start + 17, body_len - 17);
+  *pos = body_start + body_len + 8;
+  return Status::OK();
+}
+
+Status ParseLog(std::string_view buf, std::vector<LogRecord>* records) {
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    LogRecord rec;
+    Status s = DecodeLogRecord(buf, &pos, &rec);
+    if (s.IsNotFound()) break;
+    if (s.IsCorruption()) break;  // torn tail: stop replay here
+    if (!s.ok()) return s;
+    records->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+}  // namespace dsmdb::log

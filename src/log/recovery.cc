@@ -1,0 +1,67 @@
+#include "log/recovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dsmdb::log {
+
+Result<uint64_t> RedoRecovery::Replay(const std::vector<LogRecord>& records,
+                                      const ApplyFn& apply) {
+  // Pass 0: find the last checkpoint (replay starts after it).
+  uint64_t start_lsn = 0;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kCheckpoint) {
+      start_lsn = std::max(start_lsn, rec.lsn);
+    }
+  }
+  // Pass 1: committed transactions.
+  std::unordered_set<uint64_t> committed;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+  }
+  // Pass 2: apply redo records of committed transactions, in LSN order.
+  uint64_t applied = 0;
+  for (const LogRecord& rec : records) {
+    if (rec.lsn <= start_lsn) continue;
+    if (rec.type != LogRecordType::kUpdate) continue;
+    if (!committed.contains(rec.txn_id)) continue;
+    apply(rec);
+    applied++;
+  }
+  return applied;
+}
+
+Result<uint64_t> RedoRecovery::ReplayFromImage(std::string_view image,
+                                               const ApplyFn& apply) {
+  std::vector<LogRecord> records;
+  DSMDB_RETURN_NOT_OK(ParseLog(image, &records));
+  std::sort(records.begin(), records.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  return Replay(records, apply);
+}
+
+Result<uint64_t> RedoRecovery::ReplayCommands(
+    const std::vector<LogRecord>& records, uint32_t sources_observed,
+    const ApplyFn& execute) {
+  if (sources_observed > 1) {
+    return Status::NotSupported(
+        "command logging cannot rebuild state under multi-master: the "
+        "global transaction order is not known (paper, Challenge #2)");
+  }
+  std::unordered_set<uint64_t> committed;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+  }
+  uint64_t executed = 0;
+  for (const LogRecord& rec : records) {
+    if (rec.type != LogRecordType::kCommand) continue;
+    if (!committed.contains(rec.txn_id)) continue;
+    execute(rec);
+    executed++;
+  }
+  return executed;
+}
+
+}  // namespace dsmdb::log

@@ -1,0 +1,106 @@
+#include "log/replicated_log.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+
+namespace dsmdb::log {
+
+ReplicatedLog::ReplicatedLog(dsm::DsmClient* client,
+                             ReplicatedLogOptions options)
+    : client_(client), options_(std::move(options)) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : options_.name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  name_hash_ = h;
+}
+
+dsm::MemNodeId ReplicatedLog::ReplicaNode(uint64_t seg,
+                                          uint32_t replica) const {
+  const uint32_t m = client_->cluster()->num_memory_nodes();
+  return static_cast<dsm::MemNodeId>((Hash64(name_hash_ ^ seg) + replica) %
+                                     m);
+}
+
+uint64_t ReplicatedLog::SegmentKey(uint64_t seg) const {
+  return name_hash_ ^ (seg * 0x9E3779B97F4A7C15ULL);
+}
+
+Result<uint64_t> ReplicatedLog::AppendSync(LogRecord rec) {
+  rec.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t my_lsn = rec.lsn;
+  std::string encoded;
+  EncodeLogRecord(rec, &encoded);
+
+  uint64_t seg;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cur_segment_bytes_ + encoded.size() > options_.segment_bytes &&
+        cur_segment_bytes_ > 0) {
+      cur_segment_++;
+      cur_segment_bytes_ = 0;
+    }
+    seg = cur_segment_;
+    cur_segment_bytes_ += encoded.size();
+  }
+
+  // Parallel fan-out to the k replicas: all appends are posted at t0; the
+  // caller becomes durable at the slowest replica's completion.
+  const uint64_t t0 = SimClock::Now();
+  uint64_t max_end = t0;
+  const uint32_t k = options_.replication_factor;
+  for (uint32_t i = 0; i < k; i++) {
+    SimClock::Set(t0);
+    const Status s =
+        client_->LogAppend(ReplicaNode(seg, i), SegmentKey(seg), encoded);
+    if (!s.ok()) {
+      SimClock::AdvanceTo(max_end);
+      return s;  // a down replica fails the commit (no re-replication here)
+    }
+    max_end = std::max(max_end, SimClock::Now());
+  }
+  SimClock::AdvanceTo(max_end);
+
+  uint64_t prev = durable_lsn_.load(std::memory_order_relaxed);
+  while (prev < my_lsn && !durable_lsn_.compare_exchange_weak(
+                              prev, my_lsn, std::memory_order_release)) {
+  }
+  return my_lsn;
+}
+
+uint64_t ReplicatedLog::NumSegments() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cur_segment_bytes_ > 0 || cur_segment_ > 0 ? cur_segment_ + 1 : 0;
+}
+
+Result<std::vector<LogRecord>> ReplicatedLog::GatherLog() {
+  const uint64_t nsegs = NumSegments();
+  std::string image;
+  for (uint64_t seg = 0; seg < nsegs; seg++) {
+    bool found = false;
+    for (uint32_t i = 0; i < options_.replication_factor && !found; i++) {
+      Result<std::string> data =
+          client_->LogRead(ReplicaNode(seg, i), SegmentKey(seg));
+      if (data.ok()) {
+        image += *data;
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::Unavailable("all replicas of segment " +
+                                 std::to_string(seg) + " are lost");
+    }
+  }
+  std::vector<LogRecord> records;
+  DSMDB_RETURN_NOT_OK(ParseLog(image, &records));
+  std::sort(records.begin(), records.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  return records;
+}
+
+}  // namespace dsmdb::log

@@ -1,0 +1,110 @@
+#include "log/wal.h"
+
+#include <algorithm>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::log {
+
+Wal::Wal(storage::CloudStorage* cloud, WalOptions options)
+    : cloud_(cloud), options_(std::move(options)) {}
+
+uint64_t Wal::AppendAsync(LogRecord rec) {
+  rec.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(mu_);
+  EncodeLogRecord(rec, &buffer_);
+  buffer_last_lsn_ = std::max(buffer_last_lsn_, rec.lsn);
+  buffer_max_arrival_ = std::max(buffer_max_arrival_, SimClock::Now());
+  return rec.lsn;
+}
+
+Result<uint64_t> Wal::AppendSync(LogRecord rec) {
+  rec.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t my_lsn = rec.lsn;
+
+  if (!options_.group_commit) {
+    // Per-commit flush: every committer pays its own storage round trip,
+    // serialized on the log device. Buffered async records ride along so
+    // WAL ordering is preserved.
+    std::string batch;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      batch.swap(buffer_);
+      buffer_last_lsn_ = 0;
+      buffer_max_arrival_ = 0;
+      EncodeLogRecord(rec, &batch);
+    }
+    Result<uint64_t> r = cloud_->Append(options_.stream_name, batch);
+    if (!r.ok()) return r.status();
+    flush_count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = durable_lsn_.load(std::memory_order_relaxed);
+    while (prev < my_lsn && !durable_lsn_.compare_exchange_weak(
+                                prev, my_lsn, std::memory_order_release)) {
+    }
+    return my_lsn;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  EncodeLogRecord(rec, &buffer_);
+  buffer_last_lsn_ = std::max(buffer_last_lsn_, my_lsn);
+  buffer_max_arrival_ = std::max(buffer_max_arrival_, SimClock::Now());
+  const uint64_t my_epoch = epoch_;
+
+  while (durable_lsn_.load(std::memory_order_acquire) < my_lsn) {
+    if (!flusher_active_) {
+      flusher_active_ = true;
+      LeaderFlush(lk);
+      flusher_active_ = false;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk);
+    }
+  }
+  // Advance to this batch's durability point.
+  if (done_epoch_[my_epoch % kDoneRing] == my_epoch) {
+    SimClock::AdvanceTo(done_time_[my_epoch % kDoneRing]);
+  }
+  return my_lsn;
+}
+
+void Wal::LeaderFlush(std::unique_lock<std::mutex>& lk) {
+  std::string batch;
+  batch.swap(buffer_);
+  const uint64_t last_lsn = buffer_last_lsn_;
+  const uint64_t start =
+      std::max(SimClock::Now(), buffer_max_arrival_ + options_.group_window_ns);
+  const uint64_t flush_epoch = epoch_++;
+  buffer_last_lsn_ = 0;
+  buffer_max_arrival_ = 0;
+
+  lk.unlock();
+  SimClock::AdvanceTo(start);  // leader waits out the group window
+  (void)cloud_->Append(options_.stream_name, batch);
+  const uint64_t done = SimClock::Now();
+  lk.lock();
+
+  done_epoch_[flush_epoch % kDoneRing] = flush_epoch;
+  done_time_[flush_epoch % kDoneRing] = done;
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = durable_lsn_.load(std::memory_order_relaxed);
+  while (prev < last_lsn && !durable_lsn_.compare_exchange_weak(
+                                prev, last_lsn, std::memory_order_release)) {
+  }
+}
+
+Status Wal::Flush() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!buffer_.empty()) {
+    if (!flusher_active_) {
+      flusher_active_ = true;
+      LeaderFlush(lk);
+      flusher_active_ = false;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dsmdb::log

@@ -1,0 +1,309 @@
+#include "rdma/fabric.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::rdma {
+
+std::string VerbStats::Values::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "reads=%llu writes=%llu cas=%llu faa=%llu rpc=%llu "
+                "batches=%llu bytes_rd=%llu bytes_wr=%llu rtts=%llu",
+                static_cast<unsigned long long>(one_sided_reads),
+                static_cast<unsigned long long>(one_sided_writes),
+                static_cast<unsigned long long>(cas_ops),
+                static_cast<unsigned long long>(faa_ops),
+                static_cast<unsigned long long>(rpc_calls),
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(bytes_read),
+                static_cast<unsigned long long>(bytes_written),
+                static_cast<unsigned long long>(RoundTrips()));
+  return buf;
+}
+
+Fabric::Fabric(NetworkModel model) : model_(model), slots_(kMaxNodes) {
+  for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+}
+
+Fabric::~Fabric() {
+  for (auto& s : slots_) delete s.load(std::memory_order_relaxed);
+}
+
+NodeId Fabric::AddNode(std::string name, uint32_t cpu_cores,
+                       double cpu_speed_factor) {
+  std::lock_guard<std::mutex> lk(nodes_mu_);
+  const size_t id = num_nodes_.load(std::memory_order_relaxed);
+  assert(id < kMaxNodes);
+  auto* ctx = new NodeCtx();
+  ctx->name = std::move(name);
+  ctx->cpu = std::make_unique<VirtualCpu>(cpu_cores, cpu_speed_factor);
+  slots_[id].store(ctx, std::memory_order_release);
+  num_nodes_.store(id + 1, std::memory_order_release);
+  return static_cast<NodeId>(id);
+}
+
+size_t Fabric::num_nodes() const {
+  return num_nodes_.load(std::memory_order_acquire);
+}
+
+Fabric::NodeCtx* Fabric::GetNode(NodeId id) const {
+  if (id >= num_nodes_.load(std::memory_order_acquire)) return nullptr;
+  return slots_[id].load(std::memory_order_acquire);
+}
+
+Result<uint32_t> Fabric::RegisterMemory(NodeId node, void* base,
+                                        size_t length) {
+  NodeCtx* ctx = GetNode(node);
+  if (ctx == nullptr) return Status::InvalidArgument("unknown node");
+  if (base == nullptr || length == 0) {
+    return Status::InvalidArgument("empty region");
+  }
+  ctx->region_latch.LockExclusive();
+  ctx->regions.push_back(Region{static_cast<char*>(base), length});
+  const auto rkey = static_cast<uint32_t>(ctx->regions.size() - 1);
+  ctx->region_latch.UnlockExclusive();
+  return rkey;
+}
+
+Status Fabric::DeregisterAll(NodeId node) {
+  NodeCtx* ctx = GetNode(node);
+  if (ctx == nullptr) return Status::InvalidArgument("unknown node");
+  ctx->region_latch.LockExclusive();
+  ctx->regions.clear();
+  ctx->region_latch.UnlockExclusive();
+  return Status::OK();
+}
+
+Result<char*> Fabric::Resolve(const RemotePtr& ptr, size_t length) const {
+  NodeCtx* ctx = GetNode(ptr.node);
+  if (ctx == nullptr) return Status::InvalidArgument("unknown node");
+  if (!ctx->alive.load(std::memory_order_acquire)) {
+    return Status::Unavailable("node " + ctx->name + " is down");
+  }
+  ctx->region_latch.LockShared();
+  if (ptr.rkey >= ctx->regions.size()) {
+    ctx->region_latch.UnlockShared();
+    return Status::InvalidArgument("bad rkey");
+  }
+  const Region& r = ctx->regions[ptr.rkey];
+  if (ptr.offset + length > r.length) {
+    ctx->region_latch.UnlockShared();
+    return Status::InvalidArgument("remote access out of bounds");
+  }
+  return r.base + ptr.offset;
+}
+
+void Fabric::ReleaseResolve(NodeId node) const {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  ctx->region_latch.UnlockShared();
+}
+
+Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
+                    size_t length) {
+  Result<char*> host = Resolve(src, length);
+  if (!host.ok()) return host.status();
+  std::memcpy(dst, *host, length);
+  ReleaseResolve(src.node);
+  SimClock::Advance(model_.OneSidedNs(length));
+  VerbStats& s = stats(initiator);
+  s.one_sided_reads.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_read.fetch_add(length, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
+                     size_t length) {
+  Result<char*> host = Resolve(dst, length);
+  if (!host.ok()) return host.status();
+  std::memcpy(*host, src, length);
+  ReleaseResolve(dst.node);
+  SimClock::Advance(model_.OneSidedNs(length));
+  VerbStats& s = stats(initiator);
+  s.one_sided_writes.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(length, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
+  size_t total = 0;
+  for (const BatchOp& op : ops) {
+    Result<char*> host = Resolve(op.remote, op.length);
+    if (!host.ok()) return host.status();
+    std::memcpy(op.local, *host, op.length);
+    ReleaseResolve(op.remote.node);
+    total += op.length;
+  }
+  SimClock::Advance(model_.BatchNs(ops.size(), total));
+  VerbStats& s = stats(initiator);
+  s.batches.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_read.fetch_add(total, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
+  size_t total = 0;
+  for (const BatchOp& op : ops) {
+    Result<char*> host = Resolve(op.remote, op.length);
+    if (!host.ok()) return host.status();
+    std::memcpy(*host, op.local, op.length);
+    ReleaseResolve(op.remote.node);
+    total += op.length;
+  }
+  SimClock::Advance(model_.BatchNs(ops.size(), total));
+  VerbStats& s = stats(initiator);
+  s.batches.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(total, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
+                                        uint64_t expected, uint64_t desired) {
+  if (addr.offset % 8 != 0) {
+    return Status::InvalidArgument("atomic requires 8-byte alignment");
+  }
+  Result<char*> host = Resolve(addr, 8);
+  if (!host.ok()) return host.status();
+  auto* word = reinterpret_cast<uint64_t*>(*host);
+  uint64_t prev = expected;
+  __atomic_compare_exchange_n(word, &prev, desired, /*weak=*/false,
+                              __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
+  ReleaseResolve(addr.node);
+  SimClock::Advance(model_.AtomicNs());
+  stats(initiator).cas_ops.fetch_add(1, std::memory_order_relaxed);
+  return prev;
+}
+
+Result<uint64_t> Fabric::FetchAndAdd(NodeId initiator, RemotePtr addr,
+                                     uint64_t delta) {
+  if (addr.offset % 8 != 0) {
+    return Status::InvalidArgument("atomic requires 8-byte alignment");
+  }
+  Result<char*> host = Resolve(addr, 8);
+  if (!host.ok()) return host.status();
+  auto* word = reinterpret_cast<uint64_t*>(*host);
+  const uint64_t prev = __atomic_fetch_add(word, delta, __ATOMIC_ACQ_REL);
+  ReleaseResolve(addr.node);
+  SimClock::Advance(model_.AtomicNs());
+  stats(initiator).faa_ops.fetch_add(1, std::memory_order_relaxed);
+  return prev;
+}
+
+void Fabric::RegisterRpcHandler(NodeId node, uint32_t service,
+                                RpcHandler handler) {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  SpinLatchGuard g(ctx->rpc_latch);
+  if (ctx->handlers.size() <= service) ctx->handlers.resize(service + 1);
+  ctx->handlers[service] = std::move(handler);
+}
+
+Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
+                    std::string_view request, std::string* response) {
+  NodeCtx* ctx = GetNode(target);
+  if (ctx == nullptr) return Status::InvalidArgument("unknown node");
+  if (!ctx->alive.load(std::memory_order_acquire)) {
+    return Status::Unavailable("node " + ctx->name + " is down");
+  }
+  RpcHandler handler;
+  {
+    SpinLatchGuard g(ctx->rpc_latch);
+    if (service >= ctx->handlers.size() || !ctx->handlers[service]) {
+      return Status::NotFound("no such rpc service");
+    }
+    handler = ctx->handlers[service];
+  }
+  const uint64_t t0 = SimClock::Now();
+  // Request travels to the target and is dispatched into software.
+  const uint64_t arrival = t0 + model_.post_overhead_ns + model_.rtt_ns / 2 +
+                           model_.TransferNs(request.size()) +
+                           model_.recv_dispatch_ns;
+  response->clear();
+  const uint64_t handler_cost = handler(request, response);
+  const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
+  const uint64_t finish =
+      done + model_.rtt_ns / 2 + model_.TransferNs(response->size());
+  SimClock::AdvanceTo(finish);
+  VerbStats& s = stats(initiator);
+  s.rpc_calls.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(request.size(), std::memory_order_relaxed);
+  s.bytes_read.fetch_add(response->size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Fabric::CrashNode(NodeId node) {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  ctx->alive.store(false, std::memory_order_release);
+  ctx->region_latch.LockExclusive();
+  ctx->regions.clear();
+  ctx->region_latch.UnlockExclusive();
+}
+
+void Fabric::RecoverNode(NodeId node) {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  ctx->incarnation.fetch_add(1, std::memory_order_acq_rel);
+  ctx->cpu->Reset();
+  ctx->alive.store(true, std::memory_order_release);
+}
+
+bool Fabric::IsAlive(NodeId node) const {
+  NodeCtx* ctx = GetNode(node);
+  return ctx != nullptr && ctx->alive.load(std::memory_order_acquire);
+}
+
+uint64_t Fabric::Incarnation(NodeId node) const {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  return ctx->incarnation.load(std::memory_order_acquire);
+}
+
+VerbStats& Fabric::stats(NodeId node) {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  return ctx->stats;
+}
+
+VerbStats::Values Fabric::TotalStats() const {
+  VerbStats::Values total{};
+  const size_t n = num_nodes();
+  for (size_t i = 0; i < n; i++) {
+    const NodeCtx* ctx = GetNode(static_cast<NodeId>(i));
+    const VerbStats::Values v = ctx->stats.Snapshot();
+    total.one_sided_reads += v.one_sided_reads;
+    total.one_sided_writes += v.one_sided_writes;
+    total.cas_ops += v.cas_ops;
+    total.faa_ops += v.faa_ops;
+    total.rpc_calls += v.rpc_calls;
+    total.bytes_read += v.bytes_read;
+    total.bytes_written += v.bytes_written;
+    total.batches += v.batches;
+  }
+  return total;
+}
+
+void Fabric::ResetStats() {
+  const size_t n = num_nodes();
+  for (size_t i = 0; i < n; i++) {
+    GetNode(static_cast<NodeId>(i))->stats.Reset();
+  }
+}
+
+VirtualCpu* Fabric::cpu(NodeId node) {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  return ctx->cpu.get();
+}
+
+const std::string& Fabric::node_name(NodeId node) const {
+  NodeCtx* ctx = GetNode(node);
+  assert(ctx != nullptr);
+  return ctx->name;
+}
+
+}  // namespace dsmdb::rdma

@@ -1,0 +1,150 @@
+#ifndef DSMDB_RDMA_FABRIC_H_
+#define DSMDB_RDMA_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "rdma/network_model.h"
+#include "rdma/verbs.h"
+#include "rdma/virtual_cpu.h"
+
+namespace dsmdb::rdma {
+
+/// Two-sided RPC handler. Runs the real work inline and returns the
+/// *simulated* CPU cost (ns, unscaled) it consumed on the target node; the
+/// fabric schedules that cost on the node's VirtualCpu.
+using RpcHandler =
+    std::function<uint64_t(std::string_view request, std::string* response)>;
+
+/// The simulated RDMA fabric: a registry of nodes with registered memory
+/// regions, one-sided verbs (READ / WRITE / CAS / FAA, with doorbell
+/// batching), and two-sided RPC.
+///
+/// Semantics mirror libibverbs where it matters to the paper:
+///  * One-sided verbs never involve the remote CPU. They execute as real
+///    loads/stores/atomics on the registered memory, so concurrent access
+///    behaves like real RDMA (including races unless the caller uses CAS
+///    protocols).
+///  * Atomics operate on naturally-aligned 8-byte words.
+///  * Each verb advances the calling thread's SimClock per NetworkModel.
+///  * Crashed nodes fail all verbs with Status::Unavailable until recovered;
+///    recovery bumps the node's incarnation and invalidates old regions
+///    (memory contents are lost, as with real DRAM).
+///
+/// Thread-safe. All verbs may be issued concurrently from any thread.
+class Fabric {
+ public:
+  explicit Fabric(NetworkModel model = NetworkModel{});
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Adds a node. `cpu_cores`/`cpu_speed_factor` size its VirtualCpu (used
+  /// only for two-sided handlers; one-sided verbs bypass the CPU).
+  NodeId AddNode(std::string name, uint32_t cpu_cores = 2,
+                 double cpu_speed_factor = 1.0);
+
+  size_t num_nodes() const;
+
+  /// Registers `[base, base+length)` on `node`; returns the rkey.
+  Result<uint32_t> RegisterMemory(NodeId node, void* base, size_t length);
+
+  /// Drops all regions of `node` (used on recovery before re-registering).
+  Status DeregisterAll(NodeId node);
+
+  // --- One-sided verbs (charged to `initiator`'s stats) ------------------
+
+  Status Read(NodeId initiator, RemotePtr src, void* dst, size_t length);
+  Status Write(NodeId initiator, RemotePtr dst, const void* src,
+               size_t length);
+
+  /// Doorbell-batched reads: one RTT for the whole batch.
+  Status ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops);
+  Status WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops);
+
+  /// 8-byte compare-and-swap; returns the *previous* value (like ibv CAS).
+  Result<uint64_t> CompareAndSwap(NodeId initiator, RemotePtr addr,
+                                  uint64_t expected, uint64_t desired);
+
+  /// 8-byte fetch-and-add; returns the previous value.
+  Result<uint64_t> FetchAndAdd(NodeId initiator, RemotePtr addr,
+                               uint64_t delta);
+
+  // --- Two-sided RPC ------------------------------------------------------
+
+  /// Registers `handler` as `service` on `node` (overwrites any previous).
+  void RegisterRpcHandler(NodeId node, uint32_t service, RpcHandler handler);
+
+  /// Synchronous call; charges network cost to the caller and handler cost
+  /// to the target's VirtualCpu (queueing included).
+  Status Call(NodeId initiator, NodeId target, uint32_t service,
+              std::string_view request, std::string* response);
+
+  // --- Failure injection ---------------------------------------------------
+
+  void CrashNode(NodeId node);
+  /// Marks the node alive again with a new incarnation. Old regions are
+  /// gone; the owner must re-register memory.
+  void RecoverNode(NodeId node);
+  bool IsAlive(NodeId node) const;
+  uint64_t Incarnation(NodeId node) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  const NetworkModel& model() const { return model_; }
+  /// Per-initiator verb counters.
+  VerbStats& stats(NodeId node);
+  /// Sum of all nodes' counters.
+  VerbStats::Values TotalStats() const;
+  void ResetStats();
+  VirtualCpu* cpu(NodeId node);
+  const std::string& node_name(NodeId node) const;
+
+ private:
+  struct Region {
+    char* base = nullptr;
+    size_t length = 0;
+  };
+
+  struct NodeCtx {
+    std::string name;
+    std::atomic<bool> alive{true};
+    std::atomic<uint64_t> incarnation{0};
+    mutable SharedSpinLatch region_latch;
+    std::vector<Region> regions;
+    mutable SpinLatch rpc_latch;
+    std::vector<RpcHandler> handlers;  // indexed by service id
+    std::unique_ptr<VirtualCpu> cpu;
+    VerbStats stats;
+  };
+
+  /// Resolves `ptr` to a host address, checking aliveness and bounds.
+  /// On success the node's region latch is held shared; call
+  /// `ReleaseResolve` after the access.
+  Result<char*> Resolve(const RemotePtr& ptr, size_t length) const;
+  void ReleaseResolve(NodeId node) const;
+
+  NodeCtx* GetNode(NodeId id) const;
+
+  static constexpr size_t kMaxNodes = 1024;
+
+  NetworkModel model_;
+  mutable std::mutex nodes_mu_;  // guards AddNode only
+  std::atomic<size_t> num_nodes_{0};
+  /// Lock-free slot table so the verb hot path never takes a mutex.
+  std::vector<std::atomic<NodeCtx*>> slots_;
+};
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_FABRIC_H_

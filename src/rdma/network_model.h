@@ -1,0 +1,89 @@
+#ifndef DSMDB_RDMA_NETWORK_MODEL_H_
+#define DSMDB_RDMA_NETWORK_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsmdb::rdma {
+
+/// Cost model for the simulated RDMA fabric.
+///
+/// Calibrated to the paper's reference NIC (Mellanox ConnectX-6: ~0.8 usec
+/// small-message latency, 200 Gb/s). All verbs charge:
+///
+///   post_overhead_ns            CPU cost to build the WR and ring doorbell
+///   + rtt_ns                    propagation + NIC processing, round trip
+///   + payload_bytes / bandwidth wire time
+///   (+ atomic_extra_ns for CAS/FAA: PCIe read-modify-write at the target)
+///
+/// Doorbell-batched verbs pay `post_overhead_ns` per WR but `rtt_ns` once.
+struct NetworkModel {
+  /// Round-trip base latency for a minimum-size message, in ns.
+  uint64_t rtt_ns = 1600;
+  /// Link bandwidth in bytes/ns (200 Gb/s = 25 GB/s = 25 bytes/ns).
+  double bandwidth_bytes_per_ns = 25.0;
+  /// Sender CPU cost to post one work request.
+  uint64_t post_overhead_ns = 150;
+  /// Extra target-side cost of an RDMA atomic (CAS / fetch-add).
+  uint64_t atomic_extra_ns = 120;
+  /// Receiver CPU cost to dispatch a two-sided message into software
+  /// (RECV completion, demux). One-sided verbs bypass this: the remote CPU
+  /// is not involved.
+  uint64_t recv_dispatch_ns = 400;
+
+  /// Wire time for `bytes` of payload.
+  uint64_t TransferNs(size_t bytes) const {
+    return static_cast<uint64_t>(static_cast<double>(bytes) /
+                                 bandwidth_bytes_per_ns);
+  }
+
+  /// One-sided READ/WRITE of `bytes`: post + 1 RTT + wire time.
+  uint64_t OneSidedNs(size_t bytes) const {
+    return post_overhead_ns + rtt_ns + TransferNs(bytes);
+  }
+
+  /// One-sided atomic (8-byte CAS/FAA).
+  uint64_t AtomicNs() const {
+    return post_overhead_ns + rtt_ns + atomic_extra_ns + TransferNs(8);
+  }
+
+  /// Doorbell batch of `n` one-sided ops moving `total_bytes` in total:
+  /// one RTT, n postings.
+  uint64_t BatchNs(size_t n, size_t total_bytes) const {
+    return post_overhead_ns * n + rtt_ns + TransferNs(total_bytes);
+  }
+
+  /// Network share of a two-sided call (request out, response back). The
+  /// remote handler's CPU time is charged separately via VirtualCpu.
+  uint64_t TwoSidedNs(size_t req_bytes, size_t resp_bytes) const {
+    return post_overhead_ns + rtt_ns + TransferNs(req_bytes) +
+           TransferNs(resp_bytes) + recv_dispatch_ns;
+  }
+
+  /// A model with `factor`-times the base RTT (for slow-network sweeps).
+  NetworkModel WithRttFactor(double factor) const {
+    NetworkModel m = *this;
+    m.rtt_ns = static_cast<uint64_t>(static_cast<double>(rtt_ns) * factor);
+    return m;
+  }
+};
+
+/// Cost model for node-local actions of compute/memory nodes; used so local
+/// and remote work are expressed in the same simulated time base.
+struct CpuModel {
+  /// Local DRAM: ~100 ns access + ~50 GB/s streaming.
+  uint64_t dram_access_ns = 100;
+  double dram_bandwidth_bytes_per_ns = 50.0;
+  /// Cost to process one tuple in a scan/filter (compute-node core).
+  uint64_t per_tuple_ns = 30;
+
+  uint64_t LocalCopyNs(size_t bytes) const {
+    return dram_access_ns + static_cast<uint64_t>(
+                                static_cast<double>(bytes) /
+                                dram_bandwidth_bytes_per_ns);
+  }
+};
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_NETWORK_MODEL_H_

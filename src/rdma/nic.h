@@ -1,0 +1,58 @@
+#ifndef DSMDB_RDMA_NIC_H_
+#define DSMDB_RDMA_NIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdma/fabric.h"
+#include "rdma/verbs.h"
+
+namespace dsmdb::rdma {
+
+/// A node's handle onto the fabric. Thin wrapper that binds the initiator
+/// id so call sites read like libibverbs usage.
+class Nic {
+ public:
+  Nic(Fabric* fabric, NodeId self) : fabric_(fabric), self_(self) {}
+
+  NodeId self() const { return self_; }
+  Fabric* fabric() const { return fabric_; }
+  const NetworkModel& model() const { return fabric_->model(); }
+
+  Status Read(RemotePtr src, void* dst, size_t length) const {
+    return fabric_->Read(self_, src, dst, length);
+  }
+  Status Write(RemotePtr dst, const void* src, size_t length) const {
+    return fabric_->Write(self_, dst, src, length);
+  }
+  Status ReadBatch(const std::vector<BatchOp>& ops) const {
+    return fabric_->ReadBatch(self_, ops);
+  }
+  Status WriteBatch(const std::vector<BatchOp>& ops) const {
+    return fabric_->WriteBatch(self_, ops);
+  }
+  Result<uint64_t> CompareAndSwap(RemotePtr addr, uint64_t expected,
+                                  uint64_t desired) const {
+    return fabric_->CompareAndSwap(self_, addr, expected, desired);
+  }
+  Result<uint64_t> FetchAndAdd(RemotePtr addr, uint64_t delta) const {
+    return fabric_->FetchAndAdd(self_, addr, delta);
+  }
+  Status Call(NodeId target, uint32_t service, std::string_view request,
+              std::string* response) const {
+    return fabric_->Call(self_, target, service, request, response);
+  }
+
+  VerbStats& stats() const { return fabric_->stats(self_); }
+
+ private:
+  Fabric* fabric_;
+  NodeId self_;
+};
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_NIC_H_

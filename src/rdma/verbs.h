@@ -1,0 +1,86 @@
+#ifndef DSMDB_RDMA_VERBS_H_
+#define DSMDB_RDMA_VERBS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dsmdb::rdma {
+
+/// Identifies a node (compute or memory) attached to the fabric.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// A raw fabric-level remote pointer: node + registered-region key + offset.
+/// The DSM layer wraps this in a logical GlobalAddress; RemotePtr is what
+/// the NIC actually understands.
+struct RemotePtr {
+  NodeId node = kInvalidNode;
+  uint32_t rkey = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const RemotePtr&) const = default;
+};
+
+/// One entry of a doorbell-batched one-sided read/write.
+struct BatchOp {
+  RemotePtr remote;
+  void* local = nullptr;
+  size_t length = 0;
+};
+
+/// Per-NIC verb counters. Relaxed atomics; snapshot with Snapshot().
+struct VerbStats {
+  std::atomic<uint64_t> one_sided_reads{0};
+  std::atomic<uint64_t> one_sided_writes{0};
+  std::atomic<uint64_t> cas_ops{0};
+  std::atomic<uint64_t> faa_ops{0};
+  std::atomic<uint64_t> rpc_calls{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> batches{0};
+
+  struct Values {
+    uint64_t one_sided_reads;
+    uint64_t one_sided_writes;
+    uint64_t cas_ops;
+    uint64_t faa_ops;
+    uint64_t rpc_calls;
+    uint64_t bytes_read;
+    uint64_t bytes_written;
+    uint64_t batches;
+
+    /// Total verbs that each cost a network round trip.
+    uint64_t RoundTrips() const {
+      return one_sided_reads + one_sided_writes + cas_ops + faa_ops +
+             rpc_calls + batches;
+    }
+    std::string ToString() const;
+  };
+
+  Values Snapshot() const {
+    return Values{one_sided_reads.load(std::memory_order_relaxed),
+                  one_sided_writes.load(std::memory_order_relaxed),
+                  cas_ops.load(std::memory_order_relaxed),
+                  faa_ops.load(std::memory_order_relaxed),
+                  rpc_calls.load(std::memory_order_relaxed),
+                  bytes_read.load(std::memory_order_relaxed),
+                  bytes_written.load(std::memory_order_relaxed),
+                  batches.load(std::memory_order_relaxed)};
+  }
+
+  void Reset() {
+    one_sided_reads.store(0, std::memory_order_relaxed);
+    one_sided_writes.store(0, std::memory_order_relaxed);
+    cas_ops.store(0, std::memory_order_relaxed);
+    faa_ops.store(0, std::memory_order_relaxed);
+    rpc_calls.store(0, std::memory_order_relaxed);
+    bytes_read.store(0, std::memory_order_relaxed);
+    bytes_written.store(0, std::memory_order_relaxed);
+    batches.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_VERBS_H_

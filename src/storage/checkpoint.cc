@@ -1,0 +1,42 @@
+#include "storage/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dsmdb::storage {
+
+std::string Checkpointer::KeyFor(uint64_t epoch) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/epoch/%020" PRIu64, epoch);
+  return prefix_ + buf;
+}
+
+Result<uint64_t> Checkpointer::Write(std::string_view bytes) {
+  const uint64_t epoch = latest_epoch_ + 1;
+  DSMDB_RETURN_NOT_OK(
+      cloud_->PutObject(KeyFor(epoch), std::string(bytes)));
+  latest_epoch_ = epoch;
+  return epoch;
+}
+
+Result<Checkpointer::Snapshot> Checkpointer::ReadLatest() const {
+  const auto keys = cloud_->ListObjects(prefix_ + "/epoch/");
+  if (keys.empty()) return Status::NotFound("no checkpoint under " + prefix_);
+  const std::string& newest = keys.back();  // keys sort lexicographically
+  Result<std::string> data = cloud_->GetObject(newest);
+  if (!data.ok()) return data.status();
+  const uint64_t epoch =
+      std::strtoull(newest.substr(prefix_.size() + 7).c_str(), nullptr, 10);
+  return Snapshot{epoch, std::move(*data)};
+}
+
+Status Checkpointer::GarbageCollect(uint64_t keep_epochs) {
+  const auto keys = cloud_->ListObjects(prefix_ + "/epoch/");
+  if (keys.size() <= keep_epochs) return Status::OK();
+  for (size_t i = 0; i + keep_epochs < keys.size(); i++) {
+    DSMDB_RETURN_NOT_OK(cloud_->DeleteObject(keys[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace dsmdb::storage

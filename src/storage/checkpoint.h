@@ -1,0 +1,52 @@
+#ifndef DSMDB_STORAGE_CHECKPOINT_H_
+#define DSMDB_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/cloud_storage.h"
+
+namespace dsmdb::storage {
+
+/// Checkpointing of memory-node contents to cloud storage (Challenge #3,
+/// the RAMCloud-style approach: data lives in DRAM once; availability comes
+/// from periodic checkpoints plus log replay on recovery).
+///
+/// Checkpoints are epoch-versioned objects: `<prefix>/epoch/<n>`. Readers
+/// fetch the latest epoch.
+class Checkpointer {
+ public:
+  Checkpointer(CloudStorage* cloud, std::string prefix)
+      : cloud_(cloud), prefix_(std::move(prefix)) {}
+
+  /// Persists `bytes` as the next checkpoint epoch; returns the epoch id.
+  /// Charges the caller's SimClock with the object write (checkpointing is
+  /// normally done by a background thread, so run it on one).
+  Result<uint64_t> Write(std::string_view bytes);
+
+  /// Reads the newest checkpoint. Returns (epoch, bytes).
+  struct Snapshot {
+    uint64_t epoch;
+    std::string bytes;
+  };
+  Result<Snapshot> ReadLatest() const;
+
+  /// Deletes checkpoints older than `keep_epochs` behind the newest.
+  Status GarbageCollect(uint64_t keep_epochs = 1);
+
+  uint64_t LatestEpoch() const { return latest_epoch_; }
+
+ private:
+  std::string KeyFor(uint64_t epoch) const;
+
+  CloudStorage* cloud_;
+  std::string prefix_;
+  uint64_t latest_epoch_ = 0;
+};
+
+}  // namespace dsmdb::storage
+
+#endif  // DSMDB_STORAGE_CHECKPOINT_H_

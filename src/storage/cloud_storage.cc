@@ -1,0 +1,129 @@
+#include "storage/cloud_storage.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::storage {
+
+CloudStorage::CloudStorage(CloudStorageOptions options)
+    : options_(options) {}
+
+CloudStorage::~CloudStorage() {
+  for (auto& [name, dev] : devices_) delete dev;
+}
+
+void CloudStorage::ChargeAccess(const std::string& name,
+                                const StorageClassModel& cls,
+                                uint64_t latency_ns, size_t bytes) const {
+  rdma::VirtualCpu* dev;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rdma::VirtualCpu*& slot = devices_[name];
+    if (slot == nullptr) slot = new rdma::VirtualCpu(1, 1.0);
+    dev = slot;
+  }
+  const uint64_t service =
+      latency_ns + static_cast<uint64_t>(static_cast<double>(bytes) /
+                                         cls.bandwidth_bytes_per_ns);
+  const uint64_t done = dev->Execute(SimClock::Now(), service);
+  SimClock::AdvanceTo(done);
+}
+
+Result<uint64_t> CloudStorage::Append(const std::string& stream,
+                                      std::string_view data) {
+  if (options_.real_append_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.real_append_delay_us));
+  }
+  uint64_t new_len;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string& s = streams_[stream];
+    s.append(data.data(), data.size());
+    new_len = s.size();
+  }
+  ChargeAccess(stream, options_.block, options_.block.write_latency_ns,
+               data.size());
+  return new_len;
+}
+
+Result<std::string> CloudStorage::ReadStream(const std::string& stream) {
+  std::string copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) return Status::NotFound("no stream " + stream);
+    copy = it->second;
+  }
+  ChargeAccess(stream, options_.block, options_.block.read_latency_ns,
+               copy.size());
+  return copy;
+}
+
+Status CloudStorage::TruncateStream(const std::string& stream) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return Status::NotFound("no stream " + stream);
+  it->second.clear();
+  return Status::OK();
+}
+
+uint64_t CloudStorage::StreamBytes(const std::string& stream) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? 0 : it->second.size();
+}
+
+Status CloudStorage::PutObject(const std::string& key, std::string value) {
+  const size_t bytes = value.size();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    objects_[key] = std::move(value);
+  }
+  ChargeAccess(key, options_.object, options_.object.write_latency_ns,
+               bytes);
+  return Status::OK();
+}
+
+Result<std::string> CloudStorage::GetObject(const std::string& key) const {
+  std::string copy;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return Status::NotFound("no object " + key);
+    copy = it->second;
+  }
+  ChargeAccess(key, options_.object, options_.object.read_latency_ns,
+               copy.size());
+  return copy;
+}
+
+Status CloudStorage::DeleteObject(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  objects_.erase(key);
+  return Status::OK();
+}
+
+std::vector<std::string> CloudStorage::ListObjects(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix);
+       it != objects_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+uint64_t CloudStorage::TotalBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const auto& [k, v] : streams_) total += v.size();
+  for (const auto& [k, v] : objects_) total += v.size();
+  return total;
+}
+
+}  // namespace dsmdb::storage

@@ -1,0 +1,97 @@
+#ifndef DSMDB_STORAGE_CLOUD_STORAGE_H_
+#define DSMDB_STORAGE_CLOUD_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdma/virtual_cpu.h"
+
+namespace dsmdb::storage {
+
+/// Latency/bandwidth profile for one storage class.
+struct StorageClassModel {
+  uint64_t write_latency_ns;
+  uint64_t read_latency_ns;
+  double bandwidth_bytes_per_ns;
+};
+
+/// Defaults modeled on the services the paper names (Challenge #2):
+/// AWS EBS (block/append, ~0.5 ms) and S3 (object, ~15 ms first byte).
+struct CloudStorageOptions {
+  StorageClassModel block{/*write*/ 500'000, /*read*/ 400'000, /*bw*/ 1.0};
+  StorageClassModel object{/*write*/ 15'000'000, /*read*/ 10'000'000,
+                           /*bw*/ 0.5};
+  /// Test-only: real wall-clock sleep per Append, so that concurrency
+  /// effects that depend on overlapping flushes (e.g. group commit
+  /// batching) are observable even on single-core hosts. 0 in production.
+  uint32_t real_append_delay_us = 0;
+};
+
+/// Simulated cloud storage: "distributed shared storage that is accessible
+/// by all compute and memory nodes" (paper, Sec. 3). Contents survive any
+/// memory/compute node crash (the cloud service itself never fails in our
+/// model — it is 99.999..% durable by assumption).
+///
+/// Two APIs, matching the paper's usage:
+///  * Append streams (EBS-like): WAL persistence on the commit path.
+///  * Objects (S3-like): checkpoints.
+///
+/// Every call advances the caller's SimClock by the class's latency plus
+/// wire time, and serializes on the stream/object's virtual device queue,
+/// so saturating a log device produces queueing delay.
+class CloudStorage {
+ public:
+  explicit CloudStorage(CloudStorageOptions options = {});
+  ~CloudStorage();
+
+  CloudStorage(const CloudStorage&) = delete;
+  CloudStorage& operator=(const CloudStorage&) = delete;
+
+  // --- Append streams (block class) ----------------------------------------
+
+  /// Durably appends to `stream`; returns the stream length after append.
+  Result<uint64_t> Append(const std::string& stream, std::string_view data);
+
+  /// Reads the whole stream (recovery).
+  Result<std::string> ReadStream(const std::string& stream);
+
+  /// Truncates a stream (after checkpoint).
+  Status TruncateStream(const std::string& stream);
+
+  uint64_t StreamBytes(const std::string& stream) const;
+
+  // --- Objects (object class) ----------------------------------------------
+
+  Status PutObject(const std::string& key, std::string value);
+  Result<std::string> GetObject(const std::string& key) const;
+  Status DeleteObject(const std::string& key);
+  std::vector<std::string> ListObjects(const std::string& prefix) const;
+
+  // --- Introspection --------------------------------------------------------
+
+  uint64_t TotalBytes() const;
+  const CloudStorageOptions& options() const { return options_; }
+
+ private:
+  /// Charges a device access of `bytes` on the (single-queue) device for
+  /// `name`, advancing the caller's SimClock past queueing + latency.
+  void ChargeAccess(const std::string& name, const StorageClassModel& cls,
+                    uint64_t latency_ns, size_t bytes) const;
+
+  CloudStorageOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> streams_;
+  std::map<std::string, std::string> objects_;
+  /// Per-stream/object-device virtual queues (1 "channel" each).
+  mutable std::map<std::string, rdma::VirtualCpu*> devices_;
+};
+
+}  // namespace dsmdb::storage
+
+#endif  // DSMDB_STORAGE_CLOUD_STORAGE_H_

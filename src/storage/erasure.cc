@@ -1,0 +1,63 @@
+#include "storage/erasure.h"
+
+namespace dsmdb::storage {
+
+Result<std::string> XorErasure::EncodeParity(
+    const std::vector<std::string>& data_shards) {
+  if (data_shards.empty()) {
+    return Status::InvalidArgument("no data shards");
+  }
+  const size_t len = data_shards[0].size();
+  for (const std::string& s : data_shards) {
+    if (s.size() != len) {
+      return Status::InvalidArgument("shard lengths differ");
+    }
+  }
+  std::string parity(len, '\0');
+  for (const std::string& s : data_shards) {
+    for (size_t i = 0; i < len; i++) {
+      parity[i] = static_cast<char>(parity[i] ^ s[i]);
+    }
+  }
+  return parity;
+}
+
+Result<std::string> XorErasure::Reconstruct(
+    const std::vector<std::string>& surviving_data,
+    const std::string& parity) {
+  std::string out = parity;
+  for (const std::string& s : surviving_data) {
+    if (s.size() != out.size()) {
+      return Status::InvalidArgument("shard lengths differ");
+    }
+    for (size_t i = 0; i < out.size(); i++) {
+      out[i] = static_cast<char>(out[i] ^ s[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> XorErasure::Split(const std::string& data,
+                                           uint32_t k) {
+  const size_t shard_len = (data.size() + k - 1) / k;
+  std::vector<std::string> shards;
+  shards.reserve(k);
+  for (uint32_t i = 0; i < k; i++) {
+    const size_t begin = static_cast<size_t>(i) * shard_len;
+    std::string shard =
+        begin < data.size() ? data.substr(begin, shard_len) : std::string();
+    shard.resize(shard_len, '\0');
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+std::string XorErasure::Join(const std::vector<std::string>& shards,
+                             size_t original_size) {
+  std::string out;
+  for (const std::string& s : shards) out += s;
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace dsmdb::storage

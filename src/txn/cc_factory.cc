@@ -1,0 +1,49 @@
+#include "txn/cc_protocol.h"
+
+#include "txn/mvcc.h"
+#include "txn/occ.h"
+#include "txn/tso.h"
+#include "txn/two_pl.h"
+
+namespace dsmdb::txn {
+
+std::string_view CcProtocolKindName(CcProtocolKind kind) {
+  switch (kind) {
+    case CcProtocolKind::kTwoPlNoWait:
+      return "2pl-nowait";
+    case CcProtocolKind::kTwoPlWaitDie:
+      return "2pl-waitdie";
+    case CcProtocolKind::kOcc:
+      return "occ";
+    case CcProtocolKind::kTso:
+      return "tso";
+    case CcProtocolKind::kMvcc:
+      return "mvcc-si";
+  }
+  return "?";
+}
+
+std::unique_ptr<CcManager> MakeCcManager(const CcOptions& options,
+                                         dsm::DsmClient* dsm,
+                                         DataAccessor* accessor,
+                                         TimestampOracle* oracle,
+                                         LogSink* sink) {
+  switch (options.protocol) {
+    case CcProtocolKind::kTwoPlNoWait:
+    case CcProtocolKind::kTwoPlWaitDie:
+      return std::make_unique<TwoPlManager>(options, dsm, accessor, oracle,
+                                            sink);
+    case CcProtocolKind::kOcc:
+      return std::make_unique<OccManager>(options, dsm, accessor, oracle,
+                                          sink);
+    case CcProtocolKind::kTso:
+      return std::make_unique<TsoManager>(options, dsm, accessor, oracle,
+                                          sink);
+    case CcProtocolKind::kMvcc:
+      return std::make_unique<MvccManager>(options, dsm, accessor, oracle,
+                                           sink);
+  }
+  return nullptr;
+}
+
+}  // namespace dsmdb::txn

@@ -1,0 +1,121 @@
+#ifndef DSMDB_TXN_CC_PROTOCOL_H_
+#define DSMDB_TXN_CC_PROTOCOL_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "txn/data_accessor.h"
+#include "txn/log_sink.h"
+#include "txn/record_format.h"
+#include "txn/timestamp_oracle.h"
+
+namespace dsmdb::txn {
+
+/// The CC protocols under evaluation (Challenge #6's list: lock-based 2PL
+/// with simple vs. advanced RDMA locks, and the non-lock-based family —
+/// OCC, timestamp ordering, MVCC).
+enum class CcProtocolKind {
+  kTwoPlNoWait,
+  kTwoPlWaitDie,
+  kOcc,
+  kTso,
+  kMvcc,
+};
+
+std::string_view CcProtocolKindName(CcProtocolKind kind);
+
+/// Lock flavor for 2PL (Challenge #6: "RDMA can only implement a simple
+/// exclusive spinlock within a single round trip ... an RDMA
+/// shared-exclusive lock needs at least 2 round trips").
+enum class TwoPlLockMode {
+  kExclusiveOnly,     ///< 1-RTT CAS spinlock for reads and writes.
+  kSharedExclusive,   ///< 2-RTT SE lock: readers share, writers exclusive.
+};
+
+struct CcOptions {
+  CcProtocolKind protocol = CcProtocolKind::kTwoPlNoWait;
+  TwoPlLockMode lock_mode = TwoPlLockMode::kExclusiveOnly;
+  /// Lock retry budget before giving up (WAIT_DIE waiting, OCC lock phase).
+  uint32_t lock_max_attempts = 64;
+};
+
+/// Aggregate protocol counters (relaxed atomics, per manager).
+struct CcStats {
+  std::atomic<uint64_t> begun{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> lock_aborts{0};
+  std::atomic<uint64_t> validation_aborts{0};
+
+  double AbortRate() const {
+    const uint64_t c = committed.load(std::memory_order_relaxed);
+    const uint64_t a = aborted.load(std::memory_order_relaxed);
+    return c + a == 0 ? 0.0
+                      : static_cast<double>(a) / static_cast<double>(c + a);
+  }
+  void Reset() {
+    begun.store(0);
+    committed.store(0);
+    aborted.store(0);
+    lock_aborts.store(0);
+    validation_aborts.store(0);
+  }
+};
+
+/// One transaction. Not thread-safe (one owner thread). After Commit() or
+/// any call returning kAborted, the transaction is finished: all its locks
+/// are released and only destruction is legal.
+class Transaction {
+ public:
+  virtual ~Transaction() = default;
+
+  /// Reads the record's value into `out` under this protocol's rules.
+  /// Returns kAborted if the transaction had to abort (already cleaned up).
+  virtual Status Read(const RecordRef& ref, std::string* out) = 0;
+
+  /// Stages a full-value write. `value.size()` must equal ref.value_size.
+  virtual Status Write(const RecordRef& ref, std::string_view value) = 0;
+
+  /// Serialization point: logs durably, installs writes, releases locks.
+  virtual Status Commit() = 0;
+
+  /// Voluntary abort; releases every lock. Idempotent.
+  virtual Status Abort() = 0;
+
+  uint64_t ts() const { return ts_; }
+
+ protected:
+  uint64_t ts_ = 0;
+};
+
+/// Per-compute-node protocol instance; thread-safe Begin().
+class CcManager {
+ public:
+  virtual ~CcManager() = default;
+  virtual std::string_view name() const = 0;
+  virtual Result<std::unique_ptr<Transaction>> Begin() = 0;
+
+  CcStats& stats() { return stats_; }
+
+ protected:
+  CcStats stats_;
+};
+
+/// Builds the protocol named by `options.protocol`. All pointers must
+/// outlive the manager. `oracle` may be null only for kTwoPlNoWait with
+/// exclusive locks (the one protocol that never needs timestamps; a
+/// node-local id generator is used for lock ownership).
+std::unique_ptr<CcManager> MakeCcManager(const CcOptions& options,
+                                         dsm::DsmClient* dsm,
+                                         DataAccessor* accessor,
+                                         TimestampOracle* oracle,
+                                         LogSink* sink);
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_CC_PROTOCOL_H_

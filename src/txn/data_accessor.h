@@ -1,0 +1,59 @@
+#ifndef DSMDB_TXN_DATA_ACCESSOR_H_
+#define DSMDB_TXN_DATA_ACCESSOR_H_
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::txn {
+
+/// How a CC protocol touches record *values*. Lock and version words are
+/// always accessed with direct one-sided verbs (they must be CAS-able and
+/// never stale); values can either go straight to remote memory
+/// (Figure 3a) or through the compute node's buffer pool (Figures 3b/3c).
+class DataAccessor {
+ public:
+  virtual ~DataAccessor() = default;
+  virtual Status ReadValue(dsm::GlobalAddress addr, void* out,
+                           size_t len) = 0;
+  virtual Status WriteValue(dsm::GlobalAddress addr, const void* src,
+                            size_t len) = 0;
+};
+
+/// Figure 3a: every value access is a remote one-sided verb.
+class DirectAccessor final : public DataAccessor {
+ public:
+  explicit DirectAccessor(dsm::DsmClient* dsm) : dsm_(dsm) {}
+  Status ReadValue(dsm::GlobalAddress addr, void* out, size_t len) override {
+    return dsm_->Read(addr, out, len);
+  }
+  Status WriteValue(dsm::GlobalAddress addr, const void* src,
+                    size_t len) override {
+    return dsm_->Write(addr, src, len);
+  }
+
+ private:
+  dsm::DsmClient* dsm_;
+};
+
+/// Figures 3b/3c: values go through the local page cache (whose coherence
+/// controller handles Figure 3b's invalidations).
+class CachedAccessor final : public DataAccessor {
+ public:
+  explicit CachedAccessor(buffer::BufferPool* pool) : pool_(pool) {}
+  Status ReadValue(dsm::GlobalAddress addr, void* out, size_t len) override {
+    return pool_->Read(addr, out, len);
+  }
+  Status WriteValue(dsm::GlobalAddress addr, const void* src,
+                    size_t len) override {
+    return pool_->Write(addr, src, len);
+  }
+
+ private:
+  buffer::BufferPool* pool_;
+};
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_DATA_ACCESSOR_H_

@@ -1,0 +1,53 @@
+#include "txn/log_sink.h"
+
+#include "common/coding.h"
+
+namespace dsmdb::txn {
+
+std::string EncodeCommitWrite(const CommitWrite& w) {
+  std::string out;
+  PutFixed64(&out, w.addr.Pack());
+  out.append(w.value);
+  return out;
+}
+
+bool DecodeCommitWrite(std::string_view payload, CommitWrite* out) {
+  if (payload.size() < 8) return false;
+  out->addr = dsm::GlobalAddress::Unpack(DecodeFixed64(payload.data()));
+  out->value.assign(payload.data() + 8, payload.size() - 8);
+  return true;
+}
+
+Status WalLogSink::LogCommit(uint64_t txn_id,
+                             const std::vector<CommitWrite>& writes) {
+  for (const CommitWrite& w : writes) {
+    log::LogRecord rec;
+    rec.txn_id = txn_id;
+    rec.type = log::LogRecordType::kUpdate;
+    rec.payload = EncodeCommitWrite(w);
+    wal_->AppendAsync(std::move(rec));
+  }
+  log::LogRecord commit;
+  commit.txn_id = txn_id;
+  commit.type = log::LogRecordType::kCommit;
+  Result<uint64_t> lsn = wal_->AppendSync(std::move(commit));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+Status ReplicatedLogSink::LogCommit(uint64_t txn_id,
+                                    const std::vector<CommitWrite>& writes) {
+  // Batch the txn's updates + commit into one replicated append: one
+  // parallel k-way fan-out per commit.
+  std::string batch_payload;
+  for (const CommitWrite& w : writes) {
+    PutLengthPrefixed(&batch_payload, EncodeCommitWrite(w));
+  }
+  log::LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = log::LogRecordType::kCommit;
+  rec.payload = std::move(batch_payload);
+  Result<uint64_t> lsn = rlog_->AppendSync(std::move(rec));
+  return lsn.ok() ? Status::OK() : lsn.status();
+}
+
+}  // namespace dsmdb::txn

@@ -1,0 +1,76 @@
+#ifndef DSMDB_TXN_LOG_SINK_H_
+#define DSMDB_TXN_LOG_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dsm/gaddr.h"
+#include "log/replicated_log.h"
+#include "log/wal.h"
+
+namespace dsmdb::txn {
+
+/// One committed write, for durability and recovery: the new value of the
+/// record at `addr`.
+struct CommitWrite {
+  dsm::GlobalAddress addr;
+  std::string value;
+};
+
+/// Encodes a CommitWrite payload (fixed64 addr.Pack() + value bytes).
+std::string EncodeCommitWrite(const CommitWrite& w);
+/// Decodes a kUpdate payload back into (addr, value).
+bool DecodeCommitWrite(std::string_view payload, CommitWrite* out);
+
+/// Where commit records go (Challenge #2). Called by every CC protocol
+/// after its serialization point and before making writes visible
+/// (write-ahead rule). Implementations must be thread-safe.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Durably logs the transaction's writes followed by its commit record;
+  /// returns once durable (simulated time advanced accordingly).
+  virtual Status LogCommit(uint64_t txn_id,
+                           const std::vector<CommitWrite>& writes) = 0;
+};
+
+/// No durability (CC protocol microbenchmarks isolate CC cost).
+class NoopLogSink final : public LogSink {
+ public:
+  std::string_view name() const override { return "none"; }
+  Status LogCommit(uint64_t, const std::vector<CommitWrite>&) override {
+    return Status::OK();
+  }
+};
+
+/// Approach #1: WAL on cloud storage (group commit inside Wal).
+class WalLogSink final : public LogSink {
+ public:
+  explicit WalLogSink(log::Wal* wal) : wal_(wal) {}
+  std::string_view name() const override { return "cloud-wal"; }
+  Status LogCommit(uint64_t txn_id,
+                   const std::vector<CommitWrite>& writes) override;
+
+ private:
+  log::Wal* wal_;
+};
+
+/// Approach #2: RAMCloud-style k-way memory-replicated log.
+class ReplicatedLogSink final : public LogSink {
+ public:
+  explicit ReplicatedLogSink(log::ReplicatedLog* rlog) : rlog_(rlog) {}
+  std::string_view name() const override { return "mem-replicated"; }
+  Status LogCommit(uint64_t txn_id,
+                   const std::vector<CommitWrite>& writes) override;
+
+ private:
+  log::ReplicatedLog* rlog_;
+};
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_LOG_SINK_H_

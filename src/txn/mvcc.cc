@@ -1,0 +1,210 @@
+#include "txn/mvcc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace dsmdb::txn {
+
+Result<dsm::GlobalAddress> VersionArena::Alloc(uint64_t size) {
+  size = (size + 7) & ~uint64_t{7};
+  SpinLatchGuard g(latch_);
+  if (chunk_.IsNull() || used_ + size > chunk_bytes_) {
+    Result<dsm::GlobalAddress> chunk = dsm_->Alloc(chunk_bytes_);
+    if (!chunk.ok()) return chunk.status();
+    chunk_ = *chunk;
+    used_ = 0;
+  }
+  const dsm::GlobalAddress out = chunk_.Plus(used_);
+  used_ += size;
+  return out;
+}
+
+MvccManager::MvccManager(const CcOptions& options, dsm::DsmClient* dsm,
+                         DataAccessor* accessor, TimestampOracle* oracle,
+                         LogSink* sink)
+    : options_(options),
+      dsm_(dsm),
+      accessor_(accessor),
+      oracle_(oracle),
+      sink_(sink),
+      arena_(dsm) {
+  assert(oracle_ != nullptr);
+}
+
+Result<std::unique_ptr<Transaction>> MvccManager::Begin() {
+  Result<uint64_t> ts = oracle_->Next();
+  if (!ts.ok()) return ts.status();
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Transaction>(new MvccTransaction(this, *ts));
+}
+
+MvccTransaction::MvccTransaction(MvccManager* mgr, uint64_t start_ts)
+    : mgr_(mgr), spin_(mgr->dsm_) {
+  ts_ = start_ts;
+}
+
+MvccTransaction::~MvccTransaction() {
+  if (!finished_) (void)Abort();
+}
+
+Status MvccTransaction::Read(const RecordRef& ref, std::string* out) {
+  assert(!finished_);
+  auto wit = write_index_.find(ref.addr.Pack());
+  if (wit != write_index_.end()) {
+    *out = writes_[wit->second].value;
+    return Status::OK();
+  }
+  // Version word -> newest node; chase until wts <= snapshot.
+  uint64_t head = 0;
+  DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.VersionWord(), &head, 8));
+  const size_t node_bytes = 16 + ref.value_size;
+  std::vector<char> node(node_bytes);
+  while (head != 0) {
+    const dsm::GlobalAddress node_addr = dsm::GlobalAddress::Unpack(head);
+    DSMDB_RETURN_NOT_OK(
+        mgr_->dsm_->Read(node_addr, node.data(), node_bytes));
+    const uint64_t wts = DecodeFixed64(node.data());
+    if (wts <= ts_) {
+      out->assign(node.data() + 16, ref.value_size);
+      return Status::OK();
+    }
+    head = DecodeFixed64(node.data() + 8);
+  }
+  // Oldest version: the record's inline value (wts = 0).
+  out->resize(ref.value_size);
+  return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
+                                    ref.value_size);
+}
+
+Status MvccTransaction::Write(const RecordRef& ref, std::string_view value) {
+  assert(!finished_);
+  if (value.size() != ref.value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  const uint64_t key = ref.addr.Pack();
+  auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    writes_[it->second].value.assign(value);
+  } else {
+    writes_.push_back(CommitWrite{ref.addr, std::string(value)});
+    write_sizes_.push_back(ref.value_size);
+    write_index_[key] = writes_.size() - 1;
+  }
+  return Status::OK();
+}
+
+Status MvccTransaction::Commit() {
+  assert(!finished_);
+  if (writes_.empty()) {
+    // Read-only: snapshot reads never validate, never abort.
+    finished_ = true;
+    mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  Result<uint64_t> commit_ts = mgr_->oracle_->Next();
+  if (!commit_ts.ok()) return commit_ts.status();
+
+  std::vector<size_t> order(writes_.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return writes_[a].addr.Pack() < writes_[b].addr.Pack();
+  });
+
+  // Lock write targets; first-committer-wins: abort if any record gained a
+  // version newer than our snapshot.
+  std::vector<uint64_t> heads(writes_.size());
+  size_t locked = 0;
+  Status s;
+  for (; locked < order.size(); locked++) {
+    const size_t idx = order[locked];
+    const CommitWrite& w = writes_[idx];
+    s = spin_.Acquire(w.addr, *commit_ts, mgr_->options_.lock_max_attempts);
+    if (!s.ok()) break;
+    uint64_t head = 0;
+    s = mgr_->dsm_->Read(dsm::GlobalAddress{w.addr.node, w.addr.offset + 8},
+                         &head, 8);
+    if (!s.ok()) {
+      locked++;
+      break;
+    }
+    if (head != 0) {
+      uint64_t newest_wts = 0;
+      s = mgr_->dsm_->Read(dsm::GlobalAddress::Unpack(head), &newest_wts, 8);
+      if (!s.ok()) {
+        locked++;
+        break;
+      }
+      if (newest_wts > ts_) {
+        locked++;
+        for (size_t i = 0; i < locked; i++) {
+          (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
+        }
+        return AbortInternal(true);  // write-write conflict
+      }
+    }
+    heads[idx] = head;
+  }
+  if (!s.ok()) {
+    for (size_t i = 0; i < locked; i++) {
+      (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
+    }
+    if (s.IsTimedOut() || s.IsBusy()) return AbortInternal(false);
+    return s;
+  }
+
+  // Commit point: durable log BEFORE any version becomes visible.
+  s = mgr_->sink_->LogCommit(*commit_ts, writes_);
+  if (s.ok()) {
+    for (size_t i = 0; i < writes_.size() && s.ok(); i++) {
+      const CommitWrite& w = writes_[i];
+      const size_t node_bytes = 16 + write_sizes_[i];
+      Result<dsm::GlobalAddress> node_addr =
+          mgr_->arena().Alloc(node_bytes);
+      if (!node_addr.ok()) {
+        s = node_addr.status();
+        break;
+      }
+      std::string node;
+      PutFixed64(&node, *commit_ts);
+      PutFixed64(&node, heads[i]);
+      node.append(w.value);
+      s = mgr_->dsm_->Write(*node_addr, node.data(), node.size());
+      if (!s.ok()) break;
+      const uint64_t packed = node_addr->Pack();
+      s = mgr_->dsm_->Write(
+          dsm::GlobalAddress{w.addr.node, w.addr.offset + 8}, &packed, 8);
+    }
+  }
+  for (size_t i = 0; i < order.size(); i++) {
+    (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
+  }
+  finished_ = true;
+  if (!s.ok()) {
+    mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MvccTransaction::Abort() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MvccTransaction::AbortInternal(bool validation) {
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  if (validation) {
+    mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Aborted("mvcc write-write conflict");
+}
+
+}  // namespace dsmdb::txn

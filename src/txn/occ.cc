@@ -1,0 +1,184 @@
+#include "txn/occ.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace dsmdb::txn {
+
+OccManager::OccManager(const CcOptions& options, dsm::DsmClient* dsm,
+                       DataAccessor* accessor, TimestampOracle* oracle,
+                       LogSink* sink)
+    : options_(options),
+      dsm_(dsm),
+      accessor_(accessor),
+      oracle_(oracle),
+      sink_(sink) {}
+
+Result<std::unique_ptr<Transaction>> OccManager::Begin() {
+  const uint64_t id =
+      (local_seq_.fetch_add(1, std::memory_order_relaxed) << 10) |
+      (dsm_->self() & 0x3FF);
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Transaction>(new OccTransaction(this, id));
+}
+
+OccTransaction::OccTransaction(OccManager* mgr, uint64_t id)
+    : mgr_(mgr), spin_(mgr->dsm_) {
+  ts_ = id;
+}
+
+OccTransaction::~OccTransaction() {
+  if (!finished_) (void)Abort();
+}
+
+Status OccTransaction::Read(const RecordRef& ref, std::string* out) {
+  assert(!finished_);
+  auto wit = write_index_.find(ref.addr.Pack());
+  if (wit != write_index_.end()) {
+    *out = writes_[wit->second].value;
+    return Status::OK();
+  }
+  // Record the version, then read the value; any interleaving writer is
+  // caught by commit-time validation (version or lock word changed).
+  char header[16];
+  DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.addr, header, sizeof(header)));
+  const uint64_t version = DecodeFixed64(header + 8);
+  out->resize(ref.value_size);
+  DSMDB_RETURN_NOT_OK(
+      mgr_->accessor_->ReadValue(ref.Value(), out->data(), ref.value_size));
+
+  const uint64_t key = ref.addr.Pack();
+  auto it = read_index_.find(key);
+  if (it == read_index_.end()) {
+    reads_.push_back(ReadEntry{ref, version});
+    read_index_[key] = reads_.size() - 1;
+  }
+  return Status::OK();
+}
+
+Status OccTransaction::Write(const RecordRef& ref, std::string_view value) {
+  assert(!finished_);
+  if (value.size() != ref.value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  const uint64_t key = ref.addr.Pack();
+  auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    writes_[it->second].value.assign(value);
+  } else {
+    writes_.push_back(CommitWrite{ref.addr, std::string(value)});
+    write_sizes_.push_back(ref.value_size);
+    write_index_[key] = writes_.size() - 1;
+  }
+  return Status::OK();
+}
+
+void OccTransaction::UnlockPrefix(size_t locked_count,
+                                  const std::vector<size_t>& order) {
+  for (size_t i = 0; i < locked_count; i++) {
+    (void)spin_.Release(writes_[order[i]].addr, ts_);
+  }
+}
+
+Status OccTransaction::Commit() {
+  assert(!finished_);
+
+  // Phase 1: lock the write set in global address order (prevents
+  // lock-phase deadlocks across committers).
+  std::vector<size_t> order(writes_.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return writes_[a].addr.Pack() < writes_[b].addr.Pack();
+  });
+  for (size_t i = 0; i < order.size(); i++) {
+    Status s = spin_.TryAcquire(writes_[order[i]].addr, ts_);
+    if (s.IsBusy()) {
+      UnlockPrefix(i, order);
+      return AbortInternal(false);
+    }
+    if (!s.ok()) {
+      UnlockPrefix(i, order);
+      return s;
+    }
+  }
+
+  // Phase 2: validate the read set with ONE doorbell-batched header read.
+  if (!reads_.empty()) {
+    std::vector<char> scratch(reads_.size() * 16);
+    std::vector<dsm::DsmBatchOp> batch;
+    batch.reserve(reads_.size());
+    for (size_t i = 0; i < reads_.size(); i++) {
+      batch.push_back(
+          dsm::DsmBatchOp{reads_[i].ref.addr, scratch.data() + 16 * i, 16});
+    }
+    Status s = mgr_->dsm_->ReadBatch(batch);
+    if (!s.ok()) {
+      UnlockPrefix(order.size(), order);
+      return s;
+    }
+    for (size_t i = 0; i < reads_.size(); i++) {
+      const uint64_t lock_word = DecodeFixed64(scratch.data() + 16 * i);
+      const uint64_t version = DecodeFixed64(scratch.data() + 16 * i + 8);
+      const bool mine =
+          write_index_.contains(reads_[i].ref.addr.Pack());
+      const bool lock_ok =
+          lock_word == 0 || (mine && lock_word == MakeExclusiveLock(ts_));
+      if (!lock_ok || version != reads_[i].version) {
+        UnlockPrefix(order.size(), order);
+        return AbortInternal(true);
+      }
+    }
+  }
+
+  // Phase 3: write-ahead log.
+  Status s = mgr_->sink_->LogCommit(ts_, writes_);
+  if (!s.ok()) {
+    UnlockPrefix(order.size(), order);
+    (void)AbortInternal(false);
+    return s;
+  }
+
+  // Phase 4: install values, bump versions (1-RTT FAA each), unlock.
+  for (size_t i = 0; i < writes_.size(); i++) {
+    const CommitWrite& w = writes_[i];
+    RecordRef ref{w.addr, write_sizes_[i]};
+    s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
+                                    w.value.size());
+    if (!s.ok()) break;
+    Result<uint64_t> bumped = mgr_->dsm_->FetchAndAdd(ref.VersionWord(), 1);
+    if (!bumped.ok()) {
+      s = bumped.status();
+      break;
+    }
+  }
+  UnlockPrefix(order.size(), order);
+  finished_ = true;
+  if (!s.ok()) {
+    mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status OccTransaction::Abort() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status OccTransaction::AbortInternal(bool validation) {
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  if (validation) {
+    mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Aborted("occ conflict");
+}
+
+}  // namespace dsmdb::txn

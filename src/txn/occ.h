@@ -1,0 +1,72 @@
+#ifndef DSMDB_TXN_OCC_H_
+#define DSMDB_TXN_OCC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/cc_protocol.h"
+#include "txn/rdma_lock.h"
+
+namespace dsmdb::txn {
+
+/// Optimistic concurrency control over RDMA (Challenge #6, non-lock-based).
+///
+/// Read phase records (addr, version); writes are buffered. Commit:
+///   1. lock the write set in address order (1-RTT CAS each, NO_WAIT),
+///   2. validate the read set by re-reading version words with ONE
+///      doorbell-batched read (a core RDMA optimization: validation costs
+///      one round trip regardless of read-set size),
+///   3. log, install values, bump versions, unlock.
+class OccManager final : public CcManager {
+ public:
+  OccManager(const CcOptions& options, dsm::DsmClient* dsm,
+             DataAccessor* accessor, TimestampOracle* oracle, LogSink* sink);
+
+  std::string_view name() const override { return "occ"; }
+  Result<std::unique_ptr<Transaction>> Begin() override;
+
+ private:
+  friend class OccTransaction;
+
+  CcOptions options_;
+  dsm::DsmClient* dsm_;
+  DataAccessor* accessor_;
+  TimestampOracle* oracle_;  // unused (kept for interface symmetry)
+  LogSink* sink_;
+  std::atomic<uint64_t> local_seq_{1};
+};
+
+class OccTransaction final : public Transaction {
+ public:
+  OccTransaction(OccManager* mgr, uint64_t id);
+  ~OccTransaction() override;
+
+  Status Read(const RecordRef& ref, std::string* out) override;
+  Status Write(const RecordRef& ref, std::string_view value) override;
+  Status Commit() override;
+  Status Abort() override;
+
+ private:
+  struct ReadEntry {
+    RecordRef ref;
+    uint64_t version;
+  };
+
+  Status AbortInternal(bool validation);
+  void UnlockPrefix(size_t locked_count,
+                    const std::vector<size_t>& order);
+
+  OccManager* mgr_;
+  RdmaSpinLock spin_;
+  std::vector<ReadEntry> reads_;
+  std::unordered_map<uint64_t, size_t> read_index_;
+  std::vector<CommitWrite> writes_;
+  std::vector<uint32_t> write_sizes_;
+  std::unordered_map<uint64_t, size_t> write_index_;
+  bool finished_ = false;
+};
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_OCC_H_

@@ -1,0 +1,109 @@
+#include "txn/rdma_lock.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/sim_clock.h"
+#include "txn/record_format.h"
+
+namespace dsmdb::txn {
+
+void LockBackoff(uint32_t attempt) {
+  const uint64_t ns = std::min<uint64_t>(200ULL << std::min(attempt, 6u),
+                                         20'000);
+  SimClock::Advance(ns);
+  // Give the lock holder a chance to run on few-core hosts.
+  if (attempt > 2) std::this_thread::yield();
+}
+
+Status RdmaSpinLock::TryAcquire(dsm::GlobalAddress word, uint64_t ts) {
+  Result<uint64_t> prev =
+      dsm_->CompareAndSwap(word, 0, MakeExclusiveLock(ts));
+  if (!prev.ok()) return prev.status();
+  if (*prev != 0) return Status::Busy("lock held");
+  return Status::OK();
+}
+
+Status RdmaSpinLock::Acquire(dsm::GlobalAddress word, uint64_t ts,
+                             uint32_t max_attempts) {
+  for (uint32_t attempt = 0; attempt < max_attempts; attempt++) {
+    Status s = TryAcquire(word, ts);
+    if (!s.IsBusy()) return s;
+    LockBackoff(attempt);
+  }
+  return Status::TimedOut("lock acquisition exceeded max attempts");
+}
+
+Result<uint64_t> RdmaSpinLock::Peek(dsm::GlobalAddress word) {
+  uint64_t value = 0;
+  DSMDB_RETURN_NOT_OK(dsm_->Read(word, &value, 8));
+  return IsExclusive(value) ? LockHolderTs(value) : 0;
+}
+
+Status RdmaSpinLock::Release(dsm::GlobalAddress word, uint64_t ts) {
+  Result<uint64_t> prev =
+      dsm_->CompareAndSwap(word, MakeExclusiveLock(ts), 0);
+  if (!prev.ok()) return prev.status();
+  if (*prev != MakeExclusiveLock(ts)) {
+    return Status::Internal("released a lock not held by this txn");
+  }
+  return Status::OK();
+}
+
+Status RdmaSharedExclusiveLock::TryAcquireShared(dsm::GlobalAddress word,
+                                                 uint32_t max_attempts) {
+  for (uint32_t attempt = 0; attempt < max_attempts; attempt++) {
+    uint64_t cur = 0;
+    DSMDB_RETURN_NOT_OK(dsm_->Read(word, &cur, 8));  // RTT #1
+    if (IsExclusive(cur)) {
+      LockBackoff(attempt);
+      continue;
+    }
+    Result<uint64_t> prev = dsm_->CompareAndSwap(word, cur, cur + 1);
+    if (!prev.ok()) return prev.status();            // RTT #2
+    if (*prev == cur) return Status::OK();
+    LockBackoff(attempt);
+  }
+  return Status::Busy("shared lock busy");
+}
+
+Status RdmaSharedExclusiveLock::ReleaseShared(dsm::GlobalAddress word) {
+  Result<uint64_t> prev = dsm_->FetchAndAdd(word, static_cast<uint64_t>(-1));
+  if (!prev.ok()) return prev.status();
+  if (ReaderCount(*prev) == 0) {
+    return Status::Internal("shared release without holders");
+  }
+  return Status::OK();
+}
+
+Status RdmaSharedExclusiveLock::TryAcquireExclusive(dsm::GlobalAddress word,
+                                                    uint64_t ts,
+                                                    uint32_t max_attempts) {
+  for (uint32_t attempt = 0; attempt < max_attempts; attempt++) {
+    uint64_t cur = 0;
+    DSMDB_RETURN_NOT_OK(dsm_->Read(word, &cur, 8));  // RTT #1
+    if (cur != 0) {
+      LockBackoff(attempt);
+      continue;
+    }
+    Result<uint64_t> prev =
+        dsm_->CompareAndSwap(word, 0, MakeExclusiveLock(ts));  // RTT #2
+    if (!prev.ok()) return prev.status();
+    if (*prev == 0) return Status::OK();
+    LockBackoff(attempt);
+  }
+  return Status::Busy("exclusive lock busy");
+}
+
+Status RdmaSharedExclusiveLock::ReleaseExclusive(dsm::GlobalAddress word,
+                                                 uint64_t ts) {
+  Result<uint64_t> prev =
+      dsm_->CompareAndSwap(word, MakeExclusiveLock(ts), 0);
+  if (!prev.ok()) return prev.status();
+  if (*prev != MakeExclusiveLock(ts)) {
+    return Status::Internal("released an exclusive lock not held");
+  }
+  return Status::OK();
+}
+
+}  // namespace dsmdb::txn

@@ -1,0 +1,68 @@
+#ifndef DSMDB_TXN_RECORD_FORMAT_H_
+#define DSMDB_TXN_RECORD_FORMAT_H_
+
+#include <cstdint>
+
+#include "dsm/gaddr.h"
+
+namespace dsmdb::txn {
+
+/// On-DSM record layout, shared by every CC protocol (as in Sherman/RACE,
+/// locks live *in the data* so they are reachable with one-sided verbs):
+///
+///   offset 0   : 8-byte lock word    (RDMA CAS target)
+///   offset 8   : 8-byte version word (protocol-specific: OCC version,
+///                TSO rts|wts, MVCC packed head pointer)
+///   offset 16  : value bytes
+///
+/// Lock word encoding: 0 = free; otherwise bit 63 set (exclusive) with the
+/// holder's timestamp/id in bits 0..47, or a positive reader count for the
+/// shared-exclusive lock.
+struct RecordRef {
+  dsm::GlobalAddress addr;  ///< Base of the record (lock word).
+  uint32_t value_size = 0;
+
+  dsm::GlobalAddress LockWord() const { return addr; }
+  dsm::GlobalAddress VersionWord() const { return addr.Plus(8); }
+  dsm::GlobalAddress Value() const { return addr.Plus(16); }
+};
+
+inline constexpr uint64_t kRecordHeaderBytes = 16;
+
+/// Total bytes a record of `value_size` occupies (8-byte aligned).
+inline constexpr uint64_t RecordStride(uint32_t value_size) {
+  return kRecordHeaderBytes + ((value_size + 7ULL) & ~7ULL);
+}
+
+// Lock word encoding helpers.
+inline constexpr uint64_t kLockExclusiveBit = 1ULL << 63;
+inline constexpr uint64_t kLockTsMask = (1ULL << 48) - 1;
+
+inline constexpr uint64_t MakeExclusiveLock(uint64_t ts) {
+  return kLockExclusiveBit | (ts & kLockTsMask);
+}
+inline constexpr bool IsExclusive(uint64_t word) {
+  return (word & kLockExclusiveBit) != 0;
+}
+inline constexpr uint64_t LockHolderTs(uint64_t word) {
+  return word & kLockTsMask;
+}
+/// Shared-exclusive lock: non-exclusive words are reader counts.
+inline constexpr uint64_t ReaderCount(uint64_t word) {
+  return IsExclusive(word) ? 0 : word;
+}
+
+// TSO version word: rts (high 32) | wts (low 32).
+inline constexpr uint64_t PackTso(uint32_t rts, uint32_t wts) {
+  return (static_cast<uint64_t>(rts) << 32) | wts;
+}
+inline constexpr uint32_t TsoRts(uint64_t word) {
+  return static_cast<uint32_t>(word >> 32);
+}
+inline constexpr uint32_t TsoWts(uint64_t word) {
+  return static_cast<uint32_t>(word);
+}
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_RECORD_FORMAT_H_

@@ -1,0 +1,30 @@
+#include "txn/timestamp_oracle.h"
+
+namespace dsmdb::txn {
+
+TimestampOracle::TimestampOracle(dsm::DsmClient* dsm, OracleMode mode,
+                                 dsm::GlobalAddress counter)
+    : dsm_(dsm), mode_(mode), counter_(counter) {}
+
+Result<uint64_t> TimestampOracle::Next() {
+  if (mode_ == OracleMode::kRdmaFaa) {
+    Result<uint64_t> prev = dsm_->FetchAndAdd(counter_, 1);
+    if (!prev.ok()) return prev.status();
+    return *prev + 1;
+  }
+  // Loosely-synchronized local clock: unique via the node id suffix.
+  const uint64_t tick = local_.fetch_add(1, std::memory_order_relaxed);
+  return (tick << 10) | (dsm_->self() & 0x3FF);
+}
+
+Result<uint64_t> TimestampOracle::Current() {
+  if (mode_ == OracleMode::kRdmaFaa) {
+    uint64_t value = 0;
+    DSMDB_RETURN_NOT_OK(dsm_->Read(counter_, &value, 8));
+    return value;
+  }
+  return (local_.load(std::memory_order_relaxed) << 10) |
+         (dsm_->self() & 0x3FF);
+}
+
+}  // namespace dsmdb::txn

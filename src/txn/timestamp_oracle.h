@@ -1,0 +1,58 @@
+#ifndef DSMDB_TXN_TIMESTAMP_ORACLE_H_
+#define DSMDB_TXN_TIMESTAMP_ORACLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/result.h"
+#include "dsm/dsm_client.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::txn {
+
+/// How transaction timestamps are generated (Challenge #6: "how to
+/// generate timestamps ... One-sided RDMA (RDMA Fetch & Add) is more
+/// preferable than two-sided RDMA in case the centralized timestamp
+/// generator becomes a bottleneck").
+enum class OracleMode {
+  /// Centralized counter in DSM bumped with one-sided FAA (1 RTT/ts).
+  kRdmaFaa,
+  /// Loosely-synchronized per-node clocks [61]: ts = local counter with
+  /// the node id in the low bits — zero RTTs, but only *approximately*
+  /// ordered across nodes.
+  kLocalClock,
+};
+
+/// Global timestamp oracle. One instance per compute node; all instances
+/// in kRdmaFaa mode share the counter word at a well-known DSM address.
+class TimestampOracle {
+ public:
+  /// `counter` must be an 8-byte-aligned word in DSM (all nodes pass the
+  /// same address); ignored in kLocalClock mode.
+  TimestampOracle(dsm::DsmClient* dsm, OracleMode mode,
+                  dsm::GlobalAddress counter);
+
+  /// Next globally-unique timestamp (> all previously returned here).
+  Result<uint64_t> Next();
+
+  /// A recent upper bound on issued timestamps (for MVCC read snapshots).
+  Result<uint64_t> Current();
+
+  OracleMode mode() const { return mode_; }
+
+  /// The canonical counter location: the first reserved word of memory
+  /// node 0's region (never handed out by the allocator).
+  static dsm::GlobalAddress DefaultCounter() {
+    return dsm::GlobalAddress{0, 8};
+  }
+
+ private:
+  dsm::DsmClient* dsm_;
+  OracleMode mode_;
+  dsm::GlobalAddress counter_;
+  std::atomic<uint64_t> local_{1};
+};
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_TIMESTAMP_ORACLE_H_

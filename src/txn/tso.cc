@@ -1,0 +1,189 @@
+#include "txn/tso.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace dsmdb::txn {
+
+TsoManager::TsoManager(const CcOptions& options, dsm::DsmClient* dsm,
+                       DataAccessor* accessor, TimestampOracle* oracle,
+                       LogSink* sink)
+    : options_(options),
+      dsm_(dsm),
+      accessor_(accessor),
+      oracle_(oracle),
+      sink_(sink) {
+  assert(oracle_ != nullptr);
+}
+
+Result<std::unique_ptr<Transaction>> TsoManager::Begin() {
+  Result<uint64_t> ts = oracle_->Next();
+  if (!ts.ok()) return ts.status();
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Transaction>(new TsoTransaction(this, *ts));
+}
+
+TsoTransaction::TsoTransaction(TsoManager* mgr, uint64_t ts)
+    : mgr_(mgr), spin_(mgr->dsm_) {
+  ts_ = ts;
+}
+
+TsoTransaction::~TsoTransaction() {
+  if (!finished_) (void)Abort();
+}
+
+Status TsoTransaction::Read(const RecordRef& ref, std::string* out) {
+  assert(!finished_);
+  auto wit = write_index_.find(ref.addr.Pack());
+  if (wit != write_index_.end()) {
+    *out = writes_[wit->second].value;
+    return Status::OK();
+  }
+  const uint32_t my_ts = static_cast<uint32_t>(ts_);
+  for (uint32_t attempt = 0; attempt < mgr_->options_.lock_max_attempts;
+       attempt++) {
+    char header[16];
+    DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.addr, header, sizeof(header)));
+    const uint64_t lock_word = DecodeFixed64(header);
+    const uint64_t vword = DecodeFixed64(header + 8);
+    if (lock_word != 0) {  // writer installing: wait briefly
+      LockBackoff(attempt);
+      continue;
+    }
+    if (TsoWts(vword) > my_ts) {
+      return AbortInternal(true);  // a younger writer already wrote
+    }
+    out->resize(ref.value_size);
+    DSMDB_RETURN_NOT_OK(mgr_->accessor_->ReadValue(ref.Value(), out->data(),
+                                                   ref.value_size));
+    // Stability check: the header must not have moved under the value read.
+    char header2[16];
+    DSMDB_RETURN_NOT_OK(
+        mgr_->dsm_->Read(ref.addr, header2, sizeof(header2)));
+    if (DecodeFixed64(header2) != 0 ||
+        DecodeFixed64(header2 + 8) != vword) {
+      LockBackoff(attempt);
+      continue;
+    }
+    // Advance rts to my_ts (CAS; racing readers may beat us, that is fine
+    // as long as rts only grows).
+    if (TsoRts(vword) < my_ts) {
+      const uint64_t desired = PackTso(my_ts, TsoWts(vword));
+      Result<uint64_t> prev =
+          mgr_->dsm_->CompareAndSwap(ref.VersionWord(), vword, desired);
+      if (!prev.ok()) return prev.status();
+      if (*prev != vword && TsoRts(*prev) < my_ts) {
+        LockBackoff(attempt);
+        continue;  // lost the race to a state that still needs our bump
+      }
+    }
+    return Status::OK();
+  }
+  return AbortInternal(false);
+}
+
+Status TsoTransaction::Write(const RecordRef& ref, std::string_view value) {
+  assert(!finished_);
+  if (value.size() != ref.value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  const uint64_t key = ref.addr.Pack();
+  auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    writes_[it->second].value.assign(value);
+  } else {
+    writes_.push_back(CommitWrite{ref.addr, std::string(value)});
+    write_sizes_.push_back(ref.value_size);
+    write_index_[key] = writes_.size() - 1;
+  }
+  return Status::OK();
+}
+
+Status TsoTransaction::Commit() {
+  assert(!finished_);
+  const uint32_t my_ts = static_cast<uint32_t>(ts_);
+
+  std::vector<size_t> order(writes_.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return writes_[a].addr.Pack() < writes_[b].addr.Pack();
+  });
+
+  // Lock and timestamp-check every write target.
+  std::vector<uint64_t> vwords(writes_.size());
+  size_t locked = 0;
+  Status s;
+  for (; locked < order.size(); locked++) {
+    const CommitWrite& w = writes_[order[locked]];
+    s = spin_.Acquire(w.addr, ts_, mgr_->options_.lock_max_attempts);
+    if (!s.ok()) break;
+    uint64_t vword = 0;
+    s = mgr_->dsm_->Read(
+        dsm::GlobalAddress{w.addr.node, w.addr.offset + 8}, &vword, 8);
+    if (!s.ok()) {
+      locked++;
+      break;
+    }
+    if (TsoRts(vword) > my_ts || TsoWts(vword) > my_ts) {
+      locked++;
+      for (size_t i = 0; i < locked; i++) {
+        (void)spin_.Release(writes_[order[i]].addr, ts_);
+      }
+      return AbortInternal(true);  // out of timestamp order
+    }
+    vwords[order[locked]] = vword;
+  }
+  if (!s.ok()) {
+    for (size_t i = 0; i < locked; i++) {
+      (void)spin_.Release(writes_[order[i]].addr, ts_);
+    }
+    if (s.IsTimedOut() || s.IsBusy()) return AbortInternal(false);
+    return s;
+  }
+
+  // Write-ahead log, then install (value + wts), then unlock.
+  s = mgr_->sink_->LogCommit(ts_, writes_);
+  if (s.ok()) {
+    for (size_t i = 0; i < writes_.size() && s.ok(); i++) {
+      const CommitWrite& w = writes_[i];
+      RecordRef ref{w.addr, write_sizes_[i]};
+      s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
+                                      w.value.size());
+      if (!s.ok()) break;
+      const uint64_t desired = PackTso(TsoRts(vwords[i]), my_ts);
+      s = mgr_->dsm_->Write(ref.VersionWord(), &desired, 8);
+    }
+  }
+  for (size_t i = 0; i < order.size(); i++) {
+    (void)spin_.Release(writes_[order[i]].addr, ts_);
+  }
+  finished_ = true;
+  if (!s.ok()) {
+    mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TsoTransaction::Abort() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TsoTransaction::AbortInternal(bool validation) {
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  if (validation) {
+    mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Aborted("tso conflict");
+}
+
+}  // namespace dsmdb::txn

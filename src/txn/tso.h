@@ -1,0 +1,60 @@
+#ifndef DSMDB_TXN_TSO_H_
+#define DSMDB_TXN_TSO_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/cc_protocol.h"
+#include "txn/rdma_lock.h"
+
+namespace dsmdb::txn {
+
+/// Basic timestamp ordering (Challenge #6, non-lock-based). Each record's
+/// version word holds (rts | wts); operations out of timestamp order
+/// abort. Readers bump rts with a CAS; writers install under a short
+/// record latch. Timestamps come from the shared oracle — with kRdmaFaa
+/// that is one extra RTT per transaction begin, the centralized-generator
+/// cost the paper calls out.
+class TsoManager final : public CcManager {
+ public:
+  TsoManager(const CcOptions& options, dsm::DsmClient* dsm,
+             DataAccessor* accessor, TimestampOracle* oracle, LogSink* sink);
+
+  std::string_view name() const override { return "tso"; }
+  Result<std::unique_ptr<Transaction>> Begin() override;
+
+ private:
+  friend class TsoTransaction;
+
+  CcOptions options_;
+  dsm::DsmClient* dsm_;
+  DataAccessor* accessor_;
+  TimestampOracle* oracle_;
+  LogSink* sink_;
+};
+
+class TsoTransaction final : public Transaction {
+ public:
+  TsoTransaction(TsoManager* mgr, uint64_t ts);
+  ~TsoTransaction() override;
+
+  Status Read(const RecordRef& ref, std::string* out) override;
+  Status Write(const RecordRef& ref, std::string_view value) override;
+  Status Commit() override;
+  Status Abort() override;
+
+ private:
+  Status AbortInternal(bool validation);
+
+  TsoManager* mgr_;
+  RdmaSpinLock spin_;
+  std::vector<CommitWrite> writes_;
+  std::vector<uint32_t> write_sizes_;
+  std::unordered_map<uint64_t, size_t> write_index_;
+  bool finished_ = false;
+};
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_TSO_H_

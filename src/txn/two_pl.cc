@@ -1,0 +1,202 @@
+#include "txn/two_pl.h"
+
+#include <cassert>
+
+namespace dsmdb::txn {
+
+TwoPlManager::TwoPlManager(const CcOptions& options, dsm::DsmClient* dsm,
+                           DataAccessor* accessor, TimestampOracle* oracle,
+                           LogSink* sink)
+    : options_(options),
+      dsm_(dsm),
+      accessor_(accessor),
+      oracle_(oracle),
+      sink_(sink) {}
+
+std::string_view TwoPlManager::name() const {
+  if (options_.protocol == CcProtocolKind::kTwoPlWaitDie) {
+    return options_.lock_mode == TwoPlLockMode::kSharedExclusive
+               ? "2pl-waitdie-se"
+               : "2pl-waitdie";
+  }
+  return options_.lock_mode == TwoPlLockMode::kSharedExclusive
+             ? "2pl-nowait-se"
+             : "2pl-nowait";
+}
+
+Result<std::unique_ptr<Transaction>> TwoPlManager::Begin() {
+  uint64_t ts;
+  if (options_.protocol == CcProtocolKind::kTwoPlWaitDie) {
+    // WAIT_DIE needs globally-ordered timestamps.
+    assert(oracle_ != nullptr);
+    Result<uint64_t> t = oracle_->Next();
+    if (!t.ok()) return t.status();
+    ts = *t;
+  } else {
+    // NO_WAIT only needs a unique lock-owner id: node-local, zero RTTs.
+    ts = (local_seq_.fetch_add(1, std::memory_order_relaxed) << 10) |
+         (dsm_->self() & 0x3FF);
+  }
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Transaction>(new TwoPlTransaction(this, ts));
+}
+
+TwoPlTransaction::TwoPlTransaction(TwoPlManager* mgr, uint64_t ts)
+    : mgr_(mgr), spin_(mgr->dsm_), se_(mgr->dsm_) {
+  ts_ = ts;
+}
+
+TwoPlTransaction::~TwoPlTransaction() {
+  if (!finished_) (void)Abort();
+}
+
+Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
+  const uint64_t key = ref.addr.Pack();
+  auto it = lock_index_.find(key);
+  const bool se_mode =
+      mgr_->options_.lock_mode == TwoPlLockMode::kSharedExclusive;
+
+  if (it != lock_index_.end()) {
+    LockEntry& entry = locks_[it->second];
+    if (!exclusive || entry.held == Held::kExclusive) return Status::OK();
+    // Shared -> exclusive upgrade (SE mode only): succeeds only if we are
+    // the sole reader; otherwise abort (waiting risks upgrade deadlock).
+    Result<uint64_t> prev = mgr_->dsm_->CompareAndSwap(
+        ref.LockWord(), 1, MakeExclusiveLock(ts_));
+    if (!prev.ok()) return prev.status();
+    if (*prev != 1) return AbortInternal(false);
+    entry.held = Held::kExclusive;
+    return Status::OK();
+  }
+
+  Status s;
+  if (se_mode) {
+    s = exclusive ? se_.TryAcquireExclusive(ref.LockWord(), ts_,
+                                            mgr_->options_.lock_max_attempts)
+                  : se_.TryAcquireShared(ref.LockWord(),
+                                         mgr_->options_.lock_max_attempts);
+  } else {
+    s = spin_.TryAcquire(ref.LockWord(), ts_);
+  }
+
+  if (s.IsBusy() &&
+      mgr_->options_.protocol == CcProtocolKind::kTwoPlWaitDie &&
+      !se_mode) {
+    // WAIT_DIE: older (smaller ts) transactions wait; younger die.
+    for (uint32_t attempt = 0;
+         attempt < mgr_->options_.lock_max_attempts && s.IsBusy();
+         attempt++) {
+      Result<uint64_t> holder = spin_.Peek(ref.LockWord());
+      if (!holder.ok()) return holder.status();
+      if (*holder != 0 && ts_ > *holder) break;  // younger: die
+      LockBackoff(attempt);
+      s = spin_.TryAcquire(ref.LockWord(), ts_);
+    }
+  }
+
+  if (s.IsBusy() || s.IsTimedOut()) return AbortInternal(false);
+  if (!s.ok()) return s;
+
+  locks_.push_back(
+      LockEntry{ref, exclusive ? Held::kExclusive : Held::kShared});
+  lock_index_[key] = locks_.size() - 1;
+  return Status::OK();
+}
+
+Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
+  assert(!finished_);
+  auto wit = write_index_.find(ref.addr.Pack());
+  if (wit != write_index_.end()) {
+    *out = writes_[wit->second].value;  // read-your-writes
+    return Status::OK();
+  }
+  const bool se_mode =
+      mgr_->options_.lock_mode == TwoPlLockMode::kSharedExclusive;
+  DSMDB_RETURN_NOT_OK(EnsureLock(ref, /*exclusive=*/!se_mode));
+  out->resize(ref.value_size);
+  return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
+                                    ref.value_size);
+}
+
+Status TwoPlTransaction::Write(const RecordRef& ref,
+                               std::string_view value) {
+  assert(!finished_);
+  if (value.size() != ref.value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  DSMDB_RETURN_NOT_OK(EnsureLock(ref, /*exclusive=*/true));
+  const uint64_t key = ref.addr.Pack();
+  auto it = write_index_.find(key);
+  if (it != write_index_.end()) {
+    writes_[it->second].value.assign(value);
+  } else {
+    writes_.push_back(CommitWrite{ref.addr, std::string(value)});
+    write_index_[key] = writes_.size() - 1;
+  }
+  return Status::OK();
+}
+
+Status TwoPlTransaction::Commit() {
+  assert(!finished_);
+  // Write-ahead: durable log, then install, then release (strict 2PL).
+  Status s = mgr_->sink_->LogCommit(ts_, writes_);
+  if (!s.ok()) {
+    (void)AbortInternal(false);
+    return s;
+  }
+  for (const CommitWrite& w : writes_) {
+    RecordRef ref{w.addr, static_cast<uint32_t>(w.value.size())};
+    s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
+                                    w.value.size());
+    if (!s.ok()) break;  // e.g. memory node crashed mid-install
+  }
+  ReleaseAll();
+  if (!s.ok()) {
+    finished_ = true;
+    mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  finished_ = true;
+  mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TwoPlTransaction::Abort() {
+  if (finished_) return Status::OK();
+  ReleaseAll();
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TwoPlTransaction::AbortInternal(bool validation) {
+  ReleaseAll();
+  finished_ = true;
+  mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  if (validation) {
+    mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Aborted("2pl conflict");
+}
+
+void TwoPlTransaction::ReleaseAll() {
+  const bool se_mode =
+      mgr_->options_.lock_mode == TwoPlLockMode::kSharedExclusive;
+  for (const LockEntry& entry : locks_) {
+    if (se_mode) {
+      if (entry.held == Held::kExclusive) {
+        (void)se_.ReleaseExclusive(entry.ref.LockWord(), ts_);
+      } else {
+        (void)se_.ReleaseShared(entry.ref.LockWord());
+      }
+    } else {
+      (void)spin_.Release(entry.ref.LockWord(), ts_);
+    }
+  }
+  locks_.clear();
+  lock_index_.clear();
+}
+
+}  // namespace dsmdb::txn

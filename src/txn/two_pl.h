@@ -1,0 +1,81 @@
+#ifndef DSMDB_TXN_TWO_PL_H_
+#define DSMDB_TXN_TWO_PL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/cc_protocol.h"
+#include "txn/rdma_lock.h"
+
+namespace dsmdb::txn {
+
+/// Strict two-phase locking over RDMA locks (Challenge #6, lock-based CC).
+///
+/// Two deadlock strategies:
+///  * NO_WAIT — any lock conflict aborts immediately (no deadlocks by
+///    construction; high abort rate under contention).
+///  * WAIT_DIE — older transactions (smaller ts) wait, younger die.
+///
+/// Two lock flavors (TwoPlLockMode): the 1-RTT exclusive CAS spinlock
+/// (readers serialize) or the 2-RTT shared-exclusive lock (readers share;
+/// whether the concurrency pays for the extra round trips is bench E4's
+/// question).
+class TwoPlManager final : public CcManager {
+ public:
+  TwoPlManager(const CcOptions& options, dsm::DsmClient* dsm,
+               DataAccessor* accessor, TimestampOracle* oracle,
+               LogSink* sink);
+
+  std::string_view name() const override;
+  Result<std::unique_ptr<Transaction>> Begin() override;
+
+ private:
+  friend class TwoPlTransaction;
+
+  CcOptions options_;
+  dsm::DsmClient* dsm_;
+  DataAccessor* accessor_;
+  TimestampOracle* oracle_;
+  LogSink* sink_;
+  std::atomic<uint64_t> local_seq_{1};
+};
+
+class TwoPlTransaction final : public Transaction {
+ public:
+  TwoPlTransaction(TwoPlManager* mgr, uint64_t ts);
+  ~TwoPlTransaction() override;
+
+  Status Read(const RecordRef& ref, std::string* out) override;
+  Status Write(const RecordRef& ref, std::string_view value) override;
+  Status Commit() override;
+  Status Abort() override;
+
+ private:
+  enum class Held { kShared, kExclusive };
+
+  struct LockEntry {
+    RecordRef ref;
+    Held held;
+  };
+
+  /// Acquires (or upgrades to) the needed lock on `ref`. On conflict,
+  /// applies the NO_WAIT / WAIT_DIE policy; returns kAborted after
+  /// self-cleanup when the transaction dies.
+  Status EnsureLock(const RecordRef& ref, bool exclusive);
+  Status AbortInternal(bool validation);
+  void ReleaseAll();
+
+  TwoPlManager* mgr_;
+  RdmaSpinLock spin_;
+  RdmaSharedExclusiveLock se_;
+  std::vector<LockEntry> locks_;
+  std::unordered_map<uint64_t, size_t> lock_index_;  // addr.Pack() -> idx
+  std::vector<CommitWrite> writes_;
+  std::unordered_map<uint64_t, size_t> write_index_;
+  bool finished_ = false;
+};
+
+}  // namespace dsmdb::txn
+
+#endif  // DSMDB_TXN_TWO_PL_H_

@@ -1,0 +1,72 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::workload {
+
+std::string DriverResult::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "committed=%llu attempts=%llu tput=%.0f txn/s abort=%.1f%% "
+                "p50=%llu ns p99=%llu ns",
+                static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(attempts), throughput_tps,
+                AbortRate() * 100.0,
+                static_cast<unsigned long long>(latency_ns.Percentile(50)),
+                static_cast<unsigned long long>(latency_ns.Percentile(99)));
+  return buf;
+}
+
+DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
+                       const DriverOptions& options, const TxnFn& fn) {
+  struct WorkerOut {
+    uint64_t attempts = 0;
+    uint64_t committed = 0;
+    uint64_t sim_ns = 0;
+    Histogram latency;
+  };
+  const uint32_t total_threads =
+      static_cast<uint32_t>(nodes.size()) * options.threads_per_node;
+  std::vector<WorkerOut> outs(total_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(total_threads);
+
+  for (uint32_t t = 0; t < total_threads; t++) {
+    core::ComputeNode* node = nodes[t / options.threads_per_node];
+    threads.emplace_back([&, t, node] {
+      SimClock::Reset();
+      Random64 rng(options.seed * 1'000'003 + t);
+      WorkerOut& out = outs[t];
+      for (uint64_t i = 0; i < options.txns_per_thread; i++) {
+        const uint64_t t0 = SimClock::Now();
+        const bool committed = fn(node, t, rng);
+        out.latency.Add(SimClock::Now() - t0);
+        out.attempts++;
+        if (committed) out.committed++;
+      }
+      out.sim_ns = SimClock::Now();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  DriverResult result;
+  uint64_t max_ns = 0;
+  for (const WorkerOut& out : outs) {
+    result.attempts += out.attempts;
+    result.committed += out.committed;
+    result.latency_ns.Merge(out.latency);
+    max_ns = std::max(max_ns, out.sim_ns);
+  }
+  result.sim_seconds = static_cast<double>(max_ns) / 1e9;
+  result.throughput_tps =
+      result.sim_seconds == 0
+          ? 0
+          : static_cast<double>(result.committed) / result.sim_seconds;
+  return result;
+}
+
+}  // namespace dsmdb::workload

@@ -1,0 +1,55 @@
+#ifndef DSMDB_WORKLOAD_DRIVER_H_
+#define DSMDB_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/compute_node.h"
+
+namespace dsmdb::workload {
+
+struct DriverOptions {
+  uint32_t threads_per_node = 4;
+  uint64_t txns_per_thread = 1'000;
+  uint64_t seed = 42;
+};
+
+struct DriverResult {
+  uint64_t attempts = 0;
+  uint64_t committed = 0;
+  /// Simulated wall-clock of the run = max over worker threads.
+  double sim_seconds = 0;
+  /// Committed transactions per simulated second.
+  double throughput_tps = 0;
+  Histogram latency_ns;  ///< per-attempt simulated latency
+
+  double AbortRate() const {
+    return attempts == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(committed) /
+                           static_cast<double>(attempts);
+  }
+  std::string ToString() const;
+};
+
+/// Executes one transaction attempt on `node`; returns true if committed.
+/// Runs on a worker thread with a private RNG; `thread_idx` is global
+/// across nodes.
+using TxnFn =
+    std::function<bool(core::ComputeNode* node, uint32_t thread_idx,
+                       Random64& rng)>;
+
+/// Runs `threads_per_node` workers on every compute node, each performing
+/// `txns_per_thread` attempts, and aggregates simulated-time metrics.
+/// Every worker's SimClock starts at zero; throughput is measured in
+/// simulated time (deterministic shape, host-independent).
+DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
+                       const DriverOptions& options, const TxnFn& fn);
+
+}  // namespace dsmdb::workload
+
+#endif  // DSMDB_WORKLOAD_DRIVER_H_

@@ -1,0 +1,63 @@
+#include "workload/smallbank.h"
+
+#include <algorithm>
+
+namespace dsmdb::workload {
+
+SmallBankWorkload::SmallBankWorkload(const SmallBankOptions& options,
+                                     uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      zipf_(options.num_accounts, options.zipf_theta,
+            seed ^ 0xA24BAED4963EE407ULL) {}
+
+uint64_t SmallBankWorkload::SampleAccount() { return zipf_.NextScrambled(); }
+
+uint64_t SmallBankWorkload::SampleAccountInOtherShard(uint64_t other) {
+  if (options_.num_shards <= 1) return other == 0 ? 1 : other - 1;
+  const uint64_t per =
+      (options_.num_accounts + options_.num_shards - 1) /
+      options_.num_shards;
+  const uint64_t other_shard = other / per;
+  for (int tries = 0; tries < 64; tries++) {
+    const uint64_t a = SampleAccount();
+    if (a / per != other_shard) return a;
+  }
+  // Fallback: first account of the next shard.
+  const uint64_t shard = (other_shard + 1) % options_.num_shards;
+  return std::min(shard * per, options_.num_accounts - 1);
+}
+
+std::vector<core::TxnOp> SmallBankWorkload::NextTxn() {
+  const double p = rng_.NextDouble();
+  std::vector<core::TxnOp> ops;
+  if (p < options_.balance_fraction) {
+    // Balance: read one account.
+    ops.push_back(core::TxnOp::Read(SampleAccount()));
+    return ops;
+  }
+  if (p < options_.balance_fraction + options_.payment_fraction) {
+    // SendPayment: move funds between two accounts.
+    const uint64_t from = SampleAccount();
+    uint64_t to;
+    if (rng_.Bernoulli(options_.cross_shard_fraction)) {
+      to = SampleAccountInOtherShard(from);
+    } else {
+      to = SampleAccount();
+      if (to == from) to = from == 0 ? 1 : from - 1;
+    }
+    const int64_t amount = static_cast<int64_t>(rng_.Uniform(100)) + 1;
+    // Key-ordered ops (lock-ordering discipline).
+    const uint64_t lo = std::min(from, to);
+    const uint64_t hi = std::max(from, to);
+    ops.push_back(core::TxnOp::Add(lo, lo == from ? -amount : amount));
+    ops.push_back(core::TxnOp::Add(hi, hi == from ? -amount : amount));
+    return ops;
+  }
+  // Deposit: add to one account.
+  ops.push_back(core::TxnOp::Add(
+      SampleAccount(), static_cast<int64_t>(rng_.Uniform(100)) + 1));
+  return ops;
+}
+
+}  // namespace dsmdb::workload

@@ -1,0 +1,51 @@
+#ifndef DSMDB_WORKLOAD_SMALLBANK_H_
+#define DSMDB_WORKLOAD_SMALLBANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/compute_node.h"
+
+namespace dsmdb::workload {
+
+/// SmallBank-style banking mix over one accounts table whose value's first
+/// 8 bytes are the balance (TxnOp::Add-compatible). Exercises
+/// read-modify-write contention and — with sharding — cross-shard
+/// transfers (bench E11's knob: the fraction of SendPayment transactions
+/// whose two accounts live in different shards).
+struct SmallBankOptions {
+  uint64_t num_accounts = 100'000;
+  double zipf_theta = 0.9;
+  uint32_t value_size = 64;
+  /// Mix: fraction of Balance (read-only) transactions; the rest are
+  /// split between Deposit (1 account) and SendPayment (2 accounts).
+  double balance_fraction = 0.2;
+  double payment_fraction = 0.4;
+  /// For sharded runs: probability a SendPayment pairs accounts from two
+  /// different owner ranges (cross-shard fraction sweep).
+  double cross_shard_fraction = 0.0;
+  uint32_t num_shards = 1;
+};
+
+class SmallBankWorkload {
+ public:
+  SmallBankWorkload(const SmallBankOptions& options, uint64_t seed);
+
+  std::vector<core::TxnOp> NextTxn();
+
+  const SmallBankOptions& options() const { return options_; }
+
+ private:
+  uint64_t SampleAccount();
+  /// An account in a different (even-partition) shard than `other`.
+  uint64_t SampleAccountInOtherShard(uint64_t other);
+
+  SmallBankOptions options_;
+  Random64 rng_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace dsmdb::workload
+
+#endif  // DSMDB_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,149 @@
+#include "workload/tpcc_lite.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace dsmdb::workload {
+
+namespace {
+
+/// Writes the numeric column into a fresh value payload.
+std::string NumericValue(uint32_t value_size, int64_t number) {
+  std::string v(value_size, '\0');
+  EncodeFixed64(v.data(), static_cast<uint64_t>(number));
+  return v;
+}
+
+int64_t NumberOf(const std::string& value) {
+  return static_cast<int64_t>(DecodeFixed64(value.data()));
+}
+
+/// Read-modify-write of the numeric column inside an open transaction.
+Status AddToRecord(txn::Transaction* txn, const core::Table& table,
+                   uint64_t key, int64_t delta, int64_t* result = nullptr) {
+  const txn::RecordRef ref = table.RefFor(key);
+  std::string value;
+  DSMDB_RETURN_NOT_OK(txn->Read(ref, &value));
+  const int64_t updated = NumberOf(value) + delta;
+  EncodeFixed64(value.data(), static_cast<uint64_t>(updated));
+  DSMDB_RETURN_NOT_OK(txn->Write(ref, value));
+  if (result != nullptr) *result = updated;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TpccLite> TpccLite::Create(core::DsmDb* db,
+                                  const TpccOptions& options) {
+  TpccLite t;
+  t.options_ = options;
+
+  const uint64_t n_wh = options.warehouses;
+  const uint64_t n_di = n_wh * options.districts_per_wh;
+  const uint64_t n_cu = n_di * options.customers_per_district;
+  const uint64_t n_st = n_wh * options.stock_per_wh;
+
+  DSMDB_ASSIGN_OR_RETURN(
+      t.warehouse_,
+      db->CreateTable("warehouse", {options.value_size, n_wh}));
+  DSMDB_ASSIGN_OR_RETURN(
+      t.district_, db->CreateTable("district", {options.value_size, n_di}));
+  DSMDB_ASSIGN_OR_RETURN(
+      t.customer_, db->CreateTable("customer", {options.value_size, n_cu}));
+  DSMDB_ASSIGN_OR_RETURN(
+      t.stock_, db->CreateTable("stock", {options.value_size, n_st}));
+
+  // Initial load: direct DSM writes through the admin client (headers are
+  // already zeroed by Table::Create).
+  dsm::DsmClient& admin = db->admin();
+  auto load = [&](const core::Table& table, uint64_t key,
+                  int64_t number) -> Status {
+    const std::string v = NumericValue(options.value_size, number);
+    return admin.Write(table.RefFor(key).Value(), v.data(), v.size());
+  };
+  for (uint64_t w = 0; w < n_wh; w++) {
+    DSMDB_RETURN_NOT_OK(load(*t.warehouse_, w, 0));  // ytd = 0
+  }
+  for (uint64_t d = 0; d < n_di; d++) {
+    DSMDB_RETURN_NOT_OK(load(*t.district_, d, 1));  // next_o_id = 1
+  }
+  for (uint64_t c = 0; c < n_cu; c++) {
+    DSMDB_RETURN_NOT_OK(load(*t.customer_, c, 10'000));  // balance
+  }
+  for (uint64_t s = 0; s < n_st; s++) {
+    DSMDB_RETURN_NOT_OK(load(*t.stock_, s, 100));  // quantity
+  }
+  return t;
+}
+
+Status TpccLite::RunNewOrder(core::ComputeNode* node, Random64& rng) {
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(options_.warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng.Uniform(options_.districts_per_wh));
+  const uint32_t c = static_cast<uint32_t>(
+      rng.Uniform(options_.customers_per_district));
+  const uint32_t lines =
+      1 + static_cast<uint32_t>(rng.Uniform(options_.max_order_lines));
+
+  Result<std::unique_ptr<txn::Transaction>> txn = node->Begin();
+  if (!txn.ok()) return txn.status();
+
+  // Read the customer.
+  std::string cust;
+  DSMDB_RETURN_NOT_OK(
+      (*txn)->Read(customer_->RefFor(CustomerKey(w, d, c)), &cust));
+
+  // Take the next order id from the district.
+  DSMDB_RETURN_NOT_OK(
+      AddToRecord(txn->get(), *district_, DistrictKey(w, d), 1));
+
+  // Decrement stock for each order line (distinct items, key-sorted).
+  std::vector<uint64_t> item_keys;
+  while (item_keys.size() < lines) {
+    const uint64_t s = rng.Uniform(options_.stock_per_wh);
+    const uint64_t key = StockKey(w, static_cast<uint32_t>(s));
+    if (std::find(item_keys.begin(), item_keys.end(), key) !=
+        item_keys.end()) {
+      continue;
+    }
+    item_keys.push_back(key);
+  }
+  std::sort(item_keys.begin(), item_keys.end());
+  for (uint64_t key : item_keys) {
+    const int64_t qty = static_cast<int64_t>(rng.Uniform(10)) + 1;
+    int64_t remaining = 0;
+    DSMDB_RETURN_NOT_OK(
+        AddToRecord(txn->get(), *stock_, key, -qty, &remaining));
+    if (remaining < 0) {
+      // Restock, as TPC-C does when quantity runs low.
+      DSMDB_RETURN_NOT_OK(AddToRecord(txn->get(), *stock_, key, 1'000));
+    }
+  }
+  return (*txn)->Commit();
+}
+
+Status TpccLite::RunPayment(core::ComputeNode* node, Random64& rng) {
+  const uint32_t w = static_cast<uint32_t>(rng.Uniform(options_.warehouses));
+  const uint32_t d =
+      static_cast<uint32_t>(rng.Uniform(options_.districts_per_wh));
+  const uint32_t c = static_cast<uint32_t>(
+      rng.Uniform(options_.customers_per_district));
+  uint32_t pay_w = w;
+  if (options_.warehouses > 1 &&
+      rng.Bernoulli(options_.remote_payment_fraction)) {
+    pay_w = static_cast<uint32_t>(rng.Uniform(options_.warehouses));
+  }
+  const int64_t amount = static_cast<int64_t>(rng.Uniform(5'000)) + 1;
+
+  Result<std::unique_ptr<txn::Transaction>> txn = node->Begin();
+  if (!txn.ok()) return txn.status();
+  DSMDB_RETURN_NOT_OK(AddToRecord(txn->get(), *warehouse_, pay_w, amount));
+  DSMDB_RETURN_NOT_OK(
+      AddToRecord(txn->get(), *district_, DistrictKey(pay_w, d), amount));
+  DSMDB_RETURN_NOT_OK(AddToRecord(txn->get(), *customer_,
+                                  CustomerKey(w, d, c), -amount));
+  return (*txn)->Commit();
+}
+
+}  // namespace dsmdb::workload

@@ -1,0 +1,69 @@
+#ifndef DSMDB_WORKLOAD_TPCC_LITE_H_
+#define DSMDB_WORKLOAD_TPCC_LITE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "core/dsmdb.h"
+
+namespace dsmdb::workload {
+
+/// A compact TPC-C-style OLTP workload (NewOrder + Payment over
+/// warehouse/district/customer/stock tables) for multi-table,
+/// multi-record transactions through the interactive transaction API.
+/// Record values carry one 64-bit numeric column (ytd / balance /
+/// next_o_id / quantity) in their first 8 bytes.
+struct TpccOptions {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_wh = 10;
+  uint32_t customers_per_district = 300;
+  uint32_t stock_per_wh = 1'000;
+  uint32_t value_size = 64;
+  /// Max order lines per NewOrder (uniform in [1, max]).
+  uint32_t max_order_lines = 10;
+  /// Probability a Payment pays through a *remote* warehouse (TPC-C: 15%).
+  double remote_payment_fraction = 0.15;
+};
+
+class TpccLite {
+ public:
+  /// Creates and loads the four tables through `db` (DDL + direct loads).
+  static Result<TpccLite> Create(core::DsmDb* db, const TpccOptions& options);
+
+  /// One NewOrder transaction on a warehouse chosen by `rng`.
+  /// Returns OK (committed), kAborted, or a hard error.
+  Status RunNewOrder(core::ComputeNode* node, Random64& rng);
+
+  /// One Payment transaction.
+  Status RunPayment(core::ComputeNode* node, Random64& rng);
+
+  const TpccOptions& options() const { return options_; }
+  const core::Table& warehouse() const { return *warehouse_; }
+  const core::Table& district() const { return *district_; }
+  const core::Table& customer() const { return *customer_; }
+  const core::Table& stock() const { return *stock_; }
+
+  // Key helpers.
+  uint64_t DistrictKey(uint32_t w, uint32_t d) const {
+    return static_cast<uint64_t>(w) * options_.districts_per_wh + d;
+  }
+  uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) const {
+    return DistrictKey(w, d) * options_.customers_per_district + c;
+  }
+  uint64_t StockKey(uint32_t w, uint32_t s) const {
+    return static_cast<uint64_t>(w) * options_.stock_per_wh + s;
+  }
+
+ private:
+  TpccLite() = default;
+
+  TpccOptions options_;
+  const core::Table* warehouse_ = nullptr;
+  const core::Table* district_ = nullptr;
+  const core::Table* customer_ = nullptr;
+  const core::Table* stock_ = nullptr;
+};
+
+}  // namespace dsmdb::workload
+
+#endif  // DSMDB_WORKLOAD_TPCC_LITE_H_

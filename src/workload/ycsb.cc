@@ -1,0 +1,55 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace dsmdb::workload {
+
+YcsbWorkload::YcsbWorkload(const YcsbOptions& options, uint64_t seed)
+    : options_(options),
+      rng_(seed),
+      zipf_(options.range_end > options.range_begin
+                ? options.range_end - options.range_begin
+                : options.num_keys,
+            options.zipf_theta, seed ^ 0xD6E8FEB86659FD93ULL) {}
+
+uint64_t YcsbWorkload::NextKey() {
+  const uint64_t base =
+      options_.range_end > options_.range_begin ? options_.range_begin : 0;
+  return base + zipf_.NextScrambled();
+}
+
+std::string YcsbWorkload::ValueFor(uint64_t key, uint64_t version) const {
+  std::string v(options_.value_size, '\0');
+  if (options_.value_size >= 16) {
+    EncodeFixed64(v.data(), key);
+    EncodeFixed64(v.data() + 8, version);
+  }
+  return v;
+}
+
+std::vector<core::TxnOp> YcsbWorkload::NextTxn() {
+  std::vector<core::TxnOp> ops;
+  ops.reserve(options_.ops_per_txn);
+  std::vector<uint64_t> keys;
+  keys.reserve(options_.ops_per_txn);
+  while (keys.size() < options_.ops_per_txn) {
+    const uint64_t key = NextKey();
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    keys.push_back(key);
+  }
+  // Sort keys so lock-based protocols acquire in a global order (standard
+  // deadlock-avoidance discipline for one-shot workloads).
+  std::sort(keys.begin(), keys.end());
+  for (uint64_t key : keys) {
+    if (rng_.Bernoulli(options_.write_fraction)) {
+      ops.push_back(core::TxnOp::Write(key, ValueFor(key, rng_.Next())));
+    } else {
+      ops.push_back(core::TxnOp::Read(key));
+    }
+  }
+  return ops;
+}
+
+}  // namespace dsmdb::workload

@@ -1,0 +1,55 @@
+#ifndef DSMDB_WORKLOAD_YCSB_H_
+#define DSMDB_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/compute_node.h"
+
+namespace dsmdb::workload {
+
+/// YCSB-style key-value workload: multi-op transactions over a single
+/// table with zipfian key popularity and a configurable write fraction —
+/// the knobs the paper's CC/architecture discussions turn on (contention,
+/// read/write mix, skew).
+struct YcsbOptions {
+  uint64_t num_keys = 100'000;
+  /// Zipfian skew (0 = uniform; YCSB default 0.99 must be < 1).
+  double zipf_theta = 0.99;
+  /// Probability an op is a write.
+  double write_fraction = 0.5;
+  uint32_t ops_per_txn = 4;
+  uint32_t value_size = 64;
+  /// Restrict generated keys to [range_begin, range_end) — used to give
+  /// each compute node an affinity region (sharded experiments).
+  uint64_t range_begin = 0;
+  uint64_t range_end = 0;  // 0 = num_keys
+};
+
+/// Per-thread generator (deterministic given the seed).
+class YcsbWorkload {
+ public:
+  YcsbWorkload(const YcsbOptions& options, uint64_t seed);
+
+  /// The next transaction's ops (distinct keys within the txn).
+  std::vector<core::TxnOp> NextTxn();
+
+  /// One key sample (for single-op microbenchmarks).
+  uint64_t NextKey();
+
+  const YcsbOptions& options() const { return options_; }
+
+  /// The payload written for `key` (checkable pattern).
+  std::string ValueFor(uint64_t key, uint64_t version) const;
+
+ private:
+  YcsbOptions options_;
+  Random64 rng_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace dsmdb::workload
+
+#endif  // DSMDB_WORKLOAD_YCSB_H_

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+
+namespace dsmdb::buffer {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    copts.memory_node.capacity_bytes = 16 << 20;
+    cluster_ = std::make_unique<dsm::Cluster>(copts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  BufferPoolOptions SmallPool(size_t pages) {
+    BufferPoolOptions opts;
+    opts.page_size = 4096;
+    opts.capacity_bytes = pages * opts.page_size;
+    opts.shards = 1;  // deterministic eviction for tests
+    opts.charge_policy_overhead = false;
+    return opts;
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+};
+
+TEST_F(BufferPoolTest, ReadThroughCachesPage) {
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  const uint64_t v = 0xABCD;
+  ASSERT_TRUE(client_->Write(addr, &v, 8).ok());
+
+  BufferPool pool(client_.get(), SmallPool(8));
+  uint64_t out = 0;
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  EXPECT_EQ(out, 0xABCDu);
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());  // second read: hit
+  const BufferPoolStats s = pool.Snapshot();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(pool.ResidentPages(), 1u);
+}
+
+TEST_F(BufferPoolTest, HitIsCheaperThanMiss) {
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  BufferPool pool(client_.get(), SmallPool(8));
+  uint64_t out;
+  SimClock::Reset();
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  const uint64_t miss_ns = SimClock::Now();
+  SimClock::Reset();
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  const uint64_t hit_ns = SimClock::Now();
+  EXPECT_LT(hit_ns * 3, miss_ns);  // local << remote
+}
+
+TEST_F(BufferPoolTest, WriteThroughIsVisibleRemotely) {
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  BufferPool pool(client_.get(), SmallPool(8));
+  const uint64_t v = 777;
+  ASSERT_TRUE(pool.Write(addr, &v, 8).ok());
+  uint64_t remote = 0;
+  ASSERT_TRUE(client_->Read(addr, &remote, 8).ok());  // bypass the cache
+  EXPECT_EQ(remote, 777u);
+}
+
+TEST_F(BufferPoolTest, WriteUpdatesCachedCopy) {
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  BufferPool pool(client_.get(), SmallPool(8));
+  uint64_t out = 0;
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());  // cache the page
+  const uint64_t v = 31337;
+  ASSERT_TRUE(pool.Write(addr, &v, 8).ok());
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());  // must hit and be fresh
+  EXPECT_EQ(out, 31337u);
+  EXPECT_EQ(pool.Snapshot().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionKeepsCapacityBound) {
+  BufferPool pool(client_.get(), SmallPool(4));
+  std::vector<dsm::GlobalAddress> addrs;
+  for (int i = 0; i < 16; i++) {
+    addrs.push_back(*client_->Alloc(4096, 0));
+  }
+  char buf[64];
+  for (const auto& a : addrs) {
+    ASSERT_TRUE(pool.Read(a, buf, sizeof(buf)).ok());
+  }
+  EXPECT_LE(pool.ResidentPages(), 4u);
+  EXPECT_GE(pool.Snapshot().evictions, 12u);
+}
+
+TEST_F(BufferPoolTest, WriteBackFlushesDirtyPagesOnEviction) {
+  BufferPoolOptions opts = SmallPool(2);
+  opts.write_through = false;
+  BufferPool pool(client_.get(), opts);
+  std::vector<dsm::GlobalAddress> addrs;
+  for (int i = 0; i < 6; i++) addrs.push_back(*client_->Alloc(4096, 0));
+
+  // Cache page 0 then dirty it (write-back: remote copy stays stale).
+  uint64_t out = 0;
+  ASSERT_TRUE(pool.Read(addrs[0], &out, 8).ok());
+  const uint64_t v = 99;
+  ASSERT_TRUE(pool.Write(addrs[0], &v, 8).ok());
+  uint64_t remote = 0;
+  ASSERT_TRUE(client_->Read(addrs[0], &remote, 8).ok());
+  EXPECT_EQ(remote, 0u);  // not yet written back
+
+  // Force eviction.
+  for (int i = 1; i < 6; i++) {
+    ASSERT_TRUE(pool.Read(addrs[i], &out, 8).ok());
+  }
+  ASSERT_TRUE(client_->Read(addrs[0], &remote, 8).ok());
+  EXPECT_EQ(remote, 99u);
+  EXPECT_GE(pool.Snapshot().writebacks, 1u);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyPages) {
+  BufferPoolOptions opts = SmallPool(4);
+  opts.write_through = false;
+  BufferPool pool(client_.get(), opts);
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  uint64_t out = 0;
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  const uint64_t v = 555;
+  ASSERT_TRUE(pool.Write(addr, &v, 8).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+  uint64_t remote = 0;
+  ASSERT_TRUE(client_->Read(addr, &remote, 8).ok());
+  EXPECT_EQ(remote, 555u);
+}
+
+TEST_F(BufferPoolTest, InvalidateDropsPage) {
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  BufferPool pool(client_.get(), SmallPool(8));
+  uint64_t out = 0;
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  EXPECT_EQ(pool.ResidentPages(), 1u);
+  pool.Invalidate(pool.PageBase(addr));
+  EXPECT_EQ(pool.ResidentPages(), 0u);
+  EXPECT_EQ(pool.Snapshot().invalidations_received, 1u);
+  // Next read re-fetches the remote (fresh) value.
+  const uint64_t v = 1212;
+  ASSERT_TRUE(client_->Write(addr, &v, 8).ok());
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  EXPECT_EQ(out, 1212u);
+}
+
+TEST_F(BufferPoolTest, ApplyUpdatePatchesCachedBytes) {
+  dsm::GlobalAddress addr = *client_->Alloc(4096, 0);
+  BufferPool pool(client_.get(), SmallPool(8));
+  uint64_t out = 0;
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());
+  const uint64_t v = 4141;
+  std::string data(reinterpret_cast<const char*>(&v), 8);
+  pool.ApplyUpdate(addr, data);
+  ASSERT_TRUE(pool.Read(addr, &out, 8).ok());  // hit, updated
+  EXPECT_EQ(out, 4141u);
+  EXPECT_EQ(pool.Snapshot().updates_received, 1u);
+  EXPECT_EQ(pool.Snapshot().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, MultiPageReadSpansBoundaries) {
+  // Allocate two consecutive pages worth of data on one node.
+  dsm::GlobalAddress base = *client_->Alloc(3 * 4096, 0);
+  std::vector<char> payload(8192);
+  for (size_t i = 0; i < payload.size(); i++) {
+    payload[i] = static_cast<char>(i % 251);
+  }
+  ASSERT_TRUE(client_->Write(base, payload.data(), payload.size()).ok());
+  BufferPool pool(client_.get(), SmallPool(8));
+  std::vector<char> out(8192);
+  // Start mid-page so the read spans at least two pages.
+  ASSERT_TRUE(pool.Read(base.Plus(100), out.data(), 8000).ok());
+  EXPECT_EQ(std::memcmp(out.data(), payload.data() + 100, 8000), 0);
+}
+
+TEST_F(BufferPoolTest, DropAllEmptiesPool) {
+  BufferPool pool(client_.get(), SmallPool(8));
+  for (int i = 0; i < 4; i++) {
+    dsm::GlobalAddress a = *client_->Alloc(4096, 0);
+    uint64_t out;
+    ASSERT_TRUE(pool.Read(a, &out, 8).ok());
+  }
+  EXPECT_EQ(pool.ResidentPages(), 4u);
+  pool.DropAll();
+  EXPECT_EQ(pool.ResidentPages(), 0u);
+}
+
+TEST_F(BufferPoolTest, ConcurrentMixedTraffic) {
+  BufferPoolOptions opts;
+  opts.page_size = 4096;
+  opts.capacity_bytes = 32 * 4096;
+  opts.shards = 8;
+  opts.charge_policy_overhead = false;
+  BufferPool pool(client_.get(), opts);
+
+  std::vector<dsm::GlobalAddress> addrs;
+  for (int i = 0; i < 64; i++) addrs.push_back(*client_->Alloc(4096));
+
+  ParallelFor(8, [&](size_t t) {
+    SimClock::Reset();
+    Random64 rng(t + 1);
+    for (int i = 0; i < 2'000; i++) {
+      const auto& a = addrs[rng.Uniform(addrs.size())];
+      if (rng.Bernoulli(0.3)) {
+        const uint64_t v = rng.Next();
+        ASSERT_TRUE(pool.Write(a.Plus(8 * (t + 1)), &v, 8).ok());
+      } else {
+        uint64_t out;
+        ASSERT_TRUE(pool.Read(a, &out, 8).ok());
+      }
+    }
+  });
+  EXPECT_LE(pool.ResidentPages(), 32u + opts.shards);
+  const BufferPoolStats s = pool.Snapshot();
+  EXPECT_GT(s.hits + s.misses, 0u);
+}
+
+TEST_F(BufferPoolTest, PolicyOverheadIsMeasuredWhenEnabled) {
+  BufferPoolOptions opts = SmallPool(8);
+  opts.charge_policy_overhead = true;
+  BufferPool pool(client_.get(), opts);
+  dsm::GlobalAddress a = *client_->Alloc(4096, 0);
+  uint64_t out;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(pool.Read(a, &out, 8).ok());
+  }
+  EXPECT_GT(pool.Snapshot().policy_ns, 0u);
+}
+
+}  // namespace
+}  // namespace dsmdb::buffer

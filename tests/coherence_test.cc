@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/coherence.h"
+#include "common/sim_clock.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "dsm/rpc_ids.h"
+
+namespace dsmdb::buffer {
+namespace {
+
+/// Two compute nodes with caching but no sharding (Figure 3b): the
+/// software coherence protocol must keep their pools consistent.
+class CoherenceTest : public ::testing::TestWithParam<bool /*update*/> {
+ protected:
+  struct Node {
+    std::unique_ptr<dsm::DsmClient> client;
+    std::unique_ptr<DirectoryCoherence> coherence;
+    std::unique_ptr<BufferPool> pool;
+  };
+
+  CoherenceTest() {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    cluster_ = std::make_unique<dsm::Cluster>(copts);
+    for (int i = 0; i < 2; i++) {
+      auto node = std::make_unique<Node>();
+      const rdma::NodeId fid =
+          cluster_->AddComputeNode("cn" + std::to_string(i));
+      node->client = std::make_unique<dsm::DsmClient>(cluster_.get(), fid);
+      node->coherence = std::make_unique<DirectoryCoherence>(
+          node->client.get(), /*update_based=*/GetParam());
+      BufferPoolOptions opts;
+      opts.capacity_bytes = 64 * 4096;
+      opts.shards = 2;
+      opts.charge_policy_overhead = false;
+      node->pool = std::make_unique<BufferPool>(node->client.get(), opts,
+                                                node->coherence.get());
+      BufferPool* pool = node->pool.get();
+      cluster_->fabric().RegisterRpcHandler(
+          fid, dsm::kSvcInvalidate,
+          [pool](std::string_view req, std::string* resp) -> uint64_t {
+            (void)resp;
+            return pool->HandleCoherenceRpc(req);
+          });
+      nodes_.push_back(std::move(node));
+    }
+    addr_ = *nodes_[0]->client->Alloc(4096, 0);
+    SimClock::Reset();
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  dsm::GlobalAddress addr_;
+};
+
+TEST_P(CoherenceTest, PeerSeesFreshValueAfterWrite) {
+  uint64_t out = 0;
+  // Both nodes cache the page.
+  ASSERT_TRUE(nodes_[0]->pool->Read(addr_, &out, 8).ok());
+  ASSERT_TRUE(nodes_[1]->pool->Read(addr_, &out, 8).ok());
+  EXPECT_EQ(out, 0u);
+
+  // Node 0 writes; the directory notifies node 1.
+  const uint64_t v = 987654;
+  ASSERT_TRUE(nodes_[0]->pool->Write(addr_, &v, 8).ok());
+
+  // Node 1 must observe the new value through its own pool.
+  ASSERT_TRUE(nodes_[1]->pool->Read(addr_, &out, 8).ok());
+  EXPECT_EQ(out, 987654u);
+
+  const BufferPoolStats s1 = nodes_[1]->pool->Snapshot();
+  if (GetParam()) {
+    // Update-based: the peer's copy was patched in place (no extra miss).
+    EXPECT_EQ(s1.updates_received, 1u);
+    EXPECT_EQ(s1.misses, 1u);
+  } else {
+    // Invalidation-based: the peer dropped the page and re-fetched.
+    EXPECT_EQ(s1.invalidations_received, 1u);
+    EXPECT_EQ(s1.misses, 2u);
+  }
+}
+
+TEST_P(CoherenceTest, WriterPaysForPeerNotification) {
+  uint64_t out = 0;
+  ASSERT_TRUE(nodes_[1]->pool->Read(addr_, &out, 8).ok());  // peer caches
+  SimClock::Reset();
+  const uint64_t v = 1;
+  ASSERT_TRUE(nodes_[0]->pool->Write(addr_, &v, 8).ok());
+  const uint64_t with_sharer_ns = SimClock::Now();
+
+  if (!GetParam()) {
+    // Invalidation mode: the first write already removed the peer from
+    // the sharer set, so the second write sends nothing.
+  } else {
+    // Update mode keeps the peer registered; evict its copy explicitly.
+    nodes_[1]->pool->Invalidate(nodes_[1]->pool->PageBase(addr_));
+    nodes_[1]->coherence->OnCacheEvict(nodes_[1]->pool->PageBase(addr_));
+  }
+  SimClock::Reset();
+  const uint64_t v2 = 2;
+  ASSERT_TRUE(nodes_[0]->pool->Write(addr_, &v2, 8).ok());
+  const uint64_t without_sharer_ns = SimClock::Now();
+  EXPECT_GT(with_sharer_ns, without_sharer_ns);
+}
+
+TEST_P(CoherenceTest, EvictionUnregistersSharer) {
+  // Tiny pool on node 1 so the page is evicted immediately.
+  BufferPoolOptions small;
+  small.capacity_bytes = 4096;
+  small.page_size = 4096;
+  small.shards = 1;
+  small.charge_policy_overhead = false;
+  BufferPool tiny(nodes_[1]->client.get(), small,
+                  nodes_[1]->coherence.get());
+  uint64_t out;
+  ASSERT_TRUE(tiny.Read(addr_, &out, 8).ok());
+  dsm::GlobalAddress other = *nodes_[0]->client->Alloc(4096, 0);
+  ASSERT_TRUE(tiny.Read(other, &out, 8).ok());  // evicts addr_ page
+
+  // Directory should no longer list node 1 for addr_'s page.
+  const auto sharers =
+      cluster_->memory_node(0)->directory().Sharers(
+          tiny.PageBase(addr_).Pack());
+  for (uint32_t s : sharers) {
+    EXPECT_NE(s, nodes_[1]->client->self());
+  }
+}
+
+TEST_P(CoherenceTest, ConcurrentWritersConverge) {
+  // Both nodes cache, then write different words of the same page
+  // concurrently; afterwards each node's cached copy must match DSM.
+  uint64_t out;
+  ASSERT_TRUE(nodes_[0]->pool->Read(addr_, &out, 8).ok());
+  ASSERT_TRUE(nodes_[1]->pool->Read(addr_, &out, 8).ok());
+
+  std::thread t0([&] {
+    for (uint64_t i = 1; i <= 100; i++) {
+      ASSERT_TRUE(nodes_[0]->pool->Write(addr_, &i, 8).ok());
+    }
+  });
+  std::thread t1([&] {
+    for (uint64_t i = 1; i <= 100; i++) {
+      ASSERT_TRUE(nodes_[1]->pool->Write(addr_.Plus(512), &i, 8).ok());
+    }
+  });
+  t0.join();
+  t1.join();
+
+  uint64_t remote0 = 0, remote512 = 0;
+  ASSERT_TRUE(nodes_[0]->client->Read(addr_, &remote0, 8).ok());
+  ASSERT_TRUE(nodes_[0]->client->Read(addr_.Plus(512), &remote512, 8).ok());
+  EXPECT_EQ(remote0, 100u);
+  EXPECT_EQ(remote512, 100u);
+  // Each pool read now returns DSM truth.
+  ASSERT_TRUE(nodes_[0]->pool->Read(addr_.Plus(512), &out, 8).ok());
+  EXPECT_EQ(out, 100u);
+  ASSERT_TRUE(nodes_[1]->pool->Read(addr_, &out, 8).ok());
+  EXPECT_EQ(out, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(InvalidateAndUpdate, CoherenceTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "update" : "invalidate";
+                         });
+
+}  // namespace
+}  // namespace dsmdb::buffer

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace dsmdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing key 42");
+}
+
+TEST(StatusTest, CopyAndMoveSemantics) {
+  Status s = Status::Aborted("conflict");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsAborted());
+  EXPECT_EQ(copy.message(), "conflict");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsAborted());
+  EXPECT_TRUE(s.ok());  // moved-from is OK  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfMemory().IsOutOfMemory());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(3), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Busy("later");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBusy());
+  EXPECT_EQ(r.value_or(3), 3);
+}
+
+Result<int> Doubled(Result<int> in) {
+  DSMDB_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = Doubled(Status::NotFound());
+  EXPECT_TRUE(err.status().IsNotFound());
+}
+
+TEST(SimClockTest, AdvanceAndSet) {
+  SimClock::Reset();
+  EXPECT_EQ(SimClock::Now(), 0u);
+  SimClock::Advance(100);
+  EXPECT_EQ(SimClock::Now(), 100u);
+  SimClock::AdvanceTo(50);  // no-op backwards
+  EXPECT_EQ(SimClock::Now(), 100u);
+  SimClock::AdvanceTo(250);
+  EXPECT_EQ(SimClock::Now(), 250u);
+  SimClock::Set(10);
+  EXPECT_EQ(SimClock::Now(), 10u);
+  SimClock::Reset();
+}
+
+TEST(SimClockTest, PerThreadIsolation) {
+  SimClock::Reset();
+  SimClock::Advance(777);
+  std::thread other([] {
+    EXPECT_EQ(SimClock::Now(), 0u);
+    SimClock::Advance(5);
+    EXPECT_EQ(SimClock::Now(), 5u);
+  });
+  other.join();
+  EXPECT_EQ(SimClock::Now(), 777u);
+  SimClock::Reset();
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 0.01);
+  // Log-bucketing error is bounded (~6%).
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500, 40);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 990, 70);
+}
+
+TEST(HistogramTest, MergeAndClear) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  a.Clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(99), 0u);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  h.Add(1ULL << 40);
+  h.Add(3ULL << 40);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.max(), 3ULL << 40);
+  EXPECT_LE(h.Percentile(10), 3ULL << 40);
+}
+
+TEST(RandomTest, DeterministicWithSeed) {
+  Random64 a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random64 rng(7);
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(ZipfianTest, RespectsDomain) {
+  ZipfianGenerator zipf(1000, 0.99, 3);
+  for (int i = 0; i < 10'000; i++) {
+    EXPECT_LT(zipf.Next(), 1000u);
+    EXPECT_LT(zipf.NextScrambled(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewConcentratesMass) {
+  // theta=0.99: the hottest 1% of ranks should absorb far more than 1%.
+  ZipfianGenerator zipf(10'000, 0.99, 5);
+  uint64_t hot = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; i++) {
+    if (zipf.Next() < 100) hot++;
+  }
+  EXPECT_GT(hot, n / 10);  // > 10% of accesses on 1% of keys
+}
+
+TEST(ZipfianTest, ThetaZeroIsUniform) {
+  ZipfianGenerator zipf(100, 0.0, 11);
+  std::vector<uint64_t> counts(100, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; i++) counts[zipf.Next()]++;
+  for (uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 100.0, n / 100.0 * 0.5);
+  }
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0xDEADBEEF);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 4), 0x0123456789ABCDEFULL);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "world!");
+  size_t pos = 0;
+  std::string_view s;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "world!");
+  EXPECT_FALSE(GetLengthPrefixed(buf, &pos, &s));
+}
+
+TEST(CodingTest, ChecksumDetectsChange) {
+  std::string data = "some log record payload";
+  const uint64_t c1 = Checksum64(data.data(), data.size());
+  data[3] ^= 1;
+  EXPECT_NE(c1, Checksum64(data.data(), data.size()));
+}
+
+TEST(SpinLatchTest, MutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  ParallelFor(8, [&](size_t) {
+    for (int i = 0; i < 10'000; i++) {
+      SpinLatchGuard g(latch);
+      counter++;
+    }
+  });
+  EXPECT_EQ(counter, 80'000);
+}
+
+TEST(SpinLatchTest, TryLock) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(SharedSpinLatchTest, ManyReadersOneWriter) {
+  SharedSpinLatch latch;
+  std::atomic<int> value{0};
+  std::atomic<bool> torn{false};
+  ParallelFor(8, [&](size_t idx) {
+    for (int i = 0; i < 2'000; i++) {
+      if (idx == 0) {
+        latch.LockExclusive();
+        value.store(value.load() + 1, std::memory_order_relaxed);
+        latch.UnlockExclusive();
+      } else {
+        latch.LockShared();
+        if (value.load(std::memory_order_relaxed) < 0) torn = true;
+        latch.UnlockShared();
+      }
+    }
+  });
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(value.load(), 2'000);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; i++) {
+    pool.Submit([&] { done++; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(Hash64Test, SpreadsValues) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; i++) seen.insert(Hash64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dsmdb

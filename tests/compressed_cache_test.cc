@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "buffer/compressed_cache.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+
+namespace dsmdb::buffer {
+namespace {
+
+TEST(PageCodecTest, RoundTripsCompressibleData) {
+  std::string page(4096, '\0');
+  for (int i = 0; i < 100; i++) page[i * 40] = static_cast<char>(i);
+  const std::string compressed =
+      PageCodec::Compress(page.data(), page.size());
+  EXPECT_LT(compressed.size(), page.size() / 4);
+  std::string out(page.size(), 'x');
+  ASSERT_TRUE(
+      PageCodec::Decompress(compressed, out.data(), out.size()));
+  EXPECT_EQ(out, page);
+}
+
+TEST(PageCodecTest, RoundTripsIncompressibleData) {
+  Random64 rng(9);
+  std::string page(4096, '\0');
+  for (char& c : page) c = static_cast<char>(rng.Next());
+  const std::string compressed =
+      PageCodec::Compress(page.data(), page.size());
+  // Worst case is bounded modest expansion.
+  EXPECT_LT(compressed.size(), page.size() + page.size() / 50);
+  std::string out(page.size(), '\0');
+  ASSERT_TRUE(PageCodec::Decompress(compressed, out.data(), out.size()));
+  EXPECT_EQ(out, page);
+}
+
+TEST(PageCodecTest, RoundTripsManyRandomMixes) {
+  Random64 rng(11);
+  for (int trial = 0; trial < 50; trial++) {
+    const size_t len = rng.Uniform(5'000) + 1;
+    std::string data(len, '\0');
+    size_t i = 0;
+    while (i < len) {  // alternating runs and noise
+      if (rng.Bernoulli(0.5)) {
+        const size_t run = std::min(len - i, rng.Uniform(600) + 1);
+        std::memset(data.data() + i, static_cast<char>(rng.Next()), run);
+        i += run;
+      } else {
+        const size_t n = std::min(len - i, rng.Uniform(20) + 1);
+        for (size_t j = 0; j < n; j++) {
+          data[i + j] = static_cast<char>(rng.Next());
+        }
+        i += n;
+      }
+    }
+    const std::string compressed = PageCodec::Compress(data.data(), len);
+    std::string out(len, '\0');
+    ASSERT_TRUE(PageCodec::Decompress(compressed, out.data(), len));
+    ASSERT_EQ(out, data) << "trial " << trial;
+  }
+}
+
+TEST(PageCodecTest, RejectsTruncatedInput) {
+  std::string page(256, 'a');
+  std::string compressed = PageCodec::Compress(page.data(), page.size());
+  compressed.resize(compressed.size() - 1);
+  std::string out(page.size(), '\0');
+  EXPECT_FALSE(PageCodec::Decompress(compressed, out.data(), out.size()));
+}
+
+class CompressedCacheTest : public ::testing::Test {
+ protected:
+  CompressedCacheTest() {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 1;
+    copts.memory_node.capacity_bytes = 64 << 20;
+    cluster_ = std::make_unique<dsm::Cluster>(copts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  /// Allocates `pages` zero-filled (highly compressible) pages.
+  dsm::GlobalAddress AllocPages(size_t pages) {
+    return *client_->Alloc(pages * 4096, 0);
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+};
+
+TEST_F(CompressedCacheTest, HitAfterMiss) {
+  dsm::GlobalAddress base = AllocPages(4);
+  const uint64_t v = 12345;
+  ASSERT_TRUE(client_->Write(base, &v, 8).ok());
+  CompressedPageCache cache(client_.get(), {});
+  uint64_t out = 0;
+  ASSERT_TRUE(cache.Read(base, &out, 8).ok());
+  EXPECT_EQ(out, 12345u);
+  ASSERT_TRUE(cache.Read(base, &out, 8).ok());
+  EXPECT_EQ(out, 12345u);
+  const CompressedCacheStats s = cache.Snapshot();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_GT(s.CompressionRatio(), 4.0);  // zero-filled pages compress well
+}
+
+TEST_F(CompressedCacheTest, CapacityCountsCompressedBytes) {
+  // 64 compressible pages (~tens of bytes each compressed) must all fit a
+  // budget far below 64 * 4096 raw bytes.
+  dsm::GlobalAddress base = AllocPages(64);
+  CompressedPageCache::Options opts;
+  opts.capacity_bytes = 32 * 1024;  // 8 raw pages worth
+  CompressedPageCache cache(client_.get(), opts);
+  char buf[16];
+  for (int p = 0; p < 64; p++) {
+    ASSERT_TRUE(cache.Read(base.Plus(p * 4096), buf, sizeof(buf)).ok());
+  }
+  EXPECT_EQ(cache.ResidentPages(), 64u);
+  EXPECT_EQ(cache.Snapshot().evictions, 0u);
+}
+
+TEST_F(CompressedCacheTest, EvictsWhenCompressedBytesExceedBudget) {
+  dsm::GlobalAddress base = AllocPages(32);
+  // Fill the pages with incompressible data.
+  Random64 rng(3);
+  std::vector<char> noise(4096);
+  for (int p = 0; p < 32; p++) {
+    for (char& c : noise) c = static_cast<char>(rng.Next());
+    ASSERT_TRUE(
+        client_->Write(base.Plus(p * 4096), noise.data(), noise.size()).ok());
+  }
+  CompressedPageCache::Options opts;
+  opts.capacity_bytes = 8 * 4096;  // ~8 incompressible pages
+  CompressedPageCache cache(client_.get(), opts);
+  char buf[16];
+  for (int p = 0; p < 32; p++) {
+    ASSERT_TRUE(cache.Read(base.Plus(p * 4096), buf, sizeof(buf)).ok());
+  }
+  EXPECT_LE(cache.ResidentPages(), 9u);
+  EXPECT_GT(cache.Snapshot().evictions, 20u);
+  EXPECT_LE(cache.Snapshot().compressed_bytes, opts.capacity_bytes);
+}
+
+TEST_F(CompressedCacheTest, InvalidateForcesRefetch) {
+  dsm::GlobalAddress base = AllocPages(1);
+  CompressedPageCache cache(client_.get(), {});
+  uint64_t out = 0;
+  ASSERT_TRUE(cache.Read(base, &out, 8).ok());
+  const uint64_t v = 777;
+  ASSERT_TRUE(client_->Write(base, &v, 8).ok());
+  cache.Invalidate(base);
+  ASSERT_TRUE(cache.Read(base, &out, 8).ok());
+  EXPECT_EQ(out, 777u);
+  EXPECT_EQ(cache.Snapshot().misses, 2u);
+}
+
+TEST_F(CompressedCacheTest, HitChargesDecompressionCost) {
+  dsm::GlobalAddress base = AllocPages(1);
+  CompressedPageCache::Options opts;
+  opts.decompress_bytes_per_ns = 2.0;
+  CompressedPageCache cache(client_.get(), opts);
+  uint64_t out;
+  ASSERT_TRUE(cache.Read(base, &out, 8).ok());
+  SimClock::Reset();
+  ASSERT_TRUE(cache.Read(base, &out, 8).ok());
+  EXPECT_GE(SimClock::Now(), 4096u / 2);  // >= one page of decompression
+}
+
+}  // namespace
+}  // namespace dsmdb::buffer

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "core/dsmdb.h"
+
+namespace dsmdb::core {
+namespace {
+
+DbOptions OptionsFor(Architecture arch) {
+  DbOptions opts;
+  opts.architecture = arch;
+  opts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  opts.buffer.capacity_bytes = 256 * 4096;
+  opts.buffer.charge_policy_overhead = false;
+  return opts;
+}
+
+dsm::ClusterOptions SmallCluster() {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 64 << 20;
+  return copts;
+}
+
+class ArchitectureTest : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(ArchitectureTest, OneShotReadWriteRoundTrip) {
+  DsmDb db(SmallCluster(), OptionsFor(GetParam()));
+  ComputeNode* cn0 = db.AddComputeNode();
+  ComputeNode* cn1 = db.AddComputeNode();
+  const Table* t = *db.CreateTable("kv", {64, 1'000});
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  std::string value(64, '\0');
+  EncodeFixed64(value.data(), 777);
+  Result<TxnResult> w =
+      cn0->ExecuteOneShot(*t, {TxnOp::Write(42, value)});
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->committed);
+
+  // The other compute node must see it (multi-master reads).
+  Result<TxnResult> r = cn1->ExecuteOneShot(*t, {TxnOp::Read(42)});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->committed);
+  EXPECT_EQ(DecodeFixed64(r->reads[0].data()), 777u);
+}
+
+TEST_P(ArchitectureTest, AddOpsAreAtomicRmw) {
+  DsmDb db(SmallCluster(), OptionsFor(GetParam()));
+  ComputeNode* cn = db.AddComputeNode();
+  const Table* t = *db.CreateTable("acct", {64, 100});
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  for (int i = 0; i < 10; i++) {
+    Result<TxnResult> r = cn->ExecuteOneShot(*t, {TxnOp::Add(5, 7)});
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->committed);
+  }
+  Result<TxnResult> r = cn->ExecuteOneShot(*t, {TxnOp::Read(5)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<int64_t>(DecodeFixed64(r->reads[0].data())), 70);
+}
+
+TEST_P(ArchitectureTest, ConcurrentTransfersConserveMoneyAcrossNodes) {
+  DsmDb db(SmallCluster(), OptionsFor(GetParam()));
+  std::vector<ComputeNode*> nodes = {db.AddComputeNode(),
+                                     db.AddComputeNode(),
+                                     db.AddComputeNode()};
+  const Table* t = *db.CreateTable("bank", {64, 90});
+  ASSERT_TRUE(db.FinishSetup().ok());
+
+  // Seed balances.
+  for (uint64_t k = 0; k < 90; k++) {
+    std::string v(64, '\0');
+    EncodeFixed64(v.data(), 1'000);
+    Result<TxnResult> r =
+        nodes[0]->ExecuteOneShot(*t, {TxnOp::Write(k, v)});
+    ASSERT_TRUE(r.ok() && r->committed);
+  }
+
+  std::atomic<uint64_t> committed{0};
+  ParallelFor(6, [&](size_t w) {
+    SimClock::Reset();
+    ComputeNode* cn = nodes[w % nodes.size()];
+    Random64 rng(w + 10);
+    for (int i = 0; i < 50; i++) {
+      const uint64_t a = rng.Uniform(90);
+      uint64_t b = rng.Uniform(90);
+      if (b == a) b = (b + 1) % 90;
+      const int64_t amt = static_cast<int64_t>(rng.Uniform(50)) + 1;
+      const uint64_t lo = std::min(a, b), hi = std::max(a, b);
+      for (int attempt = 0; attempt < 10'000; attempt++) {
+        Result<TxnResult> r = cn->ExecuteOneShot(
+            *t, {TxnOp::Add(lo, lo == a ? -amt : amt),
+                 TxnOp::Add(hi, hi == a ? -amt : amt)});
+        ASSERT_TRUE(r.ok()) << r.status();
+        if (r->committed) {
+          committed++;
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(committed.load(), 300u);
+
+  int64_t total = 0;
+  for (uint64_t k = 0; k < 90; k++) {
+    Result<TxnResult> r = nodes[0]->ExecuteOneShot(*t, {TxnOp::Read(k)});
+    ASSERT_TRUE(r.ok() && r->committed);
+    total += static_cast<int64_t>(DecodeFixed64(r->reads[0].data()));
+  }
+  EXPECT_EQ(total, 90 * 1'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchitectures, ArchitectureTest,
+    ::testing::Values(Architecture::kNoCacheNoSharding,
+                      Architecture::kCacheNoSharding,
+                      Architecture::kCacheSharding),
+    [](const ::testing::TestParamInfo<Architecture>& info) {
+      switch (info.param) {
+        case Architecture::kNoCacheNoSharding:
+          return "NoCacheNoSharding";
+        case Architecture::kCacheNoSharding:
+          return "CacheNoSharding";
+        case Architecture::kCacheSharding:
+          return "CacheSharding";
+      }
+      return "Unknown";
+    });
+
+TEST(ShardManagerTest, EvenPartition) {
+  ShardManager shards(100, 4);
+  EXPECT_EQ(shards.OwnerOf(0), 0u);
+  EXPECT_EQ(shards.OwnerOf(24), 0u);
+  EXPECT_EQ(shards.OwnerOf(25), 1u);
+  EXPECT_EQ(shards.OwnerOf(99), 3u);
+}
+
+TEST(ShardManagerTest, UpdateRangesCountsMovedKeys) {
+  ShardManager shards(100, 2);  // [0,50)->0, [50,100)->1
+  const uint64_t moved = shards.UpdateRanges({
+      {0, 25, 0},
+      {25, 100, 1},
+  });
+  EXPECT_EQ(moved, 25u);  // keys [25,50) changed owner 0 -> 1
+  EXPECT_EQ(shards.OwnerOf(30), 1u);
+  EXPECT_EQ(shards.Version(), 2u);
+}
+
+TEST(DsmDbShardingTest, RoutingCountsMatchOwnership) {
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kCacheSharding));
+  ComputeNode* cn0 = db.AddComputeNode();
+  ComputeNode* cn1 = db.AddComputeNode();
+  const Table* t = *db.CreateTable("kv", {64, 100});
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  // Key 10 is owned by cn0 ([0,50)), key 90 by cn1.
+  std::string v(64, '\0');
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(10, v)})->committed);
+  EXPECT_GE(cn0->node_stats().local_txns.load(), 1u);
+
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(90, v)})->committed);
+  EXPECT_GE(cn0->node_stats().delegated_txns.load(), 1u);
+
+  ASSERT_TRUE(cn0->ExecuteOneShot(
+                     *t, {TxnOp::Write(10, v), TxnOp::Write(90, v)})
+                  ->committed);
+  EXPECT_GE(cn0->node_stats().two_pc_txns.load(), 1u);
+  (void)cn1;
+}
+
+TEST(DsmDbShardingTest, CrossShardTransferConservesMoney) {
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kCacheSharding));
+  ComputeNode* cn0 = db.AddComputeNode();
+  db.AddComputeNode();
+  const Table* t = *db.CreateTable("bank", {64, 100});
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  std::string v(64, '\0');
+  EncodeFixed64(v.data(), 500);
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(10, v)})->committed);
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(90, v)})->committed);
+
+  // 10 -> 90 is a cross-shard transfer through 2PC.
+  Result<TxnResult> r = cn0->ExecuteOneShot(
+      *t, {TxnOp::Add(10, -123), TxnOp::Add(90, 123)});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->committed);
+
+  Result<TxnResult> r10 = cn0->ExecuteOneShot(*t, {TxnOp::Read(10)});
+  Result<TxnResult> r90 = cn0->ExecuteOneShot(*t, {TxnOp::Read(90)});
+  EXPECT_EQ(DecodeFixed64(r10->reads[0].data()), 377u);
+  EXPECT_EQ(DecodeFixed64(r90->reads[0].data()), 623u);
+}
+
+TEST(DsmDbShardingTest, ReshardingIsMetadataOnlyAndKeepsData) {
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kCacheSharding));
+  ComputeNode* cn0 = db.AddComputeNode();
+  ComputeNode* cn1 = db.AddComputeNode();
+  const Table* t = *db.CreateTable("kv", {64, 100});
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  std::string v(64, '\0');
+  EncodeFixed64(v.data(), 31415);
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(10, v)})->committed);
+
+  // Move everything to cn1: no data movement, just the map.
+  ShardManager* shards = db.shards("kv");
+  ASSERT_NE(shards, nullptr);
+  const uint64_t moved = shards->UpdateRanges({{0, 100, 1}});
+  EXPECT_EQ(moved, 50u);
+
+  // cn0's transaction on key 10 is now delegated to cn1; data intact.
+  Result<TxnResult> r = cn0->ExecuteOneShot(*t, {TxnOp::Read(10)});
+  ASSERT_TRUE(r.ok() && r->committed);
+  EXPECT_EQ(DecodeFixed64(r->reads[0].data()), 31415u);
+  EXPECT_GE(cn0->node_stats().delegated_txns.load(), 1u);
+  EXPECT_GE(cn1->node_stats().local_txns.load(), 1u);
+}
+
+TEST(DsmDbShardingTest, ReshardDropsStaleCachesOnDelegatedPath) {
+  // Regression test: shard boundaries are key-granular but caches are
+  // page-granular, so a page can hold records of two owners. Before the
+  // reshard, cn1 legitimately caches a page that also holds cn0's key 48
+  // (keys 48 and 50 are adjacent slots on memory node 0's stripe). cn0
+  // then updates key 48. After resharding everything to cn1, reads of
+  // key 48 are delegated to cn1 — which must NOT serve its stale page.
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kCacheSharding));
+  ComputeNode* cn0 = db.AddComputeNode();
+  ComputeNode* cn1 = db.AddComputeNode();
+  const Table* t = *db.CreateTable("kv", {64, 100});
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  std::string v(64, '\0');
+  EncodeFixed64(v.data(), 1);
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(48, v)})->committed);
+  // cn1 caches the shared page by reading its own key 50.
+  ASSERT_TRUE(cn1->ExecuteOneShot(*t, {TxnOp::Read(50)})->committed);
+  // cn0 updates key 48; cn1's cached copy of that page is now stale.
+  EncodeFixed64(v.data(), 31337);
+  ASSERT_TRUE(cn0->ExecuteOneShot(*t, {TxnOp::Write(48, v)})->committed);
+
+  ASSERT_NE(db.shards("kv"), nullptr);
+  db.shards("kv")->UpdateRanges({{0, 100, 1}});
+
+  Result<TxnResult> r = cn0->ExecuteOneShot(*t, {TxnOp::Read(48)});
+  ASSERT_TRUE(r.ok() && r->committed);
+  EXPECT_EQ(DecodeFixed64(r->reads[0].data()), 31337u);
+}
+
+TEST(TableTest, StripesAcrossMemoryNodes) {
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kNoCacheNoSharding));
+  const Table* t = *db.CreateTable("kv", {32, 10});
+  EXPECT_EQ(t->RefFor(0).addr.node, 0);
+  EXPECT_EQ(t->RefFor(1).addr.node, 1);
+  EXPECT_EQ(t->RefFor(2).addr.node, 0);
+  EXPECT_EQ(t->HomeNode(3), 1);
+  EXPECT_EQ(t->record_stride(), txn::RecordStride(32));
+  EXPECT_EQ(t->KeysPerStripe(0), 5u);
+}
+
+TEST(TableTest, DistinctRecordsDoNotOverlap) {
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kNoCacheNoSharding));
+  const Table* t = *db.CreateTable("kv", {48, 1'000});
+  // Records on the same stripe are exactly stride apart.
+  const auto r0 = t->RefFor(0);
+  const auto r2 = t->RefFor(2);
+  EXPECT_EQ(r2.addr.offset - r0.addr.offset, t->record_stride());
+}
+
+TEST(DsmDbTest, DuplicateTableRejected) {
+  DsmDb db(SmallCluster(), OptionsFor(Architecture::kNoCacheNoSharding));
+  ASSERT_TRUE(db.CreateTable("t", {64, 10}).ok());
+  EXPECT_TRUE(db.CreateTable("t", {64, 10}).status().IsAlreadyExists());
+  EXPECT_NE(db.GetTable("t"), nullptr);
+  EXPECT_EQ(db.GetTable("missing"), nullptr);
+}
+
+TEST(DsmDbTest, DurabilityModesWireUp) {
+  DbOptions wal_opts = OptionsFor(Architecture::kNoCacheNoSharding);
+  wal_opts.durability = DurabilityMode::kCloudWal;
+  DsmDb db1(SmallCluster(), wal_opts);
+  ComputeNode* cn1 = db1.AddComputeNode();
+  EXPECT_NE(cn1->wal(), nullptr);
+  EXPECT_EQ(cn1->log_sink().name(), "cloud-wal");
+
+  DbOptions repl_opts = OptionsFor(Architecture::kNoCacheNoSharding);
+  repl_opts.durability = DurabilityMode::kMemReplication;
+  DsmDb db2(SmallCluster(), repl_opts);
+  ComputeNode* cn2 = db2.AddComputeNode();
+  EXPECT_NE(cn2->replicated_log(), nullptr);
+  EXPECT_EQ(cn2->log_sink().name(), "mem-replicated");
+}
+
+}  // namespace
+}  // namespace dsmdb::core

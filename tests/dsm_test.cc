@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "dsm/allocator.h"
+#include "dsm/cluster.h"
+#include "dsm/directory.h"
+#include "dsm/dsm_client.h"
+
+namespace dsmdb::dsm {
+namespace {
+
+TEST(ExtentAllocatorTest, AllocFreeReuse) {
+  ExtentAllocator alloc(1 << 20);
+  Result<uint64_t> a = alloc.Alloc(1000);
+  ASSERT_TRUE(a.ok());
+  EXPECT_GT(*a, 0u);  // offset 0 reserved for null
+  EXPECT_EQ(*a % 8, 0u);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  Result<uint64_t> b = alloc.Alloc(1000);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);  // first-fit reuses the freed extent
+}
+
+TEST(ExtentAllocatorTest, DistinctLiveExtents) {
+  ExtentAllocator alloc(1 << 20);
+  std::set<uint64_t> offsets;
+  for (int i = 0; i < 100; i++) {
+    Result<uint64_t> r = alloc.Alloc(128);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(offsets.insert(*r).second);
+  }
+  const AllocatorStats s = alloc.GetStats();
+  EXPECT_EQ(s.alloc_calls, 100u);
+  EXPECT_EQ(s.allocated_bytes, 100u * 128);
+}
+
+TEST(ExtentAllocatorTest, ExhaustionAndInvalidFree) {
+  ExtentAllocator alloc(4096);
+  Result<uint64_t> big = alloc.Alloc(100'000);
+  EXPECT_TRUE(big.status().IsOutOfMemory());
+  EXPECT_TRUE(alloc.Free(12345).IsInvalidArgument());
+  EXPECT_TRUE(alloc.Alloc(0).status().IsInvalidArgument());
+}
+
+TEST(ExtentAllocatorTest, CoalescingLimitsFragmentation) {
+  ExtentAllocator alloc(1 << 20);
+  std::vector<uint64_t> offs;
+  for (int i = 0; i < 50; i++) offs.push_back(*alloc.Alloc(1024));
+  for (uint64_t o : offs) ASSERT_TRUE(alloc.Free(o).ok());
+  // Everything freed and coalesced: one big extent again.
+  const AllocatorStats s = alloc.GetStats();
+  EXPECT_EQ(s.allocated_bytes, 0u);
+  EXPECT_NEAR(s.external_fragmentation, 0.0, 1e-9);
+  // And a full-size allocation succeeds.
+  EXPECT_TRUE(alloc.Alloc((1 << 20) - 4096).ok());
+}
+
+TEST(ExtentAllocatorTest, FragmentationMetricReflectsHoles) {
+  ExtentAllocator alloc(1 << 20);
+  // Fill the region completely so freed holes cannot coalesce with a
+  // large tail extent.
+  std::vector<uint64_t> offs;
+  while (true) {
+    Result<uint64_t> r = alloc.Alloc(1024);
+    if (!r.ok()) break;
+    offs.push_back(*r);
+  }
+  ASSERT_GT(offs.size(), 100u);
+  for (size_t i = 0; i < offs.size(); i += 2) {
+    ASSERT_TRUE(alloc.Free(offs[i]).ok());  // free every other -> holes
+  }
+  EXPECT_GT(alloc.GetStats().external_fragmentation, 0.3);
+  // A request larger than any hole must fail despite ample free bytes.
+  EXPECT_TRUE(alloc.Alloc(8 * 1024).status().IsOutOfMemory());
+}
+
+TEST(SlabAllocatorTest, SmallAllocsRoundToClasses) {
+  ExtentAllocator extents(4 << 20);
+  SlabAllocator slab(&extents);
+  Result<uint64_t> a = slab.Alloc(70);  // -> 128 class
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(slab.Free(*a, 70).ok());
+  Result<uint64_t> b = slab.Alloc(100);  // same class, reuses slot
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(SlabAllocatorTest, LargeFallsThroughToExtents) {
+  ExtentAllocator extents(4 << 20);
+  SlabAllocator slab(&extents);
+  Result<uint64_t> big = slab.Alloc(100'000);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(slab.Free(*big, 100'000).ok());
+}
+
+TEST(SlabAllocatorTest, ConcurrentAllocsAreDistinct) {
+  ExtentAllocator extents(64 << 20);
+  SlabAllocator slab(&extents);
+  std::vector<std::vector<uint64_t>> got(8);
+  ParallelFor(8, [&](size_t t) {
+    for (int i = 0; i < 500; i++) got[t].push_back(*slab.Alloc(64));
+  });
+  std::set<uint64_t> all;
+  for (const auto& v : got) {
+    for (uint64_t o : v) EXPECT_TRUE(all.insert(o).second);
+  }
+}
+
+TEST(GlobalAddressTest, PackUnpackRoundTrip) {
+  const GlobalAddress a{7, (1ULL << 40) + 12345};
+  EXPECT_EQ(GlobalAddress::Unpack(a.Pack()), a);
+  EXPECT_TRUE(kNullGlobalAddress.IsNull());
+  EXPECT_FALSE(a.IsNull());
+  EXPECT_EQ(a.Plus(55).offset, a.offset + 55);
+  EXPECT_EQ(a.Plus(55).node, a.node);
+}
+
+TEST(DirectoryTest, PeersForUpdateKeepsSharersRegistered) {
+  Directory dir;
+  dir.RegisterSharer(9, 1);
+  dir.RegisterSharer(9, 2);
+  const std::vector<uint32_t> peers = dir.PeersForUpdate(9, 1);
+  EXPECT_EQ(peers, std::vector<uint32_t>{2});
+  // Unlike AcquireExclusive, everyone stays registered (and the
+  // requester is added).
+  EXPECT_EQ(dir.Sharers(9).size(), 2u);
+}
+
+TEST(DirectoryTest, SharersAndExclusive) {
+  Directory dir;
+  dir.RegisterSharer(42, 1);
+  dir.RegisterSharer(42, 2);
+  dir.RegisterSharer(42, 5);
+  EXPECT_EQ(dir.Sharers(42).size(), 3u);
+  const std::vector<uint32_t> others = dir.AcquireExclusive(42, 2);
+  EXPECT_EQ(others, (std::vector<uint32_t>{1, 5}));
+  EXPECT_EQ(dir.Sharers(42), std::vector<uint32_t>{2});
+  dir.UnregisterSharer(42, 2);
+  EXPECT_TRUE(dir.Sharers(42).empty());
+  EXPECT_EQ(dir.NumTrackedPages(), 0u);
+}
+
+class DsmClientTest : public ::testing::Test {
+ protected:
+  DsmClientTest() {
+    ClusterOptions opts;
+    opts.num_memory_nodes = 3;
+    opts.memory_node.capacity_bytes = 8 << 20;
+    cluster_ = std::make_unique<Cluster>(opts);
+    client_ = std::make_unique<DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DsmClient> client_;
+};
+
+TEST_F(DsmClientTest, AllocReadWrite) {
+  Result<GlobalAddress> addr = client_->Alloc(256);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_FALSE(addr->IsNull());
+  const char msg[] = "hello DSM";
+  ASSERT_TRUE(client_->Write(*addr, msg, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {};
+  ASSERT_TRUE(client_->Read(*addr, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, msg);
+  EXPECT_TRUE(client_->Free(*addr, 256).ok());
+}
+
+TEST_F(DsmClientTest, RoundRobinSpreadsAcrossNodes) {
+  std::set<MemNodeId> nodes;
+  for (int i = 0; i < 12; i++) {
+    Result<GlobalAddress> addr = client_->Alloc(64);
+    ASSERT_TRUE(addr.ok());
+    nodes.insert(addr->node);
+  }
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST_F(DsmClientTest, ExplicitNodePlacement) {
+  Result<GlobalAddress> addr = client_->Alloc(64, 2);
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr->node, 2);
+  EXPECT_TRUE(client_->Alloc(64, 9).status().IsInvalidArgument());
+}
+
+TEST_F(DsmClientTest, AtomicsOnGlobalAddresses) {
+  Result<GlobalAddress> addr = client_->Alloc(64);
+  ASSERT_TRUE(addr.ok());
+  const uint64_t zero = 0;
+  ASSERT_TRUE(client_->Write(*addr, &zero, 8).ok());
+  Result<uint64_t> old = client_->FetchAndAdd(*addr, 5);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(*old, 0u);
+  Result<uint64_t> prev = client_->CompareAndSwap(*addr, 5, 77);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_EQ(*prev, 5u);
+}
+
+TEST_F(DsmClientTest, BatchRoundTrip) {
+  Result<GlobalAddress> a = client_->Alloc(64);
+  Result<GlobalAddress> b = client_->Alloc(64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  uint64_t va = 11, vb = 22;
+  std::vector<DsmBatchOp> writes = {{*a, &va, 8}, {*b, &vb, 8}};
+  ASSERT_TRUE(client_->WriteBatch(writes).ok());
+  uint64_t ra = 0, rb = 0;
+  std::vector<DsmBatchOp> reads = {{*a, &ra, 8}, {*b, &rb, 8}};
+  ASSERT_TRUE(client_->ReadBatch(reads).ok());
+  EXPECT_EQ(ra, 11u);
+  EXPECT_EQ(rb, 22u);
+}
+
+TEST_F(DsmClientTest, OffloadExecutesOnMemoryNode) {
+  // Register a near-data sum over an array we write one-sided.
+  Result<GlobalAddress> addr = client_->Alloc(8 * 100, 0);
+  ASSERT_TRUE(addr.ok());
+  for (uint64_t i = 0; i < 100; i++) {
+    const uint64_t v = i + 1;
+    ASSERT_TRUE(client_->Write(addr->Plus(i * 8), &v, 8).ok());
+  }
+  cluster_->memory_node(0)->RegisterOffload(
+      0, [](MemoryNode& node, std::string_view arg, std::string* out) {
+        const uint64_t off = DecodeFixed64(arg.data());
+        const uint64_t n = DecodeFixed64(arg.data() + 8);
+        uint64_t sum = 0;
+        for (uint64_t i = 0; i < n; i++) {
+          sum += DecodeFixed64(node.base() + off + i * 8);
+        }
+        PutFixed64(out, sum);
+        return 30 * n;  // per-element cost
+      });
+  std::string arg;
+  PutFixed64(&arg, addr->offset);
+  PutFixed64(&arg, 100);
+  std::string out;
+  ASSERT_TRUE(client_->Offload(0, 0, arg, &out).ok());
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(DecodeFixed64(out.data()), 5050u);
+}
+
+TEST_F(DsmClientTest, OffloadUnknownFunction) {
+  std::string out;
+  EXPECT_TRUE(client_->Offload(0, 99, "", &out).IsNotFound());
+}
+
+TEST_F(DsmClientTest, DirectoryRpcPath) {
+  Result<GlobalAddress> page = client_->Alloc(4096, 1);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(client_->DirRegisterSharer(*page, 7).ok());
+  ASSERT_TRUE(client_->DirRegisterSharer(*page, 9).ok());
+  Result<std::vector<uint32_t>> others =
+      client_->DirAcquireExclusive(*page, 7);
+  ASSERT_TRUE(others.ok());
+  EXPECT_EQ(*others, std::vector<uint32_t>{9});
+}
+
+TEST_F(DsmClientTest, ReplicaLogAppendRead) {
+  ASSERT_TRUE(client_->LogAppend(1, 1234, "alpha").ok());
+  ASSERT_TRUE(client_->LogAppend(1, 1234, "beta").ok());
+  Result<std::string> data = client_->LogRead(1, 1234);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "alphabeta");
+  EXPECT_TRUE(client_->LogRead(1, 777).status().IsNotFound());
+}
+
+TEST_F(DsmClientTest, CrashLosesContentsRecoveryRestoresService) {
+  Result<GlobalAddress> addr = client_->Alloc(64, 1);
+  ASSERT_TRUE(addr.ok());
+  const uint64_t v = 4242;
+  ASSERT_TRUE(client_->Write(*addr, &v, 8).ok());
+
+  cluster_->CrashMemoryNode(1);
+  EXPECT_FALSE(cluster_->IsMemoryNodeAlive(1));
+  uint64_t out = 0;
+  EXPECT_TRUE(client_->Read(*addr, &out, 8).IsUnavailable());
+  // Other nodes unaffected.
+  EXPECT_TRUE(client_->Alloc(64, 0).ok());
+
+  cluster_->RecoverMemoryNode(1);
+  EXPECT_TRUE(cluster_->IsMemoryNodeAlive(1));
+  // Same logical address resolves again, but DRAM contents are gone.
+  out = 99;
+  ASSERT_TRUE(client_->Read(*addr, &out, 8).ok());
+  EXPECT_EQ(out, 0u);
+}
+
+TEST_F(DsmClientTest, AllocExhaustionReportsOutOfMemory) {
+  // Exhaust node 0 (8 MiB region) with large extents.
+  Status last = Status::OK();
+  for (int i = 0; i < 64; i++) {
+    Result<GlobalAddress> r = client_->Alloc(1 << 20, 0);
+    if (!r.ok()) {
+      last = r.status();
+      break;
+    }
+  }
+  EXPECT_TRUE(last.IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace dsmdb::dsm

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "index/race_hash.h"
+
+namespace dsmdb::index {
+namespace {
+
+class RaceHashTest : public ::testing::Test {
+ protected:
+  RaceHashTest() {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    copts.memory_node.capacity_bytes = 64 << 20;
+    cluster_ = std::make_unique<dsm::Cluster>(copts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    base_ = *RaceHash::Create(client_.get(), 4'096);
+    hash_ = std::make_unique<RaceHash>(client_.get(), base_, 4'096);
+    SimClock::Reset();
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+  dsm::GlobalAddress base_;
+  std::unique_ptr<RaceHash> hash_;
+};
+
+TEST_F(RaceHashTest, InsertGetRoundTrip) {
+  ASSERT_TRUE(hash_->Insert(42, 4200).ok());
+  Result<uint64_t> v = hash_->Get(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 4200u);
+  EXPECT_TRUE(hash_->Get(43).status().IsNotFound());
+}
+
+TEST_F(RaceHashTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(hash_->Insert(7, 70).ok());
+  EXPECT_TRUE(hash_->Insert(7, 71).IsAlreadyExists());
+  EXPECT_EQ(*hash_->Get(7), 70u);
+}
+
+TEST_F(RaceHashTest, ZeroKeyOrValueRejected) {
+  EXPECT_TRUE(hash_->Insert(0, 1).IsInvalidArgument());
+  EXPECT_TRUE(hash_->Insert(1, 0).IsInvalidArgument());
+}
+
+TEST_F(RaceHashTest, UpdateChangesValue) {
+  ASSERT_TRUE(hash_->Insert(9, 90).ok());
+  ASSERT_TRUE(hash_->Update(9, 91).ok());
+  EXPECT_EQ(*hash_->Get(9), 91u);
+  EXPECT_TRUE(hash_->Update(10, 1).IsNotFound());
+}
+
+TEST_F(RaceHashTest, DeleteFreesSlot) {
+  ASSERT_TRUE(hash_->Insert(11, 110).ok());
+  ASSERT_TRUE(hash_->Delete(11).ok());
+  EXPECT_TRUE(hash_->Get(11).status().IsNotFound());
+  EXPECT_TRUE(hash_->Delete(11).IsNotFound());
+  // The slot is reusable.
+  ASSERT_TRUE(hash_->Insert(11, 111).ok());
+  EXPECT_EQ(*hash_->Get(11), 111u);
+}
+
+TEST_F(RaceHashTest, ManyKeys) {
+  std::map<uint64_t, uint64_t> expected;
+  Random64 rng(21);
+  while (expected.size() < 10'000) {
+    const uint64_t key = rng.Next() | 1;
+    if (expected.contains(key)) continue;
+    expected[key] = key ^ 0xFF;
+    ASSERT_TRUE(hash_->Insert(key, key ^ 0xFF).ok());
+  }
+  for (const auto& [k, v] : expected) {
+    ASSERT_EQ(*hash_->Get(k), v);
+  }
+}
+
+TEST_F(RaceHashTest, GetUsesOneDoorbellBatch) {
+  ASSERT_TRUE(hash_->Insert(77, 770).ok());
+  cluster_->fabric().ResetStats();
+  ASSERT_TRUE(hash_->Get(77).ok());
+  const auto stats = cluster_->fabric().TotalStats();
+  // RACE's point: a lookup reads both candidate buckets in one RTT.
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.RoundTrips(), 1u);
+}
+
+TEST_F(RaceHashTest, FullTableReportsOutOfMemory) {
+  // A 1-bucket table (rounds to power of two = 1): both candidate buckets
+  // coincide; 8 slots fill up.
+  dsm::GlobalAddress tiny_base = *RaceHash::Create(client_.get(), 1);
+  RaceHash tiny(client_.get(), tiny_base, 1);
+  uint32_t inserted = 0;
+  Status last = Status::OK();
+  for (uint64_t k = 1; k <= 20; k++) {
+    Status s = tiny.Insert(k, k);
+    if (s.ok()) {
+      inserted++;
+    } else {
+      last = s;
+      break;
+    }
+  }
+  EXPECT_EQ(inserted, RaceHash::kSlotsPerBucket);
+  EXPECT_TRUE(last.IsOutOfMemory());
+}
+
+TEST_F(RaceHashTest, ConcurrentInsertersNeverLoseKeys) {
+  ParallelFor(8, [&](size_t t) {
+    SimClock::Reset();
+    for (uint64_t i = 0; i < 300; i++) {
+      const uint64_t key = t * 100'000 + i + 1;
+      ASSERT_TRUE(hash_->Insert(key, key * 2).ok());
+    }
+  });
+  for (size_t t = 0; t < 8; t++) {
+    for (uint64_t i = 0; i < 300; i++) {
+      const uint64_t key = t * 100'000 + i + 1;
+      ASSERT_EQ(*hash_->Get(key), key * 2);
+    }
+  }
+}
+
+TEST_F(RaceHashTest, ConcurrentSameSlotRaceElectsOneWinner) {
+  // All threads try to insert the same key: exactly one must win.
+  std::atomic<int> winners{0};
+  ParallelFor(8, [&](size_t) {
+    SimClock::Reset();
+    Status s = hash_->Insert(555, 5550);
+    if (s.ok()) winners++;
+  });
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(*hash_->Get(555), 5550u);
+}
+
+TEST_F(RaceHashTest, SharedAcrossComputeNodes) {
+  dsm::DsmClient client2(cluster_.get(), cluster_->AddComputeNode("cn1"));
+  RaceHash hash2(&client2, base_, 4'096);
+  ASSERT_TRUE(hash_->Insert(1234, 1).ok());
+  EXPECT_EQ(*hash2.Get(1234), 1u);
+  ASSERT_TRUE(hash2.Insert(4321, 2).ok());
+  EXPECT_EQ(*hash_->Get(4321), 2u);
+}
+
+}  // namespace
+}  // namespace dsmdb::index

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "index/lsm_index.h"
+
+namespace dsmdb::index {
+namespace {
+
+class LsmTest : public ::testing::TestWithParam<bool /*offload*/> {
+ protected:
+  LsmTest() {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    copts.memory_node.capacity_bytes = 128 << 20;
+    cluster_ = std::make_unique<dsm::Cluster>(copts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  LsmOptions SmallOptions() {
+    LsmOptions opts;
+    opts.memtable_entries = 64;
+    opts.block_entries = 16;
+    opts.max_runs = 3;
+    opts.offload_compaction = GetParam();
+    return opts;
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+};
+
+TEST_P(LsmTest, PutGetFromMemtable) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  ASSERT_TRUE(lsm.Put(5, 50).ok());
+  EXPECT_EQ(*lsm.Get(5), 50u);
+  EXPECT_EQ(lsm.stats().memtable_hits.load(), 1u);
+  EXPECT_TRUE(lsm.Get(6).status().IsNotFound());
+}
+
+TEST_P(LsmTest, GetAfterFlushReadsRun) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  for (uint64_t k = 1; k <= 40; k++) ASSERT_TRUE(lsm.Put(k, k * 3).ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  EXPECT_EQ(lsm.MemtableSize(), 0u);
+  EXPECT_EQ(lsm.NumRuns(), 1u);
+  for (uint64_t k = 1; k <= 40; k++) {
+    ASSERT_EQ(*lsm.Get(k), k * 3) << k;
+  }
+  EXPECT_GT(lsm.stats().block_reads.load(), 0u);
+}
+
+TEST_P(LsmTest, NewerRunShadowsOlder) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  ASSERT_TRUE(lsm.Put(9, 1).ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Put(9, 2).ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  EXPECT_EQ(lsm.NumRuns(), 2u);
+  EXPECT_EQ(*lsm.Get(9), 2u);
+}
+
+TEST_P(LsmTest, DeleteTombstonesAcrossRuns) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  ASSERT_TRUE(lsm.Put(7, 70).ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Delete(7).ok());
+  EXPECT_TRUE(lsm.Get(7).status().IsNotFound());
+  ASSERT_TRUE(lsm.Flush().ok());
+  EXPECT_TRUE(lsm.Get(7).status().IsNotFound());  // tombstone in run
+  ASSERT_TRUE(lsm.Compact().ok());
+  EXPECT_TRUE(lsm.Get(7).status().IsNotFound());  // dropped at compaction
+}
+
+TEST_P(LsmTest, CompactionMergesRunsAndPreservesData) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  std::map<uint64_t, uint64_t> expected;
+  Random64 rng(11);
+  for (int i = 0; i < 500; i++) {
+    const uint64_t k = rng.Uniform(300) + 1;
+    const uint64_t v = rng.Next() | 1;
+    if (v == UINT64_MAX) continue;
+    expected[k] = v;
+    ASSERT_TRUE(lsm.Put(k, v).ok());
+  }
+  ASSERT_TRUE(lsm.Flush().ok());
+  ASSERT_TRUE(lsm.Compact().ok());
+  EXPECT_EQ(lsm.NumRuns(), 1u);
+  EXPECT_GE(lsm.stats().compactions.load(), 1u);
+  for (const auto& [k, v] : expected) {
+    ASSERT_EQ(*lsm.Get(k), v) << k;
+  }
+}
+
+TEST_P(LsmTest, AutoFlushAndCompactUnderLoad) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  std::map<uint64_t, uint64_t> expected;
+  Random64 rng(13);
+  for (int i = 0; i < 2'000; i++) {
+    const uint64_t k = rng.Uniform(5'000) + 1;
+    const uint64_t v = (rng.Next() | 1) & ~(1ULL << 63);
+    expected[k] = v;
+    ASSERT_TRUE(lsm.Put(k, v).ok());
+  }
+  EXPECT_LE(lsm.NumRuns(), SmallOptions().max_runs + 1);
+  EXPECT_GT(lsm.stats().flushes.load(), 10u);
+  Random64 probe(17);
+  for (int i = 0; i < 300; i++) {
+    const uint64_t k = probe.Uniform(5'000) + 1;
+    auto it = expected.find(k);
+    Result<uint64_t> got = lsm.Get(k);
+    if (it == expected.end()) {
+      EXPECT_TRUE(got.status().IsNotFound()) << k;
+    } else {
+      ASSERT_TRUE(got.ok()) << k << " " << got.status();
+      EXPECT_EQ(*got, it->second) << k;
+    }
+  }
+}
+
+TEST_P(LsmTest, BloomFiltersSkipMostAbsentProbes) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  for (uint64_t k = 1; k <= 500; k++) ASSERT_TRUE(lsm.Put(k, k).ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  lsm.stats().bloom_skips.store(0);
+  lsm.stats().block_reads.store(0);
+  // Probe absent keys: blooms should answer most without a round trip.
+  for (uint64_t k = 1'000'000; k < 1'000'500; k++) {
+    EXPECT_TRUE(lsm.Get(k).status().IsNotFound());
+  }
+  const uint64_t skips = lsm.stats().bloom_skips.load();
+  const uint64_t reads = lsm.stats().block_reads.load();
+  EXPECT_GT(skips, 400u);
+  EXPECT_LT(reads, 100u);
+}
+
+TEST_P(LsmTest, LocalMetadataIsSmallFractionOfData) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  for (uint64_t k = 1; k <= 2'000; k++) ASSERT_TRUE(lsm.Put(k, k).ok());
+  ASSERT_TRUE(lsm.Flush().ok());
+  const size_t data_bytes = 2'000 * 16;
+  EXPECT_LT(lsm.LocalMetadataBytes(), data_bytes / 4);
+  EXPECT_GT(lsm.LocalMetadataBytes(), 0u);
+}
+
+TEST_P(LsmTest, ReservedValuesRejected) {
+  LsmIndex lsm(client_.get(), 0, SmallOptions());
+  EXPECT_TRUE(lsm.Put(1, 0).IsInvalidArgument());
+  EXPECT_TRUE(lsm.Put(1, UINT64_MAX).IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(LocalAndOffloaded, LsmTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "offloaded_compaction"
+                                             : "local_compaction";
+                         });
+
+TEST(LsmCompactionCostTest, OffloadMovesFarFewerBytes) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 1;
+  copts.memory_node.capacity_bytes = 128 << 20;
+  dsm::Cluster cluster(copts);
+  dsm::DsmClient client(&cluster, cluster.AddComputeNode("cn0"));
+
+  auto fill = [&](LsmIndex& lsm) {
+    Random64 rng(5);
+    for (int i = 0; i < 4'000; i++) {
+      (void)lsm.Put(rng.Next() | 1, 7);
+    }
+    (void)lsm.Flush();
+  };
+
+  LsmOptions local_opts;
+  local_opts.memtable_entries = 512;
+  local_opts.max_runs = 100;  // no auto-compaction
+  LsmIndex local(&client, 0, local_opts);
+  fill(local);
+  cluster.fabric().ResetStats();
+  ASSERT_TRUE(local.Compact().ok());
+  const auto local_stats = cluster.fabric().TotalStats();
+
+  LsmOptions off_opts = local_opts;
+  off_opts.offload_compaction = true;
+  LsmIndex offloaded(&client, 0, off_opts);
+  fill(offloaded);
+  cluster.fabric().ResetStats();
+  ASSERT_TRUE(offloaded.Compact().ok());
+  const auto off_stats = cluster.fabric().TotalStats();
+
+  // The paper's offload argument: near-data compaction moves ~no data.
+  EXPECT_LT(off_stats.bytes_read + off_stats.bytes_written,
+            (local_stats.bytes_read + local_stats.bytes_written) / 4);
+  // And both end up serving reads correctly.
+  EXPECT_TRUE(local.Get(123456789).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dsmdb::index

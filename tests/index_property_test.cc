@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "index/race_hash.h"
+#include "index/sherman_btree.h"
+
+namespace dsmdb::index {
+namespace {
+
+/// Randomized oracle tests: every index must agree with std::map under a
+/// long mixed insert/update/delete/lookup/scan trace.
+
+class IndexOracleTest : public ::testing::TestWithParam<uint64_t /*seed*/> {
+ protected:
+  IndexOracleTest() {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    copts.memory_node.capacity_bytes = 256 << 20;
+    cluster_ = std::make_unique<dsm::Cluster>(copts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+};
+
+TEST_P(IndexOracleTest, BTreeMatchesStdMap) {
+  dsm::GlobalAddress meta = *ShermanBTree::Create(client_.get());
+  BTreeOptions opts;
+  opts.cache_internal_nodes = GetParam() % 2 == 0;  // vary cache on/off
+  ShermanBTree tree(client_.get(), meta, opts);
+  std::map<uint64_t, uint64_t> oracle;
+  Random64 rng(GetParam());
+
+  for (int i = 0; i < 6'000; i++) {
+    const double p = rng.NextDouble();
+    const uint64_t key = rng.Uniform(2'000) + 1;
+    if (p < 0.45) {  // insert / update
+      const uint64_t value = rng.Next() | 1;
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+      oracle[key] = value;
+    } else if (p < 0.6) {  // delete
+      const Status s = tree.Delete(key);
+      if (oracle.erase(key) > 0) {
+        ASSERT_TRUE(s.ok());
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else if (p < 0.95) {  // point lookup
+      Result<uint64_t> got = tree.Search(key);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        ASSERT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        ASSERT_EQ(*got, it->second) << key;
+      }
+    } else {  // short range scan
+      Result<std::vector<std::pair<uint64_t, uint64_t>>> scan =
+          tree.Scan(key, 10);
+      ASSERT_TRUE(scan.ok());
+      auto it = oracle.lower_bound(key);
+      for (const auto& [k, v] : *scan) {
+        ASSERT_NE(it, oracle.end());
+        ASSERT_EQ(k, it->first);
+        ASSERT_EQ(v, it->second);
+        ++it;
+      }
+      // The scan must not terminate early while the oracle has more.
+      if (scan->size() < 10) {
+        ASSERT_EQ(it, oracle.end());
+      }
+    }
+  }
+  // Final full agreement.
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(*tree.Search(k), v) << k;
+  }
+}
+
+TEST_P(IndexOracleTest, RaceHashMatchesStdMap) {
+  dsm::GlobalAddress base = *RaceHash::Create(client_.get(), 8'192);
+  RaceHash hash(client_.get(), base, 8'192);
+  std::map<uint64_t, uint64_t> oracle;
+  Random64 rng(GetParam() ^ 0xABCD);
+
+  for (int i = 0; i < 6'000; i++) {
+    const double p = rng.NextDouble();
+    const uint64_t key = rng.Uniform(3'000) + 1;
+    if (p < 0.35) {  // insert
+      const uint64_t value = rng.Next() | 1;
+      const Status s = hash.Insert(key, value);
+      if (oracle.contains(key)) {
+        ASSERT_TRUE(s.IsAlreadyExists()) << key;
+      } else if (s.ok()) {
+        oracle[key] = value;
+      } else {
+        ASSERT_TRUE(s.IsOutOfMemory()) << s;  // full buckets possible
+      }
+    } else if (p < 0.5) {  // update
+      const uint64_t value = rng.Next() | 1;
+      const Status s = hash.Update(key, value);
+      if (oracle.contains(key)) {
+        ASSERT_TRUE(s.ok());
+        oracle[key] = value;
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else if (p < 0.65) {  // delete
+      const Status s = hash.Delete(key);
+      if (oracle.erase(key) > 0) {
+        ASSERT_TRUE(s.ok());
+      } else {
+        ASSERT_TRUE(s.IsNotFound());
+      }
+    } else {  // lookup
+      Result<uint64_t> got = hash.Get(key);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        ASSERT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        ASSERT_EQ(*got, it->second) << key;
+      }
+    }
+  }
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(*hash.Get(k), v) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace dsmdb::index

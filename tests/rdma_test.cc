@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "rdma/fabric.h"
+#include "rdma/network_model.h"
+#include "rdma/nic.h"
+#include "rdma/virtual_cpu.h"
+
+namespace dsmdb::rdma {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimClock::Reset();
+    mem_ = fabric_.AddNode("mem0", 2, 4.0);
+    cpu_ = fabric_.AddNode("cn0", 16, 1.0);
+    region_.resize(1 << 20);
+    rkey_ = *fabric_.RegisterMemory(mem_, region_.data(), region_.size());
+  }
+
+  RemotePtr At(uint64_t offset) const { return RemotePtr{mem_, rkey_, offset}; }
+
+  Fabric fabric_;
+  NodeId mem_ = 0, cpu_ = 0;
+  std::vector<char> region_;
+  uint32_t rkey_ = 0;
+};
+
+TEST_F(FabricTest, WriteThenReadRoundTrip) {
+  const char msg[] = "disaggregated";
+  ASSERT_TRUE(fabric_.Write(cpu_, At(128), msg, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {};
+  ASSERT_TRUE(fabric_.Read(cpu_, At(128), out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, msg);
+  // One-sided semantics: the bytes really live in the target's region.
+  EXPECT_EQ(std::memcmp(region_.data() + 128, msg, sizeof(msg)), 0);
+}
+
+TEST_F(FabricTest, ReadAdvancesSimClockPerModel) {
+  SimClock::Reset();
+  char buf[4096];
+  ASSERT_TRUE(fabric_.Read(cpu_, At(0), buf, sizeof(buf)).ok());
+  EXPECT_EQ(SimClock::Now(), fabric_.model().OneSidedNs(4096));
+}
+
+TEST_F(FabricTest, OutOfBoundsRejected) {
+  char buf[16];
+  EXPECT_TRUE(fabric_.Read(cpu_, At(region_.size() - 8), buf, 16)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      fabric_.Write(cpu_, RemotePtr{mem_, 99, 0}, buf, 8).IsInvalidArgument());
+}
+
+TEST_F(FabricTest, CasReturnsPreviousValue) {
+  uint64_t v = 55;
+  ASSERT_TRUE(fabric_.Write(cpu_, At(64), &v, 8).ok());
+  Result<uint64_t> r1 = fabric_.CompareAndSwap(cpu_, At(64), 55, 99);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 55u);  // success: returns old value
+  Result<uint64_t> r2 = fabric_.CompareAndSwap(cpu_, At(64), 55, 123);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 99u);  // failure: returns current value, no change
+  uint64_t now = 0;
+  ASSERT_TRUE(fabric_.Read(cpu_, At(64), &now, 8).ok());
+  EXPECT_EQ(now, 99u);
+}
+
+TEST_F(FabricTest, CasRequiresAlignment) {
+  EXPECT_TRUE(
+      fabric_.CompareAndSwap(cpu_, At(3), 0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      fabric_.FetchAndAdd(cpu_, At(12), 1).status().IsInvalidArgument());
+}
+
+TEST_F(FabricTest, FaaIsAtomicUnderContention) {
+  ParallelFor(8, [&](size_t) {
+    for (int i = 0; i < 1000; i++) {
+      ASSERT_TRUE(fabric_.FetchAndAdd(cpu_, At(256), 1).ok());
+    }
+  });
+  uint64_t total = 0;
+  ASSERT_TRUE(fabric_.Read(cpu_, At(256), &total, 8).ok());
+  EXPECT_EQ(total, 8000u);
+}
+
+TEST_F(FabricTest, CasContentionElectsExactlyOneWinner) {
+  std::atomic<int> winners{0};
+  ParallelFor(8, [&](size_t idx) {
+    Result<uint64_t> r =
+        fabric_.CompareAndSwap(cpu_, At(512), 0, idx + 1);
+    ASSERT_TRUE(r.ok());
+    if (*r == 0) winners++;
+  });
+  EXPECT_EQ(winners.load(), 1);
+}
+
+TEST_F(FabricTest, BatchReadsOneRttForManyOps) {
+  // Populate three scattered words.
+  for (uint64_t i = 0; i < 3; i++) {
+    const uint64_t v = 100 + i;
+    ASSERT_TRUE(fabric_.Write(cpu_, At(1024 + i * 4096), &v, 8).ok());
+  }
+  SimClock::Reset();
+  uint64_t out[3];
+  std::vector<BatchOp> ops;
+  for (uint64_t i = 0; i < 3; i++) {
+    ops.push_back(BatchOp{At(1024 + i * 4096), &out[i], 8});
+  }
+  ASSERT_TRUE(fabric_.ReadBatch(cpu_, ops).ok());
+  EXPECT_EQ(out[0], 100u);
+  EXPECT_EQ(out[2], 102u);
+  // One batch must be cheaper than three independent reads.
+  const uint64_t batch_ns = SimClock::Now();
+  EXPECT_LT(batch_ns, 3 * fabric_.model().OneSidedNs(8));
+  EXPECT_EQ(batch_ns, fabric_.model().BatchNs(3, 24));
+}
+
+TEST_F(FabricTest, WriteBatchExecutesInOrder) {
+  // Doorbell-batched writes execute in posting order (the property the
+  // B+tree's seqlock publish protocol relies on).
+  uint64_t a = 1, b = 2, c = 3;
+  std::vector<BatchOp> ops = {
+      BatchOp{At(0), &a, 8}, BatchOp{At(8), &b, 8}, BatchOp{At(0), &c, 8}};
+  ASSERT_TRUE(fabric_.WriteBatch(cpu_, ops).ok());
+  uint64_t out0 = 0, out8 = 0;
+  ASSERT_TRUE(fabric_.Read(cpu_, At(0), &out0, 8).ok());
+  ASSERT_TRUE(fabric_.Read(cpu_, At(8), &out8, 8).ok());
+  EXPECT_EQ(out0, 3u);  // later op in the batch wins
+  EXPECT_EQ(out8, 2u);
+  EXPECT_EQ(fabric_.stats(cpu_).Snapshot().batches, 1u);
+}
+
+TEST_F(FabricTest, RpcRunsHandlerAndChargesServerCpu) {
+  fabric_.RegisterRpcHandler(
+      mem_, 7, [](std::string_view req, std::string* resp) -> uint64_t {
+        *resp = std::string(req) + "-pong";
+        return 1'000;  // 1 usec of (wimpy) server CPU
+      });
+  SimClock::Reset();
+  std::string resp;
+  ASSERT_TRUE(fabric_.Call(cpu_, mem_, 7, "ping", &resp).ok());
+  EXPECT_EQ(resp, "ping-pong");
+  // Total >= network two-sided share + scaled handler cost (4x slowdown).
+  EXPECT_GE(SimClock::Now(), 4'000u);
+}
+
+TEST_F(FabricTest, RpcToUnknownServiceFails) {
+  std::string resp;
+  EXPECT_TRUE(fabric_.Call(cpu_, mem_, 42, "x", &resp).IsNotFound());
+}
+
+TEST_F(FabricTest, VirtualCpuQueuesConcurrentWork) {
+  // Saturating one wimpy 2-core node must produce queueing delay.
+  fabric_.RegisterRpcHandler(
+      mem_, 1, [](std::string_view, std::string*) -> uint64_t {
+        return 10'000;
+      });
+  SimClock::Reset();
+  std::string resp;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(fabric_.Call(cpu_, mem_, 1, "", &resp).ok());
+  }
+  // 8 tasks x 10us x 4 slowdown / 2 cores = 160us of pure service time.
+  EXPECT_GE(SimClock::Now(), 160'000u);
+}
+
+TEST_F(FabricTest, CrashMakesVerbsUnavailable) {
+  fabric_.CrashNode(mem_);
+  char buf[8];
+  EXPECT_TRUE(fabric_.Read(cpu_, At(0), buf, 8).IsUnavailable());
+  EXPECT_TRUE(fabric_.Write(cpu_, At(0), buf, 8).IsUnavailable());
+  EXPECT_TRUE(
+      fabric_.CompareAndSwap(cpu_, At(0), 0, 1).status().IsUnavailable());
+  std::string resp;
+  EXPECT_TRUE(fabric_.Call(cpu_, mem_, 0, "", &resp).IsUnavailable());
+  EXPECT_FALSE(fabric_.IsAlive(mem_));
+}
+
+TEST_F(FabricTest, RecoveryBumpsIncarnationAndNeedsReregistration) {
+  const uint64_t inc0 = fabric_.Incarnation(mem_);
+  fabric_.CrashNode(mem_);
+  fabric_.RecoverNode(mem_);
+  EXPECT_TRUE(fabric_.IsAlive(mem_));
+  EXPECT_EQ(fabric_.Incarnation(mem_), inc0 + 1);
+  // Old rkey is gone until memory is re-registered.
+  char buf[8];
+  EXPECT_TRUE(fabric_.Read(cpu_, At(0), buf, 8).IsInvalidArgument());
+  ASSERT_TRUE(
+      fabric_.RegisterMemory(mem_, region_.data(), region_.size()).ok());
+  EXPECT_TRUE(fabric_.Read(cpu_, RemotePtr{mem_, 0, 0}, buf, 8).ok());
+}
+
+TEST_F(FabricTest, StatsCountVerbs) {
+  fabric_.ResetStats();
+  char buf[8] = {};
+  ASSERT_TRUE(fabric_.Read(cpu_, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.Write(cpu_, At(0), buf, 8).ok());
+  ASSERT_TRUE(fabric_.FetchAndAdd(cpu_, At(8), 1).ok());
+  const VerbStats::Values v = fabric_.stats(cpu_).Snapshot();
+  EXPECT_EQ(v.one_sided_reads, 1u);
+  EXPECT_EQ(v.one_sided_writes, 1u);
+  EXPECT_EQ(v.faa_ops, 1u);
+  EXPECT_EQ(v.RoundTrips(), 3u);
+  const VerbStats::Values total = fabric_.TotalStats();
+  EXPECT_EQ(total.RoundTrips(), 3u);
+}
+
+TEST(NetworkModelTest, CostsScaleWithSize) {
+  NetworkModel m;
+  EXPECT_GT(m.OneSidedNs(4096), m.OneSidedNs(8));
+  EXPECT_EQ(m.OneSidedNs(0), m.post_overhead_ns + m.rtt_ns);
+  // 200 Gb/s: 4 KiB wire time ~ 163 ns.
+  EXPECT_NEAR(static_cast<double>(m.TransferNs(4096)), 4096 / 25.0, 1.0);
+  NetworkModel slow = m.WithRttFactor(10.0);
+  EXPECT_EQ(slow.rtt_ns, m.rtt_ns * 10);
+}
+
+TEST(NetworkModelTest, LocalRemoteGapIsAboutTenX) {
+  // The paper's premise: RDMA narrows the hit/miss gap to ~10x.
+  NetworkModel net;
+  CpuModel cpu;
+  const double remote = static_cast<double>(net.OneSidedNs(4096));
+  const double local = static_cast<double>(cpu.LocalCopyNs(4096));
+  EXPECT_GT(remote / local, 5.0);
+  EXPECT_LT(remote / local, 20.0);
+}
+
+TEST(VirtualCpuTest, FluidQueueSemantics) {
+  VirtualCpu cpu(2, 1.0);
+  // First task at t=0 on an empty server: no backlog.
+  EXPECT_EQ(cpu.Execute(0, 100), 100u);
+  // Second task at t=0: 100 units already submitted, zero capacity
+  // elapsed -> fluid backlog 100/2 = 50.
+  EXPECT_EQ(cpu.Execute(0, 100), 150u);
+  // Third: backlog (200 - 0)/2 = 100.
+  EXPECT_EQ(cpu.Execute(0, 100), 200u);
+}
+
+TEST(VirtualCpuTest, UnsaturatedServerAddsNoBacklog) {
+  VirtualCpu cpu(2, 1.0);
+  // Work submitted slower than capacity: each task runs immediately.
+  EXPECT_EQ(cpu.Execute(1'000, 100), 1'100u);
+  EXPECT_EQ(cpu.Execute(2'000, 100), 2'100u);
+  EXPECT_EQ(cpu.Execute(3'000, 100), 3'100u);
+}
+
+TEST(VirtualCpuTest, OrderInsensitiveForOutOfOrderArrivals) {
+  // A late-clock client must not drag an early-clock client's completion
+  // to its own timeline when the server is idle at the early time.
+  VirtualCpu cpu(2, 1.0);
+  EXPECT_EQ(cpu.Execute(1'000'000, 100), 1'000'100u);  // late client
+  // Early client: only 100ns of work exists vs 2*10'000 capacity.
+  EXPECT_EQ(cpu.Execute(10'000, 100), 10'100u);
+}
+
+TEST(VirtualCpuTest, SpeedFactorScalesWork) {
+  VirtualCpu cpu(1, 4.0);
+  EXPECT_EQ(cpu.Execute(0, 100), 400u);
+}
+
+TEST(VirtualCpuTest, LateArrivalStartsAtArrival) {
+  VirtualCpu cpu(1, 1.0);
+  EXPECT_EQ(cpu.Execute(1'000, 50), 1'050u);
+}
+
+}  // namespace
+}  // namespace dsmdb::rdma

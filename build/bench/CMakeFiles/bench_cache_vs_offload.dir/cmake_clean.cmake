@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_vs_offload.dir/bench_cache_vs_offload.cc.o"
+  "CMakeFiles/bench_cache_vs_offload.dir/bench_cache_vs_offload.cc.o.d"
+  "bench_cache_vs_offload"
+  "bench_cache_vs_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_vs_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_ratio.dir/bench_memory_ratio.cc.o"
+  "CMakeFiles/bench_memory_ratio.dir/bench_memory_ratio.cc.o.d"
+  "bench_memory_ratio"
+  "bench_memory_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

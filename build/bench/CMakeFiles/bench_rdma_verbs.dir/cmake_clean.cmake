@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rdma_verbs.dir/bench_rdma_verbs.cc.o"
+  "CMakeFiles/bench_rdma_verbs.dir/bench_rdma_verbs.cc.o.d"
+  "bench_rdma_verbs"
+  "bench_rdma_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rdma_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

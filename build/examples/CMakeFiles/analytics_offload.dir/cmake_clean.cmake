@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_offload.dir/analytics_offload.cpp.o"
+  "CMakeFiles/analytics_offload.dir/analytics_offload.cpp.o.d"
+  "analytics_offload"
+  "analytics_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

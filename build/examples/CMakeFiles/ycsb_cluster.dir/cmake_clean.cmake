@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_cluster.dir/ycsb_cluster.cpp.o"
+  "CMakeFiles/ycsb_cluster.dir/ycsb_cluster.cpp.o.d"
+  "ycsb_cluster"
+  "ycsb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

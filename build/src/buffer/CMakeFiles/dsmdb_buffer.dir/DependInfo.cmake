@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/arc.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/arc.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/arc.cc.o.d"
+  "/root/repo/src/buffer/buffer_pool.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/buffer_pool.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/clock.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/clock.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/clock.cc.o.d"
+  "/root/repo/src/buffer/coherence.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/coherence.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/coherence.cc.o.d"
+  "/root/repo/src/buffer/compressed_cache.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/compressed_cache.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/compressed_cache.cc.o.d"
+  "/root/repo/src/buffer/fifo.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/fifo.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/fifo.cc.o.d"
+  "/root/repo/src/buffer/lru.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/lru.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/lru.cc.o.d"
+  "/root/repo/src/buffer/lru_k.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/lru_k.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/lru_k.cc.o.d"
+  "/root/repo/src/buffer/policy.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/policy.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/policy.cc.o.d"
+  "/root/repo/src/buffer/two_q.cc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/two_q.cc.o" "gcc" "src/buffer/CMakeFiles/dsmdb_buffer.dir/two_q.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/dsmdb_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_buffer.dir/arc.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/arc.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/buffer_pool.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/clock.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/clock.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/coherence.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/coherence.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/compressed_cache.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/compressed_cache.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/fifo.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/fifo.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/lru.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/lru.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/lru_k.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/lru_k.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/policy.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/policy.cc.o.d"
+  "CMakeFiles/dsmdb_buffer.dir/two_q.cc.o"
+  "CMakeFiles/dsmdb_buffer.dir/two_q.cc.o.d"
+  "libdsmdb_buffer.a"
+  "libdsmdb_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

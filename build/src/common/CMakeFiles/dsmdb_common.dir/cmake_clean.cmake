@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_common.dir/histogram.cc.o"
+  "CMakeFiles/dsmdb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/dsmdb_common.dir/logging.cc.o"
+  "CMakeFiles/dsmdb_common.dir/logging.cc.o.d"
+  "CMakeFiles/dsmdb_common.dir/metrics.cc.o"
+  "CMakeFiles/dsmdb_common.dir/metrics.cc.o.d"
+  "CMakeFiles/dsmdb_common.dir/sim_clock.cc.o"
+  "CMakeFiles/dsmdb_common.dir/sim_clock.cc.o.d"
+  "CMakeFiles/dsmdb_common.dir/status.cc.o"
+  "CMakeFiles/dsmdb_common.dir/status.cc.o.d"
+  "CMakeFiles/dsmdb_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dsmdb_common.dir/thread_pool.cc.o.d"
+  "libdsmdb_common.a"
+  "libdsmdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compute_node.cc" "src/core/CMakeFiles/dsmdb_core.dir/compute_node.cc.o" "gcc" "src/core/CMakeFiles/dsmdb_core.dir/compute_node.cc.o.d"
+  "/root/repo/src/core/dsmdb.cc" "src/core/CMakeFiles/dsmdb_core.dir/dsmdb.cc.o" "gcc" "src/core/CMakeFiles/dsmdb_core.dir/dsmdb.cc.o.d"
+  "/root/repo/src/core/recovery_manager.cc" "src/core/CMakeFiles/dsmdb_core.dir/recovery_manager.cc.o" "gcc" "src/core/CMakeFiles/dsmdb_core.dir/recovery_manager.cc.o.d"
+  "/root/repo/src/core/sharding.cc" "src/core/CMakeFiles/dsmdb_core.dir/sharding.cc.o" "gcc" "src/core/CMakeFiles/dsmdb_core.dir/sharding.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/dsmdb_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/dsmdb_core.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/dsmdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dsmdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/dsmdb_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dsmdb_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dsmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/dsmdb_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_core.dir/compute_node.cc.o"
+  "CMakeFiles/dsmdb_core.dir/compute_node.cc.o.d"
+  "CMakeFiles/dsmdb_core.dir/dsmdb.cc.o"
+  "CMakeFiles/dsmdb_core.dir/dsmdb.cc.o.d"
+  "CMakeFiles/dsmdb_core.dir/recovery_manager.cc.o"
+  "CMakeFiles/dsmdb_core.dir/recovery_manager.cc.o.d"
+  "CMakeFiles/dsmdb_core.dir/sharding.cc.o"
+  "CMakeFiles/dsmdb_core.dir/sharding.cc.o.d"
+  "CMakeFiles/dsmdb_core.dir/table.cc.o"
+  "CMakeFiles/dsmdb_core.dir/table.cc.o.d"
+  "libdsmdb_core.a"
+  "libdsmdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

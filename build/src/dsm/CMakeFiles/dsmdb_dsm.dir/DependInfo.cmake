@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/allocator.cc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/allocator.cc.o" "gcc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/allocator.cc.o.d"
+  "/root/repo/src/dsm/cluster.cc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/cluster.cc.o" "gcc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/cluster.cc.o.d"
+  "/root/repo/src/dsm/directory.cc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/directory.cc.o" "gcc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/directory.cc.o.d"
+  "/root/repo/src/dsm/dsm_client.cc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/dsm_client.cc.o" "gcc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/dsm_client.cc.o.d"
+  "/root/repo/src/dsm/memory_node.cc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/memory_node.cc.o" "gcc" "src/dsm/CMakeFiles/dsmdb_dsm.dir/memory_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

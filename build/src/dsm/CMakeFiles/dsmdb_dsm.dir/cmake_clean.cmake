@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_dsm.dir/allocator.cc.o"
+  "CMakeFiles/dsmdb_dsm.dir/allocator.cc.o.d"
+  "CMakeFiles/dsmdb_dsm.dir/cluster.cc.o"
+  "CMakeFiles/dsmdb_dsm.dir/cluster.cc.o.d"
+  "CMakeFiles/dsmdb_dsm.dir/directory.cc.o"
+  "CMakeFiles/dsmdb_dsm.dir/directory.cc.o.d"
+  "CMakeFiles/dsmdb_dsm.dir/dsm_client.cc.o"
+  "CMakeFiles/dsmdb_dsm.dir/dsm_client.cc.o.d"
+  "CMakeFiles/dsmdb_dsm.dir/memory_node.cc.o"
+  "CMakeFiles/dsmdb_dsm.dir/memory_node.cc.o.d"
+  "libdsmdb_dsm.a"
+  "libdsmdb_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/lsm_index.cc" "src/index/CMakeFiles/dsmdb_index.dir/lsm_index.cc.o" "gcc" "src/index/CMakeFiles/dsmdb_index.dir/lsm_index.cc.o.d"
+  "/root/repo/src/index/race_hash.cc" "src/index/CMakeFiles/dsmdb_index.dir/race_hash.cc.o" "gcc" "src/index/CMakeFiles/dsmdb_index.dir/race_hash.cc.o.d"
+  "/root/repo/src/index/sherman_btree.cc" "src/index/CMakeFiles/dsmdb_index.dir/sherman_btree.cc.o" "gcc" "src/index/CMakeFiles/dsmdb_index.dir/sherman_btree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/dsmdb_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_index.dir/lsm_index.cc.o"
+  "CMakeFiles/dsmdb_index.dir/lsm_index.cc.o.d"
+  "CMakeFiles/dsmdb_index.dir/race_hash.cc.o"
+  "CMakeFiles/dsmdb_index.dir/race_hash.cc.o.d"
+  "CMakeFiles/dsmdb_index.dir/sherman_btree.cc.o"
+  "CMakeFiles/dsmdb_index.dir/sherman_btree.cc.o.d"
+  "libdsmdb_index.a"
+  "libdsmdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

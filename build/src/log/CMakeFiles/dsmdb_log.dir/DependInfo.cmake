@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/log_record.cc" "src/log/CMakeFiles/dsmdb_log.dir/log_record.cc.o" "gcc" "src/log/CMakeFiles/dsmdb_log.dir/log_record.cc.o.d"
+  "/root/repo/src/log/recovery.cc" "src/log/CMakeFiles/dsmdb_log.dir/recovery.cc.o" "gcc" "src/log/CMakeFiles/dsmdb_log.dir/recovery.cc.o.d"
+  "/root/repo/src/log/replicated_log.cc" "src/log/CMakeFiles/dsmdb_log.dir/replicated_log.cc.o" "gcc" "src/log/CMakeFiles/dsmdb_log.dir/replicated_log.cc.o.d"
+  "/root/repo/src/log/wal.cc" "src/log/CMakeFiles/dsmdb_log.dir/wal.cc.o" "gcc" "src/log/CMakeFiles/dsmdb_log.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/dsmdb_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dsmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_log.dir/log_record.cc.o"
+  "CMakeFiles/dsmdb_log.dir/log_record.cc.o.d"
+  "CMakeFiles/dsmdb_log.dir/recovery.cc.o"
+  "CMakeFiles/dsmdb_log.dir/recovery.cc.o.d"
+  "CMakeFiles/dsmdb_log.dir/replicated_log.cc.o"
+  "CMakeFiles/dsmdb_log.dir/replicated_log.cc.o.d"
+  "CMakeFiles/dsmdb_log.dir/wal.cc.o"
+  "CMakeFiles/dsmdb_log.dir/wal.cc.o.d"
+  "libdsmdb_log.a"
+  "libdsmdb_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

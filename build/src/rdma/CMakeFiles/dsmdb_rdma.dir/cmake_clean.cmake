@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_rdma.dir/fabric.cc.o"
+  "CMakeFiles/dsmdb_rdma.dir/fabric.cc.o.d"
+  "libdsmdb_rdma.a"
+  "libdsmdb_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checkpoint.cc" "src/storage/CMakeFiles/dsmdb_storage.dir/checkpoint.cc.o" "gcc" "src/storage/CMakeFiles/dsmdb_storage.dir/checkpoint.cc.o.d"
+  "/root/repo/src/storage/cloud_storage.cc" "src/storage/CMakeFiles/dsmdb_storage.dir/cloud_storage.cc.o" "gcc" "src/storage/CMakeFiles/dsmdb_storage.dir/cloud_storage.cc.o.d"
+  "/root/repo/src/storage/erasure.cc" "src/storage/CMakeFiles/dsmdb_storage.dir/erasure.cc.o" "gcc" "src/storage/CMakeFiles/dsmdb_storage.dir/erasure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_storage.dir/checkpoint.cc.o"
+  "CMakeFiles/dsmdb_storage.dir/checkpoint.cc.o.d"
+  "CMakeFiles/dsmdb_storage.dir/cloud_storage.cc.o"
+  "CMakeFiles/dsmdb_storage.dir/cloud_storage.cc.o.d"
+  "CMakeFiles/dsmdb_storage.dir/erasure.cc.o"
+  "CMakeFiles/dsmdb_storage.dir/erasure.cc.o.d"
+  "libdsmdb_storage.a"
+  "libdsmdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

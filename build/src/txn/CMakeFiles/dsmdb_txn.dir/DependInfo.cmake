@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/cc_factory.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/cc_factory.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/cc_factory.cc.o.d"
+  "/root/repo/src/txn/log_sink.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/log_sink.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/log_sink.cc.o.d"
+  "/root/repo/src/txn/mvcc.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/mvcc.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/mvcc.cc.o.d"
+  "/root/repo/src/txn/occ.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/occ.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/occ.cc.o.d"
+  "/root/repo/src/txn/rdma_lock.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/rdma_lock.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/rdma_lock.cc.o.d"
+  "/root/repo/src/txn/timestamp_oracle.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/timestamp_oracle.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/timestamp_oracle.cc.o.d"
+  "/root/repo/src/txn/tso.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/tso.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/tso.cc.o.d"
+  "/root/repo/src/txn/two_pl.cc" "src/txn/CMakeFiles/dsmdb_txn.dir/two_pl.cc.o" "gcc" "src/txn/CMakeFiles/dsmdb_txn.dir/two_pl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/buffer/CMakeFiles/dsmdb_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dsmdb_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/dsmdb_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dsmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

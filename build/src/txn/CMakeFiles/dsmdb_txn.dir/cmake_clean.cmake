@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_txn.dir/cc_factory.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/cc_factory.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/log_sink.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/log_sink.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/mvcc.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/mvcc.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/occ.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/occ.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/rdma_lock.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/rdma_lock.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/timestamp_oracle.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/timestamp_oracle.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/tso.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/tso.cc.o.d"
+  "CMakeFiles/dsmdb_txn.dir/two_pl.cc.o"
+  "CMakeFiles/dsmdb_txn.dir/two_pl.cc.o.d"
+  "libdsmdb_txn.a"
+  "libdsmdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsmdb_txn.a"
+)

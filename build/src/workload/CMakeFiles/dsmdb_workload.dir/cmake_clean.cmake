@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmdb_workload.dir/driver.cc.o"
+  "CMakeFiles/dsmdb_workload.dir/driver.cc.o.d"
+  "CMakeFiles/dsmdb_workload.dir/smallbank.cc.o"
+  "CMakeFiles/dsmdb_workload.dir/smallbank.cc.o.d"
+  "CMakeFiles/dsmdb_workload.dir/tpcc_lite.cc.o"
+  "CMakeFiles/dsmdb_workload.dir/tpcc_lite.cc.o.d"
+  "CMakeFiles/dsmdb_workload.dir/ycsb.cc.o"
+  "CMakeFiles/dsmdb_workload.dir/ycsb.cc.o.d"
+  "libdsmdb_workload.a"
+  "libdsmdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

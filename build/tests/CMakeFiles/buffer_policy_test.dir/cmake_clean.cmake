@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_policy_test.dir/buffer_policy_test.cc.o"
+  "CMakeFiles/buffer_policy_test.dir/buffer_policy_test.cc.o.d"
+  "buffer_policy_test"
+  "buffer_policy_test.pdb"
+  "buffer_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_cache_test.dir/compressed_cache_test.cc.o"
+  "CMakeFiles/compressed_cache_test.dir/compressed_cache_test.cc.o.d"
+  "compressed_cache_test"
+  "compressed_cache_test.pdb"
+  "compressed_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

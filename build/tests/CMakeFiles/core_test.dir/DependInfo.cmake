@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dsmdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dsmdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dsmdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/dsmdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/dsmdb_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/dsmdb_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dsmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/dsmdb_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/dsmdb_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_hash_test.dir/index_hash_test.cc.o"
+  "CMakeFiles/index_hash_test.dir/index_hash_test.cc.o.d"
+  "index_hash_test"
+  "index_hash_test.pdb"
+  "index_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

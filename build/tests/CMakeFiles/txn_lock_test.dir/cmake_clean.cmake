@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_lock_test.dir/txn_lock_test.cc.o"
+  "CMakeFiles/txn_lock_test.dir/txn_lock_test.cc.o.d"
+  "txn_lock_test"
+  "txn_lock_test.pdb"
+  "txn_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_protocols_test.dir/txn_protocols_test.cc.o"
+  "CMakeFiles/txn_protocols_test.dir/txn_protocols_test.cc.o.d"
+  "txn_protocols_test"
+  "txn_protocols_test.pdb"
+  "txn_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/dsm_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/log_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/compressed_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_lock_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/index_btree_test[1]_include.cmake")
+include("/root/repo/build/tests/index_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/index_lsm_test[1]_include.cmake")
+include("/root/repo/build/tests/index_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

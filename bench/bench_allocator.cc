@@ -74,7 +74,8 @@ TraceResult RunTrace(const AllocFn& alloc, const FreeFn& free_fn,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section("E12a: allocator designs on a size-mixed alloc/free trace");
   Table a({"allocator", "failed allocs", "ext. fragmentation",
            "live bytes"});

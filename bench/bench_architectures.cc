@@ -100,7 +100,8 @@ void RunOne(Table* table, const Config& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E1: Figure-3 architectures (4 compute nodes x 2 threads, YCSB "
       "4 ops/txn, 20k keys, 2PL NO_WAIT; simulated time)");

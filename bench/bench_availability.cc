@@ -176,7 +176,8 @@ void RunRamCloudStyle(Table* out, size_t data_bytes, double tail_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section("E3: availability designs — crash memory node 0, rebuild it");
   Table table({"design", "data", "memory overhead", "recovery time"});
   for (size_t mb : {4, 16}) {

@@ -135,7 +135,8 @@ void RunCompressed(Table* out, Env& env, bool compressed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E6a: replacement policies — hit rate vs actual simulated runtime "
       "(zipfian 0.9 trace over 8k pages)");

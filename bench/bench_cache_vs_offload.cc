@@ -107,7 +107,8 @@ double RunOffload(Env& env, uint64_t n, uint32_t repeats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E7a: caching vs offloading — aggregate over 250k tuples "
       "(simulated ms per query)");

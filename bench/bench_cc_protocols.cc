@@ -47,8 +47,8 @@ std::vector<ProtocolCfg> Protocols() {
   return out;
 }
 
-void RunOne(Table* out, const ProtocolCfg& proto, double write_fraction,
-            double zipf) {
+void RunOne(Table* out, obs::StatsExporter* exporter,
+            const ProtocolCfg& proto, double write_fraction, double zipf) {
   dsm::ClusterOptions copts;
   copts.num_memory_nodes = 2;
   copts.memory_node.capacity_bytes = 128 << 20;
@@ -87,6 +87,7 @@ void RunOne(Table* out, const ProtocolCfg& proto, double write_fraction,
         return r.ok() && r->committed;
       });
 
+  result.ExportTo(exporter, "ycsb");
   const auto verbs = db.cluster().fabric().TotalStats();
   out->AddRow({
       proto.name,
@@ -104,7 +105,8 @@ void RunOne(Table* out, const ProtocolCfg& proto, double write_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E4: CC protocols over RDMA (2 nodes x 4 threads, YCSB 4 ops/txn, "
       "8k keys; simulated time)");
@@ -113,7 +115,7 @@ int main() {
   for (double zipf : {0.0, 0.9}) {
     for (double wf : {0.05, 0.5}) {
       for (const ProtocolCfg& proto : Protocols()) {
-        RunOne(&table, proto, wf, zipf);
+        RunOne(&table, &env.exporter(), proto, wf, zipf);
       }
     }
   }

@@ -21,7 +21,8 @@ namespace {
 using namespace dsmdb;         // NOLINT
 using namespace dsmdb::bench;  // NOLINT
 
-void RunOne(Table* out, core::Architecture arch, double cross_fraction) {
+void RunOne(Table* out, obs::StatsExporter* exporter,
+            core::Architecture arch, double cross_fraction) {
   dsm::ClusterOptions copts;
   copts.num_memory_nodes = 2;
   copts.memory_node.capacity_bytes = 64 << 20;
@@ -63,6 +64,7 @@ void RunOne(Table* out, core::Architecture arch, double cross_fraction) {
         return r.ok() && r->committed;
       });
 
+  result.ExportTo(exporter, "smallbank");
   uint64_t two_pc = 0, delegated = 0, local = 0;
   for (const auto& cn : db.compute_nodes()) {
     two_pc += cn->node_stats().two_pc_txns.load();
@@ -88,19 +90,22 @@ void RunOne(Table* out, core::Architecture arch, double cross_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E11: distributed commit — single-node commit (no sharding) vs "
       "2PC (sharded), SmallBank transfers, 4 compute nodes x 2 threads");
   Table table({"architecture", "cross-shard", "tput(txn/s)", "aborts",
                "p50(ns)", "p99(ns)", "local/deleg/2pc"});
   for (double cross : {0.0, 0.1, 0.3, 0.6, 1.0}) {
-    RunOne(&table, core::Architecture::kCacheSharding, cross);
+    RunOne(&table, &env.exporter(), core::Architecture::kCacheSharding,
+           cross);
   }
   // The no-sharding architectures never need distributed commit, at any
   // "cross-shard" fraction (the notion does not exist for them).
-  RunOne(&table, core::Architecture::kNoCacheNoSharding, 1.0);
-  RunOne(&table, core::Architecture::kCacheNoSharding, 1.0);
+  RunOne(&table, &env.exporter(), core::Architecture::kNoCacheNoSharding,
+         1.0);
+  RunOne(&table, &env.exporter(), core::Architecture::kCacheNoSharding, 1.0);
   table.Print();
   std::printf(
       "Claim check (paper Challenge #5): with no sharding every "

@@ -100,7 +100,8 @@ uint64_t PhysicalMoveNs(core::DsmDb& db, uint64_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E10: skew shift and resharding — DSM-DB (logical) vs DSN-DB "
       "(physical) [4 compute nodes]");

@@ -93,7 +93,8 @@ void RunOne(Table* out, const Config& cfg, uint32_t threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E2: durability designs (update-only YCSB, 2 writes/txn, one "
       "compute node; simulated time)");

@@ -104,7 +104,8 @@ bool CrossDcTransfer(DataCenter& home, DataCenter& remote, Random64& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E14: hybrid shared-memory (intra-DC) / shared-nothing (cross-DC) "
       "— 2 data centers, 2 ms WAN RTT, transfer workload");

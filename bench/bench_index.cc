@@ -93,7 +93,8 @@ void AddRow(Table* t, const std::string& name, const OpCosts& c,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section("E8a: index designs, 40k keys preloaded (simulated time)");
   Table a({"index", "lookup ns", "lookup rtts", "insert ns",
            "insert rtts", "local mem"});

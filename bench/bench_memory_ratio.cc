@@ -74,7 +74,8 @@ double RunOne(Table* out, double cache_fraction, double zipf) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E9: throughput vs local-memory ratio (YCSB 10% writes, 1 compute "
       "node x 2 threads; simulated time)");

@@ -74,7 +74,8 @@ void RunOne(Table* out, uint32_t num_nodes, double zipf,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dsmdb::bench::BenchEnv env(argc, argv);
   Section(
       "E5: multi-master scalability (2 worker threads per compute node, "
       "YCSB 30% writes; simulated time)");

@@ -6,7 +6,77 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs_config.h"
+#include "obs/stats_exporter.h"
+#include "obs/trace.h"
+
 namespace dsmdb::bench {
+
+/// Shared bench harness. Construct first thing in main():
+///
+///   int main(int argc, char** argv) {
+///     dsmdb::bench::BenchEnv env(argc, argv);
+///     ...
+///   }
+///
+/// Flags:
+///   --obs=off       disable metrics (histograms + counters); default on.
+///   --trace=<file>  enable span tracing and write Chrome trace_event JSON
+///                   to <file> at exit (open in chrome://tracing/Perfetto).
+///
+/// At exit (metrics on) prints one machine-readable JSON block tagged
+/// `STATS_JSON` merging every layer's histograms and counters.
+class BenchEnv {
+ public:
+  BenchEnv(int argc, char** argv) {
+    bool metrics = true;
+    for (int i = 1; i < argc; i++) {
+      const std::string arg = argv[i];
+      if (arg == "--obs=off") {
+        metrics = false;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        trace_path_ = arg.substr(8);
+      } else {
+        std::fprintf(stderr,
+                     "%s: unknown flag %s (supported: --obs=off "
+                     "--trace=<file>)\n",
+                     argv[0], arg.c_str());
+      }
+    }
+    obs::ObsConfig::SetEnabled(metrics);
+    if (!trace_path_.empty()) obs::ObsConfig::SetTracing(true);
+  }
+
+  /// Merge additional per-bench results (e.g. DriverResult::ExportTo) into
+  /// the final STATS_JSON block.
+  obs::StatsExporter& exporter() { return exporter_; }
+
+  ~BenchEnv() {
+    if (obs::ObsConfig::Enabled()) {
+      exporter_.CollectGlobal();
+      std::printf("\nSTATS_JSON %s\n", exporter_.ToJson().c_str());
+    }
+    if (!trace_path_.empty()) {
+      const obs::TraceCollector& tc = obs::TraceCollector::Instance();
+      const Status s = tc.WriteChromeTrace(trace_path_);
+      if (s.ok()) {
+        std::printf("trace: wrote %s (%llu events dropped)\n",
+                    trace_path_.c_str(),
+                    static_cast<unsigned long long>(tc.dropped()));
+      } else {
+        std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+ private:
+  std::string trace_path_;
+  obs::StatsExporter exporter_;
+};
 
 /// printf-style std::string.
 inline std::string Fmt(const char* fmt, ...) {

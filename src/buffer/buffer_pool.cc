@@ -5,6 +5,9 @@
 
 #include "common/coding.h"
 #include "common/sim_clock.h"
+#include "obs/obs_config.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace dsmdb::buffer {
 
@@ -45,6 +48,24 @@ BufferPool::BufferPool(dsm::DsmClient* dsm, const BufferPoolOptions& options,
   for (Shard& s : shards_) {
     s.policy = MakePolicy(options_.policy, per_shard);
   }
+
+  obs::Telemetry& telemetry = obs::Telemetry::Instance();
+  obs_.read_hit_ns = telemetry.GetHistogram("buffer.read.hit_ns");
+  obs_.read_miss_ns = telemetry.GetHistogram("buffer.read.miss_ns");
+  obs_.write_ns = telemetry.GetHistogram("buffer.write_ns");
+  MetricsRegistry& metrics = GlobalMetrics();
+  const auto publish = [&](const char* name,
+                           const std::atomic<uint64_t>* src) {
+    gauge_tokens_.push_back(metrics.RegisterGauge(
+        name, [src] { return src->load(std::memory_order_relaxed); }));
+  };
+  publish("buffer.pool.hits", &hits_);
+  publish("buffer.pool.misses", &misses_);
+  publish("buffer.pool.evictions", &evictions_);
+  publish("buffer.pool.writebacks", &writebacks_);
+  publish("buffer.pool.invalidations_received", &invalidations_received_);
+  publish("buffer.pool.updates_received", &updates_received_);
+  publish("buffer.pool.policy_ns", &policy_ns_);
 }
 
 BufferPool::~BufferPool() = default;
@@ -80,6 +101,8 @@ Status BufferPool::Write(dsm::GlobalAddress addr, const void* src,
 
 Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
                              size_t len) {
+  obs::TraceScope span("buffer.read", "buffer");
+  const uint64_t obs_start = SimClock::Now();
   const dsm::GlobalAddress page = PageBase(addr);
   const uint64_t key = page.Pack();
   const size_t off = addr.offset - page.offset;
@@ -98,6 +121,9 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
       policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
       SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::ObsConfig::Enabled()) {
+        obs_.read_hit_ns->Add(SimClock::Now() - obs_start);
+      }
       return Status::OK();
     }
     shard.latch.Unlock();
@@ -130,11 +156,16 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
   const uint64_t meta_ns = timer.StopNs();
   policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
   SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
+  if (obs::ObsConfig::Enabled()) {
+    obs_.read_miss_ns->Add(SimClock::Now() - obs_start);
+  }
   return Status::OK();
 }
 
 Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
                               size_t len) {
+  obs::TraceScope span("buffer.write", "buffer");
+  const uint64_t obs_start = SimClock::Now();
   const dsm::GlobalAddress page = PageBase(addr);
   const uint64_t key = page.Pack();
   const size_t off = addr.offset - page.offset;
@@ -166,12 +197,19 @@ Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
     const uint64_t ns = timer.StopNs();
     policy_ns_.fetch_add(ns, std::memory_order_relaxed);
     SimClock::Advance(ns);
-    return dsm_->Write(addr, src, len);
+    const Status st = dsm_->Write(addr, src, len);
+    if (obs::ObsConfig::Enabled()) {
+      obs_.write_ns->Add(SimClock::Now() - obs_start);
+    }
+    return st;
   }
   shard.latch.Unlock();
   const uint64_t meta_ns = timer.StopNs();
   policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
   SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
+  if (obs::ObsConfig::Enabled()) {
+    obs_.write_ns->Add(SimClock::Now() - obs_start);
+  }
   return Status::OK();
 }
 

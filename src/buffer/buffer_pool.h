@@ -10,6 +10,8 @@
 
 #include "buffer/coherence.h"
 #include "buffer/policy.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/spin_latch.h"
 #include "common/status.h"
@@ -101,6 +103,15 @@ class BufferPool {
   }
 
  private:
+  /// Latency histograms (obs::Telemetry, `buffer.*`); recording gated on
+  /// obs::ObsConfig::Enabled(). The pool's counters are also published to
+  /// GlobalMetrics() as gauges so StatsExporter::CollectGlobal() sees them.
+  struct ObsHooks {
+    ConcurrentHistogram* read_hit_ns = nullptr;
+    ConcurrentHistogram* read_miss_ns = nullptr;
+    ConcurrentHistogram* write_ns = nullptr;
+  };
+
   struct Frame {
     std::vector<char> data;
     bool dirty = false;
@@ -137,6 +148,9 @@ class BufferPool {
   mutable std::atomic<uint64_t> invalidations_received_{0};
   mutable std::atomic<uint64_t> updates_received_{0};
   mutable std::atomic<uint64_t> policy_ns_{0};
+
+  ObsHooks obs_;
+  std::vector<GaugeToken> gauge_tokens_;
 };
 
 }  // namespace dsmdb::buffer

@@ -1,8 +1,11 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdio>
+
+#include "common/spin_latch.h"
 
 namespace dsmdb {
 
@@ -59,13 +62,15 @@ double Histogram::Mean() const {
 
 uint64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
   const auto target = static_cast<uint64_t>(
       p / 100.0 * static_cast<double>(count_));
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; i++) {
     seen += buckets_[i];
     if (seen > target || (seen == target && seen == count_)) {
-      return std::min(BucketUpperBound(i), max_);
+      return std::clamp(BucketUpperBound(i), min(), max_);
     }
   }
   return max_;
@@ -81,6 +86,56 @@ std::string Histogram::ToString() const {
                 static_cast<unsigned long long>(Percentile(99)),
                 static_cast<unsigned long long>(max_));
   return buf;
+}
+
+/// Cache-line sized so concurrent writers on different shards never false-
+/// share the latch or the hot bucket counters' containing line.
+struct alignas(64) ConcurrentHistogram::Shard {
+  mutable SpinLatch latch;
+  Histogram hist;
+};
+
+namespace {
+
+/// Dense per-thread index (not the hashed std::thread::id) so the first N
+/// threads land on N distinct shards.
+size_t ThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+}  // namespace
+
+ConcurrentHistogram::~ConcurrentHistogram() = default;
+
+ConcurrentHistogram::ConcurrentHistogram(size_t shards) {
+  shards_.reserve(shards == 0 ? 1 : shards);
+  for (size_t i = 0; i < std::max<size_t>(1, shards); i++) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ConcurrentHistogram::Add(uint64_t value) {
+  Shard& s = *shards_[ThreadIndex() % shards_.size()];
+  SpinLatchGuard g(s.latch);
+  s.hist.Add(value);
+}
+
+Histogram ConcurrentHistogram::Merged() const {
+  Histogram out;
+  for (const auto& s : shards_) {
+    SpinLatchGuard g(s->latch);
+    out.Merge(s->hist);
+  }
+  return out;
+}
+
+void ConcurrentHistogram::Clear() {
+  for (const auto& s : shards_) {
+    SpinLatchGuard g(s->latch);
+    s->hist.Clear();
+  }
 }
 
 }  // namespace dsmdb

@@ -2,6 +2,7 @@
 #define DSMDB_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,7 +12,8 @@ namespace dsmdb {
 ///
 /// Buckets are powers-of-two sub-divided 16 ways, giving <= ~6% relative
 /// error on percentile queries while staying allocation-free after
-/// construction. Not thread-safe; use one per thread and `Merge`.
+/// construction. Not thread-safe; use one per thread and `Merge`, or use
+/// `ConcurrentHistogram`.
 class Histogram {
  public:
   Histogram();
@@ -21,11 +23,14 @@ class Histogram {
   void Clear();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double Mean() const;
 
-  /// Value at percentile p in [0, 100].
+  /// Value at percentile p. `p` is clamped to [0, 100]: p <= 0 returns
+  /// min(), p >= 100 returns max(), and an empty histogram returns 0 for
+  /// every percentile.
   uint64_t Percentile(double p) const;
   uint64_t Median() const { return Percentile(50.0); }
   uint64_t P99() const { return Percentile(99.0); }
@@ -45,6 +50,30 @@ class Histogram {
   uint64_t sum_ = 0;
   uint64_t min_ = UINT64_MAX;
   uint64_t max_ = 0;
+};
+
+/// Thread-safe histogram: a fixed set of cache-line-separated shards, each
+/// a `Histogram` behind its own tiny lock. Writers hash their thread onto a
+/// shard, so under the common pattern (one recording thread per worker)
+/// `Add` never contends; readers `Merged()` a point-in-time union.
+class ConcurrentHistogram {
+ public:
+  explicit ConcurrentHistogram(size_t shards = 16);
+  ~ConcurrentHistogram();
+
+  ConcurrentHistogram(const ConcurrentHistogram&) = delete;
+  ConcurrentHistogram& operator=(const ConcurrentHistogram&) = delete;
+
+  void Add(uint64_t value);
+
+  /// Point-in-time merge of all shards.
+  Histogram Merged() const;
+
+  void Clear();
+
+ private:
+  struct Shard;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace dsmdb

@@ -1,17 +1,56 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+
 namespace dsmdb {
+
+GaugeToken& GaugeToken::operator=(GaugeToken&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->Unregister(id_);
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+GaugeToken::~GaugeToken() {
+  if (registry_ != nullptr) registry_->Unregister(id_);
+}
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   return &counters_[name];
 }
 
+GaugeToken MetricsRegistry::RegisterGauge(const std::string& name,
+                                          GaugeFn fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = next_gauge_id_++;
+  gauges_.push_back(Gauge{id, name, std::move(fn)});
+  return GaugeToken(this, id);
+}
+
+void MetricsRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = std::find_if(gauges_.begin(), gauges_.end(),
+                         [id](const Gauge& g) { return g.id == id; });
+  if (it == gauges_.end()) return;
+  // Fold the final reading into the same-named counter so the total
+  // survives component teardown (Snapshot() keeps summing it).
+  counters_[it->name].Add(it->fn());
+  gauges_.erase(it);
+}
+
 std::map<std::string, uint64_t> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, counter] : counters_) {
-    out[name] = counter.Get();
+    out[name] += counter.Get();
+  }
+  for (const Gauge& g : gauges_) {
+    out[g.name] += g.fn();
   }
   return out;
 }
@@ -21,6 +60,11 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) {
     counter.Reset();
   }
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
 }
 
 }  // namespace dsmdb

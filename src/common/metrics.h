@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dsmdb {
 
@@ -23,24 +26,77 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-/// Named counter registry. Counters are created on first access and live
-/// for the registry's lifetime; pointer stability is guaranteed (std::map).
+class MetricsRegistry;
+
+/// RAII registration of a gauge callback; unregisters on destruction so a
+/// component (Fabric, BufferPool, ...) can expose its live counters for its
+/// own lifetime without dangling reads after teardown.
+class GaugeToken {
+ public:
+  GaugeToken() = default;
+  GaugeToken(GaugeToken&& other) noexcept { *this = std::move(other); }
+  GaugeToken& operator=(GaugeToken&& other) noexcept;
+  GaugeToken(const GaugeToken&) = delete;
+  GaugeToken& operator=(const GaugeToken&) = delete;
+  ~GaugeToken();
+
+ private:
+  friend class MetricsRegistry;
+  GaugeToken(MetricsRegistry* registry, uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+/// Named metrics registry: owned counters plus pull-style gauges.
+///
+/// * Counters are created on first access and live for the registry's
+///   lifetime; pointer stability is guaranteed (std::map).
+/// * Gauges are callbacks registered by live components; several components
+///   may register under the same name and `Snapshot()` reports their sum
+///   (e.g. two buffer pools both publishing `buffer.pool.hits`).
 class MetricsRegistry {
  public:
+  using GaugeFn = std::function<uint64_t()>;
+
   /// Returns the counter registered under `name`, creating it if absent.
   /// The returned pointer stays valid for the registry's lifetime.
   Counter* GetCounter(const std::string& name);
 
-  /// Point-in-time copy of all counter values.
+  /// Registers `fn` under `name`; the gauge is dropped when the returned
+  /// token dies. Same-name registrations sum in Snapshot(). When a token
+  /// dies, the gauge's final reading is folded into the counter of the
+  /// same name, so totals survive component teardown.
+  [[nodiscard]] GaugeToken RegisterGauge(const std::string& name, GaugeFn fn);
+
+  /// Point-in-time copy of all counter values and evaluated gauges. If a
+  /// counter and a gauge share a name, their values sum.
   std::map<std::string, uint64_t> Snapshot() const;
 
-  /// Resets every counter to zero.
+  /// Resets every counter to zero (gauges are owned by their components
+  /// and are not touched).
   void ResetAll();
 
  private:
+  friend class GaugeToken;
+  void Unregister(uint64_t id);
+
+  struct Gauge {
+    uint64_t id;
+    std::string name;
+    GaugeFn fn;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
+  std::vector<Gauge> gauges_;
+  uint64_t next_gauge_id_ = 1;
 };
+
+/// The process-wide registry every subsystem publishes into; a single
+/// Snapshot() here sees the whole system (fabric verbs, buffer pools, ...).
+MetricsRegistry& GlobalMetrics();
 
 }  // namespace dsmdb
 

@@ -2,11 +2,23 @@
 
 #include "common/coding.h"
 #include "dsm/rpc_ids.h"
+#include "obs/op_scope.h"
+#include "obs/telemetry.h"
 
 namespace dsmdb::dsm {
 
 DsmClient::DsmClient(Cluster* cluster, rdma::NodeId self)
-    : cluster_(cluster), nic_(&cluster->fabric(), self) {}
+    : cluster_(cluster), nic_(&cluster->fabric(), self) {
+  obs::Telemetry& telemetry = obs::Telemetry::Instance();
+  obs_.alloc_ns = telemetry.GetHistogram("dsm.client.alloc_ns");
+  obs_.read_ns = telemetry.GetHistogram("dsm.client.read_ns");
+  obs_.write_ns = telemetry.GetHistogram("dsm.client.write_ns");
+  obs_.batch_ns = telemetry.GetHistogram("dsm.client.batch_ns");
+  obs_.atomic_ns = telemetry.GetHistogram("dsm.client.atomic_ns");
+  obs_.offload_ns = telemetry.GetHistogram("dsm.client.offload_ns");
+  obs_.directory_ns = telemetry.GetHistogram("dsm.client.directory_ns");
+  obs_.log_ns = telemetry.GetHistogram("dsm.client.log_ns");
+}
 
 rdma::RemotePtr DsmClient::ToRemote(GlobalAddress addr) const {
   return rdma::RemotePtr{cluster_->MemFabricId(addr.node),
@@ -14,6 +26,7 @@ rdma::RemotePtr DsmClient::ToRemote(GlobalAddress addr) const {
 }
 
 Result<GlobalAddress> DsmClient::Alloc(uint64_t size, MemNodeId node) {
+  obs::OpScope scope("dsm.alloc", "dsm", obs_.alloc_ns);
   if (node == kAnyNode) {
     node = static_cast<MemNodeId>(
         alloc_rr_.fetch_add(1, std::memory_order_relaxed) %
@@ -35,6 +48,7 @@ Result<GlobalAddress> DsmClient::Alloc(uint64_t size, MemNodeId node) {
 }
 
 Status DsmClient::Free(GlobalAddress addr, uint64_t size) {
+  obs::OpScope scope("dsm.free", "dsm", obs_.alloc_ns);
   std::string req;
   PutFixed64(&req, addr.offset);
   PutFixed64(&req, size);
@@ -48,14 +62,17 @@ Status DsmClient::Free(GlobalAddress addr, uint64_t size) {
 }
 
 Status DsmClient::Read(GlobalAddress src, void* dst, size_t length) {
+  obs::OpScope scope("dsm.read", "dsm", obs_.read_ns);
   return nic_.Read(ToRemote(src), dst, length);
 }
 
 Status DsmClient::Write(GlobalAddress dst, const void* src, size_t length) {
+  obs::OpScope scope("dsm.write", "dsm", obs_.write_ns);
   return nic_.Write(ToRemote(dst), src, length);
 }
 
 Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
+  obs::OpScope scope("dsm.read_batch", "dsm", obs_.batch_ns);
   std::vector<rdma::BatchOp> raw;
   raw.reserve(ops.size());
   for (const DsmBatchOp& op : ops) {
@@ -65,6 +82,7 @@ Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
 }
 
 Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
+  obs::OpScope scope("dsm.write_batch", "dsm", obs_.batch_ns);
   std::vector<rdma::BatchOp> raw;
   raw.reserve(ops.size());
   for (const DsmBatchOp& op : ops) {
@@ -76,10 +94,12 @@ Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
 Result<uint64_t> DsmClient::CompareAndSwap(GlobalAddress addr,
                                            uint64_t expected,
                                            uint64_t desired) {
+  obs::OpScope scope("dsm.cas", "dsm", obs_.atomic_ns);
   return nic_.CompareAndSwap(ToRemote(addr), expected, desired);
 }
 
 Result<uint64_t> DsmClient::FetchAndAdd(GlobalAddress addr, uint64_t delta) {
+  obs::OpScope scope("dsm.faa", "dsm", obs_.atomic_ns);
   return nic_.FetchAndAdd(ToRemote(addr), delta);
 }
 
@@ -93,6 +113,7 @@ Status DsmClient::WriteAll(const std::vector<GlobalAddress>& dsts,
 
 Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
                           std::string_view arg, std::string* out) {
+  obs::OpScope scope("dsm.offload", "dsm", obs_.offload_ns);
   std::string req;
   PutFixed32(&req, fn_id);
   req.append(arg.data(), arg.size());
@@ -108,6 +129,7 @@ Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
 
 Status DsmClient::DirectoryCall(uint8_t op, GlobalAddress page,
                                 uint32_t cache_id, std::string* resp) {
+  obs::OpScope scope("dsm.directory", "dsm", obs_.directory_ns);
   std::string req;
   req.push_back(static_cast<char>(op));
   PutFixed64(&req, page.Pack());
@@ -158,6 +180,7 @@ Result<std::vector<uint32_t>> DsmClient::DirPeersForUpdate(
 
 Status DsmClient::LogAppend(MemNodeId node, uint64_t segment,
                             std::string_view data) {
+  obs::OpScope scope("dsm.log_append", "dsm", obs_.log_ns);
   std::string req;
   PutFixed64(&req, segment);
   req.append(data.data(), data.size());
@@ -171,6 +194,7 @@ Status DsmClient::LogAppend(MemNodeId node, uint64_t segment,
 }
 
 Result<std::string> DsmClient::LogRead(MemNodeId node, uint64_t segment) {
+  obs::OpScope scope("dsm.log_read", "dsm", obs_.log_ns);
   std::string req;
   PutFixed64(&req, segment);
   std::string resp;

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dsm/cluster.h"
@@ -90,6 +91,19 @@ class DsmClient {
   rdma::RemotePtr ToRemote(GlobalAddress addr) const;
 
  private:
+  /// Per-op latency histograms (obs::Telemetry, `dsm.client.*`); recording
+  /// gated on obs::ObsConfig::Enabled().
+  struct ObsHooks {
+    ConcurrentHistogram* alloc_ns = nullptr;
+    ConcurrentHistogram* read_ns = nullptr;
+    ConcurrentHistogram* write_ns = nullptr;
+    ConcurrentHistogram* batch_ns = nullptr;
+    ConcurrentHistogram* atomic_ns = nullptr;
+    ConcurrentHistogram* offload_ns = nullptr;
+    ConcurrentHistogram* directory_ns = nullptr;
+    ConcurrentHistogram* log_ns = nullptr;
+  };
+
   Status DirectoryCall(uint8_t op, GlobalAddress page, uint32_t cache_id,
                        std::string* resp);
   static Result<std::vector<uint32_t>> ParseSharerList(
@@ -98,6 +112,7 @@ class DsmClient {
   Cluster* cluster_;
   rdma::Nic nic_;
   std::atomic<uint32_t> alloc_rr_{0};
+  ObsHooks obs_;
 };
 
 }  // namespace dsmdb::dsm

@@ -1,0 +1,40 @@
+#ifndef DSMDB_OBS_OBS_CONFIG_H_
+#define DSMDB_OBS_OBS_CONFIG_H_
+
+#include <atomic>
+
+namespace dsmdb::obs {
+
+/// Process-wide telemetry switches, checked on every instrumented hot path
+/// (one relaxed atomic-bool load). Both default OFF so instrumented builds
+/// cost nothing unless a bench/test opts in:
+///
+///  * `Enabled()`  — latency histograms + per-layer counters ("metrics").
+///  * `TracingEnabled()` — trace-span ring buffers (Chrome trace export).
+///
+/// Tracing is independent of metrics so a trace can be captured without
+/// paying histogram costs and vice versa.
+class ObsConfig {
+ public:
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  static bool TracingEnabled() {
+    return tracing_.load(std::memory_order_relaxed);
+  }
+  static void SetTracing(bool on) {
+    tracing_.store(on, std::memory_order_relaxed);
+  }
+
+ private:
+  ObsConfig() = delete;
+
+  static inline std::atomic<bool> enabled_{false};
+  static inline std::atomic<bool> tracing_{false};
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_OBS_CONFIG_H_

@@ -1,0 +1,47 @@
+#ifndef DSMDB_OBS_OP_SCOPE_H_
+#define DSMDB_OBS_OP_SCOPE_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+#include "obs/obs_config.h"
+#include "obs/trace.h"
+
+namespace dsmdb::obs {
+
+/// One-liner instrumentation for an operation: records the enclosed
+/// simulated-time interval into `hist` (when metrics are on) and emits a
+/// trace span under `name` (when tracing is on). Costs two relaxed flag
+/// loads when both are off.
+///
+///   Status DsmClient::Read(...) {
+///     obs::OpScope op("dsm.read", "dsm", obs_.read_ns);
+///     ...
+///   }
+class OpScope {
+ public:
+  OpScope(const char* name, const char* cat, ConcurrentHistogram* hist)
+      : span_(name, cat) {
+    if (ObsConfig::Enabled() && hist != nullptr) {
+      hist_ = hist;
+      start_ns_ = SimClock::Now();
+    }
+  }
+
+  ~OpScope() {
+    if (hist_ != nullptr) hist_->Add(SimClock::Now() - start_ns_);
+  }
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  TraceScope span_;
+  ConcurrentHistogram* hist_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_OP_SCOPE_H_

@@ -1,0 +1,135 @@
+#include "obs/stats_exporter.h"
+
+#include <cstdio>
+
+#include "obs/telemetry.h"
+
+namespace dsmdb::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void StatsExporter::AddCounter(const std::string& name, uint64_t value) {
+  counters_[name] += value;
+}
+
+void StatsExporter::AddCounters(
+    const std::map<std::string, uint64_t>& counters) {
+  for (const auto& [name, value] : counters) {
+    counters_[name] += value;
+  }
+}
+
+void StatsExporter::AddScalar(const std::string& name, double value) {
+  scalars_[name] = value;
+}
+
+void StatsExporter::AddHistogram(const std::string& name,
+                                 const Histogram& hist) {
+  histograms_[name].Merge(hist);
+}
+
+void StatsExporter::CollectGlobal() {
+  AddCounters(GlobalMetrics().Snapshot());
+  for (const auto& [name, hist] : Telemetry::Instance().SnapshotHistograms()) {
+    if (hist.count() > 0) AddHistogram(name, hist);
+  }
+}
+
+std::string StatsExporter::ToJson() const {
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+    first = false;
+  }
+  out += "},\"scalars\":{";
+  first = true;
+  for (const auto& [name, value] : scalars_) {
+    if (!first) out += ",";
+    out += "\"" + JsonEscape(name) + "\":" + FmtDouble(value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"count\":%llu,\"sum\":%llu,\"mean\":%.1f,\"min\":%llu,"
+        "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"max\":%llu}",
+        static_cast<unsigned long long>(h.count()),
+        static_cast<unsigned long long>(h.sum()), h.Mean(),
+        static_cast<unsigned long long>(h.min()),
+        static_cast<unsigned long long>(h.Percentile(50)),
+        static_cast<unsigned long long>(h.Percentile(95)),
+        static_cast<unsigned long long>(h.Percentile(99)),
+        static_cast<unsigned long long>(h.max()));
+    out += "\"" + JsonEscape(name) + "\":" + buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string StatsExporter::ToText() const {
+  std::string out;
+  char buf[384];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : scalars_) {
+    std::snprintf(buf, sizeof(buf), "%-44s %.3f\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf), "%-44s %s\n", name.c_str(),
+                  h.ToString().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dsmdb::obs

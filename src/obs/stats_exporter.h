@@ -1,0 +1,52 @@
+#ifndef DSMDB_OBS_STATS_EXPORTER_H_
+#define DSMDB_OBS_STATS_EXPORTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace dsmdb::obs {
+
+/// Merges heterogeneous stats sources — MetricsRegistry counters/gauges,
+/// fabric VerbStats, per-layer latency histograms, workload results — into
+/// one report, exported as machine-readable JSON or a human text block.
+///
+/// Merge semantics: counters under the same name ADD, histograms under the
+/// same name MERGE (bucket-wise), scalars OVERWRITE (last writer wins).
+/// That makes it safe to feed several components that share metric names
+/// (two compute nodes' pools, a fabric snapshot plus a registry snapshot).
+class StatsExporter {
+ public:
+  void AddCounter(const std::string& name, uint64_t value);
+  void AddCounters(const std::map<std::string, uint64_t>& counters);
+  void AddScalar(const std::string& name, double value);
+  void AddHistogram(const std::string& name, const Histogram& hist);
+
+  /// Pulls the whole process: GlobalMetrics() counters + gauges, and every
+  /// Telemetry histogram.
+  void CollectGlobal();
+
+  bool empty() const {
+    return counters_.empty() && scalars_.empty() && histograms_.empty();
+  }
+
+  /// One JSON object:
+  ///   {"counters":{...},"scalars":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"mean":..,"min":..,
+  ///                          "p50":..,"p95":..,"p99":..,"max":..},...}}
+  std::string ToJson() const;
+
+  /// Aligned text block (one line per metric) for quick eyeballing.
+  std::string ToText() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> scalars_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_STATS_EXPORTER_H_

@@ -1,0 +1,40 @@
+#include "obs/telemetry.h"
+
+namespace dsmdb::obs {
+
+Telemetry& Telemetry::Instance() {
+  static Telemetry* telemetry = new Telemetry();
+  return *telemetry;
+}
+
+ConcurrentHistogram* Telemetry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<ConcurrentHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, Histogram> Telemetry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, Histogram> out;
+  for (const auto& [name, hist] : histograms_) {
+    out.emplace(name, hist->Merged());
+  }
+  return out;
+}
+
+void Telemetry::Reset() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [name, hist] : histograms_) {
+      hist->Clear();
+    }
+  }
+  GlobalMetrics().ResetAll();
+}
+
+}  // namespace dsmdb::obs

@@ -1,0 +1,54 @@
+#ifndef DSMDB_OBS_TELEMETRY_H_
+#define DSMDB_OBS_TELEMETRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+
+namespace dsmdb::obs {
+
+/// Process-wide home of named latency histograms (counters/gauges live in
+/// GlobalMetrics()). Instrumented components fetch their histogram pointer
+/// once at construction — `GetHistogram` is create-on-demand with pointer
+/// stability — and record into it lock-cheaply on the hot path.
+///
+/// Naming convention: `layer.component.metric`, unit-suffixed, e.g.
+/// `fabric.verb.read_ns`, `buffer.pool.miss_ns`, `txn.occ.commit_ns`.
+/// Components constructed several times (one fabric per bench section, one
+/// pool per compute node) share the named histogram; use Reset() between
+/// bench sections for per-section numbers.
+class Telemetry {
+ public:
+  static Telemetry& Instance();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// The process-wide counter/gauge registry (= GlobalMetrics()).
+  MetricsRegistry& metrics() { return GlobalMetrics(); }
+
+  /// Histogram registered under `name`, created if absent. The pointer
+  /// stays valid for the process lifetime.
+  ConcurrentHistogram* GetHistogram(const std::string& name);
+
+  /// Point-in-time merged copy of every named histogram.
+  std::map<std::string, Histogram> SnapshotHistograms() const;
+
+  /// Clears all histograms and resets all owned counters (live gauges keep
+  /// reporting their components' running values).
+  void Reset();
+
+ private:
+  Telemetry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_TELEMETRY_H_

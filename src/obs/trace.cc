@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/sim_clock.h"
+#include "common/spin_latch.h"
+
+namespace dsmdb::obs {
+
+/// Single-writer (the owning thread) ring; the latch only serializes the
+/// writer against Snapshot()/Clear() readers.
+struct TraceCollector::Buffer {
+  explicit Buffer(uint32_t tid_in, size_t capacity)
+      : tid(tid_in), ring(capacity) {}
+
+  const uint32_t tid;
+  mutable SpinLatch latch;
+  std::vector<TraceEvent> ring;
+  size_t next = 0;      ///< Write cursor.
+  uint64_t total = 0;   ///< Events ever emitted to this buffer.
+};
+
+TraceCollector& TraceCollector::Instance() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::SetBufferCapacity(size_t events) {
+  std::lock_guard<std::mutex> lk(mu_);
+  capacity_ = events == 0 ? 1 : events;
+}
+
+TraceCollector::Buffer* TraceCollector::ThreadBuffer() {
+  thread_local Buffer* buffer = nullptr;
+  thread_local TraceCollector* owner = nullptr;
+  if (buffer == nullptr || owner != this) {
+    std::lock_guard<std::mutex> lk(mu_);
+    buffers_.push_back(std::make_unique<Buffer>(
+        static_cast<uint32_t>(buffers_.size()), capacity_));
+    buffer = buffers_.back().get();
+    owner = this;
+  }
+  return buffer;
+}
+
+void TraceCollector::Emit(const char* name, const char* cat,
+                          uint64_t start_ns, uint64_t dur_ns) {
+  Buffer* b = ThreadBuffer();
+  SpinLatchGuard g(b->latch);
+  b->ring[b->next] = TraceEvent{name, cat, start_ns, dur_ns, b->tid};
+  b->next = (b->next + 1) % b->ring.size();
+  b->total++;
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& b : buffers_) {
+    SpinLatchGuard g(b->latch);
+    const size_t cap = b->ring.size();
+    const size_t retained = b->total < cap ? static_cast<size_t>(b->total)
+                                           : cap;
+    // Oldest retained event sits at `next` once the ring has wrapped.
+    const size_t first = b->total < cap ? 0 : b->next;
+    for (size_t i = 0; i < retained; i++) {
+      out.push_back(b->ring[(first + i) % cap]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t dropped = 0;
+  for (const auto& b : buffers_) {
+    SpinLatchGuard g(b->latch);
+    const size_t cap = b->ring.size();
+    if (b->total > cap) dropped += b->total - cap;
+  }
+  return dropped;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& b : buffers_) {
+    SpinLatchGuard g(b->latch);
+    b->next = 0;
+    b->total = 0;
+  }
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    // Chrome trace timestamps are microseconds; keep ns precision via the
+    // fractional part.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                  first ? "" : ",", e.name, e.cat,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceCollector::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+TraceScope::TraceScope(const char* name, const char* cat) {
+  if (ObsConfig::TracingEnabled()) {
+    name_ = name;
+    cat_ = cat;
+    start_ns_ = SimClock::Now();
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (name_ != nullptr) {
+    TraceCollector::Instance().Emit(name_, cat_, start_ns_,
+                                    SimClock::Now() - start_ns_);
+  }
+}
+
+}  // namespace dsmdb::obs

@@ -1,0 +1,98 @@
+#ifndef DSMDB_OBS_TRACE_H_
+#define DSMDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/obs_config.h"
+
+namespace dsmdb::obs {
+
+/// One completed span. `name`/`cat` must be string literals (or otherwise
+/// outlive the collector) — events store the pointers, never copies, so
+/// emission stays allocation-free. Timestamps are *simulated* nanoseconds
+/// of the emitting thread (each worker's SimClock starts at 0).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  ///< Dense per-thread id assigned at first emission.
+};
+
+/// Process-wide sink for trace spans: one fixed-capacity ring buffer per
+/// emitting thread (registered on first use), so `Emit` is a thread-local
+/// pointer hop plus an uncontended spin latch. When a ring wraps, the
+/// oldest events of that thread are overwritten and counted in `dropped()`.
+///
+/// The whole run can be exported as Chrome `trace_event` JSON and opened
+/// in chrome://tracing or https://ui.perfetto.dev.
+class TraceCollector {
+ public:
+  static TraceCollector& Instance();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Per-thread ring capacity in events. Applies to buffers created after
+  /// the call; existing buffers keep their size. Default 64K events.
+  void SetBufferCapacity(size_t events);
+
+  /// Records one completed span for the calling thread. Callers gate on
+  /// ObsConfig::TracingEnabled() (TraceScope does this for you).
+  void Emit(const char* name, const char* cat, uint64_t start_ns,
+            uint64_t dur_ns);
+
+  /// Point-in-time copy of every retained event, oldest-first per thread.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events lost to ring wraparound since the last Clear().
+  uint64_t dropped() const;
+
+  /// Drops all retained events and resets the dropped counter (buffers and
+  /// thread ids survive).
+  void Clear();
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  std::string ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Buffer;
+
+  TraceCollector() = default;
+  Buffer* ThreadBuffer();
+
+  mutable std::mutex mu_;  ///< Guards buffer registration + capacity.
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  size_t capacity_ = 64 * 1024;
+};
+
+/// RAII span: records [construction, destruction) of the calling thread's
+/// simulated clock under `name`. Free when tracing is off (one flag load).
+///
+///   {
+///     obs::TraceScope span("txn.commit", "txn");
+///     ... work that advances SimClock ...
+///   }
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, const char* cat = "dsmdb");
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = tracing was off at entry.
+  const char* cat_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_TRACE_H_

@@ -5,8 +5,18 @@
 #include <cstring>
 
 #include "common/sim_clock.h"
+#include "obs/obs_config.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace dsmdb::rdma {
+
+namespace {
+
+/// True when per-verb histograms/counters should be recorded.
+inline bool ObsOn() { return obs::ObsConfig::Enabled(); }
+
+}  // namespace
 
 std::string VerbStats::Values::ToString() const {
   char buf[256];
@@ -27,9 +37,55 @@ std::string VerbStats::Values::ToString() const {
 
 Fabric::Fabric(NetworkModel model) : model_(model), slots_(kMaxNodes) {
   for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+
+  obs::Telemetry& telemetry = obs::Telemetry::Instance();
+  obs_.read_ns = telemetry.GetHistogram("fabric.verb.read_ns");
+  obs_.write_ns = telemetry.GetHistogram("fabric.verb.write_ns");
+  obs_.read_batch_ns = telemetry.GetHistogram("fabric.verb.read_batch_ns");
+  obs_.write_batch_ns = telemetry.GetHistogram("fabric.verb.write_batch_ns");
+  obs_.cas_ns = telemetry.GetHistogram("fabric.verb.cas_ns");
+  obs_.faa_ns = telemetry.GetHistogram("fabric.verb.faa_ns");
+  obs_.rpc_ns = telemetry.GetHistogram("fabric.verb.rpc_ns");
+  obs_.network_ns = GlobalMetrics().GetCounter("fabric.network_ns");
+  obs_.rpc_cpu_ns = GlobalMetrics().GetCounter("fabric.rpc.cpu_ns");
+
+  // Publish live VerbStats totals so GlobalMetrics().Snapshot() sees the
+  // real fabric; tokens unregister on destruction.
+  const struct {
+    const char* name;
+    uint64_t VerbStats::Values::*field;
+  } kGauges[] = {
+      {"fabric.verbs.reads", &VerbStats::Values::one_sided_reads},
+      {"fabric.verbs.writes", &VerbStats::Values::one_sided_writes},
+      {"fabric.verbs.cas", &VerbStats::Values::cas_ops},
+      {"fabric.verbs.faa", &VerbStats::Values::faa_ops},
+      {"fabric.verbs.rpc", &VerbStats::Values::rpc_calls},
+      {"fabric.verbs.batches", &VerbStats::Values::batches},
+      {"fabric.verbs.bytes_read", &VerbStats::Values::bytes_read},
+      {"fabric.verbs.bytes_written", &VerbStats::Values::bytes_written},
+  };
+  for (const auto& g : kGauges) {
+    gauge_tokens_.push_back(GlobalMetrics().RegisterGauge(
+        g.name, [this, field = g.field] { return TotalStats().*field; }));
+  }
+  gauge_tokens_.push_back(GlobalMetrics().RegisterGauge(
+      "fabric.verbs.round_trips",
+      [this] { return TotalStats().RoundTrips(); }));
+  gauge_tokens_.push_back(
+      GlobalMetrics().RegisterGauge("fabric.cpu.total_work_ns", [this] {
+        uint64_t total = 0;
+        const size_t n = num_nodes();
+        for (size_t i = 0; i < n; i++) {
+          total += GetNode(static_cast<NodeId>(i))->cpu->TotalWorkNs();
+        }
+        return total;
+      }));
 }
 
 Fabric::~Fabric() {
+  // Unregister (and fold into counters) the gauges before tearing down the
+  // node state their lambdas read.
+  gauge_tokens_.clear();
   for (auto& s : slots_) delete s.load(std::memory_order_relaxed);
 }
 
@@ -105,31 +161,44 @@ void Fabric::ReleaseResolve(NodeId node) const {
 
 Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
                     size_t length) {
+  obs::TraceScope span("fabric.read", "rdma");
   Result<char*> host = Resolve(src, length);
   if (!host.ok()) return host.status();
   std::memcpy(dst, *host, length);
   ReleaseResolve(src.node);
-  SimClock::Advance(model_.OneSidedNs(length));
+  const uint64_t cost = model_.OneSidedNs(length);
+  SimClock::Advance(cost);
   VerbStats& s = stats(initiator);
   s.one_sided_reads.fetch_add(1, std::memory_order_relaxed);
   s.bytes_read.fetch_add(length, std::memory_order_relaxed);
+  if (ObsOn()) {
+    obs_.read_ns->Add(cost);
+    obs_.network_ns->Add(cost);
+  }
   return Status::OK();
 }
 
 Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
                      size_t length) {
+  obs::TraceScope span("fabric.write", "rdma");
   Result<char*> host = Resolve(dst, length);
   if (!host.ok()) return host.status();
   std::memcpy(*host, src, length);
   ReleaseResolve(dst.node);
-  SimClock::Advance(model_.OneSidedNs(length));
+  const uint64_t cost = model_.OneSidedNs(length);
+  SimClock::Advance(cost);
   VerbStats& s = stats(initiator);
   s.one_sided_writes.fetch_add(1, std::memory_order_relaxed);
   s.bytes_written.fetch_add(length, std::memory_order_relaxed);
+  if (ObsOn()) {
+    obs_.write_ns->Add(cost);
+    obs_.network_ns->Add(cost);
+  }
   return Status::OK();
 }
 
 Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
+  obs::TraceScope span("fabric.read_batch", "rdma");
   size_t total = 0;
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
@@ -138,14 +207,20 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
-  SimClock::Advance(model_.BatchNs(ops.size(), total));
+  const uint64_t cost = model_.BatchNs(ops.size(), total);
+  SimClock::Advance(cost);
   VerbStats& s = stats(initiator);
   s.batches.fetch_add(1, std::memory_order_relaxed);
   s.bytes_read.fetch_add(total, std::memory_order_relaxed);
+  if (ObsOn()) {
+    obs_.read_batch_ns->Add(cost);
+    obs_.network_ns->Add(cost);
+  }
   return Status::OK();
 }
 
 Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
+  obs::TraceScope span("fabric.write_batch", "rdma");
   size_t total = 0;
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
@@ -154,10 +229,15 @@ Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
-  SimClock::Advance(model_.BatchNs(ops.size(), total));
+  const uint64_t cost = model_.BatchNs(ops.size(), total);
+  SimClock::Advance(cost);
   VerbStats& s = stats(initiator);
   s.batches.fetch_add(1, std::memory_order_relaxed);
   s.bytes_written.fetch_add(total, std::memory_order_relaxed);
+  if (ObsOn()) {
+    obs_.write_batch_ns->Add(cost);
+    obs_.network_ns->Add(cost);
+  }
   return Status::OK();
 }
 
@@ -173,8 +253,13 @@ Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
   __atomic_compare_exchange_n(word, &prev, desired, /*weak=*/false,
                               __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
   ReleaseResolve(addr.node);
-  SimClock::Advance(model_.AtomicNs());
+  const uint64_t cost = model_.AtomicNs();
+  SimClock::Advance(cost);
   stats(initiator).cas_ops.fetch_add(1, std::memory_order_relaxed);
+  if (ObsOn()) {
+    obs_.cas_ns->Add(cost);
+    obs_.network_ns->Add(cost);
+  }
   return prev;
 }
 
@@ -188,8 +273,13 @@ Result<uint64_t> Fabric::FetchAndAdd(NodeId initiator, RemotePtr addr,
   auto* word = reinterpret_cast<uint64_t*>(*host);
   const uint64_t prev = __atomic_fetch_add(word, delta, __ATOMIC_ACQ_REL);
   ReleaseResolve(addr.node);
-  SimClock::Advance(model_.AtomicNs());
+  const uint64_t cost = model_.AtomicNs();
+  SimClock::Advance(cost);
   stats(initiator).faa_ops.fetch_add(1, std::memory_order_relaxed);
+  if (ObsOn()) {
+    obs_.faa_ns->Add(cost);
+    obs_.network_ns->Add(cost);
+  }
   return prev;
 }
 
@@ -217,6 +307,7 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
     }
     handler = ctx->handlers[service];
   }
+  obs::TraceScope span("fabric.rpc", "rdma");
   const uint64_t t0 = SimClock::Now();
   // Request travels to the target and is dispatched into software.
   const uint64_t arrival = t0 + model_.post_overhead_ns + model_.rtt_ns / 2 +
@@ -232,6 +323,16 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
   s.rpc_calls.fetch_add(1, std::memory_order_relaxed);
   s.bytes_written.fetch_add(request.size(), std::memory_order_relaxed);
   s.bytes_read.fetch_add(response->size(), std::memory_order_relaxed);
+  if (ObsOn()) {
+    const uint64_t elapsed = SimClock::Now() - t0;
+    const uint64_t network =
+        model_.TwoSidedNs(request.size(), response->size());
+    obs_.rpc_ns->Add(elapsed);
+    obs_.network_ns->Add(network < elapsed ? network : elapsed);
+    // Whatever is not wire/NIC time was spent in (or queueing for) the
+    // target's virtual CPU.
+    obs_.rpc_cpu_ns->Add(elapsed > network ? elapsed - network : 0);
+  }
   return Status::OK();
 }
 

@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/spin_latch.h"
 #include "common/status.h"
@@ -128,6 +130,21 @@ class Fabric {
     VerbStats stats;
   };
 
+  /// Per-verb latency histograms + time-attribution counters, registered
+  /// in obs::Telemetry under `fabric.*`. Pointers are process-lifetime;
+  /// recording is gated on obs::ObsConfig::Enabled().
+  struct ObsHooks {
+    ConcurrentHistogram* read_ns = nullptr;
+    ConcurrentHistogram* write_ns = nullptr;
+    ConcurrentHistogram* read_batch_ns = nullptr;
+    ConcurrentHistogram* write_batch_ns = nullptr;
+    ConcurrentHistogram* cas_ns = nullptr;
+    ConcurrentHistogram* faa_ns = nullptr;
+    ConcurrentHistogram* rpc_ns = nullptr;
+    Counter* network_ns = nullptr;  ///< Wire+NIC share of all verbs.
+    Counter* rpc_cpu_ns = nullptr;  ///< Remote handler + queueing share.
+  };
+
   /// Resolves `ptr` to a host address, checking aliveness and bounds.
   /// On success the node's region latch is held shared; call
   /// `ReleaseResolve` after the access.
@@ -143,6 +160,10 @@ class Fabric {
   std::atomic<size_t> num_nodes_{0};
   /// Lock-free slot table so the verb hot path never takes a mutex.
   std::vector<std::atomic<NodeCtx*>> slots_;
+
+  ObsHooks obs_;
+  /// Keeps `fabric.verbs.*` gauges in GlobalMetrics() for our lifetime.
+  std::vector<GaugeToken> gauge_tokens_;
 };
 
 }  // namespace dsmdb::rdma

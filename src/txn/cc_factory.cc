@@ -1,11 +1,39 @@
 #include "txn/cc_protocol.h"
 
+#include "common/sim_clock.h"
+#include "obs/obs_config.h"
+#include "obs/telemetry.h"
 #include "txn/mvcc.h"
 #include "txn/occ.h"
 #include "txn/tso.h"
 #include "txn/two_pl.h"
 
 namespace dsmdb::txn {
+
+Transaction::Transaction() : begin_ns_(SimClock::Now()) {}
+
+void Transaction::RecordOutcome(CcManager* mgr, bool committed) const {
+  if (!obs::ObsConfig::Enabled()) return;
+  const CcManager::TxnObs& obs = mgr->obs();
+  (committed ? obs.commit_ns : obs.abort_ns)
+      ->Add(SimClock::Now() - begin_ns_);
+}
+
+void Transaction::RecordLockWait(CcManager* mgr, uint64_t wait_ns) {
+  if (!obs::ObsConfig::Enabled()) return;
+  mgr->obs().lock_wait_ns->Add(wait_ns);
+}
+
+const CcManager::TxnObs& CcManager::obs() {
+  std::call_once(obs_once_, [this] {
+    const std::string prefix = "txn." + std::string(name());
+    obs::Telemetry& telemetry = obs::Telemetry::Instance();
+    obs_.commit_ns = telemetry.GetHistogram(prefix + ".commit_ns");
+    obs_.abort_ns = telemetry.GetHistogram(prefix + ".abort_ns");
+    obs_.lock_wait_ns = telemetry.GetHistogram(prefix + ".lock_wait_ns");
+  });
+  return obs_;
+}
 
 std::string_view CcProtocolKindName(CcProtocolKind kind) {
   switch (kind) {

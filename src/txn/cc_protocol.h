@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dsm/dsm_client.h"
@@ -90,7 +92,19 @@ class Transaction {
   uint64_t ts() const { return ts_; }
 
  protected:
+  /// Stamps the simulated begin time so commit/abort latency covers the
+  /// whole transaction, not just the final phase.
+  Transaction();
+
+  /// Records full-txn latency (simulated begin -> now) into `mgr`'s
+  /// commit/abort histogram. No-op unless obs::ObsConfig::Enabled().
+  void RecordOutcome(class CcManager* mgr, bool committed) const;
+  /// Records simulated time spent acquiring a record lock (including
+  /// retries/backoff) into `mgr`'s lock-wait histogram.
+  static void RecordLockWait(class CcManager* mgr, uint64_t wait_ns);
+
   uint64_t ts_ = 0;
+  uint64_t begin_ns_ = 0;
 };
 
 /// Per-compute-node protocol instance; thread-safe Begin().
@@ -102,8 +116,22 @@ class CcManager {
 
   CcStats& stats() { return stats_; }
 
+  /// Per-protocol latency histograms, registered in obs::Telemetry as
+  /// `txn.<name()>.{commit,abort,lock_wait}_ns`. Bound lazily on first use
+  /// (name() is virtual, so not callable from the base constructor).
+  struct TxnObs {
+    ConcurrentHistogram* commit_ns = nullptr;
+    ConcurrentHistogram* abort_ns = nullptr;
+    ConcurrentHistogram* lock_wait_ns = nullptr;
+  };
+  const TxnObs& obs();
+
  protected:
   CcStats stats_;
+
+ private:
+  std::once_flag obs_once_;
+  TxnObs obs_;
 };
 
 /// Builds the protocol named by `options.protocol`. All pointers must

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/coding.h"
+#include "common/sim_clock.h"
+#include "obs/trace.h"
 
 namespace dsmdb::txn {
 
@@ -97,10 +99,12 @@ Status MvccTransaction::Write(const RecordRef& ref, std::string_view value) {
 
 Status MvccTransaction::Commit() {
   assert(!finished_);
+  obs::TraceScope span("txn.commit", "txn");
   if (writes_.empty()) {
     // Read-only: snapshot reads never validate, never abort.
     finished_ = true;
     mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcome(mgr_, true);
     return Status::OK();
   }
   Result<uint64_t> commit_ts = mgr_->oracle_->Next();
@@ -117,6 +121,7 @@ Status MvccTransaction::Commit() {
   std::vector<uint64_t> heads(writes_.size());
   size_t locked = 0;
   Status s;
+  const uint64_t lock_start = SimClock::Now();
   for (; locked < order.size(); locked++) {
     const size_t idx = order[locked];
     const CommitWrite& w = writes_[idx];
@@ -141,11 +146,13 @@ Status MvccTransaction::Commit() {
         for (size_t i = 0; i < locked; i++) {
           (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
         }
+        RecordLockWait(mgr_, SimClock::Now() - lock_start);
         return AbortInternal(true);  // write-write conflict
       }
     }
     heads[idx] = head;
   }
+  RecordLockWait(mgr_, SimClock::Now() - lock_start);
   if (!s.ok()) {
     for (size_t i = 0; i < locked; i++) {
       (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
@@ -183,9 +190,11 @@ Status MvccTransaction::Commit() {
   finished_ = true;
   if (!s.ok()) {
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcome(mgr_, false);
     return s;
   }
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, true);
   return Status::OK();
 }
 
@@ -193,12 +202,14 @@ Status MvccTransaction::Abort() {
   if (finished_) return Status::OK();
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   return Status::OK();
 }
 
 Status MvccTransaction::AbortInternal(bool validation) {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   if (validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {

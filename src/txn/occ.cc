@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/coding.h"
+#include "common/sim_clock.h"
+#include "obs/trace.h"
 
 namespace dsmdb::txn {
 
@@ -84,6 +86,7 @@ void OccTransaction::UnlockPrefix(size_t locked_count,
 
 Status OccTransaction::Commit() {
   assert(!finished_);
+  obs::TraceScope span("txn.commit", "txn");
 
   // Phase 1: lock the write set in global address order (prevents
   // lock-phase deadlocks across committers).
@@ -92,10 +95,12 @@ Status OccTransaction::Commit() {
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
     return writes_[a].addr.Pack() < writes_[b].addr.Pack();
   });
+  const uint64_t lock_start = SimClock::Now();
   for (size_t i = 0; i < order.size(); i++) {
     Status s = spin_.TryAcquire(writes_[order[i]].addr, ts_);
     if (s.IsBusy()) {
       UnlockPrefix(i, order);
+      RecordLockWait(mgr_, SimClock::Now() - lock_start);
       return AbortInternal(false);
     }
     if (!s.ok()) {
@@ -103,6 +108,7 @@ Status OccTransaction::Commit() {
       return s;
     }
   }
+  RecordLockWait(mgr_, SimClock::Now() - lock_start);
 
   // Phase 2: validate the read set with ONE doorbell-batched header read.
   if (!reads_.empty()) {
@@ -157,9 +163,11 @@ Status OccTransaction::Commit() {
   finished_ = true;
   if (!s.ok()) {
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcome(mgr_, false);
     return s;
   }
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, true);
   return Status::OK();
 }
 
@@ -167,12 +175,14 @@ Status OccTransaction::Abort() {
   if (finished_) return Status::OK();
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   return Status::OK();
 }
 
 Status OccTransaction::AbortInternal(bool validation) {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   if (validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {

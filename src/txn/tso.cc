@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "common/coding.h"
+#include "common/sim_clock.h"
+#include "obs/trace.h"
 
 namespace dsmdb::txn {
 
@@ -103,6 +105,7 @@ Status TsoTransaction::Write(const RecordRef& ref, std::string_view value) {
 
 Status TsoTransaction::Commit() {
   assert(!finished_);
+  obs::TraceScope span("txn.commit", "txn");
   const uint32_t my_ts = static_cast<uint32_t>(ts_);
 
   std::vector<size_t> order(writes_.size());
@@ -115,6 +118,7 @@ Status TsoTransaction::Commit() {
   std::vector<uint64_t> vwords(writes_.size());
   size_t locked = 0;
   Status s;
+  const uint64_t lock_start = SimClock::Now();
   for (; locked < order.size(); locked++) {
     const CommitWrite& w = writes_[order[locked]];
     s = spin_.Acquire(w.addr, ts_, mgr_->options_.lock_max_attempts);
@@ -131,10 +135,12 @@ Status TsoTransaction::Commit() {
       for (size_t i = 0; i < locked; i++) {
         (void)spin_.Release(writes_[order[i]].addr, ts_);
       }
+      RecordLockWait(mgr_, SimClock::Now() - lock_start);
       return AbortInternal(true);  // out of timestamp order
     }
     vwords[order[locked]] = vword;
   }
+  RecordLockWait(mgr_, SimClock::Now() - lock_start);
   if (!s.ok()) {
     for (size_t i = 0; i < locked; i++) {
       (void)spin_.Release(writes_[order[i]].addr, ts_);
@@ -162,9 +168,11 @@ Status TsoTransaction::Commit() {
   finished_ = true;
   if (!s.ok()) {
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcome(mgr_, false);
     return s;
   }
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, true);
   return Status::OK();
 }
 
@@ -172,12 +180,14 @@ Status TsoTransaction::Abort() {
   if (finished_) return Status::OK();
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   return Status::OK();
 }
 
 Status TsoTransaction::AbortInternal(bool validation) {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   if (validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {

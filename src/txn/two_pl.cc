@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "common/sim_clock.h"
+#include "obs/trace.h"
+
 namespace dsmdb::txn {
 
 TwoPlManager::TwoPlManager(const CcOptions& options, dsm::DsmClient* dsm,
@@ -70,6 +73,7 @@ Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
   }
 
   Status s;
+  const uint64_t lock_start = SimClock::Now();
   if (se_mode) {
     s = exclusive ? se_.TryAcquireExclusive(ref.LockWord(), ts_,
                                             mgr_->options_.lock_max_attempts)
@@ -94,6 +98,7 @@ Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
     }
   }
 
+  RecordLockWait(mgr_, SimClock::Now() - lock_start);
   if (s.IsBusy() || s.IsTimedOut()) return AbortInternal(false);
   if (!s.ok()) return s;
 
@@ -138,6 +143,7 @@ Status TwoPlTransaction::Write(const RecordRef& ref,
 
 Status TwoPlTransaction::Commit() {
   assert(!finished_);
+  obs::TraceScope span("txn.commit", "txn");
   // Write-ahead: durable log, then install, then release (strict 2PL).
   Status s = mgr_->sink_->LogCommit(ts_, writes_);
   if (!s.ok()) {
@@ -154,10 +160,12 @@ Status TwoPlTransaction::Commit() {
   if (!s.ok()) {
     finished_ = true;
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcome(mgr_, false);
     return s;
   }
   finished_ = true;
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, true);
   return Status::OK();
 }
 
@@ -166,6 +174,7 @@ Status TwoPlTransaction::Abort() {
   ReleaseAll();
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   return Status::OK();
 }
 
@@ -173,6 +182,7 @@ Status TwoPlTransaction::AbortInternal(bool validation) {
   ReleaseAll();
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(mgr_, false);
   if (validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {

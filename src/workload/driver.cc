@@ -5,20 +5,35 @@
 #include <thread>
 
 #include "common/sim_clock.h"
+#include "obs/trace.h"
 
 namespace dsmdb::workload {
 
 std::string DriverResult::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "committed=%llu attempts=%llu tput=%.0f txn/s abort=%.1f%% "
-                "p50=%llu ns p99=%llu ns",
-                static_cast<unsigned long long>(committed),
-                static_cast<unsigned long long>(attempts), throughput_tps,
-                AbortRate() * 100.0,
-                static_cast<unsigned long long>(latency_ns.Percentile(50)),
-                static_cast<unsigned long long>(latency_ns.Percentile(99)));
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "committed=%llu attempts=%llu tput=%.0f txn/s abort=%.1f%% "
+      "p50=%llu ns p95=%llu ns p99=%llu ns max=%llu ns",
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(attempts), throughput_tps,
+      AbortRate() * 100.0,
+      static_cast<unsigned long long>(latency_ns.Percentile(50)),
+      static_cast<unsigned long long>(latency_ns.Percentile(95)),
+      static_cast<unsigned long long>(latency_ns.Percentile(99)),
+      static_cast<unsigned long long>(latency_ns.max()));
   return buf;
+}
+
+void DriverResult::ExportTo(obs::StatsExporter* exporter,
+                            const std::string& name) const {
+  const std::string prefix = "workload." + name;
+  exporter->AddCounter(prefix + ".attempts", attempts);
+  exporter->AddCounter(prefix + ".committed", committed);
+  exporter->AddHistogram(prefix + ".txn_latency_ns", latency_ns);
+  exporter->AddScalar(prefix + ".throughput_tps", throughput_tps);
+  exporter->AddScalar(prefix + ".abort_rate", AbortRate());
+  exporter->AddScalar(prefix + ".sim_seconds", sim_seconds);
 }
 
 DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
@@ -42,6 +57,7 @@ DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
       Random64 rng(options.seed * 1'000'003 + t);
       WorkerOut& out = outs[t];
       for (uint64_t i = 0; i < options.txns_per_thread; i++) {
+        obs::TraceScope span("txn.attempt", "workload");
         const uint64_t t0 = SimClock::Now();
         const bool committed = fn(node, t, rng);
         out.latency.Add(SimClock::Now() - t0);

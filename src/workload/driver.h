@@ -9,6 +9,7 @@
 #include "common/histogram.h"
 #include "common/random.h"
 #include "core/compute_node.h"
+#include "obs/stats_exporter.h"
 
 namespace dsmdb::workload {
 
@@ -34,6 +35,11 @@ struct DriverResult {
                            static_cast<double>(attempts);
   }
   std::string ToString() const;
+
+  /// Publishes this run under `workload.<name>.*`: attempts/committed as
+  /// counters, per-attempt latency as a histogram (p50/p95/p99/max in the
+  /// JSON report), throughput/abort-rate/sim-seconds as scalars.
+  void ExportTo(obs::StatsExporter* exporter, const std::string& name) const;
 };
 
 /// Executes one transaction attempt on `node`; returns true if committed.

@@ -144,6 +144,65 @@ TEST(HistogramTest, LargeValues) {
   EXPECT_LE(h.Percentile(10), 3ULL << 40);
 }
 
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(0), 0u);
+  EXPECT_EQ(empty.Percentile(50), 0u);
+  EXPECT_EQ(empty.Percentile(100), 0u);
+  EXPECT_EQ(empty.min(), 0u);
+
+  Histogram h;
+  h.Add(100);
+  h.Add(200);
+  h.Add(400);
+  // p <= 0 pins to min, p >= 100 pins to max (no bucket rounding).
+  EXPECT_EQ(h.Percentile(0), 100u);
+  EXPECT_EQ(h.Percentile(-5), 100u);
+  EXPECT_EQ(h.Percentile(100), 400u);
+  EXPECT_EQ(h.Percentile(250), 400u);
+  // Interior percentiles stay within [min, max].
+  for (double p : {1.0, 33.0, 66.0, 99.0}) {
+    EXPECT_GE(h.Percentile(p), h.min());
+    EXPECT_LE(h.Percentile(p), h.max());
+  }
+}
+
+TEST(HistogramTest, SingleValuePercentiles) {
+  Histogram h;
+  h.Add(777);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 777u) << "p=" << p;
+  }
+  EXPECT_EQ(h.sum(), 777u);
+}
+
+TEST(ConcurrentHistogramTest, SingleThreadMatchesPlain) {
+  ConcurrentHistogram ch(4);
+  Histogram plain;
+  for (uint64_t v = 1; v <= 500; v++) {
+    ch.Add(v);
+    plain.Add(v);
+  }
+  const Histogram merged = ch.Merged();
+  EXPECT_EQ(merged.count(), plain.count());
+  EXPECT_EQ(merged.sum(), plain.sum());
+  EXPECT_EQ(merged.min(), plain.min());
+  EXPECT_EQ(merged.max(), plain.max());
+  EXPECT_EQ(merged.Percentile(50), plain.Percentile(50));
+}
+
+TEST(ConcurrentHistogramTest, ClearResets) {
+  ConcurrentHistogram ch;
+  ch.Add(5);
+  ch.Add(10);
+  EXPECT_EQ(ch.Merged().count(), 2u);
+  ch.Clear();
+  EXPECT_EQ(ch.Merged().count(), 0u);
+  ch.Add(7);
+  EXPECT_EQ(ch.Merged().count(), 1u);
+  EXPECT_EQ(ch.Merged().min(), 7u);
+}
+
 TEST(RandomTest, DeterministicWithSeed) {
   Random64 a(123), b(123);
   for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "obs/obs_config.h"
+#include "obs/stats_exporter.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace dsmdb::obs {
+namespace {
+
+// --- Minimal JSON parser (validation only) ----------------------------------
+// Enough of RFC 8259 to prove the Chrome trace export is well-formed:
+// objects, arrays, strings with escapes, numbers, true/false/null.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    pos_++;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      pos_++;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      if (Peek() == '}') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    pos_++;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      pos_++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        pos_++;
+        continue;
+      }
+      if (Peek() == ']') {
+        pos_++;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    pos_++;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) return false;
+      }
+      pos_++;
+    }
+    if (pos_ >= s_.size()) return false;
+    pos_++;  // closing '"'
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') pos_++;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      pos_++;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const std::string want(lit);
+    if (s_.compare(pos_, want.size(), want) != 0) return false;
+    pos_ += want.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      pos_++;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --- Tracing -----------------------------------------------------------------
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimClock::Reset();
+    TraceCollector::Instance().Clear();
+    ObsConfig::SetTracing(true);
+  }
+  void TearDown() override {
+    ObsConfig::SetTracing(false);
+    TraceCollector::Instance().Clear();
+    SimClock::Reset();
+  }
+
+  static std::vector<TraceEvent> EventsNamed(const char* name) {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e :
+         TraceCollector::Instance().Snapshot()) {
+      if (std::string(e.name) == name) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+TEST_F(TracingTest, SpanNestingIsContained) {
+  {
+    TraceScope outer("obs_test.outer", "test");
+    SimClock::Advance(100);
+    {
+      TraceScope inner("obs_test.inner", "test");
+      SimClock::Advance(50);
+    }
+    SimClock::Advance(25);
+  }
+  const auto outer = EventsNamed("obs_test.outer");
+  const auto inner = EventsNamed("obs_test.inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0].dur_ns, 175u);
+  EXPECT_EQ(inner[0].dur_ns, 50u);
+  // Inner is contained in outer, on the same thread.
+  EXPECT_EQ(inner[0].tid, outer[0].tid);
+  EXPECT_GE(inner[0].start_ns, outer[0].start_ns);
+  EXPECT_LE(inner[0].start_ns + inner[0].dur_ns,
+            outer[0].start_ns + outer[0].dur_ns);
+}
+
+TEST_F(TracingTest, DisabledTracingEmitsNothing) {
+  ObsConfig::SetTracing(false);
+  {
+    TraceScope span("obs_test.invisible", "test");
+    SimClock::Advance(10);
+  }
+  EXPECT_TRUE(EventsNamed("obs_test.invisible").empty());
+}
+
+TEST_F(TracingTest, RingBufferWraparoundKeepsNewest) {
+  TraceCollector& tc = TraceCollector::Instance();
+  tc.SetBufferCapacity(8);
+  // Capacity applies to buffers created after the call, so emit from a
+  // fresh thread.
+  std::thread t([] {
+    SimClock::Reset();
+    for (int i = 0; i < 20; i++) {
+      SimClock::Advance(10);
+      TraceScope span("obs_test.wrap", "test");
+      SimClock::Advance(1);
+    }
+  });
+  t.join();
+  tc.SetBufferCapacity(64 * 1024);
+
+  const auto events = EventsNamed("obs_test.wrap");
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(tc.dropped(), 12u);
+  // The retained 8 are the newest, oldest-first.
+  for (size_t i = 1; i < events.size(); i++) {
+    EXPECT_GT(events[i].start_ns, events[i - 1].start_ns);
+  }
+  // Event k (0-based) starts at 10*(k+1) + k; the survivors are k=12..19.
+  EXPECT_EQ(events.front().start_ns, 10u * 13 + 12);
+}
+
+TEST_F(TracingTest, ChromeJsonParsesBack) {
+  {
+    TraceScope a("obs_test.json_a", "test");
+    SimClock::Advance(5);
+    TraceScope b("obs_test.json_b", "test");
+    SimClock::Advance(7);
+  }
+  const std::string json = TraceCollector::Instance().ToChromeJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// --- StatsExporter -----------------------------------------------------------
+
+TEST(StatsExporterTest, MergeSemantics) {
+  StatsExporter e;
+  // Counters ADD.
+  e.AddCounter("c", 3);
+  e.AddCounter("c", 4);
+  // Scalars OVERWRITE.
+  e.AddScalar("s", 1.5);
+  e.AddScalar("s", 2.5);
+  // Histograms MERGE.
+  Histogram h1, h2;
+  h1.Add(10);
+  h2.Add(1000);
+  e.AddHistogram("h", h1);
+  e.AddHistogram("h", h2);
+
+  const std::string json = e.ToJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"c\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"s\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\":10"), std::string::npos) << json;
+
+  const std::string text = e.ToText();
+  EXPECT_NE(text.find('c'), std::string::npos);
+}
+
+TEST(StatsExporterTest, EmptyExporterIsValidJson) {
+  StatsExporter e;
+  EXPECT_TRUE(e.empty());
+  const std::string json = e.ToJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+}
+
+TEST(StatsExporterTest, CollectGlobalSeesTelemetryAndRegistry) {
+  Telemetry::Instance().Reset();
+  ObsConfig::SetEnabled(true);
+  GlobalMetrics().GetCounter("obs_test.counter")->Add(11);
+  Telemetry::Instance().GetHistogram("obs_test.hist_ns")->Add(42);
+
+  StatsExporter e;
+  e.CollectGlobal();
+  const std::string json = e.ToJson();
+  EXPECT_NE(json.find("\"obs_test.counter\":11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs_test.hist_ns\""), std::string::npos) << json;
+  ObsConfig::SetEnabled(false);
+  Telemetry::Instance().Reset();
+}
+
+// --- MetricsRegistry gauges --------------------------------------------------
+
+TEST(MetricsRegistryTest, GaugeFoldsIntoCounterOnUnregister) {
+  MetricsRegistry registry;
+  {
+    GaugeToken token =
+        registry.RegisterGauge("g", [] { return uint64_t{21}; });
+    GaugeToken token2 =
+        registry.RegisterGauge("g", [] { return uint64_t{2}; });
+    EXPECT_EQ(registry.Snapshot().at("g"), 23u);  // same-name gauges sum
+  }
+  // Both tokens died: final readings folded into the counter.
+  EXPECT_EQ(registry.Snapshot().at("g"), 23u);
+}
+
+// --- Telemetry ---------------------------------------------------------------
+
+TEST(TelemetryTest, SameNameSameHistogram) {
+  Telemetry& t = Telemetry::Instance();
+  ConcurrentHistogram* a = t.GetHistogram("obs_test.same");
+  ConcurrentHistogram* b = t.GetHistogram("obs_test.same");
+  EXPECT_EQ(a, b);
+  t.Reset();
+}
+
+// --- ConcurrentHistogram -----------------------------------------------------
+
+TEST(ConcurrentHistogramTest, EightThreadsNoLostUpdates) {
+  ConcurrentHistogram ch;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&ch, t] {
+      for (uint64_t i = 1; i <= kPerThread; i++) {
+        ch.Add(i + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const Histogram merged = ch.Merged();
+  EXPECT_EQ(merged.count(), kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; t++) {
+    for (uint64_t i = 1; i <= kPerThread; i++) {
+      expected_sum += i + static_cast<uint64_t>(t);
+    }
+  }
+  EXPECT_EQ(merged.sum(), expected_sum);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), kPerThread + kThreads - 1);
+}
+
+}  // namespace
+}  // namespace dsmdb::obs

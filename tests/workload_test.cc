@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 
 #include "common/coding.h"
@@ -151,6 +152,18 @@ TEST(DriverTest, AggregatesAcrossNodesAndThreads) {
   EXPECT_GT(result.throughput_tps, 0.0);
   EXPECT_EQ(result.latency_ns.count(), 200u);
   EXPECT_FALSE(result.ToString().empty());
+
+  // Results flow through the stats exporter under `workload.<name>.*`.
+  obs::StatsExporter exporter;
+  result.ExportTo(&exporter, "ycsb");
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"workload.ycsb.attempts\":200"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"workload.ycsb.txn_latency_ns\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"workload.ycsb.abort_rate\""), std::string::npos)
+      << json;
 }
 
 TEST(TpccLiteTest, LoadsAndRunsTransactions) {
@@ -172,18 +185,23 @@ TEST(TpccLiteTest, LoadsAndRunsTransactions) {
   ASSERT_TRUE(db.FinishSetup().ok());
   SimClock::Reset();
 
-  Random64 rng(4);
-  uint32_t committed = 0;
-  for (int i = 0; i < 30; i++) {
-    Status s = (i % 2 == 0) ? tpcc->RunNewOrder(cn, rng)
-                            : tpcc->RunPayment(cn, rng);
-    if (s.ok()) {
-      committed++;
-    } else {
-      ASSERT_TRUE(s.IsAborted()) << s;
-    }
-  }
-  EXPECT_GT(committed, 0u);
+  DriverOptions dropts;
+  dropts.threads_per_node = 1;
+  dropts.txns_per_thread = 30;
+  std::atomic<uint32_t> i{0};
+  DriverResult result = RunDriver(
+      {cn}, dropts,
+      [&](core::ComputeNode* node, uint32_t, Random64& rng) {
+        Status s = (i.fetch_add(1) % 2 == 0) ? tpcc->RunNewOrder(node, rng)
+                                             : tpcc->RunPayment(node, rng);
+        EXPECT_TRUE(s.ok() || s.IsAborted()) << s;
+        return s.ok();
+      });
+  EXPECT_GT(result.committed, 0u);
+  obs::StatsExporter exporter;
+  result.ExportTo(&exporter, "tpcc-lite");
+  EXPECT_NE(exporter.ToJson().find("\"workload.tpcc-lite.committed\""),
+            std::string::npos);
 
   // Money flowed into warehouses: total warehouse ytd must be positive
   // and must equal district ytd total (Payment writes both).

@@ -25,6 +25,9 @@ struct Config {
   core::DurabilityMode durability;
   bool group_commit = true;
   uint32_t replication_factor = 3;
+  /// false = pre-engine A/B baseline: eager per-RTT write locks and the
+  /// two-sided RPC log append instead of the pipelined one-sided path.
+  bool pipelined = true;
 };
 
 void RunOne(Table* out, const Config& cfg, uint32_t threads) {
@@ -38,6 +41,8 @@ void RunOne(Table* out, const Config& cfg, uint32_t threads) {
   dopts.durability = cfg.durability;
   dopts.wal.group_commit = cfg.group_commit;
   dopts.replicated_log.replication_factor = cfg.replication_factor;
+  dopts.cc.defer_write_locks = cfg.pipelined;
+  dopts.replicated_log.one_sided = cfg.pipelined;
   if (cfg.durability == core::DurabilityMode::kCloudWal) {
     // Group-commit batching depends on committers overlapping in time;
     // the simulated flush completes instantly in real time, so give the
@@ -119,6 +124,11 @@ int main(int argc, char** argv) {
     RunOne(&table,
            {"mem-replication k=3", core::DurabilityMode::kMemReplication,
             true, 3},
+           threads);
+    RunOne(&table,
+           {"mem-repl k=3 (eager locks, rpc log)",
+            core::DurabilityMode::kMemReplication, true, 3,
+            /*pipelined=*/false},
            threads);
   }
   table.Print();

@@ -82,18 +82,18 @@ bool CrossDcTransfer(DataCenter& home, DataCenter& remote, Random64& rng) {
   const uint64_t b = rng.Uniform(kKeysPerDc);
 
   // Phase 1: prepare both legs in parallel (coordinator in `home`).
-  const uint64_t t0 = SimClock::Now();
+  SimFanOut fan;
   // Local leg: executed within the home DC at RDMA speed.
+  fan.BeginBranch();
   Result<core::TxnResult> local = home.nodes[0]->ExecuteOneShot(
       *home.table, {core::TxnOp::Add(a, -5)});
-  const uint64_t local_end = SimClock::Now();
   // Remote leg: WAN hop + execution in the remote DC + WAN hop back.
-  SimClock::Set(t0);
+  fan.BeginBranch();
   SimClock::Advance(kWanRttNs / 2);
   Result<core::TxnResult> rem = remote.nodes[0]->ExecuteOneShot(
       *remote.table, {core::TxnOp::Add(b, 5)});
   SimClock::Advance(kWanRttNs / 2);
-  SimClock::AdvanceTo(std::max(local_end, SimClock::Now()));
+  fan.Join();
 
   // Phase 2: decision to the remote DC (one more WAN round trip). Our
   // one-shot legs auto-commit, so this models the ack the coordinator

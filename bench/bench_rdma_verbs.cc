@@ -134,6 +134,50 @@ void BM_DoorbellBatchRead(benchmark::State& state) {
 }
 BENCHMARK(BM_DoorbellBatchRead)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
+/// Async verb engine: pipeline-depth sweep. n 64-byte reads posted into one
+/// CompletionQueue must complete in max(RTT) + n*post_overhead + transfer —
+/// the sweep validates the closed form within 1% at every depth (the
+/// acceptance criterion for the engine's overlap accounting).
+void BM_PipelinedRead(benchmark::State& state) {
+  Env& env = GetEnv();
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t kBytes = 64;
+  const dsmdb::rdma::NetworkModel& m = env.cluster->fabric().model();
+  std::vector<char> out(n * kBytes);
+  SimClock::Reset();
+  const uint64_t t0 = SimClock::Now();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    dsmdb::dsm::DsmPipeline pipe(env.client.get());
+    for (size_t i = 0; i < n; i++) {
+      pipe.Read(env.region.Plus(i * 4096), out.data() + i * kBytes, kBytes);
+    }
+    benchmark::DoNotOptimize(pipe.WaitAll());
+    iters++;
+  }
+  const double per_pipeline = static_cast<double>(
+      (SimClock::Now() - t0) / (iters == 0 ? 1 : iters));
+  const double model_ns = static_cast<double>(
+      n * m.post_overhead_ns + m.rtt_ns + m.TransferNs(kBytes));
+  const double closed_form =
+      static_cast<double>(m.rtt_ns + n * m.post_overhead_ns);
+  state.counters["sim_ns_per_pipeline"] = per_pipeline;
+  state.counters["sim_ns_per_op"] = per_pipeline / static_cast<double>(n);
+  state.counters["model_ns"] = model_ns;
+  state.counters["closed_form_pct_err"] =
+      100.0 * (per_pipeline - closed_form) / closed_form;
+  state.counters["serial_ns"] =
+      static_cast<double>(n) * static_cast<double>(m.OneSidedNs(kBytes));
+}
+BENCHMARK(BM_PipelinedRead)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
 /// Two-sided RPC (echo) vs one-sided read of the same payload.
 void BM_TwoSidedRpc(benchmark::State& state) {
   Env& env = GetEnv();

@@ -45,17 +45,15 @@ Status DirectoryCoherence::OnLocalWrite(dsm::GlobalAddress page,
   const std::string msg = update_based_
                               ? EncodeUpdate(chunk, data, len)
                               : EncodeInvalidate(page);
-  // Notify all peer sharers in parallel (simulated fan-out).
-  const uint64_t t0 = SimClock::Now();
-  uint64_t max_end = t0;
-  for (uint32_t peer : *sharers) {
-    SimClock::Set(t0);
-    std::string resp;
-    // A dead peer cannot hold a stale cache, so Unavailable is fine.
-    (void)dsm_->nic().Call(peer, dsm::kSvcInvalidate, msg, &resp);
-    max_end = std::max(max_end, SimClock::Now());
+  // Notify all peer sharers as one pipelined two-sided fan-out (~1 RTT
+  // plus a posting per peer, via the async verb engine).
+  dsm::DsmPipeline pipe(dsm_);
+  std::vector<std::string> resps(sharers->size());
+  for (size_t i = 0; i < sharers->size(); i++) {
+    pipe.Call((*sharers)[i], dsm::kSvcInvalidate, msg, &resps[i]);
   }
-  SimClock::AdvanceTo(max_end);
+  // A dead peer cannot hold a stale cache, so Unavailable is fine.
+  (void)pipe.WaitAll();
   if (update_based_) {
     updates_sent_.fetch_add(sharers->size(), std::memory_order_relaxed);
   } else {

@@ -1,9 +1,14 @@
 #include "common/sim_clock.h"
 
+#include <cassert>
+
 namespace dsmdb {
 
 namespace {
 thread_local uint64_t tls_sim_now_ns = 0;
+#ifndef NDEBUG
+thread_local bool tls_set_allowed = false;
+#endif
 }  // namespace
 
 uint64_t SimClock::Now() { return tls_sim_now_ns; }
@@ -16,6 +21,22 @@ void SimClock::AdvanceTo(uint64_t t) {
 
 void SimClock::Reset() { tls_sim_now_ns = 0; }
 
-void SimClock::Set(uint64_t t) { tls_sim_now_ns = t; }
+void SimClock::Set(uint64_t t) {
+#ifndef NDEBUG
+  // grep-able invariant: SimClock::Set is reserved for SimFanOut; verb
+  // overlap goes through rdma::CompletionQueue.
+  assert(tls_set_allowed &&
+         "SimClock::Set outside SimFanOut/async verb engine");
+#endif
+  tls_sim_now_ns = t;
+}
+
+void SimClock::AllowSet(bool allowed) {
+#ifndef NDEBUG
+  tls_set_allowed = allowed;
+#else
+  (void)allowed;
+#endif
+}
 
 }  // namespace dsmdb

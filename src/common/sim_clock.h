@@ -32,13 +32,104 @@ class SimClock {
   /// Resets the calling thread's clock to zero.
   static void Reset();
 
-  /// Sets the clock to an absolute value. Needed when modeling *parallel*
-  /// fan-out on one thread: snapshot Now(), issue each branch after
-  /// Set(snapshot), and AdvanceTo(max of branch completion times).
+  /// Sets the clock to an absolute value (it may move *backwards*).
+  ///
+  /// Reserved for `SimFanOut` below. Verb-level overlap is modeled by the
+  /// async verb engine (rdma::CompletionQueue, see rdma/async_engine.h),
+  /// which only ever moves the clock forward; rewinding is needed only
+  /// when fanning out *coarse-grained* actions that are not expressible as
+  /// posted verbs (e.g. whole transactions across simulated WAN sites).
+  /// Debug builds assert that no other caller uses Set.
   static void Set(uint64_t t);
 
  private:
+  friend class SimFanOut;
+  friend class SimHandlerScope;
+  /// Debug-only permission token for Set (see SimFanOut).
+  static void AllowSet(bool allowed);
+
   SimClock() = delete;
+};
+
+/// RAII helper modeling a parallel fan-out of coarse-grained branches on
+/// one thread: each branch is issued from the same start time, and Join()
+/// advances the clock to the slowest branch's completion.
+///
+///   SimFanOut fan;
+///   for (auto& site : sites) {
+///     fan.BeginBranch();   // rewind to the fan-out start
+///     RunOnSite(site);     // advances the clock by this branch's cost
+///   }
+///   fan.Join();            // clock = max over branches
+///
+/// One of the two sanctioned callers of SimClock::Set (the other is
+/// SimHandlerScope below, used inside the async verb engine). Prefer the
+/// engine (rdma::CompletionQueue) whenever the parallel work is made of
+/// individual verbs/RPCs.
+class SimFanOut {
+ public:
+  SimFanOut() : t0_(SimClock::Now()), max_end_(t0_) {}
+  ~SimFanOut() {
+    if (!joined_) Join();
+  }
+
+  SimFanOut(const SimFanOut&) = delete;
+  SimFanOut& operator=(const SimFanOut&) = delete;
+
+  /// Starts the next parallel branch at the fan-out origin time (records
+  /// the previous branch's completion first).
+  void BeginBranch() {
+    if (SimClock::Now() > max_end_) max_end_ = SimClock::Now();
+    SimClock::AllowSet(true);
+    SimClock::Set(t0_);
+    SimClock::AllowSet(false);
+  }
+
+  /// Advances the clock to the slowest branch's completion.
+  void Join() {
+    if (SimClock::Now() > max_end_) max_end_ = SimClock::Now();
+    SimClock::AdvanceTo(max_end_);
+    joined_ = true;
+  }
+
+ private:
+  uint64_t t0_;
+  uint64_t max_end_;
+  bool joined_ = false;
+};
+
+/// Scope used by the async verb engine (rdma::CompletionQueue::PostCall)
+/// to run an RPC handler inline while keeping the handler's simulated cost
+/// off the caller's clock: the handler's internal Advances (the
+/// participant's own DSM traffic) are measured and rewound by End(), and
+/// the engine folds that elapsed time into the posted call's wire cost —
+/// so participant-side work lands on the leg's completion time and
+/// overlaps across targets instead of serializing at the post site. The
+/// only sanctioned SimClock::Set caller besides SimFanOut.
+class SimHandlerScope {
+ public:
+  SimHandlerScope() : t0_(SimClock::Now()) {}
+  ~SimHandlerScope() {
+    if (!ended_) (void)End();
+  }
+
+  SimHandlerScope(const SimHandlerScope&) = delete;
+  SimHandlerScope& operator=(const SimHandlerScope&) = delete;
+
+  /// Rewinds the clock to the scope's start and returns the simulated
+  /// nanoseconds the handler consumed in between.
+  uint64_t End() {
+    ended_ = true;
+    const uint64_t elapsed = SimClock::Now() - t0_;
+    SimClock::AllowSet(true);
+    SimClock::Set(t0_);
+    SimClock::AllowSet(false);
+    return elapsed;
+  }
+
+ private:
+  uint64_t t0_;
+  bool ended_ = false;
 };
 
 /// RAII scope that measures elapsed simulated time on the calling thread.

@@ -256,86 +256,113 @@ Result<TxnResult> ComputeNode::ExecuteTwoPc(
   TxnResult result;
   result.reads.resize(ops.size());
   bool all_yes = true;
+  // Hard (non-abort) failures are deferred until after the decide round:
+  // a participant that voted yes holds its locks in pending_ until a
+  // DECIDE arrives, so returning early here would leak them forever.
+  Status hard_error;
   std::unique_ptr<txn::Transaction> local_txn;
 
-  // Phase 1: PREPARE, fanned out in parallel (simulated time).
-  const uint64_t t0 = SimClock::Now();
-  uint64_t max_end = t0;
-  std::vector<uint32_t> participants;
+  // Phase 1: PREPARE, one pipelined RPC fan-out on the async verb engine
+  // with the local participant run inline; WaitAll joins at the slowest
+  // leg. Participants are contacted in ascending owner order with the
+  // local leg at its ordinal slot, so every coordinator tries participant
+  // locks in the same global order — two conflicting NO_WAIT transactions
+  // cannot keep aborting each other from opposite ends (the holder of the
+  // lowest contended owner always progresses). The local leg's simulated
+  // time is rewound and re-joined after WaitAll (same accounting PostCall
+  // uses for handlers), so it still overlaps the remote legs.
+  std::vector<uint32_t> remote;
+  std::vector<std::string> resps(by_owner.size());
+  std::vector<rdma::WrId> wr(by_owner.size(), 0);
+  uint64_t local_end_ns = 0;
+  dsm::DsmPipeline pipe(dsm_.get());
   for (uint32_t o = 0; o < by_owner.size(); o++) {
     if (by_owner[o].empty()) continue;
-    participants.push_back(o);
-    SimClock::Set(t0);
     if (o == slot_) {
       // Local participant: run the sub-transaction in-process.
+      const uint64_t local_start = SimClock::Now();
+      SimHandlerScope local_scope;
       Result<std::unique_ptr<txn::Transaction>> txn = cc_->Begin();
-      if (!txn.ok()) return txn.status();
+      if (!txn.ok()) {
+        all_yes = false;
+        hard_error = txn.status();
+        local_end_ns = local_start + local_scope.End();
+        continue;
+      }
       bool ok = true;
-      for (size_t idx : by_owner[o]) {
-        Status s =
-            ApplyOp(txn->get(), table, ops[idx], &result.reads[idx]);
-        if (s.IsAborted()) {
+      for (size_t idx : by_owner[slot_]) {
+        Status s = ApplyOp(txn->get(), table, ops[idx], &result.reads[idx]);
+        if (!s.ok()) {
           ok = false;
+          if (!s.IsAborted()) hard_error = s;
           break;
         }
-        if (!s.ok()) return s;
+      }
+      if (ok) {
+        // Acquire deferred locks inside the overlapped prepare phase.
+        Status s = (*txn)->Prepare();
+        if (!s.ok()) {
+          ok = false;
+          if (!s.IsAborted()) hard_error = s;
+        }
       }
       if (ok) {
         local_txn = std::move(*txn);
       } else {
         all_yes = false;
       }
-    } else {
-      std::string req;
-      PutFixed64(&req, txn_id);
-      EncodeOps(ops, by_owner[o], &req);
-      std::string resp;
-      Status s = dsm_->nic().Call(owner_fabric_ids_[o], kSvcTxnPrepare, req,
-                                  &resp);
-      if (!s.ok() || resp.empty() || resp[0] != 1) {
+      local_end_ns = local_start + local_scope.End();
+      continue;
+    }
+    remote.push_back(o);
+    std::string req;
+    PutFixed64(&req, txn_id);
+    EncodeOps(ops, by_owner[o], &req);
+    wr[o] = pipe.Call(owner_fabric_ids_[o], kSvcTxnPrepare, req, &resps[o]);
+  }
+  (void)pipe.WaitAll();
+  SimClock::AdvanceTo(local_end_ns);
+  for (uint32_t o : remote) {
+    const std::string& resp = resps[o];
+    if (!pipe.status(wr[o]).ok() || resp.empty() || resp[0] != 1) {
+      all_yes = false;
+      continue;
+    }
+    size_t pos = 1;
+    for (size_t idx : by_owner[o]) {
+      if (ops[idx].type != TxnOpType::kRead) continue;
+      if (pos + table.value_size() > resp.size()) {
         all_yes = false;
-      } else {
-        size_t pos = 1;
-        for (size_t idx : by_owner[o]) {
-          if (ops[idx].type != TxnOpType::kRead) continue;
-          if (pos + table.value_size() > resp.size()) {
-            return Status::Internal("short prepare response");
-          }
-          result.reads[idx].assign(resp.data() + pos, table.value_size());
-          pos += table.value_size();
-        }
+        hard_error = Status::Internal("short prepare response");
+        break;
       }
+      result.reads[idx].assign(resp.data() + pos, table.value_size());
+      pos += table.value_size();
     }
-    max_end = std::max(max_end, SimClock::Now());
   }
-  SimClock::AdvanceTo(max_end);
 
-  // Phase 2: COMMIT / ABORT decision, also fanned out.
-  const uint64_t t1 = SimClock::Now();
-  uint64_t max_end2 = t1;
+  // Phase 2: COMMIT / ABORT decision, the same pipelined shape.
   bool commit_ok = all_yes;
-  for (uint32_t o : participants) {
-    SimClock::Set(t1);
-    if (o == slot_) {
-      if (local_txn != nullptr) {
-        Status s = all_yes ? local_txn->Commit() : local_txn->Abort();
-        if (all_yes && !s.ok()) commit_ok = false;
-      }
-    } else {
-      std::string req;
-      PutFixed64(&req, txn_id);
-      req.push_back(all_yes ? 1 : 0);
-      std::string resp;
-      Status s = dsm_->nic().Call(owner_fabric_ids_[o], kSvcTxnDecide, req,
-                                  &resp);
-      if (all_yes && (!s.ok() || resp.empty() || resp[0] != 1)) {
-        commit_ok = false;
-      }
-    }
-    max_end2 = std::max(max_end2, SimClock::Now());
+  pipe.Reset();
+  std::string decide;
+  PutFixed64(&decide, txn_id);
+  decide.push_back(all_yes ? 1 : 0);
+  for (uint32_t o : remote) {
+    wr[o] = pipe.Call(owner_fabric_ids_[o], kSvcTxnDecide, decide, &resps[o]);
   }
-  SimClock::AdvanceTo(max_end2);
+  if (local_txn != nullptr) {
+    Status s = all_yes ? local_txn->Commit() : local_txn->Abort();
+    if (all_yes && !s.ok()) commit_ok = false;
+  }
+  (void)pipe.WaitAll();
+  for (uint32_t o : remote) {
+    if (all_yes && (!pipe.status(wr[o]).ok() || resps[o].empty() ||
+                    resps[o][0] != 1)) {
+      commit_ok = false;
+    }
+  }
 
+  if (!hard_error.ok()) return hard_error;
   result.committed = commit_ok;
   if (!commit_ok) {
     stats_.two_pc_aborts.fetch_add(1, std::memory_order_relaxed);
@@ -391,6 +418,12 @@ uint64_t ComputeNode::HandlePrepare(std::string_view req,
       resp->push_back(0);
       return 600 + 200 * ops.size();
     }
+  }
+  // Deferred write locks are paid here, inside the coordinator's
+  // overlapped prepare fan-out, not on the serial decide path.
+  if (!(*txn)->Prepare().ok()) {
+    resp->push_back(0);
+    return 600 + 200 * ops.size();
   }
   {
     std::lock_guard<std::mutex> lk(pending_mu_);

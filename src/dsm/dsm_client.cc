@@ -7,6 +7,39 @@
 
 namespace dsmdb::dsm {
 
+namespace {
+
+/// Hot-path scratch: ReadBatch/WriteBatch translate DsmBatchOp ->
+/// rdma::BatchOp on every call; reuse one per-thread vector instead of
+/// allocating. Safe: the NIC batch verbs never re-enter the client.
+std::vector<rdma::BatchOp>& BatchScratch() {
+  thread_local std::vector<rdma::BatchOp> scratch;
+  return scratch;
+}
+
+/// Request-string scratch for DirectoryCall/Offload. RPC handlers run
+/// inline on the calling thread and may re-enter the client (e.g. a peer's
+/// eviction during invalidation unregisters a sharer), so rotate through a
+/// small per-thread pool instead of sharing one buffer.
+class ReqScratch {
+ public:
+  ReqScratch() : buf_(Slot(depth_++)) { buf_->clear(); }
+  ~ReqScratch() { depth_--; }
+  std::string* get() { return buf_; }
+
+ private:
+  static std::string* Slot(uint32_t depth) {
+    thread_local std::string slots[4];
+    return &slots[depth % 4];
+  }
+  static thread_local uint32_t depth_;
+  std::string* buf_;
+};
+
+thread_local uint32_t ReqScratch::depth_ = 0;
+
+}  // namespace
+
 DsmClient::DsmClient(Cluster* cluster, rdma::NodeId self)
     : cluster_(cluster), nic_(&cluster->fabric(), self) {
   obs::Telemetry& telemetry = obs::Telemetry::Instance();
@@ -73,7 +106,8 @@ Status DsmClient::Write(GlobalAddress dst, const void* src, size_t length) {
 
 Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
   obs::OpScope scope("dsm.read_batch", "dsm", obs_.batch_ns);
-  std::vector<rdma::BatchOp> raw;
+  std::vector<rdma::BatchOp>& raw = BatchScratch();
+  raw.clear();
   raw.reserve(ops.size());
   for (const DsmBatchOp& op : ops) {
     raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
@@ -83,7 +117,8 @@ Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
 
 Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
   obs::OpScope scope("dsm.write_batch", "dsm", obs_.batch_ns);
-  std::vector<rdma::BatchOp> raw;
+  std::vector<rdma::BatchOp>& raw = BatchScratch();
+  raw.clear();
   raw.reserve(ops.size());
   for (const DsmBatchOp& op : ops) {
     raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
@@ -105,16 +140,20 @@ Result<uint64_t> DsmClient::FetchAndAdd(GlobalAddress addr, uint64_t delta) {
 
 Status DsmClient::WriteAll(const std::vector<GlobalAddress>& dsts,
                            const void* src, size_t length) {
+  obs::OpScope scope("dsm.write_all", "dsm", obs_.write_ns);
+  rdma::CompletionQueue cq(&cluster_->fabric(), self());
   for (const GlobalAddress& dst : dsts) {
-    DSMDB_RETURN_NOT_OK(Write(dst, src, length));
+    cq.PostWrite(ToRemote(dst), src, length);
   }
-  return Status::OK();
+  return cq.WaitAll();
 }
 
 Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
                           std::string_view arg, std::string* out) {
   obs::OpScope scope("dsm.offload", "dsm", obs_.offload_ns);
-  std::string req;
+  ReqScratch scratch;
+  std::string& req = *scratch.get();
+  req.reserve(4 + arg.size());
   PutFixed32(&req, fn_id);
   req.append(arg.data(), arg.size());
   std::string resp;
@@ -130,7 +169,8 @@ Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
 Status DsmClient::DirectoryCall(uint8_t op, GlobalAddress page,
                                 uint32_t cache_id, std::string* resp) {
   obs::OpScope scope("dsm.directory", "dsm", obs_.directory_ns);
-  std::string req;
+  ReqScratch scratch;
+  std::string& req = *scratch.get();
   req.push_back(static_cast<char>(op));
   PutFixed64(&req, page.Pack());
   PutFixed32(&req, cache_id);

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "dsm/cluster.h"
 #include "dsm/gaddr.h"
+#include "rdma/async_engine.h"
 #include "rdma/nic.h"
 
 namespace dsmdb::dsm {
@@ -59,7 +60,9 @@ class DsmClient {
   Result<uint64_t> FetchAndAdd(GlobalAddress addr, uint64_t delta);
 
   /// Replicated write: writes the same buffer to each address (used by
-  /// memory-replication durability). All writes must succeed.
+  /// memory-replication durability). All writes must succeed. The k writes
+  /// are pipelined through the async verb engine, so k-way replication
+  /// costs ~1 RTT + k postings instead of k RTTs.
   Status WriteAll(const std::vector<GlobalAddress>& dsts, const void* src,
                   size_t length);
 
@@ -113,6 +116,53 @@ class DsmClient {
   rdma::Nic nic_;
   std::atomic<uint32_t> alloc_rr_{0};
   ObsHooks obs_;
+};
+
+/// GlobalAddress-level view of the async verb engine: posts translate
+/// through the cluster map, completion semantics are rdma::CompletionQueue's
+/// (per-target in-order, cross-target parallel, WaitAll advances the clock
+/// to the slowest op). Not thread-safe; reuse via Reset().
+class DsmPipeline {
+ public:
+  explicit DsmPipeline(DsmClient* client,
+                       uint32_t max_outstanding = rdma::kDefaultQpDepth)
+      : client_(client),
+        cq_(&client->cluster()->fabric(), client->self(), max_outstanding) {}
+
+  rdma::WrId Read(GlobalAddress src, void* dst, size_t length) {
+    return cq_.PostRead(client_->ToRemote(src), dst, length);
+  }
+  rdma::WrId Write(GlobalAddress dst, const void* src, size_t length) {
+    return cq_.PostWrite(client_->ToRemote(dst), src, length);
+  }
+  rdma::WrId Cas(GlobalAddress addr, uint64_t expected, uint64_t desired) {
+    return cq_.PostCas(client_->ToRemote(addr), expected, desired);
+  }
+  rdma::WrId Faa(GlobalAddress addr, uint64_t delta) {
+    return cq_.PostFaa(client_->ToRemote(addr), delta);
+  }
+  /// Two-sided call to a memory node by logical id.
+  rdma::WrId CallMem(MemNodeId node, uint32_t service, std::string_view req,
+                     std::string* resp) {
+    return cq_.PostCall(client_->cluster()->MemFabricId(node), service, req,
+                        resp);
+  }
+  /// Two-sided call to an arbitrary fabric node (e.g. a peer compute node).
+  rdma::WrId Call(rdma::NodeId target, uint32_t service, std::string_view req,
+                  std::string* resp) {
+    return cq_.PostCall(target, service, req, resp);
+  }
+
+  Status WaitAll() { return cq_.WaitAll(); }
+  const Status& status(rdma::WrId id) const { return cq_.status(id); }
+  uint64_t value(rdma::WrId id) const { return cq_.value(id); }
+  uint64_t completion_ns(rdma::WrId id) const { return cq_.completion_ns(id); }
+  size_t size() const { return cq_.size(); }
+  void Reset() { cq_.Reset(); }
+
+ private:
+  DsmClient* client_;
+  rdma::CompletionQueue cq_;
 };
 
 }  // namespace dsmdb::dsm

@@ -29,40 +29,112 @@ uint64_t ReplicatedLog::SegmentKey(uint64_t seg) const {
   return name_hash_ ^ (seg * 0x9E3779B97F4A7C15ULL);
 }
 
+Status ReplicatedLog::OpenSegmentLocked(uint64_t seg) {
+  Segment& s = segments_[seg];
+  rdma::Fabric& fabric = client_->cluster()->fabric();
+  s.replicas.reserve(options_.replication_factor);
+  for (uint32_t i = 0; i < options_.replication_factor; i++) {
+    const dsm::MemNodeId node = ReplicaNode(seg, i);
+    Result<dsm::GlobalAddress> buf =
+        client_->Alloc(options_.segment_bytes, node);
+    if (!buf.ok()) {
+      s.replicas.clear();  // retried whole on the next append
+      return buf.status();
+    }
+    s.replicas.push_back(Replica{
+        node, *buf, fabric.Incarnation(client_->cluster()->MemFabricId(node))});
+  }
+  return Status::OK();
+}
+
 Result<uint64_t> ReplicatedLog::AppendSync(LogRecord rec) {
   rec.lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t my_lsn = rec.lsn;
   std::string encoded;
   EncodeLogRecord(rec, &encoded);
+  if (encoded.size() > options_.segment_bytes) {
+    return Status::InvalidArgument("log record larger than a segment");
+  }
 
   uint64_t seg;
+  uint64_t off;
+  std::vector<Replica> replicas;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (cur_segment_bytes_ + encoded.size() > options_.segment_bytes &&
-        cur_segment_bytes_ > 0) {
-      cur_segment_++;
-      cur_segment_bytes_ = 0;
+    rdma::Fabric& fabric = client_->cluster()->fabric();
+    if (segments_.empty()) segments_.emplace_back();
+    for (;;) {
+      if (segments_[cur_segment_].used + encoded.size() >
+              options_.segment_bytes &&
+          segments_[cur_segment_].used > 0) {
+        cur_segment_++;
+        segments_.emplace_back();
+        continue;
+      }
+      if (options_.one_sided) {
+        if (segments_[cur_segment_].replicas.empty()) {
+          // First append into this segment: allocate the k replica buffers
+          // (amortized over the whole segment).
+          DSMDB_RETURN_NOT_OK(OpenSegmentLocked(cur_segment_));
+        }
+        // Health check before reserving the offset, so a sealed segment's
+        // `used` never covers bytes that were not actually written (which
+        // would poison GatherLog's image).
+        bool stale = false;
+        for (const Replica& r : segments_[cur_segment_].replicas) {
+          const rdma::NodeId fab = client_->cluster()->MemFabricId(r.node);
+          if (!fabric.IsAlive(fab)) {
+            // A dead replica means the append cannot reach k copies —
+            // fail the commit until the node is recovered.
+            return Status::Unavailable("log replica on memory node " +
+                                       std::to_string(r.node) + " is lost");
+          }
+          if (fabric.Incarnation(fab) != r.incarnation) {
+            stale = true;
+            break;
+          }
+        }
+        if (stale) {
+          // The node crashed and came back with fresh memory: the stale
+          // buffer address would resolve into unrelated storage. Seal this
+          // segment (its surviving replicas still serve GatherLog) and
+          // roll to a new one with freshly allocated buffers.
+          cur_segment_++;
+          segments_.emplace_back();
+          continue;
+        }
+      }
+      seg = cur_segment_;
+      off = segments_[seg].used;
+      segments_[seg].used += encoded.size();
+      replicas = segments_[seg].replicas;
+      break;
     }
-    seg = cur_segment_;
-    cur_segment_bytes_ += encoded.size();
   }
 
-  // Parallel fan-out to the k replicas: all appends are posted at t0; the
-  // caller becomes durable at the slowest replica's completion.
-  const uint64_t t0 = SimClock::Now();
-  uint64_t max_end = t0;
-  const uint32_t k = options_.replication_factor;
-  for (uint32_t i = 0; i < k; i++) {
-    SimClock::Set(t0);
-    const Status s =
-        client_->LogAppend(ReplicaNode(seg, i), SegmentKey(seg), encoded);
-    if (!s.ok()) {
-      SimClock::AdvanceTo(max_end);
-      return s;  // a down replica fails the commit (no re-replication here)
+  if (options_.one_sided) {
+    rdma::Fabric& fabric = client_->cluster()->fabric();
+    // Pipelined k-way replication: ~1 RTT + k postings, not k RTTs.
+    rdma::CompletionQueue cq(&fabric, client_->self());
+    for (const Replica& r : replicas) {
+      cq.PostWrite(client_->ToRemote(r.buf.Plus(off)), encoded.data(),
+                   encoded.size());
     }
-    max_end = std::max(max_end, SimClock::Now());
+    DSMDB_RETURN_NOT_OK(cq.WaitAll());
+  } else {
+    // Pre-engine fallback: two-sided append RPC per replica, fanned out in
+    // parallel simulated time.
+    Status err;
+    SimFanOut fan;
+    for (uint32_t i = 0; i < options_.replication_factor; i++) {
+      fan.BeginBranch();
+      const Status s =
+          client_->LogAppend(ReplicaNode(seg, i), SegmentKey(seg), encoded);
+      if (!s.ok() && err.ok()) err = s;
+    }
+    fan.Join();
+    if (!err.ok()) return err;
   }
-  SimClock::AdvanceTo(max_end);
 
   uint64_t prev = durable_lsn_.load(std::memory_order_relaxed);
   while (prev < my_lsn && !durable_lsn_.compare_exchange_weak(
@@ -73,20 +145,48 @@ Result<uint64_t> ReplicatedLog::AppendSync(LogRecord rec) {
 
 uint64_t ReplicatedLog::NumSegments() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return cur_segment_bytes_ > 0 || cur_segment_ > 0 ? cur_segment_ + 1 : 0;
+  return segments_.size();
 }
 
 Result<std::vector<LogRecord>> ReplicatedLog::GatherLog() {
-  const uint64_t nsegs = NumSegments();
+  std::vector<Segment> snapshot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot = segments_;
+  }
+  rdma::Fabric& fabric = client_->cluster()->fabric();
   std::string image;
-  for (uint64_t seg = 0; seg < nsegs; seg++) {
+  for (uint64_t seg = 0; seg < snapshot.size(); seg++) {
+    const Segment& s = snapshot[seg];
     bool found = false;
-    for (uint32_t i = 0; i < options_.replication_factor && !found; i++) {
-      Result<std::string> data =
-          client_->LogRead(ReplicaNode(seg, i), SegmentKey(seg));
-      if (data.ok()) {
-        image += *data;
-        found = true;
+    if (options_.one_sided) {
+      std::string buf;
+      for (const Replica& r : s.replicas) {
+        if (s.used == 0) {
+          found = true;  // open but empty segment: nothing to read
+          break;
+        }
+        const rdma::NodeId fab = client_->cluster()->MemFabricId(r.node);
+        if (!fabric.IsAlive(fab) ||
+            fabric.Incarnation(fab) != r.incarnation) {
+          continue;  // crashed or re-incarnated: replica bytes are gone
+        }
+        buf.resize(s.used);
+        if (client_->Read(r.buf, buf.data(), buf.size()).ok()) {
+          image += buf;
+          found = true;
+          break;
+        }
+      }
+    } else {
+      for (uint32_t i = 0;
+           i < options_.replication_factor && !found; i++) {
+        Result<std::string> data =
+            client_->LogRead(ReplicaNode(seg, i), SegmentKey(seg));
+        if (data.ok()) {
+          image += *data;
+          found = true;
+        }
       }
     }
     if (!found) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -23,9 +24,26 @@ struct ReplicatedLogOptions {
   uint64_t segment_bytes = 1ULL << 20;
   /// Distinguishes co-existing logs (e.g. one per compute node).
   std::string name = "rlog";
+  /// Replicate with pipelined one-sided writes into pre-allocated segment
+  /// buffers (~1 RTT for all k replicas). When false, falls back to the
+  /// pre-engine two-sided kSvcLogAppend RPC per replica (kept for A/B
+  /// comparison in bench E2).
+  bool one_sided = true;
 };
 
 /// Thread-safe replicated log over the DSM layer's memory nodes.
+///
+/// Each segment owns `replication_factor` buffers of `segment_bytes`,
+/// allocated on the replica nodes when the segment opens; appends reserve
+/// a slot under the log mutex and then replicate with one pipelined
+/// k-way WriteAll (async verb engine), so durability costs
+/// ~1 RTT + k postings instead of k round trips.
+///
+/// Each replica buffer is stamped with its node's fabric incarnation at
+/// allocation. A crash wipes the node's DRAM; after recovery the node
+/// re-registers fresh memory at the same rkey, so a stale address would
+/// silently resolve into unrelated bytes. Appends and GatherLog treat an
+/// incarnation mismatch as a lost replica.
 class ReplicatedLog {
  public:
   ReplicatedLog(dsm::DsmClient* client, ReplicatedLogOptions options);
@@ -33,13 +51,14 @@ class ReplicatedLog {
   ReplicatedLog(const ReplicatedLog&) = delete;
   ReplicatedLog& operator=(const ReplicatedLog&) = delete;
 
-  /// Appends and replicates `rec`; returns its LSN once all k replicas have
-  /// acknowledged. Replica appends are issued in parallel (simulated time
-  /// advances to the slowest replica, not the sum).
+  /// Appends and replicates `rec`; returns its LSN once all k replicas
+  /// hold it. The k replica writes are issued as one pipeline (simulated
+  /// time advances to the slowest replica, not the sum). A down replica
+  /// fails the commit (no re-replication here).
   Result<uint64_t> AppendSync(LogRecord rec);
 
   /// Reconstructs the full log from replicas, tolerating up to k-1 crashed
-  /// nodes per segment. Records are returned sorted by LSN.
+  /// (or re-incarnated) nodes per segment. Records are sorted by LSN.
   Result<std::vector<LogRecord>> GatherLog();
 
   uint64_t DurableLsn() const {
@@ -52,6 +71,19 @@ class ReplicatedLog {
   dsm::MemNodeId ReplicaNode(uint64_t seg, uint32_t replica) const;
 
  private:
+  struct Replica {
+    dsm::MemNodeId node = 0;
+    dsm::GlobalAddress buf;    ///< segment_bytes buffer on `node`
+    uint64_t incarnation = 0;  ///< fabric incarnation when allocated
+  };
+  struct Segment {
+    std::vector<Replica> replicas;  ///< empty until first append
+    uint64_t used = 0;              ///< bytes reserved so far
+  };
+
+  /// Opens segment `seg` (allocates its k replica buffers). mu_ held.
+  Status OpenSegmentLocked(uint64_t seg);
+  /// Segment id on the wire for the RPC fallback.
   uint64_t SegmentKey(uint64_t seg) const;
 
   dsm::DsmClient* client_;
@@ -60,7 +92,7 @@ class ReplicatedLog {
 
   mutable std::mutex mu_;
   uint64_t cur_segment_ = 0;
-  uint64_t cur_segment_bytes_ = 0;
+  std::vector<Segment> segments_;
   std::atomic<uint64_t> next_lsn_{1};
   std::atomic<uint64_t> durable_lsn_{0};
 };

@@ -1,0 +1,281 @@
+#include "rdma/async_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/sim_clock.h"
+#include "obs/obs_config.h"
+#include "rdma/sim_mem.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "rdma/fabric.h"
+
+namespace dsmdb::rdma {
+
+namespace {
+
+inline bool ObsOn() { return obs::ObsConfig::Enabled(); }
+
+/// Simulated duration of one WaitAll (the pipeline's critical path).
+ConcurrentHistogram* PipelineHist() {
+  static ConcurrentHistogram* h =
+      obs::Telemetry::Instance().GetHistogram("fabric.verb.pipeline_ns");
+  return h;
+}
+
+}  // namespace
+
+CompletionQueue::CompletionQueue(Fabric* fabric, NodeId initiator,
+                                 uint32_t max_outstanding)
+    : fabric_(fabric),
+      initiator_(initiator),
+      depth_(max_outstanding == 0 ? 1 : max_outstanding) {}
+
+uint64_t CompletionQueue::BeginPost() {
+  if (outstanding_ >= depth_) {
+    // Send queue full: the poster stalls until the earliest outstanding op
+    // completes, then its slot is free.
+    uint64_t earliest = UINT64_MAX;
+    for (const Op& op : ops_) {
+      if (!op.retired) earliest = std::min(earliest, op.complete_ns);
+    }
+    SimClock::AdvanceTo(earliest);
+    PollAll();
+  }
+  SimClock::Advance(fabric_->model_.post_overhead_ns);
+  return SimClock::Now();
+}
+
+WrId CompletionQueue::FinishPost(NodeId target, Status status, uint64_t value,
+                                 uint64_t issue_ns, uint64_t wire_cost_ns) {
+  uint64_t complete = issue_ns + wire_cost_ns;
+  // Per-target in-order: an op cannot complete before an earlier op posted
+  // to the same target (QP ordering); different targets run in parallel.
+  auto [it, inserted] = last_complete_.try_emplace(target, complete);
+  if (!inserted) {
+    complete = std::max(complete, it->second);
+    it->second = complete;
+  }
+  if (!status.ok() && first_error_.ok()) first_error_ = status;
+  Op op;
+  op.status = std::move(status);
+  op.value = value;
+  op.complete_ns = complete;
+  ops_.push_back(std::move(op));
+  outstanding_++;
+  return static_cast<WrId>(ops_.size() - 1);
+}
+
+WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
+  const uint64_t issue = BeginPost();
+  const NetworkModel& m = fabric_->model_;
+  Status s;
+  uint64_t cost;
+  Result<char*> host = fabric_->Resolve(src, length);
+  if (host.ok()) {
+    SimMemRead(dst, *host, length);
+    fabric_->ReleaseResolve(src.node);
+    cost = m.rtt_ns + m.TransferNs(length);
+    VerbStats& st = fabric_->stats(initiator_);
+    st.one_sided_reads.fetch_add(1, std::memory_order_relaxed);
+    st.bytes_read.fetch_add(length, std::memory_order_relaxed);
+  } else {
+    s = host.status();
+    cost = m.rtt_ns;  // failure detected after a round trip (NAK/timeout)
+  }
+  const WrId id = FinishPost(src.node, std::move(s), 0, issue, cost);
+  if (ObsOn()) {
+    fabric_->obs_.read_ns->Add(ops_[id].complete_ns -
+                               (issue - m.post_overhead_ns));
+    fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
+  }
+  return id;
+}
+
+WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
+                                size_t length) {
+  const uint64_t issue = BeginPost();
+  const NetworkModel& m = fabric_->model_;
+  Status s;
+  uint64_t cost;
+  Result<char*> host = fabric_->Resolve(dst, length);
+  if (host.ok()) {
+    SimMemWrite(*host, src, length);
+    fabric_->ReleaseResolve(dst.node);
+    cost = m.rtt_ns + m.TransferNs(length);
+    VerbStats& st = fabric_->stats(initiator_);
+    st.one_sided_writes.fetch_add(1, std::memory_order_relaxed);
+    st.bytes_written.fetch_add(length, std::memory_order_relaxed);
+  } else {
+    s = host.status();
+    cost = m.rtt_ns;
+  }
+  const WrId id = FinishPost(dst.node, std::move(s), 0, issue, cost);
+  if (ObsOn()) {
+    fabric_->obs_.write_ns->Add(ops_[id].complete_ns -
+                                (issue - m.post_overhead_ns));
+    fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
+  }
+  return id;
+}
+
+WrId CompletionQueue::PostCas(RemotePtr addr, uint64_t expected,
+                              uint64_t desired) {
+  const uint64_t issue = BeginPost();
+  const NetworkModel& m = fabric_->model_;
+  Status s;
+  uint64_t prev = 0;
+  uint64_t cost = m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8);
+  if (addr.offset % 8 != 0) {
+    s = Status::InvalidArgument("atomic requires 8-byte alignment");
+    cost = m.rtt_ns;
+  } else {
+    Result<char*> host = fabric_->Resolve(addr, 8);
+    if (host.ok()) {
+      auto* word = reinterpret_cast<uint64_t*>(*host);
+      prev = expected;
+      __atomic_compare_exchange_n(word, &prev, desired, /*weak=*/false,
+                                  __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
+      fabric_->ReleaseResolve(addr.node);
+      fabric_->stats(initiator_).cas_ops.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    } else {
+      s = host.status();
+      cost = m.rtt_ns;
+    }
+  }
+  const WrId id = FinishPost(addr.node, std::move(s), prev, issue, cost);
+  if (ObsOn()) {
+    fabric_->obs_.cas_ns->Add(ops_[id].complete_ns -
+                              (issue - m.post_overhead_ns));
+    fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
+  }
+  return id;
+}
+
+WrId CompletionQueue::PostFaa(RemotePtr addr, uint64_t delta) {
+  const uint64_t issue = BeginPost();
+  const NetworkModel& m = fabric_->model_;
+  Status s;
+  uint64_t prev = 0;
+  uint64_t cost = m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8);
+  if (addr.offset % 8 != 0) {
+    s = Status::InvalidArgument("atomic requires 8-byte alignment");
+    cost = m.rtt_ns;
+  } else {
+    Result<char*> host = fabric_->Resolve(addr, 8);
+    if (host.ok()) {
+      auto* word = reinterpret_cast<uint64_t*>(*host);
+      prev = __atomic_fetch_add(word, delta, __ATOMIC_ACQ_REL);
+      fabric_->ReleaseResolve(addr.node);
+      fabric_->stats(initiator_).faa_ops.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    } else {
+      s = host.status();
+      cost = m.rtt_ns;
+    }
+  }
+  const WrId id = FinishPost(addr.node, std::move(s), prev, issue, cost);
+  if (ObsOn()) {
+    fabric_->obs_.faa_ns->Add(ops_[id].complete_ns -
+                              (issue - m.post_overhead_ns));
+    fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
+  }
+  return id;
+}
+
+WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
+                               std::string_view request,
+                               std::string* response) {
+  const uint64_t issue = BeginPost();
+  const NetworkModel& m = fabric_->model_;
+  Fabric::NodeCtx* ctx = fabric_->GetNode(target);
+  if (ctx == nullptr) {
+    return FinishPost(target, Status::InvalidArgument("unknown node"), 0,
+                      issue, m.rtt_ns);
+  }
+  if (!ctx->alive.load(std::memory_order_acquire)) {
+    return FinishPost(target,
+                      Status::Unavailable("node " + ctx->name + " is down"),
+                      0, issue, m.rtt_ns);
+  }
+  RpcHandler handler;
+  {
+    SpinLatchGuard g(ctx->rpc_latch);
+    if (service >= ctx->handlers.size() || !ctx->handlers[service]) {
+      return FinishPost(target, Status::NotFound("no such rpc service"), 0,
+                        issue, m.rtt_ns);
+    }
+    handler = ctx->handlers[service];
+  }
+  // Same schedule as Fabric::Call, with `issue` standing in for t0 + post.
+  const uint64_t arrival = issue + m.rtt_ns / 2 +
+                           m.TransferNs(request.size()) + m.recv_dispatch_ns;
+  response->clear();
+  // The handler runs inline but on the PARTICIPANT's time: its internal
+  // clock advances (the participant's own DSM traffic) are rewound here
+  // and folded into this leg's completion, so calls posted to different
+  // targets overlap their handler work instead of serializing it on the
+  // poster's clock. Matching Fabric::Call, the handler's own verbs are
+  // modeled as overlapping the call's wire/CPU schedule (both start at the
+  // post), so the leg costs whichever side dominates.
+  SimHandlerScope handler_scope;
+  const uint64_t handler_cost = handler(request, response);
+  const uint64_t handler_inner_ns = handler_scope.End();
+  const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
+  const uint64_t cost =
+      std::max(handler_inner_ns,
+               done - issue + m.rtt_ns / 2 + m.TransferNs(response->size()));
+  VerbStats& st = fabric_->stats(initiator_);
+  st.rpc_calls.fetch_add(1, std::memory_order_relaxed);
+  st.bytes_written.fetch_add(request.size(), std::memory_order_relaxed);
+  st.bytes_read.fetch_add(response->size(), std::memory_order_relaxed);
+  const WrId id = FinishPost(target, Status::OK(), 0, issue, cost);
+  if (ObsOn()) {
+    const uint64_t elapsed =
+        ops_[id].complete_ns - (issue - m.post_overhead_ns);
+    const uint64_t network = m.TwoSidedNs(request.size(), response->size());
+    fabric_->obs_.rpc_ns->Add(elapsed);
+    fabric_->obs_.network_ns->Add(network < elapsed ? network : elapsed);
+    fabric_->obs_.rpc_cpu_ns->Add(elapsed > network ? elapsed - network : 0);
+  }
+  return id;
+}
+
+Status CompletionQueue::WaitAll() {
+  obs::TraceScope span("fabric.pipeline", "rdma");
+  const uint64_t start = SimClock::Now();
+  uint64_t max_end = start;
+  for (Op& op : ops_) {
+    if (!op.retired) {
+      max_end = std::max(max_end, op.complete_ns);
+      op.retired = true;
+    }
+  }
+  SimClock::AdvanceTo(max_end);
+  outstanding_ = 0;
+  if (ObsOn()) PipelineHist()->Add(max_end - start);
+  return first_error_;
+}
+
+size_t CompletionQueue::PollAll() {
+  const uint64_t now = SimClock::Now();
+  size_t retired = 0;
+  for (Op& op : ops_) {
+    if (!op.retired && op.complete_ns <= now) {
+      op.retired = true;
+      retired++;
+    }
+  }
+  outstanding_ -= retired;
+  return retired;
+}
+
+void CompletionQueue::Reset() {
+  ops_.clear();
+  outstanding_ = 0;
+  first_error_ = Status::OK();
+  last_complete_.clear();
+}
+
+}  // namespace dsmdb::rdma

@@ -1,0 +1,142 @@
+#ifndef DSMDB_RDMA_ASYNC_ENGINE_H_
+#define DSMDB_RDMA_ASYNC_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdma/verbs.h"
+
+namespace dsmdb::rdma {
+
+class Fabric;
+
+/// Handle for one posted work request (index into the queue's op table).
+using WrId = uint32_t;
+
+/// Default bound on in-flight work requests, mirroring a real QP's send
+/// queue depth.
+inline constexpr uint32_t kDefaultQpDepth = 64;
+
+/// The async verb engine: a per-initiator completion queue that keeps many
+/// one-sided verbs (and two-sided calls) in flight, so independent ops
+/// overlap their round trips instead of serializing them.
+///
+/// This is the single overlap-accounting implementation in the tree — all
+/// parallel fan-out (k-way log replication, pipelined lock acquisition, 2PC
+/// prepare/decide, coherence invalidation) is expressed as posts into one of
+/// these queues. Hand-rolled `SimClock::Set`/`AdvanceTo` snapshots are
+/// forbidden outside `SimFanOut` (see sim_clock.h).
+///
+/// Timing model (all per the fabric's NetworkModel):
+///  * Each Post* charges `post_overhead_ns` to the calling thread's
+///    SimClock at issue time — posting n ops costs n postings of CPU.
+///  * An op posted when the clock reads `t_issue` completes at
+///    `max(t_issue + modeled_cost, completion of the previous op to the
+///    same target)`: per-target in-order (QP ordering guarantee),
+///    cross-target parallel.
+///  * A pipeline of n same-size ops therefore completes at
+///    `n * post_overhead_ns + rtt_ns + transfer` after the first post —
+///    one RTT total, not n.
+///  * `WaitAll` advances the clock to the *max* completion time of all
+///    outstanding ops; `PollAll` retires ops the clock has already passed
+///    without advancing it.
+///  * Posting while `max_outstanding` ops are in flight first retires the
+///    earliest completion (advancing the clock to it), like a full send
+///    queue stalling the poster.
+///
+/// Failure model: ops against a crashed node (or a bad address) fail that
+/// op only. The failure is detected one RTT after issue (a real NIC's
+/// timeout/NAK), recorded in the op's `Status`, and surfaced as the first
+/// error by `WaitAll`; other ops in the pipeline complete normally.
+///
+/// Real memory effects (memcpy / atomics / RPC handler execution) happen
+/// immediately at post time, in posting order — only *time* is deferred.
+/// This means a posted write's source buffer may be reused as soon as
+/// Post* returns, and CAS results are available before WaitAll (callers
+/// should still only consume them after WaitAll, when the modeled time has
+/// been paid).
+///
+/// Not thread-safe: one CompletionQueue per thread (like a QP owned by one
+/// core). Reuse across pipelines via Reset() to avoid allocation churn.
+class CompletionQueue {
+ public:
+  CompletionQueue(Fabric* fabric, NodeId initiator,
+                  uint32_t max_outstanding = kDefaultQpDepth);
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  // --- Posting verbs ------------------------------------------------------
+
+  WrId PostRead(RemotePtr src, void* dst, size_t length);
+  WrId PostWrite(RemotePtr dst, const void* src, size_t length);
+  /// 8-byte CAS; previous value via value() after completion.
+  WrId PostCas(RemotePtr addr, uint64_t expected, uint64_t desired);
+  /// 8-byte FAA; previous value via value() after completion.
+  WrId PostFaa(RemotePtr addr, uint64_t delta);
+  /// Two-sided call. `*response` is filled by WaitAll time; the handler's
+  /// CPU cost is charged to the target's VirtualCpu as in Fabric::Call.
+  WrId PostCall(NodeId target, uint32_t service, std::string_view request,
+                std::string* response);
+
+  // --- Completion ---------------------------------------------------------
+
+  /// Advances the clock to the slowest outstanding completion and retires
+  /// everything. Returns the first error among all ops posted since the
+  /// last Reset() (OK if none).
+  Status WaitAll();
+
+  /// Retires ops whose completion time the clock has already reached,
+  /// without advancing it. Returns the number retired.
+  size_t PollAll();
+
+  /// Per-op outcome; valid for any posted id until Reset().
+  const Status& status(WrId id) const { return ops_[id].status; }
+  /// Previous value of a completed CAS/FAA.
+  uint64_t value(WrId id) const { return ops_[id].value; }
+  /// Absolute simulated completion time of `id`.
+  uint64_t completion_ns(WrId id) const { return ops_[id].complete_ns; }
+
+  size_t outstanding() const { return outstanding_; }
+  /// Ops posted since the last Reset().
+  size_t size() const { return ops_.size(); }
+  uint32_t max_outstanding() const { return depth_; }
+
+  /// Forgets all ops (does not advance the clock; outstanding modeled time
+  /// is abandoned — call WaitAll first unless discarding the pipeline).
+  void Reset();
+
+ private:
+  struct Op {
+    Status status;
+    uint64_t value = 0;        // CAS/FAA previous value
+    uint64_t complete_ns = 0;  // absolute simulated completion time
+    bool retired = false;
+  };
+
+  /// Enforces the depth bound and charges post overhead; returns the
+  /// simulated issue time (clock after the post).
+  uint64_t BeginPost();
+  /// Applies per-target ordering and records the op. `wire_cost_ns`
+  /// excludes post overhead (already charged by BeginPost).
+  WrId FinishPost(NodeId target, Status status, uint64_t value,
+                  uint64_t issue_ns, uint64_t wire_cost_ns);
+
+  Fabric* fabric_;
+  NodeId initiator_;
+  uint32_t depth_;
+  std::vector<Op> ops_;
+  size_t outstanding_ = 0;
+  Status first_error_;
+  /// Completion time of the last op posted to each target (QP in-order).
+  std::unordered_map<NodeId, uint64_t> last_complete_;
+};
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_ASYNC_ENGINE_H_

@@ -6,6 +6,7 @@
 
 #include "common/sim_clock.h"
 #include "obs/obs_config.h"
+#include "rdma/sim_mem.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -164,7 +165,7 @@ Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
   obs::TraceScope span("fabric.read", "rdma");
   Result<char*> host = Resolve(src, length);
   if (!host.ok()) return host.status();
-  std::memcpy(dst, *host, length);
+  SimMemRead(dst, *host, length);
   ReleaseResolve(src.node);
   const uint64_t cost = model_.OneSidedNs(length);
   SimClock::Advance(cost);
@@ -183,7 +184,7 @@ Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
   obs::TraceScope span("fabric.write", "rdma");
   Result<char*> host = Resolve(dst, length);
   if (!host.ok()) return host.status();
-  std::memcpy(*host, src, length);
+  SimMemWrite(*host, src, length);
   ReleaseResolve(dst.node);
   const uint64_t cost = model_.OneSidedNs(length);
   SimClock::Advance(cost);
@@ -203,7 +204,7 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
     if (!host.ok()) return host.status();
-    std::memcpy(op.local, *host, op.length);
+    SimMemRead(op.local, *host, op.length);
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
@@ -225,7 +226,7 @@ Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
     if (!host.ok()) return host.status();
-    std::memcpy(*host, op.local, op.length);
+    SimMemWrite(*host, op.local, op.length);
     ReleaseResolve(op.remote.node);
     total += op.length;
   }

@@ -113,6 +113,11 @@ class Fabric {
   const std::string& node_name(NodeId node) const;
 
  private:
+  /// The async verb engine posts ops through the fabric's internals
+  /// (Resolve + real memory effect) while deferring the modeled time to
+  /// its own completion accounting.
+  friend class CompletionQueue;
+
   struct Region {
     char* base = nullptr;
     size_t length = 0;

@@ -1,0 +1,69 @@
+#ifndef DSMDB_RDMA_SIM_MEM_H_
+#define DSMDB_RDMA_SIM_MEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace dsmdb::rdma {
+
+/// Word-wise atomic copies for simulated remote memory.
+///
+/// A real RDMA NIC DMAs host memory coherently at word granularity while
+/// CPUs (and other NICs) race on the same cache lines: a one-sided read
+/// concurrent with a CAS observes either the old or the new word, never a
+/// shredded one. Plain memcpy models that fine at the value level but is a
+/// data race to ThreadSanitizer the moment a lock word is CASed while a
+/// fused header read is in flight. These helpers do the remote-side access
+/// with relaxed 8-byte atomics (byte atomics off alignment), which is both
+/// race-free to TSan and a closer model of the hardware: torn *multi-word*
+/// payloads remain possible and intended — protocols must tolerate them
+/// (OCC re-validates, MVCC re-chases).
+///
+/// Only the remote (shared) side needs atomics; the local buffer is private
+/// to the initiator, so it is staged through memcpy, which also tolerates
+/// unaligned local pointers (std::string storage).
+
+inline void SimMemRead(void* dst, const char* src, size_t n) {
+  char* d = static_cast<char*>(dst);
+  while (n > 0 && reinterpret_cast<uintptr_t>(src) % 8 != 0) {
+    *d++ = __atomic_load_n(src++, __ATOMIC_RELAXED);
+    --n;
+  }
+  while (n >= 8) {
+    const uint64_t w = __atomic_load_n(
+        reinterpret_cast<const uint64_t*>(src), __ATOMIC_RELAXED);
+    std::memcpy(d, &w, 8);
+    src += 8;
+    d += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    *d++ = __atomic_load_n(src++, __ATOMIC_RELAXED);
+    --n;
+  }
+}
+
+inline void SimMemWrite(char* dst, const void* src, size_t n) {
+  const char* s = static_cast<const char*>(src);
+  while (n > 0 && reinterpret_cast<uintptr_t>(dst) % 8 != 0) {
+    __atomic_store_n(dst++, *s++, __ATOMIC_RELAXED);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, s, 8);
+    __atomic_store_n(reinterpret_cast<uint64_t*>(dst), w, __ATOMIC_RELAXED);
+    dst += 8;
+    s += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    __atomic_store_n(dst++, *s++, __ATOMIC_RELAXED);
+    --n;
+  }
+}
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_SIM_MEM_H_

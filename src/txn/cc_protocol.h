@@ -44,6 +44,13 @@ struct CcOptions {
   TwoPlLockMode lock_mode = TwoPlLockMode::kExclusiveOnly;
   /// Lock retry budget before giving up (WAIT_DIE waiting, OCC lock phase).
   uint32_t lock_max_attempts = 64;
+  /// 2PL with exclusive locks only: buffer blind writes and acquire their
+  /// locks as one pipelined CAS batch at commit (async verb engine), so n
+  /// write locks cost ~1 RTT instead of n. Conflicts on deferred locks are
+  /// detected at Commit() rather than Write() (reads, and writes to
+  /// records the transaction already read, still lock eagerly). Ignored in
+  /// shared-exclusive mode.
+  bool defer_write_locks = true;
 };
 
 /// Aggregate protocol counters (relaxed atomics, per manager).
@@ -82,6 +89,14 @@ class Transaction {
 
   /// Stages a full-value write. `value.size()` must equal ref.value_size.
   virtual Status Write(const RecordRef& ref, std::string_view value) = 0;
+
+  /// 2PC hook: acquire commit-time resources early (e.g. deferred write
+  /// locks), so the cost lands in the coordinator's overlapped PREPARE
+  /// phase instead of the serial decide path. Optional — Commit() must
+  /// work without it. Returns kAborted (after self-cleanup) if the
+  /// transaction had to die; a no-op for protocols with nothing to
+  /// prefetch.
+  virtual Status Prepare() { return Status::OK(); }
 
   /// Serialization point: logs durably, installs writes, releases locks.
   virtual Status Commit() = 0;

@@ -19,6 +19,12 @@ class DataAccessor {
                            size_t len) = 0;
   virtual Status WriteValue(dsm::GlobalAddress addr, const void* src,
                             size_t len) = 0;
+
+  /// Non-null iff values are plain one-sided verbs on this client — i.e.
+  /// value ops may be posted into an async pipeline alongside lock/version
+  /// ops. Cached access (buffer pool, coherence hooks) must stay on the
+  /// synchronous path.
+  virtual dsm::DsmClient* direct() { return nullptr; }
 };
 
 /// Figure 3a: every value access is a remote one-sided verb.
@@ -32,6 +38,7 @@ class DirectAccessor final : public DataAccessor {
                     size_t len) override {
     return dsm_->Write(addr, src, len);
   }
+  dsm::DsmClient* direct() override { return dsm_; }
 
  private:
   dsm::DsmClient* dsm_;

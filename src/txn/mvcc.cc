@@ -60,7 +60,22 @@ Status MvccTransaction::Read(const RecordRef& ref, std::string* out) {
   }
   // Version word -> newest node; chase until wts <= snapshot.
   uint64_t head = 0;
-  DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.VersionWord(), &head, 8));
+  bool have_inline = false;
+  if (mgr_->accessor_->direct() == mgr_->dsm_) {
+    // Fused: head word plus a speculative fetch of the inline value (the
+    // immutable oldest version) in one overlapped round trip. When the
+    // chain holds nothing visible to this snapshot — including the common
+    // head == 0 case — the speculative bytes are the answer and the read
+    // cost ~1 RTT.
+    out->resize(ref.value_size);
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    pipe.Read(ref.VersionWord(), &head, 8);
+    pipe.Read(ref.Value(), out->data(), ref.value_size);
+    DSMDB_RETURN_NOT_OK(pipe.WaitAll());
+    have_inline = true;
+  } else {
+    DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.VersionWord(), &head, 8));
+  }
   const size_t node_bytes = 16 + ref.value_size;
   std::vector<char> node(node_bytes);
   while (head != 0) {
@@ -70,11 +85,14 @@ Status MvccTransaction::Read(const RecordRef& ref, std::string* out) {
     const uint64_t wts = DecodeFixed64(node.data());
     if (wts <= ts_) {
       out->assign(node.data() + 16, ref.value_size);
+      read_versions_[ref.addr.Pack()] = wts;
       return Status::OK();
     }
     head = DecodeFixed64(node.data() + 8);
   }
   // Oldest version: the record's inline value (wts = 0).
+  read_versions_[ref.addr.Pack()] = 0;
+  if (have_inline) return Status::OK();
   out->resize(ref.value_size);
   return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
                                     ref.value_size);
@@ -107,9 +125,6 @@ Status MvccTransaction::Commit() {
     RecordOutcome(mgr_, true);
     return Status::OK();
   }
-  Result<uint64_t> commit_ts = mgr_->oracle_->Next();
-  if (!commit_ts.ok()) return commit_ts.status();
-
   std::vector<size_t> order(writes_.size());
   for (size_t i = 0; i < order.size(); i++) order[i] = i;
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
@@ -117,46 +132,121 @@ Status MvccTransaction::Commit() {
   });
 
   // Lock write targets; first-committer-wins: abort if any record gained a
-  // version newer than our snapshot.
-  std::vector<uint64_t> heads(writes_.size());
-  size_t locked = 0;
+  // version newer than our snapshot. The uncontended path is one pipelined
+  // batch fusing each record's lock CAS with its head-word read (2 posts
+  // per record, ~1 overlapped RTT); a busy lock falls back to the bounded
+  // spin Acquire and re-reads the head under the lock. Locks are stamped
+  // with the BEGIN timestamp; commit_ts is taken only once every lock is
+  // held, so any snapshot newer than our commit_ts must have begun after
+  // our locks went up and (with readers waiting out held locks) cannot
+  // miss the versions we are about to publish.
+  std::vector<uint64_t> heads(writes_.size(), 0);
+  std::vector<dsm::GlobalAddress> locked;
+  locked.reserve(order.size());
+  // Releases the acquired lock words as one pipelined CAS batch.
+  auto release_locked = [&]() {
+    if (locked.empty()) return;
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    for (dsm::GlobalAddress a : locked) {
+      pipe.Cas(a, MakeExclusiveLock(ts_), 0);
+    }
+    (void)pipe.WaitAll();
+  };
   Status s;
+  bool busy = false;
   const uint64_t lock_start = SimClock::Now();
-  for (; locked < order.size(); locked++) {
-    const size_t idx = order[locked];
-    const CommitWrite& w = writes_[idx];
-    s = spin_.Acquire(w.addr, *commit_ts, mgr_->options_.lock_max_attempts);
-    if (!s.ok()) break;
-    uint64_t head = 0;
-    s = mgr_->dsm_->Read(dsm::GlobalAddress{w.addr.node, w.addr.offset + 8},
-                         &head, 8);
-    if (!s.ok()) {
-      locked++;
-      break;
+  {
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    std::vector<rdma::WrId> cas_wr(order.size());
+    for (size_t i = 0; i < order.size(); i++) {
+      const CommitWrite& w = writes_[order[i]];
+      cas_wr[i] = pipe.Cas(w.addr, 0, MakeExclusiveLock(ts_));
+      pipe.Read(dsm::GlobalAddress{w.addr.node, w.addr.offset + 8},
+                &heads[order[i]], 8);
     }
-    if (head != 0) {
-      uint64_t newest_wts = 0;
-      s = mgr_->dsm_->Read(dsm::GlobalAddress::Unpack(head), &newest_wts, 8);
-      if (!s.ok()) {
-        locked++;
-        break;
+    (void)pipe.WaitAll();
+    // Every CAS in the pipeline already executed, so collect ALL the wins
+    // into `locked` — bailing out mid-scan would leak locks acquired
+    // further down the batch.
+    for (size_t i = 0; i < order.size(); i++) {
+      const Status& cs = pipe.status(cas_wr[i]);
+      if (!cs.ok()) {
+        if (s.ok()) s = cs;
+      } else if (pipe.value(cas_wr[i]) == 0) {
+        locked.push_back(writes_[order[i]].addr);
+      } else {
+        busy = true;
       }
-      if (newest_wts > ts_) {
-        locked++;
-        for (size_t i = 0; i < locked; i++) {
-          (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
+    }
+  }
+  if (s.ok() && busy) {
+    // Contended: pipelined try-locks give up the ordered-acquisition
+    // guarantee, so spinning on the losses while holding the wins can
+    // deadlock against a committer doing the same in reverse (both time
+    // out, retry, and livelock in lockstep). Back off instead: release
+    // every win and re-acquire ALL locks with the blocking spin lock in
+    // address order, which cannot deadlock; heads are re-read under the
+    // locks (the fused reads raced with the conflicting committer's
+    // install).
+    release_locked();
+    locked.clear();
+    for (size_t i = 0; i < order.size(); i++) {
+      const size_t idx = order[i];
+      const CommitWrite& w = writes_[idx];
+      s = spin_.Acquire(w.addr, ts_, mgr_->options_.lock_max_attempts);
+      if (!s.ok()) break;
+      locked.push_back(w.addr);
+      s = mgr_->dsm_->Read(
+          dsm::GlobalAddress{w.addr.node, w.addr.offset + 8}, &heads[idx],
+          8);
+      if (!s.ok()) break;
+    }
+  }
+  // Serialization timestamp, taken under the full write-set lock.
+  Result<uint64_t> commit_ts = mgr_->oracle_->Next();
+  if (!commit_ts.ok()) {
+    release_locked();
+    RecordLockWait(mgr_, SimClock::Now() - lock_start);
+    return commit_ts.status();
+  }
+  if (s.ok()) {
+    // Second overlapped round: newest-version timestamps of all chained
+    // heads at once.
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    std::vector<uint64_t> newest(writes_.size(), 0);
+    bool any = false;
+    for (size_t i = 0; i < writes_.size(); i++) {
+      if (heads[i] == 0) continue;
+      any = true;
+      pipe.Read(dsm::GlobalAddress::Unpack(heads[i]), &newest[i], 8);
+    }
+    if (any) s = pipe.WaitAll();
+    if (s.ok()) {
+      for (size_t i = 0; i < writes_.size(); i++) {
+        const uint64_t newest_wts = heads[i] == 0 ? 0 : newest[i];
+        // First-committer-wins: a version newer than our snapshot means a
+        // write-write conflict.
+        bool conflict = newest_wts > ts_;
+        // First-updater-wins for read-modify-writes: the newest version
+        // must still be the one we read. A version ≤ our snapshot that we
+        // did NOT read means the read raced the committer between its log
+        // append and head publish — committing on that stale value would
+        // lose its update.
+        auto rit = read_versions_.find(writes_[i].addr.Pack());
+        if (rit != read_versions_.end() && newest_wts != rit->second) {
+          conflict = true;
         }
-        RecordLockWait(mgr_, SimClock::Now() - lock_start);
-        return AbortInternal(true);  // write-write conflict
+        if (conflict) {
+          release_locked();
+          RecordLockWait(mgr_, SimClock::Now() - lock_start);
+          return AbortInternal(true);
+        }
       }
     }
-    heads[idx] = head;
   }
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
   if (!s.ok()) {
-    for (size_t i = 0; i < locked; i++) {
-      (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
-    }
+    release_locked();
     if (s.IsTimedOut() || s.IsBusy()) return AbortInternal(false);
     return s;
   }
@@ -164,28 +254,43 @@ Status MvccTransaction::Commit() {
   // Commit point: durable log BEFORE any version becomes visible.
   s = mgr_->sink_->LogCommit(*commit_ts, writes_);
   if (s.ok()) {
-    for (size_t i = 0; i < writes_.size() && s.ok(); i++) {
+    // Install pipeline: version-node write + head publish per record, then
+    // all lock releases, as one batch (~1 overlapped RTT + 3n postings).
+    // Posted writes copy their source at post time, so the node buffer and
+    // packed pointer may live on the stack of each iteration.
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    bool posted_all = true;
+    for (size_t i = 0; i < writes_.size(); i++) {
       const CommitWrite& w = writes_[i];
       const size_t node_bytes = 16 + write_sizes_[i];
       Result<dsm::GlobalAddress> node_addr =
           mgr_->arena().Alloc(node_bytes);
       if (!node_addr.ok()) {
         s = node_addr.status();
+        posted_all = false;
         break;
       }
       std::string node;
       PutFixed64(&node, *commit_ts);
       PutFixed64(&node, heads[i]);
       node.append(w.value);
-      s = mgr_->dsm_->Write(*node_addr, node.data(), node.size());
-      if (!s.ok()) break;
+      pipe.Write(*node_addr, node.data(), node.size());
       const uint64_t packed = node_addr->Pack();
-      s = mgr_->dsm_->Write(
-          dsm::GlobalAddress{w.addr.node, w.addr.offset + 8}, &packed, 8);
+      pipe.Write(dsm::GlobalAddress{w.addr.node, w.addr.offset + 8},
+                 &packed, 8);
     }
-  }
-  for (size_t i = 0; i < order.size(); i++) {
-    (void)spin_.Release(writes_[order[i]].addr, *commit_ts);
+    if (posted_all) {
+      for (dsm::GlobalAddress a : locked) {
+        pipe.Cas(a, MakeExclusiveLock(ts_), 0);
+      }
+      const Status ws = pipe.WaitAll();
+      if (s.ok()) s = ws;
+    } else {
+      (void)pipe.WaitAll();
+      release_locked();
+    }
+  } else {
+    release_locked();
   }
   finished_ = true;
   if (!s.ok()) {

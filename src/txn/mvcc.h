@@ -41,6 +41,13 @@ class VersionArena {
 /// latch. The commit point is the log append, and a version node is linked
 /// only after it is durable, so readers can never observe uncommitted
 /// state.
+///
+/// Hot paths ride the async verb engine: a direct-accessor read fuses the
+/// head-word fetch with a speculative inline-value fetch (~1 RTT when
+/// nothing newer than the snapshot exists); commit fuses lock CAS + head
+/// read per record into one pipeline, checks all newest-version
+/// timestamps in a second, and installs node writes + head publishes +
+/// lock releases as a third.
 class MvccManager final : public CcManager {
  public:
   MvccManager(const CcOptions& options, dsm::DsmClient* dsm,
@@ -81,6 +88,14 @@ class MvccTransaction final : public Transaction {
   std::vector<CommitWrite> writes_;
   std::vector<uint32_t> write_sizes_;
   std::unordered_map<uint64_t, size_t> write_index_;
+  /// wts of the version each network read actually returned
+  /// (addr.Pack() -> wts; 0 = the inline oldest version). Commit uses it
+  /// for first-updater-wins: a read-modify-write must abort if the record
+  /// gained ANY version since the read — even one visible to our snapshot,
+  /// which happens when the read raced a committer between its log append
+  /// and its head publish. Readers stay non-blocking; the staleness is
+  /// caught here instead.
+  std::unordered_map<uint64_t, uint64_t> read_versions_;
   bool finished_ = false;
 };
 

@@ -45,11 +45,19 @@ Status OccTransaction::Read(const RecordRef& ref, std::string* out) {
   // Record the version, then read the value; any interleaving writer is
   // caught by commit-time validation (version or lock word changed).
   char header[16];
-  DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.addr, header, sizeof(header)));
-  const uint64_t version = DecodeFixed64(header + 8);
   out->resize(ref.value_size);
-  DSMDB_RETURN_NOT_OK(
-      mgr_->accessor_->ReadValue(ref.Value(), out->data(), ref.value_size));
+  if (mgr_->accessor_->direct() == mgr_->dsm_) {
+    // Fused: header and value fetched in one overlapped round trip.
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    pipe.Read(ref.addr, header, sizeof(header));
+    pipe.Read(ref.Value(), out->data(), ref.value_size);
+    DSMDB_RETURN_NOT_OK(pipe.WaitAll());
+  } else {
+    DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.addr, header, sizeof(header)));
+    DSMDB_RETURN_NOT_OK(
+        mgr_->accessor_->ReadValue(ref.Value(), out->data(), ref.value_size));
+  }
+  const uint64_t version = DecodeFixed64(header + 8);
 
   const uint64_t key = ref.addr.Pack();
   auto it = read_index_.find(key);
@@ -77,35 +85,62 @@ Status OccTransaction::Write(const RecordRef& ref, std::string_view value) {
   return Status::OK();
 }
 
-void OccTransaction::UnlockPrefix(size_t locked_count,
-                                  const std::vector<size_t>& order) {
-  for (size_t i = 0; i < locked_count; i++) {
-    (void)spin_.Release(writes_[order[i]].addr, ts_);
+void OccTransaction::UnlockAddrs(
+    const std::vector<dsm::GlobalAddress>& addrs) {
+  if (addrs.empty()) return;
+  dsm::DsmPipeline pipe(mgr_->dsm_);
+  for (dsm::GlobalAddress a : addrs) {
+    pipe.Cas(a, MakeExclusiveLock(ts_), 0);
   }
+  (void)pipe.WaitAll();
+}
+
+void OccTransaction::UnlockAllWrites() {
+  std::vector<dsm::GlobalAddress> addrs;
+  addrs.reserve(writes_.size());
+  for (const CommitWrite& w : writes_) addrs.push_back(w.addr);
+  UnlockAddrs(addrs);
 }
 
 Status OccTransaction::Commit() {
   assert(!finished_);
   obs::TraceScope span("txn.commit", "txn");
 
-  // Phase 1: lock the write set in global address order (prevents
-  // lock-phase deadlocks across committers).
+  // Phase 1: lock the write set as one pipelined CAS batch (~1 overlapped
+  // RTT + n postings). Try-locks cannot deadlock, so no acquisition order
+  // is needed; addresses are still sorted for deterministic traffic.
   std::vector<size_t> order(writes_.size());
   for (size_t i = 0; i < order.size(); i++) order[i] = i;
   std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
     return writes_[a].addr.Pack() < writes_[b].addr.Pack();
   });
   const uint64_t lock_start = SimClock::Now();
-  for (size_t i = 0; i < order.size(); i++) {
-    Status s = spin_.TryAcquire(writes_[order[i]].addr, ts_);
-    if (s.IsBusy()) {
-      UnlockPrefix(i, order);
+  if (!writes_.empty()) {
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    std::vector<rdma::WrId> wr(order.size());
+    for (size_t i = 0; i < order.size(); i++) {
+      wr[i] = pipe.Cas(writes_[order[i]].addr, 0, MakeExclusiveLock(ts_));
+    }
+    (void)pipe.WaitAll();
+    std::vector<dsm::GlobalAddress> acquired;
+    acquired.reserve(order.size());
+    Status err;
+    bool busy = false;
+    for (size_t i = 0; i < order.size(); i++) {
+      const Status& s = pipe.status(wr[i]);
+      if (s.ok() && pipe.value(wr[i]) == 0) {
+        acquired.push_back(writes_[order[i]].addr);
+      } else if (s.ok()) {
+        busy = true;  // lock word was held by another committer
+      } else if (err.ok()) {
+        err = s;
+      }
+    }
+    if (!err.ok() || busy) {
+      UnlockAddrs(acquired);
+      if (!err.ok()) return err;
       RecordLockWait(mgr_, SimClock::Now() - lock_start);
       return AbortInternal(false);
-    }
-    if (!s.ok()) {
-      UnlockPrefix(i, order);
-      return s;
     }
   }
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
@@ -121,7 +156,7 @@ Status OccTransaction::Commit() {
     }
     Status s = mgr_->dsm_->ReadBatch(batch);
     if (!s.ok()) {
-      UnlockPrefix(order.size(), order);
+      UnlockAllWrites();
       return s;
     }
     for (size_t i = 0; i < reads_.size(); i++) {
@@ -132,7 +167,7 @@ Status OccTransaction::Commit() {
       const bool lock_ok =
           lock_word == 0 || (mine && lock_word == MakeExclusiveLock(ts_));
       if (!lock_ok || version != reads_[i].version) {
-        UnlockPrefix(order.size(), order);
+        UnlockAllWrites();
         return AbortInternal(true);
       }
     }
@@ -141,25 +176,40 @@ Status OccTransaction::Commit() {
   // Phase 3: write-ahead log.
   Status s = mgr_->sink_->LogCommit(ts_, writes_);
   if (!s.ok()) {
-    UnlockPrefix(order.size(), order);
+    UnlockAllWrites();
     (void)AbortInternal(false);
     return s;
   }
 
-  // Phase 4: install values, bump versions (1-RTT FAA each), unlock.
-  for (size_t i = 0; i < writes_.size(); i++) {
-    const CommitWrite& w = writes_[i];
-    RecordRef ref{w.addr, write_sizes_[i]};
-    s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
-                                    w.value.size());
-    if (!s.ok()) break;
-    Result<uint64_t> bumped = mgr_->dsm_->FetchAndAdd(ref.VersionWord(), 1);
-    if (!bumped.ok()) {
-      s = bumped.status();
-      break;
+  // Phase 4: install values, bump versions, unlock. With a direct
+  // accessor all 3n verbs go out as one pipeline; per-target QP ordering
+  // keeps each record's install -> bump -> release sequence intact.
+  if (mgr_->accessor_->direct() == mgr_->dsm_) {
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    for (size_t i = 0; i < writes_.size(); i++) {
+      const CommitWrite& w = writes_[i];
+      RecordRef ref{w.addr, write_sizes_[i]};
+      pipe.Write(ref.Value(), w.value.data(), w.value.size());
+      pipe.Faa(ref.VersionWord(), 1);
+      pipe.Cas(ref.LockWord(), MakeExclusiveLock(ts_), 0);
     }
+    s = pipe.WaitAll();
+  } else {
+    for (size_t i = 0; i < writes_.size(); i++) {
+      const CommitWrite& w = writes_[i];
+      RecordRef ref{w.addr, write_sizes_[i]};
+      s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
+                                      w.value.size());
+      if (!s.ok()) break;
+      Result<uint64_t> bumped =
+          mgr_->dsm_->FetchAndAdd(ref.VersionWord(), 1);
+      if (!bumped.ok()) {
+        s = bumped.status();
+        break;
+      }
+    }
+    UnlockAllWrites();
   }
-  UnlockPrefix(order.size(), order);
   finished_ = true;
   if (!s.ok()) {
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);

@@ -13,11 +13,17 @@ namespace dsmdb::txn {
 /// Optimistic concurrency control over RDMA (Challenge #6, non-lock-based).
 ///
 /// Read phase records (addr, version); writes are buffered. Commit:
-///   1. lock the write set in address order (1-RTT CAS each, NO_WAIT),
+///   1. lock the write set with ONE pipelined CAS batch (async verb
+///      engine: ~1 overlapped RTT, NO_WAIT — try-locks cannot deadlock),
 ///   2. validate the read set by re-reading version words with ONE
 ///      doorbell-batched read (a core RDMA optimization: validation costs
 ///      one round trip regardless of read-set size),
-///   3. log, install values, bump versions, unlock.
+///   3. log, then install values + bump versions + unlock as one more
+///      pipeline (per-target QP ordering keeps each record's
+///      install -> bump -> release sequence intact).
+///
+/// A read against a direct accessor fuses its header fetch and value fetch
+/// into one overlapped round trip.
 class OccManager final : public CcManager {
  public:
   OccManager(const CcOptions& options, dsm::DsmClient* dsm,
@@ -54,8 +60,9 @@ class OccTransaction final : public Transaction {
   };
 
   Status AbortInternal(bool validation);
-  void UnlockPrefix(size_t locked_count,
-                    const std::vector<size_t>& order);
+  /// Releases the given lock words as one pipelined CAS batch.
+  void UnlockAddrs(const std::vector<dsm::GlobalAddress>& addrs);
+  void UnlockAllWrites();
 
   OccManager* mgr_;
   RdmaSpinLock spin_;

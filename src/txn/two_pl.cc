@@ -53,6 +53,30 @@ TwoPlTransaction::~TwoPlTransaction() {
   if (!finished_) (void)Abort();
 }
 
+bool TwoPlTransaction::PipelinedLocks() const {
+  return mgr_->options_.lock_mode == TwoPlLockMode::kExclusiveOnly;
+}
+
+void TwoPlTransaction::RegisterLock(const RecordRef& ref, Held held) {
+  locks_.push_back(LockEntry{ref, held});
+  lock_index_[ref.addr.Pack()] = locks_.size() - 1;
+}
+
+Status TwoPlTransaction::WaitDieRetry(const RecordRef& ref, Status busy) {
+  Status s = std::move(busy);
+  // WAIT_DIE: older (smaller ts) transactions wait; younger die.
+  for (uint32_t attempt = 0;
+       attempt < mgr_->options_.lock_max_attempts && s.IsBusy();
+       attempt++) {
+    Result<uint64_t> holder = spin_.Peek(ref.LockWord());
+    if (!holder.ok()) return holder.status();
+    if (*holder != 0 && ts_ > *holder) break;  // younger: die
+    LockBackoff(attempt);
+    s = spin_.TryAcquire(ref.LockWord(), ts_);
+  }
+  return s;
+}
+
 Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
   const uint64_t key = ref.addr.Pack();
   auto it = lock_index_.find(key);
@@ -86,25 +110,14 @@ Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
   if (s.IsBusy() &&
       mgr_->options_.protocol == CcProtocolKind::kTwoPlWaitDie &&
       !se_mode) {
-    // WAIT_DIE: older (smaller ts) transactions wait; younger die.
-    for (uint32_t attempt = 0;
-         attempt < mgr_->options_.lock_max_attempts && s.IsBusy();
-         attempt++) {
-      Result<uint64_t> holder = spin_.Peek(ref.LockWord());
-      if (!holder.ok()) return holder.status();
-      if (*holder != 0 && ts_ > *holder) break;  // younger: die
-      LockBackoff(attempt);
-      s = spin_.TryAcquire(ref.LockWord(), ts_);
-    }
+    s = WaitDieRetry(ref, std::move(s));
   }
 
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
   if (s.IsBusy() || s.IsTimedOut()) return AbortInternal(false);
   if (!s.ok()) return s;
 
-  locks_.push_back(
-      LockEntry{ref, exclusive ? Held::kExclusive : Held::kShared});
-  lock_index_[key] = locks_.size() - 1;
+  RegisterLock(ref, exclusive ? Held::kExclusive : Held::kShared);
   return Status::OK();
 }
 
@@ -117,6 +130,34 @@ Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
   }
   const bool se_mode =
       mgr_->options_.lock_mode == TwoPlLockMode::kSharedExclusive;
+
+  // Fast path: fuse the lock CAS with a speculative value fetch in one
+  // pipeline (the value is valid iff the CAS acquired the lock, since the
+  // real read executes after the real CAS). Saves a full RTT per read.
+  if (!se_mode && lock_index_.find(ref.addr.Pack()) == lock_index_.end() &&
+      mgr_->accessor_->direct() == mgr_->dsm_) {
+    const uint64_t lock_start = SimClock::Now();
+    out->resize(ref.value_size);
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    const rdma::WrId cas =
+        pipe.Cas(ref.LockWord(), 0, MakeExclusiveLock(ts_));
+    pipe.Read(ref.Value(), out->data(), ref.value_size);
+    DSMDB_RETURN_NOT_OK(pipe.WaitAll());
+    Status s = pipe.value(cas) == 0 ? Status::OK() : Status::Busy("locked");
+    if (s.IsBusy() &&
+        mgr_->options_.protocol == CcProtocolKind::kTwoPlWaitDie) {
+      s = WaitDieRetry(ref, std::move(s));
+    }
+    RecordLockWait(mgr_, SimClock::Now() - lock_start);
+    if (s.IsBusy() || s.IsTimedOut()) return AbortInternal(false);
+    if (!s.ok()) return s;
+    RegisterLock(ref, Held::kExclusive);
+    if (pipe.value(cas) == 0) return Status::OK();  // speculative hit
+    // Lock won only after waiting: the speculative bytes are stale.
+    return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
+                                      ref.value_size);
+  }
+
   DSMDB_RETURN_NOT_OK(EnsureLock(ref, /*exclusive=*/!se_mode));
   out->resize(ref.value_size);
   return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
@@ -129,8 +170,14 @@ Status TwoPlTransaction::Write(const RecordRef& ref,
   if (value.size() != ref.value_size) {
     return Status::InvalidArgument("value size mismatch");
   }
-  DSMDB_RETURN_NOT_OK(EnsureLock(ref, /*exclusive=*/true));
   const uint64_t key = ref.addr.Pack();
+  // Blind writes defer their lock CAS to the commit pipeline; a record we
+  // already locked (e.g. read first) needs nothing more.
+  const bool defer = mgr_->options_.defer_write_locks && PipelinedLocks() &&
+                     lock_index_.find(key) == lock_index_.end();
+  if (!defer) {
+    DSMDB_RETURN_NOT_OK(EnsureLock(ref, /*exclusive=*/true));
+  }
   auto it = write_index_.find(key);
   if (it != write_index_.end()) {
     writes_[it->second].value.assign(value);
@@ -141,22 +188,103 @@ Status TwoPlTransaction::Write(const RecordRef& ref,
   return Status::OK();
 }
 
+Status TwoPlTransaction::Prepare() {
+  assert(!finished_);
+  return AcquireDeferredLocks();
+}
+
+Status TwoPlTransaction::AcquireDeferredLocks() {
+  if (!(mgr_->options_.defer_write_locks && PipelinedLocks())) {
+    return Status::OK();
+  }
+  std::vector<RecordRef> need;
+  for (const CommitWrite& w : writes_) {
+    if (lock_index_.find(w.addr.Pack()) == lock_index_.end()) {
+      need.push_back(
+          RecordRef{w.addr, static_cast<uint32_t>(w.value.size())});
+    }
+  }
+  if (need.empty()) return Status::OK();
+
+  // One CAS pipeline for every missing write lock: ~1 RTT, not n.
+  const uint64_t lock_start = SimClock::Now();
+  dsm::DsmPipeline pipe(mgr_->dsm_);
+  std::vector<rdma::WrId> ids;
+  ids.reserve(need.size());
+  for (const RecordRef& ref : need) {
+    ids.push_back(pipe.Cas(ref.LockWord(), 0, MakeExclusiveLock(ts_)));
+  }
+  (void)pipe.WaitAll();
+  Status err;
+  std::vector<RecordRef> busy;
+  for (size_t i = 0; i < need.size(); i++) {
+    const Status& s = pipe.status(ids[i]);
+    if (!s.ok()) {
+      if (err.ok()) err = s;  // e.g. memory node down
+    } else if (pipe.value(ids[i]) == 0) {
+      RegisterLock(need[i], Held::kExclusive);
+    } else {
+      busy.push_back(need[i]);
+    }
+  }
+  if (!err.ok()) {
+    RecordLockWait(mgr_, SimClock::Now() - lock_start);
+    return err;
+  }
+  if (!busy.empty() &&
+      mgr_->options_.protocol == CcProtocolKind::kTwoPlWaitDie) {
+    for (const RecordRef& ref : busy) {
+      Status s = WaitDieRetry(ref, Status::Busy("locked"));
+      if (s.IsBusy() || s.IsTimedOut()) {
+        RecordLockWait(mgr_, SimClock::Now() - lock_start);
+        return AbortInternal(false);
+      }
+      if (!s.ok()) return s;
+      RegisterLock(ref, Held::kExclusive);
+    }
+    busy.clear();
+  }
+  RecordLockWait(mgr_, SimClock::Now() - lock_start);
+  if (!busy.empty()) return AbortInternal(false);  // NO_WAIT: conflict
+  return Status::OK();
+}
+
 Status TwoPlTransaction::Commit() {
   assert(!finished_);
   obs::TraceScope span("txn.commit", "txn");
+  // Deferred write locks first: the serialization point needs all locks.
+  Status s = AcquireDeferredLocks();
+  if (!s.ok()) return s;
   // Write-ahead: durable log, then install, then release (strict 2PL).
-  Status s = mgr_->sink_->LogCommit(ts_, writes_);
+  s = mgr_->sink_->LogCommit(ts_, writes_);
   if (!s.ok()) {
     (void)AbortInternal(false);
     return s;
   }
-  for (const CommitWrite& w : writes_) {
-    RecordRef ref{w.addr, static_cast<uint32_t>(w.value.size())};
-    s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
-                                    w.value.size());
-    if (!s.ok()) break;  // e.g. memory node crashed mid-install
+  if (PipelinedLocks() && mgr_->accessor_->direct() == mgr_->dsm_) {
+    // Install writes and release locks as one pipeline. Per-record
+    // install-before-release order is preserved: ops to one target
+    // complete in posting order, and the real stores execute at post time.
+    dsm::DsmPipeline pipe(mgr_->dsm_);
+    for (const CommitWrite& w : writes_) {
+      RecordRef ref{w.addr, static_cast<uint32_t>(w.value.size())};
+      pipe.Write(ref.Value(), w.value.data(), w.value.size());
+    }
+    for (const LockEntry& entry : locks_) {
+      pipe.Cas(entry.ref.LockWord(), MakeExclusiveLock(ts_), 0);
+    }
+    s = pipe.WaitAll();  // e.g. memory node crashed mid-install
+    locks_.clear();
+    lock_index_.clear();
+  } else {
+    for (const CommitWrite& w : writes_) {
+      RecordRef ref{w.addr, static_cast<uint32_t>(w.value.size())};
+      s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
+                                      w.value.size());
+      if (!s.ok()) break;  // e.g. memory node crashed mid-install
+    }
+    ReleaseAll();
   }
-  ReleaseAll();
   if (!s.ok()) {
     finished_ = true;
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);

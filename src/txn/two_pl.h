@@ -21,6 +21,14 @@ namespace dsmdb::txn {
 /// (readers serialize) or the 2-RTT shared-exclusive lock (readers share;
 /// whether the concurrency pays for the extra round trips is bench E4's
 /// question).
+///
+/// With exclusive locks the hot path is pipelined through the async verb
+/// engine: a read fuses its lock CAS with a speculative value fetch (one
+/// overlapped round trip), blind-write locks are deferred to commit and
+/// acquired as one CAS pipeline (CcOptions::defer_write_locks), and the
+/// commit's install writes + release CASes go out as a single pipeline —
+/// so commit pays ~3 overlapped RTTs (locks, log, install+release) instead
+/// of one RTT per record op.
 class TwoPlManager final : public CcManager {
  public:
   TwoPlManager(const CcOptions& options, dsm::DsmClient* dsm,
@@ -48,6 +56,9 @@ class TwoPlTransaction final : public Transaction {
 
   Status Read(const RecordRef& ref, std::string* out) override;
   Status Write(const RecordRef& ref, std::string_view value) override;
+  /// Acquires deferred write locks now (one CAS pipeline), so a 2PC
+  /// coordinator pays for them during the overlapped PREPARE fan-out.
+  Status Prepare() override;
   Status Commit() override;
   Status Abort() override;
 
@@ -63,6 +74,16 @@ class TwoPlTransaction final : public Transaction {
   /// applies the NO_WAIT / WAIT_DIE policy; returns kAborted after
   /// self-cleanup when the transaction dies.
   Status EnsureLock(const RecordRef& ref, bool exclusive);
+  /// True when lock words may be batched into async pipelines (exclusive
+  /// spinlock mode; SE locks need read-then-CAS sequences).
+  bool PipelinedLocks() const;
+  /// Commit phase 1 under defer_write_locks: one pipelined CAS per write
+  /// lock not yet held; WAIT_DIE falls back to waiting per busy lock.
+  Status AcquireDeferredLocks();
+  /// WAIT_DIE retry loop for one busy exclusive lock (shared with the
+  /// eager path).
+  Status WaitDieRetry(const RecordRef& ref, Status busy);
+  void RegisterLock(const RecordRef& ref, Held held);
   Status AbortInternal(bool validation);
   void ReleaseAll();
 

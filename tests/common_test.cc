@@ -92,8 +92,18 @@ TEST(SimClockTest, AdvanceAndSet) {
   EXPECT_EQ(SimClock::Now(), 100u);
   SimClock::AdvanceTo(250);
   EXPECT_EQ(SimClock::Now(), 250u);
-  SimClock::Set(10);
-  EXPECT_EQ(SimClock::Now(), 10u);
+  // Rewinding is reserved for SimFanOut branches: each BeginBranch resumes
+  // from the fork point, and Join lands on the slowest branch.
+  {
+    SimFanOut fan;
+    fan.BeginBranch();
+    SimClock::Advance(40);  // branch 1 ends at 290
+    fan.BeginBranch();
+    EXPECT_EQ(SimClock::Now(), 250u);  // rewound to the fork point
+    SimClock::Advance(10);  // branch 2 ends at 260
+    fan.Join();
+  }
+  EXPECT_EQ(SimClock::Now(), 290u);
   SimClock::Reset();
 }
 

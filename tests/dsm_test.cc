@@ -218,6 +218,29 @@ TEST_F(DsmClientTest, BatchRoundTrip) {
   EXPECT_EQ(rb, 22u);
 }
 
+TEST_F(DsmClientTest, WriteAllReplicatesInOneOverlappedRoundTrip) {
+  // k-way replication through the async verb engine: ~1 RTT + k postings,
+  // not k serial round trips.
+  const rdma::NetworkModel& m = cluster_->fabric().model();
+  std::vector<GlobalAddress> dsts;
+  for (MemNodeId n = 0; n < 3; n++) {
+    Result<GlobalAddress> a = client_->Alloc(64, n);
+    ASSERT_TRUE(a.ok());
+    dsts.push_back(*a);
+  }
+  std::string payload(64, 'r');
+  SimClock::Reset();
+  ASSERT_TRUE(client_->WriteAll(dsts, payload.data(), payload.size()).ok());
+  EXPECT_EQ(SimClock::Now(),
+            3 * m.post_overhead_ns + m.rtt_ns + m.TransferNs(64));
+  EXPECT_LT(SimClock::Now(), 2 * m.OneSidedNs(64));
+  for (const GlobalAddress& d : dsts) {
+    std::string got(64, '\0');
+    ASSERT_TRUE(client_->Read(d, got.data(), got.size()).ok());
+    EXPECT_EQ(got, payload);
+  }
+}
+
 TEST_F(DsmClientTest, OffloadExecutesOnMemoryNode) {
   // Register a near-data sum over an array we write one-sided.
   Result<GlobalAddress> addr = client_->Alloc(8 * 100, 0);

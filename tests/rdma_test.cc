@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
+#include "rdma/async_engine.h"
 #include "rdma/fabric.h"
 #include "rdma/network_model.h"
 #include "rdma/nic.h"
@@ -267,6 +269,146 @@ TEST(VirtualCpuTest, SpeedFactorScalesWork) {
 TEST(VirtualCpuTest, LateArrivalStartsAtArrival) {
   VirtualCpu cpu(1, 1.0);
   EXPECT_EQ(cpu.Execute(1'000, 50), 1'050u);
+}
+
+// ---------------------------------------------------------------------------
+// Async verb engine (CompletionQueue).
+// ---------------------------------------------------------------------------
+
+class CompletionQueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimClock::Reset();
+    mem_a_ = fabric_.AddNode("mem0", 2, 4.0);
+    mem_b_ = fabric_.AddNode("mem1", 2, 4.0);
+    cpu_ = fabric_.AddNode("cn0", 16, 1.0);
+    region_a_.resize(1 << 20);
+    region_b_.resize(1 << 20);
+    rkey_a_ = *fabric_.RegisterMemory(mem_a_, region_a_.data(),
+                                      region_a_.size());
+    rkey_b_ = *fabric_.RegisterMemory(mem_b_, region_b_.data(),
+                                      region_b_.size());
+  }
+
+  RemotePtr A(uint64_t off) const { return RemotePtr{mem_a_, rkey_a_, off}; }
+  RemotePtr B(uint64_t off) const { return RemotePtr{mem_b_, rkey_b_, off}; }
+
+  Fabric fabric_;
+  NodeId mem_a_ = 0, mem_b_ = 0, cpu_ = 0;
+  std::vector<char> region_a_, region_b_;
+  uint32_t rkey_a_ = 0, rkey_b_ = 0;
+};
+
+TEST_F(CompletionQueueTest, PipelineCostsOneRttPlusPostings) {
+  // n same-size posts complete at n*post + rtt + transfer — one RTT total,
+  // within 1% of the acceptance closed form max(RTT) + n*post.
+  const NetworkModel& m = fabric_.model();
+  const size_t kOps = 16, kBytes = 64;
+  std::vector<char> buf(kOps * kBytes);
+  CompletionQueue cq(&fabric_, cpu_);
+  for (size_t i = 0; i < kOps; i++) {
+    cq.PostRead(A(i * kBytes), buf.data() + i * kBytes, kBytes);
+  }
+  ASSERT_TRUE(cq.WaitAll().ok());
+  const uint64_t total = SimClock::Now();
+  EXPECT_EQ(total,
+            kOps * m.post_overhead_ns + m.rtt_ns + m.TransferNs(kBytes));
+  const double closed_form =
+      static_cast<double>(m.rtt_ns + kOps * m.post_overhead_ns);
+  EXPECT_LT(std::abs(static_cast<double>(total) - closed_form) / closed_form,
+            0.01);
+  // Far cheaper than the serial alternative (n full round trips).
+  EXPECT_LT(total, kOps * m.OneSidedNs(kBytes));
+}
+
+TEST_F(CompletionQueueTest, PerTargetCompletionsAreInOrder) {
+  // A huge write followed by a tiny read to the SAME target: QP ordering
+  // forbids the tiny op from completing before the big one.
+  std::vector<char> big(256 << 10, 'x');
+  char tiny[8];
+  CompletionQueue cq(&fabric_, cpu_);
+  const WrId w_big = cq.PostWrite(A(0), big.data(), big.size());
+  const WrId w_tiny = cq.PostRead(A(0), tiny, sizeof(tiny));
+  ASSERT_TRUE(cq.WaitAll().ok());
+  EXPECT_GE(cq.completion_ns(w_tiny), cq.completion_ns(w_big));
+}
+
+TEST_F(CompletionQueueTest, CrossTargetOpsOverlap) {
+  // The same two ops against DIFFERENT targets: the tiny read completes on
+  // its own schedule, well before the big write.
+  const NetworkModel& m = fabric_.model();
+  std::vector<char> big(256 << 10, 'x');
+  char tiny[8];
+  CompletionQueue cq(&fabric_, cpu_);
+  const WrId w_big = cq.PostWrite(A(0), big.data(), big.size());
+  const WrId w_tiny = cq.PostRead(B(0), tiny, sizeof(tiny));
+  ASSERT_TRUE(cq.WaitAll().ok());
+  EXPECT_LT(cq.completion_ns(w_tiny), cq.completion_ns(w_big));
+  // WaitAll lands on the max completion, not the sum of both ops.
+  EXPECT_EQ(SimClock::Now(), cq.completion_ns(w_big));
+  EXPECT_LT(SimClock::Now(),
+            m.OneSidedNs(big.size()) + m.OneSidedNs(sizeof(tiny)));
+}
+
+TEST_F(CompletionQueueTest, DepthBoundStallsLikeAFullSendQueue) {
+  // depth=1 degenerates to fully serial round trips.
+  const NetworkModel& m = fabric_.model();
+  const size_t kOps = 4;
+  char buf[kOps * 8];
+  CompletionQueue cq(&fabric_, cpu_, /*max_outstanding=*/1);
+  for (size_t i = 0; i < kOps; i++) cq.PostRead(A(i * 8), buf + i * 8, 8);
+  ASSERT_TRUE(cq.WaitAll().ok());
+  EXPECT_EQ(SimClock::Now(), kOps * m.OneSidedNs(8));
+  EXPECT_EQ(cq.max_outstanding(), 1u);
+}
+
+TEST_F(CompletionQueueTest, CasFaaDeliverPreviousValues) {
+  const uint64_t init = 41;
+  std::memcpy(region_a_.data() + 64, &init, 8);
+  CompletionQueue cq(&fabric_, cpu_);
+  const WrId faa = cq.PostFaa(A(64), 1);
+  const WrId cas = cq.PostCas(A(64), 42, 77);
+  ASSERT_TRUE(cq.WaitAll().ok());
+  EXPECT_EQ(cq.value(faa), 41u);  // previous value
+  EXPECT_EQ(cq.value(cas), 42u);  // FAA applied first (posting order)
+  uint64_t now = 0;
+  std::memcpy(&now, region_a_.data() + 64, 8);
+  EXPECT_EQ(now, 77u);
+  // Misaligned atomics fail that op only.
+  CompletionQueue cq2(&fabric_, cpu_);
+  const WrId bad = cq2.PostCas(A(65), 0, 1);
+  const WrId good = cq2.PostFaa(A(64), 1);
+  EXPECT_FALSE(cq2.WaitAll().ok());
+  EXPECT_TRUE(cq2.status(bad).IsInvalidArgument());
+  EXPECT_TRUE(cq2.status(good).ok());
+}
+
+TEST_F(CompletionQueueTest, CrashedTargetFailsOnlyItsOps) {
+  const NetworkModel& m = fabric_.model();
+  fabric_.CrashNode(mem_b_);
+  char ra[8], rb[8];
+  CompletionQueue cq(&fabric_, cpu_);
+  const uint64_t t0 = SimClock::Now();
+  const WrId ok_op = cq.PostRead(A(0), ra, sizeof(ra));
+  const WrId dead_op = cq.PostRead(B(0), rb, sizeof(rb));
+  const Status s = cq.WaitAll();
+  EXPECT_TRUE(s.IsUnavailable());           // first error surfaces
+  EXPECT_TRUE(cq.status(ok_op).ok());       // live target unaffected
+  EXPECT_TRUE(cq.status(dead_op).IsUnavailable());
+  // The failure is detected one RTT after issue (NIC timeout), not free.
+  EXPECT_GE(cq.completion_ns(dead_op), t0 + m.rtt_ns);
+}
+
+TEST_F(CompletionQueueTest, PollAllRetiresOnlyElapsedOps) {
+  char buf[8];
+  CompletionQueue cq(&fabric_, cpu_);
+  cq.PostRead(A(0), buf, sizeof(buf));
+  EXPECT_EQ(cq.PollAll(), 0u);  // clock has not reached completion yet
+  EXPECT_EQ(cq.outstanding(), 1u);
+  ASSERT_TRUE(cq.WaitAll().ok());
+  EXPECT_EQ(cq.outstanding(), 0u);
+  cq.Reset();
+  EXPECT_EQ(cq.size(), 0u);
 }
 
 }  // namespace

@@ -353,9 +353,11 @@ class TxnSpecificTest : public ::testing::Test {
     SimClock::Reset();
   }
 
-  std::unique_ptr<CcManager> Make(CcProtocolKind kind) {
+  std::unique_ptr<CcManager> Make(CcProtocolKind kind,
+                                  bool defer_write_locks = true) {
     CcOptions cc;
     cc.protocol = kind;
+    cc.defer_write_locks = defer_write_locks;
     return MakeCcManager(cc, client_.get(), accessor_.get(), oracle_.get(),
                          &sink_);
   }
@@ -375,13 +377,47 @@ class TxnSpecificTest : public ::testing::Test {
 };
 
 TEST_F(TxnSpecificTest, NoWaitAbortsImmediatelyOnConflict) {
-  auto mgr = Make(CcProtocolKind::kTwoPlNoWait);
+  // Eager write locking: the conflict surfaces at Write() time.
+  auto mgr = Make(CcProtocolKind::kTwoPlNoWait, /*defer_write_locks=*/false);
   auto t1 = std::move(*mgr->Begin());
   ASSERT_TRUE(t1->Write(table_->RefFor(0), V(1)).ok());
   auto t2 = std::move(*mgr->Begin());
   EXPECT_TRUE(t2->Write(table_->RefFor(0), V(2)).IsAborted());
   EXPECT_GE(mgr->stats().lock_aborts.load(), 1u);
   ASSERT_TRUE(t1->Commit().ok());
+}
+
+TEST_F(TxnSpecificTest, NoWaitDeferredLocksAbortAtCommitOnConflict) {
+  // defer_write_locks (default): blind writes buffer locally; the lock
+  // conflict is detected by the commit-time pipelined CAS batch instead.
+  auto mgr = Make(CcProtocolKind::kTwoPlNoWait);
+  auto t1 = std::move(*mgr->Begin());
+  ASSERT_TRUE(t1->Write(table_->RefFor(0), V(1)).ok());
+  ASSERT_TRUE(t1->Commit().ok());  // t1 holds no locks afterwards
+
+  auto holder = std::move(*mgr->Begin());
+  ASSERT_TRUE(holder->Write(table_->RefFor(0), V(2)).ok());
+  ASSERT_TRUE(holder->Commit().ok());
+
+  // Simulate a mid-commit writer holding the lock word.
+  ASSERT_TRUE(client_
+                  ->CompareAndSwap(table_->RefFor(0).LockWord(), 0,
+                                   MakeExclusiveLock(77))
+                  .ok());
+  auto t2 = std::move(*mgr->Begin());
+  ASSERT_TRUE(t2->Write(table_->RefFor(0), V(3)).ok());  // deferred: no abort
+  EXPECT_TRUE(t2->Commit().IsAborted());
+  EXPECT_GE(mgr->stats().lock_aborts.load(), 1u);
+  ASSERT_TRUE(
+      client_->CompareAndSwap(table_->RefFor(0).LockWord(),
+                              MakeExclusiveLock(77), 0)
+          .ok());
+  // The record still holds the last committed value.
+  auto check = std::move(*mgr->Begin());
+  std::string out;
+  ASSERT_TRUE(check->Read(table_->RefFor(0), &out).ok());
+  EXPECT_EQ(DecodeFixed64(out.data()), 2u);
+  ASSERT_TRUE(check->Commit().ok());
 }
 
 TEST_F(TxnSpecificTest, OccValidationAbortsStaleReader) {

@@ -8,10 +8,12 @@
 // transaction — the currency of RDMA CC design.
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/dsmdb.h"
+#include "obs/critical_path.h"
 #include "workload/driver.h"
 #include "workload/ycsb.h"
 
@@ -22,6 +24,7 @@ using namespace dsmdb::bench;  // NOLINT
 
 struct ProtocolCfg {
   std::string name;
+  std::string key;  ///< Short stable key for the attribution aggregation.
   txn::CcOptions cc;
 };
 
@@ -29,26 +32,63 @@ std::vector<ProtocolCfg> Protocols() {
   std::vector<ProtocolCfg> out;
   txn::CcOptions cc;
   cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
-  out.push_back({"2pl-nowait (1-RTT excl lock)", cc});
+  out.push_back({"2pl-nowait (1-RTT excl lock)", "2pl-nowait", cc});
   cc.lock_mode = txn::TwoPlLockMode::kSharedExclusive;
-  out.push_back({"2pl-nowait (2-RTT SE lock)", cc});
+  out.push_back({"2pl-nowait (2-RTT SE lock)", "2pl-nowait-se", cc});
   cc = txn::CcOptions{};
   cc.protocol = txn::CcProtocolKind::kTwoPlWaitDie;
-  out.push_back({"2pl-waitdie", cc});
+  out.push_back({"2pl-waitdie", "2pl-waitdie", cc});
   cc = txn::CcOptions{};
   cc.protocol = txn::CcProtocolKind::kOcc;
-  out.push_back({"occ (batched validation)", cc});
+  out.push_back({"occ (batched validation)", "occ", cc});
   cc = txn::CcOptions{};
   cc.protocol = txn::CcProtocolKind::kTso;
-  out.push_back({"tso (FAA timestamps)", cc});
+  out.push_back({"tso (FAA timestamps)", "tso", cc});
   cc = txn::CcOptions{};
   cc.protocol = txn::CcProtocolKind::kMvcc;
-  out.push_back({"mvcc-si", cc});
+  out.push_back({"mvcc-si", "mvcc-si", cc});
   return out;
 }
 
+/// Per-protocol "where the time goes" accumulation, in run order.
+using BreakdownList =
+    std::vector<std::pair<std::string, obs::LatencyBreakdown>>;
+
+void MergeBreakdown(BreakdownList* list, const std::string& key,
+                    const obs::LatencyBreakdown& bd) {
+  for (auto& entry : *list) {
+    if (entry.first == key) {
+      entry.second.Merge(bd);
+      return;
+    }
+  }
+  list->push_back({key, bd});
+}
+
+void PrintBreakdowns(const BreakdownList& list) {
+  Table table({"protocol", "txns", "total(ns)", "cpu", "verb_wire",
+               "verb_post", "lock_wait", "handler_cpu", "queue_wait",
+               "log_device"});
+  for (const auto& [key, bd] : list) {
+    std::vector<std::string> row = {key,
+                                    Fmt("%llu", static_cast<unsigned long long>(
+                                                    bd.txns)),
+                                    Fmt("%.0f", bd.total_mean_ns)};
+    for (size_t b = 0; b < static_cast<size_t>(obs::LatencyBucket::kCount);
+         b++) {
+      const double mean = bd.mean_ns[b];
+      const double pct =
+          bd.total_mean_ns == 0 ? 0 : 100.0 * mean / bd.total_mean_ns;
+      row.push_back(Fmt("%.0f (%.0f%%)", mean, pct));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
 void RunOne(Table* out, obs::StatsExporter* exporter,
-            const ProtocolCfg& proto, double write_fraction, double zipf) {
+            BreakdownList* breakdowns, const ProtocolCfg& proto,
+            double write_fraction, double zipf) {
   dsm::ClusterOptions copts;
   copts.num_memory_nodes = 2;
   copts.memory_node.capacity_bytes = 128 << 20;
@@ -74,6 +114,7 @@ void RunOne(Table* out, obs::StatsExporter* exporter,
   dropts.txns_per_thread = 150;
 
   db.cluster().fabric().ResetStats();
+  obs::ScopedAttribution attr;
   workload::DriverResult result = workload::RunDriver(
       nodes, dropts,
       [&](core::ComputeNode* node, uint32_t tid, Random64&) {
@@ -86,6 +127,11 @@ void RunOne(Table* out, obs::StatsExporter* exporter,
         Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
         return r.ok() && r->committed;
       });
+  const obs::LatencyBreakdown bd = attr.Finish();
+  if (bd.txns > 0) {
+    MergeBreakdown(breakdowns, proto.key, bd);
+    exporter->AddBreakdown(proto.key, bd);
+  }
 
   result.ExportTo(exporter, "ycsb");
   const auto verbs = db.cluster().fabric().TotalStats();
@@ -112,14 +158,21 @@ int main(int argc, char** argv) {
       "8k keys; simulated time)");
   Table table({"protocol", "write_frac", "zipf", "tput(txn/s)", "aborts",
                "rtts/txn", "p50(ns)"});
+  BreakdownList breakdowns;
   for (double zipf : {0.0, 0.9}) {
     for (double wf : {0.05, 0.5}) {
       for (const ProtocolCfg& proto : Protocols()) {
-        RunOne(&table, &env.exporter(), proto, wf, zipf);
+        RunOne(&table, &env.exporter(), &breakdowns, proto, wf, zipf);
       }
     }
   }
   table.Print();
+  if (!breakdowns.empty()) {
+    Section(
+        "E4 attribution: where the commit-path time goes (mean ns per txn "
+        "attempt, exclusive buckets, all mixes pooled)");
+    PrintBreakdowns(breakdowns);
+  }
   std::printf(
       "Claim check (paper Challenge #6): the SE lock's extra round trips "
       "only pay off for read-heavy, high-contention mixes (reader "

@@ -9,10 +9,12 @@
 // the 2PC share.
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/dsmdb.h"
+#include "obs/critical_path.h"
 #include "workload/driver.h"
 #include "workload/smallbank.h"
 
@@ -21,8 +23,13 @@ namespace {
 using namespace dsmdb;         // NOLINT
 using namespace dsmdb::bench;  // NOLINT
 
+/// (config label, breakdown) rows for the attribution table, in run order.
+using BreakdownList =
+    std::vector<std::pair<std::string, obs::LatencyBreakdown>>;
+
 void RunOne(Table* out, obs::StatsExporter* exporter,
-            core::Architecture arch, double cross_fraction) {
+            BreakdownList* breakdowns, core::Architecture arch,
+            double cross_fraction) {
   dsm::ClusterOptions copts;
   copts.num_memory_nodes = 2;
   copts.memory_node.capacity_bytes = 64 << 20;
@@ -51,6 +58,7 @@ void RunOne(Table* out, obs::StatsExporter* exporter,
   dropts.threads_per_node = 2;
   dropts.txns_per_thread = 200;
 
+  obs::ScopedAttribution attr;
   workload::DriverResult result = workload::RunDriver(
       nodes, dropts,
       [&](core::ComputeNode* node, uint32_t tid, Random64&) {
@@ -63,6 +71,14 @@ void RunOne(Table* out, obs::StatsExporter* exporter,
         Result<core::TxnResult> r = node->ExecuteOneShot(*t, wl->NextTxn());
         return r.ok() && r->committed;
       });
+  const obs::LatencyBreakdown bd = attr.Finish();
+  const std::string label = Fmt(
+      "%s cross=%.0f%%", std::string(core::ArchitectureName(arch)).c_str(),
+      cross_fraction * 100);
+  if (bd.txns > 0) {
+    breakdowns->push_back({label, bd});
+    exporter->AddBreakdown(label, bd);
+  }
 
   result.ExportTo(exporter, "smallbank");
   uint64_t two_pc = 0, delegated = 0, local = 0;
@@ -97,16 +113,40 @@ int main(int argc, char** argv) {
       "2PC (sharded), SmallBank transfers, 4 compute nodes x 2 threads");
   Table table({"architecture", "cross-shard", "tput(txn/s)", "aborts",
                "p50(ns)", "p99(ns)", "local/deleg/2pc"});
+  BreakdownList breakdowns;
   for (double cross : {0.0, 0.1, 0.3, 0.6, 1.0}) {
-    RunOne(&table, &env.exporter(), core::Architecture::kCacheSharding,
-           cross);
+    RunOne(&table, &env.exporter(), &breakdowns,
+           core::Architecture::kCacheSharding, cross);
   }
   // The no-sharding architectures never need distributed commit, at any
   // "cross-shard" fraction (the notion does not exist for them).
-  RunOne(&table, &env.exporter(), core::Architecture::kNoCacheNoSharding,
-         1.0);
-  RunOne(&table, &env.exporter(), core::Architecture::kCacheNoSharding, 1.0);
+  RunOne(&table, &env.exporter(), &breakdowns,
+         core::Architecture::kNoCacheNoSharding, 1.0);
+  RunOne(&table, &env.exporter(), &breakdowns,
+         core::Architecture::kCacheNoSharding, 1.0);
   table.Print();
+  if (!breakdowns.empty()) {
+    Section(
+        "E11 attribution: where the commit-path time goes (mean ns per "
+        "txn attempt, exclusive buckets)");
+    Table attr_table({"config", "txns", "total(ns)", "cpu", "verb_wire",
+                      "verb_post", "lock_wait", "handler_cpu", "queue_wait",
+                      "log_device"});
+    for (const auto& [label, bd] : breakdowns) {
+      std::vector<std::string> row = {
+          label, Fmt("%llu", static_cast<unsigned long long>(bd.txns)),
+          Fmt("%.0f", bd.total_mean_ns)};
+      for (size_t b = 0;
+           b < static_cast<size_t>(obs::LatencyBucket::kCount); b++) {
+        const double pct = bd.total_mean_ns == 0
+                               ? 0
+                               : 100.0 * bd.mean_ns[b] / bd.total_mean_ns;
+        row.push_back(Fmt("%.0f (%.0f%%)", bd.mean_ns[b], pct));
+      }
+      attr_table.AddRow(std::move(row));
+    }
+    attr_table.Print();
+  }
   std::printf(
       "Claim check (paper Challenge #5): with no sharding every "
       "transaction commits on a single compute node — no 2PC at all; "

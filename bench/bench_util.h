@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/obs_config.h"
 #include "obs/stats_exporter.h"
 #include "obs/trace.h"
@@ -23,9 +24,13 @@ namespace dsmdb::bench {
 ///   --obs=off       disable metrics (histograms + counters); default on.
 ///   --trace=<file>  enable span tracing and write Chrome trace_event JSON
 ///                   to <file> at exit (open in chrome://tracing/Perfetto).
+///   --stats=<file>  write the stats JSON to <file> instead of the
+///                   STATS_JSON stdout line.
 ///
 /// At exit (metrics on) prints one machine-readable JSON block tagged
-/// `STATS_JSON` merging every layer's histograms and counters.
+/// `STATS_JSON` merging every layer's histograms and counters (or writes
+/// it to the --stats file), including the flight recorder's congestion
+/// time-series when any samples were taken.
 class BenchEnv {
  public:
   BenchEnv(int argc, char** argv) {
@@ -36,10 +41,12 @@ class BenchEnv {
         metrics = false;
       } else if (arg.rfind("--trace=", 0) == 0) {
         trace_path_ = arg.substr(8);
+      } else if (arg.rfind("--stats=", 0) == 0) {
+        stats_path_ = arg.substr(8);
       } else {
         std::fprintf(stderr,
                      "%s: unknown flag %s (supported: --obs=off "
-                     "--trace=<file>)\n",
+                     "--trace=<file> --stats=<file>)\n",
                      argv[0], arg.c_str());
       }
     }
@@ -54,7 +61,22 @@ class BenchEnv {
   ~BenchEnv() {
     if (obs::ObsConfig::Enabled()) {
       exporter_.CollectGlobal();
-      std::printf("\nSTATS_JSON %s\n", exporter_.ToJson().c_str());
+      const obs::FlightRecorder& fr = obs::FlightRecorder::Instance();
+      if (fr.total_samples() > 0) exporter_.AddTimeseries(fr.Snapshot());
+      const std::string json = exporter_.ToJson();
+      if (!stats_path_.empty()) {
+        std::FILE* f = std::fopen(stats_path_.c_str(), "w");
+        if (f != nullptr) {
+          std::fwrite(json.data(), 1, json.size(), f);
+          std::fclose(f);
+          std::printf("stats: wrote %s\n", stats_path_.c_str());
+        } else {
+          std::fprintf(stderr, "stats: cannot open %s\n",
+                       stats_path_.c_str());
+        }
+      } else {
+        std::printf("\nSTATS_JSON %s\n", json.c_str());
+      }
     }
     if (!trace_path_.empty()) {
       const obs::TraceCollector& tc = obs::TraceCollector::Instance();
@@ -75,6 +97,7 @@ class BenchEnv {
 
  private:
   std::string trace_path_;
+  std::string stats_path_;
   obs::StatsExporter exporter_;
 };
 

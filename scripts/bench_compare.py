@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_*.json snapshots (see scripts/bench_snapshot.sh).
+
+Walks the per-bench stats blocks shared by both snapshots and reports the
+delta of every throughput scalar (``*.throughput_tps``) and every latency
+histogram p50. Exits nonzero when any throughput drops, or any p50 rises,
+by more than the regression threshold (default 10%). Histograms with fewer
+than --min-count samples on either side are skipped: a p50 over a handful
+of aborted attempts is scheduling noise, not a regression signal.
+
+Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json
+       [--threshold=0.10] [--min-count=100]
+"""
+
+import json
+import sys
+
+THROUGHPUT_SUFFIX = ".throughput_tps"
+LATENCY_SUFFIX = "_ns"
+
+
+def load(path):
+    with open(path) as f:
+        snap = json.load(f)
+    # Accept both a full snapshot ({"stats": {bench: {...}}}) and a single
+    # bench's --stats file ({"counters": ..., "histograms": ...}).
+    if "stats" in snap:
+        return snap["stats"]
+    return {"bench": snap}
+
+
+def walk(stats, min_count):
+    """Yields (metric_name, value, kind) with kind in {tput, p50}."""
+    for bench, block in sorted(stats.items()):
+        if not isinstance(block, dict):
+            continue
+        for name, value in sorted(block.get("scalars", {}).items()):
+            if name.endswith(THROUGHPUT_SUFFIX):
+                yield f"{bench}:{name}", float(value), "tput"
+        for name, hist in sorted(block.get("histograms", {}).items()):
+            if name.endswith(LATENCY_SUFFIX) and isinstance(hist, dict):
+                p50 = hist.get("p50")
+                if (p50 is not None and float(p50) > 0
+                        and float(hist.get("count", 0)) >= min_count):
+                    yield f"{bench}:{name}:p50", float(p50), "p50"
+
+
+def main(argv):
+    threshold = 0.10
+    min_count = 100
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-count="):
+            min_count = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base = dict(
+        (k, (v, kind)) for k, v, kind in walk(load(paths[0]), min_count))
+    cand = dict(
+        (k, (v, kind)) for k, v, kind in walk(load(paths[1]), min_count))
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("error: the snapshots share no comparable metrics",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(k) for k in shared)
+    print(f"comparing {paths[0]} (base) -> {paths[1]} (candidate), "
+          f"threshold {threshold:.0%}\n")
+    for key in shared:
+        b, kind = base[key]
+        c, _ = cand[key]
+        if b == 0:
+            continue
+        delta = (c - b) / b
+        # Throughput regresses when it drops; latency when it rises.
+        regressed = (kind == "tput" and delta < -threshold) or (
+            kind == "p50" and delta > threshold)
+        flag = "  REGRESSION" if regressed else ""
+        print(f"  {key:<{width}}  {b:>14.1f} -> {c:>14.1f}  "
+              f"{delta:+7.1%}{flag}")
+        if regressed:
+            regressions.append((key, delta))
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"\n  ({len(only_base)} metrics only in base, ignored)")
+    if only_cand:
+        print(f"  ({len(only_cand)} metrics only in candidate, ignored)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+              f"{threshold:.0%}:")
+        for key, delta in regressions:
+            print(f"  {key}  {delta:+.1%}")
+        return 1
+    print(f"\nOK: no regression beyond {threshold:.0%} across "
+          f"{len(shared)} shared metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

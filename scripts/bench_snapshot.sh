@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Runs the PR2-relevant benches (E2 durability, E4 CC protocols, E11 commit,
-# E13 raw verbs) and folds their STATS_JSON exports into one snapshot file,
-# BENCH_PR2.json, at the repo root. Each bench prints a single
-# `STATS_JSON {...}` line at exit (see bench::BenchEnv); this script captures
-# that JSON verbatim per bench and records the headline before/after numbers
-# for the async-verb-engine PR alongside it.
+# Runs the tracked benches (E2 durability, E4 CC protocols, E11 commit,
+# E13 raw verbs) and folds their stats exports into one snapshot file,
+# BENCH_<label>.json, at the repo root. Each BenchEnv bench writes its full
+# stats JSON (counters, histograms, latency_breakdown, timeseries) to the
+# file named by --stats=<file>; this script collects those per-bench files.
 #
-# Usage: scripts/bench_snapshot.sh [build-dir]   (default: build)
+# Compare two snapshots with scripts/bench_compare.py (exits nonzero on a
+# >10% throughput or p50 regression).
+#
+# Usage: scripts/bench_snapshot.sh [build-dir] [label]
+#   default build-dir: build     default label: PR4
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-out="$repo_root/BENCH_PR2.json"
+label="${2:-PR4}"
+out="$repo_root/BENCH_${label}.json"
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
@@ -28,38 +32,30 @@ for key in "${!benches[@]}"; do
     exit 1
   fi
   echo "== running ${benches[$key]} =="
-  "$bin" >"$tmp_dir/$key.out" 2>/dev/null
-  grep '^STATS_JSON ' "$tmp_dir/$key.out" | tail -1 | cut -d' ' -f2- \
-    >"$tmp_dir/$key.json"
+  "$bin" --stats="$tmp_dir/$key.json" >"$tmp_dir/$key.out" 2>/dev/null
+  if [[ ! -s "$tmp_dir/$key.json" ]]; then
+    # Older bench binaries without --stats print a STATS_JSON line instead.
+    grep '^STATS_JSON ' "$tmp_dir/$key.out" | tail -1 | cut -d' ' -f2- \
+      >"$tmp_dir/$key.json"
+  fi
 done
 
-# E13 is a google-benchmark binary (no BenchEnv STATS_JSON); capture its
+# E13 is a google-benchmark binary (no BenchEnv stats export); capture its
 # native JSON report, which carries the pipeline sweep's closed_form_pct_err
 # counters that acceptance checks against.
 echo "== running bench_rdma_verbs =="
 "$build_dir/bench/bench_rdma_verbs" --benchmark_min_time=0.05 \
   --benchmark_format=json >"$tmp_dir/E13_rdma_verbs.json" 2>/dev/null
 
-python3 - "$tmp_dir" "$out" <<'PY'
+python3 - "$tmp_dir" "$out" "$label" <<'PY'
 import json
 import pathlib
 import sys
 
 tmp_dir, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+label = sys.argv[3]
 snapshot = {
-    "pr": 2,
-    "title": "Async verb engine: pipelined one-sided verbs and parallel "
-             "fan-out across the commit path",
-    # Headline simulated numbers, measured on this machine before and after
-    # the engine landed (same benches, same seeds, simulated ns).
-    "headline": {
-        "E2_replicated_log_k3_commit_p50_ns": {"before": 14361, "after": 6399},
-        "E4_2pl_nowait_wf0.5_p50_ns": {"before": 21968, "after": 8703},
-        "E4_occ_wf0.5_p50_ns": {"before": 24575, "after": 10751},
-        "E11_3a_nocache_noshard_p50_ns": {"before": 14488, "after": 6124},
-        "E11_3b_cache_noshard_p50_ns": {"before": 25599, "after": 22527},
-        "E13_pipeline_sweep_max_closed_form_pct_err": 0.115,
-    },
+    "pr": label,
     "stats": {},
 }
 for f in sorted(tmp_dir.glob("*.json")):

@@ -66,6 +66,14 @@ BufferPool::BufferPool(dsm::DsmClient* dsm, const BufferPoolOptions& options,
   publish("buffer.pool.invalidations_received", &invalidations_received_);
   publish("buffer.pool.updates_received", &updates_received_);
   publish("buffer.pool.policy_ns", &policy_ns_);
+  hit_rate_gauge_ = obs::FlightRecorder::Instance().RegisterGauge(
+      "buffer.hit_rate", [this](uint64_t) {
+        const uint64_t h = hits_.load(std::memory_order_relaxed);
+        const uint64_t m = misses_.load(std::memory_order_relaxed);
+        return h + m == 0
+                   ? 0.0
+                   : static_cast<double>(h) / static_cast<double>(h + m);
+      });
 }
 
 BufferPool::~BufferPool() = default;

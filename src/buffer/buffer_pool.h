@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "dsm/dsm_client.h"
 #include "dsm/gaddr.h"
+#include "obs/flight_recorder.h"
 
 namespace dsmdb::buffer {
 
@@ -151,6 +152,8 @@ class BufferPool {
 
   ObsHooks obs_;
   std::vector<GaugeToken> gauge_tokens_;
+  /// Keeps `buffer.hit_rate` registered in the flight recorder.
+  obs::FlightRecorder::Token hit_rate_gauge_;
 };
 
 }  // namespace dsmdb::buffer

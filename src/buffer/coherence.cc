@@ -3,6 +3,7 @@
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "dsm/rpc_ids.h"
+#include "obs/trace.h"
 
 namespace dsmdb::buffer {
 
@@ -33,6 +34,7 @@ std::string DirectoryCoherence::EncodeUpdate(dsm::GlobalAddress chunk,
 Status DirectoryCoherence::OnLocalWrite(dsm::GlobalAddress page,
                                         dsm::GlobalAddress chunk,
                                         const void* data, size_t len) {
+  obs::TraceScope span("coherence.fanout", "coherence");
   // Invalidation mode transfers exclusivity (peers drop their copies and
   // leave the sharer set); update mode refreshes peers in place, so they
   // stay registered for future writes.

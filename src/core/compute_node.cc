@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "dsm/rpc_ids.h"
+#include "obs/trace.h"
 
 namespace dsmdb::core {
 
@@ -167,6 +168,10 @@ void ComputeNode::MaybeDropCacheOnReshard() {
 
 Result<TxnResult> ComputeNode::ExecuteLocal(const Table& table,
                                             const std::vector<TxnOp>& ops) {
+  // Root of the causal span tree when called directly; joins the caller's
+  // transaction when reached via delegation (HandleExec) or a driver
+  // attempt scope.
+  obs::TraceTxnScope root("txn.local", "txn");
   // Shard boundaries are key-granular but caching is page-granular, so a
   // page can hold records of several owners (false sharing). Within an
   // ownership epoch only the owner writes its keys, so this is safe; at a
@@ -192,6 +197,7 @@ Result<TxnResult> ComputeNode::ExecuteLocal(const Table& table,
 
 Result<TxnResult> ComputeNode::ExecuteOneShot(const Table& table,
                                               const std::vector<TxnOp>& ops) {
+  obs::TraceTxnScope root("txn.oneshot", "txn");
   if (shards_ == nullptr ||
       options_.architecture != Architecture::kCacheSharding) {
     return ExecuteLocal(table, ops);
@@ -276,6 +282,8 @@ Result<TxnResult> ComputeNode::ExecuteTwoPc(
   std::vector<rdma::WrId> wr(by_owner.size(), 0);
   uint64_t local_end_ns = 0;
   dsm::DsmPipeline pipe(dsm_.get());
+  {
+  obs::TraceScope prepare_span("2pc.prepare", "txn");
   for (uint32_t o = 0; o < by_owner.size(); o++) {
     if (by_owner[o].empty()) continue;
     if (o == slot_) {
@@ -340,9 +348,12 @@ Result<TxnResult> ComputeNode::ExecuteTwoPc(
       pos += table.value_size();
     }
   }
+  }  // prepare_span
 
   // Phase 2: COMMIT / ABORT decision, the same pipelined shape.
   bool commit_ok = all_yes;
+  {
+  obs::TraceScope decide_span("2pc.decide", "txn");
   pipe.Reset();
   std::string decide;
   PutFixed64(&decide, txn_id);
@@ -361,6 +372,7 @@ Result<TxnResult> ComputeNode::ExecuteTwoPc(
       commit_ok = false;
     }
   }
+  }  // decide_span
 
   if (!hard_error.ok()) return hard_error;
   result.committed = commit_ok;
@@ -394,6 +406,9 @@ uint64_t ComputeNode::HandleExec(std::string_view req, std::string* resp) {
 
 uint64_t ComputeNode::HandlePrepare(std::string_view req,
                                     std::string* resp) {
+  // Runs inside the coordinator's prepare leg: the engine re-parents this
+  // under the leg's handler-cpu span and re-times it to simulated arrival.
+  obs::TraceScope span("2pc.participant.prepare", "txn");
   if (req.size() < 8 || sharded_table_ == nullptr) {
     resp->push_back(0);
     return 500;
@@ -437,6 +452,7 @@ uint64_t ComputeNode::HandlePrepare(std::string_view req,
 }
 
 uint64_t ComputeNode::HandleDecide(std::string_view req, std::string* resp) {
+  obs::TraceScope span("2pc.participant.decide", "txn");
   if (req.size() != 9) {
     resp->push_back(0);
     return 400;

@@ -1,0 +1,232 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "obs/obs_config.h"
+
+namespace dsmdb::obs {
+
+namespace {
+
+constexpr size_t kBuckets = static_cast<size_t>(LatencyBucket::kCount);
+
+/// Category -> bucket. Unmapped categories return kCount and are resolved
+/// by context (cpu, or handler-cpu under a remote handler).
+LatencyBucket BucketForCat(const char* cat) {
+  if (cat == nullptr) return LatencyBucket::kCount;
+  if (std::strcmp(cat, "verb.wire") == 0) return LatencyBucket::kVerbWire;
+  if (std::strcmp(cat, "verb.post") == 0) return LatencyBucket::kVerbPost;
+  if (std::strcmp(cat, "lock.wait") == 0) return LatencyBucket::kLockWait;
+  if (std::strcmp(cat, "handler.cpu") == 0) {
+    return LatencyBucket::kHandlerCpu;
+  }
+  if (std::strcmp(cat, "cpu.queue") == 0) return LatencyBucket::kQueue;
+  if (std::strcmp(cat, "log.device") == 0) return LatencyBucket::kLog;
+  return LatencyBucket::kCount;
+}
+
+struct Node {
+  const TraceEvent* ev = nullptr;
+  // Interval clamped to the ancestor chain (so children never leak
+  // outside their parent and the sweep partitions the root exactly).
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint32_t depth = 0;
+  LatencyBucket bucket = LatencyBucket::kCpu;
+  std::vector<Node*> children;
+};
+
+/// Attribution of one transaction's tree; adds bucket totals (ns) and
+/// returns the root duration.
+uint64_t AttributeTxn(const std::vector<const TraceEvent*>& spans,
+                      uint64_t totals[kBuckets]) {
+  std::unordered_map<uint64_t, Node> nodes;
+  nodes.reserve(spans.size());
+  for (const TraceEvent* e : spans) {
+    Node& n = nodes[e->span_id];
+    n.ev = e;
+  }
+  // Root = the parentless span (or one whose parent fell outside the
+  // captured set, e.g. dropped to ring wraparound); with several
+  // candidates keep the longest, which is the outermost surviving scope.
+  Node* root = nullptr;
+  for (auto& [id, n] : nodes) {
+    auto parent = nodes.find(n.ev->parent_id);
+    if (n.ev->parent_id != 0 && parent != nodes.end() &&
+        parent->second.ev != n.ev) {
+      parent->second.children.push_back(&n);
+    } else if (root == nullptr || n.ev->dur_ns > root->ev->dur_ns) {
+      root = &n;
+    }
+  }
+  if (root == nullptr) return 0;
+
+  // Clamp intervals to parents and assign buckets, iteratively (commit
+  // trees are shallow, but avoid recursion on adversarial input).
+  root->lo = root->ev->start_ns;
+  root->hi = root->ev->start_ns + root->ev->dur_ns;
+  root->depth = 0;
+  root->bucket = LatencyBucket::kCpu;
+  std::vector<Node*> order;
+  order.reserve(nodes.size());
+  order.push_back(root);
+  std::vector<Node*> live;
+  live.push_back(root);
+  for (size_t i = 0; i < order.size(); i++) {
+    Node* p = order[i];
+    for (Node* c : p->children) {
+      c->lo = std::max(p->lo, c->ev->start_ns);
+      c->hi = std::min(p->hi, c->ev->start_ns + c->ev->dur_ns);
+      if (c->hi < c->lo) c->hi = c->lo;
+      c->depth = p->depth + 1;
+      LatencyBucket b = BucketForCat(c->ev->cat);
+      if (b == LatencyBucket::kCount) {
+        // Untyped span: its residual is CPU — of the remote handler when
+        // it runs inside one, of the coordinator otherwise.
+        b = p->bucket == LatencyBucket::kHandlerCpu
+                ? LatencyBucket::kHandlerCpu
+                : LatencyBucket::kCpu;
+      }
+      c->bucket = b;
+      order.push_back(c);
+    }
+  }
+
+  // Sweep the root interval: every elementary segment goes to the deepest
+  // covering span (ties -> later start, then higher span id, so the most
+  // specific overlapping sibling wins).
+  std::vector<uint64_t> cuts;
+  cuts.reserve(order.size() * 2);
+  for (Node* n : order) {
+    if (n->hi > n->lo) {
+      cuts.push_back(n->lo);
+      cuts.push_back(n->hi);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::sort(order.begin(), order.end(),
+            [](const Node* a, const Node* b) { return a->lo < b->lo; });
+  for (size_t i = 0; i + 1 < cuts.size(); i++) {
+    const uint64_t a = cuts[i];
+    const uint64_t b = cuts[i + 1];
+    const Node* best = nullptr;
+    for (const Node* n : order) {
+      if (n->lo > a) break;
+      if (n->hi < b) continue;
+      if (best == nullptr || n->depth > best->depth ||
+          (n->depth == best->depth &&
+           (n->ev->start_ns > best->ev->start_ns ||
+            (n->ev->start_ns == best->ev->start_ns &&
+             n->ev->span_id > best->ev->span_id)))) {
+        best = n;
+      }
+    }
+    if (best != nullptr) {
+      totals[static_cast<size_t>(best->bucket)] += b - a;
+    }
+  }
+  return root->ev->dur_ns;
+}
+
+}  // namespace
+
+const char* LatencyBucketName(LatencyBucket b) {
+  switch (b) {
+    case LatencyBucket::kCpu: return "cpu";
+    case LatencyBucket::kVerbWire: return "verb_wire";
+    case LatencyBucket::kVerbPost: return "verb_post";
+    case LatencyBucket::kLockWait: return "lock_wait";
+    case LatencyBucket::kHandlerCpu: return "handler_cpu";
+    case LatencyBucket::kQueue: return "queue_wait";
+    case LatencyBucket::kLog: return "log_device";
+    case LatencyBucket::kCount: break;
+  }
+  return "?";
+}
+
+double LatencyBreakdown::Sum() const {
+  double s = 0;
+  for (double v : mean_ns) s += v;
+  return s;
+}
+
+void LatencyBreakdown::Merge(const LatencyBreakdown& other) {
+  const uint64_t n = txns + other.txns;
+  if (n == 0) return;
+  const double wa = static_cast<double>(txns) / static_cast<double>(n);
+  const double wb = static_cast<double>(other.txns) / static_cast<double>(n);
+  total_mean_ns = total_mean_ns * wa + other.total_mean_ns * wb;
+  for (size_t i = 0; i < kBuckets; i++) {
+    mean_ns[i] = mean_ns[i] * wa + other.mean_ns[i] * wb;
+  }
+  txns = n;
+}
+
+std::map<std::string, double> LatencyBreakdown::ToMap() const {
+  std::map<std::string, double> out;
+  for (size_t i = 0; i < kBuckets; i++) {
+    out[LatencyBucketName(static_cast<LatencyBucket>(i))] = mean_ns[i];
+  }
+  return out;
+}
+
+LatencyBreakdown AnalyzeCriticalPath(const std::vector<TraceEvent>& events) {
+  std::unordered_map<uint64_t, std::vector<const TraceEvent*>> by_txn;
+  for (const TraceEvent& e : events) {
+    if (e.txn_id != 0 && e.span_id != 0) by_txn[e.txn_id].push_back(&e);
+  }
+  LatencyBreakdown out;
+  double sum_total = 0;
+  double sums[kBuckets] = {};
+  for (const auto& [txn, spans] : by_txn) {
+    uint64_t totals[kBuckets] = {};
+    const uint64_t root_dur = AttributeTxn(spans, totals);
+    out.txns++;
+    sum_total += static_cast<double>(root_dur);
+    for (size_t i = 0; i < kBuckets; i++) {
+      sums[i] += static_cast<double>(totals[i]);
+    }
+  }
+  if (out.txns > 0) {
+    const double n = static_cast<double>(out.txns);
+    out.total_mean_ns = sum_total / n;
+    for (size_t i = 0; i < kBuckets; i++) out.mean_ns[i] = sums[i] / n;
+  }
+  return out;
+}
+
+ScopedAttribution::ScopedAttribution() {
+  if (!ObsConfig::Enabled()) return;
+  active_ = true;
+  prev_tracing_ = ObsConfig::TracingEnabled();
+  ObsConfig::SetTracing(true);
+  // With --trace the user wants the whole run in the final dump; keep the
+  // rings and rely on the txn watermark to bound this section's analysis.
+  if (!prev_tracing_) TraceCollector::Instance().Clear();
+  txn_watermark_ = TxnIdWatermark();
+}
+
+LatencyBreakdown ScopedAttribution::Finish() {
+  LatencyBreakdown b;
+  if (active_) {
+    std::vector<TraceEvent> events = TraceCollector::Instance().Snapshot();
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [this](const TraceEvent& e) {
+                                  return e.txn_id < txn_watermark_;
+                                }),
+                 events.end());
+    b = AnalyzeCriticalPath(events);
+    ObsConfig::SetTracing(prev_tracing_);
+    finished_ = true;
+  }
+  return b;
+}
+
+ScopedAttribution::~ScopedAttribution() {
+  if (active_ && !finished_) ObsConfig::SetTracing(prev_tracing_);
+}
+
+}  // namespace dsmdb::obs

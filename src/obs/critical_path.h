@@ -1,0 +1,86 @@
+#ifndef DSMDB_OBS_CRITICAL_PATH_H_
+#define DSMDB_OBS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dsmdb::obs {
+
+/// Exclusive latency buckets for "where does the time go" attribution
+/// (Challenges #4, #6, #10). Every simulated nanosecond of a transaction's
+/// end-to-end latency lands in exactly one bucket.
+enum class LatencyBucket {
+  kCpu,         ///< Coordinator-side compute (anything not otherwise claimed).
+  kVerbWire,    ///< One-sided/two-sided verb wire + NIC time.
+  kVerbPost,    ///< Sender CPU building WRs and ringing doorbells.
+  kLockWait,    ///< Lock acquisition residual: retries, backoff, contention.
+  kHandlerCpu,  ///< Remote handler execution on memory/peer-node cores.
+  kQueue,       ///< Fluid-queue wait at a saturated remote CPU.
+  kLog,         ///< Log-device / cloud-storage residual on the commit path.
+  kCount,
+};
+
+const char* LatencyBucketName(LatencyBucket b);
+
+/// Per-protocol attribution result: mean nanoseconds per bucket over all
+/// analyzed transactions. The buckets partition each root span exactly, so
+/// Sum() equals total_mean_ns up to floating-point rounding.
+struct LatencyBreakdown {
+  uint64_t txns = 0;
+  double total_mean_ns = 0.0;
+  double mean_ns[static_cast<size_t>(LatencyBucket::kCount)] = {};
+
+  double Sum() const;
+  double Mean(LatencyBucket b) const {
+    return mean_ns[static_cast<size_t>(b)];
+  }
+  /// Folds `other` in, weighting means by transaction count.
+  void Merge(const LatencyBreakdown& other);
+  /// Bucket name -> mean ns (for export).
+  std::map<std::string, double> ToMap() const;
+};
+
+/// Walks the causally-linked span trees in `events` (grouped by txn id,
+/// rooted at the parentless span) and attributes each root's duration to
+/// exclusive buckets with a sweep over the root interval: each instant
+/// belongs to the deepest span covering it, and the span's category picks
+/// the bucket (verb.wire, verb.post, lock.wait, handler.cpu, cpu.queue,
+/// log.device; anything else is cpu, or handler-cpu when it runs inside a
+/// remote handler). Spans are clamped to their parent, so the partition is
+/// exact and the buckets sum to the root duration by construction.
+LatencyBreakdown AnalyzeCriticalPath(const std::vector<TraceEvent>& events);
+
+/// RAII helper for benches: enables tracing over a measured section (when
+/// observability is on at all), then analyzes the captured spans. The
+/// analysis window is bounded by a txn-id watermark, so only transactions
+/// started inside the section are attributed. When the caller had not
+/// already enabled tracing (no --trace), the collector is cleared on entry
+/// to keep the ring for this section; with --trace the accumulated events
+/// of earlier sections are preserved for the final trace dump. Restores
+/// the previous tracing flag.
+class ScopedAttribution {
+ public:
+  ScopedAttribution();
+  ~ScopedAttribution();
+
+  ScopedAttribution(const ScopedAttribution&) = delete;
+  ScopedAttribution& operator=(const ScopedAttribution&) = delete;
+
+  /// Snapshots the collector and runs the analyzer. Call once, at the end
+  /// of the measured section.
+  LatencyBreakdown Finish();
+
+ private:
+  bool active_ = false;
+  bool prev_tracing_ = false;
+  bool finished_ = false;
+  uint64_t txn_watermark_ = 0;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_CRITICAL_PATH_H_

@@ -1,0 +1,135 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dsmdb::obs {
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::Token& FlightRecorder::Token::operator=(
+    Token&& other) noexcept {
+  if (this != &other) {
+    Release();
+    rec_ = other.rec_;
+    id_ = other.id_;
+    other.rec_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void FlightRecorder::Token::Release() {
+  if (rec_ != nullptr) {
+    rec_->Unregister(id_);
+    rec_ = nullptr;
+    id_ = 0;
+  }
+}
+
+FlightRecorder::Token FlightRecorder::RegisterGauge(const std::string& name,
+                                                    Sampler sampler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = next_id_++;
+  gauges_.push_back(Gauge{id, name, std::move(sampler)});
+  return Token(this, id);
+}
+
+void FlightRecorder::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_.erase(std::remove_if(gauges_.begin(), gauges_.end(),
+                               [id](const Gauge& g) { return g.id == id; }),
+                gauges_.end());
+}
+
+void FlightRecorder::Configure(uint64_t interval_ns, size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  interval_ns_ = interval_ns == 0 ? 1 : interval_ns;
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.resize(capacity_);
+  next_ = 0;
+  total_.store(0, std::memory_order_relaxed);
+  next_due_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Sample(uint64_t now_ns) {
+  // One sampler at a time; concurrent losers just skip — the next due
+  // time has moved on by the time they would retry.
+  std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+  if (!lk.owns_lock()) return;
+  if (now_ns < next_due_.load(std::memory_order_relaxed)) return;
+  if (ring_.size() != capacity_) ring_.resize(capacity_);
+  SampleRow& row = ring_[next_];
+  row.t_ns = now_ns;
+  row.values.clear();
+  // Sum same-named gauges (e.g. one abort-rate gauge per CC manager).
+  for (const Gauge& g : gauges_) {
+    const double v = g.sampler(now_ns);
+    bool merged = false;
+    for (auto& [name, value] : row.values) {
+      if (name == g.name) {
+        value += v;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) row.values.emplace_back(g.name, v);
+  }
+  next_ = (next_ + 1) % ring_.size();
+  total_.fetch_add(1, std::memory_order_relaxed);
+  next_due_.store(now_ns + interval_ns_, std::memory_order_relaxed);
+}
+
+FlightRecorder::Series FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Series out;
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (ring_.empty() || total == 0) return out;
+  const size_t cap = ring_.size();
+  const size_t retained =
+      total < cap ? static_cast<size_t>(total) : cap;
+  const size_t first = total < cap ? 0 : next_;
+  std::vector<const SampleRow*> rows;
+  rows.reserve(retained);
+  for (size_t i = 0; i < retained; i++) {
+    rows.push_back(&ring_[(first + i) % cap]);
+  }
+  // Worker clocks are unsynchronized; present the series in time order.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const SampleRow* a, const SampleRow* b) {
+                     return a->t_ns < b->t_ns;
+                   });
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < rows.size(); i++) {
+    out.t_ns.push_back(rows[i]->t_ns);
+    for (const auto& [name, value] : rows[i]->values) {
+      auto it = out.values.find(name);
+      if (it == out.values.end()) {
+        it = out.values.emplace(name, std::vector<double>(i, nan)).first;
+      }
+      it->second.push_back(value);
+    }
+    // Pad gauges absent from this sample.
+    for (auto& [name, column] : out.values) {
+      if (column.size() < i + 1) column.push_back(nan);
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (SampleRow& row : ring_) {
+    row.t_ns = 0;
+    row.values.clear();
+  }
+  next_ = 0;
+  total_.store(0, std::memory_order_relaxed);
+  next_due_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dsmdb::obs

@@ -1,0 +1,114 @@
+#ifndef DSMDB_OBS_FLIGHT_RECORDER_H_
+#define DSMDB_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs_config.h"
+
+namespace dsmdb::obs {
+
+/// Congestion time-series: samples registered gauges (fabric in-flight
+/// verbs, queue depth, memory-node CPU utilization, buffer hit rate, abort
+/// rate) on simulated-time intervals into a fixed ring, so saturation and
+/// livelock onset are visible as curves instead of end-state averages.
+///
+/// Sampling is driven from instrumented hot paths via MaybeSample(now):
+/// the fast path is one relaxed flag load plus one relaxed compare against
+/// the next due time; the slow path (actually sampling) takes a mutex that
+/// losers skip. Worker threads carry unsynchronized simulated clocks, so
+/// sample times are only loosely monotonic; Snapshot() sorts by time.
+/// Observation-only: never advances SimClock.
+class FlightRecorder {
+ public:
+  using Sampler = std::function<double(uint64_t now_ns)>;
+
+  static FlightRecorder& Instance();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Unregisters its gauge when destroyed (or when released).
+  class Token {
+   public:
+    Token() = default;
+    Token(Token&& other) noexcept { *this = std::move(other); }
+    Token& operator=(Token&& other) noexcept;
+    ~Token() { Release(); }
+    void Release();
+
+   private:
+    friend class FlightRecorder;
+    Token(FlightRecorder* rec, uint64_t id) : rec_(rec), id_(id) {}
+    FlightRecorder* rec_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Registers a named gauge. Same-named gauges (one abort-rate per CC
+  /// manager, one utilization per fabric) are summed at sample time.
+  Token RegisterGauge(const std::string& name, Sampler sampler);
+
+  /// Sampling interval in simulated ns and ring capacity in samples.
+  /// Configure() also clears retained samples.
+  void Configure(uint64_t interval_ns, size_t capacity);
+
+  /// Samples every gauge if `now_ns` has reached the next due time.
+  void MaybeSample(uint64_t now_ns) {
+    if (!ObsConfig::Enabled()) return;
+    if (now_ns < next_due_.load(std::memory_order_relaxed)) return;
+    Sample(now_ns);
+  }
+
+  struct Series {
+    std::vector<uint64_t> t_ns;  ///< Ascending sample times.
+    /// Gauge name -> one value per sample; NaN where the gauge was not
+    /// registered at that sample.
+    std::map<std::string, std::vector<double>> values;
+  };
+
+  /// Retained samples, oldest first, sorted by time.
+  Series Snapshot() const;
+
+  /// Samples ever taken (including ones the ring has since overwritten).
+  uint64_t total_samples() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops retained samples and re-arms the next due time.
+  void Clear();
+
+ private:
+  struct SampleRow {
+    uint64_t t_ns = 0;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  struct Gauge {
+    uint64_t id = 0;
+    std::string name;
+    Sampler sampler;
+  };
+
+  FlightRecorder() = default;
+  void Sample(uint64_t now_ns);
+  void Unregister(uint64_t id);
+
+  mutable std::mutex mu_;
+  std::vector<Gauge> gauges_;
+  std::vector<SampleRow> ring_;
+  size_t next_ = 0;
+  std::atomic<uint64_t> total_{0};
+  uint64_t interval_ns_ = 20'000;
+  size_t capacity_ = 1024;
+  uint64_t next_id_ = 1;
+  std::atomic<uint64_t> next_due_{0};
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_FLIGHT_RECORDER_H_

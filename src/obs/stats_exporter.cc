@@ -66,6 +66,15 @@ void StatsExporter::AddHistogram(const std::string& name,
   histograms_[name].Merge(hist);
 }
 
+void StatsExporter::AddBreakdown(const std::string& name,
+                                 const LatencyBreakdown& b) {
+  breakdowns_[name].Merge(b);
+}
+
+void StatsExporter::AddTimeseries(const FlightRecorder::Series& series) {
+  timeseries_ = series;
+}
+
 void StatsExporter::CollectGlobal() {
   AddCounters(GlobalMetrics().Snapshot());
   for (const auto& [name, hist] : Telemetry::Instance().SnapshotHistograms()) {
@@ -108,7 +117,53 @@ std::string StatsExporter::ToJson() const {
     out += "\"" + JsonEscape(name) + "\":" + buf;
     first = false;
   }
-  out += "}}";
+  out += "}";
+  if (!breakdowns_.empty()) {
+    out += ",\"latency_breakdown\":{";
+    first = true;
+    for (const auto& [name, b] : breakdowns_) {
+      if (!first) out += ",";
+      out += "\"" + JsonEscape(name) + "\":{\"txns\":" +
+             std::to_string(b.txns) +
+             ",\"total_mean_ns\":" + FmtDouble(b.total_mean_ns) +
+             ",\"buckets\":{";
+      bool bfirst = true;
+      for (const auto& [bucket, mean] : b.ToMap()) {
+        if (!bfirst) out += ",";
+        out += "\"" + bucket + "\":" + FmtDouble(mean);
+        bfirst = false;
+      }
+      out += "}}";
+      first = false;
+    }
+    out += "}";
+  }
+  if (!timeseries_.t_ns.empty()) {
+    out += ",\"timeseries\":{\"t_ns\":[";
+    first = true;
+    for (uint64_t t : timeseries_.t_ns) {
+      if (!first) out += ",";
+      out += std::to_string(t);
+      first = false;
+    }
+    out += "],\"series\":{";
+    first = true;
+    for (const auto& [name, column] : timeseries_.values) {
+      if (!first) out += ",";
+      out += "\"" + JsonEscape(name) + "\":[";
+      bool vfirst = true;
+      for (double v : column) {
+        if (!vfirst) out += ",";
+        // NaN marks "gauge not yet registered"; JSON has no NaN literal.
+        out += v == v ? FmtDouble(v) : std::string("null");
+        vfirst = false;
+      }
+      out += "]";
+      first = false;
+    }
+    out += "}}";
+  }
+  out += "}";
   return out;
 }
 
@@ -127,6 +182,19 @@ std::string StatsExporter::ToText() const {
   for (const auto& [name, h] : histograms_) {
     std::snprintf(buf, sizeof(buf), "%-44s %s\n", name.c_str(),
                   h.ToString().c_str());
+    out += buf;
+  }
+  for (const auto& [name, b] : breakdowns_) {
+    std::string line;
+    for (const auto& [bucket, mean] : b.ToMap()) {
+      if (mean <= 0) continue;
+      char item[64];
+      std::snprintf(item, sizeof(item), " %s=%.0f", bucket.c_str(), mean);
+      line += item;
+    }
+    std::snprintf(buf, sizeof(buf), "%-44s total=%.0f ns%s\n",
+                  ("breakdown." + name).c_str(), b.total_mean_ns,
+                  line.c_str());
     out += buf;
   }
   return out;

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 
 namespace dsmdb::obs {
 
@@ -24,18 +26,29 @@ class StatsExporter {
   void AddScalar(const std::string& name, double value);
   void AddHistogram(const std::string& name, const Histogram& hist);
 
+  /// Critical-path attribution for one protocol/config; repeated names
+  /// MERGE (txn-weighted).
+  void AddBreakdown(const std::string& name, const LatencyBreakdown& b);
+
+  /// Congestion time-series captured by the FlightRecorder. OVERWRITES any
+  /// previously-added series.
+  void AddTimeseries(const FlightRecorder::Series& series);
+
   /// Pulls the whole process: GlobalMetrics() counters + gauges, and every
   /// Telemetry histogram.
   void CollectGlobal();
 
   bool empty() const {
-    return counters_.empty() && scalars_.empty() && histograms_.empty();
+    return counters_.empty() && scalars_.empty() && histograms_.empty() &&
+           breakdowns_.empty() && timeseries_.t_ns.empty();
   }
 
   /// One JSON object:
   ///   {"counters":{...},"scalars":{...},
   ///    "histograms":{"name":{"count":..,"sum":..,"mean":..,"min":..,
   ///                          "p50":..,"p95":..,"p99":..,"max":..},...}}
+  /// plus, when present, `latency_breakdown` (per-protocol exclusive
+  /// bucket means) and `timeseries` (sample times + gauge columns).
   std::string ToJson() const;
 
   /// Aligned text block (one line per metric) for quick eyeballing.
@@ -45,6 +58,8 @@ class StatsExporter {
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> scalars_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, LatencyBreakdown> breakdowns_;
+  FlightRecorder::Series timeseries_;
 };
 
 }  // namespace dsmdb::obs

@@ -1,11 +1,49 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
 
 #include "common/sim_clock.h"
 #include "common/spin_latch.h"
 
 namespace dsmdb::obs {
+
+namespace {
+
+/// Per-thread causal context. Handlers run inline on the caller's thread,
+/// so a single context per thread is enough to thread txn identity through
+/// 2PC legs, coherence fan-outs, and log appends.
+struct TraceCtx {
+  uint64_t txn_id = 0;
+  uint64_t span_id = 0;   ///< Current parent for newly-opened spans.
+  int64_t shift_ns = 0;   ///< Added to every stamp (handler re-timing).
+};
+
+TraceCtx& Ctx() {
+  thread_local TraceCtx ctx;
+  return ctx;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_txn_id{1};
+
+uint64_t Shifted(uint64_t raw_ns, int64_t shift_ns) {
+  const int64_t v = static_cast<int64_t>(raw_ns) + shift_ns;
+  return v > 0 ? static_cast<uint64_t>(v) : 0;
+}
+
+}  // namespace
+
+uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TxnIdWatermark() {
+  return g_next_txn_id.load(std::memory_order_relaxed);
+}
+
+uint64_t CurrentTxnId() { return Ctx().txn_id; }
+uint64_t CurrentSpanId() { return Ctx().span_id; }
 
 /// Single-writer (the owning thread) ring; the latch only serializes the
 /// writer against Snapshot()/Clear() readers.
@@ -44,10 +82,14 @@ TraceCollector::Buffer* TraceCollector::ThreadBuffer() {
 }
 
 void TraceCollector::Emit(const char* name, const char* cat,
-                          uint64_t start_ns, uint64_t dur_ns) {
+                          uint64_t start_ns, uint64_t dur_ns,
+                          uint64_t txn_id, uint64_t span_id,
+                          uint64_t parent_id) {
   Buffer* b = ThreadBuffer();
   SpinLatchGuard g(b->latch);
-  b->ring[b->next] = TraceEvent{name, cat, start_ns, dur_ns, b->tid};
+  b->ring[b->next] =
+      TraceEvent{name, cat, start_ns, dur_ns, txn_id, span_id, parent_id,
+                 b->tid};
   b->next = (b->next + 1) % b->ring.size();
   b->total++;
 }
@@ -92,20 +134,29 @@ void TraceCollector::Clear() {
 std::string TraceCollector::ToChromeJson() const {
   const std::vector<TraceEvent> events = Snapshot();
   std::string out;
-  out.reserve(events.size() * 96 + 64);
+  out.reserve(events.size() * 140 + 64);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[256];
+  char buf[320];
   bool first = true;
   for (const TraceEvent& e : events) {
     // Chrome trace timestamps are microseconds; keep ns precision via the
     // fractional part.
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u",
                   first ? "" : ",", e.name, e.cat,
                   static_cast<double>(e.start_ns) / 1000.0,
                   static_cast<double>(e.dur_ns) / 1000.0, e.tid);
     out += buf;
+    if (e.span_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"txn\":%llu,\"span\":%llu,\"parent\":%llu}",
+                    static_cast<unsigned long long>(e.txn_id),
+                    static_cast<unsigned long long>(e.span_id),
+                    static_cast<unsigned long long>(e.parent_id));
+      out += buf;
+    }
+    out += "}";
     first = false;
   }
   out += "]}";
@@ -126,19 +177,96 @@ Status TraceCollector::WriteChromeTrace(const std::string& path) const {
   return Status::OK();
 }
 
+uint64_t EmitSpan(const char* name, const char* cat, uint64_t start_ns,
+                  uint64_t dur_ns) {
+  TraceCtx& ctx = Ctx();
+  return EmitSpanUnder(name, cat, start_ns, dur_ns, ctx.span_id);
+}
+
+uint64_t EmitSpanUnder(const char* name, const char* cat, uint64_t start_ns,
+                       uint64_t dur_ns, uint64_t parent_id,
+                       uint64_t span_id) {
+  TraceCtx& ctx = Ctx();
+  if (span_id == 0) span_id = NextSpanId();
+  TraceCollector::Instance().Emit(name, cat, Shifted(start_ns, ctx.shift_ns),
+                                  dur_ns, ctx.txn_id, span_id, parent_id);
+  return span_id;
+}
+
 TraceScope::TraceScope(const char* name, const char* cat) {
   if (ObsConfig::TracingEnabled()) {
+    TraceCtx& ctx = Ctx();
     name_ = name;
     cat_ = cat;
-    start_ns_ = SimClock::Now();
+    start_ns_ = Shifted(SimClock::Now(), ctx.shift_ns);
+    parent_id_ = ctx.span_id;
+    span_id_ = NextSpanId();
+    ctx.span_id = span_id_;
   }
 }
 
 TraceScope::~TraceScope() {
   if (name_ != nullptr) {
-    TraceCollector::Instance().Emit(name_, cat_, start_ns_,
-                                    SimClock::Now() - start_ns_);
+    TraceCtx& ctx = Ctx();
+    ctx.span_id = parent_id_;
+    const uint64_t end_ns = Shifted(SimClock::Now(), ctx.shift_ns);
+    TraceCollector::Instance().Emit(
+        name_, cat_, start_ns_, end_ns > start_ns_ ? end_ns - start_ns_ : 0,
+        ctx.txn_id, span_id_, parent_id_);
   }
+}
+
+TraceTxnScope::TraceTxnScope(const char* name, const char* cat) {
+  if (ObsConfig::TracingEnabled()) {
+    TraceCtx& ctx = Ctx();
+    name_ = name;
+    cat_ = cat;
+    saved_txn_id_ = ctx.txn_id;
+    if (ctx.txn_id == 0) {
+      ctx.txn_id = g_next_txn_id.fetch_add(1, std::memory_order_relaxed);
+    }
+    txn_id_ = ctx.txn_id;
+    start_ns_ = Shifted(SimClock::Now(), ctx.shift_ns);
+    parent_id_ = ctx.span_id;
+    span_id_ = NextSpanId();
+    ctx.span_id = span_id_;
+  }
+}
+
+TraceTxnScope::~TraceTxnScope() {
+  if (name_ != nullptr) {
+    TraceCtx& ctx = Ctx();
+    ctx.span_id = parent_id_;
+    const uint64_t end_ns = Shifted(SimClock::Now(), ctx.shift_ns);
+    TraceCollector::Instance().Emit(
+        name_, cat_, start_ns_, end_ns > start_ns_ ? end_ns - start_ns_ : 0,
+        txn_id_, span_id_, parent_id_);
+    ctx.txn_id = saved_txn_id_;
+  }
+}
+
+TraceParentScope::TraceParentScope(uint64_t parent_id) {
+  if (parent_id != 0) {
+    TraceCtx& ctx = Ctx();
+    saved_span_id_ = ctx.span_id;
+    ctx.span_id = parent_id;
+    active_ = true;
+  }
+}
+
+TraceParentScope::~TraceParentScope() {
+  if (active_) Ctx().span_id = saved_span_id_;
+}
+
+TraceTimeShift::TraceTimeShift(int64_t delta_ns) {
+  if (ObsConfig::TracingEnabled()) {
+    delta_ns_ = delta_ns;
+    Ctx().shift_ns += delta_ns;
+  }
+}
+
+TraceTimeShift::~TraceTimeShift() {
+  if (delta_ns_ != 0) Ctx().shift_ns -= delta_ns_;
 }
 
 }  // namespace dsmdb::obs

@@ -16,13 +16,37 @@ namespace dsmdb::obs {
 /// outlive the collector) — events store the pointers, never copies, so
 /// emission stays allocation-free. Timestamps are *simulated* nanoseconds
 /// of the emitting thread (each worker's SimClock starts at 0).
+///
+/// Causal linkage: every span carries the transaction it belongs to and
+/// its parent span, so a commit that fans out across the async verb
+/// engine, two-sided handlers, and 2PC participants still renders as one
+/// connected tree. Ids are process-global and never reused; 0 means
+/// "none" (a span outside any transaction, or a root).
 struct TraceEvent {
   const char* name = nullptr;
   const char* cat = nullptr;
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  uint64_t txn_id = 0;     ///< Trace-local transaction id (0 = none).
+  uint64_t span_id = 0;    ///< Unique id of this span (0 = untracked).
+  uint64_t parent_id = 0;  ///< Enclosing span at emission (0 = root).
   uint32_t tid = 0;  ///< Dense per-thread id assigned at first emission.
 };
+
+/// Allocates a fresh span id (never 0). Exposed so callers that must emit
+/// children before their parent completes (the async engine's call legs)
+/// can reserve the parent id up front.
+uint64_t NextSpanId();
+
+/// The next trace txn id that will be handed out. Ids are monotonically
+/// increasing, so this acts as a watermark: every transaction started
+/// after the call gets an id >= the returned value (lets an analysis
+/// window over a shared collector select only its own transactions).
+uint64_t TxnIdWatermark();
+
+/// The calling thread's active trace context.
+uint64_t CurrentTxnId();
+uint64_t CurrentSpanId();
 
 /// Process-wide sink for trace spans: one fixed-capacity ring buffer per
 /// emitting thread (registered on first use), so `Emit` is a thread-local
@@ -45,7 +69,8 @@ class TraceCollector {
   /// Records one completed span for the calling thread. Callers gate on
   /// ObsConfig::TracingEnabled() (TraceScope does this for you).
   void Emit(const char* name, const char* cat, uint64_t start_ns,
-            uint64_t dur_ns);
+            uint64_t dur_ns, uint64_t txn_id = 0, uint64_t span_id = 0,
+            uint64_t parent_id = 0);
 
   /// Point-in-time copy of every retained event, oldest-first per thread.
   std::vector<TraceEvent> Snapshot() const;
@@ -57,7 +82,8 @@ class TraceCollector {
   /// thread ids survive).
   void Clear();
 
-  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds,
+  /// causal ids in args so Perfetto queries can group by txn).
   std::string ToChromeJson() const;
   Status WriteChromeTrace(const std::string& path) const;
 
@@ -72,8 +98,25 @@ class TraceCollector {
   size_t capacity_ = 64 * 1024;
 };
 
+/// Emits an already-timed span under the current thread context (txn id
+/// from context, parent = current span). `start_ns` is a raw SimClock
+/// stamp; the thread's trace time shift is applied here, exactly as
+/// TraceScope does. Returns the new span's id. Caller gates on
+/// ObsConfig::TracingEnabled().
+uint64_t EmitSpan(const char* name, const char* cat, uint64_t start_ns,
+                  uint64_t dur_ns);
+
+/// Same, but under an explicit parent (and optionally with a caller-
+/// reserved id from NextSpanId(), so children can be emitted first).
+uint64_t EmitSpanUnder(const char* name, const char* cat, uint64_t start_ns,
+                       uint64_t dur_ns, uint64_t parent_id,
+                       uint64_t span_id = 0);
+
 /// RAII span: records [construction, destruction) of the calling thread's
-/// simulated clock under `name`. Free when tracing is off (one flag load).
+/// simulated clock under `name`, linked to the thread's current trace
+/// context (it becomes the current span for its lifetime, so nested
+/// scopes and EmitSpan calls parent under it). Free when tracing is off
+/// (one flag load).
 ///
 ///   {
 ///     obs::TraceScope span("txn.commit", "txn");
@@ -87,10 +130,77 @@ class TraceScope {
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 
+  /// This scope's span id (0 when tracing was off at construction). Lets
+  /// out-of-band children (engine-emitted verb legs) parent under it.
+  uint64_t span_id() const { return span_id_; }
+
  private:
   const char* name_ = nullptr;  ///< nullptr = tracing was off at entry.
   const char* cat_ = nullptr;
   uint64_t start_ns_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+};
+
+/// Root scope of one transaction attempt. Starts a fresh trace txn id if
+/// the thread has none (2PC handler legs and delegated executions run
+/// inline on a thread that already carries the coordinator's txn id, and
+/// then simply nest). Restores the previous context at destruction.
+class TraceTxnScope {
+ public:
+  explicit TraceTxnScope(const char* name, const char* cat = "txn.root");
+  ~TraceTxnScope();
+
+  TraceTxnScope(const TraceTxnScope&) = delete;
+  TraceTxnScope& operator=(const TraceTxnScope&) = delete;
+
+  uint64_t txn_id() const { return txn_id_; }
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint64_t txn_id_ = 0;
+  uint64_t saved_txn_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+};
+
+/// Re-parents spans emitted in its scope under `parent_id` instead of the
+/// thread's current span. Used by the async engine to hang handler-side
+/// spans off a verb leg whose own span is emitted only at completion.
+/// No-op when `parent_id` is 0.
+class TraceParentScope {
+ public:
+  explicit TraceParentScope(uint64_t parent_id);
+  ~TraceParentScope();
+
+  TraceParentScope(const TraceParentScope&) = delete;
+  TraceParentScope& operator=(const TraceParentScope&) = delete;
+
+ private:
+  uint64_t saved_span_id_ = 0;
+  bool active_ = false;
+};
+
+/// Shifts the timestamps of every span emitted in its scope by `delta_ns`
+/// (signed). The async engine runs two-sided handlers inline on the
+/// poster's thread at post time, but in simulated time the handler only
+/// starts once the request has crossed the wire and cleared the remote
+/// CPU's queue — without the shift, handler spans would stamp wall thread
+/// order and appear *before* the verb that carried them. No-op when
+/// tracing is off.
+class TraceTimeShift {
+ public:
+  explicit TraceTimeShift(int64_t delta_ns);
+  ~TraceTimeShift();
+
+  TraceTimeShift(const TraceTimeShift&) = delete;
+  TraceTimeShift& operator=(const TraceTimeShift&) = delete;
+
+ private:
+  int64_t delta_ns_ = 0;
 };
 
 }  // namespace dsmdb::obs

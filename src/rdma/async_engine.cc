@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/sim_clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs_config.h"
 #include "rdma/sim_mem.h"
 #include "obs/telemetry.h"
@@ -15,6 +16,7 @@ namespace dsmdb::rdma {
 namespace {
 
 inline bool ObsOn() { return obs::ObsConfig::Enabled(); }
+inline bool TracingOn() { return obs::ObsConfig::TracingEnabled(); }
 
 /// Simulated duration of one WaitAll (the pipeline's critical path).
 ConcurrentHistogram* PipelineHist() {
@@ -29,7 +31,17 @@ CompletionQueue::CompletionQueue(Fabric* fabric, NodeId initiator,
                                  uint32_t max_outstanding)
     : fabric_(fabric),
       initiator_(initiator),
-      depth_(max_outstanding == 0 ? 1 : max_outstanding) {}
+      depth_(max_outstanding == 0 ? 1 : max_outstanding) {
+  fabric_->active_cqs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+CompletionQueue::~CompletionQueue() {
+  if (outstanding_ > 0) {
+    fabric_->inflight_verbs_.fetch_sub(
+        static_cast<int64_t>(outstanding_), std::memory_order_relaxed);
+  }
+  fabric_->active_cqs_.fetch_sub(1, std::memory_order_relaxed);
+}
 
 uint64_t CompletionQueue::BeginPost() {
   if (outstanding_ >= depth_) {
@@ -39,8 +51,13 @@ uint64_t CompletionQueue::BeginPost() {
     for (const Op& op : ops_) {
       if (!op.retired) earliest = std::min(earliest, op.complete_ns);
     }
+    const uint64_t stall_start = SimClock::Now();
     SimClock::AdvanceTo(earliest);
     PollAll();
+    if (TracingOn() && earliest != UINT64_MAX && earliest > stall_start) {
+      obs::EmitSpan("qp.stall", "cpu.queue", stall_start,
+                    earliest - stall_start);
+    }
   }
   SimClock::Advance(fabric_->model_.post_overhead_ns);
   return SimClock::Now();
@@ -63,7 +80,22 @@ WrId CompletionQueue::FinishPost(NodeId target, Status status, uint64_t value,
   op.complete_ns = complete;
   ops_.push_back(std::move(op));
   outstanding_++;
+  fabric_->inflight_verbs_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<WrId>(ops_.size() - 1);
+}
+
+/// Emits the causal spans of one completed one-sided post: the verb leg
+/// [issue, complete] under the poster's current span, with the doorbell
+/// post [issue - post_overhead, issue] as its child. complete_ns is final
+/// at FinishPost time (the engine defers only *time*), so the spans can be
+/// emitted here even though the op retires later.
+void CompletionQueue::TraceOneSided(const char* name, WrId id,
+                                    uint64_t issue_ns) {
+  if (!TracingOn()) return;
+  const uint64_t post = fabric_->model_.post_overhead_ns;
+  const uint64_t leg = obs::EmitSpan(
+      name, "verb.wire", issue_ns, ops_[id].complete_ns - issue_ns);
+  obs::EmitSpanUnder("verb.post", "verb.post", issue_ns - post, post, leg);
 }
 
 WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
@@ -89,6 +121,7 @@ WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
                                (issue - m.post_overhead_ns));
     fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
   }
+  TraceOneSided("verb.read", id, issue);
   return id;
 }
 
@@ -116,6 +149,7 @@ WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
                                 (issue - m.post_overhead_ns));
     fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
   }
+  TraceOneSided("verb.write", id, issue);
   return id;
 }
 
@@ -150,6 +184,7 @@ WrId CompletionQueue::PostCas(RemotePtr addr, uint64_t expected,
                               (issue - m.post_overhead_ns));
     fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
   }
+  TraceOneSided("verb.cas", id, issue);
   return id;
 }
 
@@ -181,6 +216,7 @@ WrId CompletionQueue::PostFaa(RemotePtr addr, uint64_t delta) {
                               (issue - m.post_overhead_ns));
     fabric_->obs_.network_ns->Add(m.post_overhead_ns + cost);
   }
+  TraceOneSided("verb.faa", id, issue);
   return id;
 }
 
@@ -212,6 +248,15 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
   const uint64_t arrival = issue + m.rtt_ns / 2 +
                            m.TransferNs(request.size()) + m.recv_dispatch_ns;
   response->clear();
+  const bool tracing = TracingOn();
+  const uint64_t backlog = tracing ? ctx->cpu->BacklogNs(arrival) : 0;
+  const uint64_t handler_start = arrival + backlog;
+  // The leg's own span is only emitted after the handler returns (its
+  // completion time is known then), so reserve ids up front for the
+  // handler's internal spans to parent under.
+  const uint64_t leg_span = tracing ? obs::NextSpanId() : 0;
+  const uint64_t handler_span = tracing ? obs::NextSpanId() : 0;
+  const uint64_t leg_parent = tracing ? obs::CurrentSpanId() : 0;
   // The handler runs inline but on the PARTICIPANT's time: its internal
   // clock advances (the participant's own DSM traffic) are rewound here
   // and folded into this leg's completion, so calls posted to different
@@ -220,7 +265,18 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
   // modeled as overlapping the call's wire/CPU schedule (both start at the
   // post), so the leg costs whichever side dominates.
   SimHandlerScope handler_scope;
-  const uint64_t handler_cost = handler(request, response);
+  uint64_t handler_cost;
+  {
+    // Re-time handler spans to the request's simulated arrival (wire +
+    // remote queue), not the poster's current clock — otherwise they would
+    // render *before* the verb that carried them.
+    obs::TraceParentScope reparent(handler_span);
+    obs::TraceTimeShift shift(tracing
+                                  ? static_cast<int64_t>(handler_start) -
+                                        static_cast<int64_t>(SimClock::Now())
+                                  : 0);
+    handler_cost = handler(request, response);
+  }
   const uint64_t handler_inner_ns = handler_scope.End();
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
   const uint64_t cost =
@@ -239,22 +295,45 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
     fabric_->obs_.network_ns->Add(network < elapsed ? network : elapsed);
     fabric_->obs_.rpc_cpu_ns->Add(elapsed > network ? elapsed - network : 0);
   }
+  if (tracing) {
+    obs::EmitSpanUnder("verb.call", "verb.wire", issue,
+                       ops_[id].complete_ns - issue, leg_parent, leg_span);
+    obs::EmitSpanUnder("verb.post", "verb.post",
+                       issue - m.post_overhead_ns, m.post_overhead_ns,
+                       leg_span);
+    if (backlog > 0) {
+      obs::EmitSpanUnder("cpu.queue", "cpu.queue", arrival, backlog,
+                         leg_span);
+    }
+    obs::EmitSpanUnder("handler.cpu", "handler.cpu", handler_start,
+                       done > handler_start ? done - handler_start : 0,
+                       leg_span, handler_span);
+  }
   return id;
 }
 
 Status CompletionQueue::WaitAll() {
-  obs::TraceScope span("fabric.pipeline", "rdma");
+  // The wait is time spent on outstanding wire round trips; categorize it
+  // so the critical-path analyzer books un-overlapped residual as wire.
+  obs::TraceScope span("fabric.pipeline", "verb.wire");
   const uint64_t start = SimClock::Now();
   uint64_t max_end = start;
+  size_t retired = 0;
   for (Op& op : ops_) {
     if (!op.retired) {
       max_end = std::max(max_end, op.complete_ns);
       op.retired = true;
+      retired++;
     }
   }
   SimClock::AdvanceTo(max_end);
   outstanding_ = 0;
+  if (retired > 0) {
+    fabric_->inflight_verbs_.fetch_sub(static_cast<int64_t>(retired),
+                                       std::memory_order_relaxed);
+  }
   if (ObsOn()) PipelineHist()->Add(max_end - start);
+  obs::FlightRecorder::Instance().MaybeSample(max_end);
   return first_error_;
 }
 
@@ -268,10 +347,18 @@ size_t CompletionQueue::PollAll() {
     }
   }
   outstanding_ -= retired;
+  if (retired > 0) {
+    fabric_->inflight_verbs_.fetch_sub(static_cast<int64_t>(retired),
+                                       std::memory_order_relaxed);
+  }
   return retired;
 }
 
 void CompletionQueue::Reset() {
+  if (outstanding_ > 0) {
+    fabric_->inflight_verbs_.fetch_sub(
+        static_cast<int64_t>(outstanding_), std::memory_order_relaxed);
+  }
   ops_.clear();
   outstanding_ = 0;
   first_error_ = Status::OK();

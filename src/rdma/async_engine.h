@@ -67,6 +67,7 @@ class CompletionQueue {
  public:
   CompletionQueue(Fabric* fabric, NodeId initiator,
                   uint32_t max_outstanding = kDefaultQpDepth);
+  ~CompletionQueue();
 
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
@@ -126,6 +127,9 @@ class CompletionQueue {
   /// excludes post overhead (already charged by BeginPost).
   WrId FinishPost(NodeId target, Status status, uint64_t value,
                   uint64_t issue_ns, uint64_t wire_cost_ns);
+  /// Emits the causal trace spans of one completed one-sided post (no-op
+  /// unless tracing is on).
+  void TraceOneSided(const char* name, WrId id, uint64_t issue_ns);
 
   Fabric* fabric_;
   NodeId initiator_;

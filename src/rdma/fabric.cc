@@ -81,11 +81,45 @@ Fabric::Fabric(NetworkModel model) : model_(model), slots_(kMaxNodes) {
         }
         return total;
       }));
+
+  // Congestion gauges for the flight recorder's time-series.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  flight_tokens_.push_back(recorder.RegisterGauge(
+      "fabric.inflight_verbs", [this](uint64_t) {
+        const int64_t v = inflight_verbs_.load(std::memory_order_relaxed);
+        return v > 0 ? static_cast<double>(v) : 0.0;
+      }));
+  flight_tokens_.push_back(recorder.RegisterGauge(
+      "fabric.qp_depth", [this](uint64_t) {
+        const int64_t q = active_cqs_.load(std::memory_order_relaxed);
+        const int64_t v = inflight_verbs_.load(std::memory_order_relaxed);
+        return q > 0 && v > 0
+                   ? static_cast<double>(v) / static_cast<double>(q)
+                   : 0.0;
+      }));
+  flight_tokens_.push_back(recorder.RegisterGauge(
+      "fabric.cpu_utilization", [this](uint64_t now_ns) {
+        if (now_ns == 0) return 0.0;
+        uint64_t work = 0;
+        uint64_t cores = 0;
+        const size_t n = num_nodes();
+        for (size_t i = 0; i < n; i++) {
+          const NodeCtx* ctx = GetNode(static_cast<NodeId>(i));
+          work += ctx->cpu->TotalWorkNs();
+          cores += ctx->cpu->num_cores();
+        }
+        if (cores == 0) return 0.0;
+        const double u = static_cast<double>(work) /
+                         (static_cast<double>(cores) *
+                          static_cast<double>(now_ns));
+        return u > 1.0 ? 1.0 : u;
+      }));
 }
 
 Fabric::~Fabric() {
   // Unregister (and fold into counters) the gauges before tearing down the
   // node state their lambdas read.
+  flight_tokens_.clear();
   gauge_tokens_.clear();
   for (auto& s : slots_) delete s.load(std::memory_order_relaxed);
 }
@@ -162,7 +196,7 @@ void Fabric::ReleaseResolve(NodeId node) const {
 
 Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
                     size_t length) {
-  obs::TraceScope span("fabric.read", "rdma");
+  obs::TraceScope span("fabric.read", "verb.wire");
   Result<char*> host = Resolve(src, length);
   if (!host.ok()) return host.status();
   SimMemRead(dst, *host, length);
@@ -181,7 +215,7 @@ Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
 
 Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
                      size_t length) {
-  obs::TraceScope span("fabric.write", "rdma");
+  obs::TraceScope span("fabric.write", "verb.wire");
   Result<char*> host = Resolve(dst, length);
   if (!host.ok()) return host.status();
   SimMemWrite(*host, src, length);
@@ -199,7 +233,7 @@ Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
 }
 
 Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
-  obs::TraceScope span("fabric.read_batch", "rdma");
+  obs::TraceScope span("fabric.read_batch", "verb.wire");
   size_t total = 0;
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
@@ -221,7 +255,7 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
 }
 
 Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
-  obs::TraceScope span("fabric.write_batch", "rdma");
+  obs::TraceScope span("fabric.write_batch", "verb.wire");
   size_t total = 0;
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
@@ -244,6 +278,7 @@ Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
 
 Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
                                         uint64_t expected, uint64_t desired) {
+  obs::TraceScope span("fabric.cas", "verb.wire");
   if (addr.offset % 8 != 0) {
     return Status::InvalidArgument("atomic requires 8-byte alignment");
   }
@@ -266,6 +301,7 @@ Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
 
 Result<uint64_t> Fabric::FetchAndAdd(NodeId initiator, RemotePtr addr,
                                      uint64_t delta) {
+  obs::TraceScope span("fabric.faa", "verb.wire");
   if (addr.offset % 8 != 0) {
     return Status::InvalidArgument("atomic requires 8-byte alignment");
   }
@@ -308,18 +344,45 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
     }
     handler = ctx->handlers[service];
   }
-  obs::TraceScope span("fabric.rpc", "rdma");
+  obs::TraceScope span("fabric.rpc", "verb.wire");
   const uint64_t t0 = SimClock::Now();
   // Request travels to the target and is dispatched into software.
   const uint64_t arrival = t0 + model_.post_overhead_ns + model_.rtt_ns / 2 +
                            model_.TransferNs(request.size()) +
                            model_.recv_dispatch_ns;
   response->clear();
-  const uint64_t handler_cost = handler(request, response);
+  const bool tracing = obs::ObsConfig::TracingEnabled();
+  const uint64_t backlog = tracing ? ctx->cpu->BacklogNs(arrival) : 0;
+  const uint64_t handler_start = arrival + backlog;
+  const uint64_t handler_span = tracing ? obs::NextSpanId() : 0;
+  uint64_t handler_cost;
+  {
+    // The handler runs inline at the caller's current clock, but in
+    // simulated time it only starts once the request has crossed the wire
+    // and cleared the remote CPU's queue — re-time its spans there, and
+    // hang them off the handler-cpu span emitted below.
+    obs::TraceParentScope reparent(handler_span);
+    obs::TraceTimeShift shift(tracing
+                                  ? static_cast<int64_t>(handler_start) -
+                                        static_cast<int64_t>(SimClock::Now())
+                                  : 0);
+    handler_cost = handler(request, response);
+  }
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
   const uint64_t finish =
       done + model_.rtt_ns / 2 + model_.TransferNs(response->size());
   SimClock::AdvanceTo(finish);
+  if (tracing) {
+    obs::EmitSpanUnder("verb.post", "verb.post", t0,
+                       model_.post_overhead_ns, span.span_id());
+    if (backlog > 0) {
+      obs::EmitSpanUnder("cpu.queue", "cpu.queue", arrival, backlog,
+                         span.span_id());
+    }
+    obs::EmitSpanUnder("handler.cpu", "handler.cpu", handler_start,
+                       done > handler_start ? done - handler_start : 0,
+                       span.span_id(), handler_span);
+  }
   VerbStats& s = stats(initiator);
   s.rpc_calls.fetch_add(1, std::memory_order_relaxed);
   s.bytes_written.fetch_add(request.size(), std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/spin_latch.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "rdma/network_model.h"
 #include "rdma/verbs.h"
 #include "rdma/virtual_cpu.h"
@@ -169,6 +170,13 @@ class Fabric {
   ObsHooks obs_;
   /// Keeps `fabric.verbs.*` gauges in GlobalMetrics() for our lifetime.
   std::vector<GaugeToken> gauge_tokens_;
+
+  /// Congestion gauges for the flight recorder: verbs posted but not yet
+  /// retired across all CompletionQueues, and the number of live queues
+  /// (for mean per-QP depth). Maintained by the async engine.
+  std::atomic<int64_t> inflight_verbs_{0};
+  std::atomic<int64_t> active_cqs_{0};
+  std::vector<obs::FlightRecorder::Token> flight_tokens_;
 };
 
 }  // namespace dsmdb::rdma

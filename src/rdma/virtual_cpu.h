@@ -47,6 +47,16 @@ class VirtualCpu {
     return now_ns + backlog + scaled;
   }
 
+  /// Backlog a task arriving at `now_ns` would wait behind, without
+  /// submitting work (observation-only; the tracing layer uses it to place
+  /// queueing-wait spans). Racy under concurrent Execute() by design —
+  /// it's an estimate of the queue depth, never a scheduling input.
+  uint64_t BacklogNs(uint64_t now_ns) const {
+    const uint64_t prior = total_work_.load(std::memory_order_relaxed);
+    const uint64_t capacity = static_cast<uint64_t>(cores_) * now_ns;
+    return prior > capacity ? (prior - capacity) / cores_ : 0;
+  }
+
   /// Resets accumulated work (between benchmark repetitions).
   void Reset() { total_work_.store(0, std::memory_order_relaxed); }
 

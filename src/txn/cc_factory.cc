@@ -3,6 +3,7 @@
 #include "common/sim_clock.h"
 #include "obs/obs_config.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "txn/mvcc.h"
 #include "txn/occ.h"
 #include "txn/tso.h"
@@ -22,6 +23,14 @@ void Transaction::RecordOutcome(CcManager* mgr, bool committed) const {
 void Transaction::RecordLockWait(CcManager* mgr, uint64_t wait_ns) {
   if (!obs::ObsConfig::Enabled()) return;
   mgr->obs().lock_wait_ns->Add(wait_ns);
+  // Lock-wait span for the causal trace: covers the whole acquisition
+  // region (CAS pipelines, spin retries, backoff). Verb spans inside it are
+  // deeper and win the attribution sweep, so only waiting time not already
+  // explained by wire/post/handler books as lock_wait.
+  if (wait_ns > 0 && obs::ObsConfig::TracingEnabled()) {
+    obs::EmitSpan("lock.acquire", "lock.wait", SimClock::Now() - wait_ns,
+                  wait_ns);
+  }
 }
 
 const CcManager::TxnObs& CcManager::obs() {
@@ -31,6 +40,8 @@ const CcManager::TxnObs& CcManager::obs() {
     obs_.commit_ns = telemetry.GetHistogram(prefix + ".commit_ns");
     obs_.abort_ns = telemetry.GetHistogram(prefix + ".abort_ns");
     obs_.lock_wait_ns = telemetry.GetHistogram(prefix + ".lock_wait_ns");
+    abort_gauge_ = obs::FlightRecorder::Instance().RegisterGauge(
+        "txn.abort_rate", [this](uint64_t) { return stats_.AbortRate(); });
   });
   return obs_;
 }

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "dsm/dsm_client.h"
+#include "obs/flight_recorder.h"
 #include "txn/data_accessor.h"
 #include "txn/log_sink.h"
 #include "txn/record_format.h"
@@ -147,6 +148,9 @@ class CcManager {
  private:
   std::once_flag obs_once_;
   TxnObs obs_;
+  /// Keeps the `txn.abort_rate` congestion gauge registered in the flight
+  /// recorder for this manager's lifetime.
+  obs::FlightRecorder::Token abort_gauge_;
 };
 
 /// Builds the protocol named by `options.protocol`. All pointers must

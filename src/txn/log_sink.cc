@@ -1,6 +1,7 @@
 #include "txn/log_sink.h"
 
 #include "common/coding.h"
+#include "obs/trace.h"
 
 namespace dsmdb::txn {
 
@@ -20,6 +21,7 @@ bool DecodeCommitWrite(std::string_view payload, CommitWrite* out) {
 
 Status WalLogSink::LogCommit(uint64_t txn_id,
                              const std::vector<CommitWrite>& writes) {
+  obs::TraceScope span("log.commit", "log.device");
   for (const CommitWrite& w : writes) {
     log::LogRecord rec;
     rec.txn_id = txn_id;
@@ -36,6 +38,7 @@ Status WalLogSink::LogCommit(uint64_t txn_id,
 
 Status ReplicatedLogSink::LogCommit(uint64_t txn_id,
                                     const std::vector<CommitWrite>& writes) {
+  obs::TraceScope span("log.replicate", "log.device");
   // Batch the txn's updates + commit into one replicated append: one
   // parallel k-way fan-out per commit.
   std::string batch_payload;

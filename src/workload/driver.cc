@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/sim_clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace dsmdb::workload {
@@ -57,12 +58,15 @@ DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
       Random64 rng(options.seed * 1'000'003 + t);
       WorkerOut& out = outs[t];
       for (uint64_t i = 0; i < options.txns_per_thread; i++) {
-        obs::TraceScope span("txn.attempt", "workload");
+        // Root of each transaction's causal span tree: assigns the txn id
+        // every nested span (verbs, 2PC legs, log appends) inherits.
+        obs::TraceTxnScope span("txn.attempt", "workload");
         const uint64_t t0 = SimClock::Now();
         const bool committed = fn(node, t, rng);
         out.latency.Add(SimClock::Now() - t0);
         out.attempts++;
         if (committed) out.committed++;
+        obs::FlightRecorder::Instance().MaybeSample(SimClock::Now());
       }
       out.sim_ns = SimClock::Now();
     });

@@ -1,17 +1,25 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/coding.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
 #include "common/sim_clock.h"
+#include "core/dsmdb.h"
+#include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs_config.h"
 #include "obs/stats_exporter.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "rdma/fabric.h"
 
 namespace dsmdb::obs {
 namespace {
@@ -354,6 +362,277 @@ TEST(ConcurrentHistogramTest, EightThreadsNoLostUpdates) {
   EXPECT_EQ(merged.sum(), expected_sum);
   EXPECT_EQ(merged.min(), 1u);
   EXPECT_EQ(merged.max(), kPerThread + kThreads - 1);
+}
+
+// --- Causal span trees -------------------------------------------------------
+
+TEST_F(TracingTest, TxnIdsAreDistinctAcrossThreads) {
+  std::vector<uint64_t> ids(4, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&ids, t] {
+      SimClock::Reset();
+      TraceTxnScope root("obs_test.txn_root", "test");
+      ids[t] = root.txn_id();
+      SimClock::Advance(10);
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_EQ(unique.count(0), 0u);
+}
+
+TEST_F(TracingTest, NestedTxnScopeJoinsEnclosingTxn) {
+  TraceTxnScope outer("obs_test.outer_txn", "test");
+  TraceTxnScope inner("obs_test.inner_txn", "test");
+  EXPECT_EQ(inner.txn_id(), outer.txn_id());
+  EXPECT_EQ(CurrentTxnId(), outer.txn_id());
+}
+
+TEST_F(TracingTest, HandlerSpansStampSimulatedArrivalTime) {
+  // Regression test: two-sided handlers run inline on the caller's thread
+  // at post time, but their spans must be stamped at the request's
+  // simulated arrival on the remote CPU — after half an RTT — not at the
+  // caller's current clock.
+  rdma::Fabric fabric;
+  const rdma::NodeId a = fabric.AddNode("a");
+  const rdma::NodeId b = fabric.AddNode("b");
+  fabric.RegisterRpcHandler(b, 0, [](std::string_view, std::string* resp) {
+    TraceScope inner("obs_test.handler_inner", "test");
+    resp->assign("ok");
+    return uint64_t{500};
+  });
+
+  TraceTxnScope root("obs_test.rpc_txn", "test");
+  const uint64_t t0 = SimClock::Now();
+  std::string resp;
+  ASSERT_TRUE(fabric.Call(a, b, 0, "req", &resp).ok());
+
+  const auto inner = EventsNamed("obs_test.handler_inner");
+  const auto handler = EventsNamed("handler.cpu");
+  ASSERT_EQ(inner.size(), 1u);
+  ASSERT_EQ(handler.size(), 1u);
+  // The handler's own spans are re-timed to its simulated start...
+  EXPECT_GE(inner[0].start_ns, t0 + fabric.model().rtt_ns / 2);
+  EXPECT_EQ(inner[0].start_ns, handler[0].start_ns);
+  // ...and causally hang off the handler-cpu span of the carrying verb.
+  EXPECT_EQ(inner[0].parent_id, handler[0].span_id);
+  EXPECT_EQ(inner[0].txn_id, root.txn_id());
+}
+
+namespace {
+
+core::DbOptions ShardedDurableOptions() {
+  core::DbOptions opts;
+  opts.architecture = core::Architecture::kCacheSharding;
+  opts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  opts.buffer.capacity_bytes = 256 * 4096;
+  opts.buffer.charge_policy_overhead = false;
+  opts.durability = core::DurabilityMode::kMemReplication;
+  opts.replicated_log.replication_factor = 2;  // 2 memory nodes
+  return opts;
+}
+
+dsm::ClusterOptions SmallCluster() {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 64 << 20;
+  return copts;
+}
+
+bool HasSpanNamed(const std::vector<TraceEvent>& events, const char* name) {
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(CausalTraceTest, TwoPcCommitFormsOneConnectedTree) {
+  SimClock::Reset();
+  ObsConfig::SetTracing(false);
+  TraceCollector::Instance().Clear();
+
+  core::DsmDb db(SmallCluster(), ShardedDurableOptions());
+  core::ComputeNode* cn0 = db.AddComputeNode();
+  db.AddComputeNode();
+  const core::Table* t = *db.CreateTable("kv", {64, 100});
+  ASSERT_TRUE(db.FinishSetup().ok());
+
+  // Trace exactly one cross-shard transaction (keys 10 and 90 land in
+  // different compute-node shards, forcing coordinator + participant 2PC).
+  ObsConfig::SetTracing(true);
+  std::string v(64, '\0');
+  EncodeFixed64(v.data(), 99);
+  Result<core::TxnResult> r =
+      cn0->ExecuteOneShot(*t, {core::TxnOp::Write(10, v),
+                               core::TxnOp::Write(90, v)});
+  ObsConfig::SetTracing(false);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->committed);
+  ASSERT_GE(cn0->node_stats().two_pc_txns.load(), 1u);
+
+  // Every span of the commit belongs to one txn id and parents into a
+  // single root: coordinator root -> prepare/decide fan-out -> per-
+  // participant handler spans -> replicated log appends.
+  const std::vector<TraceEvent> all = TraceCollector::Instance().Snapshot();
+  std::vector<TraceEvent> txn_events;
+  uint64_t txn_id = 0;
+  for (const TraceEvent& e : all) {
+    if (std::string(e.name) == "2pc.prepare") txn_id = e.txn_id;
+  }
+  ASSERT_NE(txn_id, 0u);
+  for (const TraceEvent& e : all) {
+    if (e.txn_id == txn_id) txn_events.push_back(e);
+  }
+
+  std::map<uint64_t, const TraceEvent*> by_span;
+  for (const TraceEvent& e : txn_events) {
+    ASSERT_NE(e.span_id, 0u);
+    by_span[e.span_id] = &e;
+  }
+  size_t roots = 0;
+  for (const TraceEvent& e : txn_events) {
+    if (e.parent_id == 0) {
+      roots++;
+      EXPECT_EQ(std::string(e.name), "txn.oneshot");
+    } else {
+      EXPECT_TRUE(by_span.count(e.parent_id))
+          << e.name << " parent " << e.parent_id << " missing from tree";
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+
+  EXPECT_TRUE(HasSpanNamed(txn_events, "2pc.prepare"));
+  EXPECT_TRUE(HasSpanNamed(txn_events, "2pc.decide"));
+  EXPECT_TRUE(HasSpanNamed(txn_events, "2pc.participant.prepare"));
+  EXPECT_TRUE(HasSpanNamed(txn_events, "2pc.participant.decide"));
+  EXPECT_TRUE(HasSpanNamed(txn_events, "log.replicate"));
+  TraceCollector::Instance().Clear();
+}
+
+// --- Critical-path attribution ----------------------------------------------
+
+TEST(CriticalPathTest, SyntheticTreePartitionsExactly) {
+  // Hand-built causal tree over a 1000 ns root:
+  //   [100,400) verb wire, with [200,300) remote handler CPU inside it
+  //   (deeper wins), an untyped child of the handler inheriting its
+  //   bucket, [80,100) posting, [500,700) lock wait, [800,900) log.
+  std::vector<TraceEvent> events = {
+      {"txn.attempt", "workload", 0, 1000, 7, 1, 0, 0},
+      {"verb.read", "verb.wire", 100, 300, 7, 2, 1, 0},
+      {"verb.post", "verb.post", 80, 20, 7, 3, 1, 0},
+      {"handler.cpu", "handler.cpu", 200, 100, 7, 4, 2, 0},
+      {"handler.detail", "misc", 250, 20, 7, 5, 4, 0},
+      {"lock.acquire", "lock.wait", 500, 200, 7, 6, 1, 0},
+      {"log.commit", "log.device", 800, 100, 7, 7, 1, 0},
+  };
+  const LatencyBreakdown bd = AnalyzeCriticalPath(events);
+  EXPECT_EQ(bd.txns, 1u);
+  EXPECT_DOUBLE_EQ(bd.total_mean_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(bd.Mean(LatencyBucket::kVerbWire), 200.0);
+  EXPECT_DOUBLE_EQ(bd.Mean(LatencyBucket::kHandlerCpu), 100.0);
+  EXPECT_DOUBLE_EQ(bd.Mean(LatencyBucket::kVerbPost), 20.0);
+  EXPECT_DOUBLE_EQ(bd.Mean(LatencyBucket::kLockWait), 200.0);
+  EXPECT_DOUBLE_EQ(bd.Mean(LatencyBucket::kLog), 100.0);
+  EXPECT_DOUBLE_EQ(bd.Mean(LatencyBucket::kCpu), 380.0);
+  EXPECT_DOUBLE_EQ(bd.Sum(), 1000.0);
+}
+
+TEST(CriticalPathTest, BucketsSumToEndToEndLatencyWithinOnePercent) {
+  SimClock::Reset();
+  ObsConfig::SetTracing(false);
+  TraceCollector::Instance().Clear();
+
+  core::DbOptions opts;
+  opts.architecture = core::Architecture::kNoCacheNoSharding;
+  opts.cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  opts.durability = core::DurabilityMode::kMemReplication;
+  opts.replicated_log.replication_factor = 2;  // 2 memory nodes
+  core::DsmDb db(SmallCluster(), opts);
+  core::ComputeNode* cn = db.AddComputeNode();
+  const core::Table* t = *db.CreateTable("kv", {64, 200});
+  ASSERT_TRUE(db.FinishSetup().ok());
+
+  ObsConfig::SetTracing(true);
+  uint64_t total_ns = 0;
+  uint64_t txns = 0;
+  std::string v(64, '\0');
+  for (uint64_t k = 0; k < 25; k++) {
+    EncodeFixed64(v.data(), k);
+    const uint64_t t0 = SimClock::Now();
+    Result<core::TxnResult> r = cn->ExecuteOneShot(
+        *t, {core::TxnOp::Read(k), core::TxnOp::Write(k + 100, v)});
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->committed);
+    total_ns += SimClock::Now() - t0;
+    txns++;
+  }
+  ObsConfig::SetTracing(false);
+
+  const LatencyBreakdown bd =
+      AnalyzeCriticalPath(TraceCollector::Instance().Snapshot());
+  TraceCollector::Instance().Clear();
+  ASSERT_EQ(bd.txns, txns);
+  const double mean = static_cast<double>(total_ns) / txns;
+  // The sweep partitions each root span exactly, so the buckets must sum
+  // to the measured mean end-to-end latency within 1%.
+  EXPECT_NEAR(bd.Sum(), bd.total_mean_ns, 1e-6 * bd.total_mean_ns);
+  EXPECT_NEAR(bd.total_mean_ns, mean, 0.01 * mean);
+  // A remote-commit workload must not book everything as coordinator CPU:
+  // the wire has to show up.
+  EXPECT_GT(bd.Mean(LatencyBucket::kVerbWire), 0.0);
+}
+
+// --- Flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWraparoundKeepsNewestSamples) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  const bool was_enabled = ObsConfig::Enabled();
+  ObsConfig::SetEnabled(true);
+  fr.Configure(/*interval_ns=*/10, /*capacity=*/8);
+  {
+    FlightRecorder::Token gauge = fr.RegisterGauge(
+        "obs_test.gauge",
+        [](uint64_t now_ns) { return static_cast<double>(now_ns); });
+    for (uint64_t t = 10; t <= 200; t += 10) fr.MaybeSample(t);
+
+    EXPECT_EQ(fr.total_samples(), 20u);
+    const FlightRecorder::Series series = fr.Snapshot();
+    ASSERT_EQ(series.t_ns.size(), 8u);  // ring keeps the newest 8
+    EXPECT_EQ(series.t_ns.front(), 130u);
+    EXPECT_EQ(series.t_ns.back(), 200u);
+    for (size_t i = 1; i < series.t_ns.size(); i++) {
+      EXPECT_GT(series.t_ns[i], series.t_ns[i - 1]);
+    }
+    const auto it = series.values.find("obs_test.gauge");
+    ASSERT_NE(it, series.values.end());
+    ASSERT_EQ(it->second.size(), 8u);
+    for (size_t i = 0; i < 8; i++) {
+      EXPECT_DOUBLE_EQ(it->second[i],
+                       static_cast<double>(series.t_ns[i]));
+    }
+  }
+  fr.Configure(/*interval_ns=*/20'000, /*capacity=*/1024);  // defaults
+  ObsConfig::SetEnabled(was_enabled);
+}
+
+TEST(FlightRecorderTest, SampleBeforeDueTimeIsSkipped) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  const bool was_enabled = ObsConfig::Enabled();
+  ObsConfig::SetEnabled(true);
+  fr.Configure(/*interval_ns=*/100, /*capacity=*/16);
+  FlightRecorder::Token gauge =
+      fr.RegisterGauge("obs_test.skip", [](uint64_t) { return 1.0; });
+  fr.MaybeSample(100);
+  fr.MaybeSample(150);  // before the next due time: skipped
+  fr.MaybeSample(199);
+  fr.MaybeSample(200);
+  EXPECT_EQ(fr.total_samples(), 2u);
+  fr.Configure(/*interval_ns=*/20'000, /*capacity=*/1024);
+  ObsConfig::SetEnabled(was_enabled);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# One entry point for the verification matrix: builds and runs the tier-1
+# tests under every hardening config and prints a summary table.
+#
+#   plain  - stock RelWithDebInfo build, full ctest suite
+#   tsan   - -fsanitize=thread
+#   asan   - -fsanitize=address
+#   ubsan  - -fsanitize=undefined -fno-sanitize-recover=all
+#   check  - -DDSMDB_CHECK=on (protocol-level sim-TSan + lockdep), full suite
+#
+# Usage: scripts/check_matrix.sh [config ...]
+#   default: all five configs
+#
+# Environment:
+#   TESTS=<ctest -R regex>   restrict which tests run (sanitizer configs
+#                            default to the concurrency-heavy suites; plain
+#                            and check always run the full suite unless TESTS
+#                            is set)
+#   JOBS=<n>                 parallelism (default: nproc)
+#
+# Exit status is nonzero if any selected config fails. CI's sanitizer jobs
+# call this script with a single config argument each so failures attribute
+# to the right job.
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+configs=("$@")
+if [[ ${#configs[@]} -eq 0 ]]; then
+  configs=(plain tsan asan ubsan check)
+fi
+
+# Sanitizer runs are slow; by default point them at the suites that exercise
+# the fabric, the async engine, and all six CC protocols. Override via TESTS.
+sanitizer_default_filter='RdmaFabricTest|AsyncEngineTest|TraceTest|Protocols/'
+
+cmake_args_for() {
+  case "$1" in
+    plain) echo "" ;;
+    tsan)  echo "-DDSMDB_SANITIZE=thread" ;;
+    asan)  echo "-DDSMDB_SANITIZE=address" ;;
+    ubsan) echo "-DDSMDB_SANITIZE=undefined" ;;
+    check) echo "-DDSMDB_CHECK=on" ;;
+    *) echo "error: unknown config '$1' (want plain|tsan|asan|ubsan|check)" >&2
+       return 1 ;;
+  esac
+}
+
+declare -A results
+overall=0
+
+for cfg in "${configs[@]}"; do
+  extra="$(cmake_args_for "$cfg")" || { results[$cfg]="BAD-CONFIG"; overall=1; continue; }
+  build_dir="$repo_root/build-matrix-$cfg"
+  echo "=============================================================="
+  echo "== config: $cfg  (build dir: $build_dir)"
+  echo "=============================================================="
+
+  # shellcheck disable=SC2086  # $extra is intentionally word-split
+  if ! cmake -B "$build_dir" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo $extra >"$build_dir.configure.log" 2>&1; then
+    echo "configure FAILED (see $build_dir.configure.log)"
+    results[$cfg]="CONFIGURE-FAIL"; overall=1; continue
+  fi
+  if ! cmake --build "$build_dir" -j "$jobs" >"$build_dir.build.log" 2>&1; then
+    echo "build FAILED (tail of $build_dir.build.log):"
+    tail -20 "$build_dir.build.log"
+    results[$cfg]="BUILD-FAIL"; overall=1; continue
+  fi
+
+  filter="${TESTS:-}"
+  if [[ -z "$filter" ]]; then
+    case "$cfg" in
+      tsan|asan|ubsan) filter="$sanitizer_default_filter" ;;
+    esac
+  fi
+  ctest_args=(--test-dir "$build_dir" --output-on-failure -j "$jobs")
+  [[ -n "$filter" ]] && ctest_args+=(-R "$filter")
+
+  if ctest "${ctest_args[@]}"; then
+    results[$cfg]="PASS"
+  else
+    results[$cfg]="TEST-FAIL"; overall=1
+  fi
+done
+
+echo
+echo "==================== check matrix summary ===================="
+printf '%-8s %s\n' "config" "result"
+printf '%-8s %s\n' "------" "------"
+for cfg in "${configs[@]}"; do
+  printf '%-8s %s\n' "$cfg" "${results[$cfg]:-SKIPPED}"
+done
+echo "=============================================================="
+exit "$overall"

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <utility>
 
+#include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "obs/obs_config.h"
@@ -119,6 +121,7 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
 
   {
     OverheadTimer timer(options_.charge_policy_overhead);
+    check::NoCallZone zone("buffer.read.hit");
     shard.latch.Lock();
     auto it = shard.pages.find(key);
     if (it != shard.pages.end()) {
@@ -141,26 +144,42 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
 
-  // Fetch the whole page without holding the latch.
+  // Fetch the whole page without holding the latch. Joining the page's
+  // coherence var first orders the fill after the last acked writer; the
+  // fill itself is page-granular IO the pool may race benignly (a peer's
+  // concurrent chunk write lands via invalidation/update), so it is not
+  // tracked as data accesses.
+  check::SyncJoin(check::kNsPage, key);
   Frame frame;
   frame.data.resize(options_.page_size);
-  DSMDB_RETURN_NOT_OK(dsm_->Read(page, frame.data.data(),
-                                 options_.page_size));
+  {
+    check::OptimisticScope opt("buffer.fill");
+    DSMDB_RETURN_NOT_OK(dsm_->Read(page, frame.data.data(),
+                                   options_.page_size));
+  }
   coherence_->OnCacheInsert(page);
 
   OverheadTimer timer(options_.charge_policy_overhead);
-  shard.latch.Lock();
-  auto it = shard.pages.find(key);
-  if (it == shard.pages.end()) {
-    auto victim = shard.policy->OnInsert(key);
-    it = shard.pages.emplace(key, std::move(frame)).first;
-    if (victim.has_value() && *victim != key) {
-      EvictLocked(shard, *victim);
-      it = shard.pages.find(key);  // rehash may have moved it
+  Evicted evicted;
+  {
+    check::NoCallZone zone("buffer.read.insert");
+    shard.latch.Lock();
+    auto it = shard.pages.find(key);
+    if (it == shard.pages.end()) {
+      auto victim = shard.policy->OnInsert(key);
+      it = shard.pages.emplace(key, std::move(frame)).first;
+      if (victim.has_value() && *victim != key) {
+        evicted = ExtractLocked(shard, *victim);
+        it = shard.pages.find(key);  // rehash may have moved it
+      }
     }
+    std::memcpy(out, it->second.data.data() + off, len);
+    shard.latch.Unlock();
   }
-  std::memcpy(out, it->second.data.data() + off, len);
-  shard.latch.Unlock();
+  // Writeback + coherence notification run after the latch is dropped —
+  // OnCacheEvict posts a two-sided call, and a handler on the peer may
+  // call back into a pool (see the class invariant in buffer_pool.h).
+  FinishEviction(std::move(evicted));
   const uint64_t meta_ns = timer.StopNs();
   policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
   SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
@@ -184,14 +203,18 @@ Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
   DSMDB_RETURN_NOT_OK(coherence_->OnLocalWrite(page, addr, src, len));
 
   // 2. Write through to the DSM so one-sided readers and later cache
-  //    misses observe the new value.
+  //    misses observe the new value. Like all pool IO this is not race-
+  //    tracked: the pool's contract is bounded staleness via coherence,
+  //    not happens-before ordering (DESIGN.md §7 limitations).
   if (options_.write_through) {
+    check::OptimisticScope opt("buffer.write_through");
     DSMDB_RETURN_NOT_OK(dsm_->Write(addr, src, len));
   }
 
   // 3. Update the local copy if the page is cached (no write-allocate).
   OverheadTimer timer(options_.charge_policy_overhead);
   Shard& shard = ShardFor(key);
+  check::NoCallZone zone("buffer.write");
   shard.latch.Lock();
   auto it = shard.pages.find(key);
   if (it != shard.pages.end()) {
@@ -205,7 +228,11 @@ Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
     const uint64_t ns = timer.StopNs();
     policy_ns_.fetch_add(ns, std::memory_order_relaxed);
     SimClock::Advance(ns);
-    const Status st = dsm_->Write(addr, src, len);
+    Status st;
+    {
+      check::OptimisticScope opt("buffer.write_through");
+      st = dsm_->Write(addr, src, len);
+    }
     if (obs::ObsConfig::Enabled()) {
       obs_.write_ns->Add(SimClock::Now() - obs_start);
     }
@@ -221,21 +248,36 @@ Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
   return Status::OK();
 }
 
-void BufferPool::EvictLocked(Shard& shard, uint64_t victim_key) {
+BufferPool::Evicted BufferPool::ExtractLocked(Shard& shard,
+                                              uint64_t victim_key) {
+  Evicted out;
   auto it = shard.pages.find(victim_key);
-  if (it == shard.pages.end()) return;
-  const dsm::GlobalAddress page = dsm::GlobalAddress::Unpack(victim_key);
-  if (it->second.dirty) {
-    (void)dsm_->Write(page, it->second.data.data(), it->second.data.size());
+  if (it == shard.pages.end()) return out;
+  out.page = dsm::GlobalAddress::Unpack(victim_key);
+  out.frame = std::move(it->second);
+  out.valid = true;
+  shard.pages.erase(it);
+  return out;
+}
+
+void BufferPool::FinishEviction(Evicted evicted) {
+  if (!evicted.valid) return;
+  if (evicted.frame.dirty) {
+    // Page-granular write-back is coherence-managed IO, not a protocol
+    // data access — exclude it from race tracking like the miss fill.
+    check::OptimisticScope opt("buffer.writeback");
+    (void)dsm_->Write(evicted.page, evicted.frame.data.data(),
+                      evicted.frame.data.size());
     writebacks_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.pages.erase(it);
   evictions_.fetch_add(1, std::memory_order_relaxed);
-  coherence_->OnCacheEvict(page);
+  coherence_->OnCacheEvict(evicted.page);
 }
 
 Status BufferPool::FlushAll() {
   for (Shard& shard : shards_) {
+    check::NoCallZone zone("buffer.flush_all");
+    check::OptimisticScope opt("buffer.writeback");
     SpinLatchGuard g(shard.latch);
     for (auto& [key, frame] : shard.pages) {
       if (!frame.dirty) continue;
@@ -262,6 +304,7 @@ void BufferPool::DropAll() {
 void BufferPool::Invalidate(dsm::GlobalAddress page) {
   const uint64_t key = page.Pack();
   Shard& shard = ShardFor(key);
+  check::NoCallZone zone("buffer.invalidate");
   SpinLatchGuard g(shard.latch);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) return;
@@ -276,6 +319,7 @@ void BufferPool::ApplyUpdate(dsm::GlobalAddress page, std::string_view data) {
   const uint64_t key = base.Pack();
   const size_t off = page.offset - base.offset;
   Shard& shard = ShardFor(key);
+  check::NoCallZone zone("buffer.apply_update");
   SpinLatchGuard g(shard.latch);
   auto it = shard.pages.find(key);
   if (it == shard.pages.end()) return;

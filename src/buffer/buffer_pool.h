@@ -128,12 +128,23 @@ class BufferPool {
     return shards_[(key * 0x9E3779B97F4A7C15ULL >> 32) % shards_.size()];
   }
 
+  /// A page pulled out of its shard, pending writeback + coherence
+  /// notification (both run with no latch held — OnCacheEvict posts a
+  /// two-sided call, which must never happen under a shard latch).
+  struct Evicted {
+    dsm::GlobalAddress page;
+    Frame frame;
+    bool valid = false;
+  };
+
   /// Reads one within-page chunk.
   Status ReadChunk(dsm::GlobalAddress addr, void* out, size_t len);
   Status WriteChunk(dsm::GlobalAddress addr, const void* src, size_t len);
 
-  /// Evicts `victim_key` from `shard` (latch held): writeback if dirty.
-  void EvictLocked(Shard& shard, uint64_t victim_key);
+  /// Detaches `victim_key` from `shard` (latch held); no IO.
+  Evicted ExtractLocked(Shard& shard, uint64_t victim_key);
+  /// Writeback + OnCacheEvict for an extracted page (latch NOT held).
+  void FinishEviction(Evicted evicted);
 
   dsm::DsmClient* dsm_;
   BufferPoolOptions options_;

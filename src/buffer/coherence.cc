@@ -1,5 +1,6 @@
 #include "buffer/coherence.h"
 
+#include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "dsm/rpc_ids.h"
@@ -56,6 +57,9 @@ Status DirectoryCoherence::OnLocalWrite(dsm::GlobalAddress page,
   }
   // A dead peer cannot hold a stale cache, so Unavailable is fine.
   (void)pipe.WaitAll();
+  // Checker edge: every peer has acked (dropped or refreshed its copy);
+  // a later miss-fill of this page joins here.
+  check::SyncPublish(check::kNsPage, page.Pack());
   if (update_based_) {
     updates_sent_.fetch_add(sharers->size(), std::memory_order_relaxed);
   } else {

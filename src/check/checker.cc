@@ -1,0 +1,735 @@
+#include "check/checker.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "obs/trace.h"
+
+namespace dsmdb::check {
+
+#if defined(DSMDB_CHECK_ENABLED)
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector clocks. Thread ids are dense checker-local slots assigned at first
+// instrumented access and never reused; a clock is a dense vector indexed by
+// slot. Short-lived test threads cost one slot each — a few hundred per test
+// binary, so dense vectors stay small.
+// ---------------------------------------------------------------------------
+using VectorClock = std::vector<uint64_t>;
+
+uint64_t ClockAt(const VectorClock& vc, uint32_t tid) {
+  return tid < vc.size() ? vc[tid] : 0;
+}
+
+void JoinInto(VectorClock* dst, const VectorClock& src) {
+  if (src.size() > dst->size()) dst->resize(src.size(), 0);
+  for (size_t i = 0; i < src.size(); i++) {
+    if (src[i] > (*dst)[i]) (*dst)[i] = src[i];
+  }
+}
+
+struct HeldLock {
+  uintptr_t word = 0;
+  uint32_t node = 0;
+  uint64_t offset = 0;
+  uint64_t span_id = 0;
+  uint64_t sim_ns = 0;
+  uint64_t region_epoch = 0;
+};
+
+struct ThreadState {
+  uint32_t tid = 0;
+  VectorClock vc;  ///< vc[tid] is this thread's own clock; only we write it.
+  int optimistic_depth = 0;
+  int nocall_depth = 0;
+  const char* nocall_where[8] = {};
+  int blocking_lock_depth = 0;
+  std::vector<HeldLock> held;
+};
+
+// One access recorded in a word's data shadow.
+struct ShadowAccess {
+  uint32_t tid = 0;
+  uint64_t clk = 0;  ///< Accessor's own clock component at access time.
+  AccessInfo info;
+};
+
+// Per-word shadow state. A word is either plain data (last write + reads)
+// or a sync var (a published vector clock). The first CAS/FAA on a word
+// classifies it as sync and discards its data history — lock and version
+// words are synchronization, not data, and checking them as data would
+// flag every legitimate lock handoff.
+struct ShadowWord {
+  bool is_sync = false;
+  bool reported = false;  ///< One race report per word, then silence.
+  VectorClock sync_vc;
+  bool has_write = false;
+  ShadowAccess last_write;
+  std::vector<ShadowAccess> reads;
+};
+
+struct ShadowShard {
+  std::mutex mu;
+  std::unordered_map<uintptr_t, ShadowWord> words;
+};
+
+struct LockEdge {
+  uint32_t tid = 0;
+  uint64_t sim_ns = 0;
+  uint64_t held_span = 0;
+  uint64_t acq_span = 0;
+  uint32_t from_node = 0, to_node = 0;
+  uint64_t from_off = 0, to_off = 0;
+};
+
+struct CheckerState {
+  std::atomic<bool> enabled{true};
+  std::atomic<bool> abort_on_report{true};
+  std::atomic<uint64_t> region_epoch{1};
+
+  std::mutex threads_mu;
+  std::vector<ThreadState*> threads;  // never freed; slots are stable
+
+  static constexpr size_t kShards = 64;
+  ShadowShard shards[kShards];
+
+  std::mutex vars_mu;  // rpc vars, user vars, fork tokens
+  std::unordered_map<uint64_t, VectorClock> rpc_vars;
+  std::unordered_map<uint64_t, VectorClock> user_vars;
+  // Fork tokens carry two separate clocks. `fork` flows parent -> children
+  // only and `join` children -> parent only; one shared clock would let a
+  // sibling that finished early happen-before a sibling that started late
+  // (a host-scheduling accident, not a protocol edge) and mask races
+  // between independent branches.
+  struct ForkVar {
+    VectorClock fork;
+    VectorClock join;
+  };
+  std::unordered_map<uint64_t, ForkVar> fork_vars;
+  uint64_t next_fork_token = 1;
+
+  std::mutex lock_mu;
+  std::unordered_map<uintptr_t, std::unordered_map<uintptr_t, LockEdge>>
+      lock_edges;
+  std::unordered_set<uint64_t> reported_cycles;  // hash of inserted edge
+
+  std::mutex reports_mu;
+  std::vector<Report> reports;
+  size_t report_count = 0;  // total, including ones dropped past the cap
+};
+
+CheckerState& S() {
+  static CheckerState* s = new CheckerState();  // leaked: outlives threads
+  return *s;
+}
+
+ThreadState& Self() {
+  thread_local ThreadState* ts = [] {
+    auto* t = new ThreadState();  // leaked: clocks must outlive the thread
+    CheckerState& s = S();
+    std::lock_guard<std::mutex> g(s.threads_mu);
+    t->tid = static_cast<uint32_t>(s.threads.size());
+    t->vc.resize(t->tid + 1, 0);
+    t->vc[t->tid] = 1;
+    s.threads.push_back(t);
+    return t;
+  }();
+  return *ts;
+}
+
+ShadowShard& ShardFor(uintptr_t word) {
+  return S().shards[(word >> 3) * 0x9E3779B97F4A7C15ULL >> 58];
+}
+
+bool On() { return S().enabled.load(std::memory_order_relaxed); }
+
+bool DebugOn() {
+  static bool on = std::getenv("DSMDB_CHECK_DEBUG") != nullptr;
+  return on;
+}
+
+AccessInfo MakeInfo(ThreadState& me, bool is_write, const char* verb,
+                    uint32_t node, uint64_t offset) {
+  AccessInfo a;
+  a.tid = me.tid;
+  a.is_write = is_write;
+  a.verb = verb;
+  a.node = node;
+  a.offset = offset;
+  a.sim_ns = SimClock::Now();
+  a.span_id = obs::CurrentSpanId();
+  a.txn_id = obs::CurrentTxnId();
+  return a;
+}
+
+// (t, c) happened-before the current state of `me` iff me has joined t's
+// clock up to at least c.
+bool HappensBefore(const ShadowAccess& a, const ThreadState& me) {
+  return a.clk <= ClockAt(me.vc, a.tid);
+}
+
+void Emit(Report&& r) {
+  CheckerState& s = S();
+  std::fprintf(stderr, "%s", r.message.c_str());
+  std::fflush(stderr);
+  bool die = s.abort_on_report.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(s.reports_mu);
+    s.report_count++;
+    if (s.reports.size() < 256) s.reports.push_back(std::move(r));
+  }
+  if (die) {
+    std::fprintf(stderr,
+                 "==DSMDB-CHECK== aborting (Checker::SetAbortOnReport(false) "
+                 "to collect instead)\n");
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+std::string DescribeAccess(const char* label, const AccessInfo& a) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  %s %-5s by checker-thread %u at sim %" PRIu64
+                " ns, span %" PRIu64 ", txn %" PRIu64 "\n",
+                label, a.verb, a.tid, a.sim_ns, a.span_id, a.txn_id);
+  return buf;
+}
+
+void ReportRace(const ShadowAccess& prev, const AccessInfo& cur) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "==DSMDB-CHECK== protocol data race on node %u offset 0x%"
+                PRIx64 " (8-byte word)\n",
+                cur.node, cur.offset & ~7ULL);
+  Report r;
+  r.kind = ReportKind::kDataRace;
+  r.first = prev.info;
+  r.second = cur;
+  r.message = std::string(head) + DescribeAccess("earlier:", prev.info) +
+              DescribeAccess("racing: ", cur) +
+              "  no happens-before edge in simulated time connects these "
+              "accesses;\n  run with --trace and look up the span ids in the "
+              "trace tree\n";
+  Emit(std::move(r));
+}
+
+// --- sync-var primitives (word must be classified sync, shard locked) ------
+void VarJoin(ThreadState& me, const VectorClock& var) { JoinInto(&me.vc, var); }
+
+void VarPublish(ThreadState& me, VectorClock* var) {
+  JoinInto(var, me.vc);
+  me.vc[me.tid]++;  // what we do after the publish is not covered by it
+}
+
+// Walks the 8-byte-aligned words overlapping [host, host+len).
+template <typename Fn>
+void ForEachWord(const void* host, size_t len, Fn&& fn) {
+  if (len == 0) return;
+  uintptr_t p = reinterpret_cast<uintptr_t>(host) & ~7ULL;
+  uintptr_t end = reinterpret_cast<uintptr_t>(host) + len;
+  for (; p < end; p += 8) fn(p, (p - (reinterpret_cast<uintptr_t>(host) & ~7ULL)) >> 3);
+}
+
+// --- lockdep ---------------------------------------------------------------
+
+uint64_t EdgeHash(uintptr_t a, uintptr_t b) {
+  return (static_cast<uint64_t>(a) * 0x9E3779B97F4A7C15ULL) ^
+         static_cast<uint64_t>(b);
+}
+
+// DFS over lock_edges from `from`, looking for `target`. lock_mu held.
+bool PathExists(const CheckerState& s, uintptr_t from, uintptr_t target,
+                std::unordered_set<uintptr_t>* seen,
+                std::vector<uintptr_t>* path) {
+  if (from == target) return true;
+  if (!seen->insert(from).second) return false;
+  auto it = s.lock_edges.find(from);
+  if (it == s.lock_edges.end()) return false;
+  for (const auto& [next, edge] : it->second) {
+    path->push_back(next);
+    if (PathExists(s, next, target, seen, path)) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+std::string DescribeLockWord(uint32_t node, uint64_t off) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "lock(node %u, offset 0x%" PRIx64 ")", node,
+                off);
+  return buf;
+}
+
+void AddLockEdges(ThreadState& me, const HeldLock& acquiring) {
+  CheckerState& s = S();
+  const uint64_t epoch = s.region_epoch.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(s.lock_mu);
+  for (const HeldLock& held : me.held) {
+    if (held.word == acquiring.word) continue;
+    if (held.region_epoch != epoch) continue;  // region purged since acquire
+    auto& out = s.lock_edges[held.word];
+    if (out.count(acquiring.word)) continue;  // edge already known
+    LockEdge e;
+    e.tid = me.tid;
+    e.sim_ns = acquiring.sim_ns;
+    e.held_span = held.span_id;
+    e.acq_span = acquiring.span_id;
+    e.from_node = held.node;
+    e.from_off = held.offset;
+    e.to_node = acquiring.node;
+    e.to_off = acquiring.offset;
+    // Cycle check BEFORE inserting: does acquiring already reach held?
+    std::unordered_set<uintptr_t> seen;
+    std::vector<uintptr_t> path;
+    path.push_back(acquiring.word);
+    const bool cycle =
+        PathExists(s, acquiring.word, held.word, &seen, &path);
+    out.emplace(acquiring.word, e);
+    if (!cycle) continue;
+    if (!s.reported_cycles.insert(EdgeHash(held.word, acquiring.word)).second)
+      continue;
+    // Describe the inversion: we take held -> acquiring, while some other
+    // chain already orders acquiring -> ... -> held.
+    std::string msg =
+        "==DSMDB-CHECK== potential deadlock: lock-order inversion\n";
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  checker-thread %u takes %s while holding %s (held span %"
+                  PRIu64 ", acquiring span %" PRIu64 ", sim %" PRIu64 " ns)\n",
+                  me.tid, DescribeLockWord(e.to_node, e.to_off).c_str(),
+                  DescribeLockWord(e.from_node, e.from_off).c_str(),
+                  e.held_span, e.acq_span, e.sim_ns);
+    msg += line;
+    msg += "  but the existing lock-order graph already orders:\n";
+    for (size_t i = 0; i + 1 < path.size(); i++) {
+      const LockEdge& pe = s.lock_edges[path[i]].at(path[i + 1]);
+      std::snprintf(line, sizeof(line),
+                    "    %s -> %s (checker-thread %u, spans %" PRIu64 " -> %"
+                    PRIu64 ")\n",
+                    DescribeLockWord(pe.from_node, pe.from_off).c_str(),
+                    DescribeLockWord(pe.to_node, pe.to_off).c_str(), pe.tid,
+                    pe.held_span, pe.acq_span);
+      msg += line;
+    }
+    msg +=
+        "  a schedule interleaving these acquisition orders deadlocks; "
+        "sort lock\n  addresses or use try-acquire with abort/retry\n";
+    Report r;
+    r.kind = ReportKind::kLockCycle;
+    r.message = std::move(msg);
+    Emit(std::move(r));
+  }
+}
+
+// Exclusive-lock words set bit 63 (txn/rdma_lock.h MakeExclusiveLock). A
+// successful CAS 0 -> bit63-value is an acquisition; bit63-value -> 0 is a
+// release — this catches the raw pipelined release CAS batches OCC/MVCC/2PL
+// post on commit without needing protocol-level release hooks.
+constexpr uint64_t kLockBit = 1ULL << 63;
+
+void LockdepOnCas(ThreadState& me, uintptr_t word, uint32_t node,
+                  uint64_t offset, uint64_t expected, uint64_t desired,
+                  uint64_t prev) {
+  if (prev != expected) return;  // failed CAS: no transition happened
+  const bool acquire = expected == 0 && (desired & kLockBit) != 0;
+  const bool release = (expected & kLockBit) != 0 && desired == 0;
+  if (acquire) {
+    HeldLock h;
+    h.word = word;
+    h.node = node;
+    h.offset = offset;
+    h.span_id = obs::CurrentSpanId();
+    h.sim_ns = SimClock::Now();
+    h.region_epoch = S().region_epoch.load(std::memory_order_relaxed);
+    if (me.blocking_lock_depth > 0 && !me.held.empty()) AddLockEdges(me, h);
+    me.held.push_back(h);
+  } else if (release) {
+    for (size_t i = 0; i < me.held.size(); i++) {
+      if (me.held[i].word == word) {
+        me.held.erase(me.held.begin() + i);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hooks
+// ---------------------------------------------------------------------------
+
+void OnRemoteRead(const void* host, size_t len, uint32_t node,
+                  uint64_t offset) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  ForEachWord(host, len, [&](uintptr_t word, uint64_t word_idx) {
+    ShadowShard& shard = ShardFor(word);
+    std::lock_guard<std::mutex> g(shard.mu);
+    auto it = shard.words.find(word);
+    if (it == shard.words.end()) {
+      if (me.optimistic_depth > 0) return;  // don't materialize shadow
+      it = shard.words.emplace(word, ShadowWord()).first;
+    }
+    ShadowWord& w = it->second;
+    if (DebugOn()) {
+      std::fprintf(stderr,
+                   "[check-dbg] READ tid=%u word=%p sync=%d opt=%d clk=%llu\n",
+                   me.tid, reinterpret_cast<void*>(word), (int)w.is_sync,
+                   me.optimistic_depth,
+                   (unsigned long long)me.vc[me.tid]);
+    }
+    if (w.is_sync) {
+      // Plain read of a sync word (version validation, Peek) acquires it.
+      VarJoin(me, w.sync_vc);
+      return;
+    }
+    if (me.optimistic_depth > 0) return;
+    AccessInfo info = MakeInfo(me, false, "READ", node, offset + word_idx * 8);
+    if (!w.reported && w.has_write && w.last_write.tid != me.tid &&
+        !HappensBefore(w.last_write, me)) {
+      w.reported = true;
+      ReportRace(w.last_write, info);
+    }
+    // Record/update our read; prune entries our clock already covers.
+    for (size_t i = 0; i < w.reads.size();) {
+      if (w.reads[i].tid == me.tid || HappensBefore(w.reads[i], me)) {
+        w.reads[i] = w.reads.back();
+        w.reads.pop_back();
+      } else {
+        i++;
+      }
+    }
+    ShadowAccess a;
+    a.tid = me.tid;
+    a.clk = me.vc[me.tid];
+    a.info = info;
+    w.reads.push_back(a);
+  });
+}
+
+void OnRemoteWrite(const void* host, size_t len, uint32_t node,
+                   uint64_t offset) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  ForEachWord(host, len, [&](uintptr_t word, uint64_t word_idx) {
+    ShadowShard& shard = ShardFor(word);
+    std::lock_guard<std::mutex> g(shard.mu);
+    auto it = shard.words.find(word);
+    if (it == shard.words.end()) {
+      if (me.optimistic_depth > 0) return;
+      it = shard.words.emplace(word, ShadowWord()).first;
+    }
+    ShadowWord& w = it->second;
+    if (DebugOn()) {
+      std::fprintf(stderr,
+                   "[check-dbg] WRITE tid=%u word=%p sync=%d opt=%d clk=%llu "
+                   "has_write=%d lw.tid=%u lw.clk=%llu reads=%zu\n",
+                   me.tid, reinterpret_cast<void*>(word), (int)w.is_sync,
+                   me.optimistic_depth,
+                   (unsigned long long)me.vc[me.tid], (int)w.has_write,
+                   w.last_write.tid,
+                   (unsigned long long)w.last_write.clk, w.reads.size());
+    }
+    if (w.is_sync) {
+      // A plain store to a sync word releases it (e.g. TSO installs the
+      // new packed version with a plain write; readers join via CAS/read).
+      VarPublish(me, &w.sync_vc);
+      return;
+    }
+    if (me.optimistic_depth > 0) return;
+    AccessInfo info =
+        MakeInfo(me, true, "WRITE", node, offset + word_idx * 8);
+    if (!w.reported) {
+      if (w.has_write && w.last_write.tid != me.tid &&
+          !HappensBefore(w.last_write, me)) {
+        w.reported = true;
+        ReportRace(w.last_write, info);
+      }
+      for (const ShadowAccess& rd : w.reads) {
+        if (w.reported) break;
+        if (rd.tid != me.tid && !HappensBefore(rd, me)) {
+          w.reported = true;
+          ReportRace(rd, info);
+        }
+      }
+    }
+    w.has_write = true;
+    w.last_write.tid = me.tid;
+    w.last_write.clk = me.vc[me.tid];
+    w.last_write.info = info;
+    w.reads.clear();
+  });
+}
+
+void OnRemoteCas(const void* host, uint32_t node, uint64_t offset,
+                 uint64_t expected, uint64_t desired, uint64_t prev) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  const uintptr_t word = reinterpret_cast<uintptr_t>(host) & ~7ULL;
+  {
+    ShadowShard& shard = ShardFor(word);
+    std::lock_guard<std::mutex> g(shard.mu);
+    ShadowWord& w = shard.words[word];
+    if (!w.is_sync) {
+      // First CAS classifies the word as a sync var; its life as data ends.
+      w.is_sync = true;
+      w.has_write = false;
+      w.reads.clear();
+      w.sync_vc.clear();
+    }
+    if (prev == expected) {
+      VarJoin(me, w.sync_vc);      // we observed the previous owner
+      VarPublish(me, &w.sync_vc);  // and extend the RMW chain
+    } else {
+      VarJoin(me, w.sync_vc);  // failed CAS still read the word
+    }
+  }
+  LockdepOnCas(me, word, node, offset, expected, desired, prev);
+}
+
+void OnRemoteFaa(const void* host, uint32_t node, uint64_t offset) {
+  if (!On()) return;
+  (void)node;
+  (void)offset;
+  ThreadState& me = Self();
+  const uintptr_t word = reinterpret_cast<uintptr_t>(host) & ~7ULL;
+  ShadowShard& shard = ShardFor(word);
+  std::lock_guard<std::mutex> g(shard.mu);
+  ShadowWord& w = shard.words[word];
+  if (!w.is_sync) {
+    w.is_sync = true;
+    w.has_write = false;
+    w.reads.clear();
+    w.sync_vc.clear();
+  }
+  VarJoin(me, w.sync_vc);
+  VarPublish(me, &w.sync_vc);
+}
+
+void OnRpcCall(uint32_t target, uint32_t service) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  if (me.nocall_depth > 0) {
+    const char* where = me.nocall_where[me.nocall_depth < 8
+                                            ? me.nocall_depth - 1
+                                            : 7];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "==DSMDB-CHECK== two-sided call posted inside no-call zone "
+                  "\"%s\"\n  (target node %u, service %u, checker-thread %u, "
+                  "span %" PRIu64 ")\n  a handler on the target can call back "
+                  "into the latched structure and\n  self-deadlock; move the "
+                  "call outside the critical section\n",
+                  where ? where : "?", target, service, me.tid,
+                  obs::CurrentSpanId());
+    Report r;
+    r.kind = ReportKind::kCallInNoCallZone;
+    r.message = line;
+    Emit(std::move(r));
+  }
+  CheckerState& s = S();
+  const uint64_t key = (static_cast<uint64_t>(target) << 32) | service;
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  auto it = s.rpc_vars.find(key);
+  if (it != s.rpc_vars.end()) VarJoin(me, it->second);
+}
+
+void OnRpcReturn(uint32_t target, uint32_t service) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  const uint64_t key = (static_cast<uint64_t>(target) << 32) | service;
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  VarPublish(me, &s.rpc_vars[key]);
+}
+
+void OnRegionRegistered(const void* base, size_t len) {
+  OnRegionDropped(base, len);  // purge whatever the allocator reused
+}
+
+void OnRegionDropped(const void* base, size_t len) {
+  if (!On()) return;
+  CheckerState& s = S();
+  const uintptr_t lo = reinterpret_cast<uintptr_t>(base) & ~7ULL;
+  const uintptr_t hi = reinterpret_cast<uintptr_t>(base) + len;
+  for (ShadowShard& shard : s.shards) {
+    std::lock_guard<std::mutex> g(shard.mu);
+    for (auto it = shard.words.begin(); it != shard.words.end();) {
+      if (it->first >= lo && it->first < hi) {
+        it = shard.words.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> g(s.lock_mu);
+    for (auto it = s.lock_edges.begin(); it != s.lock_edges.end();) {
+      if (it->first >= lo && it->first < hi) {
+        it = s.lock_edges.erase(it);
+        continue;
+      }
+      auto& out = it->second;
+      for (auto e = out.begin(); e != out.end();) {
+        if (e->first >= lo && e->first < hi) {
+          e = out.erase(e);
+        } else {
+          ++e;
+        }
+      }
+      ++it;
+    }
+  }
+  s.region_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t ForkPoint() {
+  if (!On()) return 0;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  const uint64_t token = s.next_fork_token++;
+  VarPublish(me, &s.fork_vars[token].fork);
+  return token;
+}
+
+void OnThreadStart(uint64_t token) {
+  if (!On() || token == 0) return;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  auto it = s.fork_vars.find(token);
+  if (it != s.fork_vars.end()) VarJoin(me, it->second.fork);
+}
+
+void OnThreadFinish(uint64_t token) {
+  if (!On() || token == 0) return;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  VarPublish(me, &s.fork_vars[token].join);
+}
+
+void OnThreadsJoined(uint64_t token) {
+  if (!On() || token == 0) return;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  auto it = s.fork_vars.find(token);
+  if (it != s.fork_vars.end()) {
+    VarJoin(me, it->second.join);
+    s.fork_vars.erase(it);
+  }
+}
+
+void SyncJoin(uint8_t ns, uint64_t key) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  auto it = s.user_vars.find((static_cast<uint64_t>(ns) << 60) ^ key);
+  if (it != s.user_vars.end()) VarJoin(me, it->second);
+}
+
+void SyncPublish(uint8_t ns, uint64_t key) {
+  if (!On()) return;
+  ThreadState& me = Self();
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.vars_mu);
+  VarPublish(me, &s.user_vars[(static_cast<uint64_t>(ns) << 60) ^ key]);
+}
+
+OptimisticScope::OptimisticScope(const char* why) {
+  (void)why;
+  Self().optimistic_depth++;
+}
+OptimisticScope::~OptimisticScope() { Self().optimistic_depth--; }
+
+NoCallZone::NoCallZone(const char* where) {
+  ThreadState& me = Self();
+  if (me.nocall_depth < 8) me.nocall_where[me.nocall_depth] = where;
+  me.nocall_depth++;
+}
+NoCallZone::~NoCallZone() { Self().nocall_depth--; }
+
+BlockingLockScope::BlockingLockScope() { Self().blocking_lock_depth++; }
+BlockingLockScope::~BlockingLockScope() { Self().blocking_lock_depth--; }
+
+// ---------------------------------------------------------------------------
+// Management surface
+// ---------------------------------------------------------------------------
+
+void Checker::SetEnabled(bool on) {
+  S().enabled.store(on, std::memory_order_relaxed);
+}
+bool Checker::Enabled() { return On(); }
+
+void Checker::SetAbortOnReport(bool on) {
+  S().abort_on_report.store(on, std::memory_order_relaxed);
+}
+
+std::vector<Report> Checker::TakeReports() {
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.reports_mu);
+  std::vector<Report> out = std::move(s.reports);
+  s.reports.clear();
+  s.report_count = 0;
+  return out;
+}
+
+size_t Checker::ReportCount() {
+  CheckerState& s = S();
+  std::lock_guard<std::mutex> g(s.reports_mu);
+  return s.report_count;
+}
+
+void Checker::Reset() {
+  CheckerState& s = S();
+  for (ShadowShard& shard : s.shards) {
+    std::lock_guard<std::mutex> g(shard.mu);
+    shard.words.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(s.vars_mu);
+    s.rpc_vars.clear();
+    s.user_vars.clear();
+    s.fork_vars.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(s.lock_mu);
+    s.lock_edges.clear();
+    s.reported_cycles.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(s.reports_mu);
+    s.reports.clear();
+    s.report_count = 0;
+  }
+  s.region_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+#else  // !DSMDB_CHECK_ENABLED
+
+void Checker::SetEnabled(bool) {}
+bool Checker::Enabled() { return false; }
+void Checker::SetAbortOnReport(bool) {}
+std::vector<Report> Checker::TakeReports() { return {}; }
+size_t Checker::ReportCount() { return 0; }
+void Checker::Reset() {}
+
+#endif  // DSMDB_CHECK_ENABLED
+
+}  // namespace dsmdb::check

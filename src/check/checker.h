@@ -1,0 +1,201 @@
+#ifndef DSMDB_CHECK_CHECKER_H_
+#define DSMDB_CHECK_CHECKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Protocol-level race & deadlock checker for the simulated DSM
+/// ("sim-TSan" + lockdep). See DESIGN.md §7 for the happens-before model.
+///
+/// Why this exists: `rdma/sim_mem.h` makes simulated DMA word-atomic, so
+/// every protocol-level race (a reader that skipped a lock, a writer that
+/// installed before its invalidations were acked) is clean under real
+/// ThreadSanitizer *by construction*. This checker re-detects those bugs
+/// at the protocol level: it follows the host execution order of
+/// simulated events (which is the order hooks fire in) and maintains
+/// vector clocks whose edges are *protocol* synchronization — lock-word
+/// CAS chains, FAA chains, two-sided calls, coherence acks, thread
+/// fork/join — instead of hardware memory-order.
+///
+/// Everything here is compiled to nothing unless the build sets
+/// -DDSMDB_CHECK=ON (which defines DSMDB_CHECK_ENABLED). The management
+/// surface (`Checker`) always exists so tests can compile in both
+/// configurations; in off builds it reports Compiled() == false.
+namespace dsmdb::check {
+
+enum class ReportKind {
+  kDataRace,        ///< Conflicting accesses with no happens-before edge.
+  kLockCycle,       ///< Lock-order inversion (potential deadlock).
+  kCallInNoCallZone ///< Two-sided call posted while holding a no-call zone.
+};
+
+/// One side of a racing access pair.
+struct AccessInfo {
+  uint32_t tid = 0;       ///< Checker-dense thread id.
+  bool is_write = false;
+  const char* verb = "";  ///< "READ" / "WRITE" / "CAS" / "FAA".
+  uint32_t node = 0;      ///< Fabric node owning the word.
+  uint64_t offset = 0;    ///< Region offset of the 8-byte word.
+  uint64_t sim_ns = 0;    ///< SimClock of the accessing thread.
+  uint64_t span_id = 0;   ///< obs::CurrentSpanId() at access (0 = none).
+  uint64_t txn_id = 0;    ///< obs::CurrentTxnId() at access (0 = none).
+};
+
+struct Report {
+  ReportKind kind;
+  std::string message;  ///< Fully formatted, multi-line, actionable.
+  AccessInfo first;     ///< kDataRace: earlier access (host order).
+  AccessInfo second;    ///< kDataRace: the access that raced.
+};
+
+/// Management surface. All methods are safe to call in off builds.
+class Checker {
+ public:
+  /// True when the build compiled the instrumentation in.
+  static constexpr bool Compiled() {
+#if defined(DSMDB_CHECK_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Runtime kill switch. Defaults to on when compiled in.
+  static void SetEnabled(bool on);
+  static bool Enabled();
+
+  /// When true (the default), the first report is printed to stderr and
+  /// the process aborts — so an instrumented ctest run fails loudly.
+  /// Tests that *expect* reports turn this off and drain TakeReports().
+  static void SetAbortOnReport(bool on);
+
+  /// Drains and returns all reports collected so far.
+  static std::vector<Report> TakeReports();
+  static size_t ReportCount();
+
+  /// Drops all checker state: shadow memory, sync vars, lock graph,
+  /// fork/join tokens, reports. Thread clocks survive (they are
+  /// monotonic, so stale state cannot resurrect). Call between test
+  /// phases that reuse host memory outside Fabric::RegisterMemory.
+  static void Reset();
+};
+
+/// Keys for user-level sync vars (SyncJoin/SyncPublish) live in disjoint
+/// namespaces so page ids cannot collide with pool pointers.
+inline constexpr uint8_t kNsPage = 0;  ///< key = page GlobalAddress Pack().
+inline constexpr uint8_t kNsPool = 1;  ///< key = ThreadPool pointer.
+
+#if defined(DSMDB_CHECK_ENABLED)
+
+/// --- Instrumentation hooks (fabric / async engine) -----------------------
+/// `host` is the resolved host address of the simulated access; shadow
+/// state is keyed by host word address and purged when the owning region
+/// is dropped or re-registered.
+void OnRemoteRead(const void* host, size_t len, uint32_t node,
+                  uint64_t offset);
+void OnRemoteWrite(const void* host, size_t len, uint32_t node,
+                   uint64_t offset);
+/// CAS classifies the word as a sync var. A successful CAS joins and
+/// publishes (an RMW chain); a failed CAS only joins. Lock-shaped
+/// transitions (0 -> bit63-set, bit63-set -> 0) additionally drive
+/// lockdep acquire/release bookkeeping.
+void OnRemoteCas(const void* host, uint32_t node, uint64_t offset,
+                 uint64_t expected, uint64_t desired, uint64_t prev);
+void OnRemoteFaa(const void* host, uint32_t node, uint64_t offset);
+/// Two-sided call: handler execution on the target serializes callers, so
+/// a (target, service)-keyed sync var is joined before the handler runs
+/// (OnRpcCall, which also trips the hold-while-posting-verb lint when
+/// inside a NoCallZone) and published after it returns (OnRpcReturn —
+/// the publish must cover the handler's own accesses).
+void OnRpcCall(uint32_t target, uint32_t service);
+void OnRpcReturn(uint32_t target, uint32_t service);
+
+/// --- Region lifecycle ----------------------------------------------------
+void OnRegionRegistered(const void* base, size_t len);
+void OnRegionDropped(const void* base, size_t len);
+
+/// --- Thread fork/join (common/thread_pool) -------------------------------
+uint64_t ForkPoint();                 ///< Parent publishes; returns token.
+void OnThreadStart(uint64_t token);   ///< Child joins the fork point.
+void OnThreadFinish(uint64_t token);  ///< Child publishes into the token.
+void OnThreadsJoined(uint64_t token); ///< Parent joins after thread join.
+
+/// --- User-level sync vars (coherence acks, pool idle) --------------------
+void SyncJoin(uint8_t ns, uint64_t key);
+void SyncPublish(uint8_t ns, uint64_t key);
+
+/// Suppresses data-shadow recording and race checks for remote accesses
+/// in its scope; sync-var joins/publishes still happen. For validated
+/// speculative reads (OCC/TSO/MVCC read paths re-check versions) and for
+/// buffer-pool page IO (the pool tolerates transient staleness by
+/// contract; coherence keeps it bounded).
+class OptimisticScope {
+ public:
+  explicit OptimisticScope(const char* why);
+  ~OptimisticScope();
+  OptimisticScope(const OptimisticScope&) = delete;
+  OptimisticScope& operator=(const OptimisticScope&) = delete;
+};
+
+/// Marks a critical section that must not post two-sided calls (e.g.
+/// buffer-pool shard latches: a handler on the peer could call back into
+/// this pool and self-deadlock in a real deployment). One-sided verbs are
+/// allowed — eviction legally writes back pages under the latch.
+class NoCallZone {
+ public:
+  explicit NoCallZone(const char* where);
+  ~NoCallZone();
+  NoCallZone(const NoCallZone&) = delete;
+  NoCallZone& operator=(const NoCallZone&) = delete;
+};
+
+/// Wraps a *blocking* lock acquisition loop (RdmaSpinLock::Acquire).
+/// Lock-shaped CAS successes inside the scope add lock-order edges from
+/// every currently-held lock; try-acquires outside it hold locks without
+/// creating edges (try-lock cannot deadlock).
+class BlockingLockScope {
+ public:
+  BlockingLockScope();
+  ~BlockingLockScope();
+  BlockingLockScope(const BlockingLockScope&) = delete;
+  BlockingLockScope& operator=(const BlockingLockScope&) = delete;
+};
+
+#else  // !DSMDB_CHECK_ENABLED — every hook compiles to nothing.
+
+inline void OnRemoteRead(const void*, size_t, uint32_t, uint64_t) {}
+inline void OnRemoteWrite(const void*, size_t, uint32_t, uint64_t) {}
+inline void OnRemoteCas(const void*, uint32_t, uint64_t, uint64_t, uint64_t,
+                        uint64_t) {}
+inline void OnRemoteFaa(const void*, uint32_t, uint64_t) {}
+inline void OnRpcCall(uint32_t, uint32_t) {}
+inline void OnRpcReturn(uint32_t, uint32_t) {}
+inline void OnRegionRegistered(const void*, size_t) {}
+inline void OnRegionDropped(const void*, size_t) {}
+inline uint64_t ForkPoint() { return 0; }
+inline void OnThreadStart(uint64_t) {}
+inline void OnThreadFinish(uint64_t) {}
+inline void OnThreadsJoined(uint64_t) {}
+inline void SyncJoin(uint8_t, uint64_t) {}
+inline void SyncPublish(uint8_t, uint64_t) {}
+
+class OptimisticScope {
+ public:
+  explicit OptimisticScope(const char*) {}
+};
+class NoCallZone {
+ public:
+  explicit NoCallZone(const char*) {}
+};
+class BlockingLockScope {
+ public:
+  BlockingLockScope() {}
+};
+
+#endif  // DSMDB_CHECK_ENABLED
+
+}  // namespace dsmdb::check
+
+#endif  // DSMDB_CHECK_CHECKER_H_

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "check/checker.h"
+
 namespace dsmdb {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -19,6 +21,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Checker edge: work submitted before the task runs happened-before it;
+  // everything tasks published is visible after WaitIdle. One pool-keyed
+  // sync var over-approximates (it also chains unrelated tasks), which is
+  // fine for the pool's loading/worker-loop uses.
+  check::SyncPublish(check::kNsPool, reinterpret_cast<uint64_t>(this));
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(std::move(task));
@@ -29,6 +36,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lk(mu_);
   idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  check::SyncJoin(check::kNsPool, reinterpret_cast<uint64_t>(this));
 }
 
 void ThreadPool::WorkerLoop() {
@@ -42,7 +50,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       active_++;
     }
+    check::SyncJoin(check::kNsPool, reinterpret_cast<uint64_t>(this));
     task();
+    check::SyncPublish(check::kNsPool, reinterpret_cast<uint64_t>(this));
     {
       std::lock_guard<std::mutex> lk(mu_);
       active_--;
@@ -52,12 +62,20 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  // Checker fork/join edges: setup done by the caller happened-before every
+  // branch, and every branch happened-before the code after the join.
+  const uint64_t fork = check::ForkPoint();
   std::vector<std::thread> threads;
   threads.reserve(n);
   for (size_t i = 0; i < n; i++) {
-    threads.emplace_back([&fn, i] { fn(i); });
+    threads.emplace_back([&fn, i, fork] {
+      check::OnThreadStart(fork);
+      fn(i);
+      check::OnThreadFinish(fork);
+    });
   }
   for (auto& t : threads) t.join();
+  check::OnThreadsJoined(fork);
 }
 
 }  // namespace dsmdb

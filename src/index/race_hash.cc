@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check/checker.h"
 #include "common/coding.h"
 #include "common/random.h"
 #include "common/sim_clock.h"
@@ -46,6 +47,10 @@ Status RaceHash::ReadBothBuckets(uint64_t key, char* scratch, uint64_t* b0,
   if (*b1 != *b0) {
     batch.push_back({BucketAddr(*b1), scratch + kBucketBytes, kBucketBytes});
   }
+  // Lock-free scan: every caller re-validates what it saw (Get retries
+  // in-flight slots, Insert re-scans after a lost CAS), so bucket reads
+  // racing a claimer's value fill are part of the protocol.
+  check::OptimisticScope opt("racehash.scan");
   return dsm_->ReadBatch(batch);
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "check/checker.h"
 #include "common/sim_clock.h"
 
 namespace dsmdb::index {
@@ -54,7 +55,12 @@ Result<ShermanBTree::Meta> ShermanBTree::ReadMeta() {
     if (meta_cached_) return cached_meta_;
   }
   char buf[kMetaBytes];
-  DSMDB_RETURN_NOT_OK(dsm_->Read(meta_addr_, buf, kMetaBytes));
+  {
+    // Unlocked snapshot of root/height; stale routing is corrected by the
+    // B-link chase, so this read may race a root grow under the meta lock.
+    check::OptimisticScope opt("btree.meta_read");
+    DSMDB_RETURN_NOT_OK(dsm_->Read(meta_addr_, buf, kMetaBytes));
+  }
   Meta m{DecodeFixed64(buf + 8), DecodeFixed64(buf + 16)};
   SpinLatchGuard g(meta_latch_);
   cached_meta_ = m;
@@ -76,6 +82,12 @@ Status ShermanBTree::WriteMeta(const Meta& meta) {
 Status ShermanBTree::ReadNodeValidated(dsm::GlobalAddress addr,
                                        BTreeNode* node) {
   char buf[kNodeBytes];
+  // Seqlock read: the header/footer version check in Decode() rejects any
+  // torn snapshot, so racing a locked writer is the protocol working as
+  // designed. The node's lock word is a sync var, so reading it inside the
+  // scope still joins the last holder's release (which covers split
+  // publications of fresh siblings).
+  check::OptimisticScope opt("btree.seqlock_read");
   for (uint32_t attempt = 0; attempt < options_.max_read_retries;
        attempt++) {
     DSMDB_RETURN_NOT_OK(dsm_->Read(addr, buf, kNodeBytes));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/checker.h"
 #include "common/sim_clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs_config.h"
@@ -106,6 +107,7 @@ WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
   Result<char*> host = fabric_->Resolve(src, length);
   if (host.ok()) {
     SimMemRead(dst, *host, length);
+    check::OnRemoteRead(*host, length, src.node, src.offset);
     fabric_->ReleaseResolve(src.node);
     cost = m.rtt_ns + m.TransferNs(length);
     VerbStats& st = fabric_->stats(initiator_);
@@ -134,6 +136,7 @@ WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
   Result<char*> host = fabric_->Resolve(dst, length);
   if (host.ok()) {
     SimMemWrite(*host, src, length);
+    check::OnRemoteWrite(*host, length, dst.node, dst.offset);
     fabric_->ReleaseResolve(dst.node);
     cost = m.rtt_ns + m.TransferNs(length);
     VerbStats& st = fabric_->stats(initiator_);
@@ -166,10 +169,9 @@ WrId CompletionQueue::PostCas(RemotePtr addr, uint64_t expected,
   } else {
     Result<char*> host = fabric_->Resolve(addr, 8);
     if (host.ok()) {
-      auto* word = reinterpret_cast<uint64_t*>(*host);
-      prev = expected;
-      __atomic_compare_exchange_n(word, &prev, desired, /*weak=*/false,
-                                  __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
+      prev = SimMemCas(*host, expected, desired);
+      check::OnRemoteCas(*host, addr.node, addr.offset, expected, desired,
+                         prev);
       fabric_->ReleaseResolve(addr.node);
       fabric_->stats(initiator_).cas_ops.fetch_add(1,
                                                    std::memory_order_relaxed);
@@ -200,8 +202,8 @@ WrId CompletionQueue::PostFaa(RemotePtr addr, uint64_t delta) {
   } else {
     Result<char*> host = fabric_->Resolve(addr, 8);
     if (host.ok()) {
-      auto* word = reinterpret_cast<uint64_t*>(*host);
-      prev = __atomic_fetch_add(word, delta, __ATOMIC_ACQ_REL);
+      prev = SimMemFaa(*host, delta);
+      check::OnRemoteFaa(*host, addr.node, addr.offset);
       fabric_->ReleaseResolve(addr.node);
       fabric_->stats(initiator_).faa_ops.fetch_add(1,
                                                    std::memory_order_relaxed);
@@ -244,6 +246,7 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
     }
     handler = ctx->handlers[service];
   }
+  check::OnRpcCall(target, service);
   // Same schedule as Fabric::Call, with `issue` standing in for t0 + post.
   const uint64_t arrival = issue + m.rtt_ns / 2 +
                            m.TransferNs(request.size()) + m.recv_dispatch_ns;
@@ -277,6 +280,7 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
                                   : 0);
     handler_cost = handler(request, response);
   }
+  check::OnRpcReturn(target, service);
   const uint64_t handler_inner_ns = handler_scope.End();
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
   const uint64_t cost =

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "check/checker.h"
 #include "common/sim_clock.h"
 #include "obs/obs_config.h"
 #include "rdma/sim_mem.h"
@@ -157,6 +158,9 @@ Result<uint32_t> Fabric::RegisterMemory(NodeId node, void* base,
   ctx->regions.push_back(Region{static_cast<char*>(base), length});
   const auto rkey = static_cast<uint32_t>(ctx->regions.size() - 1);
   ctx->region_latch.UnlockExclusive();
+  // Host memory handed to the fabric may have been recycled from a torn-
+  // down cluster; drop any checker shadow state left on it.
+  check::OnRegionRegistered(base, length);
   return rkey;
 }
 
@@ -164,6 +168,7 @@ Status Fabric::DeregisterAll(NodeId node) {
   NodeCtx* ctx = GetNode(node);
   if (ctx == nullptr) return Status::InvalidArgument("unknown node");
   ctx->region_latch.LockExclusive();
+  for (const Region& r : ctx->regions) check::OnRegionDropped(r.base, r.length);
   ctx->regions.clear();
   ctx->region_latch.UnlockExclusive();
   return Status::OK();
@@ -200,6 +205,7 @@ Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
   Result<char*> host = Resolve(src, length);
   if (!host.ok()) return host.status();
   SimMemRead(dst, *host, length);
+  check::OnRemoteRead(*host, length, src.node, src.offset);
   ReleaseResolve(src.node);
   const uint64_t cost = model_.OneSidedNs(length);
   SimClock::Advance(cost);
@@ -219,6 +225,7 @@ Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
   Result<char*> host = Resolve(dst, length);
   if (!host.ok()) return host.status();
   SimMemWrite(*host, src, length);
+  check::OnRemoteWrite(*host, length, dst.node, dst.offset);
   ReleaseResolve(dst.node);
   const uint64_t cost = model_.OneSidedNs(length);
   SimClock::Advance(cost);
@@ -239,6 +246,7 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     Result<char*> host = Resolve(op.remote, op.length);
     if (!host.ok()) return host.status();
     SimMemRead(op.local, *host, op.length);
+    check::OnRemoteRead(*host, op.length, op.remote.node, op.remote.offset);
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
@@ -261,6 +269,7 @@ Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     Result<char*> host = Resolve(op.remote, op.length);
     if (!host.ok()) return host.status();
     SimMemWrite(*host, op.local, op.length);
+    check::OnRemoteWrite(*host, op.length, op.remote.node, op.remote.offset);
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
@@ -284,10 +293,8 @@ Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
   }
   Result<char*> host = Resolve(addr, 8);
   if (!host.ok()) return host.status();
-  auto* word = reinterpret_cast<uint64_t*>(*host);
-  uint64_t prev = expected;
-  __atomic_compare_exchange_n(word, &prev, desired, /*weak=*/false,
-                              __ATOMIC_ACQ_REL, __ATOMIC_ACQUIRE);
+  const uint64_t prev = SimMemCas(*host, expected, desired);
+  check::OnRemoteCas(*host, addr.node, addr.offset, expected, desired, prev);
   ReleaseResolve(addr.node);
   const uint64_t cost = model_.AtomicNs();
   SimClock::Advance(cost);
@@ -307,8 +314,8 @@ Result<uint64_t> Fabric::FetchAndAdd(NodeId initiator, RemotePtr addr,
   }
   Result<char*> host = Resolve(addr, 8);
   if (!host.ok()) return host.status();
-  auto* word = reinterpret_cast<uint64_t*>(*host);
-  const uint64_t prev = __atomic_fetch_add(word, delta, __ATOMIC_ACQ_REL);
+  const uint64_t prev = SimMemFaa(*host, delta);
+  check::OnRemoteFaa(*host, addr.node, addr.offset);
   ReleaseResolve(addr.node);
   const uint64_t cost = model_.AtomicNs();
   SimClock::Advance(cost);
@@ -345,6 +352,9 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
     handler = ctx->handlers[service];
   }
   obs::TraceScope span("fabric.rpc", "verb.wire");
+  // Handler execution on the target serializes callers of this service:
+  // join before running the handler, publish after it returns.
+  check::OnRpcCall(target, service);
   const uint64_t t0 = SimClock::Now();
   // Request travels to the target and is dispatched into software.
   const uint64_t arrival = t0 + model_.post_overhead_ns + model_.rtt_ns / 2 +
@@ -368,6 +378,7 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
                                   : 0);
     handler_cost = handler(request, response);
   }
+  check::OnRpcReturn(target, service);
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
   const uint64_t finish =
       done + model_.rtt_ns / 2 + model_.TransferNs(response->size());
@@ -405,6 +416,7 @@ void Fabric::CrashNode(NodeId node) {
   assert(ctx != nullptr);
   ctx->alive.store(false, std::memory_order_release);
   ctx->region_latch.LockExclusive();
+  for (const Region& r : ctx->regions) check::OnRegionDropped(r.base, r.length);
   ctx->regions.clear();
   ctx->region_latch.UnlockExclusive();
 }

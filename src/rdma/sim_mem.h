@@ -64,6 +64,24 @@ inline void SimMemWrite(char* dst, const void* src, size_t n) {
   }
 }
 
+/// The remote side of a simulated CAS verb: returns the previous word
+/// value (callers compare it to `expected` to learn success). Shared by
+/// Fabric::CompareAndSwap and CompletionQueue::PostCas so the checker can
+/// hook one funnel.
+inline uint64_t SimMemCas(char* word, uint64_t expected, uint64_t desired) {
+  uint64_t prev = expected;
+  __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(word), &prev,
+                              desired, /*weak=*/false, __ATOMIC_ACQ_REL,
+                              __ATOMIC_ACQUIRE);
+  return prev;
+}
+
+/// The remote side of a simulated FAA verb: returns the pre-add value.
+inline uint64_t SimMemFaa(char* word, uint64_t delta) {
+  return __atomic_fetch_add(reinterpret_cast<uint64_t*>(word), delta,
+                            __ATOMIC_ACQ_REL);
+}
+
 }  // namespace dsmdb::rdma
 
 #endif  // DSMDB_RDMA_SIM_MEM_H_

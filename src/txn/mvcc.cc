@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "obs/trace.h"
@@ -58,7 +59,13 @@ Status MvccTransaction::Read(const RecordRef& ref, std::string* out) {
     *out = writes_[wit->second].value;
     return Status::OK();
   }
-  // Version word -> newest node; chase until wts <= snapshot.
+  // Version word -> newest node; chase until wts <= snapshot. Snapshot
+  // reads race concurrent installs by design: a committer writes the full
+  // version node before publishing its head pointer (same pipeline, posted
+  // in order), so any node reachable from a head we observe is complete.
+  // The checker cannot see that publication ordering, so the whole remote
+  // read path is an optimistic scope.
+  check::OptimisticScope opt("mvcc.read");
   uint64_t head = 0;
   bool have_inline = false;
   if (mgr_->accessor_->direct() == mgr_->dsm_) {
@@ -156,6 +163,12 @@ Status MvccTransaction::Commit() {
   bool busy = false;
   const uint64_t lock_start = SimClock::Now();
   {
+    // The fused head reads execute whether or not their paired CAS won; a
+    // lost CAS means the read raced the lock holder's install and the
+    // result is discarded (the busy path re-reads under the lock), so
+    // these reads are optimistic to the checker. The CASes themselves are
+    // sync ops and stay fully tracked.
+    check::OptimisticScope opt("mvcc.lock_fused");
     dsm::DsmPipeline pipe(mgr_->dsm_);
     std::vector<rdma::WrId> cas_wr(order.size());
     for (size_t i = 0; i < order.size(); i++) {

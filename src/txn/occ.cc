@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "obs/trace.h"
@@ -46,16 +47,23 @@ Status OccTransaction::Read(const RecordRef& ref, std::string* out) {
   // caught by commit-time validation (version or lock word changed).
   char header[16];
   out->resize(ref.value_size);
-  if (mgr_->accessor_->direct() == mgr_->dsm_) {
-    // Fused: header and value fetched in one overlapped round trip.
-    dsm::DsmPipeline pipe(mgr_->dsm_);
-    pipe.Read(ref.addr, header, sizeof(header));
-    pipe.Read(ref.Value(), out->data(), ref.value_size);
-    DSMDB_RETURN_NOT_OK(pipe.WaitAll());
-  } else {
-    DSMDB_RETURN_NOT_OK(mgr_->dsm_->Read(ref.addr, header, sizeof(header)));
-    DSMDB_RETURN_NOT_OK(
-        mgr_->accessor_->ReadValue(ref.Value(), out->data(), ref.value_size));
+  {
+    // Optimistic by design: commit-time validation re-checks the header,
+    // so these reads are not data accesses to the checker (the header
+    // words are sync vars and still contribute happens-before joins).
+    check::OptimisticScope opt("occ.read");
+    if (mgr_->accessor_->direct() == mgr_->dsm_) {
+      // Fused: header and value fetched in one overlapped round trip.
+      dsm::DsmPipeline pipe(mgr_->dsm_);
+      pipe.Read(ref.addr, header, sizeof(header));
+      pipe.Read(ref.Value(), out->data(), ref.value_size);
+      DSMDB_RETURN_NOT_OK(pipe.WaitAll());
+    } else {
+      DSMDB_RETURN_NOT_OK(
+          mgr_->dsm_->Read(ref.addr, header, sizeof(header)));
+      DSMDB_RETURN_NOT_OK(mgr_->accessor_->ReadValue(
+          ref.Value(), out->data(), ref.value_size));
+    }
   }
   const uint64_t version = DecodeFixed64(header + 8);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "check/checker.h"
 #include "common/sim_clock.h"
 #include "txn/record_format.h"
 
@@ -26,6 +27,10 @@ Status RdmaSpinLock::TryAcquire(dsm::GlobalAddress word, uint64_t ts) {
 
 Status RdmaSpinLock::Acquire(dsm::GlobalAddress word, uint64_t ts,
                              uint32_t max_attempts) {
+  // A spinning acquisition can deadlock (unlike TryAcquire, whose caller
+  // must handle kBusy); lockdep records lock-order edges only for CAS
+  // successes inside this scope.
+  check::BlockingLockScope blocking;
   for (uint32_t attempt = 0; attempt < max_attempts; attempt++) {
     Status s = TryAcquire(word, ts);
     if (!s.IsBusy()) return s;

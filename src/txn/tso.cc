@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "obs/trace.h"
@@ -44,6 +45,12 @@ Status TsoTransaction::Read(const RecordRef& ref, std::string* out) {
     return Status::OK();
   }
   const uint32_t my_ts = static_cast<uint32_t>(ts_);
+  // The value read can race a lock holder's install; the stability
+  // re-check of the header discards any torn result, which the checker
+  // cannot see — so the retry loop's remote reads are an optimistic
+  // scope. Header words are sync vars (lock CAS / rts-bump CAS), so their
+  // reads still contribute happens-before joins inside the scope.
+  check::OptimisticScope opt("tso.read");
   for (uint32_t attempt = 0; attempt < mgr_->options_.lock_max_attempts;
        attempt++) {
     char header[16];

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "check/checker.h"
 #include "common/sim_clock.h"
 #include "obs/trace.h"
 
@@ -141,7 +142,13 @@ Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
     dsm::DsmPipeline pipe(mgr_->dsm_);
     const rdma::WrId cas =
         pipe.Cas(ref.LockWord(), 0, MakeExclusiveLock(ts_));
-    pipe.Read(ref.Value(), out->data(), ref.value_size);
+    {
+      // Speculative fetch: the bytes are used only if the CAS won (QP
+      // order runs the read after the CAS) and re-read otherwise, so the
+      // checker must not book it as a data access.
+      check::OptimisticScope opt("2pl.fused_read");
+      pipe.Read(ref.Value(), out->data(), ref.value_size);
+    }
     DSMDB_RETURN_NOT_OK(pipe.WaitAll());
     Status s = pipe.value(cas) == 0 ? Status::OK() : Status::Busy("locked");
     if (s.IsBusy() &&

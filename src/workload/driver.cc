@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "check/checker.h"
 #include "common/sim_clock.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
@@ -51,9 +52,13 @@ DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
   std::vector<std::thread> threads;
   threads.reserve(total_threads);
 
+  // Checker fork/join edges: table/cluster setup happened-before every
+  // worker, and all worker effects happened-before the aggregation below.
+  const uint64_t fork = check::ForkPoint();
   for (uint32_t t = 0; t < total_threads; t++) {
     core::ComputeNode* node = nodes[t / options.threads_per_node];
     threads.emplace_back([&, t, node] {
+      check::OnThreadStart(fork);
       SimClock::Reset();
       Random64 rng(options.seed * 1'000'003 + t);
       WorkerOut& out = outs[t];
@@ -69,9 +74,11 @@ DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
         obs::FlightRecorder::Instance().MaybeSample(SimClock::Now());
       }
       out.sim_ns = SimClock::Now();
+      check::OnThreadFinish(fork);
     });
   }
   for (auto& th : threads) th.join();
+  check::OnThreadsJoined(fork);
 
   DriverResult result;
   uint64_t max_ns = 0;

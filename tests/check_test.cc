@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "common/coding.h"
+#include "common/sim_clock.h"
+#include "common/thread_pool.h"
+#include "core/table.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "txn/cc_protocol.h"
+#include "txn/data_accessor.h"
+#include "txn/rdma_lock.h"
+
+namespace dsmdb::check {
+namespace {
+
+// Runs in every configuration: the management surface must be callable
+// whether or not the instrumentation was compiled in.
+TEST(CheckerSurfaceTest, SafeInAllBuilds) {
+  if (!Checker::Compiled()) {
+    EXPECT_FALSE(Checker::Enabled());
+    EXPECT_EQ(Checker::ReportCount(), 0u);
+    EXPECT_TRUE(Checker::TakeReports().empty());
+    Checker::Reset();  // must be a no-op, not a crash
+  } else {
+    EXPECT_TRUE(Checker::Enabled());
+  }
+}
+
+/// Everything below exercises the checker against seeded protocol bugs,
+/// so it only makes sense in a -DDSMDB_CHECK=ON build. Reports are
+/// collected (not fatal) and drained between tests.
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Checker::Compiled()) {
+      GTEST_SKIP() << "built without DSMDB_CHECK=ON";
+    }
+    Checker::SetAbortOnReport(false);
+    Checker::Reset();
+  }
+
+  void TearDown() override {
+    if (!Checker::Compiled()) return;
+    (void)Checker::TakeReports();
+    Checker::Reset();
+    Checker::SetAbortOnReport(true);
+  }
+
+  void MakeCluster(uint32_t memory_nodes = 1) {
+    dsm::ClusterOptions opts;
+    opts.num_memory_nodes = memory_nodes;
+    cluster_ = std::make_unique<dsm::Cluster>(opts);
+    client_ = std::make_unique<dsm::DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  dsm::GlobalAddress AllocZeroed(uint64_t bytes) {
+    dsm::GlobalAddress addr = *client_->Alloc(bytes);
+    const std::string zeros(bytes, '\0');
+    EXPECT_TRUE(client_->Write(addr, zeros.data(), bytes).ok());
+    return addr;
+  }
+
+  std::unique_ptr<dsm::Cluster> cluster_;
+  std::unique_ptr<dsm::DsmClient> client_;
+};
+
+// Seeded bug #1: a reader that skips the record lock. The writer mutates
+// the value word under an RdmaSpinLock; the reader goes straight to the
+// word with a one-sided READ. Real TSan sees nothing (sim_mem is
+// word-atomic); the protocol checker must flag the pair — under either
+// interleaving, since neither side's clock ever covers the other.
+TEST_F(CheckTest, DetectsUnlockedReaderAgainstLockedWriter) {
+  MakeCluster();
+  const dsm::GlobalAddress record = AllocZeroed(24);
+  const dsm::GlobalAddress lock_word = record;
+  const dsm::GlobalAddress value_word = record.Plus(16);
+  txn::RdmaSpinLock lock(client_.get());
+
+  ParallelFor(2, [&](size_t t) {
+    SimClock::Reset();
+    if (t == 0) {
+      ASSERT_TRUE(lock.Acquire(lock_word, 1).ok());
+      const uint64_t v = 42;
+      ASSERT_TRUE(client_->Write(value_word, &v, 8).ok());
+      ASSERT_TRUE(lock.Release(lock_word, 1).ok());
+    } else {
+      // BUG (seeded): reads the protected value without the lock.
+      uint64_t v = 0;
+      ASSERT_TRUE(client_->Read(value_word, &v, 8).ok());
+    }
+  });
+
+  std::vector<Report> reports = Checker::TakeReports();
+  ASSERT_EQ(reports.size(), 1u) << "expected exactly the seeded race";
+  const Report& r = reports[0];
+  EXPECT_EQ(r.kind, ReportKind::kDataRace);
+  // The report must carry both sides of the access pair, actionably.
+  EXPECT_NE(r.first.tid, r.second.tid);
+  EXPECT_TRUE(r.first.is_write || r.second.is_write);
+  EXPECT_NE(r.message.find("protocol data race"), std::string::npos);
+  EXPECT_NE(r.message.find("span"), std::string::npos);
+}
+
+// Seeded bug #2: AB/BA blocking-lock acquisition. The lock-order graph is
+// global, so the inversion is caught even when the two orders never
+// overlap in time — lockdep's whole point.
+TEST_F(CheckTest, DetectsLockOrderInversion) {
+  MakeCluster();
+  const dsm::GlobalAddress a = AllocZeroed(8);
+  const dsm::GlobalAddress b = AllocZeroed(8);
+  txn::RdmaSpinLock lock(client_.get());
+
+  ASSERT_TRUE(lock.Acquire(a, 1).ok());
+  ASSERT_TRUE(lock.Acquire(b, 1).ok());  // graph learns a -> b
+  ASSERT_TRUE(lock.Release(b, 1).ok());
+  ASSERT_TRUE(lock.Release(a, 1).ok());
+  EXPECT_EQ(Checker::ReportCount(), 0u);
+
+  // BUG (seeded): the reverse order on the same two words.
+  ASSERT_TRUE(lock.Acquire(b, 2).ok());
+  ASSERT_TRUE(lock.Acquire(a, 2).ok());  // b -> a closes the cycle
+  ASSERT_TRUE(lock.Release(a, 2).ok());
+  ASSERT_TRUE(lock.Release(b, 2).ok());
+
+  std::vector<Report> reports = Checker::TakeReports();
+  ASSERT_EQ(reports.size(), 1u) << "expected exactly the seeded inversion";
+  EXPECT_EQ(reports[0].kind, ReportKind::kLockCycle);
+  EXPECT_NE(reports[0].message.find("lock-order inversion"),
+            std::string::npos);
+  EXPECT_NE(reports[0].message.find("->"), std::string::npos);
+}
+
+// Try-locks never create lock-order edges: AB/BA with TryAcquire is a
+// legal no-wait pattern (the loser aborts instead of blocking).
+TEST_F(CheckTest, TryLocksDoNotFeedLockdep) {
+  MakeCluster();
+  const dsm::GlobalAddress a = AllocZeroed(8);
+  const dsm::GlobalAddress b = AllocZeroed(8);
+  txn::RdmaSpinLock lock(client_.get());
+
+  ASSERT_TRUE(lock.TryAcquire(a, 1).ok());
+  ASSERT_TRUE(lock.TryAcquire(b, 1).ok());
+  ASSERT_TRUE(lock.Release(b, 1).ok());
+  ASSERT_TRUE(lock.Release(a, 1).ok());
+  ASSERT_TRUE(lock.TryAcquire(b, 2).ok());
+  ASSERT_TRUE(lock.TryAcquire(a, 2).ok());
+  ASSERT_TRUE(lock.Release(a, 2).ok());
+  ASSERT_TRUE(lock.Release(b, 2).ok());
+
+  EXPECT_EQ(Checker::ReportCount(), 0u);
+}
+
+// The hold-while-posting-verb lint: a two-sided call from inside a
+// latched section is flagged (a peer's handler may call back in and
+// self-deadlock); one-sided verbs in the same zone are fine.
+TEST_F(CheckTest, FlagsTwoSidedCallInNoCallZone) {
+  MakeCluster();
+  const dsm::GlobalAddress word = AllocZeroed(8);
+  {
+    NoCallZone zone("check_test.zone");
+    uint64_t v = 0;
+    ASSERT_TRUE(client_->Read(word, &v, 8).ok());  // one-sided: allowed
+    EXPECT_EQ(Checker::ReportCount(), 0u);
+    (void)client_->Alloc(64);  // two-sided kSvcAlloc: flagged
+  }
+  std::vector<Report> reports = Checker::TakeReports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ReportKind::kCallInNoCallZone);
+  EXPECT_NE(reports[0].message.find("check_test.zone"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// False-positive guard: all six CC protocols run a contended read-modify-
+// write workload under the checker and must stay silent. This is the
+// regression net for the happens-before model in DESIGN.md §7.
+// ---------------------------------------------------------------------------
+
+struct ProtocolCase {
+  const char* name;
+  txn::CcOptions cc;
+};
+
+std::vector<ProtocolCase> AllProtocolCases() {
+  std::vector<ProtocolCase> cases;
+  {
+    txn::CcOptions cc;
+    cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+    cases.push_back({"TwoPlNoWait", cc});
+  }
+  {
+    txn::CcOptions cc;
+    cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+    cc.lock_mode = txn::TwoPlLockMode::kSharedExclusive;
+    cases.push_back({"TwoPlNoWaitSharedExclusive", cc});
+  }
+  {
+    txn::CcOptions cc;
+    cc.protocol = txn::CcProtocolKind::kTwoPlWaitDie;
+    cases.push_back({"TwoPlWaitDie", cc});
+  }
+  {
+    txn::CcOptions cc;
+    cc.protocol = txn::CcProtocolKind::kOcc;
+    cases.push_back({"Occ", cc});
+  }
+  {
+    txn::CcOptions cc;
+    cc.protocol = txn::CcProtocolKind::kTso;
+    cases.push_back({"Tso", cc});
+  }
+  {
+    txn::CcOptions cc;
+    cc.protocol = txn::CcProtocolKind::kMvcc;
+    cases.push_back({"MvccSi", cc});
+  }
+  return cases;
+}
+
+TEST_F(CheckTest, AllProtocolsRunCleanUnderChecker) {
+  constexpr uint32_t kValueSize = 16;
+  constexpr uint64_t kNumKeys = 16;
+  constexpr size_t kThreads = 4;
+  constexpr int kTxnsPerThread = 40;
+
+  for (const ProtocolCase& pc : AllProtocolCases()) {
+    SCOPED_TRACE(pc.name);
+    {
+      MakeCluster(2);
+      txn::DirectAccessor accessor(client_.get());
+      txn::TimestampOracle oracle(client_.get(), txn::OracleMode::kRdmaFaa,
+                                  txn::TimestampOracle::DefaultCounter());
+      core::Table table(
+          *core::Table::Create(client_.get(), 0, {kValueSize, kNumKeys}));
+      txn::NoopLogSink sink;
+      std::unique_ptr<txn::CcManager> manager = txn::MakeCcManager(
+          pc.cc, client_.get(), &accessor, &oracle, &sink);
+
+      ParallelFor(kThreads, [&](size_t t) {
+        SimClock::Reset();
+        for (int i = 0; i < kTxnsPerThread; i++) {
+          const uint64_t k1 = (t * 7 + static_cast<uint64_t>(i)) % kNumKeys;
+          const uint64_t k2 =
+              (t * 3 + static_cast<uint64_t>(i) * 5 + 1) % kNumKeys;
+          for (int attempt = 0; attempt < 10'000; attempt++) {
+            Result<std::unique_ptr<txn::Transaction>> txn =
+                manager->Begin();
+            ASSERT_TRUE(txn.ok());
+            std::string v;
+            Status s = (*txn)->Read(table.RefFor(k1), &v);
+            if (s.IsAborted()) continue;
+            ASSERT_TRUE(s.ok()) << s;
+            std::string next(kValueSize, '\0');
+            EncodeFixed64(next.data(), DecodeFixed64(v.data()) + 1);
+            s = (*txn)->Write(table.RefFor(k2), next);
+            if (s.IsAborted()) continue;
+            ASSERT_TRUE(s.ok()) << s;
+            s = (*txn)->Commit();
+            if (s.IsAborted()) continue;
+            ASSERT_TRUE(s.ok()) << s;
+            break;
+          }
+        }
+      });
+
+      std::vector<Report> reports = Checker::TakeReports();
+      std::string first = reports.empty() ? "" : reports[0].message;
+      EXPECT_EQ(reports.size(), 0u) << "first report:\n" << first;
+    }
+    // The cluster is gone; drop shadow/lock state before the next
+    // protocol reuses the same host addresses.
+    Checker::Reset();
+  }
+}
+
+}  // namespace
+}  // namespace dsmdb::check

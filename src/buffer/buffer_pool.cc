@@ -157,10 +157,10 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
     DSMDB_RETURN_NOT_OK(dsm_->Read(page, frame.data.data(),
                                    options_.page_size));
   }
-  coherence_->OnCacheInsert(page);
 
   OverheadTimer timer(options_.charge_policy_overhead);
   Evicted evicted;
+  bool inserted = false;
   {
     check::NoCallZone zone("buffer.read.insert");
     shard.latch.Lock();
@@ -168,18 +168,24 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
     if (it == shard.pages.end()) {
       auto victim = shard.policy->OnInsert(key);
       it = shard.pages.emplace(key, std::move(frame)).first;
+      inserted = true;
       if (victim.has_value() && *victim != key) {
-        evicted = ExtractLocked(shard, *victim);
+        evicted = EvictLocked(shard, *victim);
         it = shard.pages.find(key);  // rehash may have moved it
       }
     }
     std::memcpy(out, it->second.data.data() + off, len);
     shard.latch.Unlock();
   }
-  // Writeback + coherence notification run after the latch is dropped —
-  // OnCacheEvict posts a two-sided call, and a handler on the peer may
-  // call back into a pool (see the class invariant in buffer_pool.h).
-  FinishEviction(std::move(evicted));
+  // Register as a sharer only after our frame is visible in the shard (and
+  // only if we won the insert race — the winner registers its own copy).
+  // Paired with FinishEviction's recheck this closes the evict-vs-refill
+  // window: either our insert is visible to the evictor's recheck, or our
+  // registration is ordered after its deregistration. Runs latch-free —
+  // it posts a two-sided call, and a handler on the peer may call back
+  // into a pool (see the class invariant in buffer_pool.h).
+  if (inserted) coherence_->OnCacheInsert(page);
+  FinishEviction(shard, evicted);
   const uint64_t meta_ns = timer.StopNs();
   policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
   SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
@@ -248,30 +254,50 @@ Status BufferPool::WriteChunk(dsm::GlobalAddress addr, const void* src,
   return Status::OK();
 }
 
-BufferPool::Evicted BufferPool::ExtractLocked(Shard& shard,
-                                              uint64_t victim_key) {
+BufferPool::Evicted BufferPool::EvictLocked(Shard& shard,
+                                            uint64_t victim_key) {
   Evicted out;
   auto it = shard.pages.find(victim_key);
   if (it == shard.pages.end()) return out;
   out.page = dsm::GlobalAddress::Unpack(victim_key);
-  out.frame = std::move(it->second);
-  out.valid = true;
+  if (it->second.dirty) {
+    // The write-back must complete before the erase becomes visible:
+    // once the victim leaves the shard, a concurrent miss refills from
+    // home memory and would cache pre-writeback bytes (stale reads, and
+    // the refilled frame is clean so the lost update is never repaired).
+    // It is a one-sided write, so it is legal inside the NoCallZone;
+    // page-granular write-back is coherence-managed IO, not a protocol
+    // data access — exclude it from race tracking like the miss fill.
+    check::OptimisticScope opt("buffer.writeback");
+    (void)dsm_->Write(out.page, it->second.data.data(),
+                      it->second.data.size());
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
+  }
   shard.pages.erase(it);
+  out.valid = true;
   return out;
 }
 
-void BufferPool::FinishEviction(Evicted evicted) {
+void BufferPool::FinishEviction(Shard& shard, Evicted evicted) {
   if (!evicted.valid) return;
-  if (evicted.frame.dirty) {
-    // Page-granular write-back is coherence-managed IO, not a protocol
-    // data access — exclude it from race tracking like the miss fill.
-    check::OptimisticScope opt("buffer.writeback");
-    (void)dsm_->Write(evicted.page, evicted.frame.data.data(),
-                      evicted.frame.data.size());
-    writebacks_.fetch_add(1, std::memory_order_relaxed);
-  }
   evictions_.fetch_add(1, std::memory_order_relaxed);
   coherence_->OnCacheEvict(evicted.page);
+  // A concurrent miss may have re-cached the victim and registered with
+  // the directory before the OnCacheEvict above, which then deregistered
+  // a live copy — future invalidations would skip this node and the copy
+  // would go permanently stale. Recheck under the latch (presence at this
+  // instant is exact) and re-register; a fill that inserts after this
+  // recheck registers itself after our OnCacheEvict, so every stable
+  // cached copy ends up registered. Spurious registration (the rechecked
+  // copy got evicted again meanwhile) is benign: invalidating an absent
+  // page is a no-op.
+  bool recached = false;
+  {
+    check::NoCallZone zone("buffer.evict.recheck");
+    SpinLatchGuard g(shard.latch);
+    recached = shard.pages.find(evicted.page.Pack()) != shard.pages.end();
+  }
+  if (recached) coherence_->OnCacheInsert(evicted.page);
 }
 
 Status BufferPool::FlushAll() {

@@ -128,12 +128,11 @@ class BufferPool {
     return shards_[(key * 0x9E3779B97F4A7C15ULL >> 32) % shards_.size()];
   }
 
-  /// A page pulled out of its shard, pending writeback + coherence
-  /// notification (both run with no latch held — OnCacheEvict posts a
-  /// two-sided call, which must never happen under a shard latch).
+  /// A page evicted from its shard, pending the coherence notification
+  /// (which runs with no latch held — OnCacheEvict posts a two-sided
+  /// call, which must never happen under a shard latch).
   struct Evicted {
     dsm::GlobalAddress page;
-    Frame frame;
     bool valid = false;
   };
 
@@ -141,10 +140,12 @@ class BufferPool {
   Status ReadChunk(dsm::GlobalAddress addr, void* out, size_t len);
   Status WriteChunk(dsm::GlobalAddress addr, const void* src, size_t len);
 
-  /// Detaches `victim_key` from `shard` (latch held); no IO.
-  Evicted ExtractLocked(Shard& shard, uint64_t victim_key);
-  /// Writeback + OnCacheEvict for an extracted page (latch NOT held).
-  void FinishEviction(Evicted evicted);
+  /// Writes back `victim_key` if dirty (one-sided, before the erase is
+  /// visible) and removes it from `shard` (latch held).
+  Evicted EvictLocked(Shard& shard, uint64_t victim_key);
+  /// OnCacheEvict for an evicted page, then re-registers if a concurrent
+  /// miss re-cached it (latch NOT held on entry; retaken for the recheck).
+  void FinishEviction(Shard& shard, Evicted evicted);
 
   dsm::DsmClient* dsm_;
   BufferPoolOptions options_;

@@ -397,7 +397,11 @@ void OnRemoteRead(const void* host, size_t len, uint32_t node,
       return;
     }
     if (me.optimistic_depth > 0) return;
-    AccessInfo info = MakeInfo(me, false, "READ", node, offset + word_idx * 8);
+    // Offsets are reported relative to the host-word-aligned base so two
+    // accesses to the same host word print the same node/offset even when
+    // the requests' region offsets are not 8-aligned.
+    AccessInfo info =
+        MakeInfo(me, false, "READ", node, (offset & ~7ULL) + word_idx * 8);
     if (!w.reported && w.has_write && w.last_write.tid != me.tid &&
         !HappensBefore(w.last_write, me)) {
       w.reported = true;
@@ -451,7 +455,7 @@ void OnRemoteWrite(const void* host, size_t len, uint32_t node,
     }
     if (me.optimistic_depth > 0) return;
     AccessInfo info =
-        MakeInfo(me, true, "WRITE", node, offset + word_idx * 8);
+        MakeInfo(me, true, "WRITE", node, (offset & ~7ULL) + word_idx * 8);
     if (!w.reported) {
       if (w.has_write && w.last_write.tid != me.tid &&
           !HappensBefore(w.last_write, me)) {
@@ -523,9 +527,12 @@ void OnRpcCall(uint32_t target, uint32_t service) {
   if (!On()) return;
   ThreadState& me = Self();
   if (me.nocall_depth > 0) {
-    const char* where = me.nocall_where[me.nocall_depth < 8
-                                            ? me.nocall_depth - 1
-                                            : 7];
+    // Labels are recorded only for the first 8 nesting levels; beyond that
+    // the innermost zone's label was never stored, so report a sentinel
+    // rather than the stale/outer label at slot 7.
+    const char* where = me.nocall_depth <= 8
+                            ? me.nocall_where[me.nocall_depth - 1]
+                            : "<nocall zones nested deeper than 8>";
     char line[256];
     std::snprintf(line, sizeof(line),
                   "==DSMDB-CHECK== two-sided call posted inside no-call zone "

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -126,6 +127,46 @@ TEST_F(BufferPoolTest, WriteBackFlushesDirtyPagesOnEviction) {
   ASSERT_TRUE(client_->Read(addrs[0], &remote, 8).ok());
   EXPECT_EQ(remote, 99u);
   EXPECT_GE(pool.Snapshot().writebacks, 1u);
+}
+
+// Regression: the dirty write-back must land before the victim's erase
+// becomes visible. If the erase went first, a concurrent miss could refill
+// the page from home memory with pre-writeback bytes — the reader would
+// observe an older value than it already saw, and because the refilled
+// frame is clean the lost update would never be repaired.
+TEST_F(BufferPoolTest, WriteBackEvictionNeverServesStaleRefill) {
+  BufferPoolOptions opts = SmallPool(1);  // every miss evicts
+  opts.write_through = false;
+  BufferPool pool(client_.get(), opts);
+  const dsm::GlobalAddress hot = *client_->Alloc(4096, 0);
+  const dsm::GlobalAddress churn = *client_->Alloc(4096, 0);
+
+  constexpr uint64_t kIters = 500;
+  std::thread writer([&] {
+    uint64_t scratch;
+    for (uint64_t i = 1; i <= kIters; i++) {
+      // Cache the page, dirty it, then force its eviction.
+      EXPECT_TRUE(pool.Read(hot, &scratch, 8).ok());
+      EXPECT_TRUE(pool.Write(hot, &i, 8).ok());
+      EXPECT_TRUE(pool.Read(churn, &scratch, 8).ok());
+    }
+  });
+  std::thread reader([&] {
+    uint64_t last = 0;
+    for (uint64_t i = 0; i < kIters; i++) {
+      uint64_t v = 0;
+      EXPECT_TRUE(pool.Read(hot, &v, 8).ok());
+      EXPECT_GE(v, last) << "refill served pre-writeback bytes";
+      last = v;
+    }
+  });
+  writer.join();
+  reader.join();
+
+  ASSERT_TRUE(pool.FlushAll().ok());
+  uint64_t remote = 0;
+  ASSERT_TRUE(client_->Read(hot, &remote, 8).ok());
+  EXPECT_EQ(remote, kIters);
 }
 
 TEST_F(BufferPoolTest, FlushAllWritesDirtyPages) {

@@ -176,6 +176,53 @@ TEST_F(CheckTest, FlagsTwoSidedCallInNoCallZone) {
   EXPECT_NE(reports[0].message.find("check_test.zone"), std::string::npos);
 }
 
+// Race reports name the host-word-aligned offset: two conflicting accesses
+// whose request offsets are not 8-aligned must still print the same
+// aligned node/offset for the word they collided on.
+TEST_F(CheckTest, RaceReportsUseWordAlignedOffsets) {
+  MakeCluster();
+  const dsm::GlobalAddress rec = AllocZeroed(16);
+
+  ParallelFor(2, [&](size_t t) {
+    SimClock::Reset();
+    if (t == 0) {
+      const uint64_t v = 7;
+      ASSERT_TRUE(client_->Write(rec.Plus(4), &v, 8).ok());
+    } else {
+      uint64_t v = 0;
+      ASSERT_TRUE(client_->Read(rec.Plus(2), &v, 8).ok());
+    }
+  });
+
+  std::vector<Report> reports = Checker::TakeReports();
+  ASSERT_GE(reports.size(), 1u) << "expected the seeded unaligned race";
+  for (const Report& r : reports) {
+    EXPECT_EQ(r.kind, ReportKind::kDataRace);
+    EXPECT_EQ(r.first.offset % 8, 0u);
+    EXPECT_EQ(r.first.offset, r.second.offset)
+        << "both sides must report the aligned host word they collided on";
+  }
+}
+
+// Labels are recorded for the first 8 NoCallZone levels only; a call at
+// depth 9+ must report a sentinel, not an outer zone's (or stale) label.
+TEST_F(CheckTest, DeepNoCallNestingReportsSentinel) {
+  MakeCluster();
+  std::vector<std::unique_ptr<NoCallZone>> zones;
+  for (int i = 0; i < 9; i++) {
+    zones.push_back(std::make_unique<NoCallZone>("check_test.outer"));
+  }
+  (void)client_->Alloc(64);  // two-sided kSvcAlloc: flagged at depth 9
+  zones.clear();
+
+  std::vector<Report> reports = Checker::TakeReports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, ReportKind::kCallInNoCallZone);
+  EXPECT_EQ(reports[0].message.find("check_test.outer"), std::string::npos)
+      << "must not attribute the call to a non-innermost zone";
+  EXPECT_NE(reports[0].message.find("nested deeper"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // False-positive guard: all six CC protocols run a contended read-modify-
 // write workload under the checker and must stay silent. This is the

@@ -163,6 +163,70 @@ TEST_P(CoherenceTest, ConcurrentWritersConverge) {
   EXPECT_EQ(out, 100u);
 }
 
+// Regression: an eviction's deferred OnCacheEvict races a concurrent miss
+// re-caching the same page. If the miss's directory registration lands
+// before the evictor's deregistration, the refilled copy must still end up
+// registered — otherwise later writers' notifications skip this node and
+// its cached page goes permanently stale.
+TEST_P(CoherenceTest, EvictRefillRaceKeepsSharerRegistered) {
+  // One-page pool on node 1 so every read of the second page evicts the
+  // first; its invalidation handler must route to this pool.
+  BufferPoolOptions small;
+  small.capacity_bytes = 4096;
+  small.page_size = 4096;
+  small.shards = 1;
+  small.charge_policy_overhead = false;
+  BufferPool tiny(nodes_[1]->client.get(), small,
+                  nodes_[1]->coherence.get());
+  BufferPool* tptr = &tiny;
+  cluster_->fabric().RegisterRpcHandler(
+      nodes_[1]->client->self(), dsm::kSvcInvalidate,
+      [tptr](std::string_view req, std::string* resp) -> uint64_t {
+        (void)resp;
+        return tptr->HandleCoherenceRpc(req);
+      });
+  const dsm::GlobalAddress churn = *nodes_[0]->client->Alloc(4096, 0);
+
+  constexpr int kRounds = 30;
+  constexpr int kOpsPerRound = 25;
+  for (int r = 0; r < kRounds; r++) {
+    std::thread evictor([&] {
+      uint64_t out;
+      for (int i = 0; i < kOpsPerRound; i++) {
+        EXPECT_TRUE(tiny.Read(churn, &out, 8).ok());
+        EXPECT_TRUE(tiny.Read(addr_, &out, 8).ok());
+      }
+    });
+    std::thread refiller([&] {
+      uint64_t out;
+      for (int i = 0; i < kOpsPerRound; i++) {
+        EXPECT_TRUE(tiny.Read(addr_, &out, 8).ok());
+      }
+    });
+    std::thread writer([&, r] {
+      for (int i = 0; i < kOpsPerRound; i++) {
+        const uint64_t v =
+            static_cast<uint64_t>(r) * kOpsPerRound + i + 1;
+        EXPECT_TRUE(nodes_[0]->pool->Write(addr_, &v, 8).ok());
+      }
+    });
+    evictor.join();
+    refiller.join();
+    writer.join();
+
+    // Quiesced: this write's notification must reach node 1's copy (drop
+    // or patch it); a deregistered-but-cached copy would keep serving the
+    // old value forever.
+    const uint64_t sentinel = 1000000u + static_cast<uint64_t>(r);
+    ASSERT_TRUE(nodes_[0]->pool->Write(addr_, &sentinel, 8).ok());
+    uint64_t out = 0;
+    ASSERT_TRUE(tiny.Read(addr_, &out, 8).ok());
+    ASSERT_EQ(out, sentinel)
+        << "cached page went stale after the evict/refill race (round " << r
+        << ")";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(InvalidateAndUpdate, CoherenceTest,
                          ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {

@@ -108,6 +108,7 @@ void RunOne(Table* out, obs::StatsExporter* exporter,
 
 int main(int argc, char** argv) {
   dsmdb::bench::BenchEnv env(argc, argv);
+  env.SetSeed(dsmdb::workload::DriverOptions{}.seed);
   Section(
       "E11: distributed commit — single-node commit (no sharding) vs "
       "2PC (sharded), SmallBank transfers, 4 compute nodes x 2 threads");

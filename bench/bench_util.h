@@ -1,13 +1,18 @@
 #ifndef DSMDB_BENCH_BENCH_UTIL_H_
 #define DSMDB_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/heat_map.h"
+#include "obs/live_monitor.h"
 #include "obs/obs_config.h"
+#include "obs/skew_monitor.h"
 #include "obs/stats_exporter.h"
 #include "obs/trace.h"
 
@@ -26,6 +31,12 @@ namespace dsmdb::bench {
 ///                   to <file> at exit (open in chrome://tracing/Perfetto).
 ///   --stats=<file>  write the stats JSON to <file> instead of the
 ///                   STATS_JSON stdout line.
+///   --heat          enable the heat observatory (per-shard access heat +
+///                   hot-key sketch + skew monitor; heat section in the
+///                   stats JSON).
+///   --monitor[=ns]  live per-interval workload table on stdout (implies
+///                   --heat); optional sampling interval in simulated ns
+///                   (default 200000).
 ///
 /// At exit (metrics on) prints one machine-readable JSON block tagged
 /// `STATS_JSON` merging every layer's histograms and counters (or writes
@@ -35,6 +46,9 @@ class BenchEnv {
  public:
   BenchEnv(int argc, char** argv) {
     bool metrics = true;
+    bool heat = false;
+    bool monitor = false;
+    uint64_t monitor_interval_ns = 200'000;
     for (int i = 1; i < argc; i++) {
       const std::string arg = argv[i];
       if (arg == "--obs=off") {
@@ -43,26 +57,91 @@ class BenchEnv {
         trace_path_ = arg.substr(8);
       } else if (arg.rfind("--stats=", 0) == 0) {
         stats_path_ = arg.substr(8);
+      } else if (arg == "--heat") {
+        heat = true;
+      } else if (arg == "--monitor" || arg.rfind("--monitor=", 0) == 0) {
+        heat = true;
+        monitor = true;
+        if (arg.size() > 10 && arg[9] == '=') {
+          const uint64_t ns = std::strtoull(arg.c_str() + 10, nullptr, 10);
+          if (ns > 0) monitor_interval_ns = ns;
+        }
       } else {
         std::fprintf(stderr,
                      "%s: unknown flag %s (supported: --obs=off "
-                     "--trace=<file> --stats=<file>)\n",
+                     "--trace=<file> --stats=<file> --heat "
+                     "--monitor[=interval_ns])\n",
                      argv[0], arg.c_str());
       }
     }
     obs::ObsConfig::SetEnabled(metrics);
     if (!trace_path_.empty()) obs::ObsConfig::SetTracing(true);
+    if (heat) {
+      heat_ = true;
+      obs::HeatMap::Instance().Configure(obs::HeatOptions{});
+      obs::SkewMonitorOptions skew;
+      skew.interval_ns = monitor_interval_ns;
+      obs::SkewMonitor::Instance().Configure(skew);
+      if (monitor) obs::LiveMonitor::Instance().Attach({});
+      // Dimensional congestion curves: the hottest heat shards become
+      // labeled flight-recorder series (heat.shard{<idx>}).
+      heat_family_ = obs::FlightRecorder::Instance().RegisterGaugeFamily(
+          "heat.shard",
+          [](uint64_t,
+             std::vector<std::pair<std::string, double>>* out) {
+            const obs::HeatSnapshot snap =
+                obs::HeatMap::Instance().Snapshot(/*top_k=*/1);
+            std::vector<std::pair<double, size_t>> by_heat;
+            for (size_t s = 0; s < snap.shard_heat.size(); s++) {
+              const auto& h = snap.shard_heat[s];
+              const double heat_s =
+                  h[static_cast<size_t>(obs::HeatKind::kRead)] +
+                  h[static_cast<size_t>(obs::HeatKind::kWrite)] +
+                  h[static_cast<size_t>(obs::HeatKind::kAtomic)];
+              if (heat_s > 0) by_heat.emplace_back(heat_s, s);
+            }
+            std::sort(by_heat.rbegin(), by_heat.rend());
+            if (by_heat.size() > 8) by_heat.resize(8);
+            for (const auto& [heat_s, s] : by_heat) {
+              out->emplace_back(std::to_string(s), heat_s);
+            }
+          });
+    }
   }
 
   /// Merge additional per-bench results (e.g. DriverResult::ExportTo) into
   /// the final STATS_JSON block.
   obs::StatsExporter& exporter() { return exporter_; }
 
+  /// Stamp the driver seed into the report's `meta` section (call from the
+  /// bench once its DriverOptions are known).
+  void SetSeed(uint64_t seed) { seed_ = seed; }
+
   ~BenchEnv() {
+    if (heat_) {
+      // Final interval flush so short runs still get one skew sample, then
+      // freeze recording before teardown.
+      obs::SkewMonitor::Instance().ForceSample(
+          obs::SkewMonitor::Instance().Latest().t_ns +
+          obs::SkewMonitor::Instance().options().interval_ns);
+      obs::LiveMonitor::Instance().Detach();
+      heat_family_.Release();
+      obs::HeatMap::SetEnabled(false);
+      obs::SkewMonitor::SetEnabled(false);
+    }
     if (obs::ObsConfig::Enabled()) {
       exporter_.CollectGlobal();
+      exporter_.StampRunMeta(seed_);
       const obs::FlightRecorder& fr = obs::FlightRecorder::Instance();
       if (fr.total_samples() > 0) exporter_.AddTimeseries(fr.Snapshot());
+      if (heat_) {
+        exporter_.AddHeat(obs::HeatMap::Instance().Snapshot(),
+                          obs::SkewMonitor::Instance().Latest());
+        exporter_.AddCounter("heat.unresolved",
+                             obs::HeatMap::Instance().unresolved());
+        exporter_.AddCounter("heat.skew_shifts",
+                             obs::SkewMonitor::Instance().shift_count());
+      }
       const std::string json = exporter_.ToJson();
       if (!stats_path_.empty()) {
         std::FILE* f = std::fopen(stats_path_.c_str(), "w");
@@ -99,6 +178,9 @@ class BenchEnv {
   std::string trace_path_;
   std::string stats_path_;
   obs::StatsExporter exporter_;
+  bool heat_ = false;
+  uint64_t seed_ = 0;
+  obs::FlightRecorder::Token heat_family_;
 };
 
 /// printf-style std::string.

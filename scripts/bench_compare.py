@@ -8,11 +8,16 @@ by more than the regression threshold (default 10%). Histograms with fewer
 than --min-count samples on either side are skipped: a p50 over a handful
 of aborted attempts is scheduling noise, not a regression signal.
 
+A markdown summary table is written next to the candidate JSON
+(``<candidate>.compare.md``) so CI runs are reviewable without re-running
+locally; disable with --no-markdown.
+
 Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json
-       [--threshold=0.10] [--min-count=100]
+       [--threshold=0.10] [--min-count=100] [--no-markdown]
 """
 
 import json
+import os
 import sys
 
 THROUGHPUT_SUFFIX = ".throughput_tps"
@@ -45,15 +50,47 @@ def walk(stats, min_count):
                     yield f"{bench}:{name}:p50", float(p50), "p50"
 
 
+def write_markdown(path, base_path, cand_path, threshold, rows,
+                   regressions):
+    """Emits the comparison as a reviewable markdown table."""
+    lines = [
+        "# Bench comparison",
+        "",
+        f"- baseline: `{base_path}`",
+        f"- candidate: `{cand_path}`",
+        f"- threshold: {threshold:.0%}",
+        f"- verdict: {'**FAIL**' if regressions else 'OK'}",
+        "",
+        "| metric | kind | base | candidate | delta | status |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for key, kind, b, c, delta, regressed in rows:
+        status = "**REGRESSION**" if regressed else ""
+        lines.append(f"| `{key}` | {kind} | {b:.1f} | {c:.1f} "
+                     f"| {delta:+.1%} | {status} |")
+    if regressions:
+        lines += ["", "## Regressed metrics", ""]
+        for key, kind, b, c, delta in regressions:
+            direction = "dropped" if kind == "tput" else "rose"
+            lines.append(f"- `{key}` ({kind}) {direction} {abs(delta):.1%}: "
+                         f"{b:.1f} -> {c:.1f} (gate: {threshold:.0%})")
+    lines.append("")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+
+
 def main(argv):
     threshold = 0.10
     min_count = 100
+    markdown = True
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--min-count="):
             min_count = float(arg.split("=", 1)[1])
+        elif arg == "--no-markdown":
+            markdown = False
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -71,6 +108,7 @@ def main(argv):
         return 2
 
     regressions = []
+    rows = []
     width = max(len(k) for k in shared)
     print(f"comparing {paths[0]} (base) -> {paths[1]} (candidate), "
           f"threshold {threshold:.0%}\n")
@@ -86,8 +124,9 @@ def main(argv):
         flag = "  REGRESSION" if regressed else ""
         print(f"  {key:<{width}}  {b:>14.1f} -> {c:>14.1f}  "
               f"{delta:+7.1%}{flag}")
+        rows.append((key, kind, b, c, delta, regressed))
         if regressed:
-            regressions.append((key, delta))
+            regressions.append((key, kind, b, c, delta))
 
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
@@ -96,11 +135,20 @@ def main(argv):
     if only_cand:
         print(f"  ({len(only_cand)} metrics only in candidate, ignored)")
 
+    if markdown:
+        md_path = os.path.splitext(paths[1])[0] + ".compare.md"
+        write_markdown(md_path, paths[0], paths[1], threshold, rows,
+                       regressions)
+        print(f"\nmarkdown summary: {md_path}")
+
     if regressions:
         print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
               f"{threshold:.0%}:")
-        for key, delta in regressions:
-            print(f"  {key}  {delta:+.1%}")
+        for key, kind, b, c, delta in regressions:
+            direction = ("throughput dropped" if kind == "tput"
+                         else "p50 latency rose")
+            print(f"  {key}: {direction} {abs(delta):.1%} "
+                  f"({b:.1f} -> {c:.1f}, gate {threshold:.0%})")
         return 1
     print(f"\nOK: no regression beyond {threshold:.0%} across "
           f"{len(shared)} shared metrics")

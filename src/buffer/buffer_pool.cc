@@ -7,6 +7,7 @@
 #include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
+#include "obs/heat_map.h"
 #include "obs/obs_config.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -132,6 +133,10 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
       policy_ns_.fetch_add(meta_ns, std::memory_order_relaxed);
       SimClock::Advance(meta_ns + cpu.LocalCopyNs(len));
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::HeatMap::Enabled()) {
+        obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kHit,
+                                                  addr.Pack());
+      }
       if (obs::ObsConfig::Enabled()) {
         obs_.read_hit_ns->Add(SimClock::Now() - obs_start);
       }
@@ -143,6 +148,10 @@ Status BufferPool::ReadChunk(dsm::GlobalAddress addr, void* out,
     SimClock::Advance(meta_ns);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kMiss,
+                                              addr.Pack());
+  }
 
   // Fetch the whole page without holding the latch. Joining the page's
   // coherence var first orders the fill after the last acked writer; the
@@ -281,6 +290,10 @@ BufferPool::Evicted BufferPool::EvictLocked(Shard& shard,
 void BufferPool::FinishEviction(Shard& shard, Evicted evicted) {
   if (!evicted.valid) return;
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kEvict,
+                                              evicted.page.Pack());
+  }
   coherence_->OnCacheEvict(evicted.page);
   // A concurrent miss may have re-cached the victim and registered with
   // the directory before the OnCacheEvict above, which then deregistered

@@ -4,6 +4,7 @@
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "dsm/rpc_ids.h"
+#include "obs/heat_map.h"
 #include "obs/trace.h"
 
 namespace dsmdb::buffer {
@@ -65,6 +66,13 @@ Status DirectoryCoherence::OnLocalWrite(dsm::GlobalAddress page,
   } else {
     invalidations_sent_.fetch_add(sharers->size(),
                                   std::memory_order_relaxed);
+  }
+  // Heat: one invalidation-round unit per notified peer, charged to the
+  // written chunk (record granularity beats page for hot-key attribution).
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kInvalidation,
+                                              chunk.Pack(),
+                                              sharers->size());
   }
   return Status::OK();
 }

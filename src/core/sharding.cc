@@ -61,4 +61,22 @@ std::vector<ShardManager::Range> ShardManager::CurrentRanges() const {
   return *map_;
 }
 
+std::vector<double> ShardManager::OwnerHeat(
+    const obs::SkewSignals& signals) const {
+  std::vector<double> out(num_owners_, 0.0);
+  const size_t n = signals.shard_heat.size();
+  if (n == 0 || num_keys_ == 0) return out;
+  // Heat shard s covers keys [s*num_keys/n, (s+1)*num_keys/n); charge its
+  // heat to the owner of its midpoint key (heat shards are much finer than
+  // owner ranges in practice, so midpoint attribution is exact enough for
+  // imbalance scoring).
+  for (size_t s = 0; s < n; s++) {
+    if (signals.shard_heat[s] <= 0) continue;
+    const uint64_t mid =
+        std::min(num_keys_ - 1, (2 * s + 1) * num_keys_ / (2 * n));
+    out[OwnerOf(mid)] += signals.shard_heat[s];
+  }
+  return out;
+}
+
 }  // namespace dsmdb::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/spin_latch.h"
+#include "obs/skew_monitor.h"
 
 namespace dsmdb::core {
 
@@ -41,6 +42,13 @@ class ShardManager {
   /// Rebuilds an even partition, rotated so that `hot_start`'s range is
   /// split more finely — helper for skew-shift experiments.
   std::vector<Range> CurrentRanges() const;
+
+  /// Projects SkewSignals heat-shard buckets onto the current owners:
+  /// out[owner] = decayed access heat of every heat shard whose key range
+  /// that owner is responsible for (heat shards are an even range
+  /// partition of [0, num_keys), see obs::HeatMap). This is the input
+  /// ROADMAP item 4's self-driving resharder scores imbalance on.
+  std::vector<double> OwnerHeat(const obs::SkewSignals& signals) const;
 
   uint64_t num_keys() const { return num_keys_; }
   uint32_t num_owners() const { return num_owners_; }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/heat_map.h"
+
 namespace dsmdb::core {
 
 Result<Table> Table::Create(dsm::DsmClient* dsm, uint32_t table_id,
@@ -40,6 +42,17 @@ Result<Table> Table::Create(dsm::DsmClient* dsm, uint32_t table_id,
       DSMDB_RETURN_NOT_OK(dsm->Write(base->Plus(off), zeros.data(), n));
     }
   }
+  // Register the stripe layout with the heat observatory so address-level
+  // hooks (verb issue, coherence rounds) resolve back to primary keys.
+  obs::HeatMap::TableLayout layout;
+  layout.table_id = table_id;
+  layout.num_keys = t.num_keys_;
+  layout.stride = t.stride_;
+  layout.stripe_bases.reserve(t.stripes_.size());
+  for (const dsm::GlobalAddress& base : t.stripes_) {
+    layout.stripe_bases.push_back(base.Pack());
+  }
+  obs::HeatMap::Instance().RegisterTableLayout(std::move(layout));
   return t;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "dsm/rpc_ids.h"
+#include "obs/heat_map.h"
 #include "obs/op_scope.h"
 #include "obs/telemetry.h"
 
@@ -96,11 +97,19 @@ Status DsmClient::Free(GlobalAddress addr, uint64_t size) {
 
 Status DsmClient::Read(GlobalAddress src, void* dst, size_t length) {
   obs::OpScope scope("dsm.read", "dsm", obs_.read_ns);
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kRead,
+                                              src.Pack());
+  }
   return nic_.Read(ToRemote(src), dst, length);
 }
 
 Status DsmClient::Write(GlobalAddress dst, const void* src, size_t length) {
   obs::OpScope scope("dsm.write", "dsm", obs_.write_ns);
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kWrite,
+                                              dst.Pack());
+  }
   return nic_.Write(ToRemote(dst), src, length);
 }
 
@@ -109,7 +118,12 @@ Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
   std::vector<rdma::BatchOp>& raw = BatchScratch();
   raw.clear();
   raw.reserve(ops.size());
+  const bool heat = obs::HeatMap::Enabled();
   for (const DsmBatchOp& op : ops) {
+    if (heat) {
+      obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kRead,
+                                                op.addr.Pack());
+    }
     raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
   }
   return nic_.ReadBatch(raw);
@@ -120,7 +134,12 @@ Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
   std::vector<rdma::BatchOp>& raw = BatchScratch();
   raw.clear();
   raw.reserve(ops.size());
+  const bool heat = obs::HeatMap::Enabled();
   for (const DsmBatchOp& op : ops) {
+    if (heat) {
+      obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kWrite,
+                                                op.addr.Pack());
+    }
     raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
   }
   return nic_.WriteBatch(raw);
@@ -130,11 +149,19 @@ Result<uint64_t> DsmClient::CompareAndSwap(GlobalAddress addr,
                                            uint64_t expected,
                                            uint64_t desired) {
   obs::OpScope scope("dsm.cas", "dsm", obs_.atomic_ns);
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
+                                              addr.Pack());
+  }
   return nic_.CompareAndSwap(ToRemote(addr), expected, desired);
 }
 
 Result<uint64_t> DsmClient::FetchAndAdd(GlobalAddress addr, uint64_t delta) {
   obs::OpScope scope("dsm.faa", "dsm", obs_.atomic_ns);
+  if (obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
+                                              addr.Pack());
+  }
   return nic_.FetchAndAdd(ToRemote(addr), delta);
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "dsm/cluster.h"
 #include "dsm/gaddr.h"
+#include "obs/heat_map.h"
 #include "rdma/async_engine.h"
 #include "rdma/nic.h"
 
@@ -130,15 +131,31 @@ class DsmPipeline {
         cq_(&client->cluster()->fabric(), client->self(), max_outstanding) {}
 
   rdma::WrId Read(GlobalAddress src, void* dst, size_t length) {
+    if (obs::HeatMap::Enabled()) {
+      obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kRead,
+                                                src.Pack());
+    }
     return cq_.PostRead(client_->ToRemote(src), dst, length);
   }
   rdma::WrId Write(GlobalAddress dst, const void* src, size_t length) {
+    if (obs::HeatMap::Enabled()) {
+      obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kWrite,
+                                                dst.Pack());
+    }
     return cq_.PostWrite(client_->ToRemote(dst), src, length);
   }
   rdma::WrId Cas(GlobalAddress addr, uint64_t expected, uint64_t desired) {
+    if (obs::HeatMap::Enabled()) {
+      obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
+                                                addr.Pack());
+    }
     return cq_.PostCas(client_->ToRemote(addr), expected, desired);
   }
   rdma::WrId Faa(GlobalAddress addr, uint64_t delta) {
+    if (obs::HeatMap::Enabled()) {
+      obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
+                                                addr.Pack());
+    }
     return cq_.PostFaa(client_->ToRemote(addr), delta);
   }
   /// Two-sided call to a memory node by logical id.

@@ -38,11 +38,23 @@ FlightRecorder::Token FlightRecorder::RegisterGauge(const std::string& name,
   return Token(this, id);
 }
 
+FlightRecorder::Token FlightRecorder::RegisterGaugeFamily(
+    const std::string& name, FamilySampler sampler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t id = next_id_++;
+  families_.push_back(GaugeFamily{id, name, std::move(sampler)});
+  return Token(this, id);
+}
+
 void FlightRecorder::Unregister(uint64_t id) {
   std::lock_guard<std::mutex> lk(mu_);
   gauges_.erase(std::remove_if(gauges_.begin(), gauges_.end(),
                                [id](const Gauge& g) { return g.id == id; }),
                 gauges_.end());
+  families_.erase(
+      std::remove_if(families_.begin(), families_.end(),
+                     [id](const GaugeFamily& f) { return f.id == id; }),
+      families_.end());
 }
 
 void FlightRecorder::Configure(uint64_t interval_ns, size_t capacity) {
@@ -67,17 +79,26 @@ void FlightRecorder::Sample(uint64_t now_ns) {
   row.t_ns = now_ns;
   row.values.clear();
   // Sum same-named gauges (e.g. one abort-rate gauge per CC manager).
-  for (const Gauge& g : gauges_) {
-    const double v = g.sampler(now_ns);
-    bool merged = false;
-    for (auto& [name, value] : row.values) {
-      if (name == g.name) {
+  auto merge = [&row](const std::string& name, double v) {
+    for (auto& [existing, value] : row.values) {
+      if (existing == name) {
         value += v;
-        merged = true;
-        break;
+        return;
       }
     }
-    if (!merged) row.values.emplace_back(g.name, v);
+    row.values.emplace_back(name, v);
+  };
+  for (const Gauge& g : gauges_) {
+    merge(g.name, g.sampler(now_ns));
+  }
+  // Families fan one sampler out into `name{label}` columns.
+  std::vector<std::pair<std::string, double>> labeled;
+  for (const GaugeFamily& f : families_) {
+    labeled.clear();
+    f.sampler(now_ns, &labeled);
+    for (const auto& [label, v] : labeled) {
+      merge(f.name + "{" + label + "}", v);
+    }
   }
   next_ = (next_ + 1) % ring_.size();
   total_.fetch_add(1, std::memory_order_relaxed);

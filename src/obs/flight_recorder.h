@@ -54,6 +54,18 @@ class FlightRecorder {
   /// manager, one utilization per fabric) are summed at sample time.
   Token RegisterGauge(const std::string& name, Sampler sampler);
 
+  /// A family sampler emits (label, value) pairs each sample — one labeled
+  /// sub-series per distinct label (e.g. per heat shard).
+  using FamilySampler = std::function<void(
+      uint64_t now_ns, std::vector<std::pair<std::string, double>>* out)>;
+
+  /// Registers a labeled gauge family. Each emitted label becomes its own
+  /// series named `name{label}` in Snapshot(); labels may come and go
+  /// between samples (missing ones NaN-pad like unregistered gauges).
+  /// Same-series values (same name and label, or a plain gauge whose name
+  /// collides) are summed like RegisterGauge.
+  Token RegisterGaugeFamily(const std::string& name, FamilySampler sampler);
+
   /// Sampling interval in simulated ns and ring capacity in samples.
   /// Configure() also clears retained samples.
   void Configure(uint64_t interval_ns, size_t capacity);
@@ -93,6 +105,11 @@ class FlightRecorder {
     std::string name;
     Sampler sampler;
   };
+  struct GaugeFamily {
+    uint64_t id = 0;
+    std::string name;
+    FamilySampler sampler;
+  };
 
   FlightRecorder() = default;
   void Sample(uint64_t now_ns);
@@ -100,6 +117,7 @@ class FlightRecorder {
 
   mutable std::mutex mu_;
   std::vector<Gauge> gauges_;
+  std::vector<GaugeFamily> families_;
   std::vector<SampleRow> ring_;
   size_t next_ = 0;
   std::atomic<uint64_t> total_{0};

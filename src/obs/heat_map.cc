@@ -1,0 +1,250 @@
+#include "obs/heat_map.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace dsmdb::obs {
+
+const char* HeatKindName(HeatKind kind) {
+  switch (kind) {
+    case HeatKind::kRead:
+      return "reads";
+    case HeatKind::kWrite:
+      return "writes";
+    case HeatKind::kAtomic:
+      return "atomics";
+    case HeatKind::kHit:
+      return "hits";
+    case HeatKind::kMiss:
+      return "misses";
+    case HeatKind::kEvict:
+      return "evictions";
+    case HeatKind::kInvalidation:
+      return "invalidations";
+    case HeatKind::kAbort:
+      return "aborts";
+    case HeatKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+HeatMap& HeatMap::Instance() {
+  static HeatMap* map = new HeatMap();
+  return *map;
+}
+
+void HeatMap::Configure(const HeatOptions& options) {
+  std::lock_guard<std::mutex> lk(fold_mu_);
+  options_ = options;
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.sketch_stripes == 0) options_.sketch_stripes = 1;
+  if (options_.sketch_capacity < options_.sketch_stripes) {
+    options_.sketch_capacity = options_.sketch_stripes;
+  }
+  options_.decay = std::clamp(options_.decay, 0.0, 1.0);
+  shards_.clear();
+  for (size_t i = 0; i < options_.num_shards; i++) {
+    shards_.push_back(std::make_unique<ShardCell>());
+  }
+  sketch_.clear();
+  for (size_t i = 0; i < options_.sketch_stripes; i++) {
+    sketch_.push_back(std::make_unique<SketchStripe>());
+  }
+  unresolved_.store(0, std::memory_order_relaxed);
+  intervals_.store(0, std::memory_order_relaxed);
+  SetEnabled(true);
+}
+
+void HeatMap::Reset() {
+  std::lock_guard<std::mutex> lk(fold_mu_);
+  for (auto& cell : shards_) {
+    for (size_t k = 0; k < kHeatKinds; k++) {
+      cell->raw[k].store(0, std::memory_order_relaxed);
+      cell->folded[k] = 0;
+      cell->heat[k] = 0;
+    }
+  }
+  for (auto& stripe : sketch_) {
+    SpinLatchGuard g(stripe->latch);
+    stripe->entries.clear();
+    stripe->index.clear();
+  }
+  unresolved_.store(0, std::memory_order_relaxed);
+  intervals_.store(0, std::memory_order_relaxed);
+}
+
+void HeatMap::RegisterTableLayout(TableLayout layout) {
+  SpinLatchGuard g(layout_latch_);
+  auto next = std::make_shared<std::vector<TableLayout>>(*layouts_);
+  // Re-registering a table id (bench sections rebuild the same DB shape)
+  // replaces the stale layout.
+  next->erase(std::remove_if(next->begin(), next->end(),
+                             [&](const TableLayout& l) {
+                               return l.table_id == layout.table_id;
+                             }),
+              next->end());
+  next->push_back(std::move(layout));
+  layouts_ = std::move(next);
+}
+
+bool HeatMap::Resolve(uint64_t packed_addr, uint64_t* key,
+                      uint64_t* keyspace) const {
+  std::shared_ptr<const std::vector<TableLayout>> layouts;
+  {
+    SpinLatchGuard g(layout_latch_);
+    layouts = layouts_;
+  }
+  const uint16_t node = static_cast<uint16_t>(packed_addr >> 48);
+  const uint64_t offset = packed_addr & ((1ULL << 48) - 1);
+  for (const TableLayout& l : *layouts) {
+    if (node >= l.stripe_bases.size() || l.stride == 0) continue;
+    const uint64_t base = l.stripe_bases[node] & ((1ULL << 48) - 1);
+    if (static_cast<uint16_t>(l.stripe_bases[node] >> 48) != node) continue;
+    if (offset < base) continue;
+    const uint64_t m = l.stripe_bases.size();
+    const uint64_t keys_here = (l.num_keys + m - 1 - node) / m;
+    if (offset >= base + keys_here * l.stride) continue;
+    const uint64_t slot = (offset - base) / l.stride;
+    *key = slot * m + node;
+    *keyspace = l.num_keys;
+    return true;
+  }
+  return false;
+}
+
+void HeatMap::SketchStripe::Offer(uint64_t key, double weight,
+                                  size_t capacity) {
+  auto it = index.find(key);
+  if (it != index.end()) {
+    entries[it->second].count += weight;
+    return;
+  }
+  if (entries.size() < capacity) {
+    index.emplace(key, entries.size());
+    entries.push_back(Entry{key, weight, 0});
+    return;
+  }
+  // SpaceSaving replacement: the minimum-count entry is recycled; the new
+  // key inherits its count as the overestimation error bound.
+  size_t min_i = 0;
+  for (size_t i = 1; i < entries.size(); i++) {
+    if (entries[i].count < entries[min_i].count) min_i = i;
+  }
+  Entry& victim = entries[min_i];
+  index.erase(victim.key);
+  index.emplace(key, min_i);
+  victim.error = victim.count;
+  victim.count += weight;
+  victim.key = key;
+}
+
+void HeatMap::SketchStripe::Decay(double factor) {
+  // Decay in place, then drop entries whose decayed estimate can no longer
+  // distinguish them from noise (< 0.5 of one access) so the sketch
+  // follows the *current* hot set instead of pinning historic keys.
+  size_t w = 0;
+  for (size_t i = 0; i < entries.size(); i++) {
+    Entry e = entries[i];
+    e.count *= factor;
+    e.error *= factor;
+    if (e.count < 0.5) continue;
+    entries[w] = e;
+    w++;
+  }
+  entries.resize(w);
+  index.clear();
+  for (size_t i = 0; i < entries.size(); i++) {
+    index.emplace(entries[i].key, i);
+  }
+}
+
+void HeatMap::RecordKey(HeatKind kind, uint64_t key, uint64_t keyspace,
+                        uint64_t count) {
+  if (!Enabled() || shards_.empty()) return;
+  ShardCell& cell = *shards_[ShardOf(key, keyspace)];
+  cell.raw[static_cast<size_t>(kind)].fetch_add(count,
+                                                std::memory_order_relaxed);
+  // Only record-level accesses feed the hot-key sketch; cache/meta kinds
+  // are page-granular and would drown key identity.
+  if (kind == HeatKind::kRead || kind == HeatKind::kWrite ||
+      kind == HeatKind::kAtomic || kind == HeatKind::kAbort) {
+    SketchStripe& stripe = *sketch_[Hash64(key) % sketch_.size()];
+    const size_t cap =
+        std::max<size_t>(1, options_.sketch_capacity / sketch_.size());
+    SpinLatchGuard g(stripe.latch);
+    stripe.Offer(key, static_cast<double>(count), cap);
+  }
+}
+
+void HeatMap::RecordPackedAddr(HeatKind kind, uint64_t packed_addr,
+                               uint64_t count) {
+  if (!Enabled() || shards_.empty()) return;
+  uint64_t key = 0;
+  uint64_t keyspace = 0;
+  if (!Resolve(packed_addr, &key, &keyspace)) {
+    unresolved_.fetch_add(count, std::memory_order_relaxed);
+    return;
+  }
+  RecordKey(kind, key, keyspace, count);
+}
+
+void HeatMap::Fold() {
+  std::lock_guard<std::mutex> lk(fold_mu_);
+  for (auto& cell : shards_) {
+    for (size_t k = 0; k < kHeatKinds; k++) {
+      const uint64_t raw = cell->raw[k].load(std::memory_order_relaxed);
+      const uint64_t delta = raw - cell->folded[k];
+      cell->folded[k] = raw;
+      // Post-add decay, matching SketchStripe::Decay (offers accumulate
+      // during the interval, then the fold decays them): hot-key estimates
+      // and shard heat stay directly comparable, so sketch-derived shares
+      // (SkewMonitor's top_k_share) are unbiased.
+      cell->heat[k] = (cell->heat[k] + static_cast<double>(delta)) *
+                      options_.decay;
+    }
+  }
+  for (auto& stripe : sketch_) {
+    SpinLatchGuard g(stripe->latch);
+    stripe->Decay(options_.decay);
+  }
+  intervals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HeatSnapshot HeatMap::Snapshot(size_t top_k) const {
+  std::lock_guard<std::mutex> lk(fold_mu_);
+  HeatSnapshot out;
+  out.intervals = intervals_.load(std::memory_order_relaxed);
+  out.shard_heat.resize(shards_.size());
+  out.shard_total.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); s++) {
+    const ShardCell& cell = *shards_[s];
+    for (size_t k = 0; k < kHeatKinds; k++) {
+      out.shard_heat[s][k] = cell.heat[k];
+      out.shard_total[s][k] = cell.raw[k].load(std::memory_order_relaxed);
+    }
+    out.total_access_heat +=
+        cell.heat[static_cast<size_t>(HeatKind::kRead)] +
+        cell.heat[static_cast<size_t>(HeatKind::kWrite)] +
+        cell.heat[static_cast<size_t>(HeatKind::kAtomic)];
+    out.total_accesses +=
+        out.shard_total[s][static_cast<size_t>(HeatKind::kRead)] +
+        out.shard_total[s][static_cast<size_t>(HeatKind::kWrite)] +
+        out.shard_total[s][static_cast<size_t>(HeatKind::kAtomic)];
+  }
+  for (const auto& stripe : sketch_) {
+    SpinLatchGuard g(stripe->latch);
+    for (const SketchStripe::Entry& e : stripe->entries) {
+      out.hot_keys.push_back(HotKey{e.key, e.count, e.error});
+    }
+  }
+  std::sort(out.hot_keys.begin(), out.hot_keys.end(),
+            [](const HotKey& a, const HotKey& b) { return a.est > b.est; });
+  if (top_k != 0 && out.hot_keys.size() > top_k) {
+    out.hot_keys.resize(top_k);
+  }
+  return out;
+}
+
+}  // namespace dsmdb::obs

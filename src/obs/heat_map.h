@@ -1,0 +1,214 @@
+#ifndef DSMDB_OBS_HEAT_MAP_H_
+#define DSMDB_OBS_HEAT_MAP_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spin_latch.h"
+
+namespace dsmdb::obs {
+
+/// What kind of access is being accounted. Verb-level kinds (read/write/
+/// atomic) come from the DSM client's issue paths, cache kinds from the
+/// buffer pool, invalidation from the coherence fan-out, abort from the CC
+/// protocols' conflict sites.
+enum class HeatKind : uint8_t {
+  kRead = 0,
+  kWrite,
+  kAtomic,
+  kHit,
+  kMiss,
+  kEvict,
+  kInvalidation,
+  kAbort,
+  kCount,
+};
+inline constexpr size_t kHeatKinds = static_cast<size_t>(HeatKind::kCount);
+const char* HeatKindName(HeatKind kind);
+
+/// One entry of the hot-key sketch: estimated access count (decayed) and
+/// the SpaceSaving overestimation bound.
+struct HotKey {
+  uint64_t key = 0;
+  double est = 0;    ///< Estimated (decayed) access count.
+  double error = 0;  ///< est - error is a guaranteed lower bound.
+};
+
+/// Point-in-time heat state. Shard vectors are indexed by heat shard id
+/// (a range partition of the key space into num_shards buckets).
+struct HeatSnapshot {
+  uint64_t intervals = 0;  ///< Fold()s since Configure/Reset.
+  /// Decayed per-interval EWMA per shard per kind.
+  std::vector<std::array<double, kHeatKinds>> shard_heat;
+  /// Cumulative raw counts per shard per kind (never decayed).
+  std::vector<std::array<uint64_t, kHeatKinds>> shard_total;
+  /// Hottest keys, descending by estimated count.
+  std::vector<HotKey> hot_keys;
+  /// Sum over shards of the decayed read+write heat (the sketch's
+  /// denominator for concentration estimates).
+  double total_access_heat = 0;
+  /// Cumulative read+write accesses (raw).
+  uint64_t total_accesses = 0;
+};
+
+struct HeatOptions {
+  /// Heat shards: range-partition of [0, keyspace) into this many buckets.
+  size_t num_shards = 64;
+  /// EWMA retention per Fold(): heat' = (heat + interval_count) * decay
+  /// (post-add decay, the same order the hot-key sketch uses).
+  double decay = 0.8;
+  /// Total SpaceSaving capacity across stripes (>= ~8x the top-k you want
+  /// to query accurately).
+  size_t sketch_capacity = 256;
+  /// Lock stripes for the sketch (hot keys by definition hammer one
+  /// stripe, so the critical section is kept tiny).
+  size_t sketch_stripes = 8;
+};
+
+/// Process-wide access-heat accounting: per-shard exponentially-decayed
+/// read/write/abort/invalidation/hit/miss counters over the key space,
+/// plus a space-bounded SpaceSaving hot-key sketch. This is the signal
+/// layer hot-key combining (ROADMAP item 2) and self-driving placement
+/// (item 4) consume; SkewMonitor derives concentration/churn estimates
+/// from Snapshot().
+///
+/// Fast paths are gated on one relaxed atomic-bool (`Enabled()`, default
+/// off — a disabled build pays a load and a branch). Recording is a couple
+/// of relaxed fetch_adds plus, for key-level kinds, one striped spin-latch
+/// sketch offer. Observation-only: never advances SimClock (like
+/// FlightRecorder, the accounting is free in simulated time; wall-clock
+/// cost is what the bench gate checks).
+///
+/// Address resolution: tables register their stripe layout at creation
+/// (RegisterTableLayout), so hooks that only see a GlobalAddress — verb
+/// issue, buffer pages, coherence rounds — can be mapped back to a primary
+/// key and charged to the right heat shard. Unresolvable addresses (index
+/// nodes, log segments, allocator metadata) fall into a catch-all shard
+/// counter (`unresolved()`), never the sketch.
+class HeatMap {
+ public:
+  static HeatMap& Instance();
+
+  HeatMap(const HeatMap&) = delete;
+  HeatMap& operator=(const HeatMap&) = delete;
+
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  /// Enables/disables recording. Configure() implies enable.
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// (Re)configures shards/decay/sketch and clears all state, then
+  /// enables recording. Not safe concurrent with recording threads.
+  void Configure(const HeatOptions& options);
+  const HeatOptions& options() const { return options_; }
+
+  /// Clears counters, sketch, and interval count (layouts survive).
+  void Reset();
+
+  /// A table's striping, registered once at Table::Create so packed
+  /// addresses resolve to keys: key = slot * num_stripes + stripe_index
+  /// where slot = (offset - stripe_base) / stride (see core::Table).
+  struct TableLayout {
+    uint32_t table_id = 0;
+    uint64_t num_keys = 0;
+    uint64_t stride = 0;
+    /// Packed GlobalAddress of each memory node's stripe base, indexed by
+    /// stripe (= memory node) id.
+    std::vector<uint64_t> stripe_bases;
+  };
+  void RegisterTableLayout(TableLayout layout);
+
+  /// Key-level accounting (key known to the caller; `keyspace` scales the
+  /// key onto the heat shards — pass the owning table's num_keys).
+  void RecordKey(HeatKind kind, uint64_t key, uint64_t keyspace,
+                 uint64_t count = 1);
+
+  /// Address-level accounting from hooks that only see a packed
+  /// GlobalAddress (dsm::GlobalAddress::Pack()). Resolves through the
+  /// registered table layouts; unresolvable addresses are counted in the
+  /// catch-all bucket.
+  void RecordPackedAddr(HeatKind kind, uint64_t packed_addr,
+                        uint64_t count = 1);
+
+  /// Folds one sampling interval: every shard EWMA decays and absorbs the
+  /// raw counts recorded since the previous fold; sketch counts decay and
+  /// entries below the eviction floor are dropped. Called by SkewMonitor
+  /// on its interval clock (or directly by tests).
+  void Fold();
+
+  /// Point-in-time copy; `top_k` bounds hot_keys (0 = all sketch entries).
+  HeatSnapshot Snapshot(size_t top_k = 0) const;
+
+  /// Accesses whose address did not resolve to any registered table.
+  uint64_t unresolved() const {
+    return unresolved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Raw per-shard counters (written by worker threads) plus the folded
+  /// EWMA (written only under fold_mu_).
+  struct alignas(64) ShardCell {
+    std::atomic<uint64_t> raw[kHeatKinds] = {};
+    /// Raw value at the last Fold(), so the fold can take interval deltas
+    /// without resetting the cumulative counters.
+    uint64_t folded[kHeatKinds] = {};
+    double heat[kHeatKinds] = {};
+  };
+
+  /// SpaceSaving stripe: bounded set of (key -> decayed count, error).
+  struct SketchStripe {
+    SpinLatch latch;
+    struct Entry {
+      uint64_t key = 0;
+      double count = 0;
+      double error = 0;
+    };
+    std::vector<Entry> entries;                  // size <= capacity
+    std::unordered_map<uint64_t, size_t> index;  // key -> entries slot
+    void Offer(uint64_t key, double weight, size_t capacity);
+    void Decay(double factor);
+  };
+
+  HeatMap() = default;
+
+  size_t ShardOf(uint64_t key, uint64_t keyspace) const {
+    if (keyspace == 0) return 0;
+    if (key >= keyspace) key = keyspace - 1;
+    // 128-bit-free range partition: safe for keyspace < 2^32 shards*keys.
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(key) * shards_.size()) / keyspace);
+  }
+
+  /// addr -> (key, keyspace); false if no layout covers it.
+  bool Resolve(uint64_t packed_addr, uint64_t* key,
+               uint64_t* keyspace) const;
+
+  static inline std::atomic<bool> enabled_{false};
+
+  HeatOptions options_;
+  std::vector<std::unique_ptr<ShardCell>> shards_;
+  std::vector<std::unique_ptr<SketchStripe>> sketch_;
+  std::atomic<uint64_t> unresolved_{0};
+  std::atomic<uint64_t> intervals_{0};
+
+  mutable std::mutex fold_mu_;
+
+  /// Layout registry: snapshot-swapped so resolution is lock-free on the
+  /// hot path (registration happens once per table at setup).
+  mutable SpinLatch layout_latch_;
+  std::shared_ptr<const std::vector<TableLayout>> layouts_ =
+      std::make_shared<const std::vector<TableLayout>>();
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_HEAT_MAP_H_

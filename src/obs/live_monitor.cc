@@ -1,0 +1,134 @@
+#include "obs/live_monitor.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <numeric>
+#include <vector>
+
+namespace dsmdb::obs {
+
+LiveMonitor& LiveMonitor::Instance() {
+  static LiveMonitor* monitor = new LiveMonitor();
+  return *monitor;
+}
+
+void LiveMonitor::Attach(const LiveMonitorOptions& options) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    options_ = options;
+    if (options_.out == nullptr) options_.out = stdout;
+    if (options_.header_every == 0) options_.header_every = 1;
+    committed_.store(0, std::memory_order_relaxed);
+    aborted_.store(0, std::memory_order_relaxed);
+    latency_.Clear();
+    rows_.store(0, std::memory_order_relaxed);
+    prev_t_ns_ = 0;
+    prev_committed_ = 0;
+    prev_aborted_ = 0;
+    prev_hits_ = 0;
+    prev_misses_ = 0;
+  }
+  SkewMonitor::Instance().SetSampleHook(
+      [this](const SkewSignals& sig) { OnSignals(sig); });
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void LiveMonitor::Detach() {
+  enabled_.store(false, std::memory_order_relaxed);
+  SkewMonitor::Instance().SetSampleHook(nullptr);
+}
+
+void LiveMonitor::OnSignals(const SkewSignals& sig) {
+  std::lock_guard<std::mutex> lk(mu_);
+
+  const uint64_t committed = committed_.load(std::memory_order_relaxed);
+  const uint64_t aborted = aborted_.load(std::memory_order_relaxed);
+  const uint64_t d_commit = committed - prev_committed_;
+  const uint64_t d_abort = aborted - prev_aborted_;
+  prev_committed_ = committed;
+  prev_aborted_ = aborted;
+
+  const Histogram lat = latency_.Merged();
+  latency_.Clear();
+
+  // Buffer hit rate for the interval, from the heat shard totals.
+  uint64_t hits = 0, misses = 0;
+  {
+    const HeatSnapshot snap = HeatMap::Instance().Snapshot(/*top_k=*/1);
+    for (const auto& t : snap.shard_total) {
+      hits += t[static_cast<size_t>(HeatKind::kHit)];
+      misses += t[static_cast<size_t>(HeatKind::kMiss)];
+    }
+  }
+  const uint64_t d_hit = hits - prev_hits_;
+  const uint64_t d_miss = misses - prev_misses_;
+  prev_hits_ = hits;
+  prev_misses_ = misses;
+
+  const uint64_t dt_ns = sig.t_ns > prev_t_ns_ ? sig.t_ns - prev_t_ns_ : 0;
+  prev_t_ns_ = sig.t_ns;
+  const double tput_mtps =
+      dt_ns == 0 ? 0
+                 : static_cast<double>(d_commit) * 1000.0 /
+                       static_cast<double>(dt_ns);
+  const uint64_t txns = d_commit + d_abort;
+  const double abort_pct =
+      txns == 0 ? 0 : 100.0 * static_cast<double>(d_abort) /
+                          static_cast<double>(txns);
+  const double hit_pct =
+      d_hit + d_miss == 0 ? 0
+                          : 100.0 * static_cast<double>(d_hit) /
+                                static_cast<double>(d_hit + d_miss);
+
+  // Hottest shards by decayed access heat.
+  std::vector<size_t> order(sig.shard_heat.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  const size_t n_shards = std::min(options_.top_shards, order.size());
+  std::partial_sort(order.begin(), order.begin() + n_shards, order.end(),
+                    [&](size_t a, size_t b) {
+                      return sig.shard_heat[a] > sig.shard_heat[b];
+                    });
+  const double heat_sum = std::accumulate(sig.shard_heat.begin(),
+                                          sig.shard_heat.end(), 0.0);
+
+  std::FILE* out = options_.out;
+  const uint64_t row = rows_.fetch_add(1, std::memory_order_relaxed);
+  if (row % options_.header_every == 0) {
+    std::fprintf(out,
+                 "%6s %9s %10s %9s %7s %6s  %-22s %-28s %s\n",
+                 "int", "txns", "tput(M/s)", "p99(us)", "abort%", "hit%",
+                 "hot-shards(share)", "hot-keys", "flags");
+  }
+
+  char shards_buf[64] = "-";
+  if (n_shards > 0 && heat_sum > 0) {
+    size_t off = 0;
+    for (size_t i = 0; i < n_shards && off + 16 < sizeof(shards_buf); i++) {
+      const size_t s = order[i];
+      off += static_cast<size_t>(std::snprintf(
+          shards_buf + off, sizeof(shards_buf) - off, "%s%zu(%.0f%%)",
+          i == 0 ? "" : " ", s, 100.0 * sig.shard_heat[s] / heat_sum));
+    }
+  }
+  char keys_buf[64] = "-";
+  if (!sig.top_keys.empty()) {
+    size_t off = 0;
+    const size_t n_keys = std::min(options_.top_keys, sig.top_keys.size());
+    for (size_t i = 0; i < n_keys && off + 16 < sizeof(keys_buf); i++) {
+      off += static_cast<size_t>(std::snprintf(
+          keys_buf + off, sizeof(keys_buf) - off, "%s%" PRIu64,
+          i == 0 ? "" : " ", sig.top_keys[i].key));
+    }
+  }
+
+  std::fprintf(out,
+               "%6" PRIu64 " %9" PRIu64 " %10.3f %9.1f %7.2f %6.1f  "
+               "%-22s %-28s %s%s\n",
+               sig.seq, txns, tput_mtps,
+               static_cast<double>(lat.P99()) / 1000.0, abort_pct, hit_pct,
+               shards_buf, keys_buf, sig.shift ? "SKEW-SHIFT " : "",
+               sig.zipf_theta >= 0.8 ? "HOT" : "");
+  std::fflush(out);
+}
+
+}  // namespace dsmdb::obs

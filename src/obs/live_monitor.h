@@ -1,0 +1,80 @@
+#ifndef DSMDB_OBS_LIVE_MONITOR_H_
+#define DSMDB_OBS_LIVE_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+
+#include "common/histogram.h"
+#include "obs/skew_monitor.h"
+
+namespace dsmdb::obs {
+
+struct LiveMonitorOptions {
+  /// Shown per row: hottest shards and hottest keys.
+  size_t top_shards = 4;
+  size_t top_keys = 5;
+  /// Re-print the column header every this many rows.
+  size_t header_every = 16;
+  /// Destination stream (default stdout). Not owned.
+  std::FILE* out = nullptr;
+};
+
+/// `top`-style live view of a running workload: one row per SkewMonitor
+/// sampling interval with throughput, p99, abort rate, buffer hit rate,
+/// the hottest shards/keys, and a SKEW-SHIFT flag. Installed as the
+/// SkewMonitor sample hook (Attach), fed per-transaction by the driver
+/// (OnTxn); printing happens on the sampling worker thread, off the
+/// simulated clock.
+class LiveMonitor {
+ public:
+  static LiveMonitor& Instance();
+
+  LiveMonitor(const LiveMonitor&) = delete;
+  LiveMonitor& operator=(const LiveMonitor&) = delete;
+
+  /// Resets interval state and installs this monitor as the SkewMonitor
+  /// sample hook.
+  void Attach(const LiveMonitorOptions& options);
+  /// Uninstalls the hook (sampling continues, printing stops).
+  void Detach();
+
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Per-transaction accounting from the driver loop. Cheap: two relaxed
+  /// fetch_adds plus a striped histogram add.
+  void OnTxn(bool committed, uint64_t latency_ns) {
+    if (!Enabled()) return;
+    (committed ? committed_ : aborted_)
+        .fetch_add(1, std::memory_order_relaxed);
+    latency_.Add(latency_ns);
+  }
+
+  uint64_t rows_printed() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  LiveMonitor() = default;
+  void OnSignals(const SkewSignals& sig);
+
+  static inline std::atomic<bool> enabled_{false};
+
+  LiveMonitorOptions options_;
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  ConcurrentHistogram latency_;
+  std::atomic<uint64_t> rows_{0};
+
+  std::mutex mu_;  // serializes OnSignals prints
+  uint64_t prev_t_ns_ = 0;
+  uint64_t prev_committed_ = 0;
+  uint64_t prev_aborted_ = 0;
+  uint64_t prev_hits_ = 0;
+  uint64_t prev_misses_ = 0;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_LIVE_MONITOR_H_

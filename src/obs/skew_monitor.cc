@@ -1,0 +1,187 @@
+#include "obs/skew_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsmdb::obs {
+
+namespace {
+
+/// Least-squares fit of log(count) = c - theta * log(rank) over the
+/// hot-key estimates; under a zipfian workload the sketch's top counts
+/// follow count(rank) ~ rank^-theta.
+double EstimateZipfTheta(const std::vector<HotKey>& keys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (keys[i].est <= 0) break;
+    const double x = std::log(static_cast<double>(i + 1));
+    const double y = std::log(keys[i].est);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    n++;
+  }
+  if (n < 3) return 0;
+  const double dn = static_cast<double>(n);
+  const double var = sxx - sx * sx / dn;
+  if (var <= 0) return 0;
+  const double slope = (sxy - sx * sy / dn) / var;
+  return std::clamp(-slope, 0.0, 2.0);
+}
+
+}  // namespace
+
+SkewMonitor& SkewMonitor::Instance() {
+  static SkewMonitor* monitor = new SkewMonitor();
+  return *monitor;
+}
+
+void SkewMonitor::Configure(const SkewMonitorOptions& options) {
+  std::lock_guard<std::mutex> lk(mu_);
+  options_ = options;
+  if (options_.interval_ns == 0) options_.interval_ns = 1;
+  if (options_.top_k == 0) options_.top_k = 1;
+  if (options_.history == 0) options_.history = 1;
+  history_.assign(options_.history, SkewSignals{});
+  next_ = 0;
+  samples_ = 0;
+  anchor_top_.clear();
+  anchor_strong_ = false;
+  prev_total_accesses_ = 0;
+  prev_total_aborts_ = 0;
+  prev_total_invalidations_ = 0;
+  next_due_.store(0, std::memory_order_relaxed);
+  shift_count_.store(0, std::memory_order_relaxed);
+  SetEnabled(true);
+}
+
+void SkewMonitor::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  history_.assign(std::max<size_t>(1, options_.history), SkewSignals{});
+  next_ = 0;
+  samples_ = 0;
+  anchor_top_.clear();
+  anchor_strong_ = false;
+  prev_total_accesses_ = 0;
+  prev_total_aborts_ = 0;
+  prev_total_invalidations_ = 0;
+  next_due_.store(0, std::memory_order_relaxed);
+  shift_count_.store(0, std::memory_order_relaxed);
+}
+
+void SkewMonitor::SetSampleHook(SampleHook hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hook_ = std::move(hook);
+}
+
+void SkewMonitor::Sample(uint64_t now_ns, bool force) {
+  SkewSignals sig;
+  SampleHook hook;
+  {
+    // One sampler at a time; losers skip — by the time they would retry,
+    // the due time has moved on (FlightRecorder's discipline).
+    std::unique_lock<std::mutex> lk(mu_, std::try_to_lock);
+    if (!lk.owns_lock()) return;
+    if (!force && now_ns < next_due_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    next_due_.store(now_ns + options_.interval_ns,
+                    std::memory_order_relaxed);
+
+    // Fold the heat interval and read back the decayed state. The fold
+    // and this snapshot are the interval boundary.
+    HeatMap& heat = HeatMap::Instance();
+    heat.Fold();
+    const HeatSnapshot snap = heat.Snapshot(options_.top_k);
+
+    sig.seq = ++samples_;
+    sig.t_ns = now_ns;
+    sig.top_keys = snap.hot_keys;
+    sig.shard_heat.reserve(snap.shard_heat.size());
+    uint64_t total_aborts = 0;
+    uint64_t total_invalidations = 0;
+    for (size_t s = 0; s < snap.shard_heat.size(); s++) {
+      sig.shard_heat.push_back(
+          snap.shard_heat[s][static_cast<size_t>(HeatKind::kRead)] +
+          snap.shard_heat[s][static_cast<size_t>(HeatKind::kWrite)] +
+          snap.shard_heat[s][static_cast<size_t>(HeatKind::kAtomic)]);
+      total_aborts +=
+          snap.shard_total[s][static_cast<size_t>(HeatKind::kAbort)];
+      total_invalidations += snap.shard_total[s][static_cast<size_t>(
+          HeatKind::kInvalidation)];
+    }
+    sig.interval_accesses = snap.total_accesses - prev_total_accesses_;
+    sig.interval_aborts = total_aborts - prev_total_aborts_;
+    sig.interval_invalidations =
+        total_invalidations - prev_total_invalidations_;
+    prev_total_accesses_ = snap.total_accesses;
+    prev_total_aborts_ = total_aborts;
+    prev_total_invalidations_ = total_invalidations;
+
+    double top_sum = 0;
+    for (const HotKey& k : sig.top_keys) top_sum += k.est;
+    sig.top_k_share =
+        snap.total_access_heat <= 0 ? 0 : top_sum / snap.total_access_heat;
+    sig.zipf_theta = EstimateZipfTheta(sig.top_keys);
+
+    // Churn: how much of the current hot set is new relative to the
+    // anchor set. EWMA decay smears an abrupt hotspot jump over several
+    // intervals (old keys fade rank by rank), so interval-to-interval
+    // churn can stay under the threshold while the hot set fully rotates;
+    // against a fixed anchor the replacement accumulates instead.
+    if (!anchor_top_.empty() && !sig.top_keys.empty()) {
+      size_t fresh = 0;
+      for (const HotKey& k : sig.top_keys) {
+        if (std::find(anchor_top_.begin(), anchor_top_.end(), k.key) ==
+            anchor_top_.end()) {
+          fresh++;
+        }
+      }
+      sig.churn =
+          static_cast<double>(fresh) / static_cast<double>(sig.top_keys.size());
+      sig.shift = anchor_strong_ &&
+                  sig.churn >= options_.shift_churn_threshold &&
+                  sig.interval_accesses >= options_.min_interval_accesses &&
+                  sig.top_k_share >= options_.min_top_k_share;
+    }
+    // (Re-)anchor on the first sample, after a flagged shift, and while
+    // the anchor only saw startup-noise traffic.
+    if (anchor_top_.empty() || !anchor_strong_ || sig.shift) {
+      anchor_top_.clear();
+      for (const HotKey& k : sig.top_keys) anchor_top_.push_back(k.key);
+      anchor_strong_ =
+          sig.interval_accesses >= options_.min_interval_accesses;
+    }
+
+    if (sig.shift) shift_count_.fetch_add(1, std::memory_order_relaxed);
+    history_[next_] = sig;
+    next_ = (next_ + 1) % history_.size();
+    hook = hook_;
+  }
+  if (hook) hook(sig);
+}
+
+SkewSignals SkewMonitor::Latest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (samples_ == 0) return SkewSignals{};
+  const size_t last = (next_ + history_.size() - 1) % history_.size();
+  return history_[last];
+}
+
+std::vector<SkewSignals> SkewMonitor::History() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SkewSignals> out;
+  const size_t retained =
+      samples_ < history_.size() ? static_cast<size_t>(samples_)
+                                 : history_.size();
+  const size_t first = samples_ < history_.size() ? 0 : next_;
+  out.reserve(retained);
+  for (size_t i = 0; i < retained; i++) {
+    out.push_back(history_[(first + i) % history_.size()]);
+  }
+  return out;
+}
+
+}  // namespace dsmdb::obs

@@ -1,0 +1,153 @@
+#ifndef DSMDB_OBS_SKEW_MONITOR_H_
+#define DSMDB_OBS_SKEW_MONITOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "obs/heat_map.h"
+
+namespace dsmdb::obs {
+
+/// One sampling interval's workload-skew estimate, derived from the
+/// HeatMap. This is the stable contract ShardManager-side placement logic
+/// (ROADMAP item 4) and hot-key combining (item 2) consume: everything
+/// here is already decayed/normalized, so consumers never touch raw
+/// counters.
+struct SkewSignals {
+  uint64_t seq = 0;   ///< Sampling interval sequence number (1-based).
+  uint64_t t_ns = 0;  ///< Simulated time of the sampling thread.
+
+  /// Decayed accesses attributed to the top-k hot keys / all accesses.
+  /// ~k/num_keys when uniform; -> 1 under extreme skew.
+  double top_k_share = 0;
+  /// Zipf-theta estimate: least-squares slope of log(count) over
+  /// log(rank) across the hot-key sketch. ~0 uniform, ~1 heavy skew.
+  double zipf_theta = 0;
+  /// Fraction of the current top-k set absent from the *anchor* top-k
+  /// set — the hot set captured at the last shift (or the first interval
+  /// with meaningful traffic). Anchored comparison lets a hotspot jump
+  /// that EWMA decay smears over several intervals still accumulate to
+  /// the shift threshold (0 = stable hot set, 1 = fully rotated).
+  double churn = 0;
+  /// True when this interval detected a hotspot *shift*: high churn on a
+  /// concentrated hot set with enough traffic to mean something.
+  bool shift = false;
+
+  /// Interval access counts (raw deltas, not decayed).
+  uint64_t interval_accesses = 0;
+  uint64_t interval_aborts = 0;
+  uint64_t interval_invalidations = 0;
+
+  /// Current hot keys (descending) and per-shard read+write+atomic heat,
+  /// copied from the HeatMap fold this interval.
+  std::vector<HotKey> top_keys;
+  std::vector<double> shard_heat;
+};
+
+struct SkewMonitorOptions {
+  /// Sampling interval in simulated ns.
+  uint64_t interval_ns = 200'000;
+  /// Hot-set size used for share/churn estimates.
+  size_t top_k = 16;
+  /// Churn at or above this flags a shift.
+  double shift_churn_threshold = 0.5;
+  /// Intervals with fewer accesses than this never flag (startup noise).
+  uint64_t min_interval_accesses = 64;
+  /// Shift needs a concentrated hot set: top-k share at or above this.
+  /// Uniform traffic churns its top-k every interval by definition; the
+  /// share floor keeps that from reading as a hotspot *move*.
+  double min_top_k_share = 0.2;
+  /// Retained SkewSignals history (ring).
+  size_t history = 256;
+};
+
+/// Online skew detector over the HeatMap: on each sampling interval
+/// (simulated time, driven from instrumented hot loops via
+/// MaybeSample(now) — same loose-clock discipline as FlightRecorder) it
+/// folds the HeatMap, estimates hot-set concentration and zipf-theta,
+/// measures top-k churn against an anchored hot set (re-seeded on every
+/// flagged shift), and raises a SKEW-SHIFT flag when the hot set rotates.
+/// Observation-only: never advances SimClock.
+class SkewMonitor {
+ public:
+  using SampleHook = std::function<void(const SkewSignals&)>;
+
+  static SkewMonitor& Instance();
+
+  SkewMonitor(const SkewMonitor&) = delete;
+  SkewMonitor& operator=(const SkewMonitor&) = delete;
+
+  /// (Re)configures and clears history; enables sampling. The HeatMap must
+  /// be configured separately (Configure here does not touch it).
+  void Configure(const SkewMonitorOptions& options);
+  const SkewMonitorOptions& options() const { return options_; }
+
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Drops history and re-arms the interval clock (options survive).
+  void Reset();
+
+  /// Samples if `now_ns` reached the next due time. Fast path: one
+  /// relaxed flag load + one relaxed compare. The winning thread folds
+  /// the HeatMap and computes this interval's SkewSignals.
+  void MaybeSample(uint64_t now_ns) {
+    if (!Enabled()) return;
+    if (now_ns < next_due_.load(std::memory_order_relaxed)) return;
+    Sample(now_ns);
+  }
+
+  /// Forces a sample regardless of the interval clock (tests, end-of-run
+  /// flush).
+  void ForceSample(uint64_t now_ns) { Sample(now_ns, /*force=*/true); }
+
+  /// Most recent interval's signals (empty default before any sample).
+  SkewSignals Latest() const;
+
+  /// Retained per-interval history, oldest first.
+  std::vector<SkewSignals> History() const;
+
+  /// Shift events since Configure/Reset.
+  uint64_t shift_count() const {
+    return shift_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Invoked after every interval sample with that interval's signals
+  /// (used by the live monitor to print). Runs on the sampling worker
+  /// thread, outside the monitor mutex.
+  void SetSampleHook(SampleHook hook);
+
+ private:
+  SkewMonitor() = default;
+  void Sample(uint64_t now_ns, bool force = false);
+
+  static inline std::atomic<bool> enabled_{false};
+
+  SkewMonitorOptions options_;
+  std::atomic<uint64_t> next_due_{0};
+  std::atomic<uint64_t> shift_count_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SkewSignals> history_;  // ring, `next_` is the write slot
+  size_t next_ = 0;
+  uint64_t samples_ = 0;
+  /// Anchor hot set churn is measured against; re-seeded on shift, and
+  /// whenever the current anchor came from a low-traffic interval.
+  std::vector<uint64_t> anchor_top_;
+  bool anchor_strong_ = false;
+  uint64_t prev_total_accesses_ = 0;
+  uint64_t prev_total_aborts_ = 0;
+  uint64_t prev_total_invalidations_ = 0;
+  SampleHook hook_;
+};
+
+}  // namespace dsmdb::obs
+
+#endif  // DSMDB_OBS_SKEW_MONITOR_H_

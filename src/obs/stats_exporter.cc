@@ -75,6 +75,61 @@ void StatsExporter::AddTimeseries(const FlightRecorder::Series& series) {
   timeseries_ = series;
 }
 
+void StatsExporter::SetMeta(const std::string& key,
+                            const std::string& value) {
+  meta_[key] = "\"" + JsonEscape(value) + "\"";
+}
+
+void StatsExporter::SetMeta(const std::string& key, uint64_t value) {
+  meta_[key] = std::to_string(value);
+}
+
+void StatsExporter::StampRunMeta(uint64_t seed) {
+  // Bump when the report layout changes (sections added/renamed).
+  SetMeta("schema_version", uint64_t{2});
+  if (seed != 0) SetMeta("seed", seed);
+#ifdef NDEBUG
+  SetMeta("build", "release");
+#else
+  SetMeta("build", "debug");
+#endif
+  std::string san;
+#if defined(__SANITIZE_ADDRESS__)
+  san += "asan,";
+#endif
+#if defined(__SANITIZE_THREAD__)
+  san += "tsan,";
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  san += "asan,";
+#endif
+#if __has_feature(thread_sanitizer)
+  san += "tsan,";
+#endif
+#if __has_feature(undefined_behavior_sanitizer)
+  san += "ubsan,";
+#endif
+#endif
+  if (!san.empty()) san.pop_back();
+  SetMeta("sanitizers", san.empty() ? "none" : san);
+#if defined(__clang_major__)
+  SetMeta("compiler", "clang-" + std::to_string(__clang_major__));
+#elif defined(__GNUC__)
+  SetMeta("compiler", "gcc-" + std::to_string(__GNUC__));
+#endif
+}
+
+void StatsExporter::AddHeat(const HeatSnapshot& snap,
+                            const SkewSignals& signals, size_t top_k) {
+  heat_ = snap;
+  if (top_k != 0 && heat_.hot_keys.size() > top_k) {
+    heat_.hot_keys.resize(top_k);
+  }
+  skew_ = signals;
+  has_heat_ = true;
+}
+
 void StatsExporter::CollectGlobal() {
   AddCounters(GlobalMetrics().Snapshot());
   for (const auto& [name, hist] : Telemetry::Instance().SnapshotHistograms()) {
@@ -84,8 +139,18 @@ void StatsExporter::CollectGlobal() {
 
 std::string StatsExporter::ToJson() const {
   std::string out = "{";
-  out += "\"counters\":{";
   bool first = true;
+  if (!meta_.empty()) {
+    out += "\"meta\":{";
+    for (const auto& [key, encoded] : meta_) {
+      if (!first) out += ",";
+      out += "\"" + JsonEscape(key) + "\":" + encoded;
+      first = false;
+    }
+    out += "},";
+  }
+  out += "\"counters\":{";
+  first = true;
   for (const auto& [name, value] : counters_) {
     if (!first) out += ",";
     out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
@@ -163,6 +228,59 @@ std::string StatsExporter::ToJson() const {
     }
     out += "}}";
   }
+  if (has_heat_) {
+    out += ",\"heat\":{\"intervals\":" + std::to_string(heat_.intervals);
+    // Per-shard table: one column-array per kind, indexed by heat shard.
+    out += ",\"shard_heat\":{";
+    first = true;
+    for (size_t k = 0; k < kHeatKinds; k++) {
+      if (!first) out += ",";
+      out += "\"" +
+             std::string(HeatKindName(static_cast<HeatKind>(k))) + "\":[";
+      bool vfirst = true;
+      for (const auto& shard : heat_.shard_heat) {
+        if (!vfirst) out += ",";
+        out += FmtDouble(shard[k]);
+        vfirst = false;
+      }
+      out += "]";
+      first = false;
+    }
+    out += "},\"shard_total\":{";
+    first = true;
+    for (size_t k = 0; k < kHeatKinds; k++) {
+      if (!first) out += ",";
+      out += "\"" +
+             std::string(HeatKindName(static_cast<HeatKind>(k))) + "\":[";
+      bool vfirst = true;
+      for (const auto& shard : heat_.shard_total) {
+        if (!vfirst) out += ",";
+        out += std::to_string(shard[k]);
+        vfirst = false;
+      }
+      out += "]";
+      first = false;
+    }
+    out += "},\"hot_keys\":[";
+    first = true;
+    for (const HotKey& k : heat_.hot_keys) {
+      if (!first) out += ",";
+      out += "{\"key\":" + std::to_string(k.key) +
+             ",\"est\":" + FmtDouble(k.est) +
+             ",\"err\":" + FmtDouble(k.error) + "}";
+      first = false;
+    }
+    out += "],\"skew\":{\"seq\":" + std::to_string(skew_.seq) +
+           ",\"top_k_share\":" + FmtDouble(skew_.top_k_share) +
+           ",\"zipf_theta\":" + FmtDouble(skew_.zipf_theta) +
+           ",\"churn\":" + FmtDouble(skew_.churn) +
+           ",\"shift\":" + (skew_.shift ? "true" : "false") +
+           ",\"interval_accesses\":" +
+           std::to_string(skew_.interval_accesses) +
+           ",\"interval_aborts\":" + std::to_string(skew_.interval_aborts) +
+           ",\"interval_invalidations\":" +
+           std::to_string(skew_.interval_invalidations) + "}}";
+  }
   out += "}";
   return out;
 }
@@ -195,6 +313,24 @@ std::string StatsExporter::ToText() const {
     std::snprintf(buf, sizeof(buf), "%-44s total=%.0f ns%s\n",
                   ("breakdown." + name).c_str(), b.total_mean_ns,
                   line.c_str());
+    out += buf;
+  }
+  if (has_heat_) {
+    std::string keys;
+    for (size_t i = 0; i < heat_.hot_keys.size() && i < 8; i++) {
+      char item[48];
+      std::snprintf(item, sizeof(item), " %llu(%.0f)",
+                    static_cast<unsigned long long>(heat_.hot_keys[i].key),
+                    heat_.hot_keys[i].est);
+      keys += item;
+    }
+    std::snprintf(buf, sizeof(buf), "%-44s%s\n", "heat.hot_keys",
+                  keys.empty() ? " -" : keys.c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "%-44s share=%.3f theta=%.2f churn=%.2f shift=%d\n",
+                  "heat.skew", skew_.top_k_share, skew_.zipf_theta,
+                  skew_.churn, skew_.shift ? 1 : 0);
     out += buf;
   }
   return out;

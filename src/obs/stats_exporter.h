@@ -8,6 +8,8 @@
 #include "common/histogram.h"
 #include "obs/critical_path.h"
 #include "obs/flight_recorder.h"
+#include "obs/heat_map.h"
+#include "obs/skew_monitor.h"
 
 namespace dsmdb::obs {
 
@@ -34,13 +36,28 @@ class StatsExporter {
   /// previously-added series.
   void AddTimeseries(const FlightRecorder::Series& series);
 
+  /// Run metadata stamped into the report root (`meta` section): schema
+  /// version, seed, build flags. String values OVERWRITE.
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMeta(const std::string& key, uint64_t value);
+  /// Stamps the standard fields: schema version, build type/sanitizer
+  /// flags, and the driver seed (skipped when `seed` is 0/unknown).
+  void StampRunMeta(uint64_t seed);
+
+  /// Heat-observatory section: per-shard kind table + hot-key list from
+  /// the HeatMap, plus the latest SkewSignals estimates. OVERWRITES any
+  /// previously-added heat data. `top_k` bounds the exported hot keys.
+  void AddHeat(const HeatSnapshot& snap, const SkewSignals& signals,
+               size_t top_k = 32);
+
   /// Pulls the whole process: GlobalMetrics() counters + gauges, and every
   /// Telemetry histogram.
   void CollectGlobal();
 
   bool empty() const {
     return counters_.empty() && scalars_.empty() && histograms_.empty() &&
-           breakdowns_.empty() && timeseries_.t_ns.empty();
+           breakdowns_.empty() && timeseries_.t_ns.empty() &&
+           !has_heat_;
   }
 
   /// One JSON object:
@@ -60,6 +77,10 @@ class StatsExporter {
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, LatencyBreakdown> breakdowns_;
   FlightRecorder::Series timeseries_;
+  std::map<std::string, std::string> meta_;
+  bool has_heat_ = false;
+  HeatSnapshot heat_;
+  SkewSignals skew_;
 };
 
 }  // namespace dsmdb::obs

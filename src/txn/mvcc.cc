@@ -6,6 +6,7 @@
 #include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
+#include "obs/heat_map.h"
 #include "obs/trace.h"
 
 namespace dsmdb::txn {
@@ -252,7 +253,7 @@ Status MvccTransaction::Commit() {
         if (conflict) {
           release_locked();
           RecordLockWait(mgr_, SimClock::Now() - lock_start);
-          return AbortInternal(true);
+          return AbortInternal(true, writes_[i].addr.Pack());
         }
       }
     }
@@ -260,7 +261,13 @@ Status MvccTransaction::Commit() {
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
   if (!s.ok()) {
     release_locked();
-    if (s.IsTimedOut() || s.IsBusy()) return AbortInternal(false);
+    if (s.IsTimedOut() || s.IsBusy()) {
+      // The first un-acquired write target is the contended record.
+      const uint64_t blocked = locked.size() < order.size()
+                                   ? writes_[order[locked.size()]].addr.Pack()
+                                   : 0;
+      return AbortInternal(false, blocked);
+    }
     return s;
   }
 
@@ -324,7 +331,8 @@ Status MvccTransaction::Abort() {
   return Status::OK();
 }
 
-Status MvccTransaction::AbortInternal(bool validation) {
+Status MvccTransaction::AbortInternal(bool validation,
+                                      uint64_t conflict_addr) {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, false);
@@ -332,6 +340,10 @@ Status MvccTransaction::AbortInternal(bool validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {
     mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conflict_addr != 0 && obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
+                                              conflict_addr);
   }
   return Status::Aborted("mvcc write-write conflict");
 }

@@ -81,7 +81,8 @@ class MvccTransaction final : public Transaction {
   Status Abort() override;
 
  private:
-  Status AbortInternal(bool validation);
+  /// `conflict_addr` (packed record addr, 0 = unknown) feeds abort heat.
+  Status AbortInternal(bool validation, uint64_t conflict_addr = 0);
 
   MvccManager* mgr_;
   RdmaSpinLock spin_;

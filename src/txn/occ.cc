@@ -6,6 +6,7 @@
 #include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
+#include "obs/heat_map.h"
 #include "obs/trace.h"
 
 namespace dsmdb::txn {
@@ -134,12 +135,14 @@ Status OccTransaction::Commit() {
     acquired.reserve(order.size());
     Status err;
     bool busy = false;
+    uint64_t busy_addr = 0;
     for (size_t i = 0; i < order.size(); i++) {
       const Status& s = pipe.status(wr[i]);
       if (s.ok() && pipe.value(wr[i]) == 0) {
         acquired.push_back(writes_[order[i]].addr);
       } else if (s.ok()) {
         busy = true;  // lock word was held by another committer
+        if (busy_addr == 0) busy_addr = writes_[order[i]].addr.Pack();
       } else if (err.ok()) {
         err = s;
       }
@@ -148,7 +151,7 @@ Status OccTransaction::Commit() {
       UnlockAddrs(acquired);
       if (!err.ok()) return err;
       RecordLockWait(mgr_, SimClock::Now() - lock_start);
-      return AbortInternal(false);
+      return AbortInternal(false, busy_addr);
     }
   }
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
@@ -176,7 +179,7 @@ Status OccTransaction::Commit() {
           lock_word == 0 || (mine && lock_word == MakeExclusiveLock(ts_));
       if (!lock_ok || version != reads_[i].version) {
         UnlockAllWrites();
-        return AbortInternal(true);
+        return AbortInternal(true, reads_[i].ref.addr.Pack());
       }
     }
   }
@@ -237,7 +240,8 @@ Status OccTransaction::Abort() {
   return Status::OK();
 }
 
-Status OccTransaction::AbortInternal(bool validation) {
+Status OccTransaction::AbortInternal(bool validation,
+                                     uint64_t conflict_addr) {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, false);
@@ -245,6 +249,10 @@ Status OccTransaction::AbortInternal(bool validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {
     mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conflict_addr != 0 && obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
+                                              conflict_addr);
   }
   return Status::Aborted("occ conflict");
 }

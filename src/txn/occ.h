@@ -59,7 +59,8 @@ class OccTransaction final : public Transaction {
     uint64_t version;
   };
 
-  Status AbortInternal(bool validation);
+  /// `conflict_addr` (packed record addr, 0 = unknown) feeds abort heat.
+  Status AbortInternal(bool validation, uint64_t conflict_addr = 0);
   /// Releases the given lock words as one pipelined CAS batch.
   void UnlockAddrs(const std::vector<dsm::GlobalAddress>& addrs);
   void UnlockAllWrites();

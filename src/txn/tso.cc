@@ -6,6 +6,7 @@
 #include "check/checker.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
+#include "obs/heat_map.h"
 #include "obs/trace.h"
 
 namespace dsmdb::txn {
@@ -62,7 +63,8 @@ Status TsoTransaction::Read(const RecordRef& ref, std::string* out) {
       continue;
     }
     if (TsoWts(vword) > my_ts) {
-      return AbortInternal(true);  // a younger writer already wrote
+      // a younger writer already wrote
+      return AbortInternal(true, ref.addr.Pack());
     }
     out->resize(ref.value_size);
     DSMDB_RETURN_NOT_OK(mgr_->accessor_->ReadValue(ref.Value(), out->data(),
@@ -90,7 +92,7 @@ Status TsoTransaction::Read(const RecordRef& ref, std::string* out) {
     }
     return Status::OK();
   }
-  return AbortInternal(false);
+  return AbortInternal(false, ref.addr.Pack());
 }
 
 Status TsoTransaction::Write(const RecordRef& ref, std::string_view value) {
@@ -143,7 +145,8 @@ Status TsoTransaction::Commit() {
         (void)spin_.Release(writes_[order[i]].addr, ts_);
       }
       RecordLockWait(mgr_, SimClock::Now() - lock_start);
-      return AbortInternal(true);  // out of timestamp order
+      // out of timestamp order
+      return AbortInternal(true, w.addr.Pack());
     }
     vwords[order[locked]] = vword;
   }
@@ -152,7 +155,11 @@ Status TsoTransaction::Commit() {
     for (size_t i = 0; i < locked; i++) {
       (void)spin_.Release(writes_[order[i]].addr, ts_);
     }
-    if (s.IsTimedOut() || s.IsBusy()) return AbortInternal(false);
+    if (s.IsTimedOut() || s.IsBusy()) {
+      const uint64_t blocked =
+          locked < order.size() ? writes_[order[locked]].addr.Pack() : 0;
+      return AbortInternal(false, blocked);
+    }
     return s;
   }
 
@@ -191,7 +198,8 @@ Status TsoTransaction::Abort() {
   return Status::OK();
 }
 
-Status TsoTransaction::AbortInternal(bool validation) {
+Status TsoTransaction::AbortInternal(bool validation,
+                                     uint64_t conflict_addr) {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, false);
@@ -199,6 +207,10 @@ Status TsoTransaction::AbortInternal(bool validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {
     mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conflict_addr != 0 && obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
+                                              conflict_addr);
   }
   return Status::Aborted("tso conflict");
 }

@@ -45,7 +45,8 @@ class TsoTransaction final : public Transaction {
   Status Abort() override;
 
  private:
-  Status AbortInternal(bool validation);
+  /// `conflict_addr` (packed record addr, 0 = unknown) feeds abort heat.
+  Status AbortInternal(bool validation, uint64_t conflict_addr = 0);
 
   TsoManager* mgr_;
   RdmaSpinLock spin_;

@@ -4,6 +4,7 @@
 
 #include "check/checker.h"
 #include "common/sim_clock.h"
+#include "obs/heat_map.h"
 #include "obs/trace.h"
 
 namespace dsmdb::txn {
@@ -92,7 +93,7 @@ Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
     Result<uint64_t> prev = mgr_->dsm_->CompareAndSwap(
         ref.LockWord(), 1, MakeExclusiveLock(ts_));
     if (!prev.ok()) return prev.status();
-    if (*prev != 1) return AbortInternal(false);
+    if (*prev != 1) return AbortInternal(false, ref.addr.Pack());
     entry.held = Held::kExclusive;
     return Status::OK();
   }
@@ -115,7 +116,9 @@ Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
   }
 
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
-  if (s.IsBusy() || s.IsTimedOut()) return AbortInternal(false);
+  if (s.IsBusy() || s.IsTimedOut()) {
+    return AbortInternal(false, ref.addr.Pack());
+  }
   if (!s.ok()) return s;
 
   RegisterLock(ref, exclusive ? Held::kExclusive : Held::kShared);
@@ -156,7 +159,9 @@ Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
       s = WaitDieRetry(ref, std::move(s));
     }
     RecordLockWait(mgr_, SimClock::Now() - lock_start);
-    if (s.IsBusy() || s.IsTimedOut()) return AbortInternal(false);
+    if (s.IsBusy() || s.IsTimedOut()) {
+      return AbortInternal(false, ref.addr.Pack());
+    }
     if (!s.ok()) return s;
     RegisterLock(ref, Held::kExclusive);
     if (pipe.value(cas) == 0) return Status::OK();  // speculative hit
@@ -244,7 +249,7 @@ Status TwoPlTransaction::AcquireDeferredLocks() {
       Status s = WaitDieRetry(ref, Status::Busy("locked"));
       if (s.IsBusy() || s.IsTimedOut()) {
         RecordLockWait(mgr_, SimClock::Now() - lock_start);
-        return AbortInternal(false);
+        return AbortInternal(false, ref.addr.Pack());
       }
       if (!s.ok()) return s;
       RegisterLock(ref, Held::kExclusive);
@@ -252,7 +257,9 @@ Status TwoPlTransaction::AcquireDeferredLocks() {
     busy.clear();
   }
   RecordLockWait(mgr_, SimClock::Now() - lock_start);
-  if (!busy.empty()) return AbortInternal(false);  // NO_WAIT: conflict
+  if (!busy.empty()) {  // NO_WAIT: conflict
+    return AbortInternal(false, busy.front().addr.Pack());
+  }
   return Status::OK();
 }
 
@@ -313,7 +320,8 @@ Status TwoPlTransaction::Abort() {
   return Status::OK();
 }
 
-Status TwoPlTransaction::AbortInternal(bool validation) {
+Status TwoPlTransaction::AbortInternal(bool validation,
+                                       uint64_t conflict_addr) {
   ReleaseAll();
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
@@ -322,6 +330,10 @@ Status TwoPlTransaction::AbortInternal(bool validation) {
     mgr_->stats_.validation_aborts.fetch_add(1, std::memory_order_relaxed);
   } else {
     mgr_->stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conflict_addr != 0 && obs::HeatMap::Enabled()) {
+    obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
+                                              conflict_addr);
   }
   return Status::Aborted("2pl conflict");
 }

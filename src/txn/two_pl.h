@@ -84,7 +84,8 @@ class TwoPlTransaction final : public Transaction {
   /// eager path).
   Status WaitDieRetry(const RecordRef& ref, Status busy);
   void RegisterLock(const RecordRef& ref, Held held);
-  Status AbortInternal(bool validation);
+  /// `conflict_addr` (packed record addr, 0 = unknown) feeds abort heat.
+  Status AbortInternal(bool validation, uint64_t conflict_addr = 0);
   void ReleaseAll();
 
   TwoPlManager* mgr_;

@@ -7,6 +7,8 @@
 #include "check/checker.h"
 #include "common/sim_clock.h"
 #include "obs/flight_recorder.h"
+#include "obs/live_monitor.h"
+#include "obs/skew_monitor.h"
 #include "obs/trace.h"
 
 namespace dsmdb::workload {
@@ -68,10 +70,13 @@ DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
         obs::TraceTxnScope span("txn.attempt", "workload");
         const uint64_t t0 = SimClock::Now();
         const bool committed = fn(node, t, rng);
-        out.latency.Add(SimClock::Now() - t0);
+        const uint64_t now = SimClock::Now();
+        out.latency.Add(now - t0);
         out.attempts++;
         if (committed) out.committed++;
-        obs::FlightRecorder::Instance().MaybeSample(SimClock::Now());
+        obs::LiveMonitor::Instance().OnTxn(committed, now - t0);
+        obs::FlightRecorder::Instance().MaybeSample(now);
+        obs::SkewMonitor::Instance().MaybeSample(now);
       }
       out.sim_ns = SimClock::Now();
       check::OnThreadFinish(fork);

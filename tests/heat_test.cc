@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/dsmdb.h"
+#include "obs/flight_recorder.h"
+#include "obs/heat_map.h"
+#include "obs/obs_config.h"
+#include "obs/skew_monitor.h"
+#include "obs/stats_exporter.h"
+
+namespace dsmdb::obs {
+namespace {
+
+class HeatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SkewMonitor::SetEnabled(false);
+    HeatMap::Instance().Configure(HeatOptions{});
+  }
+  void TearDown() override {
+    HeatMap::SetEnabled(false);
+    SkewMonitor::SetEnabled(false);
+  }
+};
+
+// Acceptance check from the heat-observatory issue: under YCSB's default
+// zipf theta=0.99 the space-bounded sketch must recover >= 90% of the true
+// top-k hot keys.
+TEST_F(HeatTest, SketchTopKRecallUnderZipf099) {
+  constexpr uint64_t kKeys = 100'000;
+  constexpr size_t kTopK = 16;
+  constexpr int kSamples = 200'000;
+  ZipfianGenerator zipf(kKeys, 0.99, /*seed=*/11);
+  std::map<uint64_t, uint64_t> exact;
+  HeatMap& map = HeatMap::Instance();
+  for (int i = 0; i < kSamples; i++) {
+    const uint64_t key = zipf.NextScrambled();
+    exact[key]++;
+    map.RecordKey(HeatKind::kRead, key, kKeys);
+  }
+
+  std::vector<std::pair<uint64_t, uint64_t>> ranked;  // (count, key)
+  for (const auto& [key, count] : exact) ranked.push_back({count, key});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::set<uint64_t> truth;
+  for (size_t i = 0; i < kTopK; i++) truth.insert(ranked[i].second);
+
+  const HeatSnapshot snap = map.Snapshot(kTopK);
+  ASSERT_EQ(snap.hot_keys.size(), kTopK);
+  size_t recalled = 0;
+  for (const HotKey& hk : snap.hot_keys) {
+    if (truth.count(hk.key)) recalled++;
+  }
+  EXPECT_GE(static_cast<double>(recalled) / kTopK, 0.9)
+      << "sketch recalled " << recalled << "/" << kTopK;
+
+  // SpaceSaving guarantee: est - error is a lower bound on (and est an
+  // upper bound for) the true count of every reported key.
+  for (const HotKey& hk : snap.hot_keys) {
+    const auto it = exact.find(hk.key);
+    ASSERT_NE(it, exact.end());
+    EXPECT_GE(hk.est + 1e-9, static_cast<double>(it->second));
+    EXPECT_LE(hk.est - hk.error, static_cast<double>(it->second) + 1e-9);
+  }
+  EXPECT_GT(snap.total_accesses, 0u);
+}
+
+TEST_F(HeatTest, FoldDecaysHeatAndKeepsRawTotals) {
+  HeatOptions opts;
+  opts.num_shards = 4;
+  opts.decay = 0.5;
+  HeatMap& map = HeatMap::Instance();
+  map.Configure(opts);
+
+  // keyspace == num_shards makes shard attribution the identity.
+  map.RecordKey(HeatKind::kWrite, /*key=*/1, /*keyspace=*/4, /*count=*/100);
+  map.Fold();
+  HeatSnapshot snap = map.Snapshot();
+  const size_t w = static_cast<size_t>(HeatKind::kWrite);
+  // Post-add decay: heat' = (heat + interval_count) * decay.
+  EXPECT_DOUBLE_EQ(snap.shard_heat[1][w], 50.0);
+  EXPECT_EQ(snap.shard_total[1][w], 100u);
+  EXPECT_EQ(snap.intervals, 1u);
+
+  // Idle interval: EWMA halves, raw totals never decay.
+  map.Fold();
+  snap = map.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.shard_heat[1][w], 25.0);
+  EXPECT_EQ(snap.shard_total[1][w], 100u);
+
+  // New traffic folds on top of the decayed tail.
+  map.RecordKey(HeatKind::kWrite, 1, 4, 10);
+  map.Fold();
+  snap = map.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.shard_heat[1][w], 17.5);  // (25 + 10) * 0.5
+  EXPECT_EQ(snap.shard_total[1][w], 110u);
+}
+
+TEST_F(HeatTest, SketchDecayEvictsColdKeys) {
+  HeatOptions opts;
+  opts.decay = 0.5;
+  HeatMap& map = HeatMap::Instance();
+  map.Configure(opts);
+  map.RecordKey(HeatKind::kRead, 7, 100, /*count=*/4);
+  ASSERT_EQ(map.Snapshot().hot_keys.size(), 1u);
+  // 4 -> 2 -> 1 -> 0.5 -> dropped (est < 0.5 is indistinguishable from
+  // noise); the sketch follows the current hot set, not history.
+  map.Fold();
+  map.Fold();
+  map.Fold();
+  EXPECT_EQ(map.Snapshot().hot_keys.size(), 1u);
+  map.Fold();
+  EXPECT_TRUE(map.Snapshot().hot_keys.empty());
+}
+
+TEST_F(HeatTest, ResolvesPackedAddressesThroughRegisteredLayout) {
+  HeatMap& map = HeatMap::Instance();
+  HeatMap::TableLayout layout;
+  layout.table_id = 9;
+  layout.num_keys = 10;
+  layout.stride = 16;
+  // Two stripes: node 0 @ 0x1000, node 1 @ 0x2000 (packed form).
+  layout.stripe_bases = {0x1000, (1ULL << 48) | 0x2000};
+  map.RegisterTableLayout(layout);
+
+  // key 5 -> node 1, slot 2 -> offset 0x2000 + 2*16.
+  map.RecordPackedAddr(HeatKind::kRead, (1ULL << 48) | (0x2000 + 32));
+  HeatSnapshot snap = map.Snapshot();
+  ASSERT_EQ(snap.hot_keys.size(), 1u);
+  EXPECT_EQ(snap.hot_keys[0].key, 5u);
+  EXPECT_EQ(map.unresolved(), 0u);
+
+  // Outside every stripe: charged to the catch-all, never the sketch.
+  map.RecordPackedAddr(HeatKind::kRead, 0x999999);
+  EXPECT_EQ(map.unresolved(), 1u);
+  EXPECT_EQ(map.Snapshot().hot_keys.size(), 1u);
+}
+
+TEST_F(HeatTest, TableCreateRegistersResolvableLayout) {
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 8 << 20;
+  core::DbOptions dopts;
+  core::DsmDb db(copts, dopts);
+  (void)db.AddComputeNode();
+  const core::Table* t = *db.CreateTable("heat_kv", {64, 1'000});
+  (void)db.FinishSetup();
+
+  HeatMap& map = HeatMap::Instance();
+  // Table creation zero-fills its stripes before the layout exists, so
+  // those setup writes land in the catch-all; record-level traffic after
+  // FinishSetup must all resolve.
+  const uint64_t baseline = map.unresolved();
+  for (uint64_t key : {3u, 502u, 999u}) {
+    map.RecordPackedAddr(HeatKind::kWrite, t->RefFor(key).addr.Pack());
+  }
+  EXPECT_EQ(map.unresolved(), baseline);
+  const HeatSnapshot snap = map.Snapshot();
+  std::set<uint64_t> seen;
+  for (const HotKey& hk : snap.hot_keys) seen.insert(hk.key);
+  EXPECT_TRUE(seen.count(3) && seen.count(502) && seen.count(999));
+}
+
+class SkewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HeatOptions hopts;
+    hopts.decay = 0.5;  // fast forgetting so rotations show as churn
+    HeatMap::Instance().Configure(hopts);
+    SkewMonitorOptions sopts;
+    sopts.interval_ns = 1'000;
+    sopts.top_k = 8;
+    sopts.min_interval_accesses = 64;
+    SkewMonitor::Instance().Configure(sopts);
+  }
+  void TearDown() override {
+    HeatMap::SetEnabled(false);
+    SkewMonitor::SetEnabled(false);
+  }
+
+  /// One interval of scripted traffic: zipf-shaped counts over 8 hot keys
+  /// starting at `hot_base`, plus uniform background noise.
+  void FeedInterval(uint64_t hot_base) {
+    HeatMap& map = HeatMap::Instance();
+    for (uint64_t i = 0; i < 8; i++) {
+      map.RecordKey(HeatKind::kRead, hot_base + i, kKeys, 400 / (i + 1));
+    }
+    for (uint64_t i = 0; i < 64; i++) {
+      map.RecordKey(HeatKind::kRead, (noise_ * 977 + i * 131) % kKeys,
+                    kKeys);
+    }
+    noise_++;
+  }
+
+  static constexpr uint64_t kKeys = 50'000;
+  uint64_t noise_ = 0;
+};
+
+// Acceptance check: a scripted hotspot rotation must raise SKEW-SHIFT
+// within 3 sampling intervals, and a stable hot set must not.
+TEST_F(SkewTest, FlagsScriptedHotspotRotationWithinThreeIntervals) {
+  SkewMonitor& mon = SkewMonitor::Instance();
+  uint64_t t = 0;
+  for (int i = 0; i < 5; i++) {
+    FeedInterval(/*hot_base=*/0);
+    mon.ForceSample(t += 1'000);
+  }
+  EXPECT_EQ(mon.shift_count(), 0u) << "stable hot set must not flag";
+  const SkewSignals stable = mon.Latest();
+  EXPECT_GE(stable.top_k_share, 0.5);  // concentrated hot set
+  EXPECT_GT(stable.zipf_theta, 0.3);   // visibly skewed
+  EXPECT_LE(stable.churn, 0.25);
+  ASSERT_FALSE(stable.top_keys.empty());
+  EXPECT_EQ(stable.top_keys[0].key, 0u);  // hottest scripted key
+
+  // Hotspot jumps to a disjoint range; the flag must fire within 3
+  // intervals of the rotation.
+  int intervals_to_flag = -1;
+  for (int i = 1; i <= 3; i++) {
+    FeedInterval(/*hot_base=*/25'000);
+    mon.ForceSample(t += 1'000);
+    if (mon.Latest().shift) {
+      intervals_to_flag = i;
+      break;
+    }
+  }
+  ASSERT_NE(intervals_to_flag, -1) << "shift not flagged within 3 intervals";
+  EXPECT_GE(mon.shift_count(), 1u);
+  EXPECT_GE(mon.Latest().churn, 0.5);
+
+  // History is oldest-first and remembers the flagged interval.
+  const std::vector<SkewSignals> history = mon.History();
+  ASSERT_GE(history.size(), 2u);
+  EXPECT_LT(history.front().seq, history.back().seq);
+  bool flagged = false;
+  for (const SkewSignals& sig : history) flagged |= sig.shift;
+  EXPECT_TRUE(flagged);
+}
+
+TEST_F(SkewTest, IntervalCountersAreDeltasNotTotals) {
+  SkewMonitor& mon = SkewMonitor::Instance();
+  HeatMap& map = HeatMap::Instance();
+  map.RecordKey(HeatKind::kRead, 1, kKeys, 100);
+  map.RecordKey(HeatKind::kAbort, 1, kKeys, 7);
+  mon.ForceSample(1'000);
+  EXPECT_EQ(mon.Latest().interval_accesses, 100u);
+  EXPECT_EQ(mon.Latest().interval_aborts, 7u);
+  map.RecordKey(HeatKind::kRead, 1, kKeys, 25);
+  mon.ForceSample(2'000);
+  EXPECT_EQ(mon.Latest().interval_accesses, 25u);
+  EXPECT_EQ(mon.Latest().interval_aborts, 0u);
+}
+
+TEST_F(SkewTest, ShardManagerProjectsHeatOntoOwners) {
+  // 4 owners over 50k keys; all heat scripted onto the first hot range.
+  core::ShardManager shards(kKeys, 4);
+  SkewMonitor& mon = SkewMonitor::Instance();
+  FeedInterval(/*hot_base=*/0);
+  mon.ForceSample(1'000);
+  const std::vector<double> owner_heat = shards.OwnerHeat(mon.Latest());
+  ASSERT_EQ(owner_heat.size(), 4u);
+  // Owner 0 holds [0, 12.5k): it must carry the dominant share.
+  EXPECT_GT(owner_heat[0], owner_heat[1]);
+  EXPECT_GT(owner_heat[0], owner_heat[2]);
+  EXPECT_GT(owner_heat[0], owner_heat[3]);
+}
+
+TEST_F(SkewTest, ConcurrentMaybeSampleAgainstConfigure) {
+  // Hammer the sampling fast path from worker threads while the control
+  // plane reconfigures both the skew monitor and the flight recorder —
+  // the race the try_lock + atomic-gate discipline must survive.
+  ObsConfig::SetEnabled(true);
+  FlightRecorder::Instance().Configure(/*interval_ns=*/500,
+                                       /*capacity=*/64);
+  auto token = FlightRecorder::Instance().RegisterGauge(
+      "heat_test.gauge", [](uint64_t) { return 1.0; });
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; w++) {
+    workers.emplace_back([&, w] {
+      uint64_t now = w * 17;
+      while (!stop.load(std::memory_order_relaxed)) {
+        HeatMap::Instance().RecordKey(HeatKind::kRead, now % kKeys, kKeys);
+        SkewMonitor::Instance().MaybeSample(now);
+        FlightRecorder::Instance().MaybeSample(now);
+        now += 257;
+      }
+    });
+  }
+  for (int i = 0; i < 50; i++) {
+    SkewMonitorOptions sopts;
+    sopts.interval_ns = 500 + i;
+    SkewMonitor::Instance().Configure(sopts);
+    FlightRecorder::Instance().Configure(400 + i, 64);
+    (void)SkewMonitor::Instance().Latest();
+    (void)FlightRecorder::Instance().Snapshot();
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  // The last Configure zeroed the sample count; prove the recorder still
+  // works after the churn with one deterministic sample.
+  FlightRecorder::Instance().MaybeSample(1'000'000);
+  EXPECT_GT(FlightRecorder::Instance().total_samples(), 0u);
+  token.Release();
+  FlightRecorder::Instance().Clear();
+}
+
+TEST(HeatObsTest, GaugeFamilyEmitsLabeledSeries) {
+  ObsConfig::SetEnabled(true);
+  FlightRecorder& fr = FlightRecorder::Instance();
+  fr.Configure(/*interval_ns=*/100, /*capacity=*/16);
+  auto token = fr.RegisterGaugeFamily(
+      "heat.shard",
+      [](uint64_t, std::vector<std::pair<std::string, double>>* out) {
+        out->emplace_back("3", 7.0);
+        out->emplace_back("12", 9.0);
+      });
+  fr.MaybeSample(100);
+  fr.MaybeSample(250);
+  const FlightRecorder::Series series = fr.Snapshot();
+  ASSERT_EQ(series.t_ns.size(), 2u);
+  ASSERT_TRUE(series.values.count("heat.shard{3}"));
+  ASSERT_TRUE(series.values.count("heat.shard{12}"));
+  EXPECT_DOUBLE_EQ(series.values.at("heat.shard{3}")[0], 7.0);
+  EXPECT_DOUBLE_EQ(series.values.at("heat.shard{12}")[1], 9.0);
+  token.Release();
+  fr.Clear();
+}
+
+TEST(HeatObsTest, StatsExporterEmitsMetaAndHeatSections) {
+  HeatMap::Instance().Configure(HeatOptions{});
+  HeatMap::Instance().RecordKey(HeatKind::kRead, 42, 1'000, 10);
+  HeatMap::Instance().Fold();
+
+  SkewMonitorOptions sopts;
+  sopts.interval_ns = 1'000;
+  SkewMonitor::Instance().Configure(sopts);
+  SkewMonitor::Instance().ForceSample(1'000);
+
+  StatsExporter exporter;
+  exporter.StampRunMeta(/*seed=*/1234);
+  exporter.SetMeta("bench", "heat_test");
+  exporter.AddHeat(HeatMap::Instance().Snapshot(),
+                   SkewMonitor::Instance().Latest());
+  EXPECT_FALSE(exporter.empty());
+
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("\"meta\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"heat_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"heat\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"hot_keys\":[{\"key\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"skew\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"shift\":false"), std::string::npos);
+
+  const std::string text = exporter.ToText();
+  EXPECT_NE(text.find("heat.hot_keys"), std::string::npos);
+
+  HeatMap::SetEnabled(false);
+  SkewMonitor::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace dsmdb::obs

@@ -7,6 +7,8 @@ histogram p50. Exits nonzero when any throughput drops, or any p50 rises,
 by more than the regression threshold (default 10%). Histograms with fewer
 than --min-count samples on either side are skipped: a p50 over a handful
 of aborted attempts is scheduling noise, not a regression signal.
+Metrics present on only one side are listed explicitly — "new (no
+baseline)" or "dropped by candidate" — but never gate the exit code.
 
 A markdown summary table is written next to the candidate JSON
 (``<candidate>.compare.md``) so CI runs are reviewable without re-running
@@ -51,7 +53,8 @@ def walk(stats, min_count):
 
 
 def write_markdown(path, base_path, cand_path, threshold, rows,
-                   regressions):
+                   regressions, only_base=(), only_cand=(), base=None,
+                   cand=None):
     """Emits the comparison as a reviewable markdown table."""
     lines = [
         "# Bench comparison",
@@ -68,6 +71,16 @@ def write_markdown(path, base_path, cand_path, threshold, rows,
         status = "**REGRESSION**" if regressed else ""
         lines.append(f"| `{key}` | {kind} | {b:.1f} | {c:.1f} "
                      f"| {delta:+.1%} | {status} |")
+    # Asymmetric metrics get their own rows so a new bench (or a dropped
+    # one) is visible in review instead of silently shrinking the table.
+    for key in only_cand:
+        v, kind = cand[key]
+        lines.append(f"| `{key}` | {kind} | — | {v:.1f} | — | "
+                     "new (no baseline) |")
+    for key in only_base:
+        v, kind = base[key]
+        lines.append(f"| `{key}` | {kind} | {v:.1f} | — | — | "
+                     "dropped by candidate |")
     if regressions:
         lines += ["", "## Regressed metrics", ""]
         for key, kind, b, c, delta in regressions:
@@ -131,14 +144,22 @@ def main(argv):
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
     if only_base:
-        print(f"\n  ({len(only_base)} metrics only in base, ignored)")
+        print(f"\n  {len(only_base)} metric(s) only in base "
+              "(dropped by candidate):")
+        for key in only_base:
+            v, kind = base[key]
+            print(f"    {key} ({kind}, base {v:.1f})")
     if only_cand:
-        print(f"  ({len(only_cand)} metrics only in candidate, ignored)")
+        print(f"\n  {len(only_cand)} metric(s) new in candidate "
+              "(no baseline, not gated):")
+        for key in only_cand:
+            v, kind = cand[key]
+            print(f"    {key} ({kind}, candidate {v:.1f})")
 
     if markdown:
         md_path = os.path.splitext(paths[1])[0] + ".compare.md"
         write_markdown(md_path, paths[0], paths[1], threshold, rows,
-                       regressions)
+                       regressions, only_base, only_cand, base, cand)
         print(f"\nmarkdown summary: {md_path}")
 
     if regressions:

@@ -51,6 +51,30 @@ class SimClock {
   SimClock() = delete;
 };
 
+/// Marks a region whose simulated timeline is provisional — a SimFanOut
+/// branch (rewound to the fan-out origin per branch) or an inline RPC
+/// handler whose elapsed time is rewound and folded into a verb's cost.
+/// Cooperative task schedulers (src/rt) must not park inside such a
+/// region: a park computes its wake time from the provisional clock and
+/// would leak another task's progress into a timeline that is about to be
+/// rewound. rt::SimWait degrades to SimClock::AdvanceTo while any
+/// SimNoPark is active on the thread.
+class SimNoPark {
+ public:
+  SimNoPark() { Depth()++; }
+  ~SimNoPark() { Depth()--; }
+  SimNoPark(const SimNoPark&) = delete;
+  SimNoPark& operator=(const SimNoPark&) = delete;
+
+  static bool Active() { return Depth() > 0; }
+
+ private:
+  static uint32_t& Depth() {
+    thread_local uint32_t depth = 0;
+    return depth;
+  }
+};
+
 /// RAII helper modeling a parallel fan-out of coarse-grained branches on
 /// one thread: each branch is issued from the same start time, and Join()
 /// advances the clock to the slowest branch's completion.
@@ -96,6 +120,7 @@ class SimFanOut {
   uint64_t t0_;
   uint64_t max_end_;
   bool joined_ = false;
+  SimNoPark no_park_;  ///< Branch timelines are rewound; parking is unsafe.
 };
 
 /// Scope used by the async verb engine (rdma::CompletionQueue::PostCall)
@@ -130,6 +155,7 @@ class SimHandlerScope {
  private:
   uint64_t t0_;
   bool ended_ = false;
+  SimNoPark no_park_;  ///< Handler time is rewound by End(); no parking.
 };
 
 /// RAII scope that measures elapsed simulated time on the calling thread.

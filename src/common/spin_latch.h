@@ -19,6 +19,35 @@ inline void CpuRelax() {
 #endif
 }
 
+namespace internal {
+/// Installed per worker thread by the cooperative task scheduler
+/// (rt::Scheduler). See CoopYield below.
+inline thread_local void (*tls_coop_yield)() = nullptr;
+}  // namespace internal
+
+/// Installs (or clears, with nullptr) the calling thread's cooperative
+/// yield hook. Owned by src/rt; declared here so the latches can call it
+/// without a dependency on the scheduler.
+inline void SetCoopYieldHook(void (*fn)()) {
+  internal::tls_coop_yield = fn;
+}
+
+/// Yield point for latch spin loops. On a plain thread this is
+/// std::this_thread::yield(). On a worker thread driving cooperative
+/// tasks the hook parks the spinning task so a sibling task — possibly
+/// the latch holder, parked mid-IO while holding the latch — can run;
+/// without it a spinner would busy-wait forever on a holder that can only
+/// resume on this same OS thread. The hook never advances the simulated
+/// clock (latch spins are host-level waits, exactly like the plain
+/// yield they replace).
+inline void CoopYield() {
+  if (internal::tls_coop_yield != nullptr) {
+    internal::tls_coop_yield();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
 /// Test-and-test-and-set spin latch for very short critical sections
 /// (buffer-pool metadata, policy state). Not reentrant.
 class SpinLatch {
@@ -36,7 +65,7 @@ class SpinLatch {
         // On few-core hosts the holder may be descheduled; yield instead
         // of burning the whole quantum.
         if (++spins > 64) {
-          std::this_thread::yield();
+          CoopYield();
           spins = 0;
         }
       }
@@ -84,7 +113,7 @@ class SharedSpinLatch {
       }
       CpuRelax();
       if (++spins > 64) {
-        std::this_thread::yield();
+        CoopYield();
         spins = 0;
       }
     }
@@ -102,7 +131,7 @@ class SharedSpinLatch {
       }
       CpuRelax();
       if (++spins > 64) {
-        std::this_thread::yield();
+        CoopYield();
         spins = 0;
       }
     }

@@ -1,45 +1,101 @@
 #include "dsm/dsm_client.h"
 
 #include "common/coding.h"
+#include "common/spin_latch.h"
 #include "dsm/rpc_ids.h"
 #include "obs/heat_map.h"
 #include "obs/op_scope.h"
 #include "obs/telemetry.h"
+#include "rt/task.h"
 
 namespace dsmdb::dsm {
 
 namespace {
 
-/// Hot-path scratch: ReadBatch/WriteBatch translate DsmBatchOp ->
-/// rdma::BatchOp on every call; reuse one per-thread vector instead of
-/// allocating. Safe: the NIC batch verbs never re-enter the client.
-std::vector<rdma::BatchOp>& BatchScratch() {
-  thread_local std::vector<rdma::BatchOp> scratch;
-  return scratch;
+/// Hot-path scratch, owned per *execution context*: per cooperative task
+/// when an rt::Scheduler drives the thread, per thread otherwise. The
+/// batch vector may be live across a park (the NIC verb suspends the task
+/// mid-ReadBatch), so a plain thread_local would alias between two
+/// interleaved tasks on one worker — each task gets its own Scratch from
+/// a freelist and returns it when the task finishes.
+struct Scratch {
+  /// ReadBatch/WriteBatch DsmBatchOp -> rdma::BatchOp translation buffer.
+  std::vector<rdma::BatchOp> batch;
+  /// Request-string slots for DirectoryCall/Offload. RPC handlers run
+  /// inline on the calling context and may re-enter the client (e.g. a
+  /// peer's eviction during invalidation unregisters a sharer), so the
+  /// slots rotate by nesting depth instead of sharing one buffer.
+  std::string req[4];
+  uint32_t req_depth = 0;
+};
+
+SpinLatch g_scratch_latch;
+
+std::vector<Scratch*>& ScratchFreelist() {
+  static std::vector<Scratch*> list;
+  return list;
 }
 
-/// Request-string scratch for DirectoryCall/Offload. RPC handlers run
-/// inline on the calling thread and may re-enter the client (e.g. a peer's
-/// eviction during invalidation unregisters a sharer), so rotate through a
-/// small per-thread pool instead of sharing one buffer.
+/// Task-finish deleter: recycle the task's scratch for future tasks.
+void ReturnScratch(void* p) {
+  auto* s = static_cast<Scratch*>(p);
+  s->batch.clear();
+  s->req_depth = 0;
+  SpinLatchGuard g(g_scratch_latch);
+  ScratchFreelist().push_back(s);
+}
+
+Scratch* CurrentScratch() {
+  static const size_t kSlot = rt::AllocTaskSlot(&ReturnScratch);
+  void** cell = rt::TaskSlot(kSlot);
+  if (cell == nullptr) {
+    // Plain thread: one scratch per thread (the pre-scheduler behavior).
+    thread_local Scratch fallback;
+    return &fallback;
+  }
+  if (*cell == nullptr) {
+    Scratch* s = nullptr;
+    {
+      SpinLatchGuard g(g_scratch_latch);
+      auto& list = ScratchFreelist();
+      if (!list.empty()) {
+        s = list.back();
+        list.pop_back();
+      }
+    }
+    if (s == nullptr) s = new Scratch();
+    *cell = s;
+  }
+  return static_cast<Scratch*>(*cell);
+}
+
+/// RAII handle on one rotating request-string slot of the context's
+/// scratch (rotation handles inline-handler re-entry on one context).
 class ReqScratch {
  public:
-  ReqScratch() : buf_(Slot(depth_++)) { buf_->clear(); }
-  ~ReqScratch() { depth_--; }
+  ReqScratch() : s_(CurrentScratch()), buf_(&s_->req[s_->req_depth++ % 4]) {
+    buf_->clear();
+  }
+  ~ReqScratch() { s_->req_depth--; }
   std::string* get() { return buf_; }
 
  private:
-  static std::string* Slot(uint32_t depth) {
-    thread_local std::string slots[4];
-    return &slots[depth % 4];
-  }
-  static thread_local uint32_t depth_;
+  Scratch* s_;
   std::string* buf_;
 };
 
-thread_local uint32_t ReqScratch::depth_ = 0;
-
 }  // namespace
+
+namespace internal {
+
+const void* ScratchIdForTest() { return CurrentScratch(); }
+
+size_t ScratchFreelistSizeForTest() {
+  SpinLatchGuard g(g_scratch_latch);
+  return ScratchFreelist().size();
+}
+
+}  // namespace internal
 
 DsmClient::DsmClient(Cluster* cluster, rdma::NodeId self)
     : cluster_(cluster), nic_(&cluster->fabric(), self) {
@@ -115,7 +171,7 @@ Status DsmClient::Write(GlobalAddress dst, const void* src, size_t length) {
 
 Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
   obs::OpScope scope("dsm.read_batch", "dsm", obs_.batch_ns);
-  std::vector<rdma::BatchOp>& raw = BatchScratch();
+  std::vector<rdma::BatchOp>& raw = CurrentScratch()->batch;
   raw.clear();
   raw.reserve(ops.size());
   const bool heat = obs::HeatMap::Enabled();
@@ -131,7 +187,7 @@ Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
 
 Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
   obs::OpScope scope("dsm.write_batch", "dsm", obs_.batch_ns);
-  std::vector<rdma::BatchOp>& raw = BatchScratch();
+  std::vector<rdma::BatchOp>& raw = CurrentScratch()->batch;
   raw.clear();
   raw.reserve(ops.size());
   const bool heat = obs::HeatMap::Enabled();

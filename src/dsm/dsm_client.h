@@ -182,6 +182,19 @@ class DsmPipeline {
   rdma::CompletionQueue cq_;
 };
 
+namespace internal {
+
+/// Identity of the calling context's DsmClient scratch buffers — per task
+/// under an rt::Scheduler, per thread otherwise. Test-only: asserts that
+/// interleaved tasks on one worker thread never alias scratch.
+const void* ScratchIdForTest();
+
+/// Current size of the scratch freelist (test-only: asserts that finished
+/// tasks recycle their scratch).
+size_t ScratchFreelistSizeForTest();
+
+}  // namespace internal
+
 }  // namespace dsmdb::dsm
 
 #endif  // DSMDB_DSM_DSM_CLIENT_H_

@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/random.h"
 #include "common/sim_clock.h"
+#include "rt/scheduler.h"
 
 namespace dsmdb::index {
 
@@ -76,7 +77,8 @@ Result<uint64_t> RaceHash::Get(uint64_t key) {
       }
     }
     if (!in_flight) return Status::NotFound("key not in hash table");
-    SimClock::Advance(200);
+    // In-flight slot: wait out the claimer's write; parks when a task.
+    rt::SimWait(SimClock::Now() + 200);
   }
   return Status::TimedOut("hash slot stayed in-flight");
 }

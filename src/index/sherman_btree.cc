@@ -6,6 +6,7 @@
 
 #include "check/checker.h"
 #include "common/sim_clock.h"
+#include "rt/scheduler.h"
 
 namespace dsmdb::index {
 
@@ -15,9 +16,11 @@ constexpr uint64_t kMetaBytes = 24;  // lock | root | height
 constexpr uint32_t kMaxDescend = 128;
 
 void Backoff(uint32_t attempt) {
-  SimClock::Advance(std::min<uint64_t>(150ULL << std::min(attempt, 6u),
-                                       10'000));
-  if (attempt > 2) std::this_thread::yield();
+  // Parks the calling task (plain threads just advance their clock) so
+  // sibling transactions can run during the backoff window.
+  rt::SimWait(SimClock::Now() +
+              std::min<uint64_t>(150ULL << std::min(attempt, 6u), 10'000));
+  if (attempt > 2 && !rt::InTask()) std::this_thread::yield();
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rdma/fabric.h"
+#include "rt/scheduler.h"
 
 namespace dsmdb::rdma {
 
@@ -53,7 +54,7 @@ uint64_t CompletionQueue::BeginPost() {
       if (!op.retired) earliest = std::min(earliest, op.complete_ns);
     }
     const uint64_t stall_start = SimClock::Now();
-    SimClock::AdvanceTo(earliest);
+    rt::SimWait(earliest);
     PollAll();
     if (TracingOn() && earliest != UINT64_MAX && earliest > stall_start) {
       obs::EmitSpan("qp.stall", "cpu.queue", stall_start,
@@ -330,7 +331,7 @@ Status CompletionQueue::WaitAll() {
       retired++;
     }
   }
-  SimClock::AdvanceTo(max_end);
+  rt::SimWait(max_end);
   outstanding_ = 0;
   if (retired > 0) {
     fabric_->inflight_verbs_.fetch_sub(static_cast<int64_t>(retired),

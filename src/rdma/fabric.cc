@@ -10,6 +10,7 @@
 #include "rdma/sim_mem.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "rt/scheduler.h"
 
 namespace dsmdb::rdma {
 
@@ -208,7 +209,9 @@ Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
   check::OnRemoteRead(*host, length, src.node, src.offset);
   ReleaseResolve(src.node);
   const uint64_t cost = model_.OneSidedNs(length);
-  SimClock::Advance(cost);
+  // Post overhead is CPU (serial on the core); the rest is wire time a
+  // cooperative task may overlap with sibling transactions.
+  rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   VerbStats& s = stats(initiator);
   s.one_sided_reads.fetch_add(1, std::memory_order_relaxed);
   s.bytes_read.fetch_add(length, std::memory_order_relaxed);
@@ -228,7 +231,7 @@ Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
   check::OnRemoteWrite(*host, length, dst.node, dst.offset);
   ReleaseResolve(dst.node);
   const uint64_t cost = model_.OneSidedNs(length);
-  SimClock::Advance(cost);
+  rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   VerbStats& s = stats(initiator);
   s.one_sided_writes.fetch_add(1, std::memory_order_relaxed);
   s.bytes_written.fetch_add(length, std::memory_order_relaxed);
@@ -251,7 +254,8 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     total += op.length;
   }
   const uint64_t cost = model_.BatchNs(ops.size(), total);
-  SimClock::Advance(cost);
+  const uint64_t post = model_.post_overhead_ns * ops.size();
+  rt::SimCharge(post, cost > post ? cost - post : 0);
   VerbStats& s = stats(initiator);
   s.batches.fetch_add(1, std::memory_order_relaxed);
   s.bytes_read.fetch_add(total, std::memory_order_relaxed);
@@ -274,7 +278,8 @@ Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     total += op.length;
   }
   const uint64_t cost = model_.BatchNs(ops.size(), total);
-  SimClock::Advance(cost);
+  const uint64_t post = model_.post_overhead_ns * ops.size();
+  rt::SimCharge(post, cost > post ? cost - post : 0);
   VerbStats& s = stats(initiator);
   s.batches.fetch_add(1, std::memory_order_relaxed);
   s.bytes_written.fetch_add(total, std::memory_order_relaxed);
@@ -297,7 +302,7 @@ Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
   check::OnRemoteCas(*host, addr.node, addr.offset, expected, desired, prev);
   ReleaseResolve(addr.node);
   const uint64_t cost = model_.AtomicNs();
-  SimClock::Advance(cost);
+  rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   stats(initiator).cas_ops.fetch_add(1, std::memory_order_relaxed);
   if (ObsOn()) {
     obs_.cas_ns->Add(cost);
@@ -318,7 +323,7 @@ Result<uint64_t> Fabric::FetchAndAdd(NodeId initiator, RemotePtr addr,
   check::OnRemoteFaa(*host, addr.node, addr.offset);
   ReleaseResolve(addr.node);
   const uint64_t cost = model_.AtomicNs();
-  SimClock::Advance(cost);
+  rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   stats(initiator).faa_ops.fetch_add(1, std::memory_order_relaxed);
   if (ObsOn()) {
     obs_.faa_ns->Add(cost);
@@ -376,13 +381,18 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
                                   ? static_cast<int64_t>(handler_start) -
                                         static_cast<int64_t>(SimClock::Now())
                                   : 0);
+    // The handler's internal clock advances are rewound and folded into
+    // the call's completion time below — a provisional timeline, so any
+    // nested SimWait must not park (a parked sibling's progress would
+    // leak into time that is about to be discarded).
+    SimNoPark no_park;
     handler_cost = handler(request, response);
   }
   check::OnRpcReturn(target, service);
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
   const uint64_t finish =
       done + model_.rtt_ns / 2 + model_.TransferNs(response->size());
-  SimClock::AdvanceTo(finish);
+  rt::SimWait(finish);
   if (tracing) {
     obs::EmitSpanUnder("verb.post", "verb.post", t0,
                        model_.post_overhead_ns, span.span_id());

@@ -1,0 +1,367 @@
+#include "rt/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/sim_clock.h"
+#include "common/spin_latch.h"
+#include "obs/obs_config.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace dsmdb::rt {
+
+namespace {
+
+thread_local Scheduler* tls_sched = nullptr;
+thread_local Task* tls_task = nullptr;
+
+std::atomic<uint64_t> g_sched_id{0};
+
+/// Process-wide task-local-slot registry (see AllocTaskSlot).
+struct SlotRegistry {
+  std::atomic<size_t> count{0};
+  std::array<std::atomic<void (*)(void*)>, kMaxTaskSlots> deleters{};
+};
+
+SlotRegistry& Slots() {
+  static SlotRegistry reg;
+  return reg;
+}
+
+}  // namespace
+
+void CoopYieldTrampoline() {
+  if (tls_sched != nullptr && tls_task != nullptr) {
+    tls_sched->YieldSpin();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+size_t AllocTaskSlot(void (*deleter)(void*)) {
+  const size_t key = Slots().count.fetch_add(1, std::memory_order_relaxed);
+  if (key >= kMaxTaskSlots) {
+    std::fprintf(stderr, "rt: task-local slots exhausted (max %zu)\n",
+                 kMaxTaskSlots);
+    std::abort();
+  }
+  Slots().deleters[key].store(deleter, std::memory_order_release);
+  return key;
+}
+
+void** TaskSlot(size_t key) {
+  Task* t = tls_task;
+  if (t == nullptr) return nullptr;
+  assert(key < kMaxTaskSlots);
+  return &t->slots_[key];
+}
+
+Scheduler* Scheduler::Current() { return tls_sched; }
+Task* Scheduler::CurrentTask() { return tls_task; }
+
+Scheduler::Scheduler() : Scheduler(Options()) {}
+
+Scheduler::Scheduler(Options opts)
+    : opts_(opts), id_(g_sched_id.fetch_add(1, std::memory_order_relaxed)) {
+  resume_lag_hist_ = obs::Telemetry::Instance().GetHistogram(
+      "sched.resume_lag_ns");
+  RegisterGauges();
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::RegisterGauges() {
+  const std::string label = std::to_string(id_);
+  auto& fr = obs::FlightRecorder::Instance();
+  auto one = [label](std::atomic<uint64_t>* v) {
+    return [label, v](uint64_t,
+                      std::vector<std::pair<std::string, double>>* out) {
+      out->emplace_back(label,
+                        static_cast<double>(v->load(std::memory_order_relaxed)));
+    };
+  };
+  fr_tokens_.push_back(fr.RegisterGaugeFamily("sched.live", one(&live_)));
+  fr_tokens_.push_back(fr.RegisterGaugeFamily("sched.parked", one(&parked_)));
+  fr_tokens_.push_back(
+      fr.RegisterGaugeFamily("sched.depth_hwm", one(&depth_hwm_)));
+  // Runnable = live tasks that could use the core right now (running,
+  // ready in the heap past their wake, or spin-yielded). We approximate
+  // as live − parked − backpressure-blocked, which is exact between
+  // suspension points.
+  fr_tokens_.push_back(fr.RegisterGaugeFamily(
+      "sched.runnable",
+      [this, label](uint64_t,
+                    std::vector<std::pair<std::string, double>>* out) {
+        const uint64_t live = live_.load(std::memory_order_relaxed);
+        const uint64_t off = parked_.load(std::memory_order_relaxed) +
+                             bp_count_.load(std::memory_order_relaxed);
+        out->emplace_back(label,
+                          static_cast<double>(live > off ? live - off : 0));
+      }));
+
+  // STATS_JSON totals: same-named gauges sum across workers and fold into
+  // counters when the scheduler dies, so per-run totals survive teardown.
+  auto& metrics = GlobalMetrics();
+  auto counter = [](std::atomic<uint64_t>* v) {
+    return [v]() { return v->load(std::memory_order_relaxed); };
+  };
+  metric_tokens_.push_back(
+      metrics.RegisterGauge("sched.tasks_spawned", counter(&spawned_)));
+  metric_tokens_.push_back(
+      metrics.RegisterGauge("sched.parks", counter(&parks_)));
+  metric_tokens_.push_back(
+      metrics.RegisterGauge("sched.spin_yields", counter(&spin_yields_)));
+  metric_tokens_.push_back(
+      metrics.RegisterGauge("sched.depth_hwm", counter(&depth_hwm_)));
+}
+
+Scheduler::Stats Scheduler::GetStats() const {
+  Stats s;
+  s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.spin_yields = spin_yields_.load(std::memory_order_relaxed);
+  s.depth_hwm = depth_hwm_.load(std::memory_order_relaxed);
+  return s;
+}
+
+/// Min-heap order: earliest simulated wake first, FIFO among equals.
+bool Scheduler::HeapAfter(const Task* a, const Task* b) {
+  if (a->wake_ns_ != b->wake_ns_) return a->wake_ns_ > b->wake_ns_;
+  return a->seq_ > b->seq_;
+}
+
+void Scheduler::HeapPush(Task* t) {
+  heap_.push_back(t);
+  std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+}
+
+Task* Scheduler::HeapPop() {
+  std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+  Task* t = heap_.back();
+  heap_.pop_back();
+  return t;
+}
+
+void Scheduler::RequeueYielded() {
+  for (Task* y : yielded_) {
+    y->state_ = Task::State::kReady;
+    y->wake_ns_ = core_now_;
+    y->seq_ = ++seq_gen_;
+    y->from_yield_ = true;
+    HeapPush(y);
+  }
+  yielded_count_.fetch_sub(yielded_.size(), std::memory_order_relaxed);
+  yielded_.clear();
+}
+
+Task* Scheduler::NewTask(std::function<void()> fn, uint64_t wake_ns) {
+  auto owned = std::unique_ptr<Task>(new Task(
+      spawned_.fetch_add(1, std::memory_order_relaxed), std::move(fn)));
+  Task* t = owned.get();
+  tasks_.push_back(std::move(owned));
+  t->wake_ns_ = wake_ns;
+  t->seq_ = ++seq_gen_;
+  const uint64_t live = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t hwm = depth_hwm_.load(std::memory_order_relaxed);
+  while (live > hwm &&
+         !depth_hwm_.compare_exchange_weak(hwm, live,
+                                           std::memory_order_relaxed)) {
+  }
+  HeapPush(t);
+  // The thread starts immediately but blocks on its baton semaphore until
+  // the scheduler pops the task.
+  t->thread_ = std::thread([this, t] { TaskMain(t); });
+  return t;
+}
+
+void Scheduler::ScheduleNext() {
+  while (true) {
+    if (!heap_.empty()) {
+      Task* next = HeapPop();
+      if (core_now_ < next->wake_ns_) core_now_ = next->wake_ns_;
+      // Spin-yielded tasks get one re-check per pop of a *real* task (a
+      // sibling latch holder is by construction in the heap). Popping a
+      // requeued spinner must not recycle the others: spinners requeue at
+      // a frozen core_now_, so two of them would otherwise trade the core
+      // below every parked wake time forever and starve the very holder
+      // they spin on (see Task::from_yield_).
+      const bool was_spinner = next->from_yield_;
+      next->from_yield_ = false;
+      if (!was_spinner) RequeueYielded();
+      next->state_ = Task::State::kRunning;
+      next->sem_.release();
+      return;
+    }
+    if (!yielded_.empty()) {
+      // Every runnable sibling is spin-yielded: the latch holder must be
+      // on another OS thread. Yield the host CPU to it, then retry.
+      std::this_thread::yield();
+      RequeueYielded();
+      continue;
+    }
+    if (live_.load(std::memory_order_relaxed) == 0) {
+      done_.release();
+      return;
+    }
+    // Live tasks exist but none is runnable or parked — they are all
+    // blocked in Spawn backpressure waiting for live_ to drop, which
+    // nothing can cause. This is a usage bug (e.g. every task spawning
+    // past max_tasks), not a transient state.
+    std::fprintf(stderr,
+                 "rt: scheduler %llu deadlocked: %llu live tasks, none "
+                 "runnable (all in Spawn backpressure)\n",
+                 static_cast<unsigned long long>(id_),
+                 static_cast<unsigned long long>(
+                     live_.load(std::memory_order_relaxed)));
+    std::abort();
+  }
+}
+
+void Scheduler::ParkUntil(uint64_t wake_ns) {
+  Task* t = tls_task;
+  assert(t != nullptr);
+  const uint64_t now = SimClock::Now();
+  if (wake_ns < now) wake_ns = now;
+  if (core_now_ < now) core_now_ = now;
+  t->state_ = Task::State::kParked;
+  t->wake_ns_ = wake_ns;
+  t->seq_ = ++seq_gen_;
+  HeapPush(t);
+  parked_.fetch_add(1, std::memory_order_relaxed);
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  ScheduleNext();
+  t->sem_.acquire();
+  parked_.fetch_sub(1, std::memory_order_relaxed);
+  // Core progress made by siblings while we waited. core_now_ >= wake_ns
+  // is guaranteed (the pop that resumed us raised it to our wake time).
+  SimClock::AdvanceTo(core_now_);
+  const uint64_t lag = SimClock::Now() - wake_ns;
+  if (lag > 0) {
+    // Time spent waiting for the core after our wire wait ended — this is
+    // queue wait, not wire time; give the critical-path sweep a span so
+    // it lands in the cpu.queue bucket.
+    if (obs::ObsConfig::Enabled()) resume_lag_hist_->Add(lag);
+    if (obs::ObsConfig::TracingEnabled()) {
+      obs::EmitSpan("sched.resume", "cpu.queue", wake_ns, lag);
+    }
+  }
+}
+
+void Scheduler::YieldSpin() {
+  Task* t = tls_task;
+  assert(t != nullptr);
+  const uint64_t now = SimClock::Now();
+  if (core_now_ < now) core_now_ = now;
+  t->state_ = Task::State::kYielded;
+  yielded_.push_back(t);
+  yielded_count_.fetch_add(1, std::memory_order_relaxed);
+  spin_yields_.fetch_add(1, std::memory_order_relaxed);
+  ScheduleNext();
+  t->sem_.acquire();
+  // Deliberately no clock adjustment: a latch spin is a host-level wait
+  // (exactly like the std::this_thread::yield() it replaces), and staying
+  // clock-neutral keeps YieldSpin legal inside SimNoPark regions — which
+  // is what breaks the handler-spins-on-latch-held-by-parked-task
+  // deadlock.
+}
+
+void Scheduler::Spawn(std::function<void()> fn) {
+  assert(tls_sched == this && tls_task != nullptr &&
+         "Spawn must be called from inside a task");
+  Task* self = tls_task;
+  while (opts_.max_tasks != 0 &&
+         live_.load(std::memory_order_relaxed) >= opts_.max_tasks) {
+    // At the depth cap: cooperatively block until a task finishes
+    // (TaskMain requeues backpressure waiters on every finish).
+    self->state_ = Task::State::kParked;
+    bp_waiters_.push_back(self);
+    bp_count_.fetch_add(1, std::memory_order_relaxed);
+    ScheduleNext();
+    self->sem_.acquire();
+    bp_count_.fetch_sub(1, std::memory_order_relaxed);
+    SimClock::AdvanceTo(core_now_);
+  }
+  self->state_ = Task::State::kRunning;
+  NewTask(std::move(fn), SimClock::Now());
+}
+
+void Scheduler::TaskMain(Task* t) {
+  t->sem_.acquire();
+  tls_sched = this;
+  tls_task = t;
+  SetCoopYieldHook(&CoopYieldTrampoline);
+  // A fresh thread's clock is 0; start on the core's current time (the
+  // pop that scheduled us already raised core_now_ to our spawn time).
+  SimClock::AdvanceTo(core_now_);
+  try {
+    t->fn_();
+  } catch (...) {
+    t->error_ = std::current_exception();
+  }
+  // Task-local slot cleanup runs on the task's own thread, exception or
+  // not, so pooled objects (DsmClient scratch) return to their freelists.
+  const size_t nslots = Slots().count.load(std::memory_order_acquire);
+  for (size_t k = 0; k < nslots && k < kMaxTaskSlots; ++k) {
+    if (t->slots_[k] != nullptr) {
+      if (auto* del = Slots().deleters[k].load(std::memory_order_acquire)) {
+        del(t->slots_[k]);
+      }
+      t->slots_[k] = nullptr;
+    }
+  }
+  t->state_ = Task::State::kFinished;
+  if (core_now_ < SimClock::Now()) core_now_ = SimClock::Now();
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  // A finish is the only event that can unblock Spawn backpressure.
+  for (Task* w : bp_waiters_) {
+    w->state_ = Task::State::kReady;
+    w->wake_ns_ = core_now_;
+    w->seq_ = ++seq_gen_;
+    HeapPush(w);
+  }
+  bp_waiters_.clear();
+  SetCoopYieldHook(nullptr);
+  tls_task = nullptr;
+  tls_sched = nullptr;
+  ScheduleNext();
+}
+
+void Scheduler::Run(std::function<void()> root) {
+  assert(!started_ && "Scheduler::Run is single-use");
+  assert(tls_task == nullptr && "Run must not be called from inside a task");
+  started_ = true;
+  NewTask(std::move(root), SimClock::Now());
+  ScheduleNext();
+  done_.acquire();
+  for (auto& t : tasks_) {
+    if (t->thread_.joinable()) t->thread_.join();
+  }
+  final_sim_ns_ = core_now_;
+  for (auto& t : tasks_) {
+    if (t->error_) std::rethrow_exception(t->error_);
+  }
+}
+
+void SimWait(uint64_t wake_ns) {
+  Scheduler* s = tls_sched;
+  if (s == nullptr || tls_task == nullptr || SimNoPark::Active()) {
+    // Plain thread, or a provisional (rewound) timeline: the
+    // pre-scheduler blocking behavior.
+    SimClock::AdvanceTo(wake_ns);
+    return;
+  }
+  if (wake_ns <= SimClock::Now()) return;
+  s->ParkUntil(wake_ns);
+}
+
+void SimCharge(uint64_t cpu_ns, uint64_t wire_ns) {
+  SimClock::Advance(cpu_ns);
+  if (wire_ns != 0) SimWait(SimClock::Now() + wire_ns);
+}
+
+}  // namespace dsmdb::rt

@@ -1,0 +1,169 @@
+#ifndef DSMDB_RT_SCHEDULER_H_
+#define DSMDB_RT_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/flight_recorder.h"
+#include "rt/task.h"
+
+namespace dsmdb {
+class ConcurrentHistogram;
+}
+
+namespace dsmdb::rt {
+
+/// Cooperative multiplexer: one worker (OS) thread drives N transaction
+/// tasks over one simulated core. Exactly one task runs at a time (strict
+/// baton, handed off via each task's semaphore); tasks suspend at
+/// simulated-wait boundaries (rt::SimWait — verb completions, lock
+/// backoff) and at latch spins (CoopYield → YieldSpin), and the scheduler
+/// resumes the task with the earliest simulated wake time.
+///
+/// Time model. The scheduler keeps a monotone per-core clock `core_now_`:
+/// CPU work serializes on it (a resumed task first advances to
+/// `core_now_`, so two tasks' compute never overlaps on the simulated
+/// core), while wire waits overlap (a parked task's RTT elapses while
+/// siblings compute) — which is precisely the latency hiding the paper
+/// asks of a compute node. With a single task the model degenerates to
+/// the plain blocking timeline: park → immediate self-resume at the same
+/// clock values, so depth=1 results are bit-identical to pre-scheduler
+/// runs.
+///
+/// Observability: a resumed task that waited on the core beyond its wake
+/// time books the excess into the `sched.resume_lag_ns` histogram and —
+/// when tracing — a `cpu.queue` span, so PR-4 critical paths attribute it
+/// as queue_wait rather than wire time. `sched.*` gauges (live / parked /
+/// runnable per worker, depth high-water) are sampled by the
+/// FlightRecorder on the usual simulated-time intervals.
+class Scheduler {
+ public:
+  struct Options {
+    /// Cap on concurrently live tasks (including the spawner); Spawn
+    /// blocks (cooperatively) while at the cap. 0 = unbounded.
+    uint32_t max_tasks = 0;
+  };
+
+  Scheduler();  ///< Default options (unbounded depth).
+  explicit Scheduler(Options opts);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs `root` as the first task and blocks until every task (root plus
+  /// everything Spawned transitively) has finished, then rethrows the
+  /// first task failure, if any. Single-use. The caller's simulated clock
+  /// seeds the core clock; call SimClock::AdvanceTo(FinalSimNs()) after
+  /// Run to account the multiplexed work on the calling thread.
+  void Run(std::function<void()> root);
+
+  /// Starts a new task, cooperatively blocking first if `max_tasks` live
+  /// tasks already exist. Must be called from inside a task.
+  void Spawn(std::function<void()> fn);
+
+  /// Scheduler driving the calling thread's task, or nullptr on a plain
+  /// thread (including the thread that called Run()).
+  static Scheduler* Current();
+
+  /// The calling thread's task, or nullptr on a plain thread.
+  static Task* CurrentTask();
+
+  /// Final simulated time of the multiplexed core — max over every
+  /// task's completion. Valid after Run() returns.
+  uint64_t FinalSimNs() const { return final_sim_ns_; }
+
+  /// Counters for tests and benches (valid while running and after Run).
+  struct Stats {
+    uint64_t tasks_spawned = 0;
+    uint64_t parks = 0;        ///< SimWait suspensions.
+    uint64_t spin_yields = 0;  ///< Latch-spin yields.
+    uint64_t depth_hwm = 0;    ///< Max concurrently live tasks.
+  };
+  Stats GetStats() const;
+
+ private:
+  friend void SimWait(uint64_t wake_ns);
+  friend void CoopYieldTrampoline();
+
+  /// Suspends the calling task until the core clock reaches `wake_ns`;
+  /// other runnable tasks execute in between. On resume the task's clock
+  /// is `max(wake_ns, core progress made meanwhile)`.
+  void ParkUntil(uint64_t wake_ns);
+
+  /// Clock-neutral suspension for latch spin loops: lets every other
+  /// runnable task (in particular a latch holder parked mid-IO on this
+  /// same worker) run before the spinner retries. Safe inside SimNoPark
+  /// regions because it never moves the simulated clock.
+  void YieldSpin();
+
+  /// Hands the baton to the next runnable task (or signals completion).
+  /// Caller must hold the baton and must not touch scheduler state after
+  /// this returns.
+  void ScheduleNext();
+
+  void TaskMain(Task* t);
+  Task* NewTask(std::function<void()> fn, uint64_t wake_ns);
+  static bool HeapAfter(const Task* a, const Task* b);
+  void HeapPush(Task* t);
+  Task* HeapPop();
+  void RequeueYielded();
+  void RegisterGauges();
+
+  const Options opts_;
+  const uint64_t id_;  ///< Process-unique worker id (gauge label).
+
+  // --- Baton-protected state: touched only by the current baton holder
+  // (the owner thread before the first handoff, exactly one task thread
+  // after). Handoffs are semaphore release/acquire pairs, which give the
+  // happens-before edges host TSan needs.
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> heap_;     ///< Min-heap by (wake_ns_, seq_).
+  std::vector<Task*> yielded_;  ///< Spin-yielded; eligible after next pop.
+  std::vector<Task*> bp_waiters_;  ///< Blocked in Spawn backpressure.
+  uint64_t core_now_ = 0;          ///< Monotone simulated core clock.
+  uint64_t seq_gen_ = 0;
+  uint64_t final_sim_ns_ = 0;
+  bool started_ = false;
+
+  /// Released by the task that observes the last task finish.
+  std::binary_semaphore done_{0};
+
+  // --- Sampled concurrently by FlightRecorder/metrics gauges.
+  std::atomic<uint64_t> live_{0};
+  std::atomic<uint64_t> parked_{0};
+  std::atomic<uint64_t> yielded_count_{0};
+  std::atomic<uint64_t> bp_count_{0};
+  std::atomic<uint64_t> depth_hwm_{0};
+  std::atomic<uint64_t> spawned_{0};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<uint64_t> spin_yields_{0};
+
+  ConcurrentHistogram* resume_lag_hist_ = nullptr;
+  std::vector<obs::FlightRecorder::Token> fr_tokens_;
+  std::vector<GaugeToken> metric_tokens_;
+};
+
+/// Parks the calling task until simulated time `wake_ns` when a scheduler
+/// drives this thread (letting sibling tasks overlap the wait); otherwise
+/// — plain thread, or inside a SimNoPark region — degrades to
+/// SimClock::AdvanceTo(wake_ns), the exact pre-scheduler behavior.
+void SimWait(uint64_t wake_ns);
+
+/// Charges a simulated device cost split into a CPU part (always serial:
+/// SimClock::Advance) and a wire part (overlappable: SimWait). On a plain
+/// thread this is bit-identical to SimClock::Advance(cpu_ns + wire_ns).
+void SimCharge(uint64_t cpu_ns, uint64_t wire_ns);
+
+/// True when the calling thread is a scheduler task (suspension points
+/// are live).
+inline bool InTask() { return Scheduler::CurrentTask() != nullptr; }
+
+}  // namespace dsmdb::rt
+
+#endif  // DSMDB_RT_SCHEDULER_H_

@@ -1,0 +1,103 @@
+#ifndef DSMDB_RT_TASK_H_
+#define DSMDB_RT_TASK_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <semaphore>
+#include <thread>
+
+namespace dsmdb::rt {
+
+class Scheduler;
+
+/// Number of task-local storage slots (see AllocTaskSlot below). A small
+/// fixed table keeps the per-task footprint and the lookup cost trivial;
+/// bump if a new subsystem needs a slot.
+inline constexpr size_t kMaxTaskSlots = 8;
+
+/// One resumable unit of work — typically one transaction stream — driven
+/// by a Scheduler. A task is backed by a dedicated host thread under a
+/// strict single-runner discipline: at most one task of a scheduler
+/// executes at any instant, and control moves between tasks only at
+/// explicit suspension points (rt::SimWait on a verb completion,
+/// CoopYield in a latch spin, Spawn backpressure). That realization was
+/// chosen over stack-switching fibers deliberately:
+///
+///  - every existing thread_local (the SimClock, obs::TraceCtx, the
+///    checker's per-thread state, scratch buffers) is per-task *by
+///    construction* — there is no save/restore list to keep in sync, and
+///    a future thread_local cannot silently alias across tasks;
+///  - TSan/ASan see ordinary threads with real happens-before edges (the
+///    baton handoff is a semaphore release/acquire), so the sanitizer
+///    suite needs no fiber annotations (GCC's sanitizers mis-handle
+///    swapcontext-style stack switching);
+///  - simulated-time metrics are unaffected: the handoff costs host time
+///    only, and benchmarks report simulated time.
+///
+/// The scheduler interface (park / resume / yield) is backing-agnostic;
+/// checker and trace identity key on the logical task, which here
+/// coincides with its host thread.
+class Task {
+ public:
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  /// Scheduler-unique id, dense from 0 in spawn order.
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Scheduler;
+  friend void** TaskSlot(size_t key);
+
+  Task(uint64_t id, std::function<void()> fn)
+      : id_(id), fn_(std::move(fn)) {}
+
+  enum class State : uint8_t {
+    kReady,     ///< In the scheduler heap, waiting to be picked.
+    kRunning,   ///< Holds the baton.
+    kParked,    ///< In the heap with a future simulated wake time.
+    kYielded,   ///< Spin-yielded (latch wait); runnable after others run.
+    kFinished,
+  };
+
+  uint64_t id_;
+  std::function<void()> fn_;
+  std::thread thread_;
+  /// Baton: released exactly when the scheduler hands this task the run
+  /// right; the task blocks on it at every suspension point.
+  std::binary_semaphore sem_{0};
+  State state_ = State::kReady;
+  uint64_t wake_ns_ = 0;  ///< Earliest simulated resume time.
+  uint64_t seq_ = 0;      ///< FIFO tiebreak among equal wake times.
+  /// True while this heap entry came from RequeueYielded. A spin-yielded
+  /// task is requeued at core_now_, which can sit below every parked
+  /// task's wake; if its own pop re-requeued its fellow spinners, two
+  /// clock-neutral spinners would hand the core back and forth at a
+  /// frozen core_now_ forever and starve the parked latch holder they
+  /// spin on. Popping a requeued spinner therefore must NOT make the
+  /// other yielded tasks eligible again — only a real (parked/ready)
+  /// pop or an empty heap does.
+  bool from_yield_ = false;
+  std::exception_ptr error_;
+  /// Task-local storage (see AllocTaskSlot). Slot deleters run on the
+  /// task's own thread when it finishes, even after an exception.
+  std::array<void*, kMaxTaskSlots> slots_{};
+};
+
+/// Allocates a process-wide task-local storage slot. `deleter` is invoked
+/// with the slot's value when a task that populated it finishes (so a
+/// subsystem can return pooled objects to a freelist). Slots are scarce —
+/// one per subsystem, allocated once into a static.
+size_t AllocTaskSlot(void (*deleter)(void*));
+
+/// The calling task's storage cell for `key`, or nullptr when the caller
+/// is not running inside a task (plain threads fall back to their own
+/// thread_local state).
+void** TaskSlot(size_t key);
+
+}  // namespace dsmdb::rt
+
+#endif  // DSMDB_RT_TASK_H_

@@ -5,6 +5,7 @@
 
 #include "check/checker.h"
 #include "common/sim_clock.h"
+#include "rt/scheduler.h"
 #include "txn/record_format.h"
 
 namespace dsmdb::txn {
@@ -12,9 +13,11 @@ namespace dsmdb::txn {
 void LockBackoff(uint32_t attempt) {
   const uint64_t ns = std::min<uint64_t>(200ULL << std::min(attempt, 6u),
                                          20'000);
-  SimClock::Advance(ns);
+  // Backoff is pure waiting: a cooperative task parks and lets sibling
+  // transactions (possibly the lock holder) use the core meanwhile.
+  rt::SimWait(SimClock::Now() + ns);
   // Give the lock holder a chance to run on few-core hosts.
-  if (attempt > 2) std::this_thread::yield();
+  if (attempt > 2 && !rt::InTask()) std::this_thread::yield();
 }
 
 Status RdmaSpinLock::TryAcquire(dsm::GlobalAddress word, uint64_t ts) {

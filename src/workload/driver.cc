@@ -10,6 +10,7 @@
 #include "obs/live_monitor.h"
 #include "obs/skew_monitor.h"
 #include "obs/trace.h"
+#include "rt/scheduler.h"
 
 namespace dsmdb::workload {
 
@@ -54,30 +55,69 @@ DriverResult RunDriver(const std::vector<core::ComputeNode*>& nodes,
   std::vector<std::thread> threads;
   threads.reserve(total_threads);
 
+  const uint32_t depth = std::max<uint32_t>(1, options.in_flight_depth);
+
+  // One transaction attempt, bookkeeping included. `lane` is the globally
+  // unique concurrent-context index (== worker index at depth 1); the
+  // TraceTxnScope roots each attempt's causal span tree and assigns the
+  // txn id every nested span (verbs, 2PC legs, log appends) inherits.
+  auto run_one = [&fn](core::ComputeNode* node, uint32_t lane, Random64& rng,
+                       WorkerOut* out) {
+    obs::TraceTxnScope span("txn.attempt", "workload");
+    const uint64_t t0 = SimClock::Now();
+    const bool committed = fn(node, lane, rng);
+    const uint64_t now = SimClock::Now();
+    out->latency.Add(now - t0);
+    out->attempts++;
+    if (committed) out->committed++;
+    obs::LiveMonitor::Instance().OnTxn(committed, now - t0);
+    obs::FlightRecorder::Instance().MaybeSample(now);
+    obs::SkewMonitor::Instance().MaybeSample(now);
+  };
+
   // Checker fork/join edges: table/cluster setup happened-before every
-  // worker, and all worker effects happened-before the aggregation below.
+  // worker (and every task lane), and all worker effects happened-before
+  // the aggregation below.
   const uint64_t fork = check::ForkPoint();
   for (uint32_t t = 0; t < total_threads; t++) {
     core::ComputeNode* node = nodes[t / options.threads_per_node];
     threads.emplace_back([&, t, node] {
       check::OnThreadStart(fork);
       SimClock::Reset();
-      Random64 rng(options.seed * 1'000'003 + t);
       WorkerOut& out = outs[t];
-      for (uint64_t i = 0; i < options.txns_per_thread; i++) {
-        // Root of each transaction's causal span tree: assigns the txn id
-        // every nested span (verbs, 2PC legs, log appends) inherits.
-        obs::TraceTxnScope span("txn.attempt", "workload");
-        const uint64_t t0 = SimClock::Now();
-        const bool committed = fn(node, t, rng);
-        const uint64_t now = SimClock::Now();
-        out.latency.Add(now - t0);
-        out.attempts++;
-        if (committed) out.committed++;
-        obs::LiveMonitor::Instance().OnTxn(committed, now - t0);
-        obs::FlightRecorder::Instance().MaybeSample(now);
-        obs::SkewMonitor::Instance().MaybeSample(now);
+      if (depth == 1) {
+        Random64 rng(options.seed * 1'000'003 + t);
+        for (uint64_t i = 0; i < options.txns_per_thread; i++) {
+          run_one(node, t, rng, &out);
+        }
+        out.sim_ns = SimClock::Now();
+        check::OnThreadFinish(fork);
+        return;
       }
+      // Depth > 1: multiplex `depth` cooperative lanes over this worker's
+      // simulated core. Lanes pull from a shared attempt budget; the pull
+      // (and all writes to `out`) are safe unsynchronized because exactly
+      // one lane of a scheduler runs between suspension points, and the
+      // baton handoffs give happens-before.
+      rt::Scheduler sched;
+      uint64_t next_txn = 0;
+      sched.Run([&] {
+        for (uint32_t k = 0; k < depth; k++) {
+          const uint32_t lane = t * depth + k;
+          sched.Spawn([&, lane] {
+            check::OnThreadStart(fork);
+            Random64 rng(options.seed * 1'000'003 + lane);
+            while (next_txn < options.txns_per_thread) {
+              next_txn++;
+              run_one(node, lane, rng, &out);
+            }
+            check::OnThreadFinish(fork);
+          });
+        }
+      });
+      // Account the multiplexed work on the worker's own clock: the
+      // core's finish time is the max over every lane's completion.
+      SimClock::AdvanceTo(sched.FinalSimNs());
       out.sim_ns = SimClock::Now();
       check::OnThreadFinish(fork);
     });

@@ -17,6 +17,15 @@ struct DriverOptions {
   uint32_t threads_per_node = 4;
   uint64_t txns_per_thread = 1'000;
   uint64_t seed = 42;
+  /// Concurrent transactions multiplexed per worker thread. At 1 (the
+  /// default) the worker runs its attempts back to back, exactly the
+  /// pre-scheduler behavior. At N > 1 each worker drives N cooperative
+  /// task lanes over one simulated core (rt::Scheduler): lanes pull
+  /// attempts from the worker's shared budget of `txns_per_thread`, and a
+  /// lane parked on a verb completion hides its RTT behind sibling lanes'
+  /// compute. `thread_idx` passed to the TxnFn is the globally unique
+  /// lane index (== the worker index when depth is 1).
+  uint32_t in_flight_depth = 1;
 };
 
 struct DriverResult {

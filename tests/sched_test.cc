@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/spin_latch.h"
+#include "core/dsmdb.h"
+#include "dsm/dsm_client.h"
+#include "obs/obs_config.h"
+#include "obs/telemetry.h"
+#include "rt/scheduler.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace dsmdb::rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Core scheduler mechanics
+// ---------------------------------------------------------------------------
+
+TEST(SchedTest, SingleTaskMatchesPlainTimeline) {
+  // One task = the plain blocking timeline: every SimWait self-resumes at
+  // exactly the requested wake time.
+  SimClock::Reset();
+  SimClock::Advance(500);
+  Scheduler sched;
+  uint64_t inside = 0;
+  sched.Run([&] {
+    EXPECT_EQ(SimClock::Now(), 500u);
+    SimCharge(100, 1'000);
+    EXPECT_EQ(SimClock::Now(), 1'600u);
+    SimWait(SimClock::Now() + 400);
+    inside = SimClock::Now();
+  });
+  EXPECT_EQ(inside, 2'000u);
+  EXPECT_EQ(sched.FinalSimNs(), 2'000u);
+  EXPECT_EQ(sched.GetStats().tasks_spawned, 1u);
+}
+
+TEST(SchedTest, ResumesInSimulatedWakeOrder) {
+  // Tasks park until different simulated times; resumption must follow
+  // wake order, not spawn order.
+  SimClock::Reset();
+  Scheduler sched;
+  std::vector<int> order;
+  sched.Run([&] {
+    sched.Spawn([&] {
+      SimWait(3'000);
+      order.push_back(3);
+    });
+    sched.Spawn([&] {
+      SimWait(1'000);
+      order.push_back(1);
+    });
+    sched.Spawn([&] {
+      SimWait(2'000);
+      order.push_back(2);
+    });
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(sched.FinalSimNs(), 3'000u);
+}
+
+TEST(SchedTest, EqualWakesAreFifoFair) {
+  // Tasks repeatedly parking to the same wake time interleave round-robin
+  // (FIFO seq tiebreak) — no task starves behind an always-earlier rival.
+  SimClock::Reset();
+  Scheduler sched;
+  std::string log;
+  sched.Run([&] {
+    for (char id : {'A', 'B', 'C'}) {
+      sched.Spawn([&, id] {
+        for (int i = 0; i < 3; i++) {
+          log.push_back(id);
+          SimWait(SimClock::Now() + 100);
+        }
+      });
+    }
+  });
+  EXPECT_EQ(log, "ABCABCABC");
+}
+
+TEST(SchedTest, WireWaitsOverlapAcrossTasks) {
+  // Four tasks, each 5 iterations of (100ns CPU, 1000ns wire). CPU
+  // serializes on the core; wire overlaps. Steady-state period is
+  // max(cpu + wire, depth * cpu) = 1100ns, so the whole run is ~k * 1100
+  // plus the pipeline fill — far below the 4 * 5 * 1100 serial sum.
+  SimClock::Reset();
+  constexpr uint64_t kDepth = 4, kIters = 5, kCpu = 100, kWire = 1'000;
+  Scheduler sched;
+  sched.Run([&] {
+    for (uint64_t d = 0; d < kDepth; d++) {
+      sched.Spawn([&] {
+        for (uint64_t i = 0; i < kIters; i++) SimCharge(kCpu, kWire);
+      });
+    }
+  });
+  const uint64_t serial = kDepth * kIters * (kCpu + kWire);  // 22'000
+  const uint64_t one_chain = kIters * (kCpu + kWire);        // 5'500
+  EXPECT_GE(sched.FinalSimNs(), one_chain);
+  EXPECT_LE(sched.FinalSimNs(), one_chain + kDepth * kCpu + 1'000);
+  EXPECT_LT(sched.FinalSimNs(), serial / 3);
+  EXPECT_GT(sched.GetStats().parks, 0u);
+}
+
+TEST(SchedTest, SpawnBackpressureBoundsLiveTasks) {
+  SimClock::Reset();
+  Scheduler::Options opts;
+  opts.max_tasks = 3;  // root + 2 children live at once
+  Scheduler sched(opts);
+  int live = 0, max_live = 0, done = 0;
+  sched.Run([&] {
+    for (int i = 0; i < 10; i++) {
+      sched.Spawn([&] {
+        live++;
+        max_live = std::max(max_live, live);
+        SimWait(SimClock::Now() + 500);  // keep the lane genuinely live
+        live--;
+        done++;
+      });
+    }
+  });
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(sched.GetStats().tasks_spawned, 11u);  // root + 10
+  EXPECT_LE(sched.GetStats().depth_hwm, 3u);
+  EXPECT_LE(max_live, 2);  // children concurrently live beside the root
+}
+
+TEST(SchedTest, ExceptionMidSuspensionUnwindsAndPropagates) {
+  // A task that throws after parking must not wedge the scheduler: the
+  // sibling finishes, Run() joins everything, then rethrows.
+  SimClock::Reset();
+  Scheduler sched;
+  bool sibling_done = false;
+  EXPECT_THROW(
+      sched.Run([&] {
+        sched.Spawn([&] {
+          SimWait(1'000);
+          throw std::runtime_error("txn abort mid-flight");
+        });
+        sched.Spawn([&] {
+          SimWait(2'000);
+          sibling_done = true;
+        });
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(sibling_done);
+  EXPECT_EQ(sched.FinalSimNs(), 2'000u);
+}
+
+TEST(SchedTest, SimNoParkDegradesToAdvanceTo) {
+  // Inside a provisional timeline (inline RPC handler, SimFanOut branch)
+  // SimWait must not park — it just advances the clock.
+  SimClock::Reset();
+  Scheduler sched;
+  sched.Run([&] {
+    const uint64_t parks_before = sched.GetStats().parks;
+    {
+      SimNoPark guard;
+      SimWait(SimClock::Now() + 5'000);
+    }
+    EXPECT_EQ(sched.GetStats().parks, parks_before);
+    EXPECT_EQ(SimClock::Now(), 5'000u);
+  });
+}
+
+TEST(SchedTest, CoopYieldLetsParkedLatchHolderRun) {
+  // Holder takes a latch, parks mid-IO; spinner needs the latch. On one
+  // worker this deadlocks unless the spin loop's CoopYield parks the
+  // spinner so the holder can resume and release. Clock-neutrality: the
+  // spinner's own clock must not move from spinning.
+  SimClock::Reset();
+  Scheduler sched;
+  SpinLatch latch;
+  bool critical_done = false;
+  sched.Run([&] {
+    sched.Spawn([&] {
+      latch.Lock();
+      SimWait(SimClock::Now() + 2'000);  // park while holding the latch
+      latch.Unlock();
+    });
+    sched.Spawn([&] {
+      latch.Lock();  // spins; CoopYield hands the core to the holder
+      critical_done = true;
+      latch.Unlock();
+    });
+  });
+  EXPECT_TRUE(critical_done);
+  EXPECT_GT(sched.GetStats().spin_yields, 0u);
+}
+
+TEST(SchedTest, ResumeLagFeedsSchedTelemetry) {
+  // Five tasks with identical (cpu, wire) rhythm: the core is contended
+  // at every resume point, so resume lag lands in sched.resume_lag_ns and
+  // park/spawn totals land in the global metrics snapshot.
+  obs::Telemetry::Instance().Reset();
+  obs::ObsConfig::SetEnabled(true);
+  SimClock::Reset();
+  {
+    Scheduler sched;
+    sched.Run([&] {
+      for (int d = 0; d < 5; d++) {
+        sched.Spawn([&] {
+          for (int i = 0; i < 4; i++) SimCharge(400, 1'000);
+        });
+      }
+    });
+    const auto metrics = GlobalMetrics().Snapshot();
+    EXPECT_GE(metrics.at("sched.tasks_spawned"), 6u);
+    EXPECT_GT(metrics.at("sched.parks"), 0u);
+    EXPECT_GE(metrics.at("sched.depth_hwm"), 5u);
+  }
+  const auto hists = obs::Telemetry::Instance().SnapshotHistograms();
+  const auto it = hists.find("sched.resume_lag_ns");
+  ASSERT_NE(it, hists.end());
+  EXPECT_GT(it->second.count(), 0u);
+  obs::ObsConfig::SetEnabled(false);
+}
+
+// ---------------------------------------------------------------------------
+// Per-task DsmClient scratch (regression: no aliasing between interleaved
+// tasks on one worker thread)
+// ---------------------------------------------------------------------------
+
+TEST(SchedScratchTest, InterleavedTasksNeverAliasScratch) {
+  SimClock::Reset();
+  Scheduler sched;
+  const void* id_a_first = nullptr;
+  const void* id_a_second = nullptr;
+  const void* id_b = nullptr;
+  sched.Run([&] {
+    sched.Spawn([&] {
+      id_a_first = dsm::internal::ScratchIdForTest();
+      SimWait(SimClock::Now() + 1'000);  // B interleaves here
+      id_a_second = dsm::internal::ScratchIdForTest();
+    });
+    sched.Spawn([&] { id_b = dsm::internal::ScratchIdForTest(); });
+  });
+  ASSERT_NE(id_a_first, nullptr);
+  ASSERT_NE(id_b, nullptr);
+  // Stable across a park, distinct across tasks on the same OS thread's
+  // scheduler — the property the old thread_local scratch violated.
+  EXPECT_EQ(id_a_first, id_a_second);
+  EXPECT_NE(id_a_first, id_b);
+}
+
+TEST(SchedScratchTest, FinishedTasksRecycleScratchThroughFreelist) {
+  SimClock::Reset();
+  const void* first_task_id = nullptr;
+  const void* second_task_id = nullptr;
+  Scheduler sched;
+  sched.Run([&] {
+    sched.Spawn([&] { first_task_id = dsm::internal::ScratchIdForTest(); });
+  });
+  // The finished task's scratch went back to the pool (it either grew the
+  // freelist or recycled a pooled entry taken at task start).
+  EXPECT_GE(dsm::internal::ScratchFreelistSizeForTest(), 1u);
+  Scheduler sched2;
+  sched2.Run([&] {
+    sched2.Spawn(
+        [&] { second_task_id = dsm::internal::ScratchIdForTest(); });
+  });
+  // LIFO freelist: the follow-up task reuses the finished task's scratch.
+  EXPECT_EQ(first_task_id, second_task_id);
+}
+
+TEST(SchedScratchTest, PlainThreadKeepsThreadLocalScratch) {
+  const void* a = dsm::internal::ScratchIdForTest();
+  const void* b = dsm::internal::ScratchIdForTest();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// All six CC protocols at in-flight depth {1, 4, 32}
+// ---------------------------------------------------------------------------
+
+struct DepthParam {
+  std::string name;
+  txn::CcOptions cc;
+  uint32_t depth;
+};
+
+std::vector<DepthParam> AllProtocolDepths() {
+  struct Proto {
+    const char* name;
+    txn::CcProtocolKind kind;
+    txn::TwoPlLockMode mode;
+  };
+  const Proto kProtos[] = {
+      {"TwoPlNoWait", txn::CcProtocolKind::kTwoPlNoWait,
+       txn::TwoPlLockMode::kExclusiveOnly},
+      {"TwoPlNoWaitSharedEx", txn::CcProtocolKind::kTwoPlNoWait,
+       txn::TwoPlLockMode::kSharedExclusive},
+      {"TwoPlWaitDie", txn::CcProtocolKind::kTwoPlWaitDie,
+       txn::TwoPlLockMode::kExclusiveOnly},
+      {"Occ", txn::CcProtocolKind::kOcc, txn::TwoPlLockMode::kExclusiveOnly},
+      {"Tso", txn::CcProtocolKind::kTso, txn::TwoPlLockMode::kExclusiveOnly},
+      {"Mvcc", txn::CcProtocolKind::kMvcc, txn::TwoPlLockMode::kExclusiveOnly},
+  };
+  std::vector<DepthParam> out;
+  for (const Proto& p : kProtos) {
+    for (uint32_t depth : {1u, 4u, 32u}) {
+      txn::CcOptions cc;
+      cc.protocol = p.kind;
+      cc.lock_mode = p.mode;
+      out.push_back({std::string(p.name) + "Depth" + std::to_string(depth),
+                     cc, depth});
+    }
+  }
+  return out;
+}
+
+class SchedProtocolTest : public ::testing::TestWithParam<DepthParam> {};
+
+TEST_P(SchedProtocolTest, CommitsUnderMultiplexedLanes) {
+  const DepthParam& param = GetParam();
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 64 << 20;
+  core::DbOptions dopts;
+  dopts.architecture = core::Architecture::kNoCacheNoSharding;
+  dopts.cc = param.cc;
+  core::DsmDb db(copts, dopts);
+  std::vector<core::ComputeNode*> nodes = {db.AddComputeNode(),
+                                           db.AddComputeNode()};
+  const core::Table* table = *db.CreateTable("ycsb", {64, 4'096});
+  ASSERT_TRUE(db.FinishSetup().ok());
+
+  workload::DriverOptions opts;
+  opts.threads_per_node = 2;
+  opts.txns_per_thread = 60;
+  opts.in_flight_depth = param.depth;
+  workload::YcsbOptions yopts;
+  yopts.num_keys = 4'096;
+  yopts.write_fraction = 0.3;
+  yopts.zipf_theta = 0.7;
+
+  workload::DriverResult result = workload::RunDriver(
+      nodes, opts,
+      [&](core::ComputeNode* node, uint32_t lane, Random64&) {
+        // One workload instance per lane (each lane is its own OS
+        // thread); distinct seeds keep lanes decorrelated.
+        thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+        if (!wl) {
+          wl = std::make_unique<workload::YcsbWorkload>(yopts, lane + 1);
+        }
+        Result<core::TxnResult> r = node->ExecuteOneShot(*table, wl->NextTxn());
+        EXPECT_TRUE(r.ok() || r.status().IsAborted()) << r.status();
+        return r.ok() && r->committed;
+      });
+
+  // The attempt budget is per worker, independent of depth.
+  EXPECT_EQ(result.attempts, 4u * 60u);
+  EXPECT_GT(result.committed, 0u);
+  EXPECT_GT(result.throughput_tps, 0.0);
+  EXPECT_EQ(result.latency_ns.count(), result.attempts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAllDepths, SchedProtocolTest,
+    ::testing::ValuesIn(AllProtocolDepths()),
+    [](const ::testing::TestParamInfo<DepthParam>& info) {
+      return info.param.name;
+    });
+
+TEST(SchedDepthSpeedupTest, DepthHidesRttOnReadMostlyWorkload) {
+  // Single worker, read-mostly YCSB: depth 8 must clearly beat depth 1 in
+  // simulated throughput (the full-strength >= 3x assertion lives in the
+  // bench_scalability CI smoke; this is the fast correctness-side check).
+  auto run = [&](uint32_t depth) {
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    copts.memory_node.capacity_bytes = 64 << 20;
+    core::DbOptions dopts;
+    dopts.architecture = core::Architecture::kNoCacheNoSharding;
+    core::DsmDb db(copts, dopts);
+    std::vector<core::ComputeNode*> nodes = {db.AddComputeNode()};
+    const core::Table* table = *db.CreateTable("ycsb", {64, 8'192});
+    EXPECT_TRUE(db.FinishSetup().ok());
+    workload::DriverOptions opts;
+    opts.threads_per_node = 1;
+    opts.txns_per_thread = 400;
+    opts.in_flight_depth = depth;
+    workload::YcsbOptions yopts;
+    yopts.num_keys = 8'192;
+    yopts.write_fraction = 0.05;
+    yopts.zipf_theta = 0.5;
+    workload::DriverResult r = workload::RunDriver(
+        nodes, opts,
+        [&](core::ComputeNode* node, uint32_t lane, Random64&) {
+          thread_local std::unique_ptr<workload::YcsbWorkload> wl;
+          if (!wl) {
+            wl = std::make_unique<workload::YcsbWorkload>(yopts, lane + 1);
+          }
+          Result<core::TxnResult> res =
+              node->ExecuteOneShot(*table, wl->NextTxn());
+          return res.ok() && res->committed;
+        });
+    return r.throughput_tps;
+  };
+  const double d1 = run(1);
+  const double d8 = run(8);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_GE(d8 / d1, 2.0) << "depth 8 = " << d8 << " tps, depth 1 = " << d1
+                          << " tps";
+}
+
+}  // namespace
+}  // namespace dsmdb::rt

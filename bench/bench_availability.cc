@@ -63,6 +63,7 @@ void RunReplication(Table* out, size_t data_bytes, uint32_t r) {
 
   cluster->CrashMemoryNode(0);
   cluster->RecoverMemoryNode(0);
+  client.RefreshIncarnation(0);
   SimClock::Reset();
   // Re-allocate on the fresh node and copy from replica 1 in 64 KiB pages.
   dsm::GlobalAddress dst = *client.Alloc(data_bytes, 0);
@@ -99,6 +100,7 @@ void RunErasure(Table* out, size_t data_bytes, uint32_t k) {
 
   cluster->CrashMemoryNode(0);
   cluster->RecoverMemoryNode(0);
+  client.RefreshIncarnation(0);
   SimClock::Reset();
   std::vector<std::string> surviving;
   for (uint32_t i = 1; i < k; i++) {
@@ -155,6 +157,7 @@ void RunRamCloudStyle(Table* out, size_t data_bytes, double tail_fraction) {
 
   cluster->CrashMemoryNode(0);
   cluster->RecoverMemoryNode(0);
+  client.RefreshIncarnation(0);
   SimClock::Reset();
   const auto snap = *ckpt.ReadLatest();
   dsm::GlobalAddress dst = *client.Alloc(snap.bytes.size(), 0);

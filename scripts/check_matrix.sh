@@ -32,7 +32,7 @@ fi
 
 # Sanitizer runs are slow; by default point them at the suites that exercise
 # the fabric, the async engine, and all six CC protocols. Override via TESTS.
-sanitizer_default_filter='RdmaFabricTest|AsyncEngineTest|TraceTest|Protocols/|Sched'
+sanitizer_default_filter='RdmaFabricTest|AsyncEngineTest|TraceTest|Protocols/|Sched|Chaos|Fault'
 
 cmake_args_for() {
   case "$1" in

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,     ///< Node crashed / not reachable.
   kNotSupported,
   kInternal,
+  kStaleIncarnation,  ///< Op fenced: target node re-incarnated since bind.
 };
 
 /// Returns a static human-readable name for `code` (e.g. "NotFound").
@@ -103,6 +104,9 @@ class Status {
   static Status Internal(std::string_view msg = "") {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status StaleIncarnation(std::string_view msg = "") {
+    return Status(StatusCode::kStaleIncarnation, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -119,6 +123,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsStaleIncarnation() const {
+    return code_ == StatusCode::kStaleIncarnation;
+  }
 
   StatusCode code() const { return code_; }
 

@@ -155,6 +155,16 @@ void ComputeNode::EnableSharding(ShardManager* shards, const Table* table,
   seen_shard_version_.store(shards->Version(), std::memory_order_release);
 }
 
+void ComputeNode::InstallAccessor(
+    std::unique_ptr<txn::DataAccessor> accessor) {
+  accessor_ = std::move(accessor);
+  // The CC manager captured the old accessor pointer at construction;
+  // rebuild it around the new one (setup-time only, so protocol stats
+  // starting from zero again is fine).
+  cc_ = txn::MakeCcManager(options_.cc, dsm_.get(), accessor_.get(),
+                           oracle_.get(), sink_.get());
+}
+
 void ComputeNode::MaybeDropCacheOnReshard() {
   if (shards_ == nullptr || pool_ == nullptr) return;
   const uint64_t v = shards_->Version();

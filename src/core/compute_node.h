@@ -113,6 +113,11 @@ class ComputeNode {
   void EnableSharding(ShardManager* shards, const Table* table,
                       std::vector<rdma::NodeId> owner_fabric_ids);
 
+  /// Swaps the value accessor (e.g. txn::ReplicatedDirectAccessor for
+  /// read-failover under memory-node crashes) and rebuilds the CC manager
+  /// around it. Call during setup, before any transaction runs.
+  void InstallAccessor(std::unique_ptr<txn::DataAccessor> accessor);
+
  private:
   /// Runs `ops` through a local transaction; fills `out`.
   /// Distinguishes protocol aborts (committed=false) from hard errors.

@@ -34,9 +34,15 @@ Result<uint64_t> RecoveryManager::RecoverMemoryNode(DsmDb* db,
         "no durability configured: a crashed memory node's data is lost");
   }
 
-  // 1. Restart the node if it is still down.
+  // 1. Restart the node if it is still down, then re-bind every client to
+  // its new incarnation (ops carry an incarnation fence; without the
+  // refresh they would fail StaleIncarnation forever).
   if (!db->cluster().IsMemoryNodeAlive(node)) {
     db->cluster().RecoverMemoryNode(node);
+  }
+  db->admin().RefreshIncarnation(node);
+  for (const auto& cn : db->compute_nodes()) {
+    cn->dsm().RefreshIncarnation(node);
   }
 
   // 2. Re-establish the table stripes at their original logical offsets.

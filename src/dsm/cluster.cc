@@ -43,14 +43,17 @@ rdma::NodeId Cluster::AddComputeNode(const std::string& name,
 }
 
 void Cluster::CrashMemoryNode(MemNodeId id) {
-  std::unique_ptr<MemoryNode> dead;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    assert(id < memory_nodes_.size());
-    fabric_.CrashNode(mem_fabric_ids_[id]);
-    dead = std::move(memory_nodes_[id]);
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(id < memory_nodes_.size());
+  fabric_.CrashNode(mem_fabric_ids_[id]);
+  // Park the dead node instead of freeing it: under live traffic an RPC
+  // handler that passed the aliveness check may still be running against
+  // this object on another thread (that op linearizes before the crash).
+  // The fabric has dropped its regions, so no *new* op can reach it; its
+  // DRAM contents are semantically gone.
+  if (memory_nodes_[id] != nullptr) {
+    graveyard_.push_back(std::move(memory_nodes_[id]));
   }
-  // MemoryNode destruction outside the lock: its DRAM contents are gone.
 }
 
 void Cluster::RecoverMemoryNode(MemNodeId id) {

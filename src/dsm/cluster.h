@@ -69,6 +69,10 @@ class Cluster {
   mutable std::mutex mu_;
   std::vector<rdma::NodeId> mem_fabric_ids_;
   std::vector<std::unique_ptr<MemoryNode>> memory_nodes_;
+  /// Crashed nodes are parked here instead of freed: an RPC handler that
+  /// raced the crash may still be executing on another thread (it
+  /// linearizes before the crash). Emptied on cluster teardown.
+  std::vector<std::unique_ptr<MemoryNode>> graveyard_;
 };
 
 }  // namespace dsmdb::dsm

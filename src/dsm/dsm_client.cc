@@ -1,11 +1,15 @@
 #include "dsm/dsm_client.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
+#include "common/sim_clock.h"
 #include "common/spin_latch.h"
 #include "dsm/rpc_ids.h"
 #include "obs/heat_map.h"
 #include "obs/op_scope.h"
 #include "obs/telemetry.h"
+#include "rt/scheduler.h"
 #include "rt/task.h"
 
 namespace dsmdb::dsm {
@@ -84,6 +88,15 @@ class ReqScratch {
   std::string* buf_;
 };
 
+/// splitmix64 finalizer, used for backoff jitter (decorrelates retry storms
+/// across clients without a stateful RNG).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 namespace internal {
@@ -98,7 +111,12 @@ size_t ScratchFreelistSizeForTest() {
 }  // namespace internal
 
 DsmClient::DsmClient(Cluster* cluster, rdma::NodeId self)
-    : cluster_(cluster), nic_(&cluster->fabric(), self) {
+    : cluster_(cluster),
+      nic_(&cluster->fabric(), self),
+      expected_inc_(cluster->num_memory_nodes()) {
+  RefreshIncarnations();
+  retries_ = GlobalMetrics().GetCounter("fault.retries");
+  failovers_ = GlobalMetrics().GetCounter("fault.failovers");
   obs::Telemetry& telemetry = obs::Telemetry::Instance();
   obs_.alloc_ns = telemetry.GetHistogram("dsm.client.alloc_ns");
   obs_.read_ns = telemetry.GetHistogram("dsm.client.read_ns");
@@ -115,6 +133,55 @@ rdma::RemotePtr DsmClient::ToRemote(GlobalAddress addr) const {
                          cluster_->MemRkey(addr.node), addr.offset};
 }
 
+Status DsmClient::CheckIncarnation(MemNodeId node) const {
+  if (node >= expected_inc_.size()) return Status::OK();
+  const uint64_t current =
+      cluster_->fabric().Incarnation(cluster_->MemFabricId(node));
+  if (current == expected_inc_[node].load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  return Status::StaleIncarnation("memory node " + std::to_string(node) +
+                                  " re-incarnated since bind");
+}
+
+void DsmClient::RefreshIncarnation(MemNodeId node) {
+  if (node >= expected_inc_.size()) return;
+  expected_inc_[node].store(
+      cluster_->fabric().Incarnation(cluster_->MemFabricId(node)),
+      std::memory_order_release);
+}
+
+void DsmClient::RefreshIncarnations() {
+  for (MemNodeId i = 0; i < expected_inc_.size(); i++) RefreshIncarnation(i);
+}
+
+uint64_t DsmClient::NextJitter() {
+  const uint64_t seq = jitter_seq_.fetch_add(1, std::memory_order_relaxed);
+  return Mix64((static_cast<uint64_t>(self()) << 32) ^ seq);
+}
+
+template <typename Fn>
+Status DsmClient::RetryVerb(Fn&& fn, MemNodeId node, Status first) {
+  const uint64_t start = SimClock::Now();
+  Status s = std::move(first);
+  for (uint32_t attempt = 1; attempt < retry_.max_attempts; attempt++) {
+    uint64_t backoff = std::min<uint64_t>(
+        retry_.backoff_base_ns << std::min<uint32_t>(attempt - 1, 5),
+        retry_.backoff_cap_ns);
+    backoff += NextJitter() % (backoff / 2 + 1);
+    const uint64_t now = SimClock::Now();
+    if (now + backoff - start >= retry_.deadline_ns) break;  // budget spent
+    rt::SimWait(now + backoff);
+    retries_->Add(1);
+    // The target may have flapped while we were parked: fail fast with the
+    // fence instead of issuing into a re-incarnated (empty) node.
+    DSMDB_RETURN_NOT_OK(CheckIncarnation(node));
+    s = fn();
+    if (!s.IsTimedOut()) return s;
+  }
+  return s;
+}
+
 Result<GlobalAddress> DsmClient::Alloc(uint64_t size, MemNodeId node) {
   obs::OpScope scope("dsm.alloc", "dsm", obs_.alloc_ns);
   if (node == kAnyNode) {
@@ -125,6 +192,9 @@ Result<GlobalAddress> DsmClient::Alloc(uint64_t size, MemNodeId node) {
   if (node >= cluster_->num_memory_nodes()) {
     return Status::InvalidArgument("bad memory node id");
   }
+  // RPC-based ops are fenced but never retried (the handler may have run
+  // before the ack was lost — re-sending an alloc would leak memory).
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(node));
   std::string req;
   PutFixed64(&req, size);
   std::string resp;
@@ -139,6 +209,7 @@ Result<GlobalAddress> DsmClient::Alloc(uint64_t size, MemNodeId node) {
 
 Status DsmClient::Free(GlobalAddress addr, uint64_t size) {
   obs::OpScope scope("dsm.free", "dsm", obs_.alloc_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(addr.node));
   std::string req;
   PutFixed64(&req, addr.offset);
   PutFixed64(&req, size);
@@ -153,20 +224,33 @@ Status DsmClient::Free(GlobalAddress addr, uint64_t size) {
 
 Status DsmClient::Read(GlobalAddress src, void* dst, size_t length) {
   obs::OpScope scope("dsm.read", "dsm", obs_.read_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(src.node));
   if (obs::HeatMap::Enabled()) {
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kRead,
                                               src.Pack());
   }
-  return nic_.Read(ToRemote(src), dst, length);
+  Status s = nic_.Read(ToRemote(src), dst, length);
+  if (s.IsTimedOut()) {
+    s = RetryVerb([&] { return nic_.Read(ToRemote(src), dst, length); },
+                  src.node, std::move(s));
+  }
+  return s;
 }
 
 Status DsmClient::Write(GlobalAddress dst, const void* src, size_t length) {
   obs::OpScope scope("dsm.write", "dsm", obs_.write_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(dst.node));
   if (obs::HeatMap::Enabled()) {
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kWrite,
                                               dst.Pack());
   }
-  return nic_.Write(ToRemote(dst), src, length);
+  Status s = nic_.Write(ToRemote(dst), src, length);
+  if (s.IsTimedOut()) {
+    // Lost-ack semantics: the write landed, re-sending it is idempotent.
+    s = RetryVerb([&] { return nic_.Write(ToRemote(dst), src, length); },
+                  dst.node, std::move(s));
+  }
+  return s;
 }
 
 Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
@@ -175,14 +259,25 @@ Status DsmClient::ReadBatch(const std::vector<DsmBatchOp>& ops) {
   raw.clear();
   raw.reserve(ops.size());
   const bool heat = obs::HeatMap::Enabled();
+  MemNodeId fenced = kAnyNode;
   for (const DsmBatchOp& op : ops) {
+    if (op.addr.node != fenced) {
+      DSMDB_RETURN_NOT_OK(CheckIncarnation(op.addr.node));
+      fenced = op.addr.node;
+    }
     if (heat) {
       obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kRead,
                                                 op.addr.Pack());
     }
     raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
   }
-  return nic_.ReadBatch(raw);
+  Status s = nic_.ReadBatch(raw);
+  if (s.IsTimedOut()) {
+    s = RetryVerb([&] { return nic_.ReadBatch(raw); },
+                  ops.empty() ? MemNodeId{0} : ops[0].addr.node,
+                  std::move(s));
+  }
+  return s;
 }
 
 Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
@@ -191,49 +286,115 @@ Status DsmClient::WriteBatch(const std::vector<DsmBatchOp>& ops) {
   raw.clear();
   raw.reserve(ops.size());
   const bool heat = obs::HeatMap::Enabled();
+  MemNodeId fenced = kAnyNode;
   for (const DsmBatchOp& op : ops) {
+    if (op.addr.node != fenced) {
+      DSMDB_RETURN_NOT_OK(CheckIncarnation(op.addr.node));
+      fenced = op.addr.node;
+    }
     if (heat) {
       obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kWrite,
                                                 op.addr.Pack());
     }
     raw.push_back(rdma::BatchOp{ToRemote(op.addr), op.local, op.length});
   }
-  return nic_.WriteBatch(raw);
+  Status s = nic_.WriteBatch(raw);
+  if (s.IsTimedOut()) {
+    s = RetryVerb([&] { return nic_.WriteBatch(raw); },
+                  ops.empty() ? MemNodeId{0} : ops[0].addr.node,
+                  std::move(s));
+  }
+  return s;
 }
 
 Result<uint64_t> DsmClient::CompareAndSwap(GlobalAddress addr,
                                            uint64_t expected,
                                            uint64_t desired) {
   obs::OpScope scope("dsm.cas", "dsm", obs_.atomic_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(addr.node));
   if (obs::HeatMap::Enabled()) {
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
                                               addr.Pack());
   }
-  return nic_.CompareAndSwap(ToRemote(addr), expected, desired);
+  Result<uint64_t> r = nic_.CompareAndSwap(ToRemote(addr), expected, desired);
+  if (r.status().IsTimedOut()) {
+    // Request-loss semantics: a lost CAS never executed, retry is safe.
+    Status s = RetryVerb(
+        [&] {
+          r = nic_.CompareAndSwap(ToRemote(addr), expected, desired);
+          return r.status();
+        },
+        addr.node, r.status());
+    if (!s.ok()) return s;
+  }
+  return r;
 }
 
 Result<uint64_t> DsmClient::FetchAndAdd(GlobalAddress addr, uint64_t delta) {
   obs::OpScope scope("dsm.faa", "dsm", obs_.atomic_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(addr.node));
   if (obs::HeatMap::Enabled()) {
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
                                               addr.Pack());
   }
-  return nic_.FetchAndAdd(ToRemote(addr), delta);
+  Result<uint64_t> r = nic_.FetchAndAdd(ToRemote(addr), delta);
+  if (r.status().IsTimedOut()) {
+    // Request-loss semantics: a lost FAA never executed, retry is safe.
+    Status s = RetryVerb(
+        [&] {
+          r = nic_.FetchAndAdd(ToRemote(addr), delta);
+          return r.status();
+        },
+        addr.node, r.status());
+    if (!s.ok()) return s;
+  }
+  return r;
 }
 
 Status DsmClient::WriteAll(const std::vector<GlobalAddress>& dsts,
                            const void* src, size_t length) {
   obs::OpScope scope("dsm.write_all", "dsm", obs_.write_ns);
-  rdma::CompletionQueue cq(&cluster_->fabric(), self());
-  for (const GlobalAddress& dst : dsts) {
-    cq.PostWrite(ToRemote(dst), src, length);
+  auto once = [&]() -> Status {
+    for (const GlobalAddress& dst : dsts) {
+      DSMDB_RETURN_NOT_OK(CheckIncarnation(dst.node));
+    }
+    rdma::CompletionQueue cq(&cluster_->fabric(), self());
+    for (const GlobalAddress& dst : dsts) {
+      cq.PostWrite(ToRemote(dst), src, length);
+    }
+    return cq.WaitAll();
+  };
+  Status s = once();
+  if (s.IsTimedOut() && !dsts.empty()) {
+    // Lost-ack semantics: re-sending every replica write is idempotent
+    // (`once` re-fences, so a flap during backoff still fails fast).
+    s = RetryVerb(once, dsts[0].node, std::move(s));
   }
-  return cq.WaitAll();
+  return s;
+}
+
+Status DsmClient::ReadAny(const std::vector<GlobalAddress>& replicas,
+                          void* dst, size_t length) {
+  if (replicas.empty()) return Status::InvalidArgument("no replicas");
+  Status last;
+  for (size_t i = 0; i < replicas.size(); i++) {
+    Status s = Read(replicas[i], dst, length);
+    if (s.ok()) {
+      if (i > 0) failovers_->Add(1);
+      return s;
+    }
+    if (!s.IsUnavailable() && !s.IsTimedOut() && !s.IsStaleIncarnation()) {
+      return s;  // non-transient (bad address etc.): surface immediately
+    }
+    last = std::move(s);
+  }
+  return last;
 }
 
 Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
                           std::string_view arg, std::string* out) {
   obs::OpScope scope("dsm.offload", "dsm", obs_.offload_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(node));
   ReqScratch scratch;
   std::string& req = *scratch.get();
   req.reserve(4 + arg.size());
@@ -252,6 +413,7 @@ Status DsmClient::Offload(MemNodeId node, uint32_t fn_id,
 Status DsmClient::DirectoryCall(uint8_t op, GlobalAddress page,
                                 uint32_t cache_id, std::string* resp) {
   obs::OpScope scope("dsm.directory", "dsm", obs_.directory_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(page.node));
   ReqScratch scratch;
   std::string& req = *scratch.get();
   req.push_back(static_cast<char>(op));
@@ -304,6 +466,7 @@ Result<std::vector<uint32_t>> DsmClient::DirPeersForUpdate(
 Status DsmClient::LogAppend(MemNodeId node, uint64_t segment,
                             std::string_view data) {
   obs::OpScope scope("dsm.log_append", "dsm", obs_.log_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(node));
   std::string req;
   PutFixed64(&req, segment);
   req.append(data.data(), data.size());
@@ -318,6 +481,7 @@ Status DsmClient::LogAppend(MemNodeId node, uint64_t segment,
 
 Result<std::string> DsmClient::LogRead(MemNodeId node, uint64_t segment) {
   obs::OpScope scope("dsm.log_read", "dsm", obs_.log_ns);
+  DSMDB_RETURN_NOT_OK(CheckIncarnation(node));
   std::string req;
   PutFixed64(&req, segment);
   std::string resp;

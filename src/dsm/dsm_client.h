@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "dsm/cluster.h"
@@ -18,11 +19,28 @@
 
 namespace dsmdb::dsm {
 
+class LeaseManager;
+
 /// One op of a doorbell-batched DSM read/write.
 struct DsmBatchOp {
   GlobalAddress addr;
   void* local = nullptr;
   size_t length = 0;
+};
+
+/// Deadline/backoff policy for transient verb failures (DESIGN.md §11).
+/// Only Status::TimedOut is retried — it marks a lost verb whose retry is
+/// safe by the fault model's loss semantics (reads/atomics: request loss,
+/// writes: idempotent re-send). Unavailable and StaleIncarnation surface
+/// immediately so the transaction layer aborts instead of spinning on a
+/// dead node. Backoff parks the cooperative lane via rt::SimWait — a
+/// retrying transaction never blocks its siblings.
+struct RetryPolicy {
+  uint32_t max_attempts = 16;
+  /// Total simulated budget per op, from first issue to last retry.
+  uint64_t deadline_ns = 2'000'000;
+  uint64_t backoff_base_ns = 2'000;
+  uint64_t backoff_cap_ns = 64'000;
 };
 
 /// A compute node's handle onto the DSM layer (Challenge #1's "Abstract
@@ -66,6 +84,43 @@ class DsmClient {
   /// costs ~1 RTT + k postings instead of k RTTs.
   Status WriteAll(const std::vector<GlobalAddress>& dsts, const void* src,
                   size_t length);
+
+  /// Replica read-failover: reads from the first replica that answers,
+  /// trying the next on Unavailable / TimedOut / StaleIncarnation (other
+  /// errors surface immediately). Counts `fault.failovers` when a
+  /// non-primary replica serves the read.
+  Status ReadAny(const std::vector<GlobalAddress>& replicas, void* dst,
+                 size_t length);
+
+  // --- Fault handling -------------------------------------------------------
+
+  /// Replaces the transient-failure retry policy (defaults are on).
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Incarnation fencing: every op carries the incarnation this client
+  /// last observed for its target memory node; once the node crashes and
+  /// recovers (empty, re-incarnated), ops fail with StaleIncarnation
+  /// instead of silently touching zeroed memory. Recovery flows call
+  /// RefreshIncarnation after re-seeding the node to accept the new world.
+  Status CheckIncarnation(MemNodeId node) const;
+  void RefreshIncarnation(MemNodeId node);
+  void RefreshIncarnations();
+
+  /// Liveness leases for orphan-lock recovery (null = feature off).
+  /// Not owned; must outlive use.
+  void SetLeaseManager(LeaseManager* leases) {
+    leases_.store(leases, std::memory_order_release);
+  }
+  LeaseManager* lease_manager() const {
+    return leases_.load(std::memory_order_acquire);
+  }
+  /// Owner id stamped into RDMA lock words (fabric id + 1), or 0 when no
+  /// lease manager is installed — keeping lock words bit-identical to the
+  /// pre-lease encoding unless the feature is on.
+  uint32_t lock_owner_id() const {
+    return lease_manager() != nullptr ? self() + 1 : 0;
+  }
 
   // --- Function offloading APIs --------------------------------------------
 
@@ -113,9 +168,23 @@ class DsmClient {
   static Result<std::vector<uint32_t>> ParseSharerList(
       const std::string& resp);
 
+  /// Runs the backoff/deadline retry loop after `fn` first failed with
+  /// `first` (a TimedOut). Re-checks the incarnation fence after every
+  /// park, so a node that flapped during the backoff fails fast.
+  template <typename Fn>
+  Status RetryVerb(Fn&& fn, MemNodeId node, Status first);
+  uint64_t NextJitter();
+
   Cluster* cluster_;
   rdma::Nic nic_;
   std::atomic<uint32_t> alloc_rr_{0};
+  RetryPolicy retry_;
+  /// Last-observed fabric incarnation per memory node (the fence).
+  std::vector<std::atomic<uint64_t>> expected_inc_;
+  std::atomic<LeaseManager*> leases_{nullptr};
+  std::atomic<uint64_t> jitter_seq_{0};
+  Counter* retries_ = nullptr;
+  Counter* failovers_ = nullptr;
   ObsHooks obs_;
 };
 
@@ -131,6 +200,9 @@ class DsmPipeline {
         cq_(&client->cluster()->fabric(), client->self(), max_outstanding) {}
 
   rdma::WrId Read(GlobalAddress src, void* dst, size_t length) {
+    if (Status fence = client_->CheckIncarnation(src.node); !fence.ok()) {
+      return PostFenced(src.node, std::move(fence));
+    }
     if (obs::HeatMap::Enabled()) {
       obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kRead,
                                                 src.Pack());
@@ -138,6 +210,9 @@ class DsmPipeline {
     return cq_.PostRead(client_->ToRemote(src), dst, length);
   }
   rdma::WrId Write(GlobalAddress dst, const void* src, size_t length) {
+    if (Status fence = client_->CheckIncarnation(dst.node); !fence.ok()) {
+      return PostFenced(dst.node, std::move(fence));
+    }
     if (obs::HeatMap::Enabled()) {
       obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kWrite,
                                                 dst.Pack());
@@ -145,6 +220,9 @@ class DsmPipeline {
     return cq_.PostWrite(client_->ToRemote(dst), src, length);
   }
   rdma::WrId Cas(GlobalAddress addr, uint64_t expected, uint64_t desired) {
+    if (Status fence = client_->CheckIncarnation(addr.node); !fence.ok()) {
+      return PostFenced(addr.node, std::move(fence));
+    }
     if (obs::HeatMap::Enabled()) {
       obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
                                                 addr.Pack());
@@ -152,6 +230,9 @@ class DsmPipeline {
     return cq_.PostCas(client_->ToRemote(addr), expected, desired);
   }
   rdma::WrId Faa(GlobalAddress addr, uint64_t delta) {
+    if (Status fence = client_->CheckIncarnation(addr.node); !fence.ok()) {
+      return PostFenced(addr.node, std::move(fence));
+    }
     if (obs::HeatMap::Enabled()) {
       obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAtomic,
                                                 addr.Pack());
@@ -161,6 +242,9 @@ class DsmPipeline {
   /// Two-sided call to a memory node by logical id.
   rdma::WrId CallMem(MemNodeId node, uint32_t service, std::string_view req,
                      std::string* resp) {
+    if (Status fence = client_->CheckIncarnation(node); !fence.ok()) {
+      return PostFenced(node, std::move(fence));
+    }
     return cq_.PostCall(client_->cluster()->MemFabricId(node), service, req,
                         resp);
   }
@@ -178,6 +262,13 @@ class DsmPipeline {
   void Reset() { cq_.Reset(); }
 
  private:
+  /// Records an incarnation-fence rejection as a completed-with-error post
+  /// so it surfaces through the queue's normal status()/WaitAll plumbing.
+  rdma::WrId PostFenced(MemNodeId node, Status fence) {
+    return cq_.PostError(client_->cluster()->MemFabricId(node),
+                         std::move(fence));
+  }
+
   DsmClient* client_;
   rdma::CompletionQueue cq_;
 };

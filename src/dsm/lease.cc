@@ -1,0 +1,78 @@
+#include "dsm/lease.h"
+
+#include <cstring>
+
+#include "common/sim_clock.h"
+#include "dsm/dsm_client.h"
+
+namespace dsmdb::dsm {
+
+Result<GlobalAddress> LeaseManager::CreateTable(DsmClient* admin,
+                                                MemNodeId node) {
+  Result<GlobalAddress> table = admin->Alloc(8ULL * kMaxOwners, node);
+  if (!table.ok()) return table;
+  char zeros[8ULL * kMaxOwners];
+  std::memset(zeros, 0, sizeof(zeros));
+  DSMDB_RETURN_NOT_OK(admin->Write(*table, zeros, sizeof(zeros)));
+  return table;
+}
+
+LeaseManager::LeaseManager(DsmClient* dsm, Options options)
+    : dsm_(dsm), options_(options) {
+  lease_expiries_ = GlobalMetrics().GetCounter("fault.lease_expiries");
+}
+
+uint32_t LeaseManager::self_owner() const { return dsm_->self() + 1; }
+
+Status LeaseManager::Heartbeat() {
+  const uint32_t slot = dsm_->self();
+  if (slot >= kMaxOwners) return Status::OK();
+  const uint64_t expiry = SimClock::Now() + options_.lease_ns;
+  return dsm_->Write(SlotAddr(slot), &expiry, 8);
+}
+
+Status LeaseManager::MaybeHeartbeat() {
+  const uint64_t now = SimClock::Now();
+  uint64_t last = last_heartbeat_ns_.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < options_.heartbeat_interval_ns) {
+    return Status::OK();
+  }
+  // One worker wins the slot per interval; losers skip (their sibling's
+  // heartbeat covers the whole node).
+  if (!last_heartbeat_ns_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  return Heartbeat();
+}
+
+bool LeaseManager::IsExpired(uint32_t owner) {
+  if (owner == 0 || owner > kMaxOwners) return false;
+  const uint32_t slot = owner - 1;
+  const uint64_t now = SimClock::Now();
+  CacheEntry cached;
+  {
+    SpinLatchGuard g(cache_latch_);
+    cached = cache_[slot];
+  }
+  if (cached.read_at != 0) {
+    if (cached.expiry > now) return false;  // known-fresh lease
+    if (now - cached.read_at < options_.recheck_ns) {
+      return cached.expiry != 0;  // recent verdict still holds
+    }
+  }
+  uint64_t word = 0;
+  if (!dsm_->Read(SlotAddr(slot), &word, 8).ok()) {
+    // Lease table unreachable: fail safe, reclaim nothing.
+    return false;
+  }
+  {
+    SpinLatchGuard g(cache_latch_);
+    cache_[slot] = CacheEntry{word, now};
+  }
+  const bool expired = word != 0 && word <= now;
+  if (expired) lease_expiries_->Add(1);
+  return expired;
+}
+
+}  // namespace dsmdb::dsm

@@ -1,0 +1,97 @@
+#ifndef DSMDB_DSM_LEASE_H_
+#define DSMDB_DSM_LEASE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/spin_latch.h"
+#include "common/status.h"
+#include "dsm/gaddr.h"
+
+namespace dsmdb::dsm {
+
+class DsmClient;
+
+/// Lotus-style compute-node liveness leases (DESIGN.md §11): each compute
+/// node periodically writes `now + lease_ns` into its slot of a shared
+/// lease table in DSM. A peer that finds an RDMA lock word stamped with an
+/// owner whose lease has expired may CAS-reclaim the word — so a crashed
+/// compute node cannot wedge 2PL/MVCC forever.
+///
+/// Owner ids are fabric node id + 1 (0 marks a lock taken without owner
+/// identity — never reclaimable). The table is one 8-byte expiry word per
+/// fabric node, allocated once per cluster via CreateTable and shared by
+/// every node's LeaseManager.
+///
+/// Expiry comparisons use the *caller's* per-thread simulated clock, so an
+/// "expired" verdict means "expired in my timeline" — a live holder whose
+/// worker thread lags can in principle be reclaimed early, exactly the
+/// false-positive a real asynchronous system risks with leases. Lock
+/// release CAS-es guard against the holder resurfacing (its release fails
+/// benignly on the reclaimed word).
+///
+/// Thread-safe; one instance per compute node, shared by its workers.
+class LeaseManager {
+ public:
+  /// Fabric ids >= kMaxOwners get no lease slot (their Heartbeat is a
+  /// no-op and their locks are never reclaimed).
+  static constexpr uint32_t kMaxOwners = 64;
+
+  struct Options {
+    GlobalAddress table;  ///< From CreateTable, same for every node.
+    uint64_t lease_ns = 200'000;
+    uint64_t heartbeat_interval_ns = 50'000;
+    /// Floor between remote re-reads of one owner's (possibly expired)
+    /// lease word, so contended locks between live nodes do not turn every
+    /// failed CAS into an extra round trip.
+    uint64_t recheck_ns = 10'000;
+  };
+
+  /// Allocates and zeroes the shared lease table on `node`.
+  static Result<GlobalAddress> CreateTable(DsmClient* admin,
+                                           MemNodeId node = 0);
+
+  LeaseManager(DsmClient* dsm, Options options);
+
+  /// Extends this node's lease to now + lease_ns (one remote write).
+  Status Heartbeat();
+
+  /// Heartbeats if more than heartbeat_interval_ns passed since the last
+  /// one; cheap no-op otherwise. Call from worker loops.
+  Status MaybeHeartbeat();
+
+  /// True when `owner` held a lease that has expired at the caller's
+  /// current simulated time. Owners that never heartbeated are *not*
+  /// expired (no lease, no reclaim). Caches lease words locally; a fresh
+  /// lease costs no traffic, a doubtful one costs at most one 8-byte read
+  /// per recheck_ns.
+  bool IsExpired(uint32_t owner);
+
+  /// This node's lock-word owner id (fabric id + 1).
+  uint32_t self_owner() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    uint64_t expiry = 0;   ///< Last lease word read (0 = never leased).
+    uint64_t read_at = 0;  ///< Local sim time of that read (0 = never).
+  };
+
+  GlobalAddress SlotAddr(uint32_t slot) const {
+    return options_.table.Plus(8ULL * slot);
+  }
+
+  DsmClient* dsm_;
+  Options options_;
+  std::atomic<uint64_t> last_heartbeat_ns_{0};
+  SpinLatch cache_latch_;
+  CacheEntry cache_[kMaxOwners];
+  Counter* lease_expiries_;
+};
+
+}  // namespace dsmdb::dsm
+
+#endif  // DSMDB_DSM_LEASE_H_

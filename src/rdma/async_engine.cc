@@ -11,6 +11,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "rdma/fabric.h"
+#include "rdma/fault.h"
 #include "rt/scheduler.h"
 
 namespace dsmdb::rdma {
@@ -19,6 +20,13 @@ namespace {
 
 inline bool ObsOn() { return obs::ObsConfig::Enabled(); }
 inline bool TracingOn() { return obs::ObsConfig::TracingEnabled(); }
+
+/// Straggler scaling of a posted op's wire cost (exact passthrough when no
+/// window is active).
+inline uint64_t ScaleWire(uint64_t ns, const FaultInjector::Decision& fd) {
+  if (fd.wire_multiplier <= 1.0) return ns;
+  return static_cast<uint64_t>(static_cast<double>(ns) * fd.wire_multiplier);
+}
 
 /// Simulated duration of one WaitAll (the pipeline's critical path).
 ConcurrentHistogram* PipelineHist() {
@@ -103,20 +111,27 @@ void CompletionQueue::TraceOneSided(const char* name, WrId id,
 WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
   const uint64_t issue = BeginPost();
   const NetworkModel& m = fabric_->model_;
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fabric_->fault_injector()) {
+    fd = inj->OnVerb(initiator_, src.node, FaultInjector::Verb::kRead);
+  }
   Status s;
   uint64_t cost;
-  Result<char*> host = fabric_->Resolve(src, length);
+  Result<char*> host =
+      fd.drop ? Result<char*>(Status::TimedOut("injected: read lost"))
+              : fabric_->Resolve(src, length);
   if (host.ok()) {
     SimMemRead(dst, *host, length);
     check::OnRemoteRead(*host, length, src.node, src.offset);
     fabric_->ReleaseResolve(src.node);
-    cost = m.rtt_ns + m.TransferNs(length);
+    cost = ScaleWire(m.rtt_ns + m.TransferNs(length), fd);
     VerbStats& st = fabric_->stats(initiator_);
     st.one_sided_reads.fetch_add(1, std::memory_order_relaxed);
     st.bytes_read.fetch_add(length, std::memory_order_relaxed);
   } else {
     s = host.status();
-    cost = m.rtt_ns;  // failure detected after a round trip (NAK/timeout)
+    // Failure detected after a round trip (NAK) or the retransmit budget.
+    cost = fd.drop ? fd.timeout_ns : m.rtt_ns;
   }
   const WrId id = FinishPost(src.node, std::move(s), 0, issue, cost);
   if (ObsOn()) {
@@ -132,6 +147,10 @@ WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
                                 size_t length) {
   const uint64_t issue = BeginPost();
   const NetworkModel& m = fabric_->model_;
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fabric_->fault_injector()) {
+    fd = inj->OnVerb(initiator_, dst.node, FaultInjector::Verb::kWrite);
+  }
   Status s;
   uint64_t cost;
   Result<char*> host = fabric_->Resolve(dst, length);
@@ -139,7 +158,12 @@ WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
     SimMemWrite(*host, src, length);
     check::OnRemoteWrite(*host, length, dst.node, dst.offset);
     fabric_->ReleaseResolve(dst.node);
-    cost = m.rtt_ns + m.TransferNs(length);
+    if (fd.drop) {  // ack loss: store applied, initiator times out
+      s = Status::TimedOut("injected: write ack lost");
+      cost = fd.timeout_ns;
+    } else {
+      cost = ScaleWire(m.rtt_ns + m.TransferNs(length), fd);
+    }
     VerbStats& st = fabric_->stats(initiator_);
     st.one_sided_writes.fetch_add(1, std::memory_order_relaxed);
     st.bytes_written.fetch_add(length, std::memory_order_relaxed);
@@ -163,10 +187,18 @@ WrId CompletionQueue::PostCas(RemotePtr addr, uint64_t expected,
   const NetworkModel& m = fabric_->model_;
   Status s;
   uint64_t prev = 0;
-  uint64_t cost = m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8);
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fabric_->fault_injector()) {
+    fd = inj->OnVerb(initiator_, addr.node, FaultInjector::Verb::kCas);
+  }
+  uint64_t cost = ScaleWire(m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8),
+                            fd);
   if (addr.offset % 8 != 0) {
     s = Status::InvalidArgument("atomic requires 8-byte alignment");
     cost = m.rtt_ns;
+  } else if (fd.drop) {  // request loss: the swap never reaches the NIC
+    s = Status::TimedOut("injected: cas lost");
+    cost = fd.timeout_ns;
   } else {
     Result<char*> host = fabric_->Resolve(addr, 8);
     if (host.ok()) {
@@ -196,10 +228,18 @@ WrId CompletionQueue::PostFaa(RemotePtr addr, uint64_t delta) {
   const NetworkModel& m = fabric_->model_;
   Status s;
   uint64_t prev = 0;
-  uint64_t cost = m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8);
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fabric_->fault_injector()) {
+    fd = inj->OnVerb(initiator_, addr.node, FaultInjector::Verb::kFaa);
+  }
+  uint64_t cost = ScaleWire(m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8),
+                            fd);
   if (addr.offset % 8 != 0) {
     s = Status::InvalidArgument("atomic requires 8-byte alignment");
     cost = m.rtt_ns;
+  } else if (fd.drop) {  // request loss: the add never reaches the NIC
+    s = Status::TimedOut("injected: faa lost");
+    cost = fd.timeout_ns;
   } else {
     Result<char*> host = fabric_->Resolve(addr, 8);
     if (host.ok()) {
@@ -223,11 +263,24 @@ WrId CompletionQueue::PostFaa(RemotePtr addr, uint64_t delta) {
   return id;
 }
 
+WrId CompletionQueue::PostError(NodeId target, Status error) {
+  const uint64_t issue = BeginPost();
+  return FinishPost(target, std::move(error), 0, issue, 0);
+}
+
 WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
                                std::string_view request,
                                std::string* response) {
   const uint64_t issue = BeginPost();
   const NetworkModel& m = fabric_->model_;
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fabric_->fault_injector()) {
+    fd = inj->OnVerb(initiator_, target, FaultInjector::Verb::kRpc);
+    if (fd.drop) {  // request loss: the handler never runs
+      return FinishPost(target, Status::TimedOut("injected: rpc lost"), 0,
+                        issue, fd.timeout_ns);
+    }
+  }
   Fabric::NodeCtx* ctx = fabric_->GetNode(target);
   if (ctx == nullptr) {
     return FinishPost(target, Status::InvalidArgument("unknown node"), 0,
@@ -249,8 +302,9 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
   }
   check::OnRpcCall(target, service);
   // Same schedule as Fabric::Call, with `issue` standing in for t0 + post.
-  const uint64_t arrival = issue + m.rtt_ns / 2 +
-                           m.TransferNs(request.size()) + m.recv_dispatch_ns;
+  const uint64_t arrival =
+      issue + ScaleWire(m.rtt_ns / 2 + m.TransferNs(request.size()), fd) +
+      m.recv_dispatch_ns;
   response->clear();
   const bool tracing = TracingOn();
   const uint64_t backlog = tracing ? ctx->cpu->BacklogNs(arrival) : 0;
@@ -284,9 +338,10 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
   check::OnRpcReturn(target, service);
   const uint64_t handler_inner_ns = handler_scope.End();
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
-  const uint64_t cost =
-      std::max(handler_inner_ns,
-               done - issue + m.rtt_ns / 2 + m.TransferNs(response->size()));
+  const uint64_t cost = std::max(
+      handler_inner_ns,
+      done - issue +
+          ScaleWire(m.rtt_ns / 2 + m.TransferNs(response->size()), fd));
   VerbStats& st = fabric_->stats(initiator_);
   st.rpc_calls.fetch_add(1, std::memory_order_relaxed);
   st.bytes_written.fetch_add(request.size(), std::memory_order_relaxed);

@@ -84,6 +84,10 @@ class CompletionQueue {
   /// CPU cost is charged to the target's VirtualCpu as in Fabric::Call.
   WrId PostCall(NodeId target, uint32_t service, std::string_view request,
                 std::string* response);
+  /// Records an op that failed before reaching the wire (e.g. an
+  /// incarnation-fence rejection) so it flows through the normal
+  /// status()/WaitAll error plumbing. Charges post overhead only.
+  WrId PostError(NodeId target, Status error);
 
   // --- Completion ---------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #include "check/checker.h"
 #include "common/sim_clock.h"
 #include "obs/obs_config.h"
+#include "rdma/fault.h"
 #include "rdma/sim_mem.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -18,6 +19,13 @@ namespace {
 
 /// True when per-verb histograms/counters should be recorded.
 inline bool ObsOn() { return obs::ObsConfig::Enabled(); }
+
+/// Straggler scaling of a wire cost; exact passthrough when no window is
+/// active (the common case — no float rounding on the hot path).
+inline uint64_t ScaleWire(uint64_t ns, const FaultInjector::Decision& fd) {
+  if (fd.wire_multiplier <= 1.0) return ns;
+  return static_cast<uint64_t>(static_cast<double>(ns) * fd.wire_multiplier);
+}
 
 }  // namespace
 
@@ -203,12 +211,20 @@ void Fabric::ReleaseResolve(NodeId node) const {
 Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
                     size_t length) {
   obs::TraceScope span("fabric.read", "verb.wire");
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire)) {
+    fd = inj->OnVerb(initiator, src.node, FaultInjector::Verb::kRead);
+    if (fd.drop) {
+      rt::SimCharge(model_.post_overhead_ns, fd.timeout_ns);
+      return Status::TimedOut("injected: read lost");
+    }
+  }
   Result<char*> host = Resolve(src, length);
   if (!host.ok()) return host.status();
   SimMemRead(dst, *host, length);
   check::OnRemoteRead(*host, length, src.node, src.offset);
   ReleaseResolve(src.node);
-  const uint64_t cost = model_.OneSidedNs(length);
+  const uint64_t cost = ScaleWire(model_.OneSidedNs(length), fd);
   // Post overhead is CPU (serial on the core); the rest is wire time a
   // cooperative task may overlap with sibling transactions.
   rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
@@ -225,12 +241,23 @@ Status Fabric::Read(NodeId initiator, RemotePtr src, void* dst,
 Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
                      size_t length) {
   obs::TraceScope span("fabric.write", "verb.wire");
+  FaultInjector::Decision fd;
+  FaultInjector* inj = fault_.load(std::memory_order_acquire);
+  if (inj != nullptr) {
+    fd = inj->OnVerb(initiator, dst.node, FaultInjector::Verb::kWrite);
+  }
   Result<char*> host = Resolve(dst, length);
   if (!host.ok()) return host.status();
   SimMemWrite(*host, src, length);
   check::OnRemoteWrite(*host, length, dst.node, dst.offset);
   ReleaseResolve(dst.node);
-  const uint64_t cost = model_.OneSidedNs(length);
+  if (fd.drop) {
+    // Ack loss: the NIC applied the store but the initiator never hears —
+    // the retry is idempotent (see FaultInjector loss semantics).
+    rt::SimCharge(model_.post_overhead_ns, fd.timeout_ns);
+    return Status::TimedOut("injected: write ack lost");
+  }
+  const uint64_t cost = ScaleWire(model_.OneSidedNs(length), fd);
   rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   VerbStats& s = stats(initiator);
   s.one_sided_writes.fetch_add(1, std::memory_order_relaxed);
@@ -244,6 +271,15 @@ Status Fabric::Write(NodeId initiator, RemotePtr dst, const void* src,
 
 Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
   obs::TraceScope span("fabric.read_batch", "verb.wire");
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire)) {
+    const NodeId target = ops.empty() ? 0 : ops.front().remote.node;
+    fd = inj->OnVerb(initiator, target, FaultInjector::Verb::kRead);
+    if (fd.drop) {
+      rt::SimCharge(model_.post_overhead_ns * ops.size(), fd.timeout_ns);
+      return Status::TimedOut("injected: read batch lost");
+    }
+  }
   size_t total = 0;
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
@@ -253,7 +289,7 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
-  const uint64_t cost = model_.BatchNs(ops.size(), total);
+  const uint64_t cost = ScaleWire(model_.BatchNs(ops.size(), total), fd);
   const uint64_t post = model_.post_overhead_ns * ops.size();
   rt::SimCharge(post, cost > post ? cost - post : 0);
   VerbStats& s = stats(initiator);
@@ -268,6 +304,11 @@ Status Fabric::ReadBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
 
 Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
   obs::TraceScope span("fabric.write_batch", "verb.wire");
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire)) {
+    const NodeId target = ops.empty() ? 0 : ops.front().remote.node;
+    fd = inj->OnVerb(initiator, target, FaultInjector::Verb::kWrite);
+  }
   size_t total = 0;
   for (const BatchOp& op : ops) {
     Result<char*> host = Resolve(op.remote, op.length);
@@ -277,7 +318,11 @@ Status Fabric::WriteBatch(NodeId initiator, const std::vector<BatchOp>& ops) {
     ReleaseResolve(op.remote.node);
     total += op.length;
   }
-  const uint64_t cost = model_.BatchNs(ops.size(), total);
+  if (fd.drop) {  // ack loss after the stores applied, as in Write
+    rt::SimCharge(model_.post_overhead_ns * ops.size(), fd.timeout_ns);
+    return Status::TimedOut("injected: write batch ack lost");
+  }
+  const uint64_t cost = ScaleWire(model_.BatchNs(ops.size(), total), fd);
   const uint64_t post = model_.post_overhead_ns * ops.size();
   rt::SimCharge(post, cost > post ? cost - post : 0);
   VerbStats& s = stats(initiator);
@@ -296,12 +341,20 @@ Result<uint64_t> Fabric::CompareAndSwap(NodeId initiator, RemotePtr addr,
   if (addr.offset % 8 != 0) {
     return Status::InvalidArgument("atomic requires 8-byte alignment");
   }
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire)) {
+    fd = inj->OnVerb(initiator, addr.node, FaultInjector::Verb::kCas);
+    if (fd.drop) {  // request loss: the swap never reaches the NIC
+      rt::SimCharge(model_.post_overhead_ns, fd.timeout_ns);
+      return Status::TimedOut("injected: cas lost");
+    }
+  }
   Result<char*> host = Resolve(addr, 8);
   if (!host.ok()) return host.status();
   const uint64_t prev = SimMemCas(*host, expected, desired);
   check::OnRemoteCas(*host, addr.node, addr.offset, expected, desired, prev);
   ReleaseResolve(addr.node);
-  const uint64_t cost = model_.AtomicNs();
+  const uint64_t cost = ScaleWire(model_.AtomicNs(), fd);
   rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   stats(initiator).cas_ops.fetch_add(1, std::memory_order_relaxed);
   if (ObsOn()) {
@@ -317,12 +370,20 @@ Result<uint64_t> Fabric::FetchAndAdd(NodeId initiator, RemotePtr addr,
   if (addr.offset % 8 != 0) {
     return Status::InvalidArgument("atomic requires 8-byte alignment");
   }
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire)) {
+    fd = inj->OnVerb(initiator, addr.node, FaultInjector::Verb::kFaa);
+    if (fd.drop) {  // request loss: the add never reaches the NIC
+      rt::SimCharge(model_.post_overhead_ns, fd.timeout_ns);
+      return Status::TimedOut("injected: faa lost");
+    }
+  }
   Result<char*> host = Resolve(addr, 8);
   if (!host.ok()) return host.status();
   const uint64_t prev = SimMemFaa(*host, delta);
   check::OnRemoteFaa(*host, addr.node, addr.offset);
   ReleaseResolve(addr.node);
-  const uint64_t cost = model_.AtomicNs();
+  const uint64_t cost = ScaleWire(model_.AtomicNs(), fd);
   rt::SimCharge(model_.post_overhead_ns, cost - model_.post_overhead_ns);
   stats(initiator).faa_ops.fetch_add(1, std::memory_order_relaxed);
   if (ObsOn()) {
@@ -343,6 +404,16 @@ void Fabric::RegisterRpcHandler(NodeId node, uint32_t service,
 
 Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
                     std::string_view request, std::string* response) {
+  FaultInjector::Decision fd;
+  if (FaultInjector* inj = fault_.load(std::memory_order_acquire)) {
+    // Fires due timed events first, so a crash scheduled "now" fails this
+    // call with Unavailable below rather than slipping through.
+    fd = inj->OnVerb(initiator, target, FaultInjector::Verb::kRpc);
+    if (fd.drop) {  // request loss: the handler never runs
+      rt::SimCharge(model_.post_overhead_ns, fd.timeout_ns);
+      return Status::TimedOut("injected: rpc request lost");
+    }
+  }
   NodeCtx* ctx = GetNode(target);
   if (ctx == nullptr) return Status::InvalidArgument("unknown node");
   if (!ctx->alive.load(std::memory_order_acquire)) {
@@ -362,9 +433,10 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
   check::OnRpcCall(target, service);
   const uint64_t t0 = SimClock::Now();
   // Request travels to the target and is dispatched into software.
-  const uint64_t arrival = t0 + model_.post_overhead_ns + model_.rtt_ns / 2 +
-                           model_.TransferNs(request.size()) +
-                           model_.recv_dispatch_ns;
+  const uint64_t arrival =
+      t0 + model_.post_overhead_ns +
+      ScaleWire(model_.rtt_ns / 2 + model_.TransferNs(request.size()), fd) +
+      model_.recv_dispatch_ns;
   response->clear();
   const bool tracing = obs::ObsConfig::TracingEnabled();
   const uint64_t backlog = tracing ? ctx->cpu->BacklogNs(arrival) : 0;
@@ -391,7 +463,8 @@ Status Fabric::Call(NodeId initiator, NodeId target, uint32_t service,
   check::OnRpcReturn(target, service);
   const uint64_t done = ctx->cpu->Execute(arrival, handler_cost);
   const uint64_t finish =
-      done + model_.rtt_ns / 2 + model_.TransferNs(response->size());
+      done +
+      ScaleWire(model_.rtt_ns / 2 + model_.TransferNs(response->size()), fd);
   rt::SimWait(finish);
   if (tracing) {
     obs::EmitSpanUnder("verb.post", "verb.post", t0,

@@ -22,6 +22,8 @@
 
 namespace dsmdb::rdma {
 
+class FaultInjector;
+
 /// Two-sided RPC handler. Runs the real work inline and returns the
 /// *simulated* CPU cost (ns, unscaled) it consumed on the target node; the
 /// fabric schedules that cost on the node's VirtualCpu.
@@ -102,6 +104,16 @@ class Fabric {
   bool IsAlive(NodeId node) const;
   uint64_t Incarnation(NodeId node) const;
 
+  /// Installs a fault injector that decides each verb's fate (nullptr to
+  /// disable). Not owned; must outlive injection. When null — the default —
+  /// the verb hot path pays one relaxed load and nothing else.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return fault_.load(std::memory_order_acquire);
+  }
+
   // --- Introspection -------------------------------------------------------
 
   const NetworkModel& model() const { return model_; }
@@ -162,6 +174,7 @@ class Fabric {
   static constexpr size_t kMaxNodes = 1024;
 
   NetworkModel model_;
+  std::atomic<FaultInjector*> fault_{nullptr};
   mutable std::mutex nodes_mu_;  // guards AddNode only
   std::atomic<size_t> num_nodes_{0};
   /// Lock-free slot table so the verb hot path never takes a mutex.

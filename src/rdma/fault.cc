@@ -1,0 +1,112 @@
+#include "rdma/fault.h"
+
+#include <algorithm>
+
+#include "common/sim_clock.h"
+
+namespace dsmdb::rdma {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates consecutive counter values.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultOptions opts) : opts_(std::move(opts)) {
+  live_verb_loss_.store(opts_.verb_loss_prob, std::memory_order_relaxed);
+  live_rpc_loss_.store(opts_.rpc_loss_prob, std::memory_order_relaxed);
+  std::sort(opts_.events.begin(), opts_.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at_ns < b.at_ns;
+            });
+  if (!opts_.events.empty()) {
+    next_event_due_.store(opts_.events.front().at_ns,
+                          std::memory_order_relaxed);
+  }
+  verb_failures_ = GlobalMetrics().GetCounter("fault.verb_failures");
+  rpc_failures_ = GlobalMetrics().GetCounter("fault.rpc_failures");
+  events_fired_ = GlobalMetrics().GetCounter("fault.events_fired");
+  fr_token_ = obs::FlightRecorder::Instance().RegisterGaugeFamily(
+      "fault",
+      [](uint64_t, std::vector<std::pair<std::string, double>>* out) {
+        MetricsRegistry& m = GlobalMetrics();
+        for (const char* name :
+             {"fault.verb_failures", "fault.rpc_failures",
+              "fault.events_fired", "fault.retries", "fault.failovers",
+              "fault.lease_expiries", "fault.orphan_locks_reclaimed"}) {
+          // Label = suffix after "fault.".
+          out->emplace_back(
+              name + 6, static_cast<double>(m.GetCounter(name)->Get()));
+        }
+      });
+}
+
+double FaultInjector::LossProbFor(NodeId target, Verb verb) const {
+  if (verb == Verb::kRpc) {
+    return live_rpc_loss_.load(std::memory_order_relaxed);
+  }
+  if (target < opts_.per_node_loss.size() &&
+      opts_.per_node_loss[target] >= 0) {
+    return opts_.per_node_loss[target];
+  }
+  return live_verb_loss_.load(std::memory_order_relaxed);
+}
+
+double FaultInjector::NextUniform() {
+  const uint64_t seq = flip_seq_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<double>(Mix64(opts_.seed ^ (seq * 0xD6E8FEB86659FD93ULL))
+                             >> 11) *
+         0x1.0p-53;
+}
+
+FaultInjector::Decision FaultInjector::OnVerb(NodeId initiator, NodeId target,
+                                              Verb verb) {
+  (void)initiator;
+  Decision d;
+  const uint64_t now = SimClock::Now();
+  if (now >= next_event_due_.load(std::memory_order_acquire)) {
+    FireDueEvents(now);
+  }
+  for (const StragglerWindow& w : opts_.stragglers) {
+    if (w.node == target && now >= w.start_ns && now < w.end_ns &&
+        w.wire_multiplier > d.wire_multiplier) {
+      d.wire_multiplier = w.wire_multiplier;
+    }
+  }
+  const double p = LossProbFor(target, verb);
+  if (p > 0 && NextUniform() < p) {
+    d.drop = true;
+    d.timeout_ns = opts_.lost_verb_timeout_ns;
+    verbs_dropped_.fetch_add(1, std::memory_order_relaxed);
+    (verb == Verb::kRpc ? rpc_failures_ : verb_failures_)->Add(1);
+  }
+  return d;
+}
+
+void FaultInjector::FireDueEvents(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lk(events_mu_);
+  while (next_event_ < opts_.events.size() &&
+         opts_.events[next_event_].at_ns <= now_ns) {
+    FaultEvent& ev = opts_.events[next_event_++];
+    // Publish the new horizon before running the callback so a concurrent
+    // OnVerb does not pile up on events_mu_ behind a slow callback.
+    next_event_due_.store(next_event_ < opts_.events.size()
+                              ? opts_.events[next_event_].at_ns
+                              : UINT64_MAX,
+                          std::memory_order_release);
+    if (ev.fire) ev.fire();
+    events_fired_->Add(1);
+  }
+}
+
+bool FaultInjector::AllEventsFired() const {
+  return next_event_due_.load(std::memory_order_acquire) == UINT64_MAX;
+}
+
+}  // namespace dsmdb::rdma

@@ -1,0 +1,134 @@
+#ifndef DSMDB_RDMA_FAULT_H_
+#define DSMDB_RDMA_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "obs/flight_recorder.h"
+#include "rdma/verbs.h"
+
+namespace dsmdb::rdma {
+
+/// A window of simulated time during which the links to `node` are slow:
+/// every verb's wire cost is multiplied by `wire_multiplier` (a straggler
+/// link / congested ToR, the tail-latency failure mode of Challenge #3).
+struct StragglerWindow {
+  NodeId node = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  double wire_multiplier = 1.0;
+};
+
+/// A one-shot event fired the first time any thread's simulated clock
+/// crosses `at_ns` while issuing a verb. The callback runs on that thread,
+/// outside any fabric latch — wiring it to Cluster::CrashMemoryNode /
+/// RecoverMemoryNode gives node flap under live traffic.
+struct FaultEvent {
+  uint64_t at_ns = 0;
+  std::function<void()> fire;
+  const char* label = "";
+};
+
+/// Seeded description of everything that will go wrong.
+struct FaultOptions {
+  uint64_t seed = 1;
+  /// Probability an individual one-sided verb (or doorbell batch) is lost.
+  double verb_loss_prob = 0.0;
+  /// Probability a two-sided call's request is lost (handler never runs).
+  double rpc_loss_prob = 0.0;
+  /// Simulated latency a lost verb costs the initiator before the NIC
+  /// reports a timeout (retransmit budget exhausted).
+  uint64_t lost_verb_timeout_ns = 20'000;
+  /// Per-target-node override of verb_loss_prob; entries < 0 mean "use the
+  /// default". Indexed by NodeId.
+  std::vector<double> per_node_loss;
+  std::vector<StragglerWindow> stragglers;
+  /// Fired in at_ns order, each exactly once.
+  std::vector<FaultEvent> events;
+};
+
+/// Decides the fate of every verb the fabric issues. Installed on a Fabric
+/// via SetFaultInjector; a null injector costs the verb hot path one relaxed
+/// atomic load, so fault-free runs are simulation-identical to a build
+/// without this layer.
+///
+/// Loss semantics (per verb class):
+///  * READ / CAS / FAA / RPC — request loss: no memory effect, the
+///    initiator sees Status::TimedOut after `lost_verb_timeout_ns`.
+///  * WRITE — response (ack) loss: the store *is* applied, then the
+///    initiator times out. Retrying a write is idempotent, so this models
+///    the harder ambiguity without breaking exactly-once for atomics.
+///
+/// Determinism: the coin-flip stream is fixed by `seed`, but flips are
+/// assigned to verbs in global issue order, so with multiple worker threads
+/// the *assignment* depends on host interleaving (aggregate counts stay
+/// concentrated). Single-threaded runs are exactly reproducible.
+class FaultInjector {
+ public:
+  enum class Verb : uint8_t { kRead, kWrite, kCas, kFaa, kRpc };
+
+  struct Decision {
+    bool drop = false;            ///< Lose the verb (see loss semantics).
+    double wire_multiplier = 1.0; ///< Straggler scaling of the wire cost.
+    uint64_t timeout_ns = 0;      ///< Latency charged when drop is set.
+  };
+
+  explicit FaultInjector(FaultOptions opts);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Called by the fabric at the top of every verb. Fires any due timed
+  /// events, then rolls this verb's fate.
+  Decision OnVerb(NodeId initiator, NodeId target, Verb verb);
+
+  /// Fires all events with at_ns <= now (normally driven by OnVerb; public
+  /// so quiescent tests and the bench can pump the schedule directly).
+  void FireDueEvents(uint64_t now_ns);
+
+  /// True once every scheduled event has fired.
+  bool AllEventsFired() const;
+
+  /// Live-adjustable loss probabilities, so FaultEvent callbacks can open
+  /// and close fault windows mid-run (initialized from FaultOptions).
+  void SetVerbLossProb(double p) {
+    live_verb_loss_.store(p, std::memory_order_relaxed);
+  }
+  void SetRpcLossProb(double p) {
+    live_rpc_loss_.store(p, std::memory_order_relaxed);
+  }
+
+  uint64_t verbs_dropped() const {
+    return verbs_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double LossProbFor(NodeId target, Verb verb) const;
+  /// Uniform [0,1) from the seeded counter stream (splitmix64 finalizer).
+  double NextUniform();
+
+  FaultOptions opts_;
+  std::atomic<double> live_verb_loss_{0.0};
+  std::atomic<double> live_rpc_loss_{0.0};
+  std::atomic<uint64_t> flip_seq_{0};
+  std::atomic<uint64_t> verbs_dropped_{0};
+  std::atomic<uint64_t> next_event_due_{UINT64_MAX};
+  std::mutex events_mu_;
+  size_t next_event_ = 0;  // guarded by events_mu_; opts_.events is sorted
+
+  // fault.* counters surface in STATS_JSON via GlobalMetrics().
+  Counter* verb_failures_;
+  Counter* rpc_failures_;
+  Counter* events_fired_;
+  /// Live `fault{...}` gauge family in the flight recorder (dip/recovery
+  /// visible on the same timeline as throughput and sched gauges).
+  obs::FlightRecorder::Token fr_token_;
+};
+
+}  // namespace dsmdb::rdma
+
+#endif  // DSMDB_RDMA_FAULT_H_

@@ -44,6 +44,56 @@ class DirectAccessor final : public DataAccessor {
   dsm::DsmClient* dsm_;
 };
 
+/// Robustness variant of Figure 3a: every value write is replicated to a
+/// mirror region on a second memory node (one pipelined WriteAll), and
+/// reads fail over to the mirror when the primary is unreachable
+/// (DsmClient::ReadAny). Lock and version words stay primary-only — CC
+/// correctness never depends on the mirror, which only has to be as fresh
+/// as the last committed write (guaranteed because WriteAll completes both
+/// copies before locks release).
+///
+/// `direct()` stays null on purpose: a pipelined install would write the
+/// primary copy only, so protocols must keep value ops on the synchronous
+/// (replicating) path.
+class ReplicatedDirectAccessor final : public DataAccessor {
+ public:
+  /// Mirror placement for one primary memory node: a value at
+  /// {node, offset} is mirrored at {mirror.node, offset + offset_delta}.
+  /// Nodes without a valid mirror fall back to unreplicated access.
+  struct Mirror {
+    dsm::MemNodeId node = 0;
+    int64_t offset_delta = 0;
+    bool valid = false;
+  };
+
+  ReplicatedDirectAccessor(dsm::DsmClient* dsm, std::vector<Mirror> mirrors)
+      : dsm_(dsm), mirrors_(std::move(mirrors)) {}
+
+  dsm::GlobalAddress MirrorAddr(dsm::GlobalAddress addr) const {
+    const Mirror& m = mirrors_[addr.node];
+    return dsm::GlobalAddress{
+        m.node, addr.offset + static_cast<uint64_t>(m.offset_delta)};
+  }
+
+  Status ReadValue(dsm::GlobalAddress addr, void* out, size_t len) override {
+    if (addr.node >= mirrors_.size() || !mirrors_[addr.node].valid) {
+      return dsm_->Read(addr, out, len);
+    }
+    return dsm_->ReadAny({addr, MirrorAddr(addr)}, out, len);
+  }
+  Status WriteValue(dsm::GlobalAddress addr, const void* src,
+                    size_t len) override {
+    if (addr.node >= mirrors_.size() || !mirrors_[addr.node].valid) {
+      return dsm_->Write(addr, src, len);
+    }
+    return dsm_->WriteAll({addr, MirrorAddr(addr)}, src, len);
+  }
+
+ private:
+  dsm::DsmClient* dsm_;
+  std::vector<Mirror> mirrors_;
+};
+
 /// Figures 3b/3c: values go through the local page cache (whose coherence
 /// controller handles Figure 3b's invalidations).
 class CachedAccessor final : public DataAccessor {

@@ -8,6 +8,7 @@
 #include "common/sim_clock.h"
 #include "obs/heat_map.h"
 #include "obs/trace.h"
+#include "txn/rdma_lock.h"
 
 namespace dsmdb::txn {
 
@@ -156,7 +157,7 @@ Status MvccTransaction::Commit() {
     if (locked.empty()) return;
     dsm::DsmPipeline pipe(mgr_->dsm_);
     for (dsm::GlobalAddress a : locked) {
-      pipe.Cas(a, MakeExclusiveLock(ts_), 0);
+      pipe.Cas(a, MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()), 0);
     }
     (void)pipe.WaitAll();
   };
@@ -174,7 +175,8 @@ Status MvccTransaction::Commit() {
     std::vector<rdma::WrId> cas_wr(order.size());
     for (size_t i = 0; i < order.size(); i++) {
       const CommitWrite& w = writes_[order[i]];
-      cas_wr[i] = pipe.Cas(w.addr, 0, MakeExclusiveLock(ts_));
+      cas_wr[i] = pipe.Cas(
+          w.addr, 0, MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()));
       pipe.Read(dsm::GlobalAddress{w.addr.node, w.addr.offset + 8},
                 &heads[order[i]], 8);
     }
@@ -190,6 +192,9 @@ Status MvccTransaction::Commit() {
         locked.push_back(writes_[order[i]].addr);
       } else {
         busy = true;
+        // Free an orphaned holder before the spin-lock fallback re-tries.
+        (void)MaybeReclaimOrphanLock(mgr_->dsm_, writes_[order[i]].addr,
+                                     pipe.value(cas_wr[i]));
       }
     }
   }
@@ -301,7 +306,7 @@ Status MvccTransaction::Commit() {
     }
     if (posted_all) {
       for (dsm::GlobalAddress a : locked) {
-        pipe.Cas(a, MakeExclusiveLock(ts_), 0);
+        pipe.Cas(a, MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()), 0);
       }
       const Status ws = pipe.WaitAll();
       if (s.ok()) s = ws;

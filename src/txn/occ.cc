@@ -8,6 +8,7 @@
 #include "common/sim_clock.h"
 #include "obs/heat_map.h"
 #include "obs/trace.h"
+#include "txn/rdma_lock.h"
 
 namespace dsmdb::txn {
 
@@ -99,7 +100,7 @@ void OccTransaction::UnlockAddrs(
   if (addrs.empty()) return;
   dsm::DsmPipeline pipe(mgr_->dsm_);
   for (dsm::GlobalAddress a : addrs) {
-    pipe.Cas(a, MakeExclusiveLock(ts_), 0);
+    pipe.Cas(a, MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()), 0);
   }
   (void)pipe.WaitAll();
 }
@@ -128,7 +129,8 @@ Status OccTransaction::Commit() {
     dsm::DsmPipeline pipe(mgr_->dsm_);
     std::vector<rdma::WrId> wr(order.size());
     for (size_t i = 0; i < order.size(); i++) {
-      wr[i] = pipe.Cas(writes_[order[i]].addr, 0, MakeExclusiveLock(ts_));
+      wr[i] = pipe.Cas(writes_[order[i]].addr, 0,
+                       MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()));
     }
     (void)pipe.WaitAll();
     std::vector<dsm::GlobalAddress> acquired;
@@ -143,6 +145,9 @@ Status OccTransaction::Commit() {
       } else if (s.ok()) {
         busy = true;  // lock word was held by another committer
         if (busy_addr == 0) busy_addr = writes_[order[i]].addr.Pack();
+        // Free an orphaned holder so the retried transaction can win.
+        (void)MaybeReclaimOrphanLock(mgr_->dsm_, writes_[order[i]].addr,
+                                     pipe.value(wr[i]));
       } else if (err.ok()) {
         err = s;
       }
@@ -176,7 +181,9 @@ Status OccTransaction::Commit() {
       const bool mine =
           write_index_.contains(reads_[i].ref.addr.Pack());
       const bool lock_ok =
-          lock_word == 0 || (mine && lock_word == MakeExclusiveLock(ts_));
+          lock_word == 0 ||
+          (mine && lock_word ==
+                       MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()));
       if (!lock_ok || version != reads_[i].version) {
         UnlockAllWrites();
         return AbortInternal(true, reads_[i].ref.addr.Pack());
@@ -202,7 +209,8 @@ Status OccTransaction::Commit() {
       RecordRef ref{w.addr, write_sizes_[i]};
       pipe.Write(ref.Value(), w.value.data(), w.value.size());
       pipe.Faa(ref.VersionWord(), 1);
-      pipe.Cas(ref.LockWord(), MakeExclusiveLock(ts_), 0);
+      pipe.Cas(ref.LockWord(),
+               MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()), 0);
     }
     s = pipe.WaitAll();
   } else {

@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "check/checker.h"
+#include "common/metrics.h"
 #include "common/sim_clock.h"
+#include "dsm/lease.h"
 #include "rt/scheduler.h"
 #include "txn/record_format.h"
 
@@ -20,11 +22,35 @@ void LockBackoff(uint32_t attempt) {
   if (attempt > 2 && !rt::InTask()) std::this_thread::yield();
 }
 
+bool MaybeReclaimOrphanLock(dsm::DsmClient* dsm, dsm::GlobalAddress word,
+                            uint64_t observed) {
+  if (!IsExclusive(observed)) return false;
+  const uint32_t owner = LockOwnerId(observed);
+  if (owner == 0 || owner == dsm->lock_owner_id()) return false;
+  dsm::LeaseManager* leases = dsm->lease_manager();
+  if (leases == nullptr || !leases->IsExpired(owner)) return false;
+  Result<uint64_t> prev = dsm->CompareAndSwap(word, observed, 0);
+  if (!prev.ok() || *prev != observed) return false;
+  static Counter* reclaimed =
+      GlobalMetrics().GetCounter("fault.orphan_locks_reclaimed");
+  reclaimed->Add(1);
+  return true;
+}
+
 Status RdmaSpinLock::TryAcquire(dsm::GlobalAddress word, uint64_t ts) {
-  Result<uint64_t> prev =
-      dsm_->CompareAndSwap(word, 0, MakeExclusiveLock(ts));
+  const uint64_t locked = MakeExclusiveLock(ts, dsm_->lock_owner_id());
+  Result<uint64_t> prev = dsm_->CompareAndSwap(word, 0, locked);
   if (!prev.ok()) return prev.status();
-  if (*prev != 0) return Status::Busy("lock held");
+  if (*prev != 0) {
+    // Busy — but if the holder's lease expired (crashed compute node), free
+    // the orphaned word and take it over in one more CAS.
+    if (MaybeReclaimOrphanLock(dsm_, word, *prev)) {
+      prev = dsm_->CompareAndSwap(word, 0, locked);
+      if (!prev.ok()) return prev.status();
+      if (*prev == 0) return Status::OK();
+    }
+    return Status::Busy("lock held");
+  }
   return Status::OK();
 }
 
@@ -49,10 +75,10 @@ Result<uint64_t> RdmaSpinLock::Peek(dsm::GlobalAddress word) {
 }
 
 Status RdmaSpinLock::Release(dsm::GlobalAddress word, uint64_t ts) {
-  Result<uint64_t> prev =
-      dsm_->CompareAndSwap(word, MakeExclusiveLock(ts), 0);
+  const uint64_t locked = MakeExclusiveLock(ts, dsm_->lock_owner_id());
+  Result<uint64_t> prev = dsm_->CompareAndSwap(word, locked, 0);
   if (!prev.ok()) return prev.status();
-  if (*prev != MakeExclusiveLock(ts)) {
+  if (*prev != locked) {
     return Status::Internal("released a lock not held by this txn");
   }
   return Status::OK();
@@ -64,7 +90,7 @@ Status RdmaSharedExclusiveLock::TryAcquireShared(dsm::GlobalAddress word,
     uint64_t cur = 0;
     DSMDB_RETURN_NOT_OK(dsm_->Read(word, &cur, 8));  // RTT #1
     if (IsExclusive(cur)) {
-      LockBackoff(attempt);
+      if (!MaybeReclaimOrphanLock(dsm_, word, cur)) LockBackoff(attempt);
       continue;
     }
     Result<uint64_t> prev = dsm_->CompareAndSwap(word, cur, cur + 1);
@@ -91,11 +117,11 @@ Status RdmaSharedExclusiveLock::TryAcquireExclusive(dsm::GlobalAddress word,
     uint64_t cur = 0;
     DSMDB_RETURN_NOT_OK(dsm_->Read(word, &cur, 8));  // RTT #1
     if (cur != 0) {
-      LockBackoff(attempt);
+      if (!MaybeReclaimOrphanLock(dsm_, word, cur)) LockBackoff(attempt);
       continue;
     }
-    Result<uint64_t> prev =
-        dsm_->CompareAndSwap(word, 0, MakeExclusiveLock(ts));  // RTT #2
+    Result<uint64_t> prev = dsm_->CompareAndSwap(
+        word, 0, MakeExclusiveLock(ts, dsm_->lock_owner_id()));  // RTT #2
     if (!prev.ok()) return prev.status();
     if (*prev == 0) return Status::OK();
     LockBackoff(attempt);
@@ -105,10 +131,10 @@ Status RdmaSharedExclusiveLock::TryAcquireExclusive(dsm::GlobalAddress word,
 
 Status RdmaSharedExclusiveLock::ReleaseExclusive(dsm::GlobalAddress word,
                                                  uint64_t ts) {
-  Result<uint64_t> prev =
-      dsm_->CompareAndSwap(word, MakeExclusiveLock(ts), 0);
+  const uint64_t locked = MakeExclusiveLock(ts, dsm_->lock_owner_id());
+  Result<uint64_t> prev = dsm_->CompareAndSwap(word, locked, 0);
   if (!prev.ok()) return prev.status();
-  if (*prev != MakeExclusiveLock(ts)) {
+  if (*prev != locked) {
     return Status::Internal("released an exclusive lock not held");
   }
   return Status::OK();

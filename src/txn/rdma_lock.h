@@ -68,6 +68,16 @@ class RdmaSharedExclusiveLock {
 /// without burning host CPU.
 void LockBackoff(uint32_t attempt);
 
+/// Orphan-lock recovery (DESIGN.md §11): if `observed` is an exclusive
+/// lock word stamped with another node's owner id whose liveness lease has
+/// expired, CAS it back to 0 and count `fault.orphan_locks_reclaimed`.
+/// Returns true when this call freed the word (the caller may immediately
+/// retry its acquisition). No-op without a LeaseManager installed, for
+/// owner-less (legacy) words, and for shared reader counts — those carry
+/// no owner identity and are never reclaimed.
+bool MaybeReclaimOrphanLock(dsm::DsmClient* dsm, dsm::GlobalAddress word,
+                            uint64_t observed);
+
 }  // namespace dsmdb::txn
 
 #endif  // DSMDB_TXN_RDMA_LOCK_H_

@@ -35,17 +35,32 @@ inline constexpr uint64_t RecordStride(uint32_t value_size) {
 }
 
 // Lock word encoding helpers.
+//
+// Exclusive words carry the holder's *owner id* (compute-node fabric id + 1,
+// 0 = unknown/legacy) in bits 48..58 so a peer that finds a stuck lock can
+// look up the holder's lease and CAS-reclaim the word if the lease expired
+// (orphan-lock recovery, DESIGN.md §11). Bit 63 stays the exclusive marker
+// so the DSMDB_CHECK lockdep heuristics keep working unchanged.
 inline constexpr uint64_t kLockExclusiveBit = 1ULL << 63;
 inline constexpr uint64_t kLockTsMask = (1ULL << 48) - 1;
+inline constexpr uint64_t kLockOwnerShift = 48;
+inline constexpr uint64_t kLockOwnerMask = (1ULL << 11) - 1;
 
-inline constexpr uint64_t MakeExclusiveLock(uint64_t ts) {
-  return kLockExclusiveBit | (ts & kLockTsMask);
+inline constexpr uint64_t MakeExclusiveLock(uint64_t ts, uint32_t owner = 0) {
+  return kLockExclusiveBit |
+         ((static_cast<uint64_t>(owner) & kLockOwnerMask) << kLockOwnerShift) |
+         (ts & kLockTsMask);
 }
 inline constexpr bool IsExclusive(uint64_t word) {
   return (word & kLockExclusiveBit) != 0;
 }
 inline constexpr uint64_t LockHolderTs(uint64_t word) {
   return word & kLockTsMask;
+}
+/// Owner id packed into an exclusive lock word: compute-node fabric id + 1,
+/// or 0 when the lock was taken without owner identity (no lease reclaim).
+inline constexpr uint32_t LockOwnerId(uint64_t word) {
+  return static_cast<uint32_t>((word >> kLockOwnerShift) & kLockOwnerMask);
 }
 /// Shared-exclusive lock: non-exclusive words are reader counts.
 inline constexpr uint64_t ReaderCount(uint64_t word) {

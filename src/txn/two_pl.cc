@@ -91,7 +91,8 @@ Status TwoPlTransaction::EnsureLock(const RecordRef& ref, bool exclusive) {
     // Shared -> exclusive upgrade (SE mode only): succeeds only if we are
     // the sole reader; otherwise abort (waiting risks upgrade deadlock).
     Result<uint64_t> prev = mgr_->dsm_->CompareAndSwap(
-        ref.LockWord(), 1, MakeExclusiveLock(ts_));
+        ref.LockWord(), 1,
+        MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()));
     if (!prev.ok()) return prev.status();
     if (*prev != 1) return AbortInternal(false, ref.addr.Pack());
     entry.held = Held::kExclusive;
@@ -143,8 +144,9 @@ Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
     const uint64_t lock_start = SimClock::Now();
     out->resize(ref.value_size);
     dsm::DsmPipeline pipe(mgr_->dsm_);
-    const rdma::WrId cas =
-        pipe.Cas(ref.LockWord(), 0, MakeExclusiveLock(ts_));
+    const rdma::WrId cas = pipe.Cas(
+        ref.LockWord(), 0,
+        MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()));
     {
       // Speculative fetch: the bytes are used only if the CAS won (QP
       // order runs the read after the CAS) and re-read otherwise, so the
@@ -154,6 +156,12 @@ Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
     }
     DSMDB_RETURN_NOT_OK(pipe.WaitAll());
     Status s = pipe.value(cas) == 0 ? Status::OK() : Status::Busy("locked");
+    if (s.IsBusy()) {
+      // A crashed peer's orphaned lock: free it now so the workload-level
+      // retry of this transaction goes through.
+      (void)MaybeReclaimOrphanLock(mgr_->dsm_, ref.LockWord(),
+                                   pipe.value(cas));
+    }
     if (s.IsBusy() &&
         mgr_->options_.protocol == CcProtocolKind::kTwoPlWaitDie) {
       s = WaitDieRetry(ref, std::move(s));
@@ -224,7 +232,8 @@ Status TwoPlTransaction::AcquireDeferredLocks() {
   std::vector<rdma::WrId> ids;
   ids.reserve(need.size());
   for (const RecordRef& ref : need) {
-    ids.push_back(pipe.Cas(ref.LockWord(), 0, MakeExclusiveLock(ts_)));
+    ids.push_back(pipe.Cas(ref.LockWord(), 0,
+                           MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id())));
   }
   (void)pipe.WaitAll();
   Status err;
@@ -236,6 +245,9 @@ Status TwoPlTransaction::AcquireDeferredLocks() {
     } else if (pipe.value(ids[i]) == 0) {
       RegisterLock(need[i], Held::kExclusive);
     } else {
+      // Free an orphaned holder so the retried transaction can win.
+      (void)MaybeReclaimOrphanLock(mgr_->dsm_, need[i].LockWord(),
+                                   pipe.value(ids[i]));
       busy.push_back(need[i]);
     }
   }
@@ -285,7 +297,8 @@ Status TwoPlTransaction::Commit() {
       pipe.Write(ref.Value(), w.value.data(), w.value.size());
     }
     for (const LockEntry& entry : locks_) {
-      pipe.Cas(entry.ref.LockWord(), MakeExclusiveLock(ts_), 0);
+      pipe.Cas(entry.ref.LockWord(),
+               MakeExclusiveLock(ts_, mgr_->dsm_->lock_owner_id()), 0);
     }
     s = pipe.WaitAll();  // e.g. memory node crashed mid-install
     locks_.clear();

@@ -309,6 +309,9 @@ TEST_F(DsmClientTest, CrashLosesContentsRecoveryRestoresService) {
 
   cluster_->RecoverMemoryNode(1);
   EXPECT_TRUE(cluster_->IsMemoryNodeAlive(1));
+  // Before the client re-binds, the incarnation fence rejects the op.
+  EXPECT_TRUE(client_->Read(*addr, &out, 8).IsStaleIncarnation());
+  client_->RefreshIncarnation(1);
   // Same logical address resolves again, but DRAM contents are gone.
   out = 99;
   ASSERT_TRUE(client_->Read(*addr, &out, 8).ok());

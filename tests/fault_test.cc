@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/sim_clock.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "dsm/lease.h"
+#include "rdma/fault.h"
+#include "rt/scheduler.h"
+#include "txn/rdma_lock.h"
+#include "txn/record_format.h"
+
+namespace dsmdb {
+namespace {
+
+using dsm::Cluster;
+using dsm::ClusterOptions;
+using dsm::DsmClient;
+using dsm::GlobalAddress;
+using dsm::LeaseManager;
+using rdma::FaultInjector;
+using rdma::FaultOptions;
+
+uint64_t FaultCounter(const char* name) {
+  return GlobalMetrics().GetCounter(name)->Get();
+}
+
+class FaultFabricTest : public ::testing::Test {
+ protected:
+  FaultFabricTest() {
+    ClusterOptions opts;
+    opts.num_memory_nodes = 3;
+    opts.memory_node.capacity_bytes = 8 << 20;
+    cluster_ = std::make_unique<Cluster>(opts);
+    client_ = std::make_unique<DsmClient>(
+        cluster_.get(), cluster_->AddComputeNode("cn0"));
+    SimClock::Reset();
+  }
+
+  ~FaultFabricTest() override {
+    cluster_->fabric().SetFaultInjector(nullptr);
+  }
+
+  void Install(FaultOptions fopts) {
+    injector_ = std::make_unique<FaultInjector>(std::move(fopts));
+    cluster_->fabric().SetFaultInjector(injector_.get());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DsmClient> client_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST(FaultInjectorTest, SameSeedSameSingleThreadDecisions) {
+  FaultOptions a;
+  a.seed = 42;
+  a.verb_loss_prob = 0.3;
+  FaultOptions b = a;
+  FaultInjector ia(std::move(a));
+  FaultInjector ib(std::move(b));
+  for (int i = 0; i < 200; i++) {
+    EXPECT_EQ(ia.OnVerb(0, 1, FaultInjector::Verb::kRead).drop,
+              ib.OnVerb(0, 1, FaultInjector::Verb::kRead).drop)
+        << "flip " << i;
+  }
+  EXPECT_GT(ia.verbs_dropped(), 0u);
+  EXPECT_LT(ia.verbs_dropped(), 200u);
+}
+
+TEST(FaultInjectorTest, TimedEventsFireOnceInOrder) {
+  int fired_a = 0;
+  int fired_b = 0;
+  FaultOptions fopts;
+  fopts.events.push_back(
+      rdma::FaultEvent{2000, [&] { fired_b++; }, "b"});
+  fopts.events.push_back(
+      rdma::FaultEvent{1000, [&] { fired_a++; }, "a"});
+  FaultInjector inj(std::move(fopts));
+  EXPECT_FALSE(inj.AllEventsFired());
+  inj.FireDueEvents(500);
+  EXPECT_EQ(fired_a + fired_b, 0);
+  inj.FireDueEvents(1500);
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 0);
+  inj.FireDueEvents(10'000);
+  inj.FireDueEvents(10'000);  // idempotent
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_TRUE(inj.AllEventsFired());
+}
+
+TEST_F(FaultFabricTest, StragglerWindowScalesWireCost) {
+  GlobalAddress addr = *client_->Alloc(64, 0);
+  uint64_t v = 7;
+  SimClock::Reset();
+  ASSERT_TRUE(client_->Read(addr, &v, 8).ok());
+  const uint64_t base_cost = SimClock::Now();
+  ASSERT_GT(base_cost, 0u);
+
+  FaultOptions fopts;
+  fopts.stragglers.push_back(rdma::StragglerWindow{
+      cluster_->MemFabricId(0), 0, UINT64_MAX, 3.0});
+  Install(std::move(fopts));
+  SimClock::Reset();
+  ASSERT_TRUE(client_->Read(addr, &v, 8).ok());
+  EXPECT_EQ(SimClock::Now(), 3 * base_cost);
+
+  // Other nodes are unaffected.
+  GlobalAddress other = *client_->Alloc(64, 1);
+  SimClock::Reset();
+  ASSERT_TRUE(client_->Read(other, &v, 8).ok());
+  EXPECT_EQ(SimClock::Now(), base_cost);
+}
+
+TEST_F(FaultFabricTest, ReadRetriesThroughTransientLossWindow) {
+  GlobalAddress addr = *client_->Alloc(64, 0);
+  const uint64_t want = 0xABCD;
+  ASSERT_TRUE(client_->Write(addr, &want, 8).ok());
+
+  // 100% loss until t=50'000, then clean. The retry loop must park through
+  // the window and succeed without surfacing an error.
+  FaultOptions fopts;
+  fopts.verb_loss_prob = 1.0;
+  fopts.events.push_back(rdma::FaultEvent{
+      50'000, [&] { injector_->SetVerbLossProb(0.0); }, "heal"});
+  Install(std::move(fopts));
+
+  const uint64_t retries_before = FaultCounter("fault.retries");
+  SimClock::Reset();
+  uint64_t got = 0;
+  ASSERT_TRUE(client_->Read(addr, &got, 8).ok());
+  EXPECT_EQ(got, want);
+  EXPECT_GE(SimClock::Now(), 50'000u);
+  EXPECT_GT(FaultCounter("fault.retries"), retries_before);
+  EXPECT_GT(injector_->verbs_dropped(), 0u);
+}
+
+TEST_F(FaultFabricTest, RetryBudgetExhaustsToTimedOut) {
+  GlobalAddress addr = *client_->Alloc(64, 0);
+  FaultOptions fopts;
+  fopts.verb_loss_prob = 1.0;
+  Install(std::move(fopts));
+
+  dsm::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_base_ns = 1000;
+  policy.backoff_cap_ns = 4000;
+  client_->set_retry_policy(policy);
+
+  const uint64_t retries_before = FaultCounter("fault.retries");
+  uint64_t got = 0;
+  Status s = client_->Read(addr, &got, 8);
+  EXPECT_TRUE(s.IsTimedOut()) << s;
+  EXPECT_EQ(FaultCounter("fault.retries") - retries_before, 3u);
+}
+
+TEST_F(FaultFabricTest, LostWriteAckStillAppliedAndIdempotent) {
+  GlobalAddress addr = *client_->Alloc(64, 0);
+  FaultOptions fopts;
+  fopts.verb_loss_prob = 1.0;
+  Install(std::move(fopts));
+  dsm::RetryPolicy policy;
+  policy.max_attempts = 2;
+  client_->set_retry_policy(policy);
+
+  const uint64_t v = 555;
+  EXPECT_TRUE(client_->Write(addr, &v, 8).IsTimedOut());
+
+  // Ack loss, not request loss: the store landed.
+  cluster_->fabric().SetFaultInjector(nullptr);
+  uint64_t got = 0;
+  ASSERT_TRUE(client_->Read(addr, &got, 8).ok());
+  EXPECT_EQ(got, v);
+}
+
+TEST_F(FaultFabricTest, LostCasNeverExecuted) {
+  GlobalAddress addr = *client_->Alloc(64, 0);
+  FaultOptions fopts;
+  fopts.per_node_loss.assign(8, -1.0);
+  fopts.per_node_loss[cluster_->MemFabricId(0)] = 1.0;
+  Install(std::move(fopts));
+  dsm::RetryPolicy policy;
+  policy.max_attempts = 2;
+  client_->set_retry_policy(policy);
+
+  EXPECT_TRUE(client_->CompareAndSwap(addr, 0, 99).status().IsTimedOut());
+  cluster_->fabric().SetFaultInjector(nullptr);
+  uint64_t got = 123;
+  ASSERT_TRUE(client_->Read(addr, &got, 8).ok());
+  EXPECT_EQ(got, 0u) << "a lost CAS must not have executed";
+
+  // Per-node override: node 1 is unaffected even with the injector on.
+  cluster_->fabric().SetFaultInjector(injector_.get());
+  GlobalAddress other = *client_->Alloc(64, 1);
+  EXPECT_TRUE(client_->CompareAndSwap(other, 0, 7).ok());
+}
+
+class FaultFenceTest : public FaultFabricTest {};
+
+TEST_F(FaultFenceTest, StaleIncarnationInsteadOfSilentZeroRead) {
+  GlobalAddress addr = *client_->Alloc(64, 1);
+  const uint64_t v = 31337;
+  ASSERT_TRUE(client_->Write(addr, &v, 8).ok());
+
+  cluster_->CrashMemoryNode(1);
+  cluster_->RecoverMemoryNode(1);
+  // Re-establish the allocation so the address resolves on the new
+  // incarnation — the fence must still reject the unrefreshed client.
+  DsmClient fresh(cluster_.get(), cluster_->AddComputeNode("cn1"));
+  GlobalAddress again = *fresh.Alloc(64, 1);
+  ASSERT_EQ(again.offset, addr.offset);
+
+  uint64_t got = 0xDEAD;
+  Status s = client_->Read(addr, &got, 8);
+  EXPECT_TRUE(s.IsStaleIncarnation()) << s;
+  EXPECT_EQ(got, 0xDEADu) << "fenced read must not touch the buffer";
+
+  // Writes, atomics and RPC ops are fenced the same way.
+  EXPECT_TRUE(client_->Write(addr, &v, 8).IsStaleIncarnation());
+  EXPECT_TRUE(
+      client_->CompareAndSwap(addr, 0, 1).status().IsStaleIncarnation());
+  EXPECT_TRUE(client_->Alloc(64, 1).status().IsStaleIncarnation());
+
+  // Re-binding accepts the new world (now empty).
+  client_->RefreshIncarnation(1);
+  ASSERT_TRUE(client_->Read(addr, &got, 8).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_F(FaultFenceTest, PipelinePostsAreFencedToo) {
+  GlobalAddress addr = *client_->Alloc(64, 1);
+  cluster_->CrashMemoryNode(1);
+  cluster_->RecoverMemoryNode(1);
+
+  uint64_t got = 0;
+  dsm::DsmPipeline pipe(client_.get());
+  const rdma::WrId cas = pipe.Cas(addr, 0, 42);
+  pipe.Read(addr, &got, 8);
+  Status s = pipe.WaitAll();
+  EXPECT_TRUE(s.IsStaleIncarnation()) << s;
+  EXPECT_TRUE(pipe.status(cas).IsStaleIncarnation());
+}
+
+TEST_F(FaultFenceTest, ReadAnyFailsOverToSurvivingReplica) {
+  GlobalAddress primary = *client_->Alloc(64, 0);
+  GlobalAddress replica = *client_->Alloc(64, 1);
+  const uint64_t v = 777;
+  ASSERT_TRUE(
+      client_->WriteAll({primary, replica}, &v, 8).ok());
+
+  const uint64_t failovers_before = FaultCounter("fault.failovers");
+  uint64_t got = 0;
+  ASSERT_TRUE(client_->ReadAny({primary, replica}, &got, 8).ok());
+  EXPECT_EQ(got, v);
+  EXPECT_EQ(FaultCounter("fault.failovers"), failovers_before)
+      << "primary served: no failover";
+
+  cluster_->CrashMemoryNode(0);
+  got = 0;
+  ASSERT_TRUE(client_->ReadAny({primary, replica}, &got, 8).ok());
+  EXPECT_EQ(got, v);
+  EXPECT_EQ(FaultCounter("fault.failovers"), failovers_before + 1);
+
+  // All replicas down -> the last transient error surfaces.
+  cluster_->CrashMemoryNode(1);
+  Status s = client_->ReadAny({primary, replica}, &got, 8);
+  EXPECT_TRUE(s.IsUnavailable()) << s;
+}
+
+class FaultLeaseTest : public ::testing::Test {
+ protected:
+  FaultLeaseTest() {
+    ClusterOptions opts;
+    opts.num_memory_nodes = 2;
+    opts.memory_node.capacity_bytes = 8 << 20;
+    cluster_ = std::make_unique<Cluster>(opts);
+    a_ = std::make_unique<DsmClient>(cluster_.get(),
+                                     cluster_->AddComputeNode("a"));
+    b_ = std::make_unique<DsmClient>(cluster_.get(),
+                                     cluster_->AddComputeNode("b"));
+    SimClock::Reset();
+    table_ = *LeaseManager::CreateTable(a_.get());
+    LeaseManager::Options lopts;
+    lopts.table = table_;
+    lopts.lease_ns = 100'000;
+    lopts.heartbeat_interval_ns = 25'000;
+    lopts.recheck_ns = 1'000;
+    leases_a_ = std::make_unique<LeaseManager>(a_.get(), lopts);
+    leases_b_ = std::make_unique<LeaseManager>(b_.get(), lopts);
+    a_->SetLeaseManager(leases_a_.get());
+    b_->SetLeaseManager(leases_b_.get());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<DsmClient> a_;
+  std::unique_ptr<DsmClient> b_;
+  GlobalAddress table_;
+  std::unique_ptr<LeaseManager> leases_a_;
+  std::unique_ptr<LeaseManager> leases_b_;
+};
+
+TEST_F(FaultLeaseTest, HeartbeatKeepsLeaseFresh) {
+  ASSERT_TRUE(leases_a_->Heartbeat().ok());
+  EXPECT_FALSE(leases_b_->IsExpired(leases_a_->self_owner()));
+  // Owners that never heartbeated are never "expired" (no lease, no
+  // reclaim), and owner 0 marks an owner-less legacy lock.
+  EXPECT_FALSE(leases_b_->IsExpired(leases_b_->self_owner()));
+  EXPECT_FALSE(leases_b_->IsExpired(0));
+
+  // Past the lease without another heartbeat: expired.
+  rt::SimWait(SimClock::Now() + 200'000);
+  EXPECT_TRUE(leases_b_->IsExpired(leases_a_->self_owner()));
+
+  // A new heartbeat resurrects it.
+  ASSERT_TRUE(leases_a_->Heartbeat().ok());
+  rt::SimWait(SimClock::Now() + 2'000);  // past recheck_ns
+  EXPECT_FALSE(leases_b_->IsExpired(leases_a_->self_owner()));
+}
+
+TEST_F(FaultLeaseTest, OrphanLockReclaimedAfterLeaseExpiry) {
+  GlobalAddress word = *a_->Alloc(64, 0);
+  ASSERT_TRUE(leases_a_->Heartbeat().ok());
+
+  txn::RdmaSpinLock lock_a(a_.get());
+  ASSERT_TRUE(lock_a.TryAcquire(word, /*ts=*/9).ok());
+  // The stamped word carries A's owner id.
+  uint64_t raw = 0;
+  ASSERT_TRUE(b_->Read(word, &raw, 8).ok());
+  EXPECT_EQ(txn::LockOwnerId(raw), a_->lock_owner_id());
+  EXPECT_EQ(txn::LockHolderTs(raw), 9u);
+
+  // While A's lease is fresh, B just sees Busy.
+  txn::RdmaSpinLock lock_b(b_.get());
+  EXPECT_TRUE(lock_b.TryAcquire(word, 11).IsBusy());
+
+  // A "crashes" (stops heartbeating); after expiry B reclaims and wins.
+  const uint64_t reclaimed_before =
+      FaultCounter("fault.orphan_locks_reclaimed");
+  rt::SimWait(SimClock::Now() + 300'000);
+  ASSERT_TRUE(lock_b.TryAcquire(word, 11).ok());
+  EXPECT_EQ(FaultCounter("fault.orphan_locks_reclaimed"),
+            reclaimed_before + 1);
+  ASSERT_TRUE(b_->Read(word, &raw, 8).ok());
+  EXPECT_EQ(txn::LockHolderTs(raw), 11u);
+  EXPECT_EQ(txn::LockOwnerId(raw), b_->lock_owner_id());
+
+  // A's late release CAS fails benignly (word no longer matches).
+  EXPECT_FALSE(lock_a.Release(word, 9).ok());
+  ASSERT_TRUE(lock_b.Release(word, 11).ok());
+}
+
+TEST_F(FaultLeaseTest, OwnerlessLocksAreNeverReclaimed) {
+  // No lease manager -> owner id 0 -> bit-identical legacy lock words.
+  b_->SetLeaseManager(nullptr);
+  EXPECT_EQ(b_->lock_owner_id(), 0u);
+  GlobalAddress word = *a_->Alloc(64, 0);
+  txn::RdmaSpinLock lock_b(b_.get());
+  ASSERT_TRUE(lock_b.TryAcquire(word, 5).ok());
+  uint64_t raw = 0;
+  ASSERT_TRUE(a_->Read(word, &raw, 8).ok());
+  EXPECT_EQ(raw, txn::MakeExclusiveLock(5));
+  EXPECT_EQ(txn::LockOwnerId(raw), 0u);
+
+  // Even far in the future, A cannot reclaim an owner-less word.
+  rt::SimWait(SimClock::Now() + 1'000'000);
+  txn::RdmaSpinLock lock_a(a_.get());
+  EXPECT_TRUE(lock_a.TryAcquire(word, 6).IsBusy());
+  EXPECT_FALSE(txn::MaybeReclaimOrphanLock(a_.get(), word, raw));
+}
+
+}  // namespace
+}  // namespace dsmdb

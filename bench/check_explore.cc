@@ -1,0 +1,412 @@
+// Systematic schedule exploration for the six CC protocols (DESIGN.md §12).
+//
+// Each explored schedule is one fully fresh world: cluster, table, manager,
+// cooperative scheduler — driven by a seeded PCT policy (rt::PctPolicy) so
+// the interleaving of the in-flight transactions is chosen adversarially
+// rather than by timing. After the schedule finishes, the isolation oracle
+// (check::History::Analyze) rebuilds the direct serialization graph from
+// the recorded reads/installs and reports any cycle, lost update, or
+// fractured read.
+//
+//   check_explore --protocol=all --schedules=200 --seeds=1,2          # sweep
+//   check_explore --protocol=occ --faults=1                           # ± faults
+//   check_explore --protocol=2pl-nowait --broken=2pl_early_release
+//                 --expect-anomaly                                    # self-test
+//
+// Exit codes: 0 = clean (or expected anomaly found), 1 = anomaly in a stock
+// protocol (or harness error), 2 = --expect-anomaly but the sweep stayed
+// clean. In a plain build (no -DDSMDB_CHECK=ON) the binary prints a notice
+// and exits 0 so script wiring stays unconditional.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/checker.h"
+#include "check/history.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "core/table.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "rdma/fault.h"
+#include "rt/pct_policy.h"
+#include "rt/scheduler.h"
+#include "txn/cc_protocol.h"
+#include "txn/data_accessor.h"
+
+namespace dsmdb {
+namespace {
+
+struct ExploreOptions {
+  std::string protocol = "all";
+  uint32_t schedules = 200;
+  std::vector<uint64_t> seeds = {1, 2};
+  uint32_t depth = 3;          // PCT change points d.
+  uint32_t tasks = 4;          // Concurrent transaction streams.
+  uint32_t txns_per_task = 4;  // Transaction intents per stream.
+  uint64_t keys = 4;           // Contention domain.
+  bool faults = false;
+  std::string broken = "none";
+  bool expect_anomaly = false;
+  bool verbose = false;
+};
+
+struct ProtocolSpec {
+  const char* name;
+  txn::CcProtocolKind kind;
+  txn::TwoPlLockMode lock_mode;
+  check::History::IsolationLevel level;
+};
+
+constexpr ProtocolSpec kProtocols[] = {
+    {"2pl-nowait", txn::CcProtocolKind::kTwoPlNoWait,
+     txn::TwoPlLockMode::kExclusiveOnly,
+     check::History::IsolationLevel::kStrictSerializable},
+    {"2pl-nowait-se", txn::CcProtocolKind::kTwoPlNoWait,
+     txn::TwoPlLockMode::kSharedExclusive,
+     check::History::IsolationLevel::kStrictSerializable},
+    {"2pl-waitdie", txn::CcProtocolKind::kTwoPlWaitDie,
+     txn::TwoPlLockMode::kExclusiveOnly,
+     check::History::IsolationLevel::kStrictSerializable},
+    {"occ", txn::CcProtocolKind::kOcc, txn::TwoPlLockMode::kExclusiveOnly,
+     check::History::IsolationLevel::kStrictSerializable},
+    {"tso", txn::CcProtocolKind::kTso, txn::TwoPlLockMode::kExclusiveOnly,
+     check::History::IsolationLevel::kStrictSerializable},
+    {"mvcc", txn::CcProtocolKind::kMvcc, txn::TwoPlLockMode::kExclusiveOnly,
+     check::History::IsolationLevel::kSnapshotIsolation},
+};
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Aggregated over one protocol's full sweep.
+struct SweepResult {
+  uint64_t schedules_run = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t indoubt = 0;
+  uint64_t versions = 0;
+  uint64_t write_skew_cycles = 0;
+  uint64_t masked_by_indoubt = 0;
+  uint64_t anomalies = 0;
+  uint64_t checker_reports = 0;
+  /// 1-based index of the first anomalous schedule (0 = none).
+  uint64_t first_anomaly_at = 0;
+};
+
+#if defined(DSMDB_CHECK_ENABLED)
+
+constexpr uint32_t kValueSize = 16;
+
+std::string EncodedValue(uint64_t v) {
+  std::string s(kValueSize, '\0');
+  EncodeFixed64(s.data(), v);
+  EncodeFixed64(s.data() + 8, v);
+  return s;
+}
+
+/// One transaction stream: `txns_per_task` intents, each retried a bounded
+/// number of times. Intents rotate through three shapes:
+///  * increment — single-key RMW (lost-update bait);
+///  * transfer  — two-key RMW (cycle bait, exercises multi-lock commits);
+///  * skew      — read two keys, write only one (write-skew bait: two
+///    siblings skewing the same pair in opposite directions form the
+///    classic rw/rw cycle SI permits and serializable protocols must
+///    refuse).
+void RunStream(txn::CcManager* mgr, core::Table* table,
+               const ExploreOptions& opt, uint64_t stream_seed) {
+  Random64 rng(stream_seed);
+  for (uint32_t t = 0; t < opt.txns_per_task; t++) {
+    const uint32_t shape = opt.keys >= 2 ? t % 3 : 0;
+    const uint64_t k1 = rng.Uniform(opt.keys);
+    uint64_t k2 = rng.Uniform(opt.keys);
+    if (k2 == k1) k2 = (k2 + 1) % opt.keys;
+    const uint64_t lo = std::min(k1, k2), hi = std::max(k1, k2);
+    for (int attempt = 0; attempt < 50; attempt++) {
+      Result<std::unique_ptr<txn::Transaction>> txn = mgr->Begin();
+      if (!txn.ok()) break;
+      std::string a, b;
+      Status s = (*txn)->Read(table->RefFor(shape == 0 ? k1 : lo), &a);
+      if (!s.ok()) continue;
+      if (shape == 0) {
+        const uint64_t va = DecodeFixed64(a.data());
+        s = (*txn)->Write(table->RefFor(k1), EncodedValue(va + 1));
+        if (!s.ok()) continue;
+      } else {
+        s = (*txn)->Read(table->RefFor(hi), &b);
+        if (!s.ok()) continue;
+        const uint64_t va = DecodeFixed64(a.data());
+        const uint64_t vb = DecodeFixed64(b.data());
+        if (shape == 1) {
+          s = (*txn)->Write(table->RefFor(lo), EncodedValue(va - 1));
+          if (!s.ok()) continue;
+          s = (*txn)->Write(table->RefFor(hi), EncodedValue(vb + 1));
+          if (!s.ok()) continue;
+        } else {
+          // Write the end this stream's seed picks, conditioned on the
+          // pair's sum — the bank-overdraft shape of write skew.
+          const uint64_t target = (stream_seed & 1) != 0 ? lo : hi;
+          s = (*txn)->Write(table->RefFor(target),
+                            EncodedValue(va + vb > 1'000 ? va - 1 : va));
+          if (!s.ok()) continue;
+        }
+      }
+      if ((*txn)->Commit().ok()) break;
+    }
+  }
+}
+
+/// Runs ONE schedule in a fresh world and returns its oracle analysis.
+check::History::Analysis RunSchedule(const ProtocolSpec& spec,
+                                     const ExploreOptions& opt,
+                                     uint64_t schedule_seed,
+                                     uint64_t* steps_estimate) {
+  SimClock::Reset();
+  dsm::ClusterOptions copts;
+  copts.num_memory_nodes = 2;
+  copts.memory_node.capacity_bytes = 16 << 20;
+  dsm::Cluster cluster(copts);
+  dsm::DsmClient client(&cluster, cluster.AddComputeNode("cn0"));
+  txn::DirectAccessor accessor(&client);
+  txn::TimestampOracle oracle(&client, txn::OracleMode::kRdmaFaa,
+                              txn::TimestampOracle::DefaultCounter());
+  core::Table table =
+      *core::Table::Create(&client, 0, {kValueSize, opt.keys});
+  txn::NoopLogSink sink;
+
+  txn::CcOptions cc;
+  cc.protocol = spec.kind;
+  cc.lock_mode = spec.lock_mode;
+  cc.debug_break.release_read_locks_early = opt.broken == "2pl_early_release";
+  cc.debug_break.skip_version_recheck = opt.broken == "occ_skip_recheck";
+  std::unique_ptr<txn::CcManager> mgr =
+      txn::MakeCcManager(cc, &client, &accessor, &oracle, &sink);
+
+  // The history must observe the seeding writes: version tags are absolute
+  // (OCC's install count, TSO's wts, MVCC's commit_ts), so a schedule
+  // reader observing a seeded version needs its install on record or the
+  // oracle would misreport a fractured read.
+  check::History::Reset();
+  check::History::SetEnabled(true);
+
+  // Seed every key (serially, fault-free) so the initial state is real.
+  for (uint64_t k = 0; k < opt.keys; k++) {
+    auto txn = std::move(*mgr->Begin());
+    (void)txn->Write(table.RefFor(k), EncodedValue(1'000));
+    (void)txn->Commit();
+  }
+
+  std::unique_ptr<rdma::FaultInjector> injector;
+  if (opt.faults) {
+    rdma::FaultOptions fopts;
+    fopts.seed = Mix64(schedule_seed ^ 0xFA017ULL);
+    fopts.verb_loss_prob = 0.002;
+    fopts.lost_verb_timeout_ns = 5'000;
+    injector = std::make_unique<rdma::FaultInjector>(std::move(fopts));
+    cluster.fabric().SetFaultInjector(injector.get());
+  }
+
+  rt::PctPolicy::Options popts;
+  popts.seed = schedule_seed;
+  popts.change_points = opt.depth;
+  popts.steps_estimate = *steps_estimate == 0 ? 500 : *steps_estimate;
+  rt::PctPolicy policy(popts);
+
+  rt::Scheduler sched;
+  sched.SetPolicy(&policy);
+  sched.Run([&] {
+    for (uint32_t i = 0; i < opt.tasks; i++) {
+      const uint64_t stream_seed = Mix64(schedule_seed ^ (i + 1));
+      sched.Spawn([&, stream_seed] {
+        RunStream(mgr.get(), &table, opt, stream_seed);
+      });
+    }
+  });
+  SimClock::AdvanceTo(sched.FinalSimNs());
+
+  check::History::SetEnabled(false);
+  // Feed the observed step count back so the next schedule's change points
+  // land inside the actual run (PCT's k parameter).
+  if (policy.steps() > 0) *steps_estimate = policy.steps();
+  check::History::Analysis a = check::History::Analyze(spec.level);
+  if (opt.faults) cluster.fabric().SetFaultInjector(nullptr);
+  return a;
+}
+
+SweepResult RunSweep(const ProtocolSpec& spec, const ExploreOptions& opt) {
+  SweepResult r;
+  uint64_t steps_estimate = 0;
+  for (uint64_t seed : opt.seeds) {
+    for (uint32_t i = 0; i < opt.schedules; i++) {
+      const size_t reports_before = check::Checker::ReportCount();
+      const uint64_t schedule_seed = Mix64(seed * 0x10001ULL + i);
+      check::History::Analysis a =
+          RunSchedule(spec, opt, schedule_seed, &steps_estimate);
+      r.schedules_run++;
+      r.committed += a.txns_committed;
+      r.aborted += a.txns_aborted;
+      r.indoubt += a.txns_indoubt;
+      r.versions += a.versions_installed;
+      r.write_skew_cycles += a.write_skew_cycles;
+      r.masked_by_indoubt += a.masked_by_indoubt;
+      r.checker_reports += check::Checker::ReportCount() - reports_before;
+      if (!a.Clean()) {
+        r.anomalies += a.anomalies.size();
+        if (r.first_anomaly_at == 0) r.first_anomaly_at = r.schedules_run;
+        if (opt.verbose || !opt.expect_anomaly) {
+          for (const check::Anomaly& an : a.anomalies) {
+            std::fprintf(stderr,
+                         "[%s seed=%" PRIu64 " schedule=%u]\n%s\n",
+                         spec.name, seed, i, an.message.c_str());
+          }
+        }
+        if (opt.expect_anomaly) return r;  // found what the self-test wants
+      }
+    }
+  }
+  return r;
+}
+
+#endif  // DSMDB_CHECK_ENABLED
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: check_explore [--protocol=all|2pl-nowait|2pl-nowait-se|"
+      "2pl-waitdie|occ|tso|mvcc]\n"
+      "  [--schedules=N] [--seeds=a,b,...] [--depth=D] [--tasks=N]\n"
+      "  [--txns=N] [--keys=N] [--faults=0|1]\n"
+      "  [--broken=none|2pl_early_release|occ_skip_recheck]\n"
+      "  [--expect-anomaly] [--verbose]\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  ExploreOptions opt;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--protocol=", 0) == 0) {
+      opt.protocol = val("--protocol=");
+    } else if (arg.rfind("--schedules=", 0) == 0) {
+      opt.schedules = std::strtoul(val("--schedules="), nullptr, 10);
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      opt.seeds.clear();
+      for (const char* p = val("--seeds="); *p != '\0';) {
+        char* end = nullptr;
+        opt.seeds.push_back(std::strtoull(p, &end, 10));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (arg.rfind("--depth=", 0) == 0) {
+      opt.depth = std::strtoul(val("--depth="), nullptr, 10);
+    } else if (arg.rfind("--tasks=", 0) == 0) {
+      opt.tasks = std::strtoul(val("--tasks="), nullptr, 10);
+    } else if (arg.rfind("--txns=", 0) == 0) {
+      opt.txns_per_task = std::strtoul(val("--txns="), nullptr, 10);
+    } else if (arg.rfind("--keys=", 0) == 0) {
+      opt.keys = std::strtoull(val("--keys="), nullptr, 10);
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      opt.faults = std::strtoul(val("--faults="), nullptr, 10) != 0;
+    } else if (arg.rfind("--broken=", 0) == 0) {
+      opt.broken = val("--broken=");
+    } else if (arg == "--expect-anomaly") {
+      opt.expect_anomaly = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (opt.schedules == 0 || opt.seeds.empty() || opt.tasks == 0 ||
+      opt.keys == 0) {
+    return Usage();
+  }
+  if (opt.broken != "none" && opt.broken != "2pl_early_release" &&
+      opt.broken != "occ_skip_recheck") {
+    return Usage();
+  }
+
+  if (!check::History::Compiled()) {
+    std::printf(
+        "check_explore: built without -DDSMDB_CHECK=ON; nothing to do\n");
+    return 0;
+  }
+
+#if defined(DSMDB_CHECK_ENABLED)
+  // Race reports (sim-TSan) are collected, not fatal: the broken protocol
+  // variants are *supposed* to misbehave, and the oracle is the detector
+  // under test here. The per-protocol report delta still lands in the
+  // summary so a stock-protocol race cannot pass silently.
+  check::Checker::SetAbortOnReport(false);
+
+  std::vector<const ProtocolSpec*> selected;
+  for (const ProtocolSpec& spec : kProtocols) {
+    if (opt.protocol == "all" || opt.protocol == spec.name) {
+      selected.push_back(&spec);
+    }
+  }
+  if (selected.empty()) return Usage();
+
+  std::printf(
+      "# schedules=%u x seeds=%zu, pct depth=%u, tasks=%u x txns=%u, "
+      "keys=%" PRIu64 ", faults=%d, broken=%s\n",
+      opt.schedules, opt.seeds.size(), opt.depth, opt.tasks,
+      opt.txns_per_task, opt.keys, opt.faults ? 1 : 0, opt.broken.c_str());
+  std::printf("%-14s %9s %9s %8s %8s %9s %10s %7s %9s %11s\n", "protocol",
+              "schedules", "committed", "aborted", "indoubt", "versions",
+              "write_skew", "masked", "anomalies", "detected_at");
+
+  int rc = 0;
+  for (const ProtocolSpec* spec : selected) {
+    SweepResult r = RunSweep(*spec, opt);
+    char detected[24] = "-";
+    if (r.first_anomaly_at != 0) {
+      std::snprintf(detected, sizeof(detected), "#%" PRIu64,
+                    r.first_anomaly_at);
+    }
+    std::printf("%-14s %9" PRIu64 " %9" PRIu64 " %8" PRIu64 " %8" PRIu64
+                " %9" PRIu64 " %10" PRIu64 " %7" PRIu64 " %9" PRIu64
+                " %11s\n",
+                spec->name, r.schedules_run, r.committed, r.aborted,
+                r.indoubt, r.versions, r.write_skew_cycles,
+                r.masked_by_indoubt, r.anomalies, detected);
+    if (opt.expect_anomaly) {
+      if (r.anomalies == 0) {
+        std::fprintf(stderr,
+                     "FAIL: %s with --broken=%s stayed clean over %" PRIu64
+                     " schedules\n",
+                     spec->name, opt.broken.c_str(), r.schedules_run);
+        rc = 2;
+      }
+    } else if (r.anomalies != 0 || r.checker_reports != 0) {
+      if (r.checker_reports != 0) {
+        std::fprintf(stderr, "FAIL: %s had %" PRIu64 " race report(s)\n",
+                     spec->name, r.checker_reports);
+      }
+      rc = 1;
+    }
+  }
+  std::printf(rc == 0 ? "EXPLORE PASS\n" : "EXPLORE FAIL\n");
+  return rc;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+}  // namespace dsmdb
+
+int main(int argc, char** argv) { return dsmdb::Main(argc, argv); }

@@ -2,14 +2,23 @@
 # One entry point for the verification matrix: builds and runs the tier-1
 # tests under every hardening config and prints a summary table.
 #
-#   plain  - stock RelWithDebInfo build, full ctest suite
-#   tsan   - -fsanitize=thread
-#   asan   - -fsanitize=address
-#   ubsan  - -fsanitize=undefined -fno-sanitize-recover=all
-#   check  - -DDSMDB_CHECK=on (protocol-level sim-TSan + lockdep), full suite
+#   plain   - stock RelWithDebInfo build, full ctest suite
+#   tsan    - -fsanitize=thread
+#   asan    - -fsanitize=address
+#   ubsan   - -fsanitize=undefined -fno-sanitize-recover=all
+#   check   - -DDSMDB_CHECK=on (protocol-level sim-TSan + lockdep), full suite
+#   explore - -DDSMDB_CHECK=on; invariant lint + isolation-oracle PCT sweep
+#             (check_explore: 200 schedules x 2 seeds per protocol, with and
+#             without fault injection, plus both seeded-broken variants which
+#             must be *detected*); no ctest
+#   bench   - plain build; bench_snapshot vs the newest BENCH_PR*.json via
+#             bench_compare.py (>10% throughput drop / p50 rise gates).
+#             Opt-in: not part of the default config list (pick the baseline
+#             deliberately), but its FAIL propagates through the summary
+#             table and the exit code exactly like every other config.
 #
 # Usage: scripts/check_matrix.sh [config ...]
-#   default: all five configs
+#   default: plain tsan asan ubsan check explore
 #
 # Environment:
 #   TESTS=<ctest -R regex>   restrict which tests run (sanitizer configs
@@ -17,17 +26,29 @@
 #                            and check always run the full suite unless TESTS
 #                            is set)
 #   JOBS=<n>                 parallelism (default: nproc)
+#   EXPLORE_SCHEDULES=<n>    schedules per (protocol, seed) for the explore
+#                            config (default 200 = the acceptance bar;
+#                            use 20 for a quick local smoke)
+#   BENCH_BASELINE=<file>    snapshot to compare against for the bench
+#                            config (default: newest BENCH_PR*.json)
 #
-# Exit status is nonzero if any selected config fails. CI's sanitizer jobs
-# call this script with a single config argument each so failures attribute
-# to the right job.
+# Tier-1 runtime budget (1-core container, RelWithDebInfo): plain ctest
+# ~2 min after a ~8 min build; the check build adds ~20% compile time and
+# ~2x test runtime; the explore sweep itself is ~2 min at 200 schedules
+# (6 protocols x 2 seeds x 2 fault modes ~ 4800 schedule-runs at ~25 ms
+# each) — budget ~12 min per config end-to-end, dominated by the build.
+#
+# Exit status is nonzero if any selected config fails; the final exit is
+# recomputed from the summary table itself so a FAIL row can never coexist
+# with exit 0. CI's sanitizer jobs call this script with a single config
+# argument each so failures attribute to the right job.
 set -uo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc)}"
 configs=("$@")
 if [[ ${#configs[@]} -eq 0 ]]; then
-  configs=(plain tsan asan ubsan check)
+  configs=(plain tsan asan ubsan check explore)
 fi
 
 # Sanitizer runs are slow; by default point them at the suites that exercise
@@ -41,13 +62,55 @@ cmake_args_for() {
     asan)  echo "-DDSMDB_SANITIZE=address" ;;
     ubsan) echo "-DDSMDB_SANITIZE=undefined" ;;
     check) echo "-DDSMDB_CHECK=on" ;;
-    *) echo "error: unknown config '$1' (want plain|tsan|asan|ubsan|check)" >&2
+    explore) echo "-DDSMDB_CHECK=on" ;;
+    bench) echo "" ;;
+    *) echo "error: unknown config '$1'" \
+            "(want plain|tsan|asan|ubsan|check|explore|bench)" >&2
        return 1 ;;
   esac
 }
 
 declare -A results
 overall=0
+
+# Isolation-oracle sweep (the `explore` config): the invariant lint, then
+# the PCT schedule explorer over all six protocols — clean runs must stay
+# clean (with and without fault injection) and the two seeded-broken
+# variants must each be flagged. Every step's exit status gates the row.
+run_explore() {
+  local build_dir="$1"
+  local explore="$build_dir/bench/check_explore"
+  local n="${EXPLORE_SCHEDULES:-200}"
+  "$repo_root/scripts/lint_invariants.sh" || return 1
+  [[ -x "$explore" ]] || { echo "error: $explore not built" >&2; return 1; }
+  "$explore" --protocol=all --schedules="$n" --seeds=1,2 || return 1
+  "$explore" --protocol=all --schedules="$n" --seeds=1,2 --faults=1 \
+    || return 1
+  "$explore" --protocol=2pl-nowait --broken=2pl_early_release \
+      --expect-anomaly --schedules=50 --seeds=1 || return 1
+  "$explore" --protocol=occ --broken=occ_skip_recheck \
+      --expect-anomaly --schedules=50 --seeds=1 || return 1
+}
+
+# Bench regression gate (the `bench` config): snapshot the tracked benches
+# from this build and diff against the baseline with bench_compare.py. Its
+# nonzero exit (any gated >10% regression) is the row's result — the
+# summary table and the script exit both reflect it.
+run_bench() {
+  local build_dir="$1"
+  local baseline="${BENCH_BASELINE:-}"
+  if [[ -z "$baseline" ]]; then
+    baseline="$(ls -1 "$repo_root"/BENCH_PR*.json 2>/dev/null | sort -V | tail -1)"
+  fi
+  if [[ -z "$baseline" || ! -f "$baseline" ]]; then
+    echo "error: no BENCH_PR*.json baseline found (set BENCH_BASELINE)" >&2
+    return 1
+  fi
+  echo "bench gate baseline: $baseline"
+  "$repo_root/scripts/bench_snapshot.sh" "$build_dir" matrix || return 1
+  python3 "$repo_root/scripts/bench_compare.py" \
+      "$baseline" "$repo_root/BENCH_matrix.json"
+}
 
 for cfg in "${configs[@]}"; do
   extra="$(cmake_args_for "$cfg")" || { results[$cfg]="BAD-CONFIG"; overall=1; continue; }
@@ -68,6 +131,23 @@ for cfg in "${configs[@]}"; do
     results[$cfg]="BUILD-FAIL"; overall=1; continue
   fi
 
+  case "$cfg" in
+    explore)
+      if run_explore "$build_dir"; then
+        results[$cfg]="PASS"
+      else
+        results[$cfg]="EXPLORE-FAIL"
+      fi
+      continue ;;
+    bench)
+      if run_bench "$build_dir"; then
+        results[$cfg]="PASS"
+      else
+        results[$cfg]="BENCH-FAIL"
+      fi
+      continue ;;
+  esac
+
   filter="${TESTS:-}"
   if [[ -z "$filter" ]]; then
     case "$cfg" in
@@ -80,7 +160,7 @@ for cfg in "${configs[@]}"; do
   if ctest "${ctest_args[@]}"; then
     results[$cfg]="PASS"
   else
-    results[$cfg]="TEST-FAIL"; overall=1
+    results[$cfg]="TEST-FAIL"
   fi
 done
 
@@ -88,8 +168,13 @@ echo
 echo "==================== check matrix summary ===================="
 printf '%-8s %s\n' "config" "result"
 printf '%-8s %s\n' "------" "------"
+# The exit code is recomputed from the table rows themselves: any row that
+# is not exactly PASS fails the run, so the table can never print a failure
+# while the script exits 0 (the bug this replaces: per-step `overall=1`
+# bookkeeping drifted out of sync with the rows as steps were added).
 for cfg in "${configs[@]}"; do
   printf '%-8s %s\n' "$cfg" "${results[$cfg]:-SKIPPED}"
+  [[ "${results[$cfg]:-SKIPPED}" == "PASS" ]] || overall=1
 done
 echo "=============================================================="
 exit "$overall"

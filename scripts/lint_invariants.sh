@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# lint_invariants.sh — static lints for repo protocol invariants that the
+# runtime checker (src/check) can only catch when the offending path is
+# actually executed. These are lexical approximations (brace/paren depth
+# tracking, not a real parser); a finding can be suppressed on its line —
+# or on the line that opens the offending scope — with:
+#
+#     // lint-allow: <rule>
+#
+# Rules:
+#   call-under-lock    Two-sided Fabric::Call posted while a blocking lock
+#                      (std::lock_guard / unique_lock / scoped_lock /
+#                      shared_lock) is held in an enclosing scope that is
+#                      not covered by a check::NoCallZone. The handler may
+#                      itself need the lock => deadlock under sim scheduling.
+#   simwait-in-handler rt::SimWait inside an RPC handler registration
+#                      (RegisterRpcHandler lambda) without a SimNoPark in
+#                      the same region. A parked handler blocks its caller's
+#                      completion and can deadlock the single-runner baton.
+#   simclock-set       Direct SimClock::Set outside the two sanctioned
+#                      scopes in src/common/sim_clock.h (and the definition
+#                      in sim_clock.cc). Everything else must go through
+#                      Reset/Advance/AdvanceTo so time never moves backwards
+#                      mid-run.
+#
+# Exit status: 0 when clean, 1 when any rule fires. Used as a CI step and
+# from check_matrix.sh.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+files=()
+while IFS= read -r f; do files+=("$f"); done \
+  < <(find src -name '*.cc' -o -name '*.h' | sort)
+
+fail=0
+
+# ---------------------------------------------------------------------------
+# Rule 1: call-under-lock
+# ---------------------------------------------------------------------------
+# Awk tracks brace depth per file. A lock declaration arms the rule at its
+# depth; leaving that depth disarms it. NoCallZone covers its own scope the
+# same way (inside a NoCallZone the runtime checker already flags the Call,
+# so the lint only reports the windows runtime checking cannot see).
+rule1_out=$(awk '
+  FNR == 1 { depth = 0; nlock = 0; nzone = 0 }
+  {
+    line = $0
+    sub(/\/\/.*lint-allow: *call-under-lock.*/, "LINT_ALLOW", line)
+    code = line
+    sub(/\/\/.*/, "", code)   # strip trailing comments before counting braces
+    if (match(code, /std::(lock_guard|unique_lock|scoped_lock|shared_lock)[< ]/) &&
+        line !~ /LINT_ALLOW/) {
+      # Arm at the depth where the declaration actually sits, accounting for
+      # braces earlier on the same line ("{ std::lock_guard ... }" idiom).
+      pre = substr(code, 1, RSTART - 1)
+      d = depth + gsub(/{/, "{", pre) - gsub(/}/, "}", pre)
+      lock_depth[nlock++] = d
+    }
+    if (match(code, /NoCallZone +[A-Za-z_]+ *\(/)) {
+      pre = substr(code, 1, RSTART - 1)
+      zone_depth[nzone++] = depth + gsub(/{/, "{", pre) - gsub(/}/, "}", pre)
+    }
+    if (code ~ /(\.|->)Call *\(/ && line !~ /LINT_ALLOW/ &&
+        nlock > 0 && nzone == 0) {
+      printf "%s:%d: Fabric::Call while a blocking lock is held (no NoCallZone) [call-under-lock]\n", FILENAME, FNR
+    }
+    n = gsub(/{/, "{", code); depth += n
+    n = gsub(/}/, "}", code); depth -= n
+    while (nlock > 0 && depth < lock_depth[nlock - 1]) nlock--
+    while (nzone > 0 && depth < zone_depth[nzone - 1]) nzone--
+  }
+' "${files[@]}")
+if [[ -n "$rule1_out" ]]; then
+  echo "$rule1_out"
+  fail=1
+fi
+
+# ---------------------------------------------------------------------------
+# Rule 2: simwait-in-handler
+# ---------------------------------------------------------------------------
+# A RegisterRpcHandler(...) statement opens a region tracked by paren depth;
+# SimWait inside it is flagged unless the same region declares a SimNoPark.
+# (Handlers that delegate to out-of-line functions are covered at runtime by
+# the scheduler''s park accounting; this catches the inline-lambda case.)
+rule2_out=$(awk '
+  FNR == 1 { inreg = 0; pdepth = 0; sawnopark = 0; nwait = 0; start = 0 }
+  {
+    line = $0
+    code = line
+    sub(/\/\/.*/, "", code)
+    if (!inreg && code ~ /RegisterRpcHandler *\(/) {
+      inreg = 1; pdepth = 0; sawnopark = 0; nwait = 0; start = FNR
+    }
+    if (inreg) {
+      if (code ~ /SimNoPark/) sawnopark = 1
+      if (code ~ /SimWait *\(/ && line !~ /lint-allow: *simwait-in-handler/) {
+        wait_line[nwait++] = FNR
+      }
+      n = gsub(/\(/, "(", code); pdepth += n
+      n = gsub(/\)/, ")", code); pdepth -= n
+      if (pdepth <= 0 && FNR >= start) {
+        if (!sawnopark) {
+          for (i = 0; i < nwait; i++) {
+            printf "%s:%d: SimWait inside an RPC handler registration without SimNoPark [simwait-in-handler]\n", FILENAME, wait_line[i]
+          }
+        }
+        inreg = 0
+      }
+    }
+  }
+' "${files[@]}")
+if [[ -n "$rule2_out" ]]; then
+  echo "$rule2_out"
+  fail=1
+fi
+
+# ---------------------------------------------------------------------------
+# Rule 3: simclock-set
+# ---------------------------------------------------------------------------
+# The only sanctioned callers live in src/common/sim_clock.h (the two scope
+# guards that save/restore t0) plus the definition in sim_clock.cc.
+rule3_out=$(grep -n 'SimClock::Set *(' \
+    $(printf '%s\n' "${files[@]}" | grep -v 'src/common/sim_clock\.\(h\|cc\)$') \
+    /dev/null \
+  | grep -v 'lint-allow: *simclock-set')
+if [[ -n "$rule3_out" ]]; then
+  echo "$rule3_out" | sed 's/$/: direct SimClock::Set outside sim_clock.h sanctioned scopes [simclock-set]/'
+  fail=1
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "lint_invariants: OK (${#files[@]} files, 3 rules)"
+else
+  echo "lint_invariants: FAIL"
+fi
+exit $fail

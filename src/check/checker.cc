@@ -55,6 +55,7 @@ struct ThreadState {
   int nocall_depth = 0;
   const char* nocall_where[8] = {};
   int blocking_lock_depth = 0;
+  int trylock_depth = 0;
   std::vector<HeldLock> held;
 };
 
@@ -339,12 +340,30 @@ void AddLockEdges(ThreadState& me, const HeldLock& acquiring) {
 // post on commit without needing protocol-level release hooks.
 constexpr uint64_t kLockBit = 1ULL << 63;
 
+void EraseHeld(ThreadState& me, uintptr_t word) {
+  for (size_t i = 0; i < me.held.size(); i++) {
+    if (me.held[i].word == word) {
+      me.held.erase(me.held.begin() + i);
+      break;
+    }
+  }
+}
+
 void LockdepOnCas(ThreadState& me, uintptr_t word, uint32_t node,
                   uint64_t offset, uint64_t expected, uint64_t desired,
                   uint64_t prev) {
-  if (prev != expected) return;  // failed CAS: no transition happened
   const bool acquire = expected == 0 && (desired & kLockBit) != 0;
   const bool release = (expected & kLockBit) != 0 && desired == 0;
+  if (prev != expected) {
+    // Failed CAS: no transition happened. But a failed *release* means the
+    // word no longer holds this thread's value — a lease reclaim freed it
+    // out from under a doomed holder (dsm/lease.h: "its release fails
+    // benignly on the reclaimed word"). The hold is over either way; keep
+    // the stale entry and every later blocking acquisition would add edges
+    // from a lock this thread no longer holds — false inversions.
+    if (release) EraseHeld(me, word);
+    return;
+  }
   if (acquire) {
     HeldLock h;
     h.word = word;
@@ -353,15 +372,15 @@ void LockdepOnCas(ThreadState& me, uintptr_t word, uint32_t node,
     h.span_id = obs::CurrentSpanId();
     h.sim_ns = SimClock::Now();
     h.region_epoch = S().region_epoch.load(std::memory_order_relaxed);
-    if (me.blocking_lock_depth > 0 && !me.held.empty()) AddLockEdges(me, h);
+    // Try-lock transitions (TryLockScope: lease reclaim of a stranger's
+    // word) hold without ordering: no edges, no deadlock potential.
+    if (me.trylock_depth == 0 && me.blocking_lock_depth > 0 &&
+        !me.held.empty()) {
+      AddLockEdges(me, h);
+    }
     me.held.push_back(h);
   } else if (release) {
-    for (size_t i = 0; i < me.held.size(); i++) {
-      if (me.held[i].word == word) {
-        me.held.erase(me.held.begin() + i);
-        break;
-      }
-    }
+    EraseHeld(me, word);
   }
 }
 
@@ -674,6 +693,9 @@ NoCallZone::~NoCallZone() { Self().nocall_depth--; }
 
 BlockingLockScope::BlockingLockScope() { Self().blocking_lock_depth++; }
 BlockingLockScope::~BlockingLockScope() { Self().blocking_lock_depth--; }
+
+TryLockScope::TryLockScope() { Self().trylock_depth++; }
+TryLockScope::~TryLockScope() { Self().trylock_depth--; }
 
 // ---------------------------------------------------------------------------
 // Management surface

@@ -163,6 +163,22 @@ class BlockingLockScope {
   BlockingLockScope& operator=(const BlockingLockScope&) = delete;
 };
 
+/// Classifies lock-shaped CASes in its scope as try-lock transitions even
+/// when a BlockingLockScope is active further up the stack: acquisitions
+/// are tracked as held but add no lock-order edges, and failed
+/// release-shaped CASes are ignored. For lease-based orphan reclaim
+/// (`MaybeReclaimOrphanLock`), which CASes a *stranger's* lock word to 0
+/// from inside another acquisition's retry loop — without this scope that
+/// reclaim CAS would be read as the blocking path's own lock traffic and
+/// could report a false lock-order inversion.
+class TryLockScope {
+ public:
+  TryLockScope();
+  ~TryLockScope();
+  TryLockScope(const TryLockScope&) = delete;
+  TryLockScope& operator=(const TryLockScope&) = delete;
+};
+
 #else  // !DSMDB_CHECK_ENABLED — every hook compiles to nothing.
 
 inline void OnRemoteRead(const void*, size_t, uint32_t, uint64_t) {}
@@ -192,6 +208,10 @@ class NoCallZone {
 class BlockingLockScope {
  public:
   BlockingLockScope() {}
+};
+class TryLockScope {
+ public:
+  TryLockScope() {}
 };
 
 #endif  // DSMDB_CHECK_ENABLED

@@ -1,0 +1,561 @@
+#include "check/history.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dsmdb::check {
+
+#if defined(DSMDB_CHECK_ENABLED)
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Recording. One global, mutex-protected log: history capture runs under the
+// cooperative scheduler's single-runner baton (or short test loops), so the
+// lock is uncontended in practice and keeps install order == host hook order,
+// which is the property the whole analysis rests on (sim_mem executes stores
+// at post time, and every install hook fires under the protocol's exclusion
+// for the record, so the per-record hook order IS the version order).
+// ---------------------------------------------------------------------------
+
+struct TxnRec {
+  TxnRef ref;
+  enum class Outcome { kActive, kCommitted, kAborted, kInDoubt } outcome =
+      Outcome::kActive;
+  struct ReadObs {
+    uint64_t record = 0;
+    uint64_t index = 0;  ///< Version index: 0 = initial, k = k-th install.
+    uint64_t tag = 0;    ///< Observed tag, kept for unresolved diagnostics.
+    bool resolved = false;
+  };
+  std::vector<ReadObs> reads;
+  struct InstallObs {
+    uint64_t record = 0;
+    uint64_t index = 0;  ///< 1-based position in the record's version order.
+  };
+  std::vector<InstallObs> installs;
+};
+
+struct RecordHist {
+  struct Version {
+    uint64_t tag = 0;
+    TxnRec* installer = nullptr;
+  };
+  std::vector<Version> versions;  ///< versions[k] is version index k+1.
+};
+
+struct HistoryState {
+  std::atomic<bool> enabled{false};
+  /// Bumped by Reset() so thread-local current-txn pointers from a previous
+  /// schedule cannot dangle into the cleared log.
+  std::atomic<uint64_t> epoch{1};
+  /// One global sequence stamps Begin/Commit in host order; real-time edges
+  /// (A committed before B began) come from comparing these.
+  std::atomic<uint64_t> seq{1};
+
+  std::mutex mu;
+  std::vector<std::unique_ptr<TxnRec>> txns;
+  std::unordered_map<uint64_t, RecordHist> records;
+};
+
+HistoryState& H() {
+  static HistoryState* h = new HistoryState();  // leaked: outlives threads
+  return *h;
+}
+
+struct TlCurrent {
+  TxnRec* txn = nullptr;
+  uint64_t epoch = 0;
+};
+
+TlCurrent& Cur() {
+  thread_local TlCurrent tl;
+  // A Reset() between schedules invalidates whatever this thread had open.
+  if (tl.txn != nullptr &&
+      tl.epoch != H().epoch.load(std::memory_order_relaxed)) {
+    tl.txn = nullptr;
+  }
+  return tl;
+}
+
+bool RecordingOn() { return H().enabled.load(std::memory_order_relaxed); }
+
+// H().mu held. An abort that already installed versions is in-doubt: its
+// writes may be visible to other txns, so it must stay in the version order
+// but cannot be blamed precisely.
+void FinalizeLocked(TxnRec* t, bool committed, uint64_t seq) {
+  if (t->outcome != TxnRec::Outcome::kActive) return;
+  if (committed) {
+    t->outcome = TxnRec::Outcome::kCommitted;
+    t->ref.commit_seq = seq;
+  } else {
+    t->outcome = t->installs.empty() ? TxnRec::Outcome::kAborted
+                                     : TxnRec::Outcome::kInDoubt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis: direct serialization graph + Tarjan SCC.
+// ---------------------------------------------------------------------------
+
+constexpr uint8_t kEdgeWw = 1;
+constexpr uint8_t kEdgeWr = 2;
+constexpr uint8_t kEdgeRw = 4;
+constexpr uint8_t kEdgeRt = 8;
+
+const char* EdgeName(uint8_t kind) {
+  if (kind & kEdgeWw) return "ww";
+  if (kind & kEdgeWr) return "wr";
+  if (kind & kEdgeRw) return "rw";
+  return "rt";
+}
+
+struct Graph {
+  std::vector<TxnRec*> nodes;
+  std::unordered_map<TxnRec*, int> id;
+  /// adj[u][v] = edge-kind bitmask.
+  std::vector<std::unordered_map<int, uint8_t>> adj;
+
+  int Id(TxnRec* t) const { return id.at(t); }
+  void AddEdge(TxnRec* a, TxnRec* b, uint8_t kind) {
+    if (a == b) return;
+    adj[Id(a)][Id(b)] |= kind;
+  }
+};
+
+// Iterative Tarjan; recursion depth would track SCC chains through
+// thousand-txn histories.
+std::vector<std::vector<int>> StronglyConnected(const Graph& g) {
+  const int n = static_cast<int>(g.nodes.size());
+  std::vector<int> index(n, -1), low(n, 0), on_stack(n, 0);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    std::unordered_map<int, uint8_t>::const_iterator it;
+  };
+  for (int root = 0; root < n; root++) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames;
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    frames.push_back({root, g.adj[root].begin()});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.it != g.adj[f.v].end()) {
+        const int w = f.it->first;
+        ++f.it;
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back({w, g.adj[w].begin()});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+        continue;
+      }
+      if (low[f.v] == index[f.v]) {
+        std::vector<int> scc;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          scc.push_back(w);
+        } while (w != f.v);
+        if (scc.size() > 1) sccs.push_back(std::move(scc));
+      }
+      const int child = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[child]);
+      }
+    }
+  }
+  return sccs;
+}
+
+// A concrete witness cycle inside one SCC, as "(edge-kind) node" hops.
+std::vector<std::pair<int, uint8_t>> WitnessCycle(const Graph& g,
+                                                  const std::vector<int>& scc) {
+  std::vector<int> in_scc(g.nodes.size(), 0);
+  for (int v : scc) in_scc[v] = 1;
+  const int start = scc.front();
+  std::vector<std::pair<int, uint8_t>> path;  // (node, kind of edge INTO it)
+  std::vector<int> visited(g.nodes.size(), 0);
+  // DFS constrained to the SCC; a path back to `start` is a cycle.
+  struct Frame {
+    int v;
+    std::unordered_map<int, uint8_t>::const_iterator it;
+  };
+  std::vector<Frame> frames{{start, g.adj[start].begin()}};
+  visited[start] = 1;
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    bool advanced = false;
+    while (f.it != g.adj[f.v].end()) {
+      const int w = f.it->first;
+      const uint8_t kind = f.it->second;
+      ++f.it;
+      if (!in_scc[w]) continue;
+      if (w == start && !path.empty()) {
+        path.push_back({w, kind});
+        return path;
+      }
+      if (visited[w]) continue;
+      visited[w] = 1;
+      path.push_back({w, kind});
+      frames.push_back({w, g.adj[w].begin()});
+      advanced = true;
+      break;
+    }
+    if (!advanced) {
+      frames.pop_back();
+      if (!path.empty()) path.pop_back();
+    }
+  }
+  return {};
+}
+
+std::string DescribeTxn(const TxnRef& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s txn (ts %" PRIu64 ", txn_id %" PRIu64 ", span %" PRIu64
+                ", begin#%" PRIu64 ", commit#%" PRIu64 ")",
+                r.protocol.c_str(), r.ts, r.txn_id, r.span_id, r.begin_seq,
+                r.commit_seq);
+  return buf;
+}
+
+bool IsGraphNode(const TxnRec* t) {
+  return t->outcome == TxnRec::Outcome::kCommitted ||
+         t->outcome == TxnRec::Outcome::kInDoubt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hooks
+// ---------------------------------------------------------------------------
+
+void HistTxnBegin(std::string_view protocol, uint64_t ts) {
+  if (!RecordingOn()) return;
+  HistoryState& h = H();
+  TlCurrent& tl = Cur();
+  std::lock_guard<std::mutex> g(h.mu);
+  if (tl.txn != nullptr) {
+    // Previous txn on this thread never resolved (caller dropped it).
+    FinalizeLocked(tl.txn, /*committed=*/false, 0);
+  }
+  auto rec = std::make_unique<TxnRec>();
+  rec->ref.protocol.assign(protocol.data(), protocol.size());
+  rec->ref.ts = ts;
+  rec->ref.txn_id = obs::CurrentTxnId();
+  rec->ref.span_id = obs::CurrentSpanId();
+  rec->ref.begin_seq = h.seq.fetch_add(1, std::memory_order_relaxed);
+  tl.txn = rec.get();
+  tl.epoch = h.epoch.load(std::memory_order_relaxed);
+  h.txns.push_back(std::move(rec));
+}
+
+void HistRead(uint64_t record, uint64_t version_tag) {
+  if (!RecordingOn()) return;
+  TlCurrent& tl = Cur();
+  if (tl.txn == nullptr) return;  // read outside a recorded txn: ignore
+  HistoryState& h = H();
+  std::lock_guard<std::mutex> g(h.mu);
+  RecordHist& rh = h.records[record];
+  TxnRec::ReadObs obs;
+  obs.record = record;
+  obs.tag = version_tag;
+  if (version_tag == kVersionTagAuto) {
+    // Under the caller's lock no install is concurrent, so the current
+    // install count IS the version this read observed.
+    obs.index = rh.versions.size();
+    obs.resolved = true;
+  } else if (version_tag == 0) {
+    obs.index = 0;  // the pre-history initial version
+    obs.resolved = true;
+  } else {
+    // Installs hook before the store that publishes their tag, so a tag a
+    // reader could observe is always already recorded; search newest-first.
+    for (size_t k = rh.versions.size(); k > 0; k--) {
+      if (rh.versions[k - 1].tag == version_tag) {
+        obs.index = k;
+        obs.resolved = true;
+        break;
+      }
+    }
+  }
+  tl.txn->reads.push_back(obs);
+}
+
+void HistInstall(uint64_t record, uint64_t version_tag) {
+  if (!RecordingOn()) return;
+  TlCurrent& tl = Cur();
+  if (tl.txn == nullptr) return;
+  HistoryState& h = H();
+  std::lock_guard<std::mutex> g(h.mu);
+  RecordHist& rh = h.records[record];
+  RecordHist::Version v;
+  v.tag = version_tag == kVersionTagAuto
+              ? static_cast<uint64_t>(rh.versions.size() + 1)
+              : version_tag;
+  v.installer = tl.txn;
+  rh.versions.push_back(v);
+  tl.txn->installs.push_back({record, rh.versions.size()});
+}
+
+void HistTxnCommit() {
+  if (!RecordingOn()) return;
+  TlCurrent& tl = Cur();
+  if (tl.txn == nullptr) return;
+  HistoryState& h = H();
+  const uint64_t seq = h.seq.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(h.mu);
+  FinalizeLocked(tl.txn, /*committed=*/true, seq);
+  tl.txn = nullptr;
+}
+
+void HistTxnAbort() {
+  if (!RecordingOn()) return;
+  TlCurrent& tl = Cur();
+  if (tl.txn == nullptr) return;
+  HistoryState& h = H();
+  std::lock_guard<std::mutex> g(h.mu);
+  FinalizeLocked(tl.txn, /*committed=*/false, 0);
+  tl.txn = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Management surface + oracle
+// ---------------------------------------------------------------------------
+
+void History::SetEnabled(bool on) {
+  H().enabled.store(on, std::memory_order_relaxed);
+}
+bool History::Enabled() { return RecordingOn(); }
+
+void History::Reset() {
+  HistoryState& h = H();
+  std::lock_guard<std::mutex> g(h.mu);
+  h.records.clear();
+  h.txns.clear();
+  h.seq.store(1, std::memory_order_relaxed);
+  h.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+History::Analysis History::Analyze(IsolationLevel level) {
+  Analysis out;
+  HistoryState& h = H();
+  std::lock_guard<std::mutex> g(h.mu);
+
+  out.records = h.records.size();
+  for (const auto& [key, rh] : h.records) out.versions_installed += rh.versions.size();
+
+  Graph graph;
+  for (const auto& t : h.txns) {
+    switch (t->outcome) {
+      case TxnRec::Outcome::kCommitted:
+        out.txns_committed++;
+        break;
+      case TxnRec::Outcome::kAborted:
+        out.txns_aborted++;
+        break;
+      case TxnRec::Outcome::kInDoubt:
+      case TxnRec::Outcome::kActive:  // never resolved: treat as in-doubt
+        out.txns_indoubt++;
+        break;
+    }
+    if (t->outcome == TxnRec::Outcome::kActive && !t->installs.empty()) {
+      // Promote so the graph logic below sees one consistent state.
+      t->outcome = TxnRec::Outcome::kInDoubt;
+    } else if (t->outcome == TxnRec::Outcome::kActive) {
+      t->outcome = TxnRec::Outcome::kAborted;
+    }
+    if (IsGraphNode(t.get())) {
+      graph.id[t.get()] = static_cast<int>(graph.nodes.size());
+      graph.nodes.push_back(t.get());
+    }
+  }
+  graph.adj.resize(graph.nodes.size());
+
+  auto push_anomaly = [&out](Anomaly&& a) {
+    if (out.anomalies.size() < 64) out.anomalies.push_back(std::move(a));
+  };
+
+  // --- per-record edges, lost updates, fractured reads ---------------------
+  for (const auto& [key, rh] : h.records) {
+    // ww: consecutive installers.
+    for (size_t k = 1; k < rh.versions.size(); k++) {
+      graph.AddEdge(rh.versions[k - 1].installer, rh.versions[k].installer,
+                    kEdgeWw);
+    }
+  }
+  for (const auto& tptr : h.txns) {
+    TxnRec* t = tptr.get();
+    if (!IsGraphNode(t)) continue;
+    const bool committed = t->outcome == TxnRec::Outcome::kCommitted;
+    // First resolved read per record: the version the txn's logic was
+    // based on (later re-reads of the same record resolve identically
+    // under every protocol here).
+    std::unordered_map<uint64_t, uint64_t> first_read;
+    for (const TxnRec::ReadObs& r : t->reads) {
+      out.reads_resolved += r.resolved ? 1 : 0;
+      if (!r.resolved) {
+        if (!committed) continue;  // aborted/in-doubt reads carry no claim
+        const RecordHist& rh = h.records[r.record];
+        char head[192];
+        std::snprintf(head, sizeof(head),
+                      "==DSMDB-HIST== fractured read on record 0x%" PRIx64
+                      ": observed version tag %" PRIu64
+                      " matches none of the %zu installed versions\n",
+                      r.record, r.tag, rh.versions.size());
+        Anomaly a;
+        a.kind = AnomalyKind::kFracturedRead;
+        a.txns.push_back(t->ref);
+        a.message = std::string(head) + "  reader: " + DescribeTxn(t->ref) +
+                    "\n  the value was observed mid-install or assembled "
+                    "from two versions;\n  the protocol's validation failed "
+                    "to catch it\n";
+        push_anomaly(std::move(a));
+        continue;
+      }
+      first_read.emplace(r.record, r.index);
+      const RecordHist& rh = h.records[r.record];
+      if (r.index >= 1) {
+        graph.AddEdge(rh.versions[r.index - 1].installer, t, kEdgeWr);
+      }
+      if (r.index < rh.versions.size()) {
+        graph.AddEdge(t, rh.versions[r.index].installer, kEdgeRw);
+      }
+    }
+    // Lost update: a committed RMW must install the successor of what it
+    // read. (Every protocol here guarantees that: 2PL holds the lock, OCC
+    // re-validates, TSO aborts on wts > read, MVCC is first-updater-wins.)
+    if (!committed) continue;
+    for (const TxnRec::InstallObs& w : t->installs) {
+      auto it = first_read.find(w.record);
+      if (it == first_read.end()) continue;  // blind write: no claim
+      const uint64_t i = it->second;
+      const uint64_t j = w.index;
+      if (j == i + 1) continue;
+      const RecordHist& rh = h.records[w.record];
+      bool masked = false;
+      for (uint64_t k = i; k + 1 < j && k < rh.versions.size(); k++) {
+        if (rh.versions[k].installer->outcome == TxnRec::Outcome::kInDoubt) {
+          masked = true;
+          break;
+        }
+      }
+      if (masked) {
+        out.masked_by_indoubt++;
+        continue;
+      }
+      char head[192];
+      std::snprintf(head, sizeof(head),
+                    "==DSMDB-HIST== lost update on record 0x%" PRIx64
+                    ": read version %" PRIu64 " but installed version %" PRIu64
+                    " (skipped %" PRIu64 ")\n",
+                    w.record, i, j, j - i - 1);
+      Anomaly a;
+      a.kind = AnomalyKind::kLostUpdate;
+      a.txns.push_back(t->ref);
+      std::string msg = std::string(head) + "  updater: " +
+                        DescribeTxn(t->ref) + "\n";
+      for (uint64_t k = i; k + 1 < j && k < rh.versions.size(); k++) {
+        a.txns.push_back(rh.versions[k].installer->ref);
+        msg += "  overwritten: " + DescribeTxn(rh.versions[k].installer->ref) +
+               "\n";
+      }
+      msg +=
+          "  the intermediate installs were overwritten without being "
+          "observed\n";
+      a.message = std::move(msg);
+      push_anomaly(std::move(a));
+    }
+  }
+
+  // --- real-time edges (strict serializability only) -----------------------
+  if (level == IsolationLevel::kStrictSerializable) {
+    for (size_t a = 0; a < graph.nodes.size(); a++) {
+      TxnRec* ta = graph.nodes[a];
+      if (ta->outcome != TxnRec::Outcome::kCommitted) continue;
+      for (size_t b = 0; b < graph.nodes.size(); b++) {
+        if (a == b) continue;
+        TxnRec* tb = graph.nodes[b];
+        if (tb->outcome != TxnRec::Outcome::kCommitted) continue;
+        if (ta->ref.commit_seq != 0 &&
+            ta->ref.commit_seq < tb->ref.begin_seq) {
+          graph.AddEdge(ta, tb, kEdgeRt);
+        }
+      }
+    }
+  }
+
+  // --- cycles --------------------------------------------------------------
+  for (const std::vector<int>& scc : StronglyConnected(graph)) {
+    bool indoubt = false;
+    for (int v : scc) {
+      if (graph.nodes[v]->outcome == TxnRec::Outcome::kInDoubt) indoubt = true;
+    }
+    if (indoubt) {
+      out.masked_by_indoubt++;
+      continue;
+    }
+    const auto witness = WitnessCycle(graph, scc);
+    if (level == IsolationLevel::kSnapshotIsolation) {
+      // SI permits cycles carrying >= 2 read-write antidependencies (write
+      // skew). Count rw edges along the witness cycle.
+      int rw = 0;
+      for (const auto& [node, kind] : witness) {
+        if (kind & kEdgeRw) rw++;
+      }
+      if (rw >= 2) {
+        out.write_skew_cycles++;
+        continue;
+      }
+    }
+    Anomaly a;
+    a.kind = AnomalyKind::kCycle;
+    std::string msg =
+        "==DSMDB-HIST== serialization cycle among committed txns\n";
+    int prev = scc.front();
+    msg += "  " + DescribeTxn(graph.nodes[prev]->ref) + "\n";
+    a.txns.push_back(graph.nodes[prev]->ref);
+    for (const auto& [node, kind] : witness) {
+      msg += std::string("    --") + EdgeName(kind) + "--> " +
+             DescribeTxn(graph.nodes[node]->ref) + "\n";
+      if (node != scc.front()) a.txns.push_back(graph.nodes[node]->ref);
+    }
+    msg +=
+        "  no serial order satisfies these dependencies; look up the span "
+        "ids\n  in the trace tree for both commit paths\n";
+    a.message = std::move(msg);
+    push_anomaly(std::move(a));
+  }
+  return out;
+}
+
+#else  // !DSMDB_CHECK_ENABLED
+
+void History::SetEnabled(bool) {}
+bool History::Enabled() { return false; }
+void History::Reset() {}
+History::Analysis History::Analyze(IsolationLevel) { return {}; }
+
+#endif  // DSMDB_CHECK_ENABLED
+
+}  // namespace dsmdb::check

@@ -1,0 +1,144 @@
+#ifndef DSMDB_CHECK_HISTORY_H_
+#define DSMDB_CHECK_HISTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Isolation oracle (DESIGN.md §12). The sim-TSan layer in checker.h proves
+/// the protocols race-free; this layer proves their *committed histories*
+/// serializable. The six CC protocols call the Hist* hooks from their
+/// read/install/commit paths; `History::Analyze` then builds the direct
+/// serialization graph (wr/ww/rw edges, plus materialized real-time edges
+/// for strict serializability) and reports cycles, lost updates, and
+/// fractured reads as anomalies with span/txn attribution for every
+/// participant.
+///
+/// Same build discipline as the checker: everything compiles to nothing
+/// unless -DDSMDB_CHECK=ON defines DSMDB_CHECK_ENABLED. The management
+/// surface (`History`) always exists; recording additionally requires a
+/// runtime opt-in (`History::SetEnabled(true)`) so ordinary check-build
+/// tests do not pay for history capture they never analyze.
+namespace dsmdb::check {
+
+enum class AnomalyKind {
+  kCycle,          ///< Committed txns form a serialization-graph cycle.
+  kLostUpdate,     ///< A committed RMW skipped versions on a record.
+  kFracturedRead,  ///< A committed read observed a version no install produced.
+};
+
+/// One txn's identity inside an anomaly message, for trace lookup.
+struct TxnRef {
+  std::string protocol;
+  uint64_t ts = 0;        ///< Protocol timestamp (0 for 2PL no-wait variants).
+  uint64_t txn_id = 0;    ///< obs::CurrentTxnId() at Begin (0 = no tracing).
+  uint64_t span_id = 0;   ///< obs::CurrentSpanId() at Begin.
+  uint64_t begin_seq = 0; ///< Global host-order sequence at Begin.
+  uint64_t commit_seq = 0;
+};
+
+struct Anomaly {
+  AnomalyKind kind;
+  std::string message;     ///< Fully formatted, multi-line, actionable.
+  std::vector<TxnRef> txns;///< Every participant (cycle members / both sides).
+};
+
+/// Management surface. All methods are safe to call in off builds.
+class History {
+ public:
+  static constexpr bool Compiled() {
+#if defined(DSMDB_CHECK_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Runtime opt-in. Defaults to OFF even in check builds; check_explore
+  /// and the oracle tests turn it on per run.
+  static void SetEnabled(bool on);
+  static bool Enabled();
+
+  /// Drops all recorded history. Call between explored schedules. Must not
+  /// race with in-flight transactions (schedules are analyzed after their
+  /// scheduler run returns).
+  static void Reset();
+
+  enum class IsolationLevel {
+    kStrictSerializable,  ///< 2PL (both lock modes), WAIT_DIE, OCC, TSO.
+    kSnapshotIsolation,   ///< MVCC: write-skew cycles are expected-by-design.
+  };
+
+  struct Analysis {
+    uint64_t txns_committed = 0;
+    uint64_t txns_aborted = 0;
+    /// Commit path failed *after* installs were recorded (e.g. a lost verb
+    /// timed out mid-pipeline): the txn's writes may be visible. In-doubt
+    /// txns participate in the version order but cycles through them and
+    /// version skips across them are counted separately, not as anomalies —
+    /// precise blame needs a commit/abort verdict the history lacks.
+    uint64_t txns_indoubt = 0;
+    uint64_t records = 0;
+    uint64_t versions_installed = 0;
+    uint64_t reads_resolved = 0;
+    /// kSnapshotIsolation only: cycles whose committed edges include >= 2
+    /// read-write antidependencies. Allowed under SI (write skew); reported
+    /// here so sweeps can show the protocol exercising its full envelope.
+    uint64_t write_skew_cycles = 0;
+    /// Cycles / version skips that involve an in-doubt txn (fault runs).
+    uint64_t masked_by_indoubt = 0;
+    std::vector<Anomaly> anomalies;
+
+    bool Clean() const { return anomalies.empty(); }
+  };
+
+  /// Builds the DSG over everything recorded since Reset() and checks it.
+  /// Read-only: may be called repeatedly; does not clear the history.
+  static Analysis Analyze(IsolationLevel level);
+};
+
+#if defined(DSMDB_CHECK_ENABLED)
+
+/// Version tag for HistRead/HistInstall meaning "the protocol has no
+/// version word; attribute by install order". Sound only when the caller
+/// holds an exclusive (or shared, for reads) lock on the record, so no
+/// install can be concurrent with the hook — which is exactly the 2PL
+/// contract. Version-carrying protocols (OCC/TSO/MVCC) pass the observed
+/// version word instead.
+inline constexpr uint64_t kVersionTagAuto = ~0ULL;
+
+/// --- Recording hooks (called from src/txn protocol paths) ----------------
+/// One transaction per thread at a time (the txn layer's contract). A
+/// Begin while a previous txn on this thread never resolved finalizes the
+/// older txn as aborted (in-doubt if it had installs).
+void HistTxnBegin(std::string_view protocol, uint64_t ts);
+/// A committed-visible read of `record` (key = GlobalAddress::Pack() of the
+/// record base). `version_tag` is the version identity the protocol
+/// observed: OCC's version-word count, TSO's wts, MVCC's node wts (0 for
+/// the inline initial version), or kVersionTagAuto under a 2PL lock.
+void HistRead(uint64_t record, uint64_t version_tag);
+/// Called immediately *before* the install is posted, under whatever
+/// exclusion the protocol's commit path holds, so the record's install
+/// order recorded here equals the real version order (sim_mem executes
+/// stores at post time). `version_tag` is the tag readers of this version
+/// will observe (kVersionTagAuto for 2PL).
+void HistInstall(uint64_t record, uint64_t version_tag);
+void HistTxnCommit();
+void HistTxnAbort();
+
+#else  // !DSMDB_CHECK_ENABLED — every hook compiles to nothing.
+
+inline constexpr uint64_t kVersionTagAuto = ~0ULL;
+inline void HistTxnBegin(std::string_view, uint64_t) {}
+inline void HistRead(uint64_t, uint64_t) {}
+inline void HistInstall(uint64_t, uint64_t) {}
+inline void HistTxnCommit() {}
+inline void HistTxnAbort() {}
+
+#endif  // DSMDB_CHECK_ENABLED
+
+}  // namespace dsmdb::check
+
+#endif  // DSMDB_CHECK_HISTORY_H_

@@ -110,10 +110,12 @@ void CompletionQueue::TraceOneSided(const char* name, WrId id,
 
 WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
   const uint64_t issue = BeginPost();
+  if (FlowBroken(src.node)) return PostFlushed(src.node, issue);
   const NetworkModel& m = fabric_->model_;
   FaultInjector::Decision fd;
   if (FaultInjector* inj = fabric_->fault_injector()) {
     fd = inj->OnVerb(initiator_, src.node, FaultInjector::Verb::kRead);
+    if (fd.drop) flow_error_.insert(src.node);
   }
   Status s;
   uint64_t cost;
@@ -146,10 +148,14 @@ WrId CompletionQueue::PostRead(RemotePtr src, void* dst, size_t length) {
 WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
                                 size_t length) {
   const uint64_t issue = BeginPost();
+  if (FlowBroken(dst.node)) return PostFlushed(dst.node, issue);
   const NetworkModel& m = fabric_->model_;
   FaultInjector::Decision fd;
   if (FaultInjector* inj = fabric_->fault_injector()) {
     fd = inj->OnVerb(initiator_, dst.node, FaultInjector::Verb::kWrite);
+    // Ack loss applies the store (idempotent retransmit ambiguity) but
+    // still exhausts the WR's retransmit budget — the QP breaks the same.
+    if (fd.drop) flow_error_.insert(dst.node);
   }
   Status s;
   uint64_t cost;
@@ -184,12 +190,14 @@ WrId CompletionQueue::PostWrite(RemotePtr dst, const void* src,
 WrId CompletionQueue::PostCas(RemotePtr addr, uint64_t expected,
                               uint64_t desired) {
   const uint64_t issue = BeginPost();
+  if (FlowBroken(addr.node)) return PostFlushed(addr.node, issue);
   const NetworkModel& m = fabric_->model_;
   Status s;
   uint64_t prev = 0;
   FaultInjector::Decision fd;
   if (FaultInjector* inj = fabric_->fault_injector()) {
     fd = inj->OnVerb(initiator_, addr.node, FaultInjector::Verb::kCas);
+    if (fd.drop) flow_error_.insert(addr.node);
   }
   uint64_t cost = ScaleWire(m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8),
                             fd);
@@ -225,12 +233,14 @@ WrId CompletionQueue::PostCas(RemotePtr addr, uint64_t expected,
 
 WrId CompletionQueue::PostFaa(RemotePtr addr, uint64_t delta) {
   const uint64_t issue = BeginPost();
+  if (FlowBroken(addr.node)) return PostFlushed(addr.node, issue);
   const NetworkModel& m = fabric_->model_;
   Status s;
   uint64_t prev = 0;
   FaultInjector::Decision fd;
   if (FaultInjector* inj = fabric_->fault_injector()) {
     fd = inj->OnVerb(initiator_, addr.node, FaultInjector::Verb::kFaa);
+    if (fd.drop) flow_error_.insert(addr.node);
   }
   uint64_t cost = ScaleWire(m.rtt_ns + m.atomic_extra_ns + m.TransferNs(8),
                             fd);
@@ -272,11 +282,13 @@ WrId CompletionQueue::PostCall(NodeId target, uint32_t service,
                                std::string_view request,
                                std::string* response) {
   const uint64_t issue = BeginPost();
+  if (FlowBroken(target)) return PostFlushed(target, issue);
   const NetworkModel& m = fabric_->model_;
   FaultInjector::Decision fd;
   if (FaultInjector* inj = fabric_->fault_injector()) {
     fd = inj->OnVerb(initiator_, target, FaultInjector::Verb::kRpc);
     if (fd.drop) {  // request loss: the handler never runs
+      flow_error_.insert(target);
       return FinishPost(target, Status::TimedOut("injected: rpc lost"), 0,
                         issue, fd.timeout_ns);
     }
@@ -423,6 +435,7 @@ void CompletionQueue::Reset() {
   outstanding_ = 0;
   first_error_ = Status::OK();
   last_complete_.clear();
+  flow_error_.clear();  // Reset stands in for tearing down/reconnecting QPs.
 }
 
 }  // namespace dsmdb::rdma

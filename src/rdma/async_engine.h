@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -53,6 +54,15 @@ inline constexpr uint32_t kDefaultQpDepth = 64;
 /// op only. The failure is detected one RTT after issue (a real NIC's
 /// timeout/NAK), recorded in the op's `Status`, and surfaced as the first
 /// error by `WaitAll`; other ops in the pipeline complete normally.
+/// An *injected loss* (FaultInjector drop) is different: a real RC QP that
+/// exhausts its retransmit budget transitions to the error state and every
+/// later WR on it completes with a flush error, never executing. The queue
+/// models that — once a verb to a target is dropped, subsequent posts to
+/// the same target flush (TimedOut, no memory effect) until Reset(), which
+/// stands in for tearing down and reconnecting the QP. Without this, a
+/// dropped version-bump FAA followed by an executed unlock CAS in the same
+/// install pipeline would expose an ordering no real NIC can produce (the
+/// isolation oracle caught exactly that as an OCC lost update).
 ///
 /// Real memory effects (memcpy / atomics / RPC handler execution) happen
 /// immediately at post time, in posting order — only *time* is deferred.
@@ -135,6 +145,19 @@ class CompletionQueue {
   /// unless tracing is on).
   void TraceOneSided(const char* name, WrId id, uint64_t issue_ns);
 
+  /// True once an injected loss has put this queue's flow to `target` in
+  /// the error state; posts to it then flush without executing.
+  bool FlowBroken(NodeId target) const {
+    return flow_error_.count(target) != 0;
+  }
+  /// Completes a post to a broken flow: flush error, no memory effect, no
+  /// wire cost (a flushed WR completes locally).
+  WrId PostFlushed(NodeId target, uint64_t issue_ns) {
+    return FinishPost(target,
+                      Status::TimedOut("injected: flushed after lost verb"),
+                      0, issue_ns, 0);
+  }
+
   Fabric* fabric_;
   NodeId initiator_;
   uint32_t depth_;
@@ -143,6 +166,8 @@ class CompletionQueue {
   Status first_error_;
   /// Completion time of the last op posted to each target (QP in-order).
   std::unordered_map<NodeId, uint64_t> last_complete_;
+  /// Targets whose flow hit an injected loss (QP error state; see above).
+  std::unordered_set<NodeId> flow_error_;
 };
 
 }  // namespace dsmdb::rdma

@@ -63,6 +63,13 @@ struct FaultOptions {
 ///    initiator times out. Retrying a write is idempotent, so this models
 ///    the harder ambiguity without breaking exactly-once for atomics.
 ///
+/// Within a pipeline (one CompletionQueue), any drop also puts that
+/// queue's flow to the target into the error state: subsequent posts to
+/// the same target flush without executing, like a real RC QP after its
+/// retransmit budget — see the CompletionQueue failure-model comment. A
+/// later install verb can therefore never execute "past" a lost earlier
+/// one. Sync verbs (Fabric::Read etc.) are one-shot flows and unaffected.
+///
 /// Determinism: the coin-flip stream is fixed by `seed`, but flips are
 /// assigned to verbs in global issue order, so with multiple worker threads
 /// the *assignment* depends on host interleaving (aggregate counts stay

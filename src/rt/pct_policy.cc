@@ -1,0 +1,76 @@
+#include "rt/pct_policy.h"
+
+#include <algorithm>
+
+namespace dsmdb::rt {
+
+namespace {
+
+// splitmix64: the same cheap seeded stream the fault injector uses.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Random priorities live in [2^32, 2^63); the demotion watermark counts
+// down from 2^32 - 1, so every demoted task ranks below every undemoted
+// one and demotions rank in reverse order of occurrence.
+constexpr uint64_t kPrioBase = 1ULL << 32;
+constexpr uint64_t kPrioSpan = (1ULL << 62) - (1ULL << 32);
+
+}  // namespace
+
+PctPolicy::PctPolicy(Options opts)
+    : opts_(opts), rng_(opts.seed ^ 0xD1B54A32D192ED03ULL),
+      demote_water_(kPrioBase - 1) {
+  change_steps_.reserve(opts_.change_points);
+  const uint64_t k = std::max<uint64_t>(opts_.steps_estimate, 1);
+  for (uint32_t i = 0; i < opts_.change_points; i++) {
+    change_steps_.push_back(1 + NextRand() % k);
+  }
+  std::sort(change_steps_.begin(), change_steps_.end());
+}
+
+uint64_t PctPolicy::NextRand() { return SplitMix64(&rng_); }
+
+uint64_t PctPolicy::PriorityOf(uint64_t task_id) {
+  auto it = prio_.find(task_id);
+  if (it != prio_.end()) return it->second;
+  const uint64_t p = kPrioBase + NextRand() % kPrioSpan;
+  prio_.emplace(task_id, p);
+  return p;
+}
+
+void PctPolicy::OnTaskSpawned(uint64_t task_id) { (void)PriorityOf(task_id); }
+
+size_t PctPolicy::Pick(const Candidate* candidates, size_t n) {
+  step_++;
+  while (next_change_ < change_steps_.size() &&
+         change_steps_[next_change_] <= step_) {
+    next_change_++;
+    if (last_task_ != UINT64_MAX) prio_[last_task_] = demote_water_--;
+  }
+  size_t best = 0;
+  uint64_t best_prio = 0;
+  for (size_t i = 0; i < n; i++) {
+    const uint64_t p = PriorityOf(candidates[i].task_id);
+    // Tie-break on (wake, seq) for determinism; priorities are 64-bit
+    // random so ties only happen for a task appearing once.
+    const bool better =
+        p > best_prio ||
+        (i > 0 && p == best_prio &&
+         (candidates[i].wake_ns < candidates[best].wake_ns ||
+          (candidates[i].wake_ns == candidates[best].wake_ns &&
+           candidates[i].seq < candidates[best].seq)));
+    if (i == 0 || better) {
+      best = i;
+      best_prio = p;
+    }
+  }
+  last_task_ = candidates[best].task_id;
+  return best;
+}
+
+}  // namespace dsmdb::rt

@@ -1,0 +1,64 @@
+#ifndef DSMDB_RT_PCT_POLICY_H_
+#define DSMDB_RT_PCT_POLICY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/scheduler.h"
+
+namespace dsmdb::rt {
+
+/// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS'10) over
+/// the cooperative scheduler's park/resume boundaries. Each task gets a
+/// random priority at spawn; every handoff runs the highest-priority
+/// runnable task; at `d` change points (steps drawn uniformly from
+/// [1, steps_estimate]) the last-run task is demoted below every priority
+/// assigned so far. With d-1 change points PCT finds any bug of preemption
+/// depth d with probability >= 1/(n * k^(d-1)) per schedule — so a few
+/// hundred seeded schedules cover the shallow-interleaving space the
+/// protocols' races live in far better than timing-driven fuzz.
+///
+/// Fully deterministic for a given (seed, spawn order, candidate
+/// sequence): the same seed replays the same schedule, which is what lets
+/// check_explore report "anomaly at schedule #137, seed 2" reproducibly.
+class PctPolicy final : public SchedulePolicy {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Number of priority-change points (the PCT "depth" d). 0 disables
+    /// demotion: pure random static priorities.
+    uint32_t change_points = 3;
+    /// Estimated scheduling steps per run (the PCT "k"); change points are
+    /// drawn uniformly from [1, steps_estimate].
+    uint64_t steps_estimate = 2000;
+  };
+
+  explicit PctPolicy(Options opts);
+
+  size_t Pick(const Candidate* candidates, size_t n) override;
+  void OnTaskSpawned(uint64_t task_id) override;
+
+  /// Scheduling steps taken so far (one per Pick with >= 2 candidates);
+  /// feed back into steps_estimate for the next sweep.
+  uint64_t steps() const { return step_; }
+
+ private:
+  uint64_t NextRand();
+  uint64_t PriorityOf(uint64_t task_id);
+
+  const Options opts_;
+  uint64_t rng_;
+  std::unordered_map<uint64_t, uint64_t> prio_;
+  std::vector<uint64_t> change_steps_;  ///< Sorted ascending.
+  size_t next_change_ = 0;
+  uint64_t step_ = 0;
+  /// Demotion watermark: strictly below every random priority and itself
+  /// strictly decreasing, so later demotions rank below earlier ones.
+  uint64_t demote_water_;
+  uint64_t last_task_ = UINT64_MAX;
+};
+
+}  // namespace dsmdb::rt
+
+#endif  // DSMDB_RT_PCT_POLICY_H_

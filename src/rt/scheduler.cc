@@ -147,6 +147,21 @@ Task* Scheduler::HeapPop() {
   return t;
 }
 
+Task* Scheduler::PolicyPop() {
+  if (heap_.size() == 1) return HeapPop();
+  cand_buf_.clear();
+  for (const Task* t : heap_) {
+    cand_buf_.push_back({t->id(), t->wake_ns_, t->seq_, t->from_yield_});
+  }
+  size_t idx = policy_->Pick(cand_buf_.data(), cand_buf_.size());
+  if (idx >= heap_.size()) idx = 0;  // defensive: a bad pick is a default pick
+  Task* t = heap_[idx];
+  heap_[idx] = heap_.back();
+  heap_.pop_back();
+  std::make_heap(heap_.begin(), heap_.end(), HeapAfter);
+  return t;
+}
+
 void Scheduler::RequeueYielded() {
   for (Task* y : yielded_) {
     y->state_ = Task::State::kReady;
@@ -172,6 +187,7 @@ Task* Scheduler::NewTask(std::function<void()> fn, uint64_t wake_ns) {
          !depth_hwm_.compare_exchange_weak(hwm, live,
                                            std::memory_order_relaxed)) {
   }
+  if (policy_ != nullptr) policy_->OnTaskSpawned(t->id());
   HeapPush(t);
   // The thread starts immediately but blocks on its baton semaphore until
   // the scheduler pops the task.
@@ -182,7 +198,7 @@ Task* Scheduler::NewTask(std::function<void()> fn, uint64_t wake_ns) {
 void Scheduler::ScheduleNext() {
   while (true) {
     if (!heap_.empty()) {
-      Task* next = HeapPop();
+      Task* next = policy_ == nullptr ? HeapPop() : PolicyPop();
       if (core_now_ < next->wake_ns_) core_now_ = next->wake_ns_;
       // Spin-yielded tasks get one re-check per pop of a *real* task (a
       // sibling latch holder is by construction in the heap). Popping a

@@ -18,6 +18,31 @@ class ConcurrentHistogram;
 
 namespace dsmdb::rt {
 
+/// Schedule-exploration seam (DESIGN.md §12). The scheduler's runnable set
+/// — the (wake_ns, seq) min-heap — defines the interleaving; a policy may
+/// override which runnable task gets the core at each handoff. Every
+/// choice still yields a *legal* schedule: the core clock stays monotone
+/// (picking a later-wake task fast-forwards it; earlier tasks resume with
+/// the excess booked as cpu.queue lag), and the spin-yield carousel rule
+/// is unaffected because yielded tasks are not in the heap.
+///
+/// With no policy installed (the default) the scheduler behaves exactly as
+/// before: earliest wake first, FIFO among equals.
+class SchedulePolicy {
+ public:
+  struct Candidate {
+    uint64_t task_id = 0;
+    uint64_t wake_ns = 0;
+    uint64_t seq = 0;
+    bool from_yield = false;
+  };
+  virtual ~SchedulePolicy() = default;
+  /// Returns the index (< n) of the candidate to run next. n >= 1.
+  virtual size_t Pick(const Candidate* candidates, size_t n) = 0;
+  /// Called once per task, before its first Pick appearance.
+  virtual void OnTaskSpawned(uint64_t task_id) { (void)task_id; }
+};
+
 /// Cooperative multiplexer: one worker (OS) thread drives N transaction
 /// tasks over one simulated core. Exactly one task runs at a time (strict
 /// baton, handed off via each task's semaphore); tasks suspend at
@@ -78,6 +103,11 @@ class Scheduler {
   /// task's completion. Valid after Run() returns.
   uint64_t FinalSimNs() const { return final_sim_ns_; }
 
+  /// Installs a schedule-exploration policy (nullptr restores default
+  /// order). Must be set before Run(); the policy must outlive the
+  /// scheduler and is not owned.
+  void SetPolicy(SchedulePolicy* policy) { policy_ = policy; }
+
   /// Counters for tests and benches (valid while running and after Run).
   struct Stats {
     uint64_t tasks_spawned = 0;
@@ -112,6 +142,7 @@ class Scheduler {
   static bool HeapAfter(const Task* a, const Task* b);
   void HeapPush(Task* t);
   Task* HeapPop();
+  Task* PolicyPop();
   void RequeueYielded();
   void RegisterGauges();
 
@@ -128,6 +159,8 @@ class Scheduler {
   std::vector<Task*> bp_waiters_;  ///< Blocked in Spawn backpressure.
   uint64_t core_now_ = 0;          ///< Monotone simulated core clock.
   uint64_t seq_gen_ = 0;
+  SchedulePolicy* policy_ = nullptr;  ///< Not owned; null = default order.
+  std::vector<SchedulePolicy::Candidate> cand_buf_;
   uint64_t final_sim_ns_ = 0;
   bool started_ = false;
 

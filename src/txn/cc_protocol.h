@@ -52,6 +52,22 @@ struct CcOptions {
   /// records the transaction already read, still lock eagerly). Ignored in
   /// shared-exclusive mode.
   bool defer_write_locks = true;
+#if defined(DSMDB_CHECK_ENABLED)
+  /// Deliberately-broken protocol variants for isolation-oracle self-tests
+  /// (tests/oracle_test.cc): each plants a classic bug the oracle must
+  /// flag within a bounded number of explored schedules. Check builds
+  /// only, so the plain build's options layout and hot paths are
+  /// byte-identical to a tree without this field.
+  struct DebugBreak {
+    /// 2PL: release read-only locks right after the read instead of at
+    /// commit — the textbook non-two-phase bug (lost updates).
+    bool release_read_locks_early = false;
+    /// OCC: skip the version re-check in the validation phase (keep the
+    /// lock check) — commits on stale reads.
+    bool skip_version_recheck = false;
+  };
+  DebugBreak debug_break;
+#endif
 };
 
 /// Aggregate protocol counters (relaxed atomics, per manager).

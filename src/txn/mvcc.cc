@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/checker.h"
+#include "check/history.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "obs/heat_map.h"
@@ -48,6 +49,7 @@ Result<std::unique_ptr<Transaction>> MvccManager::Begin() {
 MvccTransaction::MvccTransaction(MvccManager* mgr, uint64_t start_ts)
     : mgr_(mgr), spin_(mgr->dsm_) {
   ts_ = start_ts;
+  check::HistTxnBegin(mgr_->name(), ts_);
 }
 
 MvccTransaction::~MvccTransaction() {
@@ -95,12 +97,16 @@ Status MvccTransaction::Read(const RecordRef& ref, std::string* out) {
     if (wts <= ts_) {
       out->assign(node.data() + 16, ref.value_size);
       read_versions_[ref.addr.Pack()] = wts;
+      // Version nodes are written before their head publish, so a
+      // reachable wts is always already in the history.
+      check::HistRead(ref.addr.Pack(), wts);
       return Status::OK();
     }
     head = DecodeFixed64(node.data() + 8);
   }
   // Oldest version: the record's inline value (wts = 0).
   read_versions_[ref.addr.Pack()] = 0;
+  check::HistRead(ref.addr.Pack(), 0);
   if (have_inline) return Status::OK();
   out->resize(ref.value_size);
   return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
@@ -132,6 +138,7 @@ Status MvccTransaction::Commit() {
     finished_ = true;
     mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
     RecordOutcome(mgr_, true);
+    check::HistTxnCommit();
     return Status::OK();
   }
   std::vector<size_t> order(writes_.size());
@@ -299,6 +306,9 @@ Status MvccTransaction::Commit() {
       PutFixed64(&node, *commit_ts);
       PutFixed64(&node, heads[i]);
       node.append(w.value);
+      // Readers observe this version as wts == commit_ts; recorded before
+      // posting, under the write-set locks held since phase 1.
+      check::HistInstall(w.addr.Pack(), *commit_ts);
       pipe.Write(*node_addr, node.data(), node.size());
       const uint64_t packed = node_addr->Pack();
       pipe.Write(dsm::GlobalAddress{w.addr.node, w.addr.offset + 8},
@@ -321,10 +331,12 @@ Status MvccTransaction::Commit() {
   if (!s.ok()) {
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
     RecordOutcome(mgr_, false);
+    check::HistTxnAbort();  // installs may be recorded -> in-doubt
     return s;
   }
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, true);
+  check::HistTxnCommit();
   return Status::OK();
 }
 
@@ -333,6 +345,7 @@ Status MvccTransaction::Abort() {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, false);
+  check::HistTxnAbort();
   return Status::OK();
 }
 
@@ -350,6 +363,7 @@ Status MvccTransaction::AbortInternal(bool validation,
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
                                               conflict_addr);
   }
+  check::HistTxnAbort();
   return Status::Aborted("mvcc write-write conflict");
 }
 

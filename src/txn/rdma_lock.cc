@@ -29,6 +29,10 @@ bool MaybeReclaimOrphanLock(dsm::DsmClient* dsm, dsm::GlobalAddress word,
   if (owner == 0 || owner == dsm->lock_owner_id()) return false;
   dsm::LeaseManager* leases = dsm->lease_manager();
   if (leases == nullptr || !leases->IsExpired(owner)) return false;
+  // The reclaim CAS frees a *stranger's* lock word from inside the caller's
+  // own (possibly blocking) acquisition loop; classify it as try-lock
+  // traffic so lockdep does not read it as this thread's lock ordering.
+  check::TryLockScope reclaim_is_trylock;
   Result<uint64_t> prev = dsm->CompareAndSwap(word, observed, 0);
   if (!prev.ok() || *prev != observed) return false;
   static Counter* reclaimed =

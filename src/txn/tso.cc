@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/checker.h"
+#include "check/history.h"
 #include "common/coding.h"
 #include "common/sim_clock.h"
 #include "obs/heat_map.h"
@@ -32,6 +33,7 @@ Result<std::unique_ptr<Transaction>> TsoManager::Begin() {
 TsoTransaction::TsoTransaction(TsoManager* mgr, uint64_t ts)
     : mgr_(mgr), spin_(mgr->dsm_) {
   ts_ = ts;
+  check::HistTxnBegin(mgr_->name(), ts_);
 }
 
 TsoTransaction::~TsoTransaction() {
@@ -85,11 +87,23 @@ Status TsoTransaction::Read(const RecordRef& ref, std::string* out) {
       Result<uint64_t> prev =
           mgr_->dsm_->CompareAndSwap(ref.VersionWord(), vword, desired);
       if (!prev.ok()) return prev.status();
-      if (*prev != vword && TsoRts(*prev) < my_ts) {
-        LockBackoff(attempt);
-        continue;  // lost the race to a state that still needs our bump
+      if (*prev != vword) {
+        // A lost CAS is acceptable only when the version we read is still
+        // current (wts unchanged) and some reader >= us already raised rts
+        // — then our read is protected exactly as if our bump had landed.
+        // If the wts moved, a writer installed between our stability check
+        // and the CAS: the value in hand is stale and was never protected
+        // by an rts bump (the isolation oracle flags the committed-stale
+        // read as a cycle), so re-read. Checking only rts here — the
+        // original condition — accepted stale values whenever an unrelated
+        // younger reader had bumped rts past us.
+        if (TsoWts(*prev) != TsoWts(vword) || TsoRts(*prev) < my_ts) {
+          LockBackoff(attempt);
+          continue;  // lost the race to a state that invalidates our read
+        }
       }
     }
+    check::HistRead(ref.addr.Pack(), TsoWts(vword));
     return Status::OK();
   }
   return AbortInternal(false, ref.addr.Pack());
@@ -169,6 +183,9 @@ Status TsoTransaction::Commit() {
     for (size_t i = 0; i < writes_.size() && s.ok(); i++) {
       const CommitWrite& w = writes_[i];
       RecordRef ref{w.addr, write_sizes_[i]};
+      // Readers observe this version as wts == my_ts; recorded before the
+      // install, under the record's exclusive lock.
+      check::HistInstall(w.addr.Pack(), static_cast<uint64_t>(my_ts));
       s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
                                       w.value.size());
       if (!s.ok()) break;
@@ -183,10 +200,12 @@ Status TsoTransaction::Commit() {
   if (!s.ok()) {
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
     RecordOutcome(mgr_, false);
+    check::HistTxnAbort();  // installs may be recorded -> in-doubt
     return s;
   }
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, true);
+  check::HistTxnCommit();
   return Status::OK();
 }
 
@@ -195,6 +214,7 @@ Status TsoTransaction::Abort() {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, false);
+  check::HistTxnAbort();
   return Status::OK();
 }
 
@@ -212,6 +232,7 @@ Status TsoTransaction::AbortInternal(bool validation,
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
                                               conflict_addr);
   }
+  check::HistTxnAbort();
   return Status::Aborted("tso conflict");
 }
 

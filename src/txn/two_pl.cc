@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "check/checker.h"
+#include "check/history.h"
 #include "common/sim_clock.h"
 #include "obs/heat_map.h"
 #include "obs/trace.h"
@@ -49,6 +50,7 @@ Result<std::unique_ptr<Transaction>> TwoPlManager::Begin() {
 TwoPlTransaction::TwoPlTransaction(TwoPlManager* mgr, uint64_t ts)
     : mgr_(mgr), spin_(mgr->dsm_), se_(mgr->dsm_) {
   ts_ = ts;
+  check::HistTxnBegin(mgr_->name(), ts_);
 }
 
 TwoPlTransaction::~TwoPlTransaction() {
@@ -172,16 +174,29 @@ Status TwoPlTransaction::Read(const RecordRef& ref, std::string* out) {
     }
     if (!s.ok()) return s;
     RegisterLock(ref, Held::kExclusive);
-    if (pipe.value(cas) == 0) return Status::OK();  // speculative hit
-    // Lock won only after waiting: the speculative bytes are stale.
-    return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
-                                      ref.value_size);
+    if (pipe.value(cas) != 0) {
+      // Lock won only after waiting: the speculative bytes are stale.
+      DSMDB_RETURN_NOT_OK(mgr_->accessor_->ReadValue(ref.Value(), out->data(),
+                                                     ref.value_size));
+    }
+    // The read is attributed under the lock: no install can be concurrent,
+    // so the record's current install count is the version observed.
+    check::HistRead(ref.addr.Pack(), check::kVersionTagAuto);
+#if defined(DSMDB_CHECK_ENABLED)
+    DebugMaybeReleaseReadLockEarly(ref);
+#endif
+    return Status::OK();
   }
 
   DSMDB_RETURN_NOT_OK(EnsureLock(ref, /*exclusive=*/!se_mode));
   out->resize(ref.value_size);
-  return mgr_->accessor_->ReadValue(ref.Value(), out->data(),
-                                    ref.value_size);
+  DSMDB_RETURN_NOT_OK(mgr_->accessor_->ReadValue(ref.Value(), out->data(),
+                                                 ref.value_size));
+  check::HistRead(ref.addr.Pack(), check::kVersionTagAuto);
+#if defined(DSMDB_CHECK_ENABLED)
+  DebugMaybeReleaseReadLockEarly(ref);
+#endif
+  return Status::OK();
 }
 
 Status TwoPlTransaction::Write(const RecordRef& ref,
@@ -294,6 +309,9 @@ Status TwoPlTransaction::Commit() {
     dsm::DsmPipeline pipe(mgr_->dsm_);
     for (const CommitWrite& w : writes_) {
       RecordRef ref{w.addr, static_cast<uint32_t>(w.value.size())};
+      // Recorded before posting, under the exclusive lock: the history's
+      // per-record install order is the real version order.
+      check::HistInstall(w.addr.Pack(), check::kVersionTagAuto);
       pipe.Write(ref.Value(), w.value.data(), w.value.size());
     }
     for (const LockEntry& entry : locks_) {
@@ -306,6 +324,7 @@ Status TwoPlTransaction::Commit() {
   } else {
     for (const CommitWrite& w : writes_) {
       RecordRef ref{w.addr, static_cast<uint32_t>(w.value.size())};
+      check::HistInstall(w.addr.Pack(), check::kVersionTagAuto);
       s = mgr_->accessor_->WriteValue(ref.Value(), w.value.data(),
                                       w.value.size());
       if (!s.ok()) break;  // e.g. memory node crashed mid-install
@@ -316,11 +335,13 @@ Status TwoPlTransaction::Commit() {
     finished_ = true;
     mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
     RecordOutcome(mgr_, false);
+    check::HistTxnAbort();  // installs already recorded -> in-doubt
     return s;
   }
   finished_ = true;
   mgr_->stats_.committed.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, true);
+  check::HistTxnCommit();
   return Status::OK();
 }
 
@@ -330,6 +351,7 @@ Status TwoPlTransaction::Abort() {
   finished_ = true;
   mgr_->stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   RecordOutcome(mgr_, false);
+  check::HistTxnAbort();
   return Status::OK();
 }
 
@@ -348,8 +370,35 @@ Status TwoPlTransaction::AbortInternal(bool validation,
     obs::HeatMap::Instance().RecordPackedAddr(obs::HeatKind::kAbort,
                                               conflict_addr);
   }
+  check::HistTxnAbort();
   return Status::Aborted("2pl conflict");
 }
+
+#if defined(DSMDB_CHECK_ENABLED)
+void TwoPlTransaction::DebugMaybeReleaseReadLockEarly(const RecordRef& ref) {
+  if (!mgr_->options_.debug_break.release_read_locks_early) return;
+  const uint64_t key = ref.addr.Pack();
+  if (write_index_.count(key) != 0) return;  // keep locks covering writes
+  auto it = lock_index_.find(key);
+  if (it == lock_index_.end()) return;
+  const size_t idx = it->second;
+  const LockEntry entry = locks_[idx];
+  if (mgr_->options_.lock_mode == TwoPlLockMode::kSharedExclusive) {
+    if (entry.held == Held::kExclusive) {
+      (void)se_.ReleaseExclusive(entry.ref.LockWord(), ts_);
+    } else {
+      (void)se_.ReleaseShared(entry.ref.LockWord());
+    }
+  } else {
+    (void)spin_.Release(entry.ref.LockWord(), ts_);
+  }
+  locks_.erase(locks_.begin() + idx);
+  lock_index_.clear();
+  for (size_t i = 0; i < locks_.size(); i++) {
+    lock_index_[locks_[i].ref.addr.Pack()] = i;
+  }
+}
+#endif
 
 void TwoPlTransaction::ReleaseAll() {
   const bool se_mode =

@@ -87,6 +87,11 @@ class TwoPlTransaction final : public Transaction {
   /// `conflict_addr` (packed record addr, 0 = unknown) feeds abort heat.
   Status AbortInternal(bool validation, uint64_t conflict_addr = 0);
   void ReleaseAll();
+#if defined(DSMDB_CHECK_ENABLED)
+  /// Oracle self-test bug (CcOptions::DebugBreak::release_read_locks_early):
+  /// drops the lock on a record right after reading it.
+  void DebugMaybeReleaseReadLockEarly(const RecordRef& ref);
+#endif
 
   TwoPlManager* mgr_;
   RdmaSpinLock spin_;

@@ -11,6 +11,7 @@
 #include "core/table.h"
 #include "dsm/cluster.h"
 #include "dsm/dsm_client.h"
+#include "dsm/lease.h"
 #include "txn/cc_protocol.h"
 #include "txn/data_accessor.h"
 #include "txn/rdma_lock.h"
@@ -155,6 +156,61 @@ TEST_F(CheckTest, TryLocksDoNotFeedLockdep) {
   ASSERT_TRUE(lock.Release(b, 2).ok());
 
   EXPECT_EQ(Checker::ReportCount(), 0u);
+}
+
+// Lease reclaim vs lockdep: when a peer CAS-frees an expired holder's lock
+// word, (a) the reclaim CAS itself is try-lock traffic (it runs inside the
+// reclaimer's blocking acquisition loop but frees a *stranger's* word — it
+// must not become a lock-order edge), and (b) the doomed holder's failed
+// release must still drop the word from its held set, or every later
+// acquisition on that thread grows false edges out of a lock it no longer
+// owns — a false inversion on the next reverse-order pair.
+TEST_F(CheckTest, LeaseReclaimDoesNotPoisonLockdep) {
+  MakeCluster();
+  std::unique_ptr<dsm::DsmClient> crashed = std::make_unique<dsm::DsmClient>(
+      cluster_.get(), cluster_->AddComputeNode("cn-crashed"));
+  const dsm::GlobalAddress w = AllocZeroed(8);
+  const dsm::GlobalAddress x = AllocZeroed(8);
+
+  const dsm::GlobalAddress table = *dsm::LeaseManager::CreateTable(
+      client_.get());
+  dsm::LeaseManager::Options lopts;
+  lopts.table = table;
+  dsm::LeaseManager leases_live(client_.get(), lopts);
+  dsm::LeaseManager leases_crashed(crashed.get(), lopts);
+  client_->SetLeaseManager(&leases_live);
+  crashed->SetLeaseManager(&leases_crashed);
+
+  // The doomed node leases, takes W... and "crashes" (stops heartbeating).
+  txn::RdmaSpinLock crashed_lock(crashed.get());
+  ASSERT_TRUE(leases_crashed.Heartbeat().ok());
+  ASSERT_TRUE(crashed_lock.Acquire(w, 1).ok());
+  SimClock::Advance(2 * lopts.lease_ns);
+
+  // The live node's blocking acquisition reclaims the orphaned word.
+  txn::RdmaSpinLock live_lock(client_.get());
+  ASSERT_TRUE(live_lock.Acquire(w, 2).ok());
+  ASSERT_TRUE(live_lock.Release(w, 2).ok());
+
+  // The doomed holder resurfaces: its release fails benignly (the word
+  // moved under it) — and must erase W from this thread's held set.
+  EXPECT_FALSE(crashed_lock.Release(w, 1).ok());
+
+  // No stale W entry may leak into lock-order edges: W after X here is the
+  // only real ordering, and a leftover held W would have recorded W -> X
+  // during the first acquisition below, turning it into an inversion.
+  ASSERT_TRUE(live_lock.Acquire(x, 3).ok());
+  ASSERT_TRUE(live_lock.Release(x, 3).ok());
+  ASSERT_TRUE(live_lock.Acquire(x, 4).ok());
+  ASSERT_TRUE(live_lock.Acquire(w, 4).ok());
+  ASSERT_TRUE(live_lock.Release(w, 4).ok());
+  ASSERT_TRUE(live_lock.Release(x, 4).ok());
+
+  std::vector<Report> reports = Checker::TakeReports();
+  std::string first = reports.empty() ? "" : reports[0].message;
+  EXPECT_EQ(reports.size(), 0u) << "first report:\n" << first;
+  client_->SetLeaseManager(nullptr);
+  crashed->SetLeaseManager(nullptr);
 }
 
 // The hold-while-posting-verb lint: a two-sided call from inside a

@@ -200,6 +200,46 @@ TEST_F(FaultFabricTest, LostCasNeverExecuted) {
   EXPECT_TRUE(client_->CompareAndSwap(other, 0, 7).ok());
 }
 
+// A drop puts the pipeline's flow to that target into the QP error state:
+// later ops to the same target flush without executing (a real RC QP never
+// executes a WR past one whose retransmit budget was exhausted), other
+// targets are unaffected, and Reset() models reconnecting the QP. This is
+// what keeps an install sequence (value write -> version bump -> unlock)
+// from being executed with a hole in the middle — the isolation oracle
+// caught exactly that as an OCC lost update before flush semantics existed.
+TEST_F(FaultFabricTest, LostVerbFlushesLaterPipelineOpsToSameTarget) {
+  GlobalAddress a0 = *client_->Alloc(64, 0);
+  GlobalAddress a1 = *client_->Alloc(64, 1);
+  FaultOptions fopts;
+  fopts.per_node_loss.assign(8, -1.0);
+  fopts.per_node_loss[cluster_->MemFabricId(0)] = 1.0;
+  Install(std::move(fopts));
+
+  dsm::DsmPipeline pipe(client_.get());
+  rdma::WrId cas = pipe.Cas(a0, 0, 99);  // dropped: flow to node 0 breaks
+  // The flow stays broken even after the injector is gone.
+  cluster_->fabric().SetFaultInjector(nullptr);
+  const uint64_t v = 777;
+  rdma::WrId w0 = pipe.Write(a0, &v, 8);
+  rdma::WrId w1 = pipe.Write(a1, &v, 8);
+  EXPECT_FALSE(pipe.WaitAll().ok());
+  EXPECT_TRUE(pipe.status(cas).IsTimedOut());
+  EXPECT_TRUE(pipe.status(w0).IsTimedOut());
+  EXPECT_TRUE(pipe.status(w1).ok());
+
+  uint64_t got = 123;
+  ASSERT_TRUE(client_->Read(a0, &got, 8).ok());
+  EXPECT_EQ(got, 0u) << "flushed write must not execute past the lost CAS";
+  ASSERT_TRUE(client_->Read(a1, &got, 8).ok());
+  EXPECT_EQ(got, v) << "an unrelated target's flow must be unaffected";
+
+  pipe.Reset();
+  pipe.Write(a0, &v, 8);
+  ASSERT_TRUE(pipe.WaitAll().ok());
+  ASSERT_TRUE(client_->Read(a0, &got, 8).ok());
+  EXPECT_EQ(got, v) << "Reset() reconnects the flow";
+}
+
 class FaultFenceTest : public FaultFabricTest {};
 
 TEST_F(FaultFenceTest, StaleIncarnationInsteadOfSilentZeroRead) {

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/checker.h"
+#include "check/history.h"
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "core/table.h"
+#include "dsm/cluster.h"
+#include "dsm/dsm_client.h"
+#include "rt/pct_policy.h"
+#include "rt/scheduler.h"
+#include "txn/cc_protocol.h"
+#include "txn/data_accessor.h"
+
+namespace dsmdb::check {
+namespace {
+
+// Runs in every configuration: the management surface must be callable
+// whether or not the instrumentation was compiled in.
+TEST(HistorySurfaceTest, SafeInAllBuilds) {
+  History::Reset();
+  EXPECT_FALSE(History::Enabled());
+  History::SetEnabled(true);
+  if (!History::Compiled()) {
+    EXPECT_FALSE(History::Enabled());
+  }
+  History::SetEnabled(false);
+  History::Analysis a =
+      History::Analyze(History::IsolationLevel::kStrictSerializable);
+  EXPECT_TRUE(a.Clean());
+  EXPECT_EQ(a.txns_committed, 0u);
+}
+
+// The PCT policy itself has no check-build dependency: same seed, same
+// task set => byte-identical schedule (and so identical simulated time).
+TEST(PctPolicyTest, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    SimClock::Reset();
+    rt::PctPolicy policy({seed, /*change_points=*/3, /*steps_estimate=*/64});
+    rt::Scheduler sched;
+    sched.SetPolicy(&policy);
+    std::vector<int> order;
+    sched.Run([&] {
+      for (int i = 0; i < 4; i++) {
+        sched.Spawn([&, i] {
+          for (int step = 0; step < 8; step++) {
+            rt::SimWait(SimClock::Now() + 100);
+            order.push_back(i);
+          }
+        });
+      }
+    });
+    order.push_back(static_cast<int>(sched.FinalSimNs()));
+    return order;
+  };
+  const std::vector<int> a = run(7);
+  const std::vector<int> b = run(7);
+  EXPECT_EQ(a, b);
+  // All 4 tasks x 8 steps completed regardless of the schedule chosen.
+  EXPECT_EQ(a.size(), 4u * 8u + 1u);
+}
+
+TEST(PctPolicyTest, AllTasksCompleteUnderAdversarialPriorities) {
+  for (uint64_t seed = 1; seed <= 16; seed++) {
+    SimClock::Reset();
+    rt::PctPolicy policy({seed, 5, 32});
+    rt::Scheduler sched;
+    sched.SetPolicy(&policy);
+    uint32_t done = 0;
+    sched.Run([&] {
+      for (int i = 0; i < 6; i++) {
+        sched.Spawn([&] {
+          rt::SimWait(SimClock::Now() + 50);
+          rt::SimWait(SimClock::Now() + 50);
+          done++;
+        });
+      }
+    });
+    EXPECT_EQ(done, 6u) << "seed " << seed;
+  }
+}
+
+/// Everything below feeds the oracle synthetic or real histories, so it
+/// needs the check build.
+class OracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!History::Compiled()) {
+      GTEST_SKIP() << "built without DSMDB_CHECK=ON";
+    }
+    Checker::SetAbortOnReport(false);
+    History::Reset();
+    History::SetEnabled(true);
+  }
+
+  void TearDown() override {
+    if (!History::Compiled()) return;
+    History::SetEnabled(false);
+    History::Reset();
+    (void)Checker::TakeReports();
+    Checker::Reset();
+    Checker::SetAbortOnReport(true);
+  }
+
+  /// Runs `fn` as one synthetic transaction on its own thread (the hooks
+  /// key the current txn per thread). Serialized: returns after join.
+  static void Txn(const std::function<void()>& fn) {
+    std::thread t([&] {
+      SimClock::Reset();
+      fn();
+    });
+    t.join();
+  }
+
+  static History::Analysis Strict() {
+    return History::Analyze(History::IsolationLevel::kStrictSerializable);
+  }
+  static History::Analysis Si() {
+    return History::Analyze(History::IsolationLevel::kSnapshotIsolation);
+  }
+};
+
+constexpr uint64_t kRecX = 0x1000;
+constexpr uint64_t kRecY = 0x2000;
+
+TEST_F(OracleTest, SerialRmwChainIsClean) {
+  for (int i = 0; i < 3; i++) {
+    Txn([] {
+      HistTxnBegin("test", 1);
+      HistRead(kRecX, kVersionTagAuto);
+      HistInstall(kRecX, kVersionTagAuto);
+      HistTxnCommit();
+    });
+  }
+  const History::Analysis a = Strict();
+  EXPECT_TRUE(a.Clean()) << a.anomalies[0].message;
+  EXPECT_EQ(a.txns_committed, 3u);
+  EXPECT_EQ(a.versions_installed, 3u);
+  EXPECT_EQ(a.reads_resolved, 3u);
+}
+
+TEST_F(OracleTest, AnalyzeIsRepeatable) {
+  Txn([] {
+    HistTxnBegin("test", 1);
+    HistInstall(kRecX, kVersionTagAuto);
+    HistTxnCommit();
+  });
+  const History::Analysis a = Strict();
+  const History::Analysis b = Strict();
+  EXPECT_EQ(a.txns_committed, b.txns_committed);
+  EXPECT_EQ(a.versions_installed, b.versions_installed);
+  EXPECT_EQ(a.anomalies.size(), b.anomalies.size());
+}
+
+TEST_F(OracleTest, LostUpdateDetected) {
+  // T1 reads version 0 of x, then T2's full RMW slips in between T1's
+  // read and install: T1's install (version 2) skips T2's (version 1).
+  std::binary_semaphore t1_read{0}, t2_done{0};
+  std::thread t1([&] {
+    SimClock::Reset();
+    HistTxnBegin("broken-2pl", 1);
+    HistRead(kRecX, kVersionTagAuto);  // resolves to version 0
+    t1_read.release();
+    t2_done.acquire();
+    HistInstall(kRecX, kVersionTagAuto);  // version 2: skipped T2's
+    HistTxnCommit();
+  });
+  t1_read.acquire();
+  Txn([] {
+    HistTxnBegin("victim", 2);
+    HistRead(kRecX, kVersionTagAuto);
+    HistInstall(kRecX, kVersionTagAuto);  // version 1
+    HistTxnCommit();
+  });
+  t2_done.release();
+  t1.join();
+
+  const History::Analysis a = Strict();
+  ASSERT_FALSE(a.Clean());
+  bool lost_update = false;
+  for (const Anomaly& an : a.anomalies) {
+    if (an.kind == AnomalyKind::kLostUpdate) {
+      lost_update = true;
+      // Both the updater and the overwritten victim are attributed.
+      EXPECT_GE(an.txns.size(), 2u);
+      EXPECT_NE(an.message.find("lost update"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(lost_update);
+}
+
+TEST_F(OracleTest, WriteSkewExpectedUnderSiAnomalousUnderStrict) {
+  // The textbook skew: both read {x,y} at version 0, then write disjoint
+  // records. Serializable protocols must refuse one of them; SI commits
+  // both and the oracle classifies the rw/rw cycle as expected-by-design.
+  std::binary_semaphore t1_read{0}, t2_read{0};
+  std::thread t1([&] {
+    SimClock::Reset();
+    HistTxnBegin("skew", 1);
+    HistRead(kRecX, 0);
+    HistRead(kRecY, 0);
+    t1_read.release();
+    t2_read.acquire();
+    HistInstall(kRecX, 101);
+    HistTxnCommit();
+  });
+  t1_read.acquire();
+  std::thread t2([&] {
+    SimClock::Reset();
+    HistTxnBegin("skew", 2);
+    HistRead(kRecX, 0);
+    HistRead(kRecY, 0);
+    t2_read.release();
+    HistInstall(kRecY, 102);
+    HistTxnCommit();
+  });
+  t1.join();
+  t2.join();
+
+  const History::Analysis si = Si();
+  EXPECT_TRUE(si.Clean()) << si.anomalies[0].message;
+  EXPECT_EQ(si.write_skew_cycles, 1u);
+
+  const History::Analysis strict = Strict();
+  ASSERT_FALSE(strict.Clean());
+  EXPECT_EQ(strict.anomalies[0].kind, AnomalyKind::kCycle);
+  EXPECT_EQ(strict.write_skew_cycles, 0u);
+}
+
+TEST_F(OracleTest, FracturedReadDetected) {
+  Txn([] {
+    HistTxnBegin("writer", 1);
+    HistInstall(kRecX, 5);
+    HistTxnCommit();
+  });
+  Txn([] {
+    HistTxnBegin("reader", 2);
+    HistRead(kRecX, 99);  // matches no installed tag
+    HistTxnCommit();
+  });
+  const History::Analysis a = Strict();
+  ASSERT_FALSE(a.Clean());
+  EXPECT_EQ(a.anomalies[0].kind, AnomalyKind::kFracturedRead);
+  EXPECT_NE(a.anomalies[0].message.find("fractured read"),
+            std::string::npos);
+}
+
+TEST_F(OracleTest, AbortedReadsCarryNoClaim) {
+  Txn([] {
+    HistTxnBegin("aborter", 1);
+    HistRead(kRecX, 99);  // unresolved, but the txn aborts
+    HistTxnAbort();
+  });
+  const History::Analysis a = Strict();
+  EXPECT_TRUE(a.Clean());
+  EXPECT_EQ(a.txns_aborted, 1u);
+}
+
+TEST_F(OracleTest, InDoubtInstallerMasksDownstreamAnomalies) {
+  // T-indoubt installs version 1 then dies mid-commit (abort after
+  // install). T1's RMW then skips that version: under faults this is not
+  // a protocol bug — the oracle must count it as masked, not anomalous.
+  std::binary_semaphore t1_read{0}, indoubt_done{0};
+  std::thread t1([&] {
+    SimClock::Reset();
+    HistTxnBegin("rmw", 1);
+    HistRead(kRecX, kVersionTagAuto);  // version 0
+    t1_read.release();
+    indoubt_done.acquire();
+    HistInstall(kRecX, kVersionTagAuto);  // version 2, skipping in-doubt v1
+    HistTxnCommit();
+  });
+  t1_read.acquire();
+  Txn([] {
+    HistTxnBegin("doomed", 2);
+    HistInstall(kRecX, kVersionTagAuto);  // version 1
+    HistTxnAbort();                       // installs recorded -> in-doubt
+  });
+  indoubt_done.release();
+  t1.join();
+
+  const History::Analysis a = Strict();
+  EXPECT_TRUE(a.Clean()) << a.anomalies[0].message;
+  EXPECT_EQ(a.txns_indoubt, 1u);
+  EXPECT_GE(a.masked_by_indoubt, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: real protocols, PCT-explored schedules, oracle verdicts. The
+// full sweep lives in check_explore (scripts/check_matrix.sh `explore`);
+// this is the fast regression net.
+// ---------------------------------------------------------------------------
+
+class OracleProtocolTest : public OracleTest {
+ protected:
+  static constexpr uint32_t kValueSize = 16;
+  static constexpr uint64_t kKeys = 4;
+
+  static std::string V(uint64_t x) {
+    std::string v(kValueSize, '\0');
+    EncodeFixed64(v.data(), x);
+    EncodeFixed64(v.data() + 8, x);
+    return v;
+  }
+
+  /// One PCT-scheduled run in a fresh world; returns the oracle analysis.
+  History::Analysis RunSchedule(const txn::CcOptions& cc,
+                                History::IsolationLevel level,
+                                uint64_t seed) {
+    SimClock::Reset();
+    dsm::ClusterOptions copts;
+    copts.num_memory_nodes = 2;
+    copts.memory_node.capacity_bytes = 16 << 20;
+    dsm::Cluster cluster(copts);
+    dsm::DsmClient client(&cluster, cluster.AddComputeNode("cn0"));
+    txn::DirectAccessor accessor(&client);
+    txn::TimestampOracle oracle(&client, txn::OracleMode::kRdmaFaa,
+                                txn::TimestampOracle::DefaultCounter());
+    core::Table table =
+        *core::Table::Create(&client, 0, {kValueSize, kKeys});
+    txn::NoopLogSink sink;
+    std::unique_ptr<txn::CcManager> mgr =
+        txn::MakeCcManager(cc, &client, &accessor, &oracle, &sink);
+
+    History::Reset();
+    History::SetEnabled(true);
+    for (uint64_t k = 0; k < kKeys; k++) {
+      auto txn = std::move(*mgr->Begin());
+      (void)txn->Write(table.RefFor(k), V(1'000));
+      (void)txn->Commit();
+    }
+
+    rt::PctPolicy policy({seed, /*change_points=*/3, /*steps_estimate=*/400});
+    rt::Scheduler sched;
+    sched.SetPolicy(&policy);
+    sched.Run([&] {
+      for (uint64_t t = 0; t < 3; t++) {
+        sched.Spawn([&, t] {
+          Random64 rng(seed ^ (t + 1) * 0x9E3779B97F4A7C15ULL);
+          for (int i = 0; i < 3; i++) {
+            const uint64_t k1 = rng.Uniform(kKeys);
+            uint64_t k2 = rng.Uniform(kKeys);
+            if (k2 == k1) k2 = (k2 + 1) % kKeys;
+            for (int attempt = 0; attempt < 50; attempt++) {
+              auto txn = std::move(*mgr->Begin());
+              std::string a, b;
+              if (!txn->Read(table.RefFor(k1), &a).ok()) continue;
+              if (!txn->Read(table.RefFor(k2), &b).ok()) continue;
+              const uint64_t va = DecodeFixed64(a.data());
+              if (!txn->Write(table.RefFor(k1), V(va + 1)).ok()) continue;
+              if (txn->Commit().ok()) break;
+            }
+          }
+        });
+      }
+    });
+    SimClock::AdvanceTo(sched.FinalSimNs());
+    History::SetEnabled(false);
+    return History::Analyze(level);
+  }
+
+  /// Sweeps seeds until an anomaly shows up; 0 = never.
+  uint64_t FirstAnomalyWithin(const txn::CcOptions& cc,
+                              History::IsolationLevel level,
+                              uint64_t max_schedules) {
+    for (uint64_t s = 1; s <= max_schedules; s++) {
+      if (!RunSchedule(cc, level, s).Clean()) return s;
+    }
+    return 0;
+  }
+};
+
+TEST_F(OracleProtocolTest, StockProtocolsCleanOverPctSchedules) {
+  struct Case {
+    const char* name;
+    txn::CcProtocolKind kind;
+    txn::TwoPlLockMode mode;
+    History::IsolationLevel level;
+  };
+  const Case cases[] = {
+      {"2pl-nowait", txn::CcProtocolKind::kTwoPlNoWait,
+       txn::TwoPlLockMode::kExclusiveOnly,
+       History::IsolationLevel::kStrictSerializable},
+      {"2pl-nowait-se", txn::CcProtocolKind::kTwoPlNoWait,
+       txn::TwoPlLockMode::kSharedExclusive,
+       History::IsolationLevel::kStrictSerializable},
+      {"2pl-waitdie", txn::CcProtocolKind::kTwoPlWaitDie,
+       txn::TwoPlLockMode::kExclusiveOnly,
+       History::IsolationLevel::kStrictSerializable},
+      {"occ", txn::CcProtocolKind::kOcc,
+       txn::TwoPlLockMode::kExclusiveOnly,
+       History::IsolationLevel::kStrictSerializable},
+      {"tso", txn::CcProtocolKind::kTso,
+       txn::TwoPlLockMode::kExclusiveOnly,
+       History::IsolationLevel::kStrictSerializable},
+      {"mvcc", txn::CcProtocolKind::kMvcc,
+       txn::TwoPlLockMode::kExclusiveOnly,
+       History::IsolationLevel::kSnapshotIsolation},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    txn::CcOptions cc;
+    cc.protocol = c.kind;
+    cc.lock_mode = c.mode;
+    for (uint64_t seed = 1; seed <= 8; seed++) {
+      const History::Analysis a = RunSchedule(cc, c.level, seed);
+      EXPECT_TRUE(a.Clean())
+          << "seed " << seed << ":\n"
+          << (a.anomalies.empty() ? "" : a.anomalies[0].message);
+      EXPECT_GT(a.txns_committed, 0u);
+    }
+  }
+}
+
+#if defined(DSMDB_CHECK_ENABLED)
+
+TEST_F(OracleProtocolTest, BrokenTwoPlEarlyReadReleaseIsFlagged) {
+  txn::CcOptions cc;
+  cc.protocol = txn::CcProtocolKind::kTwoPlNoWait;
+  cc.debug_break.release_read_locks_early = true;
+  const uint64_t at = FirstAnomalyWithin(
+      cc, History::IsolationLevel::kStrictSerializable, 30);
+  EXPECT_NE(at, 0u) << "non-two-phase 2PL stayed clean over 30 schedules";
+}
+
+TEST_F(OracleProtocolTest, BrokenOccSkippedRecheckIsFlagged) {
+  txn::CcOptions cc;
+  cc.protocol = txn::CcProtocolKind::kOcc;
+  cc.debug_break.skip_version_recheck = true;
+  const uint64_t at = FirstAnomalyWithin(
+      cc, History::IsolationLevel::kStrictSerializable, 30);
+  EXPECT_NE(at, 0u) << "validation-free OCC stayed clean over 30 schedules";
+}
+
+#endif  // DSMDB_CHECK_ENABLED
+
+}  // namespace
+}  // namespace dsmdb::check
